@@ -1,0 +1,88 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its artefact in quick mode
+// (reduced workers/iterations) and reports the wall time of a full
+// regeneration; the table text itself is printed under -v via b.Log. Use
+// cmd/deft-bench for the full-scale versions.
+//
+// Run: go test -bench=. -benchmem
+package deft
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/shapes"
+	"repro/internal/topk"
+)
+
+// benchExperiment regenerates one artefact per benchmark iteration with a
+// cold cache, so the reported time is an honest full-regeneration cost.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := experiments.Options{Quick: true}
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		tab, err := experiments.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig3a(b *testing.B)  { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)  { benchExperiment(b, "fig3b") }
+func BenchmarkFig3c(b *testing.B)  { benchExperiment(b, "fig3c") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+
+// Ablation benches for the design choices DESIGN.md §5 calls out.
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// The two microbenches below isolate the headline claim at kernel level on
+// the LSTM catalog (scaled to 1.36M gradients, d=0.001): a whole-vector
+// top-k (what Top-k/CLT-k run every iteration) vs the slowest worker's
+// layer-wise selection under DEFT at n=16.
+func selectionFixture() (frags []core.Fragment, slowest []int, grad []float64, k int) {
+	catalog := shapes.LSTMWiki().Scaled(0.01)
+	grad = catalog.SyntheticGradients(42)
+	k = int(0.001 * float64(len(grad)))
+	frags = core.Partition(catalog.Layers(), 16, core.PartitionOpts{SecondStage: true})
+	core.ComputeNorms(frags, grad)
+	core.AssignK(frags, k)
+	bins := core.Allocate(frags, 16, core.LPTPolicy)
+	best := 0.0
+	for _, bin := range bins {
+		if c := core.WorkerCost(frags, bin); c > best {
+			best, slowest = c, bin
+		}
+	}
+	return frags, slowest, grad, k
+}
+
+func BenchmarkSelectWholeVectorTopK(b *testing.B) {
+	_, _, grad, k := selectionFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topk.HeapTopK(grad, k)
+	}
+}
+
+func BenchmarkSelectDEFTSlowestWorker(b *testing.B) {
+	frags, slowest, grad, _ := selectionFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SelectLayerwise(frags, slowest, grad)
+	}
+}

@@ -1,0 +1,90 @@
+// Command deft-bench regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	deft-bench [-quick] [-seed N] <id>...
+//	deft-bench -list
+//	deft-bench all            # every experiment
+//
+// ids: table1 table2 fig1 fig3a fig3b fig3c fig4 fig5 fig6 fig7 fig8 fig9
+// fig10 ablation
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced worker counts and iteration budgets")
+	seed := flag.Uint64("seed", 0, "seed offset for all runs")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: deft-bench [-quick] [-seed N] <id>... | all | -list\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = experiments.IDs()
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	for _, id := range args {
+		start := time.Now()
+		tab, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-bench: %v\n", err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "deft-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSV stores one table as dir/<id>.csv (columns header + rows).
+func writeCSV(dir string, tab *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(tab.Columns); err != nil {
+		return err
+	}
+	for _, row := range tab.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,137 @@
+// Command deft-inspect dumps DEFT's per-iteration decisions — the
+// two-stage partition (Algorithm 2), the norm-proportional local k
+// assignment (Algorithm 3) and the bin-packing allocation (Algorithm 4) —
+// for one of the paper's model catalogs with synthetic gradients, or for a
+// trainable workload's first real gradient.
+//
+// Usage:
+//
+//	deft-inspect -catalog lstm -workers 16 -density 0.001
+//	deft-inspect -workload vision -workers 8 -density 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/shapes"
+	"repro/internal/sparsifier"
+	"repro/internal/train"
+)
+
+func main() {
+	catalog := flag.String("catalog", "", "resnet18 | lstm | ncf (synthetic gradients)")
+	workload := flag.String("workload", "", "mlp | vision | langmodel | recsys (real first gradient)")
+	workers := flag.Int("workers", 8, "number of workers")
+	density := flag.Float64("density", 0.01, "target density")
+	scale := flag.Float64("scale", 0.1, "catalog scale factor")
+	maxRows := flag.Int("max-rows", 24, "fragment rows to print (0 = all)")
+	flag.Parse()
+
+	var layers []sparsifier.Layer
+	var grad []float64
+	switch {
+	case *catalog != "":
+		c, ok := shapes.ByName(*catalog)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "deft-inspect: unknown catalog %q\n", *catalog)
+			os.Exit(2)
+		}
+		c = c.Scaled(*scale)
+		layers = c.Layers()
+		grad = c.SyntheticGradients(42)
+	case *workload != "":
+		w := buildWorkload(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		m := w.NewModel()
+		params := m.Params()
+		nn.ZeroGrads(params)
+		m.Step(rng.New(1))
+		grad = make([]float64, nn.TotalSize(params))
+		train.FlattenGrads(params, grad)
+		layers = train.Layout(params)
+	default:
+		fmt.Fprintln(os.Stderr, "deft-inspect: pass -catalog or -workload")
+		os.Exit(2)
+	}
+
+	ng := len(grad)
+	k := int(float64(ng) * *density)
+	fmt.Printf("model: %d gradients in %d layers; workers=%d, d=%g (k=%d)\n\n",
+		ng, len(layers), *workers, *density, k)
+
+	frags := core.Partition(layers, *workers, core.PartitionOpts{SecondStage: true})
+	core.ComputeNorms(frags, grad)
+	core.AssignK(frags, k)
+	bins := core.Allocate(frags, *workers, core.LPTPolicy)
+
+	owner := make([]int, len(frags))
+	for w, bin := range bins {
+		for _, fi := range bin {
+			owner[fi] = w
+		}
+	}
+
+	fmt.Printf("%-6s %-28s %-10s %-12s %-8s %-10s %-6s\n",
+		"frag", "layer", "size", "norm", "k", "cost", "worker")
+	shown := 0
+	for i, f := range frags {
+		if *maxRows > 0 && shown >= *maxRows {
+			fmt.Printf("... (%d more fragments)\n", len(frags)-shown)
+			break
+		}
+		fmt.Printf("%-6d %-28s %-10d %-12.4g %-8d %-10.4g %-6d\n",
+			i, truncate(f.Name, 28), f.Size(), f.Norm, f.K, f.Cost(), owner[i])
+		shown++
+	}
+
+	totalK := 0
+	for _, f := range frags {
+		totalK += f.K
+	}
+	fmt.Printf("\nΣk = %d (target %d, realised density %.6f)\n", totalK, k, float64(totalK)/float64(ng))
+	fmt.Printf("per-worker selection cost (n_g,x·log k_x):\n")
+	total := 0.0
+	for _, f := range frags {
+		total += f.Cost()
+	}
+	for w := range bins {
+		c := core.WorkerCost(frags, bins[w])
+		fmt.Printf("  worker %-3d cost %-14.4g (%d fragments)\n", w, c, len(bins[w]))
+	}
+	maxC := core.MaxWorkerCost(frags, bins)
+	fmt.Printf("balance: max/mean = %.3f; modeled speedup over whole-vector top-k = %.1fx (trivial bound %.1fx, linear %dx)\n",
+		maxC/(total/float64(*workers)),
+		core.FullCost(ng, k)/maxC,
+		core.FullCost(ng, k)/core.TrivialCost(ng, k, *workers),
+		*workers)
+}
+
+func buildWorkload(name string) train.Workload {
+	switch name {
+	case "mlp":
+		return models.NewMLP(models.DefaultMLPConfig())
+	case "vision":
+		return models.NewVision(models.DefaultVisionConfig())
+	case "langmodel":
+		return models.NewText(models.DefaultTextConfig())
+	case "recsys":
+		return models.NewRecsys(models.DefaultRecsysConfig())
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

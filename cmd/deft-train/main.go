@@ -1,0 +1,117 @@
+// Command deft-train runs one distributed training job on the simulated
+// cluster and reports convergence, realised density, error norm and the
+// training-time breakdown.
+//
+// Usage:
+//
+//	deft-train -workload vision -sparsifier deft -workers 16 -density 0.01 -iters 200
+//
+// Workloads: mlp, vision, langmodel, recsys.
+// Sparsifiers: deft, topk, cltk, sidco, randk, hardthreshold, dense.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sparsifier"
+	"repro/internal/train"
+)
+
+func main() {
+	workload := flag.String("workload", "mlp", "mlp | vision | langmodel | recsys")
+	scheme := flag.String("sparsifier", "deft", "deft | topk | cltk | sidco | randk | dgc | gaussiank | hardthreshold | dense")
+	workers := flag.Int("workers", 8, "number of simulated workers")
+	density := flag.Float64("density", 0.01, "target density d = k/n_g")
+	lr := flag.Float64("lr", 0.3, "learning rate")
+	momentum := flag.Float64("momentum", 0, "momentum on the aggregated update")
+	iters := flag.Int("iters", 100, "training iterations")
+	evalEvery := flag.Int("eval-every", 25, "iterations between evaluations")
+	seed := flag.Uint64("seed", 1, "run seed")
+	flag.Parse()
+
+	w := buildWorkload(*workload)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "deft-train: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	cfg := train.Config{
+		Workers: *workers, Density: *density, LR: *lr, Momentum: *momentum,
+		Iterations: *iters, EvalEvery: *evalEvery, Seed: *seed,
+		CostModel: comm.DefaultCostModel(),
+	}
+	var factory sparsifier.Factory
+	switch *scheme {
+	case "dense":
+		cfg.DisableSparse = true
+	case "deft":
+		factory = core.Factory(core.DefaultOptions())
+	case "topk":
+		factory = func() sparsifier.Sparsifier { return sparsifier.TopK{} }
+	case "cltk":
+		factory = func() sparsifier.Sparsifier { return &sparsifier.CLTK{} }
+	case "sidco":
+		factory = func() sparsifier.Sparsifier { return &sparsifier.SIDCo{Stages: 3} }
+	case "randk":
+		factory = func() sparsifier.Sparsifier { return sparsifier.RandK{} }
+	case "dgc":
+		factory = func() sparsifier.Sparsifier { return &sparsifier.DGC{} }
+	case "gaussiank":
+		factory = func() sparsifier.Sparsifier { return sparsifier.GaussianK{} }
+	case "hardthreshold":
+		h := tuneHard(w, *density)
+		factory = func() sparsifier.Sparsifier { return h }
+	default:
+		fmt.Fprintf(os.Stderr, "deft-train: unknown sparsifier %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	res := train.Run(w, factory, cfg)
+	fmt.Println(res.Summary())
+	fmt.Printf("\n%-12s %-12s %-14s %-12s\n", "iteration", "train loss", "density", "error ‖e‖")
+	for i := range res.TrainLoss.X {
+		fmt.Printf("%-12.0f %-12.4f %-14.6f %-12.6f\n",
+			res.TrainLoss.X[i], res.TrainLoss.Y[i], res.ActualDensity.Y[i], res.ErrorNorm.Y[i])
+	}
+	fmt.Printf("\n%s over training:\n", w.MetricName())
+	for i := range res.Metric.X {
+		fmt.Printf("  iter %-8.0f %.3f\n", res.Metric.X[i], res.Metric.Y[i])
+	}
+	fmt.Printf("\ntime totals: compute %.3fs, selection %.3fs, partition %.3fs, comm (modeled) %.3fs\n",
+		res.ComputeTime, res.SelectTime, res.PartitionTime, res.CommTime)
+	fmt.Printf("traffic (elements): allgather %d, allreduce %d, broadcast %d\n",
+		res.Traffic.AllGatherInts, res.Traffic.AllReduceFloats,
+		res.Traffic.BroadcastInts+res.Traffic.BroadcastFloats)
+}
+
+func buildWorkload(name string) train.Workload {
+	switch name {
+	case "mlp":
+		return models.NewMLP(models.DefaultMLPConfig())
+	case "vision":
+		return models.NewVision(models.DefaultVisionConfig())
+	case "langmodel":
+		return models.NewText(models.DefaultTextConfig())
+	case "recsys":
+		return models.NewRecsys(models.DefaultRecsysConfig())
+	}
+	return nil
+}
+
+// tuneHard tunes the hard-threshold sparsifier on one sample gradient, the
+// pre-training hyperparameter step the paper's Table 1 describes.
+func tuneHard(w train.Workload, density float64) *sparsifier.HardThreshold {
+	m := w.NewModel()
+	params := m.Params()
+	nn.ZeroGrads(params)
+	m.Step(rng.New(99))
+	flat := make([]float64, nn.TotalSize(params))
+	train.FlattenGrads(params, flat)
+	return sparsifier.TuneHardThreshold(flat, density)
+}

@@ -1,0 +1,162 @@
+// Package deft is the public API of this reproduction of "DEFT: Exploiting
+// Gradient Norm Difference between Model Layers for Scalable Gradient
+// Sparsification" (Yoon & Oh, ICPP 2023).
+//
+// The package re-exports the pieces a downstream user composes:
+//
+//   - the DEFT sparsifier and the baselines it is evaluated against
+//     (Top-k, CLT-k, hard-threshold, SIDCo, random-k);
+//   - the distributed trainer implementing error-feedback sparsified SGD
+//     (Algorithm 1) over a simulated multi-worker cluster;
+//   - the three workload families of the paper's evaluation (residual CNN,
+//     LSTM language model, NCF recommender) plus a quickstart MLP;
+//   - full-size layer-shape catalogs of the paper's exact models for
+//     cost/scalability studies.
+//
+// Quickstart:
+//
+//	w := deft.NewMLPWorkload()
+//	res := deft.Train(w, deft.NewDEFTFactory(), deft.TrainConfig{
+//		Workers: 8, Density: 0.01, LR: 0.3, Iterations: 200,
+//	})
+//	fmt.Println(res.Summary())
+package deft
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/models"
+	"repro/internal/shapes"
+	"repro/internal/sparsifier"
+	"repro/internal/train"
+)
+
+// Sparsifier selects, per worker and iteration, the gradient indices to
+// transmit. See the sparsifier package for the contract.
+type Sparsifier = sparsifier.Sparsifier
+
+// SparsifierFactory builds one sparsifier instance per worker.
+type SparsifierFactory = sparsifier.Factory
+
+// Ctx is the per-iteration context handed to a Sparsifier.
+type Ctx = sparsifier.Ctx
+
+// Layer describes one parameter tensor's slice of the flat gradient vector.
+type Layer = sparsifier.Layer
+
+// TrainConfig configures a distributed training run (see train.Config).
+type TrainConfig = train.Config
+
+// TrainResult is the collected output of a run (see train.Result).
+type TrainResult = train.Result
+
+// Workload builds model replicas and evaluates them.
+type Workload = train.Workload
+
+// Model is one worker's replica.
+type Model = train.Model
+
+// CostModel is the α–β communication time model of §5.3.
+type CostModel = comm.CostModel
+
+// DEFTOptions configures the DEFT sparsifier (partitioning, allocation
+// policy, k-assignment ablations).
+type DEFTOptions = core.Options
+
+// Train runs error-feedback sparsified SGD (Algorithm 1) on a simulated
+// cluster and returns the collected metrics.
+func Train(w Workload, factory SparsifierFactory, cfg TrainConfig) *TrainResult {
+	return train.Run(w, factory, cfg)
+}
+
+// NewDEFT returns a DEFT sparsifier with the paper's configuration:
+// two-stage partitioning, norm-proportional local k, LPT bin packing.
+func NewDEFT() Sparsifier { return core.NewDefault() }
+
+// NewDEFTWithOptions returns a DEFT sparsifier with explicit options.
+func NewDEFTWithOptions(opts DEFTOptions) Sparsifier { return core.New(opts) }
+
+// NewDEFTFactory returns a per-worker factory for the paper-configured DEFT.
+func NewDEFTFactory() SparsifierFactory { return core.Factory(core.DefaultOptions()) }
+
+// NewTopKFactory returns the classical local Top-k sparsifier (suffers
+// gradient build-up).
+func NewTopKFactory() SparsifierFactory {
+	return func() Sparsifier { return sparsifier.TopK{} }
+}
+
+// NewCLTKFactory returns the cyclic local top-k sparsifier of Chen et al.
+func NewCLTKFactory() SparsifierFactory {
+	return func() Sparsifier { return &sparsifier.CLTK{} }
+}
+
+// NewSIDCoFactory returns the statistical threshold sparsifier of
+// Abdelmoniem et al. with the given number of fitting stages (3 in the
+// reference implementation).
+func NewSIDCoFactory(stages int) SparsifierFactory {
+	return func() Sparsifier { return &sparsifier.SIDCo{Stages: stages} }
+}
+
+// NewHardThresholdFactory returns a hard-threshold sparsifier with a fixed
+// threshold (tune it with TuneHardThreshold).
+func NewHardThresholdFactory(threshold float64) SparsifierFactory {
+	return func() Sparsifier { return &sparsifier.HardThreshold{Threshold: threshold} }
+}
+
+// NewDGCFactory returns the sampling-based top-k selection of Deep
+// Gradient Compression (Lin et al.); sampleRatio <= 0 uses the default.
+func NewDGCFactory(sampleRatio float64) SparsifierFactory {
+	return func() Sparsifier { return &sparsifier.DGC{SampleRatio: sampleRatio} }
+}
+
+// NewGaussianKFactory returns the Gaussian-fit threshold sparsifier of Shi
+// et al.
+func NewGaussianKFactory() SparsifierFactory {
+	return func() Sparsifier { return sparsifier.GaussianK{} }
+}
+
+// NewRandKFactory returns the random-k control sparsifier.
+func NewRandKFactory() SparsifierFactory {
+	return func() Sparsifier { return sparsifier.RandK{} }
+}
+
+// TuneHardThreshold picks the threshold reaching the target density on a
+// sample gradient vector.
+func TuneHardThreshold(sample []float64, density float64) float64 {
+	return sparsifier.TuneHardThreshold(sample, density).Threshold
+}
+
+// NewMLPWorkload returns the quickstart MLP classification workload.
+func NewMLPWorkload() Workload { return models.NewMLP(models.DefaultMLPConfig()) }
+
+// NewVisionWorkload returns the residual-CNN vision workload (the paper's
+// ResNet-18/CIFAR-10 slot).
+func NewVisionWorkload() Workload { return models.NewVision(models.DefaultVisionConfig()) }
+
+// NewTextWorkload returns the LSTM language-modelling workload (the
+// paper's LSTM/WikiText-2 slot).
+func NewTextWorkload() Workload { return models.NewText(models.DefaultTextConfig()) }
+
+// NewRecsysWorkload returns the NCF recommendation workload (the paper's
+// NCF/MovieLens-20M slot).
+func NewRecsysWorkload() Workload { return models.NewRecsys(models.DefaultRecsysConfig()) }
+
+// Catalog is a full-size layer-shape catalog of one of the paper's models.
+type Catalog = shapes.Catalog
+
+// CatalogByName returns the catalog for "resnet18", "lstm" or "ncf".
+func CatalogByName(name string) (Catalog, bool) { return shapes.ByName(name) }
+
+// ExperimentIDs lists the reproducible paper artefacts (tables/figures).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table/figure by id ("fig9",
+// "table1", ...). quick shrinks worker counts and iteration budgets.
+func RunExperiment(id string, quick bool) (string, error) {
+	tab, err := experiments.Run(id, experiments.Options{Quick: quick})
+	if err != nil {
+		return "", err
+	}
+	return tab.String(), nil
+}

@@ -1,0 +1,84 @@
+package deft
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeTrainQuickstart(t *testing.T) {
+	res := Train(NewMLPWorkload(), NewDEFTFactory(), TrainConfig{
+		Workers: 4, Density: 0.05, LR: 0.3, Iterations: 30, Seed: 1,
+	})
+	if res.Sparsifier != "deft" {
+		t.Fatalf("sparsifier %q", res.Sparsifier)
+	}
+	if res.TrainLoss.LastY() >= res.TrainLoss.Y[0] {
+		t.Fatalf("no learning: %v -> %v", res.TrainLoss.Y[0], res.TrainLoss.LastY())
+	}
+	if !strings.Contains(res.Summary(), "deft") {
+		t.Fatal("summary missing scheme name")
+	}
+}
+
+func TestFacadeSparsifierConstructors(t *testing.T) {
+	for name, f := range map[string]SparsifierFactory{
+		"deft":          NewDEFTFactory(),
+		"topk":          NewTopKFactory(),
+		"cltk":          NewCLTKFactory(),
+		"sidco":         NewSIDCoFactory(3),
+		"hardthreshold": NewHardThresholdFactory(0.5),
+	} {
+		s := f()
+		if s == nil || s.Name() == "" {
+			t.Errorf("%s: bad constructor", name)
+		}
+	}
+	if NewDEFT().Name() != "deft" {
+		t.Error("NewDEFT broken")
+	}
+	if NewDEFTWithOptions(DEFTOptions{}).Name() != "deft" {
+		t.Error("NewDEFTWithOptions broken")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	for _, w := range []Workload{
+		NewMLPWorkload(), NewVisionWorkload(), NewTextWorkload(), NewRecsysWorkload(),
+	} {
+		m := w.NewModel()
+		if len(m.Params()) == 0 {
+			t.Errorf("%s: no params", w.Name())
+		}
+	}
+}
+
+func TestFacadeCatalogs(t *testing.T) {
+	for _, name := range []string{"resnet18", "lstm", "ncf"} {
+		c, ok := CatalogByName(name)
+		if !ok || c.TotalSize() == 0 {
+			t.Errorf("catalog %s missing", name)
+		}
+	}
+}
+
+func TestFacadeTuneHardThreshold(t *testing.T) {
+	sample := []float64{0.1, -5, 3, 0.2, -0.3}
+	th := TuneHardThreshold(sample, 0.4)
+	if th != 3 {
+		t.Fatalf("threshold %v, want 3", th)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiment ids", len(ids))
+	}
+	out, err := RunExperiment("table2", true)
+	if err != nil || !strings.Contains(out, "table2") {
+		t.Fatalf("RunExperiment: %v\n%s", err, out)
+	}
+	if _, err := RunExperiment("nope", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

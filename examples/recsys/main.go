@@ -1,0 +1,42 @@
+// Recommender example: the paper's Fig 3c scenario. NCF (GMF + MLP towers)
+// trains on synthetic implicit feedback with DEFT at d = 0.1 against the
+// dense baseline; the metric is leave-one-out hit rate at 10, the paper's
+// hr@10.
+package main
+
+import (
+	"fmt"
+
+	deft "repro"
+)
+
+func main() {
+	const (
+		workers = 8
+		density = 0.1
+		iters   = 300
+	)
+
+	fmt.Printf("recsys workload (NCF), %d workers, d=%g\n\n", workers, density)
+	for _, setup := range []struct {
+		name    string
+		factory deft.SparsifierFactory
+		dense   bool
+	}{
+		{"deft", deft.NewDEFTFactory(), false},
+		{"dense", nil, true},
+	} {
+		w := deft.NewRecsysWorkload()
+		res := deft.Train(w, setup.factory, deft.TrainConfig{
+			Workers: workers, Density: density, LR: 1.0,
+			Iterations: iters, EvalEvery: 75, Seed: 5,
+			DisableSparse: setup.dense,
+		})
+		fmt.Printf("%s:\n", setup.name)
+		for i := range res.Metric.X {
+			fmt.Printf("  iter %-7.0f hr@10 = %5.1f%%\n", res.Metric.X[i], res.Metric.Y[i])
+		}
+	}
+	fmt.Println("\nexpected shape (paper Fig 3c): DEFT's hr@10 climbs to the dense level")
+	fmt.Println("(chance is ~20% with 1 positive among 51 candidates).")
+}

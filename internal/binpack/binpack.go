@@ -1,0 +1,124 @@
+// Package binpack implements the load-balancing allocators used by DEFT's
+// layer-to-worker assignment (paper §4.3, Algorithm 4) plus two simpler
+// policies used as ablation baselines.
+//
+// The paper's policy is the classical LPT (longest processing time) greedy:
+// repeatedly take the most expensive unallocated item and place it in the
+// currently lightest bin. LPT guarantees makespan ≤ 4/3·OPT + 1/3·max.
+package binpack
+
+import "sort"
+
+// Assignment maps bins to the item indices they hold. Bins[b] lists item
+// indices placed in bin b, in placement order.
+type Assignment struct {
+	Bins [][]int   // item indices per bin
+	Load []float64 // total cost per bin
+}
+
+// MaxLoad returns the largest bin load (the makespan).
+func (a *Assignment) MaxLoad() float64 {
+	m := 0.0
+	for _, l := range a.Load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// MinLoad returns the smallest bin load.
+func (a *Assignment) MinLoad() float64 {
+	if len(a.Load) == 0 {
+		return 0
+	}
+	m := a.Load[0]
+	for _, l := range a.Load[1:] {
+		if l < m {
+			m = l
+		}
+	}
+	return m
+}
+
+// LPT allocates items (given by their costs) to nBins bins with the
+// longest-processing-time greedy used by Algorithm 4: the costliest
+// remaining item goes to the currently lightest bin. Ties on bin load break
+// toward the lowest bin index, matching the argmin in the pseudocode.
+// It panics if nBins <= 0.
+func LPT(costs []float64, nBins int) *Assignment {
+	if nBins <= 0 {
+		panic("binpack: LPT with non-positive bin count")
+	}
+	a := &Assignment{
+		Bins: make([][]int, nBins),
+		Load: make([]float64, nBins),
+	}
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		if costs[order[x]] != costs[order[y]] {
+			return costs[order[x]] > costs[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	for _, item := range order {
+		b := argMinLoad(a.Load)
+		a.Bins[b] = append(a.Bins[b], item)
+		a.Load[b] += costs[item]
+	}
+	return a
+}
+
+// RoundRobin allocates item i to bin i mod nBins, ignoring costs. Ablation
+// baseline: no load awareness at all.
+func RoundRobin(costs []float64, nBins int) *Assignment {
+	if nBins <= 0 {
+		panic("binpack: RoundRobin with non-positive bin count")
+	}
+	a := &Assignment{
+		Bins: make([][]int, nBins),
+		Load: make([]float64, nBins),
+	}
+	for i, c := range costs {
+		b := i % nBins
+		a.Bins[b] = append(a.Bins[b], i)
+		a.Load[b] += c
+	}
+	return a
+}
+
+// Contiguous splits items into nBins consecutive runs of (nearly) equal
+// item count, preserving order. Ablation baseline: what you get by naively
+// chunking the layer list.
+func Contiguous(costs []float64, nBins int) *Assignment {
+	if nBins <= 0 {
+		panic("binpack: Contiguous with non-positive bin count")
+	}
+	a := &Assignment{
+		Bins: make([][]int, nBins),
+		Load: make([]float64, nBins),
+	}
+	n := len(costs)
+	for b := 0; b < nBins; b++ {
+		lo := b * n / nBins
+		hi := (b + 1) * n / nBins
+		for i := lo; i < hi; i++ {
+			a.Bins[b] = append(a.Bins[b], i)
+			a.Load[b] += costs[i]
+		}
+	}
+	return a
+}
+
+func argMinLoad(load []float64) int {
+	best, bi := load[0], 0
+	for i := 1; i < len(load); i++ {
+		if load[i] < best {
+			best, bi = load[i], i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,205 @@
+package binpack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func covers(a *Assignment, n int) bool {
+	seen := make([]bool, n)
+	total := 0
+	for _, bin := range a.Bins {
+		for _, item := range bin {
+			if item < 0 || item >= n || seen[item] {
+				return false
+			}
+			seen[item] = true
+			total++
+		}
+	}
+	return total == n
+}
+
+func randomCosts(seed uint64, maxN int) []float64 {
+	r := rng.New(seed)
+	n := 1 + r.Intn(maxN)
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = math.Abs(r.Norm()) * 100
+	}
+	return costs
+}
+
+func TestAllPoliciesPlaceEveryItemOnce(t *testing.T) {
+	policies := map[string]func([]float64, int) *Assignment{
+		"lpt": LPT, "roundrobin": RoundRobin, "contiguous": Contiguous,
+	}
+	for name, policy := range policies {
+		f := func(seed uint64) bool {
+			r := rng.New(seed)
+			costs := randomCosts(seed, 200)
+			nBins := 1 + r.Intn(20)
+			return covers(policy(costs, nBins), len(costs))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLoadsMatchBinContents(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		costs := randomCosts(seed, 100)
+		a := LPT(costs, 1+r.Intn(10))
+		for b, bin := range a.Bins {
+			sum := 0.0
+			for _, item := range bin {
+				sum += costs[item]
+			}
+			if math.Abs(sum-a.Load[b]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// LPT makespan guarantee: maxLoad <= 4/3 * OPT + max/3. Since OPT >= total/nBins
+// and OPT >= maxItem, we assert the sound bound maxLoad <= 4/3*LB + maxItem/3
+// where LB = max(total/nBins, maxItem).
+func TestLPTMakespanBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		costs := randomCosts(seed, 300)
+		nBins := 1 + r.Intn(16)
+		a := LPT(costs, nBins)
+		total, maxItem := 0.0, 0.0
+		for _, c := range costs {
+			total += c
+			if c > maxItem {
+				maxItem = c
+			}
+		}
+		lb := total / float64(nBins)
+		if maxItem > lb {
+			lb = maxItem
+		}
+		return a.MaxLoad() <= 4.0/3.0*lb+maxItem/3.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPTBeatsOrMatchesNaivePolicies(t *testing.T) {
+	// On heterogeneous costs LPT's makespan should not exceed contiguous
+	// chunking (which concentrates heavy prefixes).
+	costs := []float64{100, 90, 1, 1, 1, 1, 1, 1}
+	lpt := LPT(costs, 2).MaxLoad()
+	cont := Contiguous(costs, 2).MaxLoad()
+	if lpt > cont {
+		t.Fatalf("LPT makespan %v worse than contiguous %v", lpt, cont)
+	}
+	// Exact check: LPT on {100,90,1*6} with 2 bins -> bins {100,1,1} vs {90,1,1,1,1}: loads 102 / 94? Recompute:
+	// items sorted: 100,90,1,1,1,1,1,1 -> bin0:100, bin1:90, bin1:+1(91), bin1... until equal.
+	if lpt >= 190 {
+		t.Fatalf("LPT did not spread: %v", lpt)
+	}
+}
+
+func TestLPTDeterministic(t *testing.T) {
+	costs := randomCosts(42, 150)
+	a := LPT(costs, 7)
+	b := LPT(costs, 7)
+	for i := range a.Bins {
+		if len(a.Bins[i]) != len(b.Bins[i]) {
+			t.Fatal("LPT not deterministic")
+		}
+		for j := range a.Bins[i] {
+			if a.Bins[i][j] != b.Bins[i][j] {
+				t.Fatal("LPT not deterministic")
+			}
+		}
+	}
+}
+
+func TestSingleBin(t *testing.T) {
+	costs := []float64{3, 1, 2}
+	a := LPT(costs, 1)
+	if len(a.Bins[0]) != 3 || math.Abs(a.Load[0]-6) > 1e-12 {
+		t.Fatalf("single bin wrong: %+v", a)
+	}
+}
+
+func TestMoreBinsThanItems(t *testing.T) {
+	costs := []float64{5, 3}
+	a := LPT(costs, 4)
+	if !covers(a, 2) {
+		t.Fatal("items lost")
+	}
+	nonEmpty := 0
+	for _, bin := range a.Bins {
+		if len(bin) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("expected 2 non-empty bins, got %d", nonEmpty)
+	}
+}
+
+func TestEmptyItems(t *testing.T) {
+	for _, policy := range []func([]float64, int) *Assignment{LPT, RoundRobin, Contiguous} {
+		a := policy(nil, 3)
+		if a.MaxLoad() != 0 || a.MinLoad() != 0 {
+			t.Fatal("empty items should give zero loads")
+		}
+	}
+}
+
+func TestPanicsOnZeroBins(t *testing.T) {
+	for _, policy := range []func([]float64, int) *Assignment{LPT, RoundRobin, Contiguous} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for 0 bins")
+				}
+			}()
+			policy([]float64{1}, 0)
+		}()
+	}
+}
+
+func TestZeroCostItemsStillPlaced(t *testing.T) {
+	costs := []float64{0, 0, 0, 5}
+	a := LPT(costs, 2)
+	if !covers(a, 4) {
+		t.Fatal("zero-cost items must still be placed")
+	}
+}
+
+func TestMaxMinLoad(t *testing.T) {
+	a := &Assignment{Load: []float64{3, 9, 1}}
+	if a.MaxLoad() != 9 || a.MinLoad() != 1 {
+		t.Fatalf("MaxLoad/MinLoad wrong: %v %v", a.MaxLoad(), a.MinLoad())
+	}
+	empty := &Assignment{}
+	if empty.MaxLoad() != 0 || empty.MinLoad() != 0 {
+		t.Fatal("empty assignment loads should be 0")
+	}
+}
+
+func BenchmarkLPT_1000items_32bins(b *testing.B) {
+	costs := randomCosts(7, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LPT(costs, 32)
+	}
+}

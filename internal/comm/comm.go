@@ -1,0 +1,316 @@
+// Package comm simulates the multi-worker communication substrate the paper
+// runs on MPI + NCCL: ranks, barriers, broadcast, all-gather and all-reduce.
+//
+// Workers run as goroutines inside one process. Collectives are implemented
+// over a generation-counted rendezvous: every rank deposits its
+// contribution, the last arrival computes the combined result, and all ranks
+// pick it up. This gives real synchronisation semantics (a rank cannot race
+// ahead of a collective), so phenomena like gradient build-up are measured
+// from genuinely independent per-rank data rather than assumed.
+//
+// Wall-clock time inside a simulated collective is meaningless as a proxy
+// for network time, so the package also provides the α–β cost model the
+// paper itself uses in §5.3 to discuss communication time.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cluster owns the shared rendezvous state for n ranks.
+type Cluster struct {
+	n    int
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	arrived    int
+	generation uint64
+	slots      []any
+	result     any
+
+	traffic TrafficCounter
+}
+
+// NewCluster creates a cluster of n ranks. It panics if n <= 0.
+func NewCluster(n int) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: cluster size %d must be positive", n))
+	}
+	c := &Cluster{n: n, slots: make([]any, n)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Cluster) Size() int { return c.n }
+
+// Traffic returns a snapshot of the accumulated traffic counters.
+func (c *Cluster) Traffic() TrafficCounter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traffic
+}
+
+// ResetTraffic zeroes the traffic counters.
+func (c *Cluster) ResetTraffic() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.traffic = TrafficCounter{}
+}
+
+// Run starts fn on every rank concurrently and waits for all to finish.
+// Each invocation receives a rank-bound Comm handle.
+func (c *Cluster) Run(fn func(comm *Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(c.n)
+	for rank := 0; rank < c.n; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(&Comm{rank: rank, cluster: c})
+		}(rank)
+	}
+	wg.Wait()
+}
+
+// Comm is a rank-bound handle for collective operations.
+type Comm struct {
+	rank    int
+	cluster *Cluster
+}
+
+// Rank returns this handle's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the cluster size.
+func (c *Comm) Size() int { return c.cluster.n }
+
+// exchange is the rendezvous core. Every rank deposits contrib; the last
+// arrival runs combine over the deposited slots (indexed by rank) and the
+// shared result is returned to every rank. combine runs exactly once per
+// generation, under the cluster lock.
+func (c *Comm) exchange(contrib any, combine func(slots []any) any) any {
+	cl := c.cluster
+	cl.mu.Lock()
+	gen := cl.generation
+	cl.slots[c.rank] = contrib
+	cl.arrived++
+	if cl.arrived == cl.n {
+		cl.result = combine(cl.slots)
+		for i := range cl.slots {
+			cl.slots[i] = nil
+		}
+		cl.arrived = 0
+		cl.generation++
+		cl.cond.Broadcast()
+	} else {
+		for gen == cl.generation {
+			cl.cond.Wait()
+		}
+	}
+	res := cl.result
+	cl.mu.Unlock()
+	return res
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.exchange(nil, func([]any) any { return nil })
+}
+
+// BroadcastInts distributes root's slice to every rank. Every rank receives
+// a fresh copy (safe to mutate). Non-root ranks may pass nil.
+func (c *Comm) BroadcastInts(root int, data []int) []int {
+	c.checkRoot(root)
+	res := c.exchange(data, func(slots []any) any {
+		src, _ := slots[root].([]int)
+		c.cluster.traffic.BroadcastInts += int64(len(src))
+		return src
+	})
+	src, _ := res.([]int)
+	out := make([]int, len(src))
+	copy(out, src)
+	return out
+}
+
+// BroadcastFloats distributes root's slice to every rank as a fresh copy.
+func (c *Comm) BroadcastFloats(root int, data []float64) []float64 {
+	c.checkRoot(root)
+	res := c.exchange(data, func(slots []any) any {
+		src, _ := slots[root].([]float64)
+		c.cluster.traffic.BroadcastFloats += int64(len(src))
+		return src
+	})
+	src, _ := res.([]float64)
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out
+}
+
+// BroadcastIntsNested distributes root's slice-of-slices (e.g. the
+// bin-packing result of DEFT's Algorithm 4) to every rank as a deep copy.
+func (c *Comm) BroadcastIntsNested(root int, data [][]int) [][]int {
+	c.checkRoot(root)
+	res := c.exchange(data, func(slots []any) any {
+		src, _ := slots[root].([][]int)
+		total := 0
+		for _, s := range src {
+			total += len(s)
+		}
+		c.cluster.traffic.BroadcastInts += int64(total)
+		return src
+	})
+	src, _ := res.([][]int)
+	out := make([][]int, len(src))
+	for i, s := range src {
+		out[i] = make([]int, len(s))
+		copy(out[i], s)
+	}
+	return out
+}
+
+// AllGatherInts concatenates every rank's contribution in rank order and
+// returns a fresh copy of the concatenation to every rank.
+func (c *Comm) AllGatherInts(data []int) []int {
+	res := c.exchange(data, func(slots []any) any {
+		total := 0
+		for _, s := range slots {
+			v, _ := s.([]int)
+			total += len(v)
+		}
+		out := make([]int, 0, total)
+		for _, s := range slots {
+			v, _ := s.([]int)
+			out = append(out, v...)
+		}
+		c.cluster.traffic.AllGatherInts += int64(total)
+		return out
+	})
+	shared, _ := res.([]int)
+	out := make([]int, len(shared))
+	copy(out, shared)
+	return out
+}
+
+// AllGatherUniqueInts gathers every rank's index set and returns the sorted
+// union without duplicates. This is the collective on line 7 of Algorithm 1:
+// the resulting length, relative to the per-rank k, is exactly the gradient
+// build-up the paper measures.
+func (c *Comm) AllGatherUniqueInts(data []int) []int {
+	res := c.exchange(data, func(slots []any) any {
+		total := 0
+		for _, s := range slots {
+			v, _ := s.([]int)
+			total += len(v)
+		}
+		// Traffic: every rank ships its own k indices.
+		c.cluster.traffic.AllGatherInts += int64(total)
+		seen := make(map[int]struct{}, total)
+		out := make([]int, 0, total)
+		for _, s := range slots {
+			v, _ := s.([]int)
+			for _, idx := range v {
+				if _, ok := seen[idx]; !ok {
+					seen[idx] = struct{}{}
+					out = append(out, idx)
+				}
+			}
+		}
+		sortInts(out)
+		return out
+	})
+	shared, _ := res.([]int)
+	out := make([]int, len(shared))
+	copy(out, shared)
+	return out
+}
+
+// AllReduceSum element-wise sums every rank's vector (all must have equal
+// length) and returns a fresh copy of the sum to every rank.
+func (c *Comm) AllReduceSum(data []float64) []float64 {
+	res := c.exchange(data, func(slots []any) any {
+		first, _ := slots[0].([]float64)
+		sum := make([]float64, len(first))
+		for r, s := range slots {
+			v, _ := s.([]float64)
+			if len(v) != len(sum) {
+				panic(fmt.Sprintf("comm: AllReduceSum length mismatch: rank %d has %d, rank 0 has %d",
+					r, len(v), len(sum)))
+			}
+			for i, x := range v {
+				sum[i] += x
+			}
+		}
+		c.cluster.traffic.AllReduceFloats += int64(len(sum)) * int64(c.cluster.n)
+		return sum
+	})
+	shared, _ := res.([]float64)
+	out := make([]float64, len(shared))
+	copy(out, shared)
+	return out
+}
+
+// AllReduceMax element-wise maximum across ranks.
+func (c *Comm) AllReduceMax(data []float64) []float64 {
+	res := c.exchange(data, func(slots []any) any {
+		first, _ := slots[0].([]float64)
+		m := make([]float64, len(first))
+		copy(m, first)
+		for _, s := range slots[1:] {
+			v, _ := s.([]float64)
+			if len(v) != len(m) {
+				panic("comm: AllReduceMax length mismatch")
+			}
+			for i, x := range v {
+				if x > m[i] {
+					m[i] = x
+				}
+			}
+		}
+		c.cluster.traffic.AllReduceFloats += int64(len(m)) * int64(c.cluster.n)
+		return m
+	})
+	shared, _ := res.([]float64)
+	out := make([]float64, len(shared))
+	copy(out, shared)
+	return out
+}
+
+func (c *Comm) checkRoot(root int) {
+	if root < 0 || root >= c.cluster.n {
+		panic(fmt.Sprintf("comm: root %d out of range [0,%d)", root, c.cluster.n))
+	}
+}
+
+// TrafficCounter accumulates logical element counts moved by collectives.
+// Element counts (not bytes) keep the numbers precision-agnostic; multiply
+// by 4 for float32-on-the-wire as in the paper's systems.
+type TrafficCounter struct {
+	AllGatherInts   int64
+	AllReduceFloats int64
+	BroadcastInts   int64
+	BroadcastFloats int64
+}
+
+// Total returns the sum of all counters.
+func (t TrafficCounter) Total() int64 {
+	return t.AllGatherInts + t.AllReduceFloats + t.BroadcastInts + t.BroadcastFloats
+}
+
+// sortInts is insertion-free small wrapper around sort for []int; kept
+// local to avoid importing sort in several files.
+func sortInts(v []int) {
+	// Simple pdq via sort.Ints would be fine; manual shellsort avoids the
+	// interface overhead for the very hot union path.
+	n := len(v)
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			tmp := v[i]
+			j := i
+			for ; j >= gap && v[j-gap] > tmp; j -= gap {
+				v[j] = v[j-gap]
+			}
+			v[j] = tmp
+		}
+	}
+}

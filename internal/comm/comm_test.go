@@ -1,0 +1,351 @@
+package comm
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestClusterPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(0)
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	const n = 8
+	c := NewCluster(n)
+	var phase int32
+	var violations int32
+	c.Run(func(cm *Comm) {
+		atomic.AddInt32(&phase, 1)
+		cm.Barrier()
+		// After the barrier, all ranks must have incremented.
+		if atomic.LoadInt32(&phase) != n {
+			atomic.AddInt32(&violations, 1)
+		}
+	})
+	if violations != 0 {
+		t.Fatalf("%d ranks passed barrier early", violations)
+	}
+}
+
+func TestBroadcastInts(t *testing.T) {
+	const n = 5
+	c := NewCluster(n)
+	results := make([][]int, n)
+	c.Run(func(cm *Comm) {
+		var data []int
+		if cm.Rank() == 2 {
+			data = []int{10, 20, 30}
+		}
+		results[cm.Rank()] = cm.BroadcastInts(2, data)
+	})
+	for r, got := range results {
+		if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+			t.Fatalf("rank %d got %v", r, got)
+		}
+	}
+	// Results must be independent copies.
+	results[0][0] = -1
+	if results[1][0] == -1 {
+		t.Fatal("broadcast results alias each other")
+	}
+}
+
+func TestBroadcastFloats(t *testing.T) {
+	const n = 3
+	c := NewCluster(n)
+	results := make([][]float64, n)
+	c.Run(func(cm *Comm) {
+		var data []float64
+		if cm.Rank() == 0 {
+			data = []float64{1.5, 2.5}
+		}
+		results[cm.Rank()] = cm.BroadcastFloats(0, data)
+	})
+	for r := range results {
+		if len(results[r]) != 2 || results[r][1] != 2.5 {
+			t.Fatalf("rank %d got %v", r, results[r])
+		}
+	}
+}
+
+func TestBroadcastPanicsOnBadRoot(t *testing.T) {
+	c := NewCluster(2)
+	done := make(chan bool, 2)
+	c.Run(func(cm *Comm) {
+		defer func() { done <- recover() != nil }()
+		cm.BroadcastInts(5, nil)
+	})
+	for i := 0; i < 2; i++ {
+		if !<-done {
+			t.Fatal("expected panic for out-of-range root")
+		}
+	}
+}
+
+func TestBroadcastIntsNested(t *testing.T) {
+	const n = 4
+	c := NewCluster(n)
+	results := make([][][]int, n)
+	c.Run(func(cm *Comm) {
+		var data [][]int
+		if cm.Rank() == 1 {
+			data = [][]int{{1}, {2, 3}, nil, {4}}
+		}
+		results[cm.Rank()] = cm.BroadcastIntsNested(1, data)
+	})
+	for r := range results {
+		got := results[r]
+		if len(got) != 4 || got[1][1] != 3 || len(got[2]) != 0 {
+			t.Fatalf("rank %d got %v", r, got)
+		}
+	}
+	results[0][0][0] = -9
+	if results[2][0][0] == -9 {
+		t.Fatal("nested broadcast results alias")
+	}
+}
+
+func TestAllGatherIntsOrderAndContent(t *testing.T) {
+	const n = 4
+	c := NewCluster(n)
+	results := make([][]int, n)
+	c.Run(func(cm *Comm) {
+		results[cm.Rank()] = cm.AllGatherInts([]int{cm.Rank() * 10, cm.Rank()*10 + 1})
+	})
+	want := []int{0, 1, 10, 11, 20, 21, 30, 31}
+	for r := range results {
+		if len(results[r]) != len(want) {
+			t.Fatalf("rank %d got %v", r, results[r])
+		}
+		for i := range want {
+			if results[r][i] != want[i] {
+				t.Fatalf("rank %d got %v, want %v (rank order!)", r, results[r], want)
+			}
+		}
+	}
+}
+
+func TestAllGatherUniqueInts(t *testing.T) {
+	const n = 3
+	c := NewCluster(n)
+	results := make([][]int, n)
+	c.Run(func(cm *Comm) {
+		// Overlapping sets: union must deduplicate.
+		data := []int{1, 5, cm.Rank() + 100}
+		results[cm.Rank()] = cm.AllGatherUniqueInts(data)
+	})
+	want := []int{1, 5, 100, 101, 102}
+	for r := range results {
+		got := results[r]
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("rank %d: union not sorted: %v", r, got)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rank %d got %v, want %v", r, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rank %d got %v, want %v", r, got, want)
+			}
+		}
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	const n = 6
+	c := NewCluster(n)
+	results := make([][]float64, n)
+	c.Run(func(cm *Comm) {
+		results[cm.Rank()] = cm.AllReduceSum([]float64{1, float64(cm.Rank())})
+	})
+	// Sum of ranks 0..5 = 15.
+	for r := range results {
+		if results[r][0] != n || results[r][1] != 15 {
+			t.Fatalf("rank %d got %v", r, results[r])
+		}
+	}
+}
+
+func TestAllReduceSumMatchesSerial(t *testing.T) {
+	const n, sz = 7, 513
+	vecs := make([][]float64, n)
+	for r := range vecs {
+		rr := rng.New(uint64(r + 1))
+		vecs[r] = make([]float64, sz)
+		for i := range vecs[r] {
+			vecs[r][i] = rr.Norm()
+		}
+	}
+	want := make([]float64, sz)
+	for _, v := range vecs {
+		for i, x := range v {
+			want[i] += x
+		}
+	}
+	c := NewCluster(n)
+	results := make([][]float64, n)
+	c.Run(func(cm *Comm) {
+		results[cm.Rank()] = cm.AllReduceSum(vecs[cm.Rank()])
+	})
+	for r := range results {
+		for i := range want {
+			if math.Abs(results[r][i]-want[i]) > 1e-12 {
+				t.Fatalf("rank %d element %d: got %v want %v", r, i, results[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	const n = 4
+	c := NewCluster(n)
+	results := make([][]float64, n)
+	c.Run(func(cm *Comm) {
+		results[cm.Rank()] = cm.AllReduceMax([]float64{float64(cm.Rank()), -float64(cm.Rank())})
+	})
+	for r := range results {
+		if results[r][0] != 3 || results[r][1] != 0 {
+			t.Fatalf("rank %d got %v", r, results[r])
+		}
+	}
+}
+
+func TestRepeatedCollectivesDoNotDeadlock(t *testing.T) {
+	const n, rounds = 8, 200
+	c := NewCluster(n)
+	var bad int32
+	c.Run(func(cm *Comm) {
+		for i := 0; i < rounds; i++ {
+			sum := cm.AllReduceSum([]float64{1})
+			if sum[0] != n {
+				atomic.AddInt32(&bad, 1)
+			}
+			got := cm.AllGatherInts([]int{i})
+			if len(got) != n {
+				atomic.AddInt32(&bad, 1)
+			}
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d bad results across rounds", bad)
+	}
+}
+
+func TestSingleRankCluster(t *testing.T) {
+	c := NewCluster(1)
+	c.Run(func(cm *Comm) {
+		if got := cm.AllReduceSum([]float64{4})[0]; got != 4 {
+			t.Errorf("single-rank allreduce = %v", got)
+		}
+		if got := cm.AllGatherUniqueInts([]int{3, 3, 1}); len(got) != 2 {
+			t.Errorf("single-rank union = %v", got)
+		}
+	})
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	const n = 4
+	c := NewCluster(n)
+	c.Run(func(cm *Comm) {
+		cm.AllGatherInts([]int{1, 2}) // 8 ints total
+		cm.AllReduceSum([]float64{1, 2, 3})
+		cm.BroadcastInts(0, []int{9})
+	})
+	tr := c.Traffic()
+	if tr.AllGatherInts != 8 {
+		t.Errorf("AllGatherInts = %d, want 8", tr.AllGatherInts)
+	}
+	if tr.AllReduceFloats != 12 {
+		t.Errorf("AllReduceFloats = %d, want 12", tr.AllReduceFloats)
+	}
+	if tr.BroadcastInts != 1 {
+		t.Errorf("BroadcastInts = %d, want 1", tr.BroadcastInts)
+	}
+	if tr.Total() != 21 {
+		t.Errorf("Total = %d, want 21", tr.Total())
+	}
+	c.ResetTraffic()
+	if c.Traffic().Total() != 0 {
+		t.Error("ResetTraffic failed")
+	}
+}
+
+func TestConcurrentClustersIndependent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewCluster(3)
+			c.Run(func(cm *Comm) {
+				for j := 0; j < 50; j++ {
+					cm.Barrier()
+				}
+			})
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{Alpha: 1, Beta: 0.001}
+	if m.AllGatherSparse(1, 100) != 0 {
+		t.Error("n=1 should cost 0")
+	}
+	// n=4, k=100: log2(4)*1 + 2*3*100*0.001 = 2 + 0.6
+	if got := m.AllGatherSparse(4, 100); math.Abs(got-2.6) > 1e-12 {
+		t.Errorf("AllGatherSparse = %v, want 2.6", got)
+	}
+	// Broadcast n=4,k=0: 2 rounds * 1
+	if got := m.Broadcast(4, 0); got != 2 {
+		t.Errorf("Broadcast = %v, want 2", got)
+	}
+	if m.Broadcast(1, 10) != 0 {
+		t.Error("broadcast to self should cost 0")
+	}
+	// AllReduceDense n=2, ng=1000: 2*1*1 + 2*(1/2)*1000*0.001 = 2+1
+	if got := m.AllReduceDense(2, 1000); math.Abs(got-3) > 1e-12 {
+		t.Errorf("AllReduceDense = %v, want 3", got)
+	}
+}
+
+func TestSelectionCost(t *testing.T) {
+	if SelectionCost(0, 5) != 0 {
+		t.Error("ng=0 should cost 0")
+	}
+	if SelectionCost(100, 1) != 100 {
+		t.Error("k=1 should cost ng")
+	}
+	if got, want := SelectionCost(100, 8), 100*math.Log(8); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SelectionCost = %v, want %v", got, want)
+	}
+	// Monotone in k.
+	if SelectionCost(1000, 100) <= SelectionCost(1000, 10) {
+		t.Error("cost should grow with k")
+	}
+}
+
+func BenchmarkAllReduceSum_8ranks_64k(b *testing.B) {
+	const n = 8
+	data := make([][]float64, n)
+	for r := range data {
+		data[r] = make([]float64, 1<<16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(n)
+		c.Run(func(cm *Comm) {
+			cm.AllReduceSum(data[cm.Rank()])
+		})
+	}
+}

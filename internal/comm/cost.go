@@ -1,0 +1,65 @@
+package comm
+
+import "math"
+
+// CostModel is the α–β communication model the paper uses in §5.3:
+// a collective over n workers moving k elements per worker costs
+// latency·α + volume·β seconds. Alpha is per-message latency in seconds,
+// Beta is per-element transfer time in seconds (i.e. 1/bandwidth scaled by
+// element size).
+type CostModel struct {
+	Alpha float64 // startup latency per communication round (s)
+	Beta  float64 // per-element transfer cost (s/element)
+}
+
+// DefaultCostModel approximates the paper's 4×V100-per-node cluster with
+// 10 GbE-class interconnect and float32 gradients: α = 30 µs,
+// β = 4 bytes / 10 Gbit/s ≈ 3.2 ns per element.
+func DefaultCostModel() CostModel {
+	return CostModel{Alpha: 30e-6, Beta: 3.2e-9}
+}
+
+// AllGatherSparse returns the modeled time of the sparse all-gather +
+// all-reduce pipeline of Algorithm 1 used by Top-k style sparsifiers:
+// log(n)·α + 2(n−1)·k·β, the expression quoted in §5.3 (from Shi et al.).
+// k is the per-worker selected count (index+value pairs).
+func (m CostModel) AllGatherSparse(n, k int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n))*m.Alpha + 2*float64(n-1)*float64(k)*m.Beta
+}
+
+// Broadcast returns the modeled time of broadcasting k elements from one
+// root to n−1 peers with a binomial tree: ceil(log2 n)·(α + k·β).
+func (m CostModel) Broadcast(n, k int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(n)))
+	return rounds * (m.Alpha + float64(k)*m.Beta)
+}
+
+// AllReduceDense returns the modeled time of a ring all-reduce over a dense
+// vector of ng elements: 2(n−1)·α + 2·(n−1)/n·ng·β.
+func (m CostModel) AllReduceDense(n, ng int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	return 2*(fn-1)*m.Alpha + 2*(fn-1)/fn*float64(ng)*m.Beta
+}
+
+// SelectionCost returns the paper's computational cost model for finding
+// the top k elements of an ng-element vector: ng·log(k) (natural log, the
+// constant factor is irrelevant to the speedups in Fig 9). k < 2 costs ng
+// (a plain scan still reads every element).
+func SelectionCost(ng, k int) float64 {
+	if ng <= 0 {
+		return 0
+	}
+	if k < 2 {
+		return float64(ng)
+	}
+	return float64(ng) * math.Log(float64(k))
+}

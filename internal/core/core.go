@@ -1,0 +1,297 @@
+// Package core implements DEFT, the paper's primary contribution: a
+// gradient sparsifier that (1) partitions the flat gradient vector into
+// per-layer fragments with a second stage that splits oversized layers
+// (Algorithm 2), (2) assigns each fragment a local k proportional to its
+// gradient norm (Algorithm 3), (3) allocates fragments to workers with LPT
+// bin packing on the n_g·log k selection-cost model (Algorithm 4), and
+// (4) has each worker run top-k only inside its own fragments
+// (Algorithm 5).
+//
+// Because fragment ownership is exclusive, per-worker index sets are
+// disjoint: the all-gathered union has exactly Σ k_x elements, so the
+// realised density equals the user-set density regardless of cluster size —
+// gradient build-up is eliminated. Because each worker searches only ~1/n
+// of the vector, selection cost shrinks superlinearly with n (Eq. 9).
+package core
+
+import (
+	"math"
+
+	"repro/internal/binpack"
+	"repro/internal/sparsifier"
+	"repro/internal/topk"
+)
+
+// Fragment is one unit of DEFT's partition: a contiguous index range
+// [Start, End) of the flat gradient vector, belonging to a single model
+// layer. After the second partition stage a large model layer contributes
+// several fragments. The paper calls fragments "layers" after Algorithm 2
+// ("for simplicity, we refer to all partitioned fractions as layers").
+type Fragment struct {
+	Name  string // originating model layer name
+	Start int
+	End   int
+
+	// Per-iteration state, filled by AssignK.
+	Norm float64 // L2 norm of the fragment's gradients
+	K    int     // local k assigned by Algorithm 3
+}
+
+// Size returns the number of gradients in the fragment.
+func (f Fragment) Size() int { return f.End - f.Start }
+
+// Cost returns the fragment's selection cost n_g,x · log k_x used by
+// Algorithm 4 (line 8). Fragments with k < 2 cost their size: a scan still
+// reads every element.
+func (f Fragment) Cost() float64 {
+	if f.Size() == 0 {
+		return 0
+	}
+	if f.K < 2 {
+		return float64(f.Size())
+	}
+	return float64(f.Size()) * math.Log(float64(f.K))
+}
+
+// PartitionOpts controls Algorithm 2.
+type PartitionOpts struct {
+	// SecondStage enables splitting layers larger than n_g / n_workers into
+	// n_workers equal fractions. Disabling it is the ablation for §4.1.
+	SecondStage bool
+}
+
+// Partition implements Algorithm 2: two-stage gradient vector partitioning.
+// The first stage is the model's own layer boundaries; the second stage
+// splits every layer larger than n_g / nWorkers into nWorkers fractions
+// whose sizes differ by at most one. The returned fragments tile the
+// original index space exactly.
+func Partition(layers []sparsifier.Layer, nWorkers int, opts PartitionOpts) []Fragment {
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	ng := 0
+	for _, l := range layers {
+		ng += l.Size()
+	}
+	threPart := ng / nWorkers // thre_part in Algorithm 2
+	frags := make([]Fragment, 0, len(layers))
+	for _, l := range layers {
+		size := l.Size()
+		if size == 0 {
+			continue
+		}
+		if !opts.SecondStage || size <= threPart || nWorkers == 1 {
+			frags = append(frags, Fragment{Name: l.Name, Start: l.Start, End: l.End})
+			continue
+		}
+		// Second stage: split into nWorkers fractions of size
+		// quotient(+1), exactly as lines 7–18 of Algorithm 2.
+		quotient := size / nWorkers
+		remainder := size % nWorkers
+		pos := l.Start
+		for i := 0; i < nWorkers; i++ {
+			sz := quotient
+			if remainder > 0 {
+				sz++
+				remainder--
+			}
+			if sz == 0 {
+				continue // more workers than elements
+			}
+			frags = append(frags, Fragment{Name: l.Name, Start: pos, End: pos + sz})
+			pos += sz
+		}
+	}
+	return frags
+}
+
+// AssignK implements Algorithm 3: gradient-norm-based local k assignment.
+// Fragments are processed in descending norm order (the paper's priority);
+// each receives k_remain · norm/norm_remain, clamped to [1, size] (at least
+// one gradient per fragment so every layer keeps contributing to updates).
+// The fragment Norm and K fields are filled in place. kTotal is k = n_g·d.
+//
+// Norms must already be stored in frags (use ComputeNorms). Fragments with
+// zero remaining norm get k_temp = 0 → k = 1 per line 13's max(1, ·).
+func AssignK(frags []Fragment, kTotal int) {
+	// Priority order: descending norm. Sort an index permutation so the
+	// caller's fragment order (positional) is preserved.
+	order := make([]int, len(frags))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort on norms is fine: fragment counts are O(100).
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && frags[order[j-1]].Norm < frags[order[j]].Norm {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	kRemain := float64(kTotal)
+	normRemain := 0.0
+	for i := range frags {
+		normRemain += frags[i].Norm
+	}
+	for _, fi := range order {
+		f := &frags[fi]
+		var kTemp float64
+		if normRemain > 0 {
+			kTemp = kRemain * f.Norm / normRemain
+		}
+		if float64(f.Size()) < kTemp {
+			f.K = f.Size()
+		} else {
+			f.K = int(math.Max(1, kTemp)) // truncation follows the int cast in the reference code
+		}
+		if f.K > f.Size() {
+			f.K = f.Size()
+		}
+		kRemain -= float64(f.K)
+		normRemain -= f.Norm
+	}
+}
+
+// AssignUniform is the ablation counterpart of AssignK: every fragment gets
+// k proportional to its size (uniform density), ignoring norms.
+func AssignUniform(frags []Fragment, kTotal int) {
+	ng := 0
+	for i := range frags {
+		ng += frags[i].Size()
+	}
+	if ng == 0 {
+		return
+	}
+	for i := range frags {
+		f := &frags[i]
+		k := int(math.Round(float64(kTotal) * float64(f.Size()) / float64(ng)))
+		if k < 1 {
+			k = 1
+		}
+		if k > f.Size() {
+			k = f.Size()
+		}
+		f.K = k
+	}
+}
+
+// ComputeNorms fills each fragment's Norm field with the L2 norm of its
+// slice of grad.
+func ComputeNorms(frags []Fragment, grad []float64) {
+	for i := range frags {
+		f := &frags[i]
+		var scale, ssq float64 = 0, 1
+		for _, x := range grad[f.Start:f.End] {
+			if x == 0 {
+				continue
+			}
+			if x < 0 {
+				x = -x
+			}
+			if scale < x {
+				r := scale / x
+				ssq = 1 + ssq*r*r
+				scale = x
+			} else {
+				r := x / scale
+				ssq += r * r
+			}
+		}
+		f.Norm = scale * math.Sqrt(ssq)
+	}
+}
+
+// AllocPolicy selects the bin-packing policy for Allocate.
+type AllocPolicy int
+
+// Allocation policies. LPTPolicy is the paper's Algorithm 4; the others are
+// ablation baselines (§5 of DESIGN.md).
+const (
+	LPTPolicy AllocPolicy = iota
+	RoundRobinPolicy
+	ContiguousPolicy
+)
+
+// Allocate implements the decision step of Algorithm 4: given fragments
+// with K assigned, pack them into nWorkers bins by selection cost. The
+// returned slice maps worker -> fragment indices.
+func Allocate(frags []Fragment, nWorkers int, policy AllocPolicy) [][]int {
+	costs := make([]float64, len(frags))
+	for i := range frags {
+		costs[i] = frags[i].Cost()
+	}
+	var a *binpack.Assignment
+	switch policy {
+	case RoundRobinPolicy:
+		a = binpack.RoundRobin(costs, nWorkers)
+	case ContiguousPolicy:
+		a = binpack.Contiguous(costs, nWorkers)
+	default:
+		a = binpack.LPT(costs, nWorkers)
+	}
+	return a.Bins
+}
+
+// SelectLayerwise implements Algorithm 5: run top-k inside each allocated
+// fragment and shift the local indices by the fragment start. The result is
+// this worker's global index list; k_i = Σ k_x over owned fragments.
+func SelectLayerwise(frags []Fragment, alloc []int, grad []float64) []int {
+	total := 0
+	for _, fi := range alloc {
+		total += frags[fi].K
+	}
+	indices := make([]int, 0, total)
+	for _, fi := range alloc {
+		f := frags[fi]
+		local := topk.HeapTopK(grad[f.Start:f.End], f.K)
+		for _, li := range local {
+			indices = append(indices, li+f.Start)
+		}
+	}
+	return indices
+}
+
+// WorkerCost returns Σ cost over the fragments allocated to one worker
+// (Eq. 4), and MaxWorkerCost the maximum over all workers (Eq. 5) — the
+// quantity whose reduction gives DEFT its speedup.
+func WorkerCost(frags []Fragment, alloc []int) float64 {
+	c := 0.0
+	for _, fi := range alloc {
+		c += frags[fi].Cost()
+	}
+	return c
+}
+
+// MaxWorkerCost returns max_i WorkerCost (Eq. 5).
+func MaxWorkerCost(frags []Fragment, bins [][]int) float64 {
+	m := 0.0
+	for _, alloc := range bins {
+		if c := WorkerCost(frags, alloc); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// TrivialCost returns C_trivial(n) = (n_g/n)·log(k/n) from Eq. 7 — the cost
+// of the coarse-grained even split the paper analyses as DEFT's worst case.
+func TrivialCost(ng, k, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	fng := float64(ng) / float64(n)
+	fk := float64(k) / float64(n)
+	if fk < 2 {
+		return fng
+	}
+	return fng * math.Log(fk)
+}
+
+// FullCost returns n_g·log k, the cost model of a whole-vector top-k
+// (Top-k and CLT-k sparsifiers).
+func FullCost(ng, k int) float64 {
+	if k < 2 {
+		return float64(ng)
+	}
+	return float64(ng) * math.Log(float64(k))
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sparsifier"
+)
+
+// makeLayers builds contiguous layers with the given sizes.
+func makeLayers(sizes ...int) []sparsifier.Layer {
+	layers := make([]sparsifier.Layer, len(sizes))
+	pos := 0
+	for i, s := range sizes {
+		layers[i] = sparsifier.Layer{Name: "l", Start: pos, End: pos + s}
+		pos += s
+	}
+	return layers
+}
+
+// fragsTile checks that fragments cover [0, ng) exactly once, in order.
+func fragsTile(frags []Fragment, ng int) bool {
+	pos := 0
+	for _, f := range frags {
+		if f.Start != pos || f.End < f.Start {
+			return false
+		}
+		pos = f.End
+	}
+	return pos == ng
+}
+
+func TestPartitionTilesVector(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nLayers := 1 + r.Intn(30)
+		sizes := make([]int, nLayers)
+		ng := 0
+		for i := range sizes {
+			sizes[i] = r.Intn(5000)
+			ng += sizes[i]
+		}
+		n := 1 + r.Intn(32)
+		frags := Partition(makeLayers(sizes...), n, PartitionOpts{SecondStage: true})
+		return fragsTile(frags, ng)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSecondStageBoundsFragmentSize(t *testing.T) {
+	// After stage two, no fragment may exceed ceil(threPart) where
+	// threPart = ng/n: a layer larger than threPart is split into n parts
+	// of size <= ceil(size/n) <= ceil(ng/n).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nLayers := 1 + r.Intn(10)
+		sizes := make([]int, nLayers)
+		ng := 0
+		for i := range sizes {
+			sizes[i] = 1 + r.Intn(10000)
+			ng += sizes[i]
+		}
+		n := 2 + r.Intn(31)
+		frags := Partition(makeLayers(sizes...), n, PartitionOpts{SecondStage: true})
+		bound := ng/n + 1 // quotient + 1 for the remainder-carrying parts
+		if ng/n == 0 {
+			bound = ng // degenerate tiny models can't be bounded below layer size
+		}
+		for _, fr := range frags {
+			if fr.Size() > bound && fr.Size() > (ng+n-1)/n {
+				// A layer smaller than threPart is kept whole, which is <= threPart <= bound.
+				// A split layer yields parts <= ceil(size/n) <= ceil(ng/n).
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionNoSecondStageKeepsLayers(t *testing.T) {
+	layers := makeLayers(100, 5, 300)
+	frags := Partition(layers, 4, PartitionOpts{SecondStage: false})
+	if len(frags) != 3 {
+		t.Fatalf("got %d fragments, want 3", len(frags))
+	}
+	for i, f := range frags {
+		if f.Start != layers[i].Start || f.End != layers[i].End {
+			t.Fatalf("fragment %d = %+v, want layer %+v", i, f, layers[i])
+		}
+	}
+}
+
+func TestPartitionSplitsBigLayer(t *testing.T) {
+	// One layer of 103 with 4 workers: threPart=103/4=25, split into 4
+	// parts sized 26,26,26,25 (quotient 25, remainder 3).
+	frags := Partition(makeLayers(103), 4, PartitionOpts{SecondStage: true})
+	if len(frags) != 4 {
+		t.Fatalf("got %d fragments, want 4", len(frags))
+	}
+	wantSizes := []int{26, 26, 26, 25}
+	for i, f := range frags {
+		if f.Size() != wantSizes[i] {
+			t.Fatalf("fragment %d size %d, want %d", i, f.Size(), wantSizes[i])
+		}
+	}
+	if !fragsTile(frags, 103) {
+		t.Fatal("fragments do not tile")
+	}
+}
+
+func TestPartitionDropsEmptyLayers(t *testing.T) {
+	frags := Partition(makeLayers(10, 0, 20), 2, PartitionOpts{SecondStage: true})
+	for _, f := range frags {
+		if f.Size() == 0 {
+			t.Fatal("empty fragment emitted")
+		}
+	}
+	if !fragsTile(frags, 30) {
+		t.Fatal("tiling broken after dropping empty layer")
+	}
+}
+
+func TestPartitionSingleWorkerNoSplit(t *testing.T) {
+	frags := Partition(makeLayers(1000), 1, PartitionOpts{SecondStage: true})
+	if len(frags) != 1 || frags[0].Size() != 1000 {
+		t.Fatalf("single worker should not split: %+v", frags)
+	}
+}
+
+func TestPartitionMoreWorkersThanElements(t *testing.T) {
+	frags := Partition(makeLayers(3), 8, PartitionOpts{SecondStage: true})
+	if !fragsTile(frags, 3) {
+		t.Fatalf("tiling broken: %+v", frags)
+	}
+	for _, f := range frags {
+		if f.Size() < 1 {
+			t.Fatal("zero-size fragment emitted")
+		}
+	}
+}
+
+func TestAssignKProportionalToNorm(t *testing.T) {
+	frags := []Fragment{
+		{Start: 0, End: 1000, Norm: 9},
+		{Start: 1000, End: 2000, Norm: 1},
+	}
+	AssignK(frags, 100)
+	// First fragment should get ~90, second ~10 (plus rounding).
+	if frags[0].K < 80 || frags[0].K > 100 {
+		t.Fatalf("high-norm fragment got k=%d, want ~90", frags[0].K)
+	}
+	if frags[1].K < 5 || frags[1].K > 20 {
+		t.Fatalf("low-norm fragment got k=%d, want ~10", frags[1].K)
+	}
+}
+
+func TestAssignKRespectsBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nf := 1 + r.Intn(50)
+		frags := make([]Fragment, nf)
+		pos := 0
+		for i := range frags {
+			sz := 1 + r.Intn(500)
+			frags[i] = Fragment{Start: pos, End: pos + sz, Norm: math.Abs(r.Norm())}
+			pos += sz
+		}
+		// Realistic sparsification densities (the paper uses d <= 0.1):
+		// at densities approaching 1 Algorithm 3 intentionally
+		// under-allocates (see TestAssignKExtremeDensityStrandsK).
+		kTotal := 1 + r.Intn(pos/4+1)
+		AssignK(frags, kTotal)
+		sum, capped := 0, false
+		for _, fr := range frags {
+			if fr.K < 1 || fr.K > fr.Size() {
+				return false
+			}
+			if fr.K == fr.Size() {
+				capped = true
+			}
+			sum += fr.K
+		}
+		// Overshoot is bounded by one per fragment (the max(1,·) floor and
+		// int truncation). The lower bound only holds when no fragment
+		// saturated at its size: Algorithm 3 is single-pass, so k stranded
+		// on a saturated low-priority fragment is never redistributed
+		// backward (see TestAssignKExtremeDensityStrandsK).
+		if sum > kTotal+nf {
+			return false
+		}
+		return capped || sum >= kTotal-nf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAssignKExtremeDensityStrandsK documents a property of Algorithm 3 as
+// published: when k approaches n_g, high-norm fragments processed first can
+// receive less than their size (their norm share is below their size
+// share), after which the remaining fragments saturate at their sizes and
+// the leftover k is stranded. The realised density undershoots slightly.
+// This regime (d ≈ 1) is outside the paper's operating range (d <= 0.1).
+func TestAssignKExtremeDensityStrandsK(t *testing.T) {
+	frags := []Fragment{
+		{Start: 0, End: 100, Norm: 0.1}, // top priority requires high norm; give low norm to a big layer
+		{Start: 100, End: 110, Norm: 10},
+	}
+	AssignK(frags, 105)
+	sum := frags[0].K + frags[1].K
+	if sum > 105 {
+		t.Fatalf("overshoot: %d > 105", sum)
+	}
+	// Fragment 1 (norm 10) is processed first: kTemp = 105·(10/10.1) ≈ 103
+	// > size 10 → capped at 10. Fragment 0: kTemp = 95·(0.1/0.1) = 95 ≤ 100
+	// → gets 95. Total 105, no stranding here; stranding needs the
+	// high-norm fragment to get *less* than size share:
+	frags2 := []Fragment{
+		{Start: 0, End: 1000, Norm: 1}, // big, modest norm
+		{Start: 1000, End: 1010, Norm: 1},
+	}
+	AssignK(frags2, 1000)
+	// First (tie broken by order): kTemp = 1000·0.5 = 500 < 1000 → 500.
+	// Second: kTemp = 500·1 = 500 > 10 → capped at 10. Sum 510 << 1000.
+	if got := frags2[0].K + frags2[1].K; got != 510 {
+		t.Fatalf("stranding example: sum = %d, want 510", got)
+	}
+}
+
+func TestAssignKSmallLayerLargeNorm(t *testing.T) {
+	// A tiny layer with a huge norm must be capped at its size (line 10-11
+	// of Algorithm 3).
+	frags := []Fragment{
+		{Start: 0, End: 5, Norm: 1000},
+		{Start: 5, End: 1005, Norm: 1},
+	}
+	AssignK(frags, 500)
+	if frags[0].K != 5 {
+		t.Fatalf("tiny layer k=%d, want 5 (capped)", frags[0].K)
+	}
+	// The surplus flows to the next layer: k_remain=495 all to layer 2.
+	if frags[1].K < 400 {
+		t.Fatalf("surplus not redistributed: k=%d", frags[1].K)
+	}
+}
+
+func TestAssignKZeroNorms(t *testing.T) {
+	frags := []Fragment{
+		{Start: 0, End: 10, Norm: 0},
+		{Start: 10, End: 20, Norm: 0},
+	}
+	AssignK(frags, 4)
+	// norm_remain = 0 → k_temp = 0 → max(1, 0) = 1 each.
+	for i, f := range frags {
+		if f.K != 1 {
+			t.Fatalf("fragment %d k=%d, want 1", i, f.K)
+		}
+	}
+}
+
+func TestAssignUniform(t *testing.T) {
+	frags := []Fragment{
+		{Start: 0, End: 100, Norm: 100},
+		{Start: 100, End: 400, Norm: 0.001},
+	}
+	AssignUniform(frags, 40)
+	if frags[0].K != 10 || frags[1].K != 30 {
+		t.Fatalf("uniform assignment wrong: %d %d, want 10 30", frags[0].K, frags[1].K)
+	}
+}
+
+func TestComputeNorms(t *testing.T) {
+	grad := []float64{3, 4, 0, 5, 12}
+	frags := []Fragment{{Start: 0, End: 2}, {Start: 2, End: 5}}
+	ComputeNorms(frags, grad)
+	if math.Abs(frags[0].Norm-5) > 1e-12 {
+		t.Fatalf("norm0 = %v, want 5", frags[0].Norm)
+	}
+	if math.Abs(frags[1].Norm-13) > 1e-12 {
+		t.Fatalf("norm1 = %v, want 13", frags[1].Norm)
+	}
+}
+
+func TestAllocateCoversAllFragments(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nf := 1 + r.Intn(100)
+		frags := make([]Fragment, nf)
+		pos := 0
+		for i := range frags {
+			sz := 1 + r.Intn(200)
+			frags[i] = Fragment{Start: pos, End: pos + sz, K: 1 + r.Intn(sz)}
+			pos += sz
+		}
+		n := 1 + r.Intn(16)
+		for _, policy := range []AllocPolicy{LPTPolicy, RoundRobinPolicy, ContiguousPolicy} {
+			bins := Allocate(frags, n, policy)
+			seen := make([]bool, nf)
+			count := 0
+			for _, bin := range bins {
+				for _, fi := range bin {
+					if fi < 0 || fi >= nf || seen[fi] {
+						return false
+					}
+					seen[fi] = true
+					count++
+				}
+			}
+			if count != nf {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateLPTBalances(t *testing.T) {
+	// Heterogeneous costs: LPT max load should be within 4/3+eps of mean.
+	r := rng.New(5)
+	frags := make([]Fragment, 64)
+	pos := 0
+	for i := range frags {
+		sz := 100 + r.Intn(10000)
+		frags[i] = Fragment{Start: pos, End: pos + sz, K: 1 + sz/100}
+		pos += sz
+	}
+	bins := Allocate(frags, 8, LPTPolicy)
+	total, maxItem := 0.0, 0.0
+	for _, f := range frags {
+		total += f.Cost()
+		if f.Cost() > maxItem {
+			maxItem = f.Cost()
+		}
+	}
+	maxLoad := MaxWorkerCost(frags, bins)
+	lb := math.Max(total/8, maxItem)
+	if maxLoad > lb*4/3+maxItem/3+1e-9 {
+		t.Fatalf("LPT makespan %v exceeds bound (lb=%v)", maxLoad, lb)
+	}
+}
+
+func TestSelectLayerwiseIndicesValid(t *testing.T) {
+	r := rng.New(9)
+	grad := make([]float64, 1000)
+	for i := range grad {
+		grad[i] = r.Norm()
+	}
+	frags := Partition(makeLayers(300, 700), 4, PartitionOpts{SecondStage: true})
+	ComputeNorms(frags, grad)
+	AssignK(frags, 50)
+	bins := Allocate(frags, 4, LPTPolicy)
+	seen := map[int]bool{}
+	total := 0
+	for w := 0; w < 4; w++ {
+		idx := SelectLayerwise(frags, bins[w], grad)
+		for _, i := range idx {
+			if i < 0 || i >= 1000 {
+				t.Fatalf("index %d out of range", i)
+			}
+			if seen[i] {
+				t.Fatalf("index %d selected by two workers — build-up!", i)
+			}
+			seen[i] = true
+		}
+		total += len(idx)
+	}
+	// Total selected = Σ K.
+	wantTotal := 0
+	for _, f := range frags {
+		wantTotal += f.K
+	}
+	if total != wantTotal {
+		t.Fatalf("total selected %d, want %d", total, wantTotal)
+	}
+}
+
+func TestSelectLayerwisePicksLargestInFragment(t *testing.T) {
+	grad := []float64{0.1, 9, 0.2, 0.3, -8, 0.4}
+	frags := []Fragment{{Start: 0, End: 3, K: 1}, {Start: 3, End: 6, K: 1}}
+	idx := SelectLayerwise(frags, []int{0, 1}, grad)
+	sort.Ints(idx)
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 4 {
+		t.Fatalf("selected %v, want [1 4]", idx)
+	}
+}
+
+func TestCostModelHelpers(t *testing.T) {
+	if FullCost(100, 1) != 100 {
+		t.Error("FullCost k=1 should be ng")
+	}
+	if got, want := FullCost(100, 10), 100*math.Log(10); math.Abs(got-want) > 1e-9 {
+		t.Errorf("FullCost = %v want %v", got, want)
+	}
+	// Trivial cost at n=1 equals full cost.
+	if got, want := TrivialCost(100, 10, 1), FullCost(100, 10); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TrivialCost(n=1) = %v want %v", got, want)
+	}
+	// Speedup over trivial exceeds n (Eq. 9) when k/n >= 2.
+	ng, k := 1_000_000, 10_000
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		speedup := FullCost(ng, k) / TrivialCost(ng, k, n)
+		if speedup < float64(n) {
+			t.Errorf("n=%d: trivial speedup %v below linear", n, speedup)
+		}
+	}
+}
+
+func TestFragmentCost(t *testing.T) {
+	f := Fragment{Start: 0, End: 100, K: 1}
+	if f.Cost() != 100 {
+		t.Errorf("k=1 cost = %v, want 100", f.Cost())
+	}
+	f.K = 10
+	if got, want := f.Cost(), 100*math.Log(10); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	empty := Fragment{Start: 5, End: 5, K: 3}
+	if empty.Cost() != 0 {
+		t.Error("empty fragment should cost 0")
+	}
+}

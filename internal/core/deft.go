@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sparsifier"
+)
+
+// Options configures a DEFT sparsifier instance.
+type Options struct {
+	// Partition controls Algorithm 2. Zero value enables the second stage
+	// through DefaultOptions; set SecondStage explicitly when constructing
+	// Options by hand.
+	Partition PartitionOpts
+	// Alloc selects the bin-packing policy of Algorithm 4 (default LPT).
+	Alloc AllocPolicy
+	// UniformK replaces Algorithm 3 with size-proportional assignment
+	// (ablation).
+	UniformK bool
+}
+
+// DefaultOptions returns the configuration used in the paper: second-stage
+// partitioning on, LPT packing, norm-proportional k.
+func DefaultOptions() Options {
+	return Options{Partition: PartitionOpts{SecondStage: true}}
+}
+
+// DEFT is the sparsifier. One instance per worker; the fragment partition
+// is computed once (it depends only on layer shapes and cluster size) and
+// per-iteration state (norms, k, allocation) is recomputed each Select.
+type DEFT struct {
+	opts Options
+
+	mu       sync.Mutex
+	frags    []Fragment // cached partition
+	partFor  int        // nWorkers the cache was built for
+	layersAt int        // len(ctx.Layers) the cache was built for
+
+	// Overhead accounting for the training-time breakdown (Fig 7).
+	lastPartition time.Duration // norms + k assignment + packing + broadcast
+	lastSelection time.Duration // layer-wise top-k proper
+}
+
+// New creates a DEFT sparsifier with the given options.
+func New(opts Options) *DEFT { return &DEFT{opts: opts} }
+
+// NewDefault creates a DEFT sparsifier with the paper's configuration.
+func NewDefault() *DEFT { return New(DefaultOptions()) }
+
+// Name implements sparsifier.Sparsifier.
+func (d *DEFT) Name() string { return "deft" }
+
+// LastOverhead returns the wall-clock cost of the most recent Select call,
+// split into the partition/assignment overhead and the selection proper.
+// Used by the Fig 7 time-breakdown experiment.
+func (d *DEFT) LastOverhead() (partition, selection time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastPartition, d.lastSelection
+}
+
+// Fragments returns a copy of the current partition (for inspection tools).
+func (d *DEFT) Fragments() []Fragment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Fragment, len(d.frags))
+	copy(out, d.frags)
+	return out
+}
+
+// Select implements sparsifier.Sparsifier. It follows §4's sequence:
+// partition (cached), per-layer norms + local k (Algorithm 3, computed
+// locally on every worker), delegated bin-packing allocation with broadcast
+// (Algorithm 4), then layer-wise top-k (Algorithm 5).
+func (d *DEFT) Select(ctx *sparsifier.Ctx, grad []float64) []int {
+	nWorkers := ctx.NWorkers
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+
+	// Partition overhead is timed over the *local* work only (partition,
+	// norms, k assignment, packing) under the trainer's timing gate
+	// (ctx.Isolated), so the reported numbers are contention-free
+	// per-worker times. The broadcast call is excluded: in the simulator
+	// its duration is dominated by waiting for the other ranks to arrive
+	// (rendezvous skew), which is not a cost of DEFT — on a real cluster
+	// workers arrive together and the payload is the 4L bytes the paper
+	// bounds in §4.3.
+	var frags []Fragment
+	kTotal := ctx.TargetK(len(grad))
+	localPart := ctx.Isolated(func() {
+		frags = d.partition(ctx, nWorkers)
+		// Algorithm 3 runs locally on every worker: k depends on the
+		// worker's own gradient norms. §4.3 notes the resulting k_x differ
+		// only slightly between workers because all replicas share the
+		// model state.
+		ComputeNorms(frags, grad)
+		if d.opts.UniformK {
+			AssignUniform(frags, kTotal)
+		} else {
+			AssignK(frags, kTotal)
+		}
+	})
+
+	// Algorithm 4: the cycle worker decides the allocation and broadcasts
+	// it; everyone else adopts the broadcast bins. Without a cluster
+	// (BroadcastIntsNested == nil) the worker packs locally.
+	cycle := 0
+	if ctx.NWorkers > 0 {
+		cycle = ctx.Iteration % ctx.NWorkers
+	}
+	var bins [][]int
+	if ctx.BroadcastIntsNested == nil {
+		localPart += ctx.Isolated(func() {
+			bins = Allocate(frags, nWorkers, d.opts.Alloc)
+		})
+	} else {
+		var local [][]int
+		if ctx.Rank == cycle {
+			localPart += ctx.Isolated(func() {
+				local = Allocate(frags, nWorkers, d.opts.Alloc)
+			})
+		}
+		bins = ctx.BroadcastIntsNested(cycle, local)
+	}
+	// curr_part ← (cycle + rank) mod n, line 2 of Algorithm 4: bins rotate
+	// with the cycle so each worker walks through all bins over n
+	// iterations.
+	currPart := (cycle + ctx.Rank) % nWorkers
+	alloc := bins[currPart]
+
+	var indices []int
+	sel := ctx.Isolated(func() {
+		indices = SelectLayerwise(frags, alloc, grad)
+	})
+	d.mu.Lock()
+	d.lastPartition = localPart
+	d.lastSelection = sel
+	d.mu.Unlock()
+	return indices
+}
+
+// partition returns the cached fragment list, rebuilding it when the layer
+// set or cluster size changes.
+func (d *DEFT) partition(ctx *sparsifier.Ctx, nWorkers int) []Fragment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.frags == nil || d.partFor != nWorkers || d.layersAt != len(ctx.Layers) {
+		d.frags = Partition(ctx.Layers, nWorkers, d.opts.Partition)
+		d.partFor = nWorkers
+		d.layersAt = len(ctx.Layers)
+	}
+	return d.frags
+}
+
+// Factory returns a sparsifier.Factory producing per-worker DEFT instances
+// with the given options.
+func Factory(opts Options) sparsifier.Factory {
+	return func() sparsifier.Sparsifier { return New(opts) }
+}
+
+var _ sparsifier.Sparsifier = (*DEFT)(nil)

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/rng"
+	"repro/internal/sparsifier"
+)
+
+// runClusterSelect runs one DEFT Select on an n-rank cluster where each
+// rank has its own gradient vector, and returns the per-rank index lists.
+func runClusterSelect(t *testing.T, n int, grads [][]float64, layers []sparsifier.Layer, density float64, iter int) [][]int {
+	t.Helper()
+	cluster := comm.NewCluster(n)
+	results := make([][]int, n)
+	cluster.Run(func(cm *comm.Comm) {
+		d := NewDefault()
+		ctx := &sparsifier.Ctx{
+			Rank:                cm.Rank(),
+			NWorkers:            n,
+			Iteration:           iter,
+			Density:             density,
+			Layers:              layers,
+			BroadcastInts:       cm.BroadcastInts,
+			BroadcastIntsNested: cm.BroadcastIntsNested,
+		}
+		results[cm.Rank()] = d.Select(ctx, grads[cm.Rank()])
+	})
+	return results
+}
+
+func clusterGrads(seed uint64, n, ng int) [][]float64 {
+	root := rng.New(seed)
+	grads := make([][]float64, n)
+	for r := range grads {
+		rr := root.Split(uint64(r))
+		grads[r] = make([]float64, ng)
+		for i := range grads[r] {
+			grads[r][i] = rr.Norm()
+		}
+	}
+	return grads
+}
+
+func TestDEFTClusterDisjointSelection(t *testing.T) {
+	const n, ng = 8, 4000
+	layers := makeLayers(500, 1500, 100, 1900)
+	grads := clusterGrads(1, n, ng)
+	for iter := 0; iter < 3; iter++ {
+		results := runClusterSelect(t, n, grads, layers, 0.01, iter)
+		seen := map[int]int{}
+		for r, idx := range results {
+			for _, i := range idx {
+				if prev, dup := seen[i]; dup {
+					t.Fatalf("iter %d: index %d selected by ranks %d and %d", iter, i, prev, r)
+				}
+				seen[i] = r
+				if i < 0 || i >= ng {
+					t.Fatalf("index %d out of range", i)
+				}
+			}
+		}
+	}
+}
+
+func TestDEFTDensityMatchesTarget(t *testing.T) {
+	const n, ng = 16, 20000
+	layers := makeLayers(4000, 8000, 1000, 7000)
+	grads := clusterGrads(2, n, ng)
+	density := 0.01
+	results := runClusterSelect(t, n, grads, layers, density, 0)
+	total := 0
+	for _, idx := range results {
+		total += len(idx)
+	}
+	got := float64(total) / float64(ng)
+	// DEFT keeps the actual density at the set value up to the per-fragment
+	// max(1, ·) floor. With ~tens of fragments on 20000 gradients the
+	// deviation must stay tiny.
+	if got < density*0.8 || got > density*1.5 {
+		t.Fatalf("actual density %v, want ~%v", got, density)
+	}
+}
+
+func TestDEFTNoBuildUpVsTopK(t *testing.T) {
+	// The headline claim: on the same gradients, the union of Top-k
+	// selections grows with n while the union of DEFT selections stays at k.
+	const n, ng = 8, 10000
+	layers := makeLayers(2500, 2500, 2500, 2500)
+	grads := clusterGrads(3, n, ng)
+	density := 0.01
+
+	deftResults := runClusterSelect(t, n, grads, layers, density, 0)
+	deftUnion := map[int]struct{}{}
+	for _, idx := range deftResults {
+		for _, i := range idx {
+			deftUnion[i] = struct{}{}
+		}
+	}
+
+	tk := sparsifier.TopK{}
+	topkUnion := map[int]struct{}{}
+	for r := 0; r < n; r++ {
+		ctx := &sparsifier.Ctx{Rank: r, NWorkers: n, Density: density, Layers: layers}
+		for _, i := range tk.Select(ctx, grads[r]) {
+			topkUnion[i] = struct{}{}
+		}
+	}
+
+	k := int(density * float64(ng))
+	if len(deftUnion) > k+k/2 {
+		t.Fatalf("DEFT union %d far above k=%d", len(deftUnion), k)
+	}
+	if len(topkUnion) < 2*k {
+		t.Fatalf("Top-k union %d shows no build-up (k=%d); test workload too correlated", len(topkUnion), k)
+	}
+	if len(deftUnion) >= len(topkUnion) {
+		t.Fatalf("DEFT union %d not smaller than Top-k union %d", len(deftUnion), len(topkUnion))
+	}
+}
+
+func TestDEFTDeterministicAcrossRuns(t *testing.T) {
+	const n, ng = 4, 2000
+	layers := makeLayers(1000, 1000)
+	grads := clusterGrads(4, n, ng)
+	a := runClusterSelect(t, n, grads, layers, 0.05, 7)
+	b := runClusterSelect(t, n, grads, layers, 0.05, 7)
+	for r := range a {
+		sort.Ints(a[r])
+		sort.Ints(b[r])
+		if len(a[r]) != len(b[r]) {
+			t.Fatalf("rank %d selection size differs across runs", r)
+		}
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("rank %d selection differs across runs", r)
+			}
+		}
+	}
+}
+
+func TestDEFTCycleRotatesAllocation(t *testing.T) {
+	// Over n consecutive iterations each rank should receive different bins
+	// (curr_part rotates), so a rank's fragment ownership changes.
+	const n, ng = 4, 8000
+	layers := makeLayers(3000, 2000, 1000, 2000)
+	grads := clusterGrads(5, n, ng)
+	perIter := make([][]int, n)
+	for iter := 0; iter < n; iter++ {
+		results := runClusterSelect(t, n, grads, layers, 0.02, iter)
+		perIter[iter] = results[0] // rank 0's selection each iteration
+	}
+	// rank 0's selections should not be identical across all iterations.
+	allSame := true
+	base := append([]int(nil), perIter[0]...)
+	sort.Ints(base)
+	for iter := 1; iter < n; iter++ {
+		cur := append([]int(nil), perIter[iter]...)
+		sort.Ints(cur)
+		if len(cur) != len(base) {
+			allSame = false
+			break
+		}
+		for i := range cur {
+			if cur[i] != base[i] {
+				allSame = false
+				break
+			}
+		}
+	}
+	if allSame {
+		t.Fatal("allocation never rotated across the cycle")
+	}
+}
+
+func TestDEFTSingleProcessFallback(t *testing.T) {
+	// Without broadcast functions DEFT must still work (single worker).
+	d := NewDefault()
+	r := rng.New(6)
+	grad := make([]float64, 5000)
+	for i := range grad {
+		grad[i] = r.Norm()
+	}
+	ctx := &sparsifier.Ctx{Rank: 0, NWorkers: 1, Density: 0.01, Layers: makeLayers(2000, 3000)}
+	idx := d.Select(ctx, grad)
+	if len(idx) < 40 || len(idx) > 60 {
+		t.Fatalf("selected %d, want ~50", len(idx))
+	}
+	part, sel := d.LastOverhead()
+	if part <= 0 || sel <= 0 {
+		t.Fatalf("overheads not recorded: %v %v", part, sel)
+	}
+}
+
+func TestDEFTSelectsLargeGradients(t *testing.T) {
+	// Plant a layer with 10x the magnitude: DEFT must select a
+	// disproportionate share there.
+	ng := 10000
+	grad := make([]float64, ng)
+	r := rng.New(7)
+	for i := range grad {
+		if i < 1000 { // hot layer
+			grad[i] = r.Norm() * 10
+		} else {
+			grad[i] = r.Norm()
+		}
+	}
+	d := NewDefault()
+	ctx := &sparsifier.Ctx{Rank: 0, NWorkers: 1, Density: 0.01, Layers: makeLayers(1000, 3000, 3000, 3000)}
+	idx := d.Select(ctx, grad)
+	inHot := 0
+	for _, i := range idx {
+		if i < 1000 {
+			inHot++
+		}
+	}
+	if frac := float64(inHot) / float64(len(idx)); frac < 0.5 {
+		t.Fatalf("only %v of selections in the hot layer, want > 0.5", frac)
+	}
+}
+
+func TestDEFTUniformAblationDiffers(t *testing.T) {
+	ng := 10000
+	grad := make([]float64, ng)
+	r := rng.New(8)
+	for i := range grad {
+		if i < 1000 {
+			grad[i] = r.Norm() * 10
+		} else {
+			grad[i] = r.Norm()
+		}
+	}
+	layers := makeLayers(1000, 3000, 3000, 3000)
+	ctx := &sparsifier.Ctx{Rank: 0, NWorkers: 1, Density: 0.01, Layers: layers}
+
+	norm := NewDefault().Select(ctx, grad)
+	uni := New(Options{Partition: PartitionOpts{SecondStage: true}, UniformK: true}).Select(ctx, grad)
+	hotShare := func(idx []int) float64 {
+		c := 0
+		for _, i := range idx {
+			if i < 1000 {
+				c++
+			}
+		}
+		return float64(c) / float64(len(idx))
+	}
+	if hotShare(norm) <= hotShare(uni) {
+		t.Fatalf("norm-proportional share %v should exceed uniform share %v", hotShare(norm), hotShare(uni))
+	}
+}
+
+func TestDEFTPartitionCacheInvalidation(t *testing.T) {
+	d := NewDefault()
+	r := rng.New(10)
+	grad := make([]float64, 1000)
+	for i := range grad {
+		grad[i] = r.Norm()
+	}
+	ctx := &sparsifier.Ctx{Rank: 0, NWorkers: 1, Density: 0.1, Layers: makeLayers(1000)}
+	d.Select(ctx, grad)
+	f1 := len(d.Fragments())
+	ctx.NWorkers = 4 // partition must rebuild with second-stage splits
+	d.Select(ctx, grad)
+	f2 := len(d.Fragments())
+	if f2 <= f1 {
+		t.Fatalf("partition cache not invalidated: %d -> %d fragments", f1, f2)
+	}
+}

@@ -1,0 +1,421 @@
+// Package data provides the synthetic datasets that stand in for the
+// paper's CIFAR-10, WikiText-2 and MovieLens-20M (which are unavailable in
+// this offline environment; see DESIGN.md §1 for the substitution
+// rationale). Each generator is fully deterministic given its seed and
+// produces train batches on demand plus a fixed held-out evaluation set,
+// so data never needs to be stored.
+package data
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// ---------------------------------------------------------------- vision --
+
+// VisionConfig sizes the synthetic image-classification task.
+type VisionConfig struct {
+	Classes  int // number of classes (CIFAR-10 analogue: 10)
+	Channels int
+	Size     int     // image side length
+	Noise    float64 // per-pixel Gaussian noise std
+	Seed     uint64
+}
+
+// DefaultVisionConfig returns the configuration used by the experiments:
+// small enough to train on one CPU core, structured enough that a CNN
+// clearly beats chance.
+func DefaultVisionConfig() VisionConfig {
+	return VisionConfig{Classes: 10, Channels: 3, Size: 8, Noise: 0.4, Seed: 1}
+}
+
+// Vision generates images as noisy, randomly shifted class prototypes.
+type Vision struct {
+	cfg    VisionConfig
+	protos []*tensor.Tensor // one prototype per class
+}
+
+// NewVision builds the dataset: class prototypes are fixed at construction.
+// Prototypes are low-frequency (box-blurred noise, renormalised), so the
+// ±1-pixel translation augmentation perturbs them only mildly — like real
+// images, where nearby pixels correlate.
+func NewVision(cfg VisionConfig) *Vision {
+	r := rng.New(cfg.Seed)
+	v := &Vision{cfg: cfg}
+	for c := 0; c < cfg.Classes; c++ {
+		p := tensor.Randn(r, 1, cfg.Channels, cfg.Size, cfg.Size)
+		for pass := 0; pass < 2; pass++ {
+			blur3x3(p, cfg.Channels, cfg.Size)
+		}
+		// Renormalise to zero mean / unit per-pixel std so the Noise
+		// parameter keeps its meaning as a signal-to-noise knob.
+		normalizeStd(p)
+		v.protos = append(v.protos, p)
+	}
+	return v
+}
+
+// blur3x3 applies one pass of a circular 3×3 box blur per channel.
+func blur3x3(p *tensor.Tensor, channels, size int) {
+	tmp := make([]float64, size*size)
+	for ch := 0; ch < channels; ch++ {
+		base := ch * size * size
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				s := 0.0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						yy := (y + dy + size) % size
+						xx := (x + dx + size) % size
+						s += p.Data[base+yy*size+xx]
+					}
+				}
+				tmp[y*size+x] = s / 9
+			}
+		}
+		copy(p.Data[base:base+size*size], tmp)
+	}
+}
+
+// normalizeStd rescales p to zero mean, unit std.
+func normalizeStd(p *tensor.Tensor) {
+	n := float64(p.Size())
+	mean := 0.0
+	for _, v := range p.Data {
+		mean += v
+	}
+	mean /= n
+	ss := 0.0
+	for i := range p.Data {
+		p.Data[i] -= mean
+		ss += p.Data[i] * p.Data[i]
+	}
+	std := mathSqrt(ss / n)
+	if std > 0 {
+		for i := range p.Data {
+			p.Data[i] /= std
+		}
+	}
+}
+
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Config returns the dataset configuration.
+func (v *Vision) Config() VisionConfig { return v.cfg }
+
+// Sample fills x ([B, C, S, S]) and labels with a fresh random batch drawn
+// with the caller's RNG (shard determinism is the caller's concern: pass a
+// per-(rank, iteration) split RNG).
+func (v *Vision) Sample(r *rng.RNG, batch int) (x *tensor.Tensor, labels []int) {
+	cfg := v.cfg
+	x = tensor.New(batch, cfg.Channels, cfg.Size, cfg.Size)
+	labels = make([]int, batch)
+	img := cfg.Channels * cfg.Size * cfg.Size
+	for b := 0; b < batch; b++ {
+		c := r.Intn(cfg.Classes)
+		labels[b] = c
+		// Random circular shift: cheap translation augmentation.
+		dy, dx := r.Intn(3)-1, r.Intn(3)-1
+		proto := v.protos[c]
+		for ch := 0; ch < cfg.Channels; ch++ {
+			for y := 0; y < cfg.Size; y++ {
+				sy := (y + dy + cfg.Size) % cfg.Size
+				for xx := 0; xx < cfg.Size; xx++ {
+					sx := (xx + dx + cfg.Size) % cfg.Size
+					val := proto.At(ch, sy, sx) + r.Norm()*cfg.Noise
+					x.Data[b*img+(ch*cfg.Size+y)*cfg.Size+xx] = val
+				}
+			}
+		}
+	}
+	return x, labels
+}
+
+// TestSet returns a fixed evaluation set of n examples.
+func (v *Vision) TestSet(n int) (*tensor.Tensor, []int) {
+	r := rng.New(v.cfg.Seed ^ 0xdeadbeef)
+	return v.Sample(r, n)
+}
+
+// ------------------------------------------------------------------ text --
+
+// TextConfig sizes the synthetic language-modelling task.
+type TextConfig struct {
+	Vocab     int // vocabulary size (WikiText-2 analogue, scaled down)
+	SeqLen    int // training sequence length (BPTT window)
+	Branching int // likely successors per token (controls entropy)
+	Seed      uint64
+}
+
+// DefaultTextConfig returns the experiment configuration.
+func DefaultTextConfig() TextConfig {
+	return TextConfig{Vocab: 64, SeqLen: 12, Branching: 3, Seed: 2}
+}
+
+// Text is a first-order Markov language: each token has Branching likely
+// successors (90% of the mass, Zipf-tilted) and a uniform remainder. A
+// model that learns the transitions reaches much lower perplexity than the
+// unigram baseline, mirroring how LSTM perplexity behaves on real text.
+type Text struct {
+	cfg  TextConfig
+	next [][]int     // likely successors per token
+	cdf  [][]float64 // successor CDF (over next ∪ uniform tail)
+}
+
+// NewText builds the language.
+func NewText(cfg TextConfig) *Text {
+	r := rng.New(cfg.Seed)
+	t := &Text{cfg: cfg}
+	t.next = make([][]int, cfg.Vocab)
+	t.cdf = make([][]float64, cfg.Vocab)
+	for w := 0; w < cfg.Vocab; w++ {
+		succ := make([]int, cfg.Branching)
+		for i := range succ {
+			succ[i] = r.Intn(cfg.Vocab)
+		}
+		t.next[w] = succ
+		// 90% mass on successors (geometric tilt), 10% uniform tail.
+		cdf := make([]float64, cfg.Branching)
+		mass := 0.9
+		acc := 0.0
+		for i := range cdf {
+			share := mass * math.Pow(0.5, float64(i))
+			if i == cfg.Branching-1 {
+				share = mass - acc // exact remainder
+			}
+			acc += share
+			cdf[i] = acc
+		}
+		t.cdf[w] = cdf
+	}
+	return t
+}
+
+// Config returns the dataset configuration.
+func (t *Text) Config() TextConfig { return t.cfg }
+
+// step samples the next token after w.
+func (t *Text) step(r *rng.RNG, w int) int {
+	u := r.Float64()
+	cdf := t.cdf[w]
+	for i, c := range cdf {
+		if u < c {
+			return t.next[w][i]
+		}
+	}
+	return r.Intn(t.cfg.Vocab)
+}
+
+// Sample returns input ids [B, T] and next-token targets [B, T].
+func (t *Text) Sample(r *rng.RNG, batch int) (x *tensor.Tensor, targets []int) {
+	T := t.cfg.SeqLen
+	x = tensor.New(batch, T)
+	targets = make([]int, batch*T)
+	for b := 0; b < batch; b++ {
+		w := r.Intn(t.cfg.Vocab)
+		for step := 0; step < T; step++ {
+			x.Data[b*T+step] = float64(w)
+			w = t.step(r, w)
+			targets[b*T+step] = w
+		}
+	}
+	return x, targets
+}
+
+// TestSet returns a fixed evaluation batch.
+func (t *Text) TestSet(n int) (*tensor.Tensor, []int) {
+	r := rng.New(t.cfg.Seed ^ 0xabcdef)
+	return t.Sample(r, n)
+}
+
+// EntropyBound estimates (by Monte Carlo) the per-token entropy of the
+// language in nats — the perplexity floor exp(H) a perfect model attains.
+func (t *Text) EntropyBound() float64 {
+	// Transition entropy is identical in structure for every token; compute
+	// the exact entropy of one row's distribution.
+	cfg := t.cfg
+	h := 0.0
+	prev := 0.0
+	for i := 0; i < cfg.Branching; i++ {
+		p := t.cdf[0][i] - prev
+		prev = t.cdf[0][i]
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	tail := 1 - t.cdf[0][cfg.Branching-1]
+	if tail > 0 {
+		// Tail mass spread uniformly over the vocabulary.
+		p := tail / float64(cfg.Vocab)
+		h -= tail * math.Log(p)
+	}
+	return h
+}
+
+// ---------------------------------------------------------------- recsys --
+
+// RecsysConfig sizes the synthetic implicit-feedback task.
+type RecsysConfig struct {
+	Users, Items int
+	Factors      int     // planted latent dimensionality
+	PosPerUser   int     // observed positives per user
+	NoiseTemp    float64 // softmax temperature of preference sampling
+	Seed         uint64
+}
+
+// DefaultRecsysConfig returns the experiment configuration.
+func DefaultRecsysConfig() RecsysConfig {
+	return RecsysConfig{Users: 128, Items: 256, Factors: 6, PosPerUser: 12, NoiseTemp: 1.0, Seed: 3}
+}
+
+// Recsys plants low-rank user/item structure and derives implicit-feedback
+// interactions from it: each user's positives are sampled proportional to
+// exp(u·v / temp), mimicking the head-heavy exposure of MovieLens. The
+// held-out item per user supports leave-one-out HR@K evaluation exactly as
+// the NCF paper (and this paper's hr@10 metric) prescribes.
+type Recsys struct {
+	cfg RecsysConfig
+
+	positives [][]int // observed positives per user (excludes held-out)
+	heldOut   []int   // one held-out positive per user
+	posSet    []map[int]bool
+}
+
+// NewRecsys builds the dataset.
+func NewRecsys(cfg RecsysConfig) *Recsys {
+	r := rng.New(cfg.Seed)
+	// Planted factors.
+	uf := make([][]float64, cfg.Users)
+	vf := make([][]float64, cfg.Items)
+	for u := range uf {
+		uf[u] = normVec(r, cfg.Factors)
+	}
+	for v := range vf {
+		vf[v] = normVec(r, cfg.Factors)
+	}
+	d := &Recsys{cfg: cfg}
+	d.positives = make([][]int, cfg.Users)
+	d.heldOut = make([]int, cfg.Users)
+	d.posSet = make([]map[int]bool, cfg.Users)
+	scores := make([]float64, cfg.Items)
+	for u := 0; u < cfg.Users; u++ {
+		// Preference distribution over items.
+		maxs := math.Inf(-1)
+		for v := 0; v < cfg.Items; v++ {
+			s := dot(uf[u], vf[v]) / cfg.NoiseTemp
+			scores[v] = s
+			if s > maxs {
+				maxs = s
+			}
+		}
+		total := 0.0
+		for v := range scores {
+			scores[v] = math.Exp(scores[v] - maxs)
+			total += scores[v]
+		}
+		set := map[int]bool{}
+		var items []int // in sampling order: earlier = more preferred draws
+		for len(items) < cfg.PosPerUser+1 {
+			// Inverse-CDF sample.
+			target := r.Float64() * total
+			acc := 0.0
+			pick := cfg.Items - 1
+			for v, s := range scores {
+				acc += s
+				if acc >= target {
+					pick = v
+					break
+				}
+			}
+			if set[pick] {
+				continue
+			}
+			set[pick] = true
+			items = append(items, pick)
+		}
+		// Hold out the first sampled item: it is drawn from the head of the
+		// user's preference distribution, so it is predictable from the
+		// collaborative structure (holding out a tail item would make HR@10
+		// a coin flip — see the data tests).
+		d.heldOut[u] = items[0]
+		d.positives[u] = items[1:]
+		ps := map[int]bool{}
+		for _, v := range d.positives[u] {
+			ps[v] = true
+		}
+		d.posSet[u] = ps
+	}
+	return d
+}
+
+// Config returns the dataset configuration.
+func (d *Recsys) Config() RecsysConfig { return d.cfg }
+
+// Sample returns a training batch of (user, item, label) triples with
+// negRatio sampled negatives per positive.
+func (d *Recsys) Sample(r *rng.RNG, positives, negRatio int) (users, items []int, labels []float64) {
+	for p := 0; p < positives; p++ {
+		u := r.Intn(d.cfg.Users)
+		pos := d.positives[u][r.Intn(len(d.positives[u]))]
+		users = append(users, u)
+		items = append(items, pos)
+		labels = append(labels, 1)
+		for n := 0; n < negRatio; n++ {
+			v := r.Intn(d.cfg.Items)
+			for d.posSet[u][v] || v == d.heldOut[u] {
+				v = r.Intn(d.cfg.Items)
+			}
+			users = append(users, u)
+			items = append(items, v)
+			labels = append(labels, 0)
+		}
+	}
+	return users, items, labels
+}
+
+// EvalLists returns, per user, the held-out positive followed by nNeg
+// sampled negatives — the candidate list for HR@K.
+func (d *Recsys) EvalLists(nNeg int) (users []int, candidates [][]int) {
+	r := rng.New(d.cfg.Seed ^ 0x5eed)
+	for u := 0; u < d.cfg.Users; u++ {
+		list := []int{d.heldOut[u]}
+		used := map[int]bool{d.heldOut[u]: true}
+		for len(list) < nNeg+1 {
+			v := r.Intn(d.cfg.Items)
+			if d.posSet[u][v] || used[v] {
+				continue
+			}
+			used[v] = true
+			list = append(list, v)
+		}
+		users = append(users, u)
+		candidates = append(candidates, list)
+	}
+	return users, candidates
+}
+
+func normVec(r *rng.RNG, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Norm()
+	}
+	return v
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j-1] > v[j]; j-- {
+			v[j-1], v[j] = v[j], v[j-1]
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestVisionDeterministicPrototypes(t *testing.T) {
+	a := NewVision(DefaultVisionConfig())
+	b := NewVision(DefaultVisionConfig())
+	xa, la := a.TestSet(8)
+	xb, lb := b.TestSet(8)
+	for i := range xa.Data {
+		if xa.Data[i] != xb.Data[i] {
+			t.Fatal("test sets differ across constructions")
+		}
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("labels differ")
+		}
+	}
+}
+
+func TestVisionSampleShapes(t *testing.T) {
+	v := NewVision(DefaultVisionConfig())
+	cfg := v.Config()
+	x, labels := v.Sample(rng.New(1), 5)
+	sh := x.Shape()
+	if sh[0] != 5 || sh[1] != cfg.Channels || sh[2] != cfg.Size || sh[3] != cfg.Size {
+		t.Fatalf("shape %v", sh)
+	}
+	for _, l := range labels {
+		if l < 0 || l >= cfg.Classes {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestVisionClassesSeparable(t *testing.T) {
+	// Nearest-prototype classification on clean prototypes must beat
+	// chance by a wide margin, i.e. the task is learnable.
+	v := NewVision(DefaultVisionConfig())
+	x, labels := v.Sample(rng.New(2), 200)
+	cfg := v.Config()
+	img := cfg.Channels * cfg.Size * cfg.Size
+	correct := 0
+	for b := 0; b < 200; b++ {
+		best, bestC := math.Inf(1), -1
+		for c := 0; c < cfg.Classes; c++ {
+			d := 0.0
+			for i := 0; i < img; i++ {
+				diff := x.Data[b*img+i] - v.protos[c].Data[i]
+				d += diff * diff
+			}
+			if d < best {
+				best, bestC = d, c
+			}
+		}
+		if bestC == labels[b] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.5 {
+		t.Fatalf("nearest-prototype accuracy %v too low; task not learnable", acc)
+	}
+}
+
+func TestTextSampleShapesAndTargets(t *testing.T) {
+	tx := NewText(DefaultTextConfig())
+	cfg := tx.Config()
+	x, targets := tx.Sample(rng.New(3), 4)
+	if x.Dim(0) != 4 || x.Dim(1) != cfg.SeqLen {
+		t.Fatalf("shape %v", x.Shape())
+	}
+	if len(targets) != 4*cfg.SeqLen {
+		t.Fatalf("targets %d", len(targets))
+	}
+	for i, id := range x.Data {
+		if id < 0 || int(id) >= cfg.Vocab {
+			t.Fatalf("token %v out of vocab at %d", id, i)
+		}
+	}
+	for _, tg := range targets {
+		if tg < 0 || tg >= cfg.Vocab {
+			t.Fatalf("target %d out of vocab", tg)
+		}
+	}
+	// Targets must be the next-step inputs within a sequence.
+	for b := 0; b < 4; b++ {
+		for s := 0; s < cfg.SeqLen-1; s++ {
+			if int(x.Data[b*cfg.SeqLen+s+1]) != targets[b*cfg.SeqLen+s] {
+				t.Fatal("targets are not shifted inputs")
+			}
+		}
+	}
+}
+
+func TestTextTransitionsLearnable(t *testing.T) {
+	// Empirical successor distribution must be concentrated: the top
+	// Branching successors should own ~90% of transitions.
+	tx := NewText(DefaultTextConfig())
+	cfg := tx.Config()
+	r := rng.New(4)
+	counts := map[[2]int]int{}
+	fromCount := map[int]int{}
+	for i := 0; i < 50000; i++ {
+		w := r.Intn(cfg.Vocab)
+		n := tx.step(r, w)
+		counts[[2]int{w, n}]++
+		fromCount[w]++
+	}
+	// For token 0, mass on its nominal successors:
+	mass := 0.0
+	for _, s := range tx.next[0] {
+		mass += float64(counts[[2]int{0, s}])
+	}
+	if fromCount[0] > 100 {
+		frac := mass / float64(fromCount[0])
+		if frac < 0.75 {
+			t.Fatalf("successor mass %v, want >= 0.75", frac)
+		}
+	}
+}
+
+func TestTextEntropyBound(t *testing.T) {
+	tx := NewText(DefaultTextConfig())
+	h := tx.EntropyBound()
+	if h <= 0 || h >= math.Log(float64(tx.Config().Vocab)) {
+		t.Fatalf("entropy bound %v out of (0, ln V)", h)
+	}
+	// Perfect-model perplexity floor is far below uniform.
+	if math.Exp(h) > float64(tx.Config().Vocab)/2 {
+		t.Fatalf("perplexity floor %v too close to uniform", math.Exp(h))
+	}
+}
+
+func TestRecsysConstruction(t *testing.T) {
+	d := NewRecsys(DefaultRecsysConfig())
+	cfg := d.Config()
+	for u := 0; u < cfg.Users; u++ {
+		if len(d.positives[u]) != cfg.PosPerUser {
+			t.Fatalf("user %d has %d positives, want %d", u, len(d.positives[u]), cfg.PosPerUser)
+		}
+		for _, v := range d.positives[u] {
+			if v == d.heldOut[u] {
+				t.Fatal("held-out item appears in training positives")
+			}
+			if v < 0 || v >= cfg.Items {
+				t.Fatal("item out of range")
+			}
+		}
+	}
+}
+
+func TestRecsysSampleLabels(t *testing.T) {
+	d := NewRecsys(DefaultRecsysConfig())
+	users, items, labels := d.Sample(rng.New(5), 10, 4)
+	if len(users) != 50 || len(items) != 50 || len(labels) != 50 {
+		t.Fatalf("batch sizes %d %d %d", len(users), len(items), len(labels))
+	}
+	for i := range labels {
+		if labels[i] == 1 {
+			if !d.posSet[users[i]][items[i]] {
+				t.Fatal("positive sample not in user's positives")
+			}
+		} else {
+			if d.posSet[users[i]][items[i]] || items[i] == d.heldOut[users[i]] {
+				t.Fatal("negative sample collides with positives/held-out")
+			}
+		}
+	}
+}
+
+func TestRecsysEvalLists(t *testing.T) {
+	d := NewRecsys(DefaultRecsysConfig())
+	users, cands := d.EvalLists(50)
+	if len(users) != d.Config().Users {
+		t.Fatalf("eval users %d", len(users))
+	}
+	for i, list := range cands {
+		if len(list) != 51 {
+			t.Fatalf("candidate list %d has %d entries", i, len(list))
+		}
+		if list[0] != d.heldOut[users[i]] {
+			t.Fatal("first candidate must be the held-out positive")
+		}
+		seen := map[int]bool{}
+		for _, v := range list {
+			if seen[v] {
+				t.Fatal("duplicate candidate")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRecsysPlantedStructure(t *testing.T) {
+	// Users' positives should overlap more with their own preferences than
+	// random: check the held-out item is predictable from co-occurrence.
+	// Weak sanity: two different users usually have different positives.
+	d := NewRecsys(DefaultRecsysConfig())
+	identical := 0
+	for u := 1; u < d.Config().Users; u++ {
+		same := true
+		if len(d.positives[u]) != len(d.positives[0]) {
+			same = false
+		} else {
+			for i := range d.positives[u] {
+				if d.positives[u][i] != d.positives[0][i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			identical++
+		}
+	}
+	if identical > d.Config().Users/10 {
+		t.Fatalf("%d users share identical positives; structure degenerate", identical)
+	}
+}

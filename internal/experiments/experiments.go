@@ -1,0 +1,239 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated substrate. Each Fig*/Table* function
+// returns a Table: a titled grid of the same rows/series the paper plots.
+//
+// Absolute numbers differ from the paper (its substrate was a 32-GPU V100
+// cluster; ours is a deterministic single-process simulator), but each
+// experiment preserves the qualitative shape the paper argues from — see
+// EXPERIMENTS.md for the paper-vs-measured record.
+//
+// All experiments honour Options.Quick, which shrinks worker counts and
+// iteration budgets so the full suite runs in seconds; full mode matches
+// the paper's worker counts.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/sparsifier"
+	"repro/internal/train"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks cluster sizes and iteration budgets (CI/bench mode).
+	Quick bool
+	// Seed offsets all run seeds, for repeated-trial studies.
+	Seed uint64
+}
+
+// Table is a rendered experiment artefact.
+type Table struct {
+	ID      string // e.g. "fig3a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // qualitative checks, substitutions, caveats
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// IDs lists every runnable experiment id.
+func IDs() []string {
+	return []string{
+		"table1", "table2",
+		"fig1", "fig3a", "fig3b", "fig3c", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "fig10",
+		"ablation", "table3",
+	}
+}
+
+// Run dispatches an experiment by id.
+func Run(id string, o Options) (*Table, error) {
+	switch id {
+	case "table1":
+		return Table1(o), nil
+	case "table2":
+		return Table2(o), nil
+	case "fig1":
+		return Fig1(o), nil
+	case "fig3a":
+		return Fig3(o, "vision"), nil
+	case "fig3b":
+		return Fig3(o, "langmodel"), nil
+	case "fig3c":
+		return Fig3(o, "recsys"), nil
+	case "fig4":
+		return Fig4(o), nil
+	case "fig5":
+		return Fig5(o), nil
+	case "fig6":
+		return Fig6(o), nil
+	case "fig7":
+		return Fig7(o), nil
+	case "fig8":
+		return Fig8(o), nil
+	case "fig9":
+		return Fig9(o), nil
+	case "fig10":
+		return Fig10(o), nil
+	case "ablation":
+		return Ablation(o), nil
+	case "table3":
+		return Table3(o), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
+}
+
+// ------------------------------------------------------- shared plumbing --
+
+// appDensity returns the per-application density the paper uses (Table 2 /
+// Fig 3 captions).
+func appDensity(app string) float64 {
+	switch app {
+	case "vision":
+		return 0.01
+	case "langmodel":
+		return 0.001
+	case "recsys":
+		return 0.1
+	}
+	panic("experiments: unknown app " + app)
+}
+
+// appLR returns a stable learning rate per application for our scaled
+// workloads.
+func appLR(app string) float64 {
+	switch app {
+	case "vision":
+		return 0.15
+	case "langmodel":
+		return 1.0
+	case "recsys":
+		return 1.0
+	}
+	panic("experiments: unknown app " + app)
+}
+
+// newWorkload builds the simulated stand-in for the paper's application.
+func newWorkload(app string) train.Workload {
+	switch app {
+	case "vision":
+		return models.NewVision(models.DefaultVisionConfig())
+	case "langmodel":
+		return models.NewText(models.DefaultTextConfig())
+	case "recsys":
+		return models.NewRecsys(models.DefaultRecsysConfig())
+	case "mlp":
+		return models.NewMLP(models.DefaultMLPConfig())
+	}
+	panic("experiments: unknown app " + app)
+}
+
+// sparsifierFactory builds the named scheme. hardthreshold and sidco need a
+// density to parameterise; hardthreshold additionally tunes its threshold
+// on a sample gradient, done by the caller.
+func sparsifierFactory(name string) sparsifier.Factory {
+	switch name {
+	case "deft":
+		return core.Factory(core.DefaultOptions())
+	case "topk":
+		return func() sparsifier.Sparsifier { return sparsifier.TopK{} }
+	case "cltk":
+		return func() sparsifier.Sparsifier { return &sparsifier.CLTK{} }
+	case "sidco":
+		return func() sparsifier.Sparsifier { return &sparsifier.SIDCo{Stages: 3} }
+	case "randk":
+		return func() sparsifier.Sparsifier { return sparsifier.RandK{} }
+	case "dgc":
+		return func() sparsifier.Sparsifier { return &sparsifier.DGC{} }
+	case "gaussiank":
+		return func() sparsifier.Sparsifier { return sparsifier.GaussianK{} }
+	}
+	panic("experiments: unknown sparsifier " + name)
+}
+
+// runCache memoises training runs within one process so Fig 3/4/5 (which
+// share the same runs) train once.
+var (
+	runMu    sync.Mutex
+	runCache = map[string]*train.Result{}
+)
+
+func cachedRun(key string, w train.Workload, factory sparsifier.Factory, cfg train.Config) *train.Result {
+	runMu.Lock()
+	if r, ok := runCache[key]; ok {
+		runMu.Unlock()
+		return r
+	}
+	runMu.Unlock()
+	r := train.Run(w, factory, cfg)
+	runMu.Lock()
+	runCache[key] = r
+	runMu.Unlock()
+	return r
+}
+
+// ResetCache clears the memoised runs (tests use it to force fresh runs).
+func ResetCache() {
+	runMu.Lock()
+	runCache = map[string]*train.Result{}
+	runMu.Unlock()
+}
+
+func f(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f6(v float64) string { return fmt.Sprintf("%.6f", v) }

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sparsifier"
+	"repro/internal/stats"
+	"repro/internal/train"
+)
+
+// Table1 reproduces the paper's Table 1 — the qualitative strengths and
+// weaknesses of each sparsifier — but with the judgement *measured* on a
+// common workload instead of asserted: build-up and density predictability
+// come from realised densities, selection cost and overheads from wall
+// times, and the two static columns (hyperparameter tuning, worker idling)
+// from the schemes' definitions.
+func Table1(o Options) *Table {
+	workers := 8
+	iters := 24
+	if o.Quick {
+		workers = 4
+		iters = 12
+	}
+	density := 0.01
+	w := newWorkload("mlp")
+
+	// The hard-threshold sparsifier needs its hyperparameter tuned on a
+	// sample gradient before training — exactly the weakness Table 1 notes.
+	sample := sampleGradient(w)
+	hard := sparsifier.TuneHardThreshold(sample, density)
+
+	type rowInfo struct {
+		name    string
+		factory sparsifier.Factory
+		tuning  string // static property
+		idling  string // static property
+	}
+	rows := []rowInfo{
+		{"topk", sparsifierFactory("topk"), "No", "No"},
+		{"cltk", sparsifierFactory("cltk"), "No", "Yes"},
+		{"hardthreshold", func() sparsifier.Sparsifier { return hard }, "Yes", "No"},
+		{"sidco", sparsifierFactory("sidco"), "No", "No"},
+		{"deft", sparsifierFactory("deft"), "No", "No"},
+	}
+
+	t := &Table{
+		ID:    "table1",
+		Title: fmt.Sprintf("Sparsifier characteristics, measured on %d workers at d=%g — paper Table 1", workers, density),
+		Columns: []string{"sparsifier", "build-up", "density ratio", "unpredictable density",
+			"hyperparam tuning", "worker idling", "selection (µs)", "overhead (µs)"},
+	}
+	for _, ri := range rows {
+		key := fmt.Sprintf("table1/%s/n%d/i%d/s%d", ri.name, workers, iters, o.Seed)
+		r := cachedRun(key, w, ri.factory, train.Config{
+			Workers: workers, Density: density, LR: appLR("vision"),
+			Iterations: iters, Seed: 4000 + o.Seed,
+		})
+		ratio := r.ActualDensity.MeanY() / density
+		buildUp := "No"
+		if ratio > 1.5 {
+			buildUp = "Yes"
+		}
+		// Unpredictable: realised density far from the target or unstable
+		// over iterations.
+		rel := relStd(&r.ActualDensity)
+		unpred := "No"
+		if math.Abs(ratio-1) > 0.5 || rel > 0.25 {
+			unpred = "Yes"
+		}
+		selUS := r.SelectTime / float64(iters) * 1e6
+		ovhUS := r.PartitionTime / float64(iters) * 1e6
+		t.Rows = append(t.Rows, []string{
+			ri.name, buildUp, f2(ratio), unpred, ri.tuning, ri.idling,
+			fmt.Sprintf("%.0f", selUS), fmt.Sprintf("%.0f", ovhUS),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: Top-k and threshold schemes build up / drift in density; CLT-k idles workers; only DEFT avoids every column's weakness with low cost",
+		"selection/overhead are per-iteration wall-clock maxima over workers; hard-threshold was tuned on a sample gradient before the run")
+	return t
+}
+
+// relStd returns std(Y)/mean(Y) of a series (0 when empty or zero-mean).
+func relStd(s *stats.Series) float64 {
+	m := s.MeanY()
+	if m == 0 || len(s.Y) == 0 {
+		return 0
+	}
+	return math.Sqrt(stats.Variance(s.Y)) / m
+}
+
+// sampleGradient computes one minibatch gradient on a fresh replica
+// (flattened) — the tuning sample for the hard-threshold scheme.
+func sampleGradient(w train.Workload) []float64 {
+	m := w.NewModel()
+	params := m.Params()
+	nn.ZeroGrads(params)
+	m.Step(rng.New(99))
+	flat := make([]float64, nn.TotalSize(params))
+	train.FlattenGrads(params, flat)
+	return flat
+}
+
+// Table2 reproduces the paper's Table 2: the application configurations.
+// The rows record both the paper's setup and this reproduction's simulated
+// substitute, so the substitution is visible in the artefact itself.
+func Table2(o Options) *Table {
+	t := &Table{
+		ID:    "table2",
+		Title: "DNN applications — paper Table 2 (paper setup → simulated substitute)",
+		Columns: []string{"application", "paper model/dataset", "simulated substitute",
+			"params", "batch/worker", "density"},
+	}
+	vision := models.DefaultVisionConfig()
+	text := models.DefaultTextConfig()
+	rec := models.DefaultRecsysConfig()
+	vp := nn.TotalSize(models.NewVision(vision).NewModel().Params())
+	tp := nn.TotalSize(models.NewText(text).NewModel().Params())
+	rp := nn.TotalSize(models.NewRecsys(rec).NewModel().Params())
+	t.Rows = append(t.Rows,
+		[]string{"computer vision", "ResNet-18 / CIFAR-10 (B=25, 200 epochs)",
+			fmt.Sprintf("residual CNN / synthetic %d-class %dx%dx%d images", vision.Data.Classes, vision.Data.Channels, vision.Data.Size, vision.Data.Size),
+			fmt.Sprintf("%d", vp), fmt.Sprintf("%d", vision.BatchSize), "0.01"},
+		[]string{"language modelling", "LSTM / WikiText-2 (B=25, 90 epochs)",
+			fmt.Sprintf("LSTM / synthetic Markov text, vocab %d", text.Data.Vocab),
+			fmt.Sprintf("%d", tp), fmt.Sprintf("%d", text.BatchSize), "0.001"},
+		[]string{"recommendation", "NCF / MovieLens-20M (B=2^16, 30 epochs)",
+			fmt.Sprintf("NCF / synthetic implicit feedback, %d users x %d items", rec.Data.Users, rec.Data.Items),
+			fmt.Sprintf("%d", rp), fmt.Sprintf("%d", rec.Positives*(1+rec.NegRatio)), "0.1"},
+	)
+	t.Notes = append(t.Notes,
+		"full-size layer catalogs of the paper's exact models back the cost experiments: resnet18 11.2M, lstm 136M, ncf 21M gradients (internal/shapes)")
+	return t
+}
+
+// Ablation quantifies the design choices DESIGN.md calls out: Algorithm 3
+// (norm-proportional k) vs uniform k, Algorithm 4 (LPT) vs round-robin and
+// contiguous allocation, and Algorithm 2's second partitioning stage
+// on/off. Balance numbers use the modeled max-worker cost; selection
+// significance uses the realised error norm after a short run.
+func Ablation(o Options) *Table {
+	workers := 8
+	iters := 30
+	if o.Quick {
+		workers = 4
+		iters = 16
+	}
+	density := 0.01
+	w := newWorkload("mlp")
+
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"deft (paper)", core.DefaultOptions()},
+		{"uniform-k", core.Options{Partition: core.PartitionOpts{SecondStage: true}, UniformK: true}},
+		{"round-robin alloc", core.Options{Partition: core.PartitionOpts{SecondStage: true}, Alloc: core.RoundRobinPolicy}},
+		{"contiguous alloc", core.Options{Partition: core.PartitionOpts{SecondStage: true}, Alloc: core.ContiguousPolicy}},
+		{"no second stage", core.Options{Partition: core.PartitionOpts{SecondStage: false}}},
+	}
+	t := &Table{
+		ID:    "ablation",
+		Title: fmt.Sprintf("DEFT design ablations (mlp, %d workers, d=%g)", workers, density),
+		Columns: []string{"variant", "final loss", "tail ‖e‖", "mean density",
+			"balance (max/mean cost)"},
+	}
+	for _, v := range variants {
+		key := fmt.Sprintf("ablation/%s/n%d/i%d/s%d", v.name, workers, iters, o.Seed)
+		r := cachedRun(key, w, core.Factory(v.opts), train.Config{
+			Workers: workers, Density: density, LR: appLR("vision"),
+			Iterations: iters, Seed: 5000 + o.Seed,
+		})
+		balance := allocBalance(w, v.opts, workers, density)
+		t.Rows = append(t.Rows, []string{
+			v.name, f(r.TrainLoss.LastY()), f6(r.ErrorNorm.TailMeanY(0.25)),
+			f6(r.ActualDensity.MeanY()), f2(balance),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"expected: uniform-k raises the error norm (less significant selection); round-robin/contiguous/no-second-stage worsen balance (max/mean cost grows)")
+	return t
+}
+
+// allocBalance computes max/mean worker cost for one DEFT configuration on
+// a sample gradient of the workload.
+func allocBalance(w train.Workload, opts core.Options, workers int, density float64) float64 {
+	m := w.NewModel()
+	params := m.Params()
+	nn.ZeroGrads(params)
+	m.Step(rng.New(123))
+	flat := make([]float64, nn.TotalSize(params))
+	train.FlattenGrads(params, flat)
+	layers := train.Layout(params)
+
+	frags := core.Partition(layers, workers, opts.Partition)
+	core.ComputeNorms(frags, flat)
+	k := int(density * float64(len(flat)))
+	if opts.UniformK {
+		core.AssignUniform(frags, k)
+	} else {
+		core.AssignK(frags, k)
+	}
+	bins := core.Allocate(frags, workers, opts.Alloc)
+	total := 0.0
+	for _, f := range frags {
+		total += f.Cost()
+	}
+	mean := total / float64(workers)
+	if mean == 0 {
+		return 1
+	}
+	return core.MaxWorkerCost(frags, bins) / mean
+}
+
+// Table3 extends Table 1 beyond the paper: the full sparsifier zoo
+// implemented in this repository (adding DGC, Gaussian-k and random-k) on
+// one workload, measuring realised density, convergence, error and
+// selection cost side by side.
+func Table3(o Options) *Table {
+	workers := 8
+	iters := 40
+	if o.Quick {
+		workers = 4
+		iters = 16
+	}
+	density := 0.01
+	w := newWorkload("mlp")
+	sample := sampleGradient(w)
+	hard := sparsifier.TuneHardThreshold(sample, density)
+
+	schemes := []struct {
+		name    string
+		factory sparsifier.Factory
+	}{
+		{"deft", sparsifierFactory("deft")},
+		{"topk", sparsifierFactory("topk")},
+		{"cltk", sparsifierFactory("cltk")},
+		{"sidco", sparsifierFactory("sidco")},
+		{"dgc", sparsifierFactory("dgc")},
+		{"gaussiank", sparsifierFactory("gaussiank")},
+		{"randk", sparsifierFactory("randk")},
+		{"hardthreshold", func() sparsifier.Sparsifier { return hard }},
+	}
+	t := &Table{
+		ID:    "table3",
+		Title: fmt.Sprintf("Extended sparsifier comparison (mlp, %d workers, d=%g) — beyond the paper", workers, density),
+		Columns: []string{"sparsifier", "final loss", "mean density", "density/target",
+			"tail ‖e‖", "selection (µs)"},
+	}
+	for _, s := range schemes {
+		key := fmt.Sprintf("table3/%s/n%d/i%d/s%d", s.name, workers, iters, o.Seed)
+		r := cachedRun(key, w, s.factory, train.Config{
+			Workers: workers, Density: density, LR: appLR("vision"),
+			Iterations: iters, Seed: 6000 + o.Seed,
+		})
+		t.Rows = append(t.Rows, []string{
+			s.name, f(r.TrainLoss.LastY()), f6(r.ActualDensity.MeanY()),
+			f2(r.ActualDensity.MeanY() / density),
+			f6(r.ErrorNorm.TailMeanY(0.25)),
+			fmt.Sprintf("%.0f", r.SelectTime/float64(iters)*1e6),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"randk holds the target density but converges worst (magnitude-blind selection); dgc tracks topk with cheaper selection; gaussiank drifts like the other threshold fits")
+	return t
+}

@@ -1,0 +1,542 @@
+// Package models implements the three DNN application families of the
+// paper's Table 2 — computer vision (residual CNN, standing in for
+// ResNet-18), language modelling (LSTM) and recommendation (NCF) — scaled
+// to train on a single CPU core, plus a small MLP used by the quickstart.
+//
+// Each workload satisfies the train.Workload contract structurally:
+//
+//	Name() / MetricName() string
+//	NewModel() returning a replica with identical initial weights
+//	Evaluate(model) float64
+//
+// and every model satisfies train.Model:
+//
+//	Params() []*nn.Param
+//	Step(r *rng.RNG) float64   // sample minibatch, forward+backward
+package models
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// ---------------------------------------------------------------- vision --
+
+// VisionConfig sizes the residual CNN workload.
+type VisionConfig struct {
+	Data      data.VisionConfig
+	Width     int // base channel count
+	BatchSize int
+	InitSeed  uint64
+	TestN     int // evaluation set size
+}
+
+// DefaultVisionConfig returns the configuration used in the experiments.
+func DefaultVisionConfig() VisionConfig {
+	return VisionConfig{
+		Data:      data.DefaultVisionConfig(),
+		Width:     8,
+		BatchSize: 8,
+		InitSeed:  100,
+		TestN:     256,
+	}
+}
+
+// Vision is the computer-vision workload (paper: ResNet-18 on CIFAR-10).
+type Vision struct {
+	cfg   VisionConfig
+	ds    *data.Vision
+	testX *tensor.Tensor
+	testY []int
+}
+
+// NewVision builds the workload.
+func NewVision(cfg VisionConfig) *Vision {
+	ds := data.NewVision(cfg.Data)
+	v := &Vision{cfg: cfg, ds: ds}
+	v.testX, v.testY = ds.TestSet(cfg.TestN)
+	return v
+}
+
+// Name implements train.Workload.
+func (v *Vision) Name() string { return "vision" }
+
+// MetricName implements train.Workload.
+func (v *Vision) MetricName() string { return "test accuracy (%)" }
+
+// VisionModel is a small residual CNN.
+type VisionModel struct {
+	net *nn.Sequential
+	ds  *data.Vision
+	cfg VisionConfig
+}
+
+// NewModel implements train.Workload. Every call returns an identically
+// initialised replica.
+func (v *Vision) NewModel() train.Model {
+	r := rng.New(v.cfg.InitSeed)
+	w := v.cfg.Width
+	c := v.cfg.Data.Channels
+	block := func(name string, ch int) nn.Layer {
+		return nn.NewResidual(nn.NewSequential(
+			nn.NewConv2D(name+".conv1", r, ch, ch, 3, 1, 1, false),
+			nn.NewBatchNorm(name+".bn1", ch),
+			nn.NewReLU(),
+			nn.NewConv2D(name+".conv2", r, ch, ch, 3, 1, 1, false),
+			nn.NewBatchNorm(name+".bn2", ch),
+		))
+	}
+	net := nn.NewSequential(
+		nn.NewConv2D("stem.conv", r, c, w, 3, 1, 1, false),
+		nn.NewBatchNorm("stem.bn", w),
+		nn.NewReLU(),
+		block("stage1.block1", w),
+		nn.NewConv2D("stage2.down", r, w, 2*w, 3, 2, 1, false),
+		nn.NewBatchNorm("stage2.bn", 2*w),
+		nn.NewReLU(),
+		block("stage2.block1", 2*w),
+		nn.NewGlobalAvgPool(),
+		nn.NewDense("fc", r, 2*w, v.cfg.Data.Classes, true),
+	)
+	return &VisionModel{net: net, ds: v.ds, cfg: v.cfg}
+}
+
+// Params implements train.Model.
+func (m *VisionModel) Params() []*nn.Param { return m.net.Params() }
+
+// Step implements train.Model.
+func (m *VisionModel) Step(r *rng.RNG) float64 {
+	x, labels := m.ds.Sample(r, m.cfg.BatchSize)
+	logits := m.net.Forward(x, true)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+	m.net.Backward(grad)
+	return loss
+}
+
+// Evaluate implements train.Workload: test accuracy in percent.
+func (v *Vision) Evaluate(mi train.Model) float64 {
+	m := mi.(*VisionModel)
+	logits := m.net.Forward(v.testX, false)
+	c := v.cfg.Data.Classes
+	correct := 0
+	for i, label := range v.testY {
+		if tensor.ArgMax(logits.Data[i*c:(i+1)*c]) == label {
+			correct++
+		}
+	}
+	return 100 * float64(correct) / float64(len(v.testY))
+}
+
+// ------------------------------------------------------------------ text --
+
+// TextConfig sizes the LSTM language-modelling workload.
+type TextConfig struct {
+	Data      data.TextConfig
+	Embed     int
+	Hidden    int
+	BatchSize int
+	InitSeed  uint64
+	TestN     int
+}
+
+// DefaultTextConfig returns the configuration used in the experiments.
+func DefaultTextConfig() TextConfig {
+	return TextConfig{
+		Data:      data.DefaultTextConfig(),
+		Embed:     16,
+		Hidden:    32,
+		BatchSize: 8,
+		InitSeed:  200,
+		TestN:     64,
+	}
+}
+
+// Text is the language-modelling workload (paper: LSTM on WikiText-2).
+type Text struct {
+	cfg   TextConfig
+	ds    *data.Text
+	testX *tensor.Tensor
+	testY []int
+}
+
+// NewText builds the workload.
+func NewText(cfg TextConfig) *Text {
+	ds := data.NewText(cfg.Data)
+	t := &Text{cfg: cfg, ds: ds}
+	t.testX, t.testY = ds.TestSet(cfg.TestN)
+	return t
+}
+
+// Name implements train.Workload.
+func (t *Text) Name() string { return "langmodel" }
+
+// MetricName implements train.Workload.
+func (t *Text) MetricName() string { return "test perplexity" }
+
+// TextModel is Embedding → LSTM → Dense over each timestep.
+type TextModel struct {
+	emb  *nn.Embedding
+	lstm *nn.LSTM
+	out  *nn.Dense
+	ds   *data.Text
+	cfg  TextConfig
+}
+
+// NewModel implements train.Workload.
+func (t *Text) NewModel() train.Model {
+	r := rng.New(t.cfg.InitSeed)
+	return &TextModel{
+		emb:  nn.NewEmbedding("embed", r, t.cfg.Data.Vocab, t.cfg.Embed),
+		lstm: nn.NewLSTM("lstm", r, t.cfg.Embed, t.cfg.Hidden),
+		out:  nn.NewDense("decoder", r, t.cfg.Hidden, t.cfg.Data.Vocab, true),
+		ds:   t.ds,
+		cfg:  t.cfg,
+	}
+}
+
+// Params implements train.Model.
+func (m *TextModel) Params() []*nn.Param {
+	ps := m.emb.Params()
+	ps = append(ps, m.lstm.Params()...)
+	ps = append(ps, m.out.Params()...)
+	return ps
+}
+
+// forward runs the full pipeline, returning logits [B*T, V].
+func (m *TextModel) forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	e := m.emb.Forward(x, train)   // [B, T, E]
+	h := m.lstm.Forward(e, train)  // [B, T, H]
+	return m.out.Forward(h, train) // [B*T, V]
+}
+
+// Step implements train.Model.
+func (m *TextModel) Step(r *rng.RNG) float64 {
+	x, targets := m.ds.Sample(r, m.cfg.BatchSize)
+	logits := m.forward(x, true)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, targets)
+	dh := m.out.Backward(grad)
+	b, T := x.Dim(0), x.Dim(1)
+	de := m.lstm.Backward(dh.Reshape(b, T, m.cfg.Hidden))
+	m.emb.Backward(de)
+	return loss
+}
+
+// Evaluate implements train.Workload: perplexity on the held-out set.
+func (t *Text) Evaluate(mi train.Model) float64 {
+	m := mi.(*TextModel)
+	logits := m.forward(t.testX, false)
+	loss, _ := nn.SoftmaxCrossEntropy(logits, t.testY)
+	return math.Exp(loss)
+}
+
+// ---------------------------------------------------------------- recsys --
+
+// RecsysConfig sizes the NCF workload.
+type RecsysConfig struct {
+	Data      data.RecsysConfig
+	GMFDim    int
+	MLPDim    int // per-side embedding dim of the MLP tower
+	Hidden    int // MLP tower hidden width
+	Positives int // positives per batch
+	NegRatio  int // negatives per positive
+	InitSeed  uint64
+	EvalNeg   int // negatives per user in HR@10 evaluation
+}
+
+// DefaultRecsysConfig returns the configuration used in the experiments.
+func DefaultRecsysConfig() RecsysConfig {
+	return RecsysConfig{
+		Data:      data.DefaultRecsysConfig(),
+		GMFDim:    8,
+		MLPDim:    8,
+		Hidden:    16,
+		Positives: 8,
+		NegRatio:  4,
+		InitSeed:  300,
+		EvalNeg:   50,
+	}
+}
+
+// Recsys is the recommendation workload (paper: NCF on MovieLens-20M).
+type Recsys struct {
+	cfg       RecsysConfig
+	ds        *data.Recsys
+	evalUsers []int
+	evalCands [][]int
+}
+
+// NewRecsys builds the workload.
+func NewRecsys(cfg RecsysConfig) *Recsys {
+	ds := data.NewRecsys(cfg.Data)
+	r := &Recsys{cfg: cfg, ds: ds}
+	r.evalUsers, r.evalCands = ds.EvalLists(cfg.EvalNeg)
+	return r
+}
+
+// Name implements train.Workload.
+func (rw *Recsys) Name() string { return "recsys" }
+
+// MetricName implements train.Workload.
+func (rw *Recsys) MetricName() string { return "hr@10 (%)" }
+
+// RecsysModel is neural collaborative filtering: a GMF tower (element-wise
+// product of user/item embeddings) and an MLP tower (concatenated
+// embeddings through two dense layers), fused by a final dense layer to one
+// logit (He et al. [18]).
+type RecsysModel struct {
+	userG, itemG *nn.Embedding // GMF embeddings
+	userM, itemM *nn.Embedding // MLP embeddings
+	fc1, fc2     *nn.Dense
+	relu1, relu2 *nn.ReLU
+	fuse         *nn.Dense
+	ds           *data.Recsys
+	cfg          RecsysConfig
+
+	// forward cache for backward
+	gmfU, gmfI *tensor.Tensor
+}
+
+// NewModel implements train.Workload.
+func (rw *Recsys) NewModel() train.Model {
+	r := rng.New(rw.cfg.InitSeed)
+	cfg := rw.cfg
+	return &RecsysModel{
+		userG: nn.NewEmbedding("gmf.user", r, cfg.Data.Users, cfg.GMFDim),
+		itemG: nn.NewEmbedding("gmf.item", r, cfg.Data.Items, cfg.GMFDim),
+		userM: nn.NewEmbedding("mlp.user", r, cfg.Data.Users, cfg.MLPDim),
+		itemM: nn.NewEmbedding("mlp.item", r, cfg.Data.Items, cfg.MLPDim),
+		fc1:   nn.NewDense("mlp.fc1", r, 2*cfg.MLPDim, cfg.Hidden, true),
+		relu1: nn.NewReLU(),
+		fc2:   nn.NewDense("mlp.fc2", r, cfg.Hidden, cfg.GMFDim, true),
+		relu2: nn.NewReLU(),
+		fuse:  nn.NewDense("fuse", r, 2*cfg.GMFDim, 1, true),
+		ds:    rw.ds,
+		cfg:   cfg,
+	}
+}
+
+// Params implements train.Model.
+func (m *RecsysModel) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, l := range []nn.Layer{m.userG, m.itemG, m.userM, m.itemM, m.fc1, m.fc2, m.fuse} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// forward scores (user, item) pairs, returning logits [B].
+func (m *RecsysModel) forward(users, items []int, train bool) *tensor.Tensor {
+	b := len(users)
+	uIDs := tensor.New(b)
+	iIDs := tensor.New(b)
+	for i := range users {
+		uIDs.Data[i] = float64(users[i])
+		iIDs.Data[i] = float64(items[i])
+	}
+	gu := m.userG.Forward(uIDs, train) // [B, G]
+	gi := m.itemG.Forward(iIDs, train)
+	m.gmfU, m.gmfI = gu, gi
+	g := m.cfg.GMFDim
+	gmf := tensor.New(b, g)
+	for i := range gmf.Data {
+		gmf.Data[i] = gu.Data[i] * gi.Data[i]
+	}
+	mu := m.userM.Forward(uIDs, train) // [B, M]
+	mi := m.itemM.Forward(iIDs, train)
+	mlpIn := concatCols(mu, mi)
+	h := m.relu1.Forward(m.fc1.Forward(mlpIn, train), train)
+	mlpOut := m.relu2.Forward(m.fc2.Forward(h, train), train) // [B, G]
+	fused := concatCols(gmf, mlpOut)                          // [B, 2G]
+	return m.fuse.Forward(fused, train)                       // [B, 1]
+}
+
+// backward propagates dL/dlogits through both towers.
+func (m *RecsysModel) backward(dlogits *tensor.Tensor) {
+	dFused := m.fuse.Backward(dlogits) // [B, 2G]
+	g := m.cfg.GMFDim
+	dGmf, dMlpOut := splitCols(dFused, g)
+	// GMF tower: d gu = dgmf ⊙ gi, d gi = dgmf ⊙ gu.
+	dGu := tensor.New(dGmf.Shape()...)
+	dGi := tensor.New(dGmf.Shape()...)
+	for i := range dGmf.Data {
+		dGu.Data[i] = dGmf.Data[i] * m.gmfI.Data[i]
+		dGi.Data[i] = dGmf.Data[i] * m.gmfU.Data[i]
+	}
+	m.userG.Backward(dGu)
+	m.itemG.Backward(dGi)
+	// MLP tower.
+	dh := m.fc2.Backward(m.relu2.Backward(dMlpOut))
+	dMlpIn := m.fc1.Backward(m.relu1.Backward(dh))
+	dMu, dMi := splitCols(dMlpIn, m.cfg.MLPDim)
+	m.userM.Backward(dMu)
+	m.itemM.Backward(dMi)
+}
+
+// Step implements train.Model.
+func (m *RecsysModel) Step(r *rng.RNG) float64 {
+	users, items, labels := m.ds.Sample(r, m.cfg.Positives, m.cfg.NegRatio)
+	logits := m.forward(users, items, true)
+	loss, grad := nn.BCEWithLogits(logits, labels)
+	m.backward(grad)
+	return loss
+}
+
+// Evaluate implements train.Workload: hit rate at 10 in percent.
+func (rw *Recsys) Evaluate(mi train.Model) float64 {
+	m := mi.(*RecsysModel)
+	hits := 0
+	for i, u := range rw.evalUsers {
+		cands := rw.evalCands[i]
+		users := make([]int, len(cands))
+		for j := range users {
+			users[j] = u
+		}
+		scores := m.forward(users, cands, false)
+		// Rank of candidate 0 (the held-out positive).
+		rank := 0
+		target := scores.Data[0]
+		for _, s := range scores.Data[1:] {
+			if s > target {
+				rank++
+			}
+		}
+		if rank < 10 {
+			hits++
+		}
+	}
+	return 100 * float64(hits) / float64(len(rw.evalUsers))
+}
+
+// ----------------------------------------------------------------- mlp --
+
+// MLPConfig sizes the quickstart MLP workload.
+type MLPConfig struct {
+	Data      data.VisionConfig
+	Hidden    int
+	BatchSize int
+	InitSeed  uint64
+	TestN     int
+}
+
+// DefaultMLPConfig returns the quickstart configuration.
+func DefaultMLPConfig() MLPConfig {
+	return MLPConfig{Data: data.DefaultVisionConfig(), Hidden: 32, BatchSize: 16, InitSeed: 400, TestN: 256}
+}
+
+// MLP is a small dense classifier over the flattened vision dataset,
+// used by the quickstart example and as a fast workload in tests.
+type MLP struct {
+	cfg   MLPConfig
+	ds    *data.Vision
+	testX *tensor.Tensor
+	testY []int
+}
+
+// NewMLP builds the workload.
+func NewMLP(cfg MLPConfig) *MLP {
+	ds := data.NewVision(cfg.Data)
+	m := &MLP{cfg: cfg, ds: ds}
+	m.testX, m.testY = ds.TestSet(cfg.TestN)
+	return m
+}
+
+// Name implements train.Workload.
+func (m *MLP) Name() string { return "mlp" }
+
+// MetricName implements train.Workload.
+func (m *MLP) MetricName() string { return "test accuracy (%)" }
+
+// MLPModel is Flatten → Dense → ReLU → Dense.
+type MLPModel struct {
+	net *nn.Sequential
+	ds  *data.Vision
+	cfg MLPConfig
+}
+
+// NewModel implements train.Workload.
+func (m *MLP) NewModel() train.Model {
+	r := rng.New(m.cfg.InitSeed)
+	in := m.cfg.Data.Channels * m.cfg.Data.Size * m.cfg.Data.Size
+	h2 := m.cfg.Hidden / 2
+	if h2 < 4 {
+		h2 = 4
+	}
+	net := nn.NewSequential(
+		nn.NewFlatten(),
+		nn.NewDense("fc1", r, in, m.cfg.Hidden, true),
+		nn.NewReLU(),
+		nn.NewDense("fc2", r, m.cfg.Hidden, h2, true),
+		nn.NewReLU(),
+		nn.NewDense("fc3", r, h2, m.cfg.Data.Classes, true),
+	)
+	return &MLPModel{net: net, ds: m.ds, cfg: m.cfg}
+}
+
+// Params implements train.Model.
+func (mm *MLPModel) Params() []*nn.Param { return mm.net.Params() }
+
+// Step implements train.Model.
+func (mm *MLPModel) Step(r *rng.RNG) float64 {
+	x, labels := mm.ds.Sample(r, mm.cfg.BatchSize)
+	logits := mm.net.Forward(x, true)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+	mm.net.Backward(grad)
+	return loss
+}
+
+// Evaluate implements train.Workload.
+func (m *MLP) Evaluate(mi train.Model) float64 {
+	mm := mi.(*MLPModel)
+	logits := mm.net.Forward(m.testX, false)
+	c := m.cfg.Data.Classes
+	correct := 0
+	for i, label := range m.testY {
+		if tensor.ArgMax(logits.Data[i*c:(i+1)*c]) == label {
+			correct++
+		}
+	}
+	return 100 * float64(correct) / float64(len(m.testY))
+}
+
+// --------------------------------------------------------------- helpers --
+
+// concatCols concatenates two [B, X] / [B, Y] tensors into [B, X+Y].
+func concatCols(a, b *tensor.Tensor) *tensor.Tensor {
+	ba, ca := a.Dim(0), a.Dim(1)
+	cb := b.Dim(1)
+	out := tensor.New(ba, ca+cb)
+	for i := 0; i < ba; i++ {
+		copy(out.Data[i*(ca+cb):i*(ca+cb)+ca], a.Data[i*ca:(i+1)*ca])
+		copy(out.Data[i*(ca+cb)+ca:(i+1)*(ca+cb)], b.Data[i*cb:(i+1)*cb])
+	}
+	return out
+}
+
+// splitCols splits [B, X+Y] at column x into [B, X] and [B, Y].
+func splitCols(t *tensor.Tensor, x int) (*tensor.Tensor, *tensor.Tensor) {
+	b, c := t.Dim(0), t.Dim(1)
+	a := tensor.New(b, x)
+	bb := tensor.New(b, c-x)
+	for i := 0; i < b; i++ {
+		copy(a.Data[i*x:(i+1)*x], t.Data[i*c:i*c+x])
+		copy(bb.Data[i*(c-x):(i+1)*(c-x)], t.Data[i*c+x:(i+1)*c])
+	}
+	return a, bb
+}
+
+// Compile-time interface conformance checks.
+var (
+	_ train.Workload = (*Vision)(nil)
+	_ train.Workload = (*Text)(nil)
+	_ train.Workload = (*Recsys)(nil)
+	_ train.Workload = (*MLP)(nil)
+	_ train.Model    = (*VisionModel)(nil)
+	_ train.Model    = (*TextModel)(nil)
+	_ train.Model    = (*RecsysModel)(nil)
+	_ train.Model    = (*MLPModel)(nil)
+)

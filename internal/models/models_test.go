@@ -1,0 +1,224 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func randMat(r *rng.RNG, rows, cols int) *tensor.Tensor {
+	return tensor.Randn(r, 1, rows, cols)
+}
+
+// workloads under test, with the iteration budget and learning rate each
+// needs to show clear single-worker learning progress.
+func testWorkloads() []struct {
+	name  string
+	w     train.Workload
+	lr    float64
+	iters int
+} {
+	return []struct {
+		name  string
+		w     train.Workload
+		lr    float64
+		iters int
+	}{
+		{"mlp", NewMLP(DefaultMLPConfig()), 0.3, 60},
+		{"vision", NewVision(DefaultVisionConfig()), 0.2, 40},
+		{"langmodel", NewText(DefaultTextConfig()), 1.0, 60},
+		{"recsys", NewRecsys(DefaultRecsysConfig()), 1.0, 600},
+	}
+}
+
+func TestReplicasIdenticalAtInit(t *testing.T) {
+	for _, tc := range testWorkloads() {
+		a := tc.w.NewModel().Params()
+		b := tc.w.NewModel().Params()
+		if len(a) != len(b) {
+			t.Fatalf("%s: param count differs", tc.name)
+		}
+		for i := range a {
+			if a[i].Name != b[i].Name {
+				t.Fatalf("%s: param order differs: %s vs %s", tc.name, a[i].Name, b[i].Name)
+			}
+			for j := range a[i].W.Data {
+				if a[i].W.Data[j] != b[i].W.Data[j] {
+					t.Fatalf("%s: replicas differ at %s[%d]", tc.name, a[i].Name, j)
+				}
+			}
+		}
+	}
+}
+
+func TestParamNamesUnique(t *testing.T) {
+	for _, tc := range testWorkloads() {
+		if err := nn.CheckNames(tc.w.NewModel().Params()); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestModelsHaveHeterogeneousLayers(t *testing.T) {
+	// The paper's premise: layers differ in size (and later, in norm).
+	for _, tc := range testWorkloads() {
+		params := tc.w.NewModel().Params()
+		if len(params) < 5 {
+			t.Errorf("%s: only %d parameter tensors; too homogeneous for DEFT experiments", tc.name, len(params))
+		}
+		minSz, maxSz := params[0].Size(), params[0].Size()
+		for _, p := range params {
+			if p.Size() < minSz {
+				minSz = p.Size()
+			}
+			if p.Size() > maxSz {
+				maxSz = p.Size()
+			}
+		}
+		if maxSz < 10*minSz {
+			t.Errorf("%s: layer sizes too uniform (%d..%d)", tc.name, minSz, maxSz)
+		}
+	}
+}
+
+func TestStepProducesFiniteGradients(t *testing.T) {
+	for _, tc := range testWorkloads() {
+		m := tc.w.NewModel()
+		nn.ZeroGrads(m.Params())
+		loss := m.Step(rng.New(1))
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			t.Fatalf("%s: loss %v", tc.name, loss)
+		}
+		nonZero := 0
+		for _, p := range m.Params() {
+			for _, g := range p.G.Data {
+				if math.IsNaN(g) || math.IsInf(g, 0) {
+					t.Fatalf("%s: non-finite gradient in %s", tc.name, p.Name)
+				}
+				if g != 0 {
+					nonZero++
+				}
+			}
+		}
+		if nonZero == 0 {
+			t.Fatalf("%s: all gradients zero", tc.name)
+		}
+	}
+}
+
+func TestSingleWorkerSGDLearns(t *testing.T) {
+	// Plain (non-sparsified, n=1) SGD must improve the training loss for
+	// every workload. This is the substrate sanity check everything else
+	// rests on.
+	for _, tc := range testWorkloads() {
+		m := tc.w.NewModel()
+		params := m.Params()
+		r := rng.New(42)
+		var head, tail float64
+		headN, tailN := 0, 0
+		// head = the first few minibatches (the loss near initialisation);
+		// tail = the last quarter. The workloads plateau at different
+		// speeds, so comparing against initialisation is the robust check.
+		headWin := 5
+		for it := 0; it < tc.iters; it++ {
+			nn.ZeroGrads(params)
+			loss := m.Step(r.Split(uint64(it)))
+			for _, p := range params {
+				p.W.AddScaled(-tc.lr, p.G)
+			}
+			if it < headWin {
+				head += loss
+				headN++
+			}
+			if it >= tc.iters*3/4 {
+				tail += loss
+				tailN++
+			}
+		}
+		head /= float64(headN)
+		tail /= float64(tailN)
+		if tail >= head*0.9 {
+			t.Errorf("%s: loss did not improve (head %.4f tail %.4f)", tc.name, head, tail)
+		}
+	}
+}
+
+func TestEvaluateMetricsInRange(t *testing.T) {
+	for _, tc := range testWorkloads() {
+		m := tc.w.NewModel()
+		metric := tc.w.Evaluate(m)
+		switch tc.name {
+		case "mlp", "vision", "recsys":
+			if metric < 0 || metric > 100 {
+				t.Errorf("%s: metric %v out of [0,100]", tc.name, metric)
+			}
+		case "langmodel":
+			if metric <= 1 || math.IsNaN(metric) {
+				t.Errorf("%s: perplexity %v invalid", tc.name, metric)
+			}
+		}
+	}
+}
+
+func TestRecsysHRBeatsChanceAfterTraining(t *testing.T) {
+	w := NewRecsys(DefaultRecsysConfig())
+	m := w.NewModel()
+	params := m.Params()
+	r := rng.New(7)
+	for it := 0; it < 400; it++ {
+		nn.ZeroGrads(params)
+		m.Step(r.Split(uint64(it)))
+		for _, p := range params {
+			p.W.AddScaled(-0.5, p.G)
+		}
+	}
+	hr := w.Evaluate(m)
+	// Chance HR@10 with 1 positive among 51 candidates ≈ 19.6%.
+	if hr < 30 {
+		t.Errorf("hr@10 = %v%%, want well above chance (~20%%)", hr)
+	}
+}
+
+func TestTextPerplexityDropsBelowUniform(t *testing.T) {
+	w := NewText(DefaultTextConfig())
+	m := w.NewModel()
+	params := m.Params()
+	r := rng.New(8)
+	uniform := float64(DefaultTextConfig().Data.Vocab)
+	for it := 0; it < 150; it++ {
+		nn.ZeroGrads(params)
+		m.Step(r.Split(uint64(it)))
+		for _, p := range params {
+			p.W.AddScaled(-1.0, p.G)
+		}
+	}
+	ppl := w.Evaluate(m)
+	if ppl > uniform*0.7 {
+		t.Errorf("perplexity %v did not drop below 0.7×uniform (%v)", ppl, uniform)
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	r := rng.New(9)
+	a := randMat(r, 3, 4)
+	b := randMat(r, 3, 2)
+	c := concatCols(a, b)
+	if c.Dim(0) != 3 || c.Dim(1) != 6 {
+		t.Fatalf("concat shape %v", c.Shape())
+	}
+	a2, b2 := splitCols(c, 4)
+	for i := range a.Data {
+		if a.Data[i] != a2.Data[i] {
+			t.Fatal("split lost a")
+		}
+	}
+	for i := range b.Data {
+		if b.Data[i] != b2.Data[i] {
+			t.Fatal("split lost b")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < x.Size() {
+		r.mask = make([]bool, x.Size())
+	}
+	r.mask = r.mask[:x.Size()]
+	for i, v := range y.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	y *tensor.Tensor
+}
+
+// NewSigmoid creates a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = sigmoid(v)
+	}
+	s.y = y
+	return y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := dout.Clone()
+	for i, g := range dx.Data {
+		yv := s.y.Data[i]
+		dx.Data[i] = g * yv * (1 - yv)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+// NewTanh creates a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.y = y
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := dout.Clone()
+	for i, g := range dx.Data {
+		yv := t.y.Data[i]
+		dx.Data[i] = g * (1 - yv*yv)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// sigmoid is numerically stable for large |x|.
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Flatten reshapes [B, ...] to [B, rest]. It is shape bookkeeping only.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape()...)
+	b := x.Dim(0)
+	return x.Reshape(b, x.Size()/b)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalises per channel over batch and spatial dimensions
+// (NCHW input) or per feature (2-D input [B, C]). Running statistics feed
+// evaluation mode.
+type BatchNorm struct {
+	C        int
+	Eps      float64
+	Momentum float64 // running-stat update rate (PyTorch convention)
+
+	Gamma *Param // [C] scale
+	Beta  *Param // [C] shift
+
+	RunMean []float64
+	RunVar  []float64
+
+	// Forward cache.
+	xhat    *tensor.Tensor
+	invStd  []float64
+	inShape []int
+}
+
+// NewBatchNorm creates a batch-norm layer over C channels.
+func NewBatchNorm(name string, c int) *BatchNorm {
+	bn := &BatchNorm{
+		C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:   NewParam(name+".gamma", tensor.New(c)),
+		Beta:    NewParam(name+".beta", tensor.New(c)),
+		RunMean: make([]float64, c),
+		RunVar:  make([]float64, c),
+	}
+	bn.Gamma.W.Fill(1)
+	for i := range bn.RunVar {
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// channelViews returns batch size and per-position count for the input.
+func (bn *BatchNorm) dims(x *tensor.Tensor) (b, hw int) {
+	sh := x.Shape()
+	switch len(sh) {
+	case 2:
+		if sh[1] != bn.C {
+			panic(fmt.Sprintf("nn: BatchNorm(%d) got shape %v", bn.C, sh))
+		}
+		return sh[0], 1
+	case 4:
+		if sh[1] != bn.C {
+			panic(fmt.Sprintf("nn: BatchNorm(%d) got shape %v", bn.C, sh))
+		}
+		return sh[0], sh[2] * sh[3]
+	default:
+		panic(fmt.Sprintf("nn: BatchNorm supports 2-D/4-D, got %v", sh))
+	}
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b, hw := bn.dims(x)
+	bn.inShape = append(bn.inShape[:0], x.Shape()...)
+	n := float64(b * hw)
+	y := tensor.New(x.Shape()...)
+	bn.xhat = tensor.New(x.Shape()...)
+	if cap(bn.invStd) < bn.C {
+		bn.invStd = make([]float64, bn.C)
+	}
+	bn.invStd = bn.invStd[:bn.C]
+
+	for c := 0; c < bn.C; c++ {
+		var mean, variance float64
+		if train {
+			sum := 0.0
+			for i := 0; i < b; i++ {
+				base := (i*bn.C + c) * hw
+				for j := 0; j < hw; j++ {
+					sum += x.Data[base+j]
+				}
+			}
+			mean = sum / n
+			ss := 0.0
+			for i := 0; i < b; i++ {
+				base := (i*bn.C + c) * hw
+				for j := 0; j < hw; j++ {
+					d := x.Data[base+j] - mean
+					ss += d * d
+				}
+			}
+			variance = ss / n
+			bn.RunMean[c] = (1-bn.Momentum)*bn.RunMean[c] + bn.Momentum*mean
+			bn.RunVar[c] = (1-bn.Momentum)*bn.RunVar[c] + bn.Momentum*variance
+		} else {
+			mean, variance = bn.RunMean[c], bn.RunVar[c]
+		}
+		inv := 1 / math.Sqrt(variance+bn.Eps)
+		bn.invStd[c] = inv
+		g, bta := bn.Gamma.W.Data[c], bn.Beta.W.Data[c]
+		for i := 0; i < b; i++ {
+			base := (i*bn.C + c) * hw
+			for j := 0; j < hw; j++ {
+				xh := (x.Data[base+j] - mean) * inv
+				bn.xhat.Data[base+j] = xh
+				y.Data[base+j] = g*xh + bta
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer (training-mode gradient).
+func (bn *BatchNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b := bn.inShape[0]
+	hw := 1
+	if len(bn.inShape) == 4 {
+		hw = bn.inShape[2] * bn.inShape[3]
+	}
+	n := float64(b * hw)
+	dx := tensor.New(bn.inShape...)
+	for c := 0; c < bn.C; c++ {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < b; i++ {
+			base := (i*bn.C + c) * hw
+			for j := 0; j < hw; j++ {
+				dy := dout.Data[base+j]
+				sumDy += dy
+				sumDyXhat += dy * bn.xhat.Data[base+j]
+			}
+		}
+		bn.Beta.G.Data[c] += sumDy
+		bn.Gamma.G.Data[c] += sumDyXhat
+		g := bn.Gamma.W.Data[c]
+		inv := bn.invStd[c]
+		for i := 0; i < b; i++ {
+			base := (i*bn.C + c) * hw
+			for j := 0; j < hw; j++ {
+				dy := dout.Data[base+j]
+				xh := bn.xhat.Data[base+j]
+				dx.Data[base+j] = g * inv * (dy - sumDy/n - xh*sumDyXhat/n)
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }

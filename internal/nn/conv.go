@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW input with square kernels.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	Weight                    *Param // [OutC, InC, K, K]
+	Bias                      *Param // [OutC], nil when disabled
+
+	x          *tensor.Tensor // cached input
+	outH, outW int
+}
+
+// NewConv2D builds a convolution with Kaiming initialisation.
+func NewConv2D(name string, r *rng.RNG, inC, outC, k, stride, pad int, bias bool) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: NewParam(name+".weight", tensor.Randn(r, KaimingStd(inC*k*k), outC, inC, k, k)),
+	}
+	if bias {
+		c.Bias = NewParam(name+".bias", tensor.New(outC))
+	}
+	return c
+}
+
+// OutSize returns the spatial output size for input size h.
+func (c *Conv2D) OutSize(h int) int { return (h+2*c.Pad-c.K)/c.Stride + 1 }
+
+// Forward implements Layer. x is [B, InC, H, W].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	sh := x.Shape()
+	if len(sh) != 4 || sh[1] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D(%d→%d) got input shape %v", c.InC, c.OutC, sh))
+	}
+	b, h, w := sh[0], sh[2], sh[3]
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	c.x, c.outH, c.outW = x, oh, ow
+	y := tensor.New(b, c.OutC, oh, ow)
+
+	wd := c.Weight.W.Data
+	for n := 0; n < b; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := 0.0
+			if c.Bias != nil {
+				bias = c.Bias.W.Data[oc]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := bias
+					iy0 := oy*c.Stride - c.Pad
+					ix0 := ox*c.Stride - c.Pad
+					for ic := 0; ic < c.InC; ic++ {
+						xBase := ((n*c.InC + ic) * h)
+						wBase := ((oc*c.InC + ic) * c.K) * c.K
+						for ky := 0; ky < c.K; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xRow := (xBase + iy) * w
+							wRow := wBase + ky*c.K
+							for kx := 0; kx < c.K; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += x.Data[xRow+ix] * wd[wRow+kx]
+							}
+						}
+					}
+					y.Data[((n*c.OutC+oc)*oh+oy)*ow+ox] = sum
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	sh := x.Shape()
+	b, h, w := sh[0], sh[2], sh[3]
+	oh, ow := c.outH, c.outW
+	dx := tensor.New(sh...)
+	wd := c.Weight.W.Data
+	gw := c.Weight.G.Data
+
+	for n := 0; n < b; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dout.Data[((n*c.OutC+oc)*oh+oy)*ow+ox]
+					if g == 0 {
+						continue
+					}
+					if c.Bias != nil {
+						c.Bias.G.Data[oc] += g
+					}
+					iy0 := oy*c.Stride - c.Pad
+					ix0 := ox*c.Stride - c.Pad
+					for ic := 0; ic < c.InC; ic++ {
+						xBase := (n*c.InC + ic) * h
+						wBase := ((oc*c.InC + ic) * c.K) * c.K
+						for ky := 0; ky < c.K; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xRow := (xBase + iy) * w
+							wRow := wBase + ky*c.K
+							for kx := 0; kx < c.K; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								gw[wRow+kx] += g * x.Data[xRow+ix]
+								dx.Data[xRow+ix] += g * wd[wRow+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.Bias == nil {
+		return []*Param{c.Weight}
+	}
+	return []*Param{c.Weight, c.Bias}
+}
+
+// GlobalAvgPool averages each channel's spatial map: [B,C,H,W] → [B,C].
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool creates the pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	sh := x.Shape()
+	if len(sh) != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool got shape %v", sh))
+	}
+	p.inShape = append(p.inShape[:0], sh...)
+	b, ch, hw := sh[0], sh[1], sh[2]*sh[3]
+	y := tensor.New(b, ch)
+	for n := 0; n < b; n++ {
+		for c := 0; c < ch; c++ {
+			base := (n*ch + c) * hw
+			s := 0.0
+			for i := 0; i < hw; i++ {
+				s += x.Data[base+i]
+			}
+			y.Data[n*ch+c] = s / float64(hw)
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b, ch, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	hw := h * w
+	dx := tensor.New(p.inShape...)
+	inv := 1 / float64(hw)
+	for n := 0; n < b; n++ {
+		for c := 0; c < ch; c++ {
+			g := dout.Data[n*ch+c] * inv
+			base := (n*ch + c) * hw
+			for i := 0; i < hw; i++ {
+				dx.Data[base+i] = g
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*Param { return nil }

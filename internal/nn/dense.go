@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b, with x of shape
+// [B, in] (any leading shape is flattened to B = size/in).
+type Dense struct {
+	In, Out int
+	Weight  *Param // [In, Out]
+	Bias    *Param // [Out], nil when disabled
+
+	x *tensor.Tensor // cached input, flattened to [B, In]
+}
+
+// NewDense builds a dense layer with Kaiming-initialised weights and zero
+// bias. name prefixes the parameter names.
+func NewDense(name string, r *rng.RNG, in, out int, bias bool) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		Weight: NewParam(name+".weight", tensor.Randn(r, KaimingStd(in), in, out)),
+	}
+	if bias {
+		d.Bias = NewParam(name+".bias", tensor.New(out))
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Size()%d.In != 0 {
+		panic(fmt.Sprintf("nn: Dense(%d→%d) got input of size %d", d.In, d.Out, x.Size()))
+	}
+	b := x.Size() / d.In
+	xf := x.Reshape(b, d.In)
+	d.x = xf
+	y := tensor.New(b, d.Out)
+	tensor.GemmInto(y.Data, xf.Data, d.Weight.W.Data, b, d.In, d.Out, false)
+	if d.Bias != nil {
+		for i := 0; i < b; i++ {
+			row := y.Data[i*d.Out : (i+1)*d.Out]
+			for j, bv := range d.Bias.W.Data {
+				row[j] += bv
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b := d.x.Dim(0)
+	if dout.Size() != b*d.Out {
+		panic(fmt.Sprintf("nn: Dense backward got dout size %d, want %d", dout.Size(), b*d.Out))
+	}
+	df := dout.Reshape(b, d.Out)
+	// dW = xᵀ · dout  (In×Out), accumulate.
+	tensor.GemmTransA(d.Weight.G.Data, d.x.Data, df.Data, d.In, b, d.Out, true)
+	if d.Bias != nil {
+		for i := 0; i < b; i++ {
+			row := df.Data[i*d.Out : (i+1)*d.Out]
+			for j, g := range row {
+				d.Bias.G.Data[j] += g
+			}
+		}
+	}
+	// dx = dout · Wᵀ  (B×In).
+	dx := tensor.New(b, d.In)
+	tensor.GemmTransB(dx.Data, df.Data, d.Weight.W.Data, b, d.Out, d.In, false)
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param {
+	if d.Bias == nil {
+		return []*Param{d.Weight}
+	}
+	return []*Param{d.Weight, d.Bias}
+}

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Embedding maps integer ids to dense vectors. The input tensor carries ids
+// as float64 values (the framework is float64-only); Forward truncates them
+// to int. Input shape [B] or [B, T]; output appends the embedding dimension.
+type Embedding struct {
+	Vocab, Dim int
+	Weight     *Param // [Vocab, Dim]
+
+	ids     []int
+	inShape []int
+}
+
+// NewEmbedding builds an embedding table with N(0, 0.1²) initialisation.
+func NewEmbedding(name string, r *rng.RNG, vocab, dim int) *Embedding {
+	return &Embedding{
+		Vocab: vocab, Dim: dim,
+		Weight: NewParam(name+".weight", tensor.Randn(r, 0.1, vocab, dim)),
+	}
+}
+
+// Forward implements Layer.
+func (e *Embedding) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Size()
+	e.inShape = append(e.inShape[:0], x.Shape()...)
+	if cap(e.ids) < n {
+		e.ids = make([]int, n)
+	}
+	e.ids = e.ids[:n]
+	outShape := append(append([]int{}, x.Shape()...), e.Dim)
+	y := tensor.New(outShape...)
+	for i := 0; i < n; i++ {
+		id := int(x.Data[i])
+		if id < 0 || id >= e.Vocab {
+			panic(fmt.Sprintf("nn: embedding id %d out of vocab %d", id, e.Vocab))
+		}
+		e.ids[i] = id
+		copy(y.Data[i*e.Dim:(i+1)*e.Dim], e.Weight.W.Data[id*e.Dim:(id+1)*e.Dim])
+	}
+	return y
+}
+
+// Backward implements Layer. Embeddings have no input gradient (ids are
+// discrete); it returns nil.
+func (e *Embedding) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i, id := range e.ids {
+		dst := e.Weight.G.Data[id*e.Dim : (id+1)*e.Dim]
+		src := dout.Data[i*e.Dim : (i+1)*e.Dim]
+		for j, g := range src {
+			dst[j] += g
+		}
+	}
+	return nil
+}
+
+// Params implements Layer.
+func (e *Embedding) Params() []*Param { return []*Param{e.Weight} }

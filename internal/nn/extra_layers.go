@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P at training time and
+// scales survivors by 1/(1−P) (inverted dropout), so evaluation is the
+// identity. The mask is drawn from the layer's own deterministic stream.
+type Dropout struct {
+	P float64
+
+	r    *rng.RNG
+	mask []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p, seeded
+// deterministically.
+func NewDropout(p float64, seed uint64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout p=%v out of [0,1)", p))
+	}
+	return &Dropout{P: p, r: rng.New(seed)}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = d.mask[:0]
+		return x
+	}
+	y := x.Clone()
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]bool, x.Size())
+	}
+	d.mask = d.mask[:x.Size()]
+	scale := 1 / (1 - d.P)
+	for i := range y.Data {
+		if d.r.Float64() < d.P {
+			d.mask[i] = false
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			y.Data[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if len(d.mask) == 0 {
+		return dout
+	}
+	dx := dout.Clone()
+	scale := 1 / (1 - d.P)
+	for i := range dx.Data {
+		if d.mask[i] {
+			dx.Data[i] *= scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// MaxPool2D applies non-overlapping K×K max pooling over NCHW input.
+// Spatial dimensions must be divisible by K.
+type MaxPool2D struct {
+	K int
+
+	inShape []int
+	argmax  []int // flat input index of each output's maximum
+}
+
+// NewMaxPool2D creates a max-pooling layer with window k.
+func NewMaxPool2D(k int) *MaxPool2D {
+	if k < 1 {
+		panic("nn: MaxPool2D window must be >= 1")
+	}
+	return &MaxPool2D{K: k}
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	sh := x.Shape()
+	if len(sh) != 4 || sh[2]%p.K != 0 || sh[3]%p.K != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D(%d) got shape %v", p.K, sh))
+	}
+	b, c, h, w := sh[0], sh[1], sh[2], sh[3]
+	oh, ow := h/p.K, w/p.K
+	p.inShape = append(p.inShape[:0], sh...)
+	y := tensor.New(b, c, oh, ow)
+	if cap(p.argmax) < y.Size() {
+		p.argmax = make([]int, y.Size())
+	}
+	p.argmax = p.argmax[:y.Size()]
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c; ch++ {
+			base := (n*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							idx := base + (oy*p.K+ky)*w + ox*p.K + kx
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out := ((n*c+ch)*oh+oy)*ow + ox
+					y.Data[out] = best
+					p.argmax[out] = bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	for out, in := range p.argmax {
+		dx.Data[in] += dout.Data[out]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// LayerNorm normalises each row of a [B, C] input over its C features with
+// learned scale and shift (Ba et al.). Unlike BatchNorm it has no running
+// statistics, so train and eval behave identically.
+type LayerNorm struct {
+	C   int
+	Eps float64
+
+	Gamma *Param
+	Beta  *Param
+
+	xhat   *tensor.Tensor
+	invStd []float64
+}
+
+// NewLayerNorm creates a layer-norm over c features.
+func NewLayerNorm(name string, c int) *LayerNorm {
+	ln := &LayerNorm{
+		C: c, Eps: 1e-5,
+		Gamma: NewParam(name+".gamma", tensor.New(c)),
+		Beta:  NewParam(name+".beta", tensor.New(c)),
+	}
+	ln.Gamma.W.Fill(1)
+	return ln
+}
+
+// Forward implements Layer.
+func (ln *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Size()%ln.C != 0 {
+		panic(fmt.Sprintf("nn: LayerNorm(%d) got %d elements", ln.C, x.Size()))
+	}
+	b := x.Size() / ln.C
+	xf := x.Reshape(b, ln.C)
+	y := tensor.New(b, ln.C)
+	ln.xhat = tensor.New(b, ln.C)
+	if cap(ln.invStd) < b {
+		ln.invStd = make([]float64, b)
+	}
+	ln.invStd = ln.invStd[:b]
+	for i := 0; i < b; i++ {
+		row := xf.Data[i*ln.C : (i+1)*ln.C]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(ln.C)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(ln.C)
+		inv := 1 / math.Sqrt(variance+ln.Eps)
+		ln.invStd[i] = inv
+		for j, v := range row {
+			xh := (v - mean) * inv
+			ln.xhat.Data[i*ln.C+j] = xh
+			y.Data[i*ln.C+j] = ln.Gamma.W.Data[j]*xh + ln.Beta.W.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (ln *LayerNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b := ln.xhat.Dim(0)
+	dx := tensor.New(b, ln.C)
+	cf := float64(ln.C)
+	for i := 0; i < b; i++ {
+		var sumDy, sumDyXhat float64
+		for j := 0; j < ln.C; j++ {
+			dy := dout.Data[i*ln.C+j] * ln.Gamma.W.Data[j]
+			xh := ln.xhat.Data[i*ln.C+j]
+			sumDy += dy
+			sumDyXhat += dy * xh
+		}
+		for j := 0; j < ln.C; j++ {
+			dyRaw := dout.Data[i*ln.C+j]
+			xh := ln.xhat.Data[i*ln.C+j]
+			ln.Gamma.G.Data[j] += dyRaw * xh
+			ln.Beta.G.Data[j] += dyRaw
+			dy := dyRaw * ln.Gamma.W.Data[j]
+			dx.Data[i*ln.C+j] = ln.invStd[i] * (dy - sumDy/cf - xh*sumDyXhat/cf)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }

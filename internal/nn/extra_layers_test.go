@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	r := rng.New(2)
+	x := tensor.Randn(r, 1, 4, 8)
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+	dx := d.Backward(y)
+	for i := range x.Data {
+		if dx.Data[i] != y.Data[i] {
+			t.Fatal("eval-mode dropout backward must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainDropsAndScales(t *testing.T) {
+	d := NewDropout(0.5, 3)
+	x := tensor.New(1, 10000)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	zeros, scaled := 0, 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			scaled++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	frac := float64(zeros) / float64(x.Size())
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("drop fraction %v, want ~0.5", frac)
+	}
+	// Expectation preserved by inverted scaling.
+	if mean := tensor.Sum(y.Data) / float64(y.Size()); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("mean %v, want ~1", mean)
+	}
+}
+
+func TestDropoutBackwardMasksGradient(t *testing.T) {
+	d := NewDropout(0.3, 4)
+	r := rng.New(5)
+	x := tensor.Randn(r, 1, 3, 6)
+	y := d.Forward(x, true)
+	dout := tensor.New(3, 6)
+	dout.Fill(1)
+	dx := d.Backward(dout)
+	for i := range y.Data {
+		if y.Data[i] == 0 && dx.Data[i] != 0 {
+			t.Fatal("gradient leaked through dropped unit")
+		}
+		if y.Data[i] != 0 && math.Abs(dx.Data[i]-1/(1-0.3)) > 1e-12 {
+			t.Fatal("gradient not scaled for kept unit")
+		}
+	}
+}
+
+func TestDropoutPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v accepted", p)
+				}
+			}()
+			NewDropout(p, 1)
+		}()
+	}
+}
+
+func TestMaxPoolKnownValues(t *testing.T) {
+	x := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	p := NewMaxPool2D(2)
+	y := p.Forward(x, true)
+	want := []float64{6, 8, 14, 16}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("pool output %v, want %v", y.Data, want)
+		}
+	}
+	// Backward routes gradient to argmax positions only.
+	dout := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	dx := p.Backward(dout)
+	if dx.Data[5] != 1 || dx.Data[7] != 2 || dx.Data[13] != 3 || dx.Data[15] != 4 {
+		t.Fatalf("pool backward wrong: %v", dx.Data)
+	}
+	sum := 0.0
+	for _, v := range dx.Data {
+		sum += v
+	}
+	if sum != 10 {
+		t.Fatalf("gradient mass not conserved: %v", sum)
+	}
+}
+
+func TestMaxPoolPanicsOnIndivisible(t *testing.T) {
+	p := NewMaxPool2D(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Forward(tensor.New(1, 1, 3, 4), true)
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	r := rng.New(6)
+	// Well-separated values keep the argmax stable under ±eps.
+	x := tensor.New(2, 2, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i%17) + r.Float64()*0.1
+	}
+	gradCheck(t, "maxpool", NewMaxPool2D(2), x, true)
+}
+
+func TestGradCheckLayerNorm(t *testing.T) {
+	r := rng.New(7)
+	gradCheck(t, "layernorm", NewLayerNorm("ln", 6), tensor.Randn(r, 1, 4, 6), true)
+}
+
+func TestLayerNormNormalisesRows(t *testing.T) {
+	ln := NewLayerNorm("ln", 32)
+	r := rng.New(8)
+	x := tensor.Randn(r, 3, 5, 32)
+	for i := range x.Data {
+		x.Data[i] += 4
+	}
+	y := ln.Forward(x, true)
+	for i := 0; i < 5; i++ {
+		row := y.Data[i*32 : (i+1)*32]
+		mean := tensor.Sum(row) / 32
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("row %d mean %v", i, mean)
+		}
+	}
+}
+
+func TestLayerNormTrainEvalIdentical(t *testing.T) {
+	ln := NewLayerNorm("ln", 8)
+	r := rng.New(9)
+	x := tensor.Randn(r, 1, 2, 8)
+	a := ln.Forward(x, true)
+	b := ln.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("layer norm must not depend on mode")
+		}
+	}
+}
+
+func TestGradCheckResidual(t *testing.T) {
+	r := rng.New(10)
+	body := NewSequential(
+		NewDense("d1", r, 6, 6, true),
+		NewTanh(),
+	)
+	x := tensor.Randn(r, 1, 3, 6)
+	// Shift away from the post-sum ReLU kink.
+	for i := range x.Data {
+		x.Data[i] += 0.5
+	}
+	gradCheck(t, "residual", NewResidual(body), x, true)
+}
+
+func TestResidualPanicsOnShapeChange(t *testing.T) {
+	r := rng.New(11)
+	res := NewResidual(NewDense("d", r, 4, 3, false))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	res.Forward(tensor.Randn(r, 1, 2, 4), true)
+}
+
+func TestGradCheckGRU(t *testing.T) {
+	r := rng.New(12)
+	gradCheck(t, "gru", NewGRU("g", r, 4, 3), tensor.Randn(r, 1, 2, 5, 4), true)
+}
+
+func TestGRUShapesAndEvolution(t *testing.T) {
+	r := rng.New(13)
+	g := NewGRU("g", r, 5, 4)
+	y := g.Forward(tensor.Randn(r, 1, 3, 6, 5), true)
+	sh := y.Shape()
+	if sh[0] != 3 || sh[1] != 6 || sh[2] != 4 {
+		t.Fatalf("gru output shape %v", sh)
+	}
+	dx := g.Backward(tensor.Randn(r, 1, 3, 6, 4))
+	if dx.Dim(2) != 5 {
+		t.Fatalf("gru dx shape %v", dx.Shape())
+	}
+	// Constant input: hidden state must evolve across steps.
+	x := tensor.New(1, 4, 5)
+	x.Fill(1)
+	y2 := g.Forward(x, true)
+	same := true
+	for j := 0; j < 4; j++ {
+		if math.Abs(y2.Data[j]-y2.Data[3*4+j]) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("GRU hidden state did not evolve")
+	}
+}
+
+func TestGRUPanicsOnBadShape(t *testing.T) {
+	r := rng.New(14)
+	g := NewGRU("g", r, 5, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Forward(tensor.Randn(r, 1, 3, 5), true)
+}

@@ -1,0 +1,251 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// gradCheck verifies a layer's analytic gradients against central finite
+// differences. The scalar objective is sum(output ⊙ w) for a fixed random
+// weighting w, whose gradient is exactly w. It checks every parameter
+// tensor (sampled entries) and, when the layer propagates input gradients,
+// the input too.
+func gradCheck(t *testing.T, name string, layer Layer, x *tensor.Tensor, checkInput bool) {
+	t.Helper()
+	const eps = 1e-5
+	const tol = 1e-4
+	r := rng.New(12345)
+
+	forwardLoss := func() float64 {
+		y := layer.Forward(x, true)
+		// Deterministic weighting derived from position only.
+		s := 0.0
+		for i, v := range y.Data {
+			s += v * weightAt(i)
+		}
+		return s
+	}
+
+	// Analytic pass.
+	y := layer.Forward(x, true)
+	dout := tensor.New(y.Shape()...)
+	for i := range dout.Data {
+		dout.Data[i] = weightAt(i)
+	}
+	ZeroGrads(layer.Params())
+	dx := layer.Backward(dout)
+
+	// Parameter gradients.
+	for _, p := range layer.Params() {
+		n := p.W.Size()
+		samples := n
+		if samples > 24 {
+			samples = 24
+		}
+		for s := 0; s < samples; s++ {
+			i := r.Intn(n)
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := forwardLoss()
+			p.W.Data[i] = orig - eps
+			lm := forwardLoss()
+			p.W.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := p.G.Data[i]
+			if relErr(numeric, analytic) > tol {
+				t.Errorf("%s: param %s[%d]: numeric %v analytic %v", name, p.Name, i, numeric, analytic)
+			}
+		}
+	}
+
+	// Input gradient.
+	if checkInput {
+		if dx == nil {
+			t.Fatalf("%s: expected input gradient, got nil", name)
+		}
+		n := x.Size()
+		samples := n
+		if samples > 24 {
+			samples = 24
+		}
+		for s := 0; s < samples; s++ {
+			i := r.Intn(n)
+			orig := x.Data[i]
+			x.Data[i] = orig + eps
+			lp := forwardLoss()
+			x.Data[i] = orig - eps
+			lm := forwardLoss()
+			x.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := dx.Data[i]
+			if relErr(numeric, analytic) > tol {
+				t.Errorf("%s: input[%d]: numeric %v analytic %v", name, i, numeric, analytic)
+			}
+		}
+	}
+}
+
+// weightAt is a fixed pseudo-random weighting, position-dependent only.
+func weightAt(i int) float64 {
+	x := uint64(i)*0x9e3779b97f4a7c15 + 1
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return float64(x%2000)/1000 - 1 // in [-1, 1)
+}
+
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	den := math.Max(math.Abs(a)+math.Abs(b), 1e-8)
+	return d / den
+}
+
+func TestGradCheckDense(t *testing.T) {
+	r := rng.New(1)
+	gradCheck(t, "dense", NewDense("d", r, 7, 5, true), tensor.Randn(r, 1, 4, 7), true)
+}
+
+func TestGradCheckDenseNoBias(t *testing.T) {
+	r := rng.New(2)
+	gradCheck(t, "dense-nobias", NewDense("d", r, 6, 3, false), tensor.Randn(r, 1, 2, 6), true)
+}
+
+func TestGradCheckReLU(t *testing.T) {
+	r := rng.New(3)
+	// Offset inputs away from 0 so finite differences don't cross the kink.
+	x := tensor.Randn(r, 1, 3, 8)
+	for i := range x.Data {
+		if math.Abs(x.Data[i]) < 0.05 {
+			x.Data[i] += 0.2
+		}
+	}
+	gradCheck(t, "relu", NewReLU(), x, true)
+}
+
+func TestGradCheckSigmoidTanh(t *testing.T) {
+	r := rng.New(4)
+	gradCheck(t, "sigmoid", NewSigmoid(), tensor.Randn(r, 1, 3, 6), true)
+	gradCheck(t, "tanh", NewTanh(), tensor.Randn(r, 1, 3, 6), true)
+}
+
+func TestGradCheckConv2D(t *testing.T) {
+	r := rng.New(5)
+	gradCheck(t, "conv", NewConv2D("c", r, 2, 3, 3, 1, 1, true), tensor.Randn(r, 1, 2, 2, 5, 5), true)
+}
+
+func TestGradCheckConv2DStride2NoPad(t *testing.T) {
+	r := rng.New(6)
+	gradCheck(t, "conv-s2", NewConv2D("c", r, 3, 2, 3, 2, 0, false), tensor.Randn(r, 1, 2, 3, 7, 7), true)
+}
+
+func TestGradCheckBatchNorm2D(t *testing.T) {
+	r := rng.New(7)
+	gradCheck(t, "bn4d", NewBatchNorm("bn", 3), tensor.Randn(r, 1, 4, 3, 3, 3), true)
+}
+
+func TestGradCheckBatchNorm1D(t *testing.T) {
+	r := rng.New(8)
+	gradCheck(t, "bn2d", NewBatchNorm("bn", 5), tensor.Randn(r, 1, 6, 5), true)
+}
+
+func TestGradCheckGlobalAvgPool(t *testing.T) {
+	r := rng.New(9)
+	gradCheck(t, "gap", NewGlobalAvgPool(), tensor.Randn(r, 1, 2, 3, 4, 4), true)
+}
+
+func TestGradCheckEmbedding(t *testing.T) {
+	r := rng.New(10)
+	x := tensor.New(3, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(r.Intn(9))
+	}
+	gradCheck(t, "embedding", NewEmbedding("e", r, 9, 5), x, false)
+}
+
+func TestGradCheckLSTM(t *testing.T) {
+	r := rng.New(11)
+	gradCheck(t, "lstm", NewLSTM("l", r, 4, 3), tensor.Randn(r, 1, 2, 5, 4), true)
+}
+
+func TestGradCheckSequentialCNN(t *testing.T) {
+	r := rng.New(12)
+	model := NewSequential(
+		NewConv2D("c1", r, 2, 4, 3, 1, 1, false),
+		NewBatchNorm("bn1", 4),
+		NewReLU(),
+		NewGlobalAvgPool(),
+		NewDense("fc", r, 4, 3, true),
+	)
+	x := tensor.Randn(r, 1, 2, 2, 6, 6)
+	// Keep ReLU inputs away from the kink: BN output is centred, so just
+	// use the generic checker with its tolerance; kink crossings are rare
+	// at eps=1e-5.
+	gradCheck(t, "cnn", model, x, true)
+}
+
+func TestGradCheckSoftmaxCrossEntropy(t *testing.T) {
+	r := rng.New(13)
+	logits := tensor.Randn(r, 1, 4, 6)
+	labels := []int{1, 3, 0, 5}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	const eps = 1e-6
+	for s := 0; s < 10; s++ {
+		i := r.Intn(logits.Size())
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig - eps
+		lm, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if relErr(numeric, grad.Data[i]) > 1e-4 {
+			t.Errorf("xent grad[%d]: numeric %v analytic %v", i, numeric, grad.Data[i])
+		}
+	}
+}
+
+func TestGradCheckBCEWithLogits(t *testing.T) {
+	r := rng.New(14)
+	logits := tensor.Randn(r, 2, 8)
+	targets := make([]float64, 8)
+	for i := range targets {
+		targets[i] = float64(r.Intn(2))
+	}
+	_, grad := BCEWithLogits(logits, targets)
+	const eps = 1e-6
+	for i := 0; i < 8; i++ {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := BCEWithLogits(logits, targets)
+		logits.Data[i] = orig - eps
+		lm, _ := BCEWithLogits(logits, targets)
+		logits.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if relErr(numeric, grad.Data[i]) > 1e-4 {
+			t.Errorf("bce grad[%d]: numeric %v analytic %v", i, numeric, grad.Data[i])
+		}
+	}
+}
+
+func TestGradCheckMSE(t *testing.T) {
+	r := rng.New(15)
+	pred := tensor.Randn(r, 1, 6)
+	target := tensor.Randn(r, 1, 6)
+	_, grad := MSE(pred, target)
+	const eps = 1e-6
+	for i := 0; i < 6; i++ {
+		orig := pred.Data[i]
+		pred.Data[i] = orig + eps
+		lp, _ := MSE(pred, target)
+		pred.Data[i] = orig - eps
+		lm, _ := MSE(pred, target)
+		pred.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if relErr(numeric, grad.Data[i]) > 1e-4 {
+			t.Errorf("mse grad[%d]: numeric %v analytic %v", i, numeric, grad.Data[i])
+		}
+	}
+}

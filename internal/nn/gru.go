@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// GRU is a single-layer gated recurrent unit unrolled over full sequences
+// with exact BPTT. Input [B, T, In] → output [B, T, H]. Gate order in the
+// packed weights is (r, z, n) — reset, update, candidate — matching
+// PyTorch's layout, with separate input and hidden biases (the hidden bias
+// enters the candidate term before the reset gate is applied, also the
+// PyTorch convention):
+//
+//	r = σ(x·Wr + h·Ur + br)
+//	z = σ(x·Wz + h·Uz + bz)
+//	n = tanh(x·Wn + bn_i + r ⊙ (h·Un + bn_h))
+//	h' = (1 − z) ⊙ n + z ⊙ h
+type GRU struct {
+	In, H int
+	Wih   *Param // [In, 3H]
+	Whh   *Param // [H, 3H]
+	BiasI *Param // [3H]
+	BiasH *Param // [3H]
+
+	b, t  int
+	x     *tensor.Tensor
+	gates []float64 // [T][B][3H] post-activation r, z, n
+	hs    []float64 // [T][B][H]
+	hcand []float64 // [T][B][H]: h_{t-1}·Un + bn_h, cached for backward
+}
+
+// NewGRU builds a GRU layer with Xavier initialisation.
+func NewGRU(name string, r *rng.RNG, in, h int) *GRU {
+	return &GRU{
+		In: in, H: h,
+		Wih:   NewParam(name+".wih", tensor.Randn(r, XavierStd(in, h), in, 3*h)),
+		Whh:   NewParam(name+".whh", tensor.Randn(r, XavierStd(h, h), h, 3*h)),
+		BiasI: NewParam(name+".bias_i", tensor.New(3*h)),
+		BiasH: NewParam(name+".bias_h", tensor.New(3*h)),
+	}
+}
+
+// Forward implements Layer.
+func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	sh := x.Shape()
+	if len(sh) != 3 || sh[2] != g.In {
+		panic(fmt.Sprintf("nn: GRU(%d→%d) got shape %v", g.In, g.H, sh))
+	}
+	b, t, h := sh[0], sh[1], g.H
+	g.b, g.t, g.x = b, t, x
+	g.gates = grow(g.gates, t*b*3*h)
+	g.hs = grow(g.hs, t*b*h)
+	g.hcand = grow(g.hcand, t*b*h)
+
+	y := tensor.New(b, t, h)
+	hPrev := make([]float64, b*h)
+	xt := make([]float64, b*g.In)
+	preI := make([]float64, b*3*h) // x·Wih
+	preH := make([]float64, b*3*h) // h·Whh
+
+	for step := 0; step < t; step++ {
+		for n := 0; n < b; n++ {
+			copy(xt[n*g.In:(n+1)*g.In], x.Data[(n*t+step)*g.In:(n*t+step+1)*g.In])
+		}
+		tensor.GemmInto(preI, xt, g.Wih.W.Data, b, g.In, 3*h, false)
+		tensor.GemmInto(preH, hPrev, g.Whh.W.Data, b, h, 3*h, false)
+		gBase := step * b * 3 * h
+		sBase := step * b * h
+		for n := 0; n < b; n++ {
+			gi := preI[n*3*h : (n+1)*3*h]
+			gh := preH[n*3*h : (n+1)*3*h]
+			gRow := g.gates[gBase+n*3*h : gBase+(n+1)*3*h]
+			for j := 0; j < h; j++ {
+				r := sigmoid(gi[j] + g.BiasI.W.Data[j] + gh[j] + g.BiasH.W.Data[j])
+				z := sigmoid(gi[h+j] + g.BiasI.W.Data[h+j] + gh[h+j] + g.BiasH.W.Data[h+j])
+				cand := gh[2*h+j] + g.BiasH.W.Data[2*h+j]
+				nv := math.Tanh(gi[2*h+j] + g.BiasI.W.Data[2*h+j] + r*cand)
+				hv := (1-z)*nv + z*hPrev[n*h+j]
+				gRow[j], gRow[h+j], gRow[2*h+j] = r, z, nv
+				g.hcand[sBase+n*h+j] = cand
+				g.hs[sBase+n*h+j] = hv
+				y.Data[(n*t+step)*h+j] = hv
+			}
+		}
+		copy(hPrev, g.hs[sBase:sBase+b*h])
+	}
+	return y
+}
+
+// Backward implements Layer (full BPTT).
+func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b, t, h := g.b, g.t, g.H
+	dx := tensor.New(b, t, g.In)
+	dh := make([]float64, b*h)
+	dPreI := make([]float64, b*3*h)
+	dPreH := make([]float64, b*3*h)
+	xt := make([]float64, b*g.In)
+	dxt := make([]float64, b*g.In)
+	dhNext := make([]float64, b*h)
+	hPrevBuf := make([]float64, b*h)
+
+	for step := t - 1; step >= 0; step-- {
+		gBase := step * b * 3 * h
+		sBase := step * b * h
+		var hPrev []float64
+		if step > 0 {
+			hPrev = g.hs[(step-1)*b*h : step*b*h]
+		} else {
+			for i := range hPrevBuf {
+				hPrevBuf[i] = 0
+			}
+			hPrev = hPrevBuf
+		}
+		for i := range dhNext {
+			dhNext[i] = 0
+		}
+		for n := 0; n < b; n++ {
+			gRow := g.gates[gBase+n*3*h : gBase+(n+1)*3*h]
+			for j := 0; j < h; j++ {
+				dhv := dout.Data[(n*t+step)*h+j] + dh[n*h+j]
+				r, z, nv := gRow[j], gRow[h+j], gRow[2*h+j]
+				hp := hPrev[n*h+j]
+				cand := g.hcand[sBase+n*h+j]
+
+				dz := dhv * (hp - nv)
+				dn := dhv * (1 - z)
+				dhNext[n*h+j] += dhv * z
+
+				dnPre := dn * (1 - nv*nv)
+				dr := dnPre * cand
+				// Candidate pre-activation splits into the input part and
+				// r ⊙ hidden part.
+				dPreI[n*3*h+2*h+j] = dnPre
+				dPreH[n*3*h+2*h+j] = dnPre * r
+
+				drPre := dr * r * (1 - r)
+				dzPre := dz * z * (1 - z)
+				dPreI[n*3*h+j] = drPre
+				dPreH[n*3*h+j] = drPre
+				dPreI[n*3*h+h+j] = dzPre
+				dPreH[n*3*h+h+j] = dzPre
+			}
+		}
+		// Parameter gradients.
+		for n := 0; n < b; n++ {
+			copy(xt[n*g.In:(n+1)*g.In], g.x.Data[(n*t+step)*g.In:(n*t+step+1)*g.In])
+		}
+		tensor.GemmTransA(g.Wih.G.Data, xt, dPreI, g.In, b, 3*h, true)
+		tensor.GemmTransA(g.Whh.G.Data, hPrev, dPreH, h, b, 3*h, true)
+		for n := 0; n < b; n++ {
+			for j := 0; j < 3*h; j++ {
+				g.BiasI.G.Data[j] += dPreI[n*3*h+j]
+				g.BiasH.G.Data[j] += dPreH[n*3*h+j]
+			}
+		}
+		// Input gradient and recurrent contribution through Whh.
+		tensor.GemmTransB(dxt, dPreI, g.Wih.W.Data, b, 3*h, g.In, false)
+		for n := 0; n < b; n++ {
+			copy(dx.Data[(n*t+step)*g.In:(n*t+step+1)*g.In], dxt[n*g.In:(n+1)*g.In])
+		}
+		tensor.GemmTransB(dh, dPreH, g.Whh.W.Data, b, 3*h, h, false)
+		for i := range dh {
+			dh[i] += dhNext[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (g *GRU) Params() []*Param { return []*Param{g.Wih, g.Whh, g.BiasI, g.BiasH} }

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss between logits
+// [B, C] and integer labels, and the gradient dL/dlogits. Rows are
+// max-shifted for numerical stability.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	sh := logits.Shape()
+	b, c := sh[0], sh[1]
+	if len(labels) != b {
+		panic("nn: SoftmaxCrossEntropy label count mismatch")
+	}
+	grad = tensor.New(b, c)
+	invB := 1 / float64(b)
+	for n := 0; n < b; n++ {
+		row := logits.Data[n*c : (n+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logSum := math.Log(sum) + maxv
+		y := labels[n]
+		if y < 0 || y >= c {
+			panic("nn: label out of range")
+		}
+		loss += (logSum - row[y]) * invB
+		gRow := grad.Data[n*c : (n+1)*c]
+		for j, v := range row {
+			p := math.Exp(v-maxv) / sum
+			gRow[j] = p * invB
+		}
+		gRow[y] -= invB
+	}
+	return loss, grad
+}
+
+// BCEWithLogits computes the mean binary cross-entropy between logits [B]
+// (or [B,1]) and targets in {0,1}, plus dL/dlogits. The log-sum-exp form
+// keeps it stable for large |logit|.
+func BCEWithLogits(logits *tensor.Tensor, targets []float64) (loss float64, grad *tensor.Tensor) {
+	n := logits.Size()
+	if len(targets) != n {
+		panic("nn: BCEWithLogits target count mismatch")
+	}
+	grad = tensor.New(logits.Shape()...)
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		z, y := logits.Data[i], targets[i]
+		// loss = max(z,0) - z·y + log(1 + exp(-|z|))
+		m := z
+		if m < 0 {
+			m = 0
+		}
+		loss += (m - z*y + math.Log1p(math.Exp(-math.Abs(z)))) * invN
+		grad.Data[i] = (sigmoid(z) - y) * invN
+	}
+	return loss, grad
+}
+
+// MSE computes mean squared error between pred and target tensors of equal
+// size, plus dL/dpred.
+func MSE(pred, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	if pred.Size() != target.Size() {
+		panic("nn: MSE size mismatch")
+	}
+	grad = tensor.New(pred.Shape()...)
+	invN := 1 / float64(pred.Size())
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += d * d * invN
+		grad.Data[i] = 2 * d * invN
+	}
+	return loss, grad
+}

@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// LSTM is a single-layer LSTM unrolled over full sequences with exact
+// backpropagation through time. Input [B, T, In] → output [B, T, H]
+// (hidden state at every step). The initial hidden and cell states are
+// zero for every sequence.
+//
+// Gate parameters are packed PyTorch-style into three tensors — Wih
+// [In, 4H], Whh [H, 4H], bias [4H] — with gate order (i, f, g, o). The
+// forget-gate bias is initialised to 1, the standard trick for gradient
+// flow early in training.
+type LSTM struct {
+	In, H int
+	Wih   *Param // [In, 4H]
+	Whh   *Param // [H, 4H]
+	Bias  *Param // [4H]
+
+	// BPTT cache, rebuilt each Forward.
+	b, t  int
+	x     *tensor.Tensor
+	gates []float64 // [T][B][4H] post-activation
+	cells []float64 // [T][B][H] cell states c_t
+	tanhC []float64 // [T][B][H] tanh(c_t)
+	hs    []float64 // [T][B][H] hidden states h_t
+}
+
+// NewLSTM builds an LSTM layer.
+func NewLSTM(name string, r *rng.RNG, in, h int) *LSTM {
+	l := &LSTM{
+		In: in, H: h,
+		Wih:  NewParam(name+".wih", tensor.Randn(r, XavierStd(in, h), in, 4*h)),
+		Whh:  NewParam(name+".whh", tensor.Randn(r, XavierStd(h, h), h, 4*h)),
+		Bias: NewParam(name+".bias", tensor.New(4*h)),
+	}
+	for j := h; j < 2*h; j++ { // forget gate bias = 1
+		l.Bias.W.Data[j] = 1
+	}
+	return l
+}
+
+// Forward implements Layer. x is [B, T, In].
+func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	sh := x.Shape()
+	if len(sh) != 3 || sh[2] != l.In {
+		panic(fmt.Sprintf("nn: LSTM(%d→%d) got shape %v", l.In, l.H, sh))
+	}
+	b, t, h := sh[0], sh[1], l.H
+	l.b, l.t, l.x = b, t, x
+	l.gates = grow(l.gates, t*b*4*h)
+	l.cells = grow(l.cells, t*b*h)
+	l.tanhC = grow(l.tanhC, t*b*h)
+	l.hs = grow(l.hs, t*b*h)
+
+	y := tensor.New(b, t, h)
+	hPrev := make([]float64, b*h) // zero initial state
+	cPrev := make([]float64, b*h)
+	xt := make([]float64, b*l.In)
+	pre := make([]float64, b*4*h)
+
+	for step := 0; step < t; step++ {
+		// Gather x_t: rows step of each sequence.
+		for n := 0; n < b; n++ {
+			copy(xt[n*l.In:(n+1)*l.In], x.Data[(n*t+step)*l.In:(n*t+step+1)*l.In])
+		}
+		// pre = x_t·Wih + h_{t-1}·Whh + bias
+		tensor.GemmInto(pre, xt, l.Wih.W.Data, b, l.In, 4*h, false)
+		tensor.GemmInto(pre, hPrev, l.Whh.W.Data, b, h, 4*h, true)
+		gBase := step * b * 4 * h
+		sBase := step * b * h
+		for n := 0; n < b; n++ {
+			row := pre[n*4*h : (n+1)*4*h]
+			gRow := l.gates[gBase+n*4*h : gBase+(n+1)*4*h]
+			for j := 0; j < 4*h; j++ {
+				v := row[j] + l.Bias.W.Data[j]
+				if j >= 2*h && j < 3*h { // g gate uses tanh
+					gRow[j] = math.Tanh(v)
+				} else {
+					gRow[j] = sigmoid(v)
+				}
+			}
+			for j := 0; j < h; j++ {
+				i, f, g, o := gRow[j], gRow[h+j], gRow[2*h+j], gRow[3*h+j]
+				c := f*cPrev[n*h+j] + i*g
+				tc := math.Tanh(c)
+				hv := o * tc
+				l.cells[sBase+n*h+j] = c
+				l.tanhC[sBase+n*h+j] = tc
+				l.hs[sBase+n*h+j] = hv
+				y.Data[(n*t+step)*h+j] = hv
+			}
+		}
+		copy(hPrev, l.hs[sBase:sBase+b*h])
+		copy(cPrev, l.cells[sBase:sBase+b*h])
+	}
+	return y
+}
+
+// Backward implements Layer: full BPTT. dout is [B, T, H]; returns
+// dL/dx [B, T, In].
+func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b, t, h := l.b, l.t, l.H
+	dx := tensor.New(b, t, l.In)
+	dh := make([]float64, b*h)     // dL/dh_t carried across steps
+	dc := make([]float64, b*h)     // dL/dc_t carried across steps
+	dPre := make([]float64, b*4*h) // gradient at pre-activations
+	xt := make([]float64, b*l.In)
+	dxt := make([]float64, b*l.In)
+	hPrevBuf := make([]float64, b*h)
+
+	for step := t - 1; step >= 0; step-- {
+		gBase := step * b * 4 * h
+		sBase := step * b * h
+		// h_{t-1} and c_{t-1}: previous step's state, or zeros at step 0.
+		var hPrev, cPrev []float64
+		if step > 0 {
+			hPrev = l.hs[(step-1)*b*h : step*b*h]
+			cPrev = l.cells[(step-1)*b*h : step*b*h]
+		} else {
+			for i := range hPrevBuf {
+				hPrevBuf[i] = 0
+			}
+			hPrev = hPrevBuf
+			cPrev = hPrevBuf // zeros as well
+		}
+		for n := 0; n < b; n++ {
+			gRow := l.gates[gBase+n*4*h : gBase+(n+1)*4*h]
+			for j := 0; j < h; j++ {
+				// Total gradient at h_t: from the output plus the carried
+				// recurrent term.
+				dhv := dout.Data[(n*t+step)*h+j] + dh[n*h+j]
+				i, f, g, o := gRow[j], gRow[h+j], gRow[2*h+j], gRow[3*h+j]
+				tc := l.tanhC[sBase+n*h+j]
+				dcv := dc[n*h+j] + dhv*o*(1-tc*tc)
+				do := dhv * tc
+				di := dcv * g
+				dg := dcv * i
+				df := dcv * cPrev[n*h+j]
+				// Through gate nonlinearities.
+				dPre[n*4*h+j] = di * i * (1 - i)
+				dPre[n*4*h+h+j] = df * f * (1 - f)
+				dPre[n*4*h+2*h+j] = dg * (1 - g*g)
+				dPre[n*4*h+3*h+j] = do * o * (1 - o)
+				// Carry dc to step t-1.
+				dc[n*h+j] = dcv * f
+			}
+		}
+		// Parameter gradients: dWih += x_tᵀ·dPre, dWhh += h_{t-1}ᵀ·dPre,
+		// dBias += column sums of dPre.
+		for n := 0; n < b; n++ {
+			copy(xt[n*l.In:(n+1)*l.In], l.x.Data[(n*t+step)*l.In:(n*t+step+1)*l.In])
+		}
+		tensor.GemmTransA(l.Wih.G.Data, xt, dPre, l.In, b, 4*h, true)
+		tensor.GemmTransA(l.Whh.G.Data, hPrev, dPre, h, b, 4*h, true)
+		for n := 0; n < b; n++ {
+			row := dPre[n*4*h : (n+1)*4*h]
+			for j, g := range row {
+				l.Bias.G.Data[j] += g
+			}
+		}
+		// Input gradient and recurrent hidden gradient.
+		tensor.GemmTransB(dxt, dPre, l.Wih.W.Data, b, 4*h, l.In, false)
+		for n := 0; n < b; n++ {
+			copy(dx.Data[(n*t+step)*l.In:(n*t+step+1)*l.In], dxt[n*l.In:(n+1)*l.In])
+		}
+		tensor.GemmTransB(dh, dPre, l.Whh.W.Data, b, 4*h, h, false)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wih, l.Whh, l.Bias} }
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

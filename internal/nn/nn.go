@@ -1,0 +1,142 @@
+// Package nn is the neural-network substrate: the minimal deep-learning
+// framework the reproduction needs in place of PyTorch. It provides
+// parameterised layers with explicit Forward/Backward, the three model
+// families the paper evaluates (built in internal/models), and the losses.
+//
+// Design notes:
+//   - One minibatch in flight per layer instance: layers cache forward
+//     activations for the following Backward call. Each simulated worker
+//     owns its model replica, so there is no sharing.
+//   - A Param is one parameter tensor (a weight or a bias). The paper's
+//     unit of partitioning — the "layer" of footnote 2 — maps 1:1 onto
+//     Param, which is exactly what the trainer flattens for the
+//     sparsifiers.
+//   - All shapes are row-major; images are NCHW.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Param is one trainable parameter tensor and its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor // value
+	G    *tensor.Tensor // gradient, same shape as W
+}
+
+// NewParam allocates a parameter with a zero gradient buffer.
+func NewParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Shape()...)}
+}
+
+// Size returns the number of scalar parameters.
+func (p *Param) Size() int { return p.W.Size() }
+
+// Layer is a differentiable module.
+type Layer interface {
+	// Forward computes the layer output for input x. train toggles
+	// training-time behaviour (batch-norm statistics, dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward receives dL/d(output) and returns dL/d(input), accumulating
+	// parameter gradients into Params().G. Must follow a Forward call.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads zeroes every parameter gradient.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.G.Zero()
+	}
+}
+
+// TotalSize returns the total number of scalar parameters.
+func TotalSize(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Size()
+	}
+	return n
+}
+
+// CheckNames verifies parameter names are unique (catches wiring bugs in
+// model constructors).
+func CheckNames(params []*Param) error {
+	seen := map[string]bool{}
+	for _, p := range params {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// KaimingStd returns the He-initialisation standard deviation for a layer
+// with the given fan-in, appropriate before ReLU nonlinearities.
+func KaimingStd(fanIn int) float64 {
+	if fanIn <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 / float64(fanIn))
+}
+
+// XavierStd returns the Glorot-initialisation standard deviation.
+func XavierStd(fanIn, fanOut int) float64 {
+	if fanIn+fanOut <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 / float64(fanIn+fanOut))
+}
+
+// Clone deep-copies a parameter list (used to snapshot replicas in tests).
+func Clone(params []*Param) []*Param {
+	out := make([]*Param, len(params))
+	for i, p := range params {
+		out[i] = &Param{Name: p.Name, W: p.W.Clone(), G: p.G.Clone()}
+	}
+	return out
+}
+
+// NewRNG is a convenience re-export so model constructors take a single
+// import.
+func NewRNG(seed uint64) *rng.RNG { return rng.New(seed) }

@@ -1,0 +1,360 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestDenseShapes(t *testing.T) {
+	r := rng.New(1)
+	d := NewDense("d", r, 8, 3, true)
+	y := d.Forward(tensor.Randn(r, 1, 5, 8), true)
+	if y.Dim(0) != 5 || y.Dim(1) != 3 {
+		t.Fatalf("dense output shape %v", y.Shape())
+	}
+	dx := d.Backward(tensor.Randn(r, 1, 5, 3))
+	if dx.Dim(0) != 5 || dx.Dim(1) != 8 {
+		t.Fatalf("dense dx shape %v", dx.Shape())
+	}
+}
+
+func TestDenseAcceptsHigherRankInput(t *testing.T) {
+	r := rng.New(2)
+	d := NewDense("d", r, 4, 2, false)
+	// [3, 5, 4] is flattened to [15, 4].
+	y := d.Forward(tensor.Randn(r, 1, 3, 5, 4), true)
+	if y.Dim(0) != 15 || y.Dim(1) != 2 {
+		t.Fatalf("shape %v", y.Shape())
+	}
+}
+
+func TestDensePanicsOnWrongInput(t *testing.T) {
+	r := rng.New(3)
+	d := NewDense("d", r, 4, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Forward(tensor.Randn(r, 1, 5, 3), true)
+}
+
+func TestConvOutputSize(t *testing.T) {
+	r := rng.New(4)
+	c := NewConv2D("c", r, 1, 1, 3, 1, 1, false)
+	if c.OutSize(8) != 8 {
+		t.Fatal("same-pad conv should preserve size")
+	}
+	s2 := NewConv2D("c", r, 1, 1, 3, 2, 1, false)
+	if s2.OutSize(8) != 4 {
+		t.Fatalf("stride-2 OutSize(8) = %d, want 4", s2.OutSize(8))
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	// 1×1 input channel, 2×2 image, 2×2 kernel of ones, no pad: output is
+	// the sum of the image.
+	r := rng.New(5)
+	c := NewConv2D("c", r, 1, 1, 2, 1, 0, false)
+	c.Weight.W.Fill(1)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	y := c.Forward(x, true)
+	if y.Size() != 1 || y.Data[0] != 10 {
+		t.Fatalf("conv output %v, want [10]", y.Data)
+	}
+}
+
+func TestBatchNormNormalises(t *testing.T) {
+	bn := NewBatchNorm("bn", 2)
+	r := rng.New(6)
+	x := tensor.Randn(r, 3, 16, 2, 4, 4)
+	for i := range x.Data {
+		x.Data[i] += 7 // large offset must be removed
+	}
+	y := bn.Forward(x, true)
+	// Per-channel mean ~0, var ~1.
+	for c := 0; c < 2; c++ {
+		var sum, ss float64
+		n := 0
+		for b := 0; b < 16; b++ {
+			base := (b*2 + c) * 16
+			for i := 0; i < 16; i++ {
+				v := y.Data[base+i]
+				sum += v
+				ss += v * v
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("channel %d mean %v", c, mean)
+		}
+		// The ε inside 1/sqrt(var+ε) biases output variance to var/(var+ε).
+		if v := ss/float64(n) - mean*mean; math.Abs(v-1) > 1e-4 {
+			t.Errorf("channel %d var %v", c, v)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm("bn", 1)
+	r := rng.New(7)
+	// Train several batches to populate running stats.
+	for i := 0; i < 50; i++ {
+		x := tensor.Randn(r, 2, 8, 1, 2, 2)
+		for j := range x.Data {
+			x.Data[j] += 5
+		}
+		bn.Forward(x, true)
+	}
+	if math.Abs(bn.RunMean[0]-5) > 0.5 {
+		t.Fatalf("running mean %v, want ~5", bn.RunMean[0])
+	}
+	// Eval mode must use running stats: a constant input maps to ~(c-5)/2.
+	x := tensor.New(1, 1, 2, 2)
+	x.Fill(5)
+	y := bn.Forward(x, false)
+	if math.Abs(y.Data[0]) > 0.3 {
+		t.Fatalf("eval-mode output %v, want ~0", y.Data[0])
+	}
+}
+
+func TestEmbeddingLookup(t *testing.T) {
+	r := rng.New(8)
+	e := NewEmbedding("e", r, 10, 4)
+	x := tensor.FromSlice([]float64{3, 7}, 2)
+	y := e.Forward(x, true)
+	for j := 0; j < 4; j++ {
+		if y.Data[j] != e.Weight.W.Data[3*4+j] {
+			t.Fatal("embedding row mismatch")
+		}
+		if y.Data[4+j] != e.Weight.W.Data[7*4+j] {
+			t.Fatal("embedding row mismatch")
+		}
+	}
+}
+
+func TestEmbeddingPanicsOnBadID(t *testing.T) {
+	r := rng.New(9)
+	e := NewEmbedding("e", r, 10, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Forward(tensor.FromSlice([]float64{10}, 1), true)
+}
+
+func TestEmbeddingGradAccumulatesRepeatedIDs(t *testing.T) {
+	r := rng.New(10)
+	e := NewEmbedding("e", r, 5, 2)
+	x := tensor.FromSlice([]float64{1, 1}, 2)
+	e.Forward(x, true)
+	dout := tensor.FromSlice([]float64{1, 2, 10, 20}, 2, 2)
+	e.Backward(dout)
+	if e.Weight.G.Data[1*2+0] != 11 || e.Weight.G.Data[1*2+1] != 22 {
+		t.Fatalf("repeated-id grads not accumulated: %v", e.Weight.G.Data[2:4])
+	}
+}
+
+func TestLSTMShapes(t *testing.T) {
+	r := rng.New(11)
+	l := NewLSTM("l", r, 6, 4)
+	y := l.Forward(tensor.Randn(r, 1, 3, 5, 6), true)
+	sh := y.Shape()
+	if sh[0] != 3 || sh[1] != 5 || sh[2] != 4 {
+		t.Fatalf("lstm output shape %v", sh)
+	}
+	dx := l.Backward(tensor.Randn(r, 1, 3, 5, 4))
+	dsh := dx.Shape()
+	if dsh[0] != 3 || dsh[1] != 5 || dsh[2] != 6 {
+		t.Fatalf("lstm dx shape %v", dsh)
+	}
+}
+
+func TestLSTMStatePropagation(t *testing.T) {
+	// With a constant nonzero input, hidden states must evolve over time.
+	r := rng.New(12)
+	l := NewLSTM("l", r, 2, 3)
+	x := tensor.New(1, 4, 2)
+	x.Fill(1)
+	y := l.Forward(x, true)
+	h0 := y.Data[0:3]
+	h3 := y.Data[9:12]
+	same := true
+	for i := range h0 {
+		if math.Abs(h0[i]-h3[i]) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("hidden state did not evolve over time")
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	r := rng.New(13)
+	m := NewSequential(
+		NewDense("d1", r, 4, 8, true),
+		NewReLU(),
+		NewDense("d2", r, 8, 2, true),
+	)
+	if got := len(m.Params()); got != 4 {
+		t.Fatalf("param count %d, want 4", got)
+	}
+	y := m.Forward(tensor.Randn(r, 1, 3, 4), true)
+	if y.Dim(1) != 2 {
+		t.Fatalf("output shape %v", y.Shape())
+	}
+	if err := CheckNames(m.Params()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckNamesDetectsDuplicates(t *testing.T) {
+	r := rng.New(14)
+	p1 := NewDense("same", r, 2, 2, false).Params()
+	p2 := NewDense("same", r, 2, 2, false).Params()
+	if err := CheckNames(append(p1, p2...)); err == nil {
+		t.Fatal("duplicate names not detected")
+	}
+}
+
+func TestZeroGradsAndTotalSize(t *testing.T) {
+	r := rng.New(15)
+	d := NewDense("d", r, 3, 2, true)
+	d.Forward(tensor.Randn(r, 1, 2, 3), true)
+	d.Backward(tensor.Randn(r, 1, 2, 2))
+	ZeroGrads(d.Params())
+	for _, p := range d.Params() {
+		for _, g := range p.G.Data {
+			if g != 0 {
+				t.Fatal("grad not zeroed")
+			}
+		}
+	}
+	if TotalSize(d.Params()) != 3*2+2 {
+		t.Fatalf("TotalSize = %d", TotalSize(d.Params()))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := rng.New(16)
+	d := NewDense("d", r, 2, 2, false)
+	cl := Clone(d.Params())
+	cl[0].W.Data[0] = 999
+	if d.Weight.W.Data[0] == 999 {
+		t.Fatal("Clone aliases originals")
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over C classes: loss = ln C.
+	logits := tensor.New(2, 4)
+	loss, _ := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-12 {
+		t.Fatalf("loss %v, want ln4", loss)
+	}
+}
+
+func TestBCEWithLogitsKnown(t *testing.T) {
+	logits := tensor.FromSlice([]float64{0}, 1)
+	loss, _ := BCEWithLogits(logits, []float64{1})
+	if math.Abs(loss-math.Log(2)) > 1e-12 {
+		t.Fatalf("loss %v, want ln2", loss)
+	}
+	// Large logit, correct label: near-zero loss, stable.
+	logits2 := tensor.FromSlice([]float64{50}, 1)
+	loss2, _ := BCEWithLogits(logits2, []float64{1})
+	if loss2 > 1e-9 || math.IsNaN(loss2) {
+		t.Fatalf("large-logit loss %v", loss2)
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if v := sigmoid(1000); v != 1 {
+		t.Fatalf("sigmoid(1000) = %v", v)
+	}
+	if v := sigmoid(-1000); v != 0 {
+		t.Fatalf("sigmoid(-1000) = %v", v)
+	}
+	if math.Abs(sigmoid(0)-0.5) > 1e-15 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	r := rng.New(17)
+	f := NewFlatten()
+	x := tensor.Randn(r, 1, 2, 3, 4)
+	y := f.Forward(x, true)
+	if y.Dim(0) != 2 || y.Dim(1) != 12 {
+		t.Fatalf("flatten shape %v", y.Shape())
+	}
+	dx := f.Backward(y)
+	sh := dx.Shape()
+	if sh[0] != 2 || sh[1] != 3 || sh[2] != 4 {
+		t.Fatalf("unflatten shape %v", sh)
+	}
+}
+
+func TestTrainingReducesLossMLP(t *testing.T) {
+	// End-to-end sanity: a small MLP must fit a linearly separable toy set.
+	r := rng.New(18)
+	model := NewSequential(
+		NewDense("d1", r, 2, 16, true),
+		NewReLU(),
+		NewDense("d2", r, 16, 2, true),
+	)
+	params := model.Params()
+	var first, last float64
+	for iter := 0; iter < 200; iter++ {
+		x := tensor.New(16, 2)
+		labels := make([]int, 16)
+		for i := 0; i < 16; i++ {
+			a, b := r.Norm(), r.Norm()
+			x.Data[i*2], x.Data[i*2+1] = a, b
+			if a+b > 0 {
+				labels[i] = 1
+			}
+		}
+		logits := model.Forward(x, true)
+		loss, grad := SoftmaxCrossEntropy(logits, labels)
+		ZeroGrads(params)
+		model.Backward(grad)
+		for _, p := range params {
+			p.W.AddScaled(-0.5, p.G)
+		}
+		if iter == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last > first/2 {
+		t.Fatalf("loss did not halve: first %v last %v", first, last)
+	}
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	r := rng.New(1)
+	c := NewConv2D("c", r, 8, 8, 3, 1, 1, false)
+	x := tensor.Randn(r, 1, 8, 8, 12, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x, true)
+	}
+}
+
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	r := rng.New(2)
+	l := NewLSTM("l", r, 16, 32)
+	x := tensor.Randn(r, 1, 8, 12, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := l.Forward(x, true)
+		l.Backward(y)
+	}
+}

@@ -1,0 +1,59 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Residual computes y = ReLU(Body(x) + x). Body must preserve shape (the
+// classical identity-shortcut basic block; downsampling is done by strided
+// convolutions between blocks, as in the CIFAR variants of ResNet).
+type Residual struct {
+	Body Layer
+
+	mask []bool // post-sum ReLU mask
+}
+
+// NewResidual wraps body with an identity shortcut and output ReLU.
+func NewResidual(body Layer) *Residual { return &Residual{Body: body} }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	if y.Size() != x.Size() {
+		panic("nn: Residual body changed tensor size")
+	}
+	out := y.Clone()
+	for i, v := range x.Data {
+		out.Data[i] += v
+	}
+	if cap(r.mask) < out.Size() {
+		r.mask = make([]bool, out.Size())
+	}
+	r.mask = r.mask[:out.Size()]
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	d := dout.Clone()
+	for i := range d.Data {
+		if !r.mask[i] {
+			d.Data[i] = 0
+		}
+	}
+	dx := r.Body.Backward(d)
+	out := dx.Clone()
+	for i, v := range d.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param { return r.Body.Params() }

@@ -1,0 +1,200 @@
+// Package rng provides a splittable, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Reproducibility is a hard requirement for this reproduction: every worker
+// in the simulated cluster must compute the same model state from the same
+// (seed, rank, iteration) triple, and every experiment must be re-runnable
+// bit-for-bit. The standard library's math/rand is seedable but offers no
+// principled way to derive independent streams; this package implements
+// xoshiro256** with a SplitMix64 seeding stage, which is the construction
+// recommended by its authors for generating independent generators.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is invalid; use New.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+	// cached spare normal variate for Gaussian (Marsaglia polar method)
+	spare    float64
+	hasSpare bool
+}
+
+// splitmix64 advances the given state and returns the next output.
+// It is used only to expand a user seed into generator state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Distinct seeds produce
+// independent-looking streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+	// xoshiro256** must not be seeded with the all-zero state.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Split derives a new independent generator from r and the given stream
+// identifiers. It does not advance r, so callers may derive any number of
+// streams from a single root seed: worker i at iteration t uses
+// root.Split(uint64(i), uint64(t)).
+func (r *RNG) Split(ids ...uint64) *RNG {
+	// Mix the current state with the ids through SplitMix64. The state is
+	// read, not advanced, to keep Split free of side effects.
+	h := r.s0 ^ (r.s1 << 1) ^ (r.s2 << 2) ^ (r.s3 << 3)
+	for _, id := range ids {
+		x := h ^ (id + 0x9e3779b97f4a7c15)
+		h = splitmix64(&x)
+	}
+	return New(h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method.
+	un := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, un)
+		}
+	}
+	_ = lo
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	lo = a * b
+	hi = a1*b1 + t>>32 + (t&mask+a0*b1)>>32
+	return hi, lo
+}
+
+// Norm returns a standard normal variate using the Marsaglia polar method.
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Exp returns an exponentially distributed variate with rate 1.
+func (r *RNG) Exp() float64 {
+	u := r.Float64()
+	// Guard against log(0); Float64 can return exactly 0.
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples from a Zipf distribution over [0, n) with exponent s > 0
+// using inverse-CDF over precomputed weights. For repeated sampling over
+// the same support, build a Zipf sampler instead.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws one index in [0, n) with Zipf weights.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,223 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split(0, 1)
+	b := root.Split(0, 2)
+	c := root.Split(0, 1)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams with different ids should differ")
+	}
+	a2 := New(7).Split(0, 1)
+	_ = c
+	x, y := New(7).Split(0, 1).Uint64(), a2.Uint64()
+	if x != y {
+		t.Fatal("split must be deterministic")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split(1)
+	_ = a.Split(2, 3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split advanced parent state")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(4)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %f", i, c, want)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(8)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp()
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + r.Intn(200)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(50, 1.1)
+	r := New(10)
+	counts := make([]int, 50)
+	for i := 0; i < 50000; i++ {
+		v := z.Sample(r)
+		if v < 0 || v >= 50 {
+			t.Fatalf("zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Zipf must be head-heavy: item 0 strictly more popular than item 49.
+	if counts[0] <= counts[49] {
+		t.Errorf("zipf not head-heavy: counts[0]=%d counts[49]=%d", counts[0], counts[49])
+	}
+	if counts[0] < 5*counts[49] {
+		t.Errorf("zipf head too light: counts[0]=%d counts[49]=%d", counts[0], counts[49])
+	}
+}
+
+func TestZipfPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(0, 1)
+}
+
+func TestMul64AgainstBig(t *testing.T) {
+	cases := [][2]uint64{
+		{0, 0}, {1, 1}, {math.MaxUint64, math.MaxUint64},
+		{1 << 32, 1 << 32}, {0xdeadbeefcafebabe, 0x123456789abcdef0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c[0], c[1])
+		// Verify via 4-limb schoolbook with 32-bit limbs.
+		a0, a1 := c[0]&0xffffffff, c[0]>>32
+		b0, b1 := c[1]&0xffffffff, c[1]>>32
+		wantLo := c[0] * c[1]
+		mid := a1*b0 + (a0*b0)>>32
+		wantHi := a1*b1 + mid>>32 + ((mid&0xffffffff)+a0*b1)>>32
+		if hi != wantHi || lo != wantLo {
+			t.Errorf("mul64(%x,%x) = (%x,%x), want (%x,%x)", c[0], c[1], hi, lo, wantHi, wantLo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Norm()
+	}
+	_ = sink
+}

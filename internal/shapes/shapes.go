@@ -1,0 +1,200 @@
+// Package shapes provides exact layer-shape catalogs of the three models
+// the paper evaluates — ResNet-18 (CIFAR-10 variant), the 2-layer LSTM
+// language model used on WikiText-2, and NCF sized for MovieLens-20M.
+//
+// Selection-cost and scalability experiments (Fig 7, Fig 9) depend only on
+// the per-layer size distribution and per-layer gradient norms, not on
+// training a real model, so these catalogs let the reproduction exercise
+// DEFT at the paper's true scale (tens of millions of gradients) without a
+// GPU. Each catalog is a list of (name, size) pairs in parameter order,
+// convertible to the sparsifier.Layer layout.
+package shapes
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sparsifier"
+)
+
+// Spec is one parameter tensor: a name and its element count.
+type Spec struct {
+	Name string
+	Size int
+}
+
+// Catalog is an ordered list of parameter tensors.
+type Catalog []Spec
+
+// TotalSize returns the number of gradients in the whole model.
+func (c Catalog) TotalSize() int {
+	n := 0
+	for _, s := range c {
+		n += s.Size
+	}
+	return n
+}
+
+// Layers converts the catalog to the contiguous layer layout used by the
+// sparsifiers.
+func (c Catalog) Layers() []sparsifier.Layer {
+	layers := make([]sparsifier.Layer, len(c))
+	pos := 0
+	for i, s := range c {
+		layers[i] = sparsifier.Layer{Name: s.Name, Start: pos, End: pos + s.Size}
+		pos += s.Size
+	}
+	return layers
+}
+
+// Scaled returns a copy with every layer scaled by factor (minimum size 1).
+// Used to shrink full-size catalogs to laptop-runnable sizes while keeping
+// the size *distribution* — the quantity the cost model cares about.
+func (c Catalog) Scaled(factor float64) Catalog {
+	out := make(Catalog, len(c))
+	for i, s := range c {
+		sz := int(math.Round(float64(s.Size) * factor))
+		if sz < 1 {
+			sz = 1
+		}
+		out[i] = Spec{Name: s.Name, Size: sz}
+	}
+	return out
+}
+
+// SyntheticGradients fills a gradient vector for the catalog: each layer
+// gets Gaussian gradients with a per-layer scale drawn log-normally, so
+// layer norms differ by orders of magnitude — the phenomenon (Zhang et al.
+// [41]) DEFT exploits. Deterministic in seed.
+func (c Catalog) SyntheticGradients(seed uint64) []float64 {
+	r := rng.New(seed)
+	g := make([]float64, c.TotalSize())
+	pos := 0
+	for li, s := range c {
+		lr := r.Split(uint64(li))
+		scale := math.Exp(lr.Norm() * 1.5) // log-normal layer scale
+		for i := 0; i < s.Size; i++ {
+			g[pos+i] = lr.Norm() * scale
+		}
+		pos += s.Size
+	}
+	return g
+}
+
+// ResNet18 returns the CIFAR-10 variant of ResNet-18: 3×3 stem (no 7×7, no
+// max-pool), four stages of two basic blocks at widths 64/128/256/512 with
+// 1×1 projection shortcuts on the downsampling blocks, batch-norm
+// scale/shift everywhere, and a 512→10 classifier. Total ≈ 11.2M params.
+func ResNet18() Catalog {
+	var c Catalog
+	addConv := func(name string, inC, outC, k int) {
+		c = append(c, Spec{name + ".weight", outC * inC * k * k})
+	}
+	addBN := func(name string, ch int) {
+		c = append(c, Spec{name + ".gamma", ch}, Spec{name + ".beta", ch})
+	}
+	addConv("conv1", 3, 64, 3)
+	addBN("bn1", 64)
+	widths := []int{64, 128, 256, 512}
+	inC := 64
+	for stage, w := range widths {
+		for block := 0; block < 2; block++ {
+			prefix := "layer" + itoa(stage+1) + "." + itoa(block)
+			first := inC
+			if block > 0 {
+				first = w
+			}
+			addConv(prefix+".conv1", first, w, 3)
+			addBN(prefix+".bn1", w)
+			addConv(prefix+".conv2", w, w, 3)
+			addBN(prefix+".bn2", w)
+			if block == 0 && first != w {
+				addConv(prefix+".downsample.0", first, w, 1)
+				addBN(prefix+".downsample.1", w)
+			}
+		}
+		inC = w
+	}
+	c = append(c, Spec{"fc.weight", 512 * 10}, Spec{"fc.bias", 10})
+	return c
+}
+
+// LSTMWiki returns the 2-layer LSTM language model configuration used by
+// the gradient-compression literature on WikiText-2 (DGC/GRACE lineage):
+// vocabulary 33278, embedding and hidden width 1500, PyTorch-style packed
+// gate weights with separate ih/hh biases. Total ≈ 86M params.
+func LSTMWiki() Catalog {
+	const (
+		vocab  = 33278
+		embed  = 1500
+		hidden = 1500
+	)
+	var c Catalog
+	c = append(c, Spec{"encoder.weight", vocab * embed})
+	for l := 0; l < 2; l++ {
+		in := embed
+		if l > 0 {
+			in = hidden
+		}
+		p := "lstm" + itoa(l)
+		c = append(c,
+			Spec{p + ".weight_ih", 4 * hidden * in},
+			Spec{p + ".weight_hh", 4 * hidden * hidden},
+			Spec{p + ".bias_ih", 4 * hidden},
+			Spec{p + ".bias_hh", 4 * hidden},
+		)
+	}
+	c = append(c, Spec{"decoder.weight", vocab * embed}, Spec{"decoder.bias", vocab})
+	return c
+}
+
+// NCFMovieLens returns NCF sized for MovieLens-20M (138493 users, 26744
+// items) with 64 predictive factors in both towers and a 128→64→32→16 MLP.
+// Total ≈ 21.2M params.
+func NCFMovieLens() Catalog {
+	const (
+		users   = 138493
+		items   = 26744
+		factors = 64
+	)
+	var c Catalog
+	c = append(c,
+		Spec{"gmf.user.weight", users * factors},
+		Spec{"gmf.item.weight", items * factors},
+		Spec{"mlp.user.weight", users * factors},
+		Spec{"mlp.item.weight", items * factors},
+		Spec{"mlp.fc1.weight", 2 * factors * 64}, Spec{"mlp.fc1.bias", 64},
+		Spec{"mlp.fc2.weight", 64 * 32}, Spec{"mlp.fc2.bias", 32},
+		Spec{"mlp.fc3.weight", 32 * 16}, Spec{"mlp.fc3.bias", 16},
+		Spec{"fuse.weight", factors + 16}, Spec{"fuse.bias", 1},
+	)
+	return c
+}
+
+// ByName returns the catalog for a model name: "resnet18", "lstm", "ncf".
+// ok is false for unknown names.
+func ByName(name string) (Catalog, bool) {
+	switch name {
+	case "resnet18":
+		return ResNet18(), true
+	case "lstm":
+		return LSTMWiki(), true
+	case "ncf":
+		return NCFMovieLens(), true
+	}
+	return nil, false
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,117 @@
+package shapes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparsifier"
+)
+
+func TestResNet18Size(t *testing.T) {
+	c := ResNet18()
+	total := c.TotalSize()
+	// CIFAR ResNet-18 is ~11.17M parameters.
+	if total < 11_000_000 || total > 11_400_000 {
+		t.Fatalf("ResNet-18 total %d, want ~11.17M", total)
+	}
+	// Roughly 60 parameter tensors (conv + 2×BN per conv + fc).
+	if len(c) < 50 || len(c) > 80 {
+		t.Fatalf("ResNet-18 has %d tensors, want ~60", len(c))
+	}
+}
+
+func TestLSTMWikiSize(t *testing.T) {
+	c := LSTMWiki()
+	total := c.TotalSize()
+	// encoder 49.9M + 2×(9M+9M+12k) + decoder 49.9M ≈ 136M.
+	if total < 130_000_000 || total > 142_000_000 {
+		t.Fatalf("LSTM total %d, want ~136M", total)
+	}
+}
+
+func TestNCFSize(t *testing.T) {
+	c := NCFMovieLens()
+	total := c.TotalSize()
+	if total < 20_000_000 || total > 22_500_000 {
+		t.Fatalf("NCF total %d, want ~21M", total)
+	}
+}
+
+func TestLayersValid(t *testing.T) {
+	for _, name := range []string{"resnet18", "lstm", "ncf"} {
+		c, ok := ByName(name)
+		if !ok {
+			t.Fatalf("catalog %s missing", name)
+		}
+		if err := sparsifier.ValidateLayers(c.Layers(), c.TotalSize()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestScaledKeepsDistribution(t *testing.T) {
+	c := ResNet18()
+	s := c.Scaled(0.01)
+	if len(s) != len(c) {
+		t.Fatal("Scaled changed layer count")
+	}
+	for i := range s {
+		if s[i].Size < 1 {
+			t.Fatal("Scaled produced empty layer")
+		}
+		want := float64(c[i].Size) * 0.01
+		if want >= 2 && math.Abs(float64(s[i].Size)-want) > want*0.5+1 {
+			t.Fatalf("layer %d scaled to %d, want ~%v", i, s[i].Size, want)
+		}
+	}
+	if s.TotalSize() >= c.TotalSize() {
+		t.Fatal("Scaled did not shrink")
+	}
+}
+
+func TestSyntheticGradientsNormSpread(t *testing.T) {
+	c := ResNet18().Scaled(0.01)
+	g := c.SyntheticGradients(7)
+	if len(g) != c.TotalSize() {
+		t.Fatalf("gradient length %d, want %d", len(g), c.TotalSize())
+	}
+	// Per-layer norms must spread over orders of magnitude (per-element
+	// RMS, so layer size doesn't dominate the comparison).
+	var minRMS, maxRMS float64 = math.Inf(1), 0
+	pos := 0
+	for _, s := range c {
+		ss := 0.0
+		for i := 0; i < s.Size; i++ {
+			ss += g[pos+i] * g[pos+i]
+		}
+		pos += s.Size
+		rms := math.Sqrt(ss / float64(s.Size))
+		if rms < minRMS {
+			minRMS = rms
+		}
+		if rms > maxRMS {
+			maxRMS = rms
+		}
+	}
+	if maxRMS < 5*minRMS {
+		t.Fatalf("layer RMS spread too small: %v..%v", minRMS, maxRMS)
+	}
+	// Deterministic.
+	g2 := c.SyntheticGradients(7)
+	for i := range g {
+		if g[i] != g2[i] {
+			t.Fatal("SyntheticGradients not deterministic")
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for n, want := range map[int]string{0: "0", 5: "5", 42: "42", 1234: "1234"} {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q", n, got)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package sparse provides the sparse-gradient representation exchanged by
+// workers: a sorted index set with values, plus the binary wire format
+// (uint32 index + float32 value pairs, the layout NCCL-based systems ship)
+// used for traffic accounting in bytes.
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vector is a sparse view of a dense gradient vector: parallel slices of
+// strictly increasing indices and their values.
+type Vector struct {
+	Indices []int
+	Values  []float64
+}
+
+// FromDense gathers the given indices out of a dense vector. The indices
+// are copied and sorted; duplicates are rejected.
+func FromDense(dense []float64, indices []int) (*Vector, error) {
+	idx := make([]int, len(indices))
+	copy(idx, indices)
+	sort.Ints(idx)
+	v := &Vector{Indices: idx, Values: make([]float64, len(idx))}
+	for i, ix := range idx {
+		if ix < 0 || ix >= len(dense) {
+			return nil, fmt.Errorf("sparse: index %d out of range [0,%d)", ix, len(dense))
+		}
+		if i > 0 && idx[i-1] == ix {
+			return nil, fmt.Errorf("sparse: duplicate index %d", ix)
+		}
+		v.Values[i] = dense[ix]
+	}
+	return v, nil
+}
+
+// NNZ returns the number of stored entries.
+func (v *Vector) NNZ() int { return len(v.Indices) }
+
+// WireBytes returns the on-the-wire size with the standard uint32+float32
+// encoding.
+func (v *Vector) WireBytes() int { return 8 * len(v.Indices) }
+
+// ScatterAdd adds alpha·value into dense at each stored index.
+func (v *Vector) ScatterAdd(dense []float64, alpha float64) {
+	for i, ix := range v.Indices {
+		dense[ix] += alpha * v.Values[i]
+	}
+}
+
+// ScatterZero zeroes dense at each stored index (the error-feedback clear
+// on line 11 of Algorithm 1).
+func (v *Vector) ScatterZero(dense []float64) {
+	for _, ix := range v.Indices {
+		dense[ix] = 0
+	}
+}
+
+// L2Norm returns the Euclidean norm of the stored values.
+func (v *Vector) L2Norm() float64 {
+	s := 0.0
+	for _, x := range v.Values {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Union merges two sparse vectors, summing values on shared indices.
+// Inputs must be sorted (as produced by FromDense); the result is sorted.
+func Union(a, b *Vector) *Vector {
+	out := &Vector{
+		Indices: make([]int, 0, len(a.Indices)+len(b.Indices)),
+		Values:  make([]float64, 0, len(a.Indices)+len(b.Indices)),
+	}
+	i, j := 0, 0
+	for i < len(a.Indices) && j < len(b.Indices) {
+		switch {
+		case a.Indices[i] < b.Indices[j]:
+			out.Indices = append(out.Indices, a.Indices[i])
+			out.Values = append(out.Values, a.Values[i])
+			i++
+		case a.Indices[i] > b.Indices[j]:
+			out.Indices = append(out.Indices, b.Indices[j])
+			out.Values = append(out.Values, b.Values[j])
+			j++
+		default:
+			out.Indices = append(out.Indices, a.Indices[i])
+			out.Values = append(out.Values, a.Values[i]+b.Values[j])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.Indices); i++ {
+		out.Indices = append(out.Indices, a.Indices[i])
+		out.Values = append(out.Values, a.Values[i])
+	}
+	for ; j < len(b.Indices); j++ {
+		out.Indices = append(out.Indices, b.Indices[j])
+		out.Values = append(out.Values, b.Values[j])
+	}
+	return out
+}
+
+// UnionAll folds Union over many vectors (k-way merge via repeated
+// pairwise merge in a balanced tree, O(total·log n) overall).
+func UnionAll(vs []*Vector) *Vector {
+	if len(vs) == 0 {
+		return &Vector{}
+	}
+	for len(vs) > 1 {
+		var next []*Vector
+		for i := 0; i+1 < len(vs); i += 2 {
+			next = append(next, Union(vs[i], vs[i+1]))
+		}
+		if len(vs)%2 == 1 {
+			next = append(next, vs[len(vs)-1])
+		}
+		vs = next
+	}
+	return vs[0]
+}
+
+// Encode serialises the vector into the wire format: nnz as uint32, then
+// nnz uint32 indices, then nnz float32 values, little-endian. Values are
+// truncated to float32 exactly as GPU systems transmit them.
+func (v *Vector) Encode() []byte {
+	buf := make([]byte, 4+8*len(v.Indices))
+	binary.LittleEndian.PutUint32(buf, uint32(len(v.Indices)))
+	off := 4
+	for _, ix := range v.Indices {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(ix))
+		off += 4
+	}
+	for _, val := range v.Values {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(val)))
+		off += 4
+	}
+	return buf
+}
+
+// Decode parses the wire format produced by Encode.
+func Decode(buf []byte) (*Vector, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("sparse: short buffer (%d bytes)", len(buf))
+	}
+	nnz := int(binary.LittleEndian.Uint32(buf))
+	want := 4 + 8*nnz
+	if len(buf) != want {
+		return nil, fmt.Errorf("sparse: buffer %d bytes, want %d for nnz=%d", len(buf), want, nnz)
+	}
+	v := &Vector{Indices: make([]int, nnz), Values: make([]float64, nnz)}
+	off := 4
+	for i := 0; i < nnz; i++ {
+		v.Indices[i] = int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	prev := -1
+	for _, ix := range v.Indices {
+		if ix <= prev {
+			return nil, fmt.Errorf("sparse: indices not strictly increasing at %d", ix)
+		}
+		prev = ix
+	}
+	for i := 0; i < nnz; i++ {
+		v.Values[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+		off += 4
+	}
+	return v, nil
+}
+
+// Density returns nnz / ng.
+func (v *Vector) Density(ng int) float64 {
+	if ng == 0 {
+		return 0
+	}
+	return float64(v.NNZ()) / float64(ng)
+}

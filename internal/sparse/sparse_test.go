@@ -1,0 +1,224 @@
+package sparse
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFromDenseSortsAndGathers(t *testing.T) {
+	dense := []float64{10, 11, 12, 13, 14}
+	v, err := FromDense(dense, []int{3, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != 3 {
+		t.Fatalf("nnz %d", v.NNZ())
+	}
+	wantIdx := []int{0, 3, 4}
+	wantVal := []float64{10, 13, 14}
+	for i := range wantIdx {
+		if v.Indices[i] != wantIdx[i] || v.Values[i] != wantVal[i] {
+			t.Fatalf("entry %d = (%d, %v)", i, v.Indices[i], v.Values[i])
+		}
+	}
+	if v.WireBytes() != 24 {
+		t.Fatalf("WireBytes %d", v.WireBytes())
+	}
+}
+
+func TestFromDenseRejectsBadInput(t *testing.T) {
+	dense := []float64{1, 2}
+	if _, err := FromDense(dense, []int{2}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := FromDense(dense, []int{-1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := FromDense(dense, []int{1, 1}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+}
+
+func TestScatterAddAndZero(t *testing.T) {
+	dense := []float64{1, 2, 3}
+	v, _ := FromDense(dense, []int{0, 2})
+	out := make([]float64, 3)
+	v.ScatterAdd(out, 2)
+	if out[0] != 2 || out[1] != 0 || out[2] != 6 {
+		t.Fatalf("ScatterAdd gave %v", out)
+	}
+	v.ScatterZero(dense)
+	if dense[0] != 0 || dense[1] != 2 || dense[2] != 0 {
+		t.Fatalf("ScatterZero gave %v", dense)
+	}
+}
+
+func TestL2Norm(t *testing.T) {
+	v := &Vector{Indices: []int{0, 1}, Values: []float64{3, 4}}
+	if math.Abs(v.L2Norm()-5) > 1e-12 {
+		t.Fatalf("norm %v", v.L2Norm())
+	}
+}
+
+func TestUnionSumsSharedIndices(t *testing.T) {
+	a := &Vector{Indices: []int{1, 3, 5}, Values: []float64{1, 3, 5}}
+	b := &Vector{Indices: []int{3, 4}, Values: []float64{30, 40}}
+	u := Union(a, b)
+	wantIdx := []int{1, 3, 4, 5}
+	wantVal := []float64{1, 33, 40, 5}
+	if u.NNZ() != 4 {
+		t.Fatalf("nnz %d", u.NNZ())
+	}
+	for i := range wantIdx {
+		if u.Indices[i] != wantIdx[i] || u.Values[i] != wantVal[i] {
+			t.Fatalf("union entry %d = (%d,%v)", i, u.Indices[i], u.Values[i])
+		}
+	}
+}
+
+func TestUnionAllMatchesDenseSum(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const ng = 200
+		n := 1 + r.Intn(6)
+		dense := make([]float64, ng)
+		var vs []*Vector
+		for w := 0; w < n; w++ {
+			wd := make([]float64, ng)
+			k := 1 + r.Intn(50)
+			idx := r.Perm(ng)[:k]
+			for _, i := range idx {
+				wd[i] = r.Norm()
+				dense[i] += wd[i]
+			}
+			v, err := FromDense(wd, idx)
+			if err != nil {
+				return false
+			}
+			vs = append(vs, v)
+		}
+		u := UnionAll(vs)
+		// Every nonzero of dense must appear in the union with the summed value.
+		got := make([]float64, ng)
+		u.ScatterAdd(got, 1)
+		for i := range dense {
+			if math.Abs(got[i]-dense[i]) > 1e-12 {
+				return false
+			}
+		}
+		return sort.IntsAreSorted(u.Indices)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionAllEmpty(t *testing.T) {
+	if UnionAll(nil).NNZ() != 0 {
+		t.Fatal("empty union should be empty")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const ng = 500
+		dense := make([]float64, ng)
+		for i := range dense {
+			dense[i] = r.Norm()
+		}
+		k := 1 + r.Intn(100)
+		idx := r.Perm(ng)[:k]
+		v, err := FromDense(dense, idx)
+		if err != nil {
+			return false
+		}
+		buf := v.Encode()
+		if len(buf) != 4+v.WireBytes() {
+			return false
+		}
+		back, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		if back.NNZ() != v.NNZ() {
+			return false
+		}
+		for i := range v.Indices {
+			if back.Indices[i] != v.Indices[i] {
+				return false
+			}
+			// Values round-trip through float32.
+			if float32(v.Values[i]) != float32(back.Values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Decode([]byte{1, 0, 0}); err == nil {
+		t.Fatal("short accepted")
+	}
+	v := &Vector{Indices: []int{5, 9}, Values: []float64{1, 2}}
+	buf := v.Encode()
+	if _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	// Non-increasing indices.
+	bad := &Vector{Indices: []int{9, 5}, Values: []float64{1, 2}}
+	if _, err := Decode(bad.Encode()); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	v := &Vector{Indices: make([]int, 5), Values: make([]float64, 5)}
+	if v.Density(500) != 0.01 {
+		t.Fatalf("density %v", v.Density(500))
+	}
+	if v.Density(0) != 0 {
+		t.Fatal("ng=0 should give 0")
+	}
+}
+
+func BenchmarkUnionAll_16workers_10k(b *testing.B) {
+	r := rng.New(1)
+	const ng = 1 << 20
+	dense := make([]float64, ng)
+	for i := range dense {
+		dense[i] = r.Norm()
+	}
+	var vs []*Vector
+	for w := 0; w < 16; w++ {
+		idx := make([]int, 10000)
+		for i := range idx {
+			idx[i] = r.Intn(ng)
+		}
+		seen := map[int]bool{}
+		uniq := idx[:0]
+		for _, i := range idx {
+			if !seen[i] {
+				seen[i] = true
+				uniq = append(uniq, i)
+			}
+		}
+		v, _ := FromDense(dense, uniq)
+		vs = append(vs, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnionAll(vs)
+	}
+}

@@ -1,0 +1,99 @@
+package sparsifier
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/topk"
+)
+
+// DGC is the sampling-based top-k selection of Deep Gradient Compression
+// (Lin et al. [23]): estimate the top-k threshold from a random sample of
+// the gradients (cheap), select everything above it, and fall back to an
+// exact top-k *within the over-selected candidates* when the estimate lets
+// too many through. Like Top-k it is a local scheme, so it still incurs
+// gradient build-up; its value here is as the classical low-cost selection
+// baseline the paper's related work discusses.
+type DGC struct {
+	// SampleRatio is the fraction of gradients sampled for threshold
+	// estimation (DGC uses 0.01 at scale; default 0.05 here because the
+	// simulated models are small).
+	SampleRatio float64
+}
+
+// Name implements Sparsifier.
+func (d *DGC) Name() string { return "dgc" }
+
+// Select implements Sparsifier.
+func (d *DGC) Select(ctx *Ctx, grad []float64) []int {
+	ng := len(grad)
+	k := ctx.TargetK(ng)
+	if k >= ng {
+		return topk.HeapTopK(grad, k)
+	}
+	ratio := d.SampleRatio
+	if ratio <= 0 {
+		ratio = 0.05
+	}
+	sampleN := int(float64(ng) * ratio)
+	if sampleN < k {
+		sampleN = k // the sample must be able to express the quantile
+	}
+	if sampleN > ng {
+		sampleN = ng
+	}
+	// Deterministic sample seeded by (iteration, rank): stride sampling
+	// with a rotating offset is cheap and unbiased enough for a threshold
+	// estimate.
+	r := rng.New(uint64(ctx.Iteration)*31 + uint64(ctx.Rank) + 1)
+	sample := make([]float64, sampleN)
+	stride := ng / sampleN
+	if stride < 1 {
+		stride = 1
+	}
+	off := r.Intn(stride)
+	for i := 0; i < sampleN; i++ {
+		sample[i] = grad[(off+i*stride)%ng]
+	}
+	// Threshold = |sample|'s k·ratio-th largest magnitude.
+	sk := int(math.Ceil(float64(k) * float64(sampleN) / float64(ng)))
+	if sk < 1 {
+		sk = 1
+	}
+	if sk > sampleN {
+		sk = sampleN
+	}
+	threshold := topk.KthAbs(sample, sk)
+	idx := topk.AboveThreshold(grad, threshold)
+	if len(idx) <= k*2 {
+		return idx
+	}
+	// Over-selected: exact top-k among the candidates only.
+	cand := make([]float64, len(idx))
+	for i, ix := range idx {
+		cand[i] = grad[ix]
+	}
+	local := topk.HeapTopK(cand, k)
+	out := make([]int, len(local))
+	for i, li := range local {
+		out[i] = idx[li]
+	}
+	return out
+}
+
+// GaussianK estimates the top-k threshold by fitting N(0, σ²) to the
+// gradients and thresholding at the two-sided quantile (Shi et al. [30],
+// "Understanding Top-k Sparsification"). O(n_g) per iteration with a tiny
+// constant; density accuracy depends on how Gaussian the gradients are —
+// another "unpredictable density" scheme for Table 1-style comparisons.
+type GaussianK struct{}
+
+// Name implements Sparsifier.
+func (GaussianK) Name() string { return "gaussiank" }
+
+// Select implements Sparsifier.
+func (GaussianK) Select(ctx *Ctx, grad []float64) []int {
+	th := stats.GaussianThreshold(grad, ctx.Density)
+	return topk.AboveThreshold(grad, th)
+}

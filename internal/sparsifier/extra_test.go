@@ -1,0 +1,103 @@
+package sparsifier
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDGCSelectsApproximatelyK(t *testing.T) {
+	g := randGrad(21, 100000)
+	d := &DGC{SampleRatio: 0.05}
+	idx := d.Select(&Ctx{Density: 0.01, Iteration: 3}, g)
+	k := 1000
+	if len(idx) < k/3 || len(idx) > 3*k {
+		t.Fatalf("DGC selected %d, want within 3x of %d", len(idx), k)
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= len(g) || seen[i] {
+			t.Fatalf("bad index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestDGCSelectsLargeMagnitudes(t *testing.T) {
+	// Plant a few huge entries; DGC must catch them.
+	g := randGrad(22, 50000)
+	planted := []int{7, 999, 25000, 49999}
+	for _, i := range planted {
+		g[i] = 100
+	}
+	d := &DGC{}
+	idx := d.Select(&Ctx{Density: 0.01, Iteration: 1}, g)
+	got := map[int]bool{}
+	for _, i := range idx {
+		got[i] = true
+	}
+	for _, i := range planted {
+		if !got[i] {
+			t.Fatalf("planted index %d missed", i)
+		}
+	}
+}
+
+func TestDGCFallbackCapsOverselection(t *testing.T) {
+	// Heavy-tailed gradients make the sample threshold let too many
+	// through; the candidate top-k fallback must cap the result near k.
+	r := rng.New(23)
+	g := make([]float64, 100000)
+	for i := range g {
+		// Mixture: mostly near-identical magnitudes defeat thresholding.
+		g[i] = 1 + 0.001*r.Norm()
+	}
+	d := &DGC{}
+	idx := d.Select(&Ctx{Density: 0.01}, g)
+	if len(idx) > 2*1000 {
+		t.Fatalf("fallback did not cap: %d selected", len(idx))
+	}
+}
+
+func TestDGCFullDensity(t *testing.T) {
+	g := randGrad(24, 100)
+	d := &DGC{}
+	idx := d.Select(&Ctx{Density: 1}, g)
+	if len(idx) != 100 {
+		t.Fatalf("full density selected %d", len(idx))
+	}
+}
+
+func TestGaussianKOnGaussianData(t *testing.T) {
+	g := randGrad(25, 200000)
+	idx := (GaussianK{}).Select(&Ctx{Density: 0.01}, g)
+	frac := float64(len(idx)) / float64(len(g))
+	if frac < 0.005 || frac > 0.02 {
+		t.Fatalf("GaussianK density %v on Gaussian data, want ~0.01", frac)
+	}
+}
+
+func TestGaussianKDriftsOnNonGaussian(t *testing.T) {
+	// Exponential-magnitude data is heavier-tailed than Gaussian: the
+	// Gaussian fit over-thresholds (the "unpredictable density" column).
+	r := rng.New(26)
+	g := make([]float64, 100000)
+	for i := range g {
+		g[i] = r.Exp()
+	}
+	idx := (GaussianK{}).Select(&Ctx{Density: 0.01}, g)
+	frac := float64(len(idx)) / float64(len(g))
+	if math.Abs(frac-0.01) < 0.001 {
+		t.Fatalf("suspiciously exact density %v on non-Gaussian data", frac)
+	}
+}
+
+func TestGaussianKZeroGradient(t *testing.T) {
+	g := make([]float64, 100)
+	idx := (GaussianK{}).Select(&Ctx{Density: 0.1}, g)
+	// σ = 0 → threshold 0 → everything selected; degenerate but defined.
+	if len(idx) != 100 {
+		t.Fatalf("zero gradient selected %d", len(idx))
+	}
+}

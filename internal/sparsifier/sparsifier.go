@@ -1,0 +1,265 @@
+// Package sparsifier defines the gradient-sparsifier contract shared by all
+// compression schemes in this reproduction and implements the baselines the
+// paper compares against: Top-k, CLT-k, hard-threshold, SIDCo, and random-k.
+//
+// A Sparsifier looks at one worker's error-compensated gradient vector
+// (line 6 of Algorithm 1) and returns the indices this worker wants to
+// transmit. Everything downstream — index all-gather, value all-reduce,
+// error feedback — is the trainer's job and identical for every scheme.
+package sparsifier
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/topk"
+)
+
+// Layer describes one parameter tensor's slice [Start, End) of the flat
+// gradient vector. The paper calls these "layers" (its footnote 2: each
+// weight or bias tensor is one layer).
+type Layer struct {
+	Name  string
+	Start int
+	End   int
+}
+
+// Size returns the number of gradients in the layer.
+func (l Layer) Size() int { return l.End - l.Start }
+
+// Ctx carries the per-iteration context a sparsifier may use. Broadcast
+// fields are nil when running outside a cluster (single process); schemes
+// that need them degrade to local behaviour in that case.
+type Ctx struct {
+	Rank      int     // this worker's rank in [0, NWorkers)
+	NWorkers  int     // cluster size (>= 1)
+	Iteration int     // global iteration number t
+	Density   float64 // user-set density d = k / n_g
+	Layers    []Layer // model layer boundaries covering [0, n_g)
+
+	// BroadcastInts distributes root's data to all ranks (collective: all
+	// ranks must call). Nil in single-process use.
+	BroadcastInts func(root int, data []int) []int
+	// BroadcastIntsNested is the [][]int variant used for bin lists.
+	BroadcastIntsNested func(root int, data [][]int) [][]int
+
+	// Isolate measures fn's wall time under the trainer's timing gate: a
+	// cluster-wide mutex that keeps other workers' compute off the CPU
+	// while fn runs, so per-worker times are contention-free even though
+	// the simulator hosts all workers on one machine. fn must not call a
+	// collective (that would deadlock the gate). Nil: time inline.
+	Isolate func(fn func()) time.Duration
+}
+
+// Isolated runs fn under ctx.Isolate when available, else times it inline.
+func (c *Ctx) Isolated(fn func()) time.Duration {
+	if c.Isolate != nil {
+		return c.Isolate(fn)
+	}
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}
+
+// TargetK returns the user-requested number of selected gradients
+// k = round(d · n_g), at least 1 for any positive density.
+func (c *Ctx) TargetK(ng int) int {
+	k := int(math.Round(c.Density * float64(ng)))
+	if k < 1 && c.Density > 0 {
+		k = 1
+	}
+	if k > ng {
+		k = ng
+	}
+	return k
+}
+
+// Sparsifier selects gradient indices for one worker.
+type Sparsifier interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Select returns the indices of the gradients this worker transmits.
+	// grad is the worker's error-compensated accumulated gradient (acc in
+	// Algorithm 1). The returned slice is owned by the caller.
+	Select(ctx *Ctx, grad []float64) []int
+}
+
+// Factory builds one sparsifier instance per worker. Stateful schemes
+// (DEFT's cached partition, SIDCo's fitted state) need per-worker
+// instances.
+type Factory func() Sparsifier
+
+// ---------------------------------------------------------------- Top-k --
+
+// TopK is the classical local top-k sparsifier: every worker selects its k
+// largest-magnitude gradients from the entire vector. It suffers gradient
+// build-up (paper §1, Fig 1) because per-worker index sets differ.
+type TopK struct{}
+
+// Name implements Sparsifier.
+func (TopK) Name() string { return "topk" }
+
+// Select implements Sparsifier.
+func (TopK) Select(ctx *Ctx, grad []float64) []int {
+	return topk.HeapTopK(grad, ctx.TargetK(len(grad)))
+}
+
+// ---------------------------------------------------------------- CLT-k --
+
+// CLTK is the cyclic local top-k sparsifier (Chen et al. [13]): at
+// iteration t the leader worker t mod n selects its local top-k and
+// broadcasts the indices; every worker then transmits exactly those
+// indices. No build-up, but non-leader workers idle during selection.
+// One instance per worker (it records its last local selection time).
+type CLTK struct {
+	lastSelection time.Duration
+}
+
+// Name implements Sparsifier.
+func (c *CLTK) Name() string { return "cltk" }
+
+// Select implements Sparsifier.
+func (c *CLTK) Select(ctx *Ctx, grad []float64) []int {
+	leader := 0
+	if ctx.NWorkers > 0 {
+		leader = ctx.Iteration % ctx.NWorkers
+	}
+	var local []int
+	c.lastSelection = 0
+	if ctx.Rank == leader {
+		c.lastSelection = ctx.Isolated(func() {
+			local = topk.HeapTopK(grad, ctx.TargetK(len(grad)))
+		})
+	}
+	if ctx.BroadcastInts == nil {
+		// Single-process: this worker is its own leader.
+		if local == nil {
+			local = topk.HeapTopK(grad, ctx.TargetK(len(grad)))
+		}
+		return local
+	}
+	return ctx.BroadcastInts(leader, local)
+}
+
+// LastOverhead reports the leader's local top-k wall time (the scheme's
+// whole-cluster selection cost: everyone else idles) and zero partition
+// overhead, excluding the broadcast rendezvous wait — see the matching
+// method on core.DEFT for why waits are excluded in the simulator.
+func (c *CLTK) LastOverhead() (partition, selection time.Duration) {
+	return 0, c.lastSelection
+}
+
+// ------------------------------------------------------- Hard threshold --
+
+// HardThreshold selects every gradient with |g| >= Threshold (Sahu et al.
+// [27]). O(n_g) selection, but the threshold is a hyperparameter that must
+// be tuned per model and dataset, and the realised density is
+// unpredictable — both weaknesses Table 1 records.
+type HardThreshold struct {
+	Threshold float64
+}
+
+// Name implements Sparsifier.
+func (h *HardThreshold) Name() string { return "hardthreshold" }
+
+// Select implements Sparsifier.
+func (h *HardThreshold) Select(ctx *Ctx, grad []float64) []int {
+	return topk.AboveThreshold(grad, h.Threshold)
+}
+
+// TuneHardThreshold picks the threshold that yields the target density on a
+// sample gradient vector — the "strict hyperparameter tuning" the paper
+// says this scheme requires before training.
+func TuneHardThreshold(sample []float64, density float64) *HardThreshold {
+	k := int(math.Round(density * float64(len(sample))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sample) {
+		k = len(sample)
+	}
+	return &HardThreshold{Threshold: topk.KthAbs(sample, k)}
+}
+
+// ---------------------------------------------------------------- SIDCo --
+
+// SIDCo estimates a per-iteration threshold by fitting a sparsity-inducing
+// (exponential) distribution to the gradient magnitudes (Abdelmoniem et
+// al. [24]) with multi-stage refinement. Selection itself is O(n_g); the
+// fitting is the "very high additional overhead" in Table 1.
+type SIDCo struct {
+	// Stages is the number of fitting refinement stages (the reference
+	// implementation uses 3 for the exponential variant).
+	Stages int
+}
+
+// Name implements Sparsifier.
+func (s *SIDCo) Name() string { return "sidco" }
+
+// Select implements Sparsifier.
+func (s *SIDCo) Select(ctx *Ctx, grad []float64) []int {
+	stages := s.Stages
+	if stages <= 0 {
+		stages = 3
+	}
+	th := stats.MultiStageExpThreshold(grad, ctx.Density, stages)
+	return topk.AboveThreshold(grad, th)
+}
+
+// ---------------------------------------------------------------- Rand-k --
+
+// RandK selects k indices uniformly at random using a deterministic hash of
+// (iteration). All workers select the same indices, so it has no build-up;
+// it ignores gradient magnitudes entirely and serves as the "no
+// significance" control in ablations.
+type RandK struct{}
+
+// Name implements Sparsifier.
+func (RandK) Name() string { return "randk" }
+
+// Select implements Sparsifier.
+func (RandK) Select(ctx *Ctx, grad []float64) []int {
+	ng := len(grad)
+	k := ctx.TargetK(ng)
+	// Deterministic permutation seeded by iteration only, so all workers
+	// agree without communication.
+	seed := uint64(ctx.Iteration)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	idx := make([]int, 0, k)
+	seen := make(map[int]struct{}, k)
+	x := seed
+	for len(idx) < k {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		i := int(x % uint64(ng))
+		if _, ok := seen[i]; ok {
+			continue
+		}
+		seen[i] = struct{}{}
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// ---------------------------------------------------------------- misc --
+
+// ValidateLayers checks that layers tile [0, ng) contiguously without gaps
+// or overlap. Sparsifiers that rely on layer structure call this once.
+func ValidateLayers(layers []Layer, ng int) error {
+	pos := 0
+	for i, l := range layers {
+		if l.Start != pos {
+			return fmt.Errorf("sparsifier: layer %d (%s) starts at %d, want %d", i, l.Name, l.Start, pos)
+		}
+		if l.End < l.Start {
+			return fmt.Errorf("sparsifier: layer %d (%s) has negative size", i, l.Name)
+		}
+		pos = l.End
+	}
+	if pos != ng {
+		return fmt.Errorf("sparsifier: layers cover [0,%d), want [0,%d)", pos, ng)
+	}
+	return nil
+}

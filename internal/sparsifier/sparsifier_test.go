@@ -1,0 +1,301 @@
+package sparsifier
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/rng"
+)
+
+func randGrad(seed uint64, n int) []float64 {
+	r := rng.New(seed)
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = r.Norm()
+	}
+	return g
+}
+
+func TestTargetK(t *testing.T) {
+	cases := []struct {
+		d    float64
+		ng   int
+		want int
+	}{
+		{0.01, 1000, 10},
+		{0.001, 100, 1}, // floor to 1 for positive density
+		{0, 100, 0},
+		{1, 50, 50},
+		{2, 50, 50}, // clamp to ng
+	}
+	for _, c := range cases {
+		ctx := &Ctx{Density: c.d}
+		if got := ctx.TargetK(c.ng); got != c.want {
+			t.Errorf("TargetK(d=%v, ng=%d) = %d, want %d", c.d, c.ng, got, c.want)
+		}
+	}
+}
+
+func TestTopKSelectsExactlyK(t *testing.T) {
+	g := randGrad(1, 1000)
+	ctx := &Ctx{Density: 0.05}
+	idx := TopK{}.Select(ctx, g)
+	if len(idx) != 50 {
+		t.Fatalf("selected %d, want 50", len(idx))
+	}
+	// All selected magnitudes >= all unselected magnitudes.
+	sel := map[int]bool{}
+	minSel := math.Inf(1)
+	for _, i := range idx {
+		sel[i] = true
+		if a := math.Abs(g[i]); a < minSel {
+			minSel = a
+		}
+	}
+	for i, v := range g {
+		if !sel[i] && math.Abs(v) > minSel {
+			t.Fatalf("unselected |g[%d]|=%v exceeds selected min %v", i, math.Abs(v), minSel)
+		}
+	}
+}
+
+func TestCLTKAllRanksAgree(t *testing.T) {
+	const n = 4
+	grads := make([][]float64, n)
+	for r := range grads {
+		grads[r] = randGrad(uint64(r+10), 500)
+	}
+	cluster := comm.NewCluster(n)
+	results := make([][]int, n)
+	const iter = 6 // leader = 6 % 4 = 2
+	cluster.Run(func(cm *comm.Comm) {
+		ctx := &Ctx{
+			Rank: cm.Rank(), NWorkers: n, Iteration: iter, Density: 0.02,
+			BroadcastInts: cm.BroadcastInts,
+		}
+		results[cm.Rank()] = (&CLTK{}).Select(ctx, grads[cm.Rank()])
+	})
+	// Every rank must hold the leader's indices.
+	leaderLocal := TopK{}.Select(&Ctx{Density: 0.02}, grads[2])
+	sort.Ints(leaderLocal)
+	for r := range results {
+		got := append([]int(nil), results[r]...)
+		sort.Ints(got)
+		if len(got) != len(leaderLocal) {
+			t.Fatalf("rank %d: %d indices, want %d", r, len(got), len(leaderLocal))
+		}
+		for i := range got {
+			if got[i] != leaderLocal[i] {
+				t.Fatalf("rank %d selection differs from leader", r)
+			}
+		}
+	}
+}
+
+func TestCLTKLeaderRotates(t *testing.T) {
+	const n = 3
+	grads := make([][]float64, n)
+	for r := range grads {
+		grads[r] = randGrad(uint64(r+30), 400)
+	}
+	perIter := make([][]int, n)
+	for iter := 0; iter < n; iter++ {
+		cluster := comm.NewCluster(n)
+		results := make([][]int, n)
+		cluster.Run(func(cm *comm.Comm) {
+			ctx := &Ctx{Rank: cm.Rank(), NWorkers: n, Iteration: iter, Density: 0.05,
+				BroadcastInts: cm.BroadcastInts}
+			results[cm.Rank()] = (&CLTK{}).Select(ctx, grads[cm.Rank()])
+		})
+		perIter[iter] = results[0]
+		// Cross-check directly against the expected leader's local top-k.
+		want := TopK{}.Select(&Ctx{Density: 0.05}, grads[iter%n])
+		sort.Ints(want)
+		got := append([]int(nil), results[0]...)
+		sort.Ints(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: selection not from leader %d", iter, iter%n)
+			}
+		}
+	}
+}
+
+func TestCLTKSingleProcessFallback(t *testing.T) {
+	g := randGrad(2, 300)
+	ctx := &Ctx{Rank: 0, NWorkers: 1, Density: 0.1}
+	idx := (&CLTK{}).Select(ctx, g)
+	if len(idx) != 30 {
+		t.Fatalf("selected %d, want 30", len(idx))
+	}
+}
+
+func TestHardThresholdSelectsAboveOnly(t *testing.T) {
+	g := []float64{0.5, -2, 3, 0.1}
+	h := &HardThreshold{Threshold: 1}
+	idx := h.Select(&Ctx{}, g)
+	if len(idx) != 2 {
+		t.Fatalf("selected %v", idx)
+	}
+	for _, i := range idx {
+		if math.Abs(g[i]) < 1 {
+			t.Fatalf("selected |g[%d]| below threshold", i)
+		}
+	}
+}
+
+func TestTuneHardThreshold(t *testing.T) {
+	g := randGrad(3, 10000)
+	h := TuneHardThreshold(g, 0.01)
+	idx := h.Select(&Ctx{}, g)
+	// Tuned on the same vector, should select ~k (ties can add a few).
+	if len(idx) < 100 || len(idx) > 110 {
+		t.Fatalf("tuned threshold selected %d, want ~100", len(idx))
+	}
+}
+
+func TestTuneHardThresholdEdges(t *testing.T) {
+	g := []float64{1, 2, 3}
+	if h := TuneHardThreshold(g, 0.0001); h.Threshold != 3 {
+		t.Fatalf("tiny density should tune to max |g|, got %v", h.Threshold)
+	}
+	if h := TuneHardThreshold(g, 1); h.Threshold != 1 {
+		t.Fatalf("density 1 should tune to min |g|, got %v", h.Threshold)
+	}
+}
+
+func TestSIDCoApproximatesDensity(t *testing.T) {
+	// On near-exponential magnitudes SIDCo should land near the target.
+	r := rng.New(4)
+	g := make([]float64, 100000)
+	for i := range g {
+		g[i] = r.Exp()
+		if r.Float64() < 0.5 {
+			g[i] = -g[i]
+		}
+	}
+	s := &SIDCo{Stages: 3}
+	idx := s.Select(&Ctx{Density: 0.01}, g)
+	frac := float64(len(idx)) / float64(len(g))
+	if frac < 0.003 || frac > 0.03 {
+		t.Fatalf("SIDCo density %v, want within ~3x of 0.01", frac)
+	}
+}
+
+func TestSIDCoDensityUnpredictableOnGaussian(t *testing.T) {
+	// The paper's Table 1 flags threshold methods as having unpredictable
+	// density: on non-exponential data the realised density deviates.
+	g := randGrad(5, 100000)
+	s := &SIDCo{}
+	idx := s.Select(&Ctx{Density: 0.01}, g)
+	frac := float64(len(idx)) / float64(len(g))
+	if frac == 0.01 {
+		t.Fatal("suspiciously exact density")
+	}
+}
+
+func TestRandKDeterministicAcrossWorkers(t *testing.T) {
+	g1 := randGrad(6, 1000)
+	g2 := randGrad(7, 1000)
+	ctx1 := &Ctx{Rank: 0, NWorkers: 4, Iteration: 5, Density: 0.02}
+	ctx2 := &Ctx{Rank: 3, NWorkers: 4, Iteration: 5, Density: 0.02}
+	a := (RandK{}).Select(ctx1, g1)
+	b := (RandK{}).Select(ctx2, g2)
+	sort.Ints(a)
+	sort.Ints(b)
+	if len(a) != len(b) {
+		t.Fatal("randk selections differ in size across workers")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("randk must agree across workers at the same iteration")
+		}
+	}
+	// Different iterations should differ.
+	c := (RandK{}).Select(&Ctx{Iteration: 6, Density: 0.02}, g1)
+	sort.Ints(c)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("randk identical across iterations")
+	}
+}
+
+func TestRandKNoDuplicates(t *testing.T) {
+	f := func(iter uint16) bool {
+		g := make([]float64, 200)
+		ctx := &Ctx{Iteration: int(iter), Density: 0.25}
+		idx := (RandK{}).Select(ctx, g)
+		if len(idx) != 50 {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range idx {
+			if i < 0 || i >= 200 || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateLayers(t *testing.T) {
+	good := []Layer{{Start: 0, End: 5}, {Start: 5, End: 9}}
+	if err := ValidateLayers(good, 9); err != nil {
+		t.Fatalf("valid layers rejected: %v", err)
+	}
+	bad := [][]Layer{
+		{{Start: 1, End: 5}},                     // gap at 0
+		{{Start: 0, End: 5}, {Start: 6, End: 9}}, // gap
+		{{Start: 0, End: 5}, {Start: 4, End: 9}}, // overlap
+		{{Start: 0, End: 5}},                     // short
+	}
+	for i, layers := range bad {
+		if err := ValidateLayers(layers, 9); err == nil {
+			t.Errorf("bad layers %d accepted", i)
+		}
+	}
+	// Negative size.
+	if err := ValidateLayers([]Layer{{Start: 0, End: -1}}, 0); err == nil {
+		t.Error("negative layer accepted")
+	}
+}
+
+func TestLayerSize(t *testing.T) {
+	if (Layer{Start: 3, End: 10}).Size() != 7 {
+		t.Fatal("Layer.Size wrong")
+	}
+}
+
+func BenchmarkTopKSelect_1M(b *testing.B) {
+	g := randGrad(8, 1<<20)
+	ctx := &Ctx{Density: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK{}.Select(ctx, g)
+	}
+}
+
+func BenchmarkSIDCoSelect_1M(b *testing.B) {
+	g := randGrad(9, 1<<20)
+	ctx := &Ctx{Density: 0.01}
+	s := &SIDCo{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Select(ctx, g)
+	}
+}

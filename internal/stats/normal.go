@@ -1,0 +1,92 @@
+package stats
+
+import "math"
+
+// NormalQuantile returns Φ⁻¹(p), the standard normal inverse CDF, using
+// Acklam's rational approximation (relative error < 1.15e-9 over (0,1)).
+// Used by the Gaussian-k sparsifier to convert a target density into a
+// magnitude threshold.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var q, r float64
+	switch {
+	case p < pLow:
+		q = math.Sqrt(-2 * math.Log(p))
+		return (((((c0*q+c1)*q+c2)*q+c3)*q+c4)*q + c5) /
+			((((d0*q+d1)*q+d2)*q+d3)*q + 1)
+	case p <= pHigh:
+		q = p - 0.5
+		r = q * q
+		return (((((a0*r+a1)*r+a2)*r+a3)*r+a4)*r + a5) * q /
+			(((((b0*r+b1)*r+b2)*r+b3)*r+b4)*r + 1)
+	default:
+		q = math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c0*q+c1)*q+c2)*q+c3)*q+c4)*q + c5) /
+			((((d0*q+d1)*q+d2)*q+d3)*q + 1)
+	}
+}
+
+// Acklam's coefficients.
+const (
+	a0 = -3.969683028665376e+01
+	a1 = 2.209460984245205e+02
+	a2 = -2.759285104469687e+02
+	a3 = 1.383577518672690e+02
+	a4 = -3.066479806614716e+01
+	a5 = 2.506628277459239e+00
+
+	b0 = -5.447609879822406e+01
+	b1 = 1.615858368580409e+02
+	b2 = -1.556989798598866e+02
+	b3 = 6.680131188771972e+01
+	b4 = -1.328068155288572e+01
+
+	c0 = -7.784894002430293e-03
+	c1 = -3.223964580411365e-01
+	c2 = -2.400758277161838e+00
+	c3 = -2.549732539343734e+00
+	c4 = 4.374664141464968e+00
+	c5 = 2.938163982698783e+00
+
+	d0 = 7.784695709041462e-03
+	d1 = 3.224671290700398e-01
+	d2 = 2.445134137142996e+00
+	d3 = 3.754408661907416e+00
+)
+
+// GaussianThreshold returns the magnitude threshold that keeps fraction
+// ratio of samples under a two-sided N(0, σ²) model fitted to v:
+// t = σ·Φ⁻¹(1 − ratio/2).
+func GaussianThreshold(v []float64, ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(1)
+	}
+	if ratio >= 1 {
+		return 0
+	}
+	sigma := math.Sqrt(meanSquare(v))
+	if sigma == 0 {
+		return 0
+	}
+	return sigma * NormalQuantile(1-ratio/2)
+}
+
+func meanSquare(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return s / float64(len(v))
+}

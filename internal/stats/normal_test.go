@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1}, // Φ(1)
+		{0.9772498680518208, 2}, // Φ(2)
+		{0.15865525393145707, -1},
+		{0.975, 1.959963984540054},
+		{0.001, -3.090232306167813},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("p=0 should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("p=1 should be +Inf")
+	}
+}
+
+func TestNormalQuantileRoundTripWithErf(t *testing.T) {
+	// Φ(Φ⁻¹(p)) = p, with Φ from math.Erf.
+	phi := func(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+	for _, p := range []float64{0.0001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.9999} {
+		if got := phi(NormalQuantile(p)); math.Abs(got-p) > 1e-8 {
+			t.Errorf("round trip p=%v gave %v", p, got)
+		}
+	}
+}
+
+func TestGaussianThresholdSelectsTargetFraction(t *testing.T) {
+	r := rng.New(1)
+	v := make([]float64, 200000)
+	for i := range v {
+		v[i] = r.Norm() * 2.5
+	}
+	for _, ratio := range []float64{0.1, 0.01} {
+		th := GaussianThreshold(v, ratio)
+		count := 0
+		for _, x := range v {
+			if math.Abs(x) >= th {
+				count++
+			}
+		}
+		frac := float64(count) / float64(len(v))
+		if frac < ratio*0.7 || frac > ratio*1.4 {
+			t.Errorf("ratio %v: selected %v", ratio, frac)
+		}
+	}
+}
+
+func TestGaussianThresholdEdges(t *testing.T) {
+	v := []float64{1, 2}
+	if !math.IsInf(GaussianThreshold(v, 0), 1) {
+		t.Error("ratio 0 should be +Inf")
+	}
+	if GaussianThreshold(v, 1) != 0 {
+		t.Error("ratio 1 should be 0")
+	}
+	if GaussianThreshold([]float64{0, 0}, 0.5) != 0 {
+		t.Error("zero data should give 0")
+	}
+	if GaussianThreshold(nil, 0.5) != 0 {
+		t.Error("empty data should give 0")
+	}
+}

@@ -1,0 +1,215 @@
+// Package stats provides the statistical machinery used by the SIDCo
+// sparsifier (threshold estimation by fitting a sparsity-inducing
+// distribution to the gradient magnitudes) and by the experiment harness
+// (running summaries of measured series).
+//
+// SIDCo (Abdelmoniem et al., MLSys 2021) models gradient magnitudes with a
+// sparsity-inducing distribution and picks the threshold at the quantile
+// that yields the target density. We implement its multi-stage exponential
+// fit: fit |g| ~ Exp(λ), take the threshold for the target ratio, restrict
+// to the selected sub-population and repeat, which sharpens the estimate on
+// heavy-tailed data exactly as the paper describes.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v.
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// MeanAbs returns the mean of |v[i]|.
+func MeanAbs(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s / float64(len(v))
+}
+
+// ExpThreshold returns the threshold t such that, under the maximum
+// likelihood exponential fit to the magnitudes |v|, the expected fraction
+// of elements with |x| >= t equals ratio. For Exp(λ), P(X >= t) = e^{-λt},
+// so t = -ln(ratio)/λ with λ = 1/mean(|v|).
+func ExpThreshold(v []float64, ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(1)
+	}
+	if ratio >= 1 {
+		return 0
+	}
+	mean := MeanAbs(v)
+	if mean == 0 {
+		return 0
+	}
+	return -math.Log(ratio) * mean
+}
+
+// MultiStageExpThreshold implements SIDCo's iterative refinement. At each
+// stage the exponential model is fit to the currently surviving
+// sub-population and the threshold is moved to the quantile that leaves the
+// overall target ratio. stages <= 1 degenerates to ExpThreshold.
+//
+// The per-stage target follows the SIDCo construction: after stage j the
+// surviving fraction should be ratio^{(j+1)/stages}, so each stage keeps
+// fraction ratio^{1/stages} of its input.
+func MultiStageExpThreshold(v []float64, ratio float64, stages int) float64 {
+	if stages <= 1 {
+		return ExpThreshold(v, ratio)
+	}
+	if ratio <= 0 {
+		return math.Inf(1)
+	}
+	if ratio >= 1 {
+		return 0
+	}
+	perStage := math.Pow(ratio, 1/float64(stages))
+	cur := v
+	threshold := 0.0
+	// Scratch reused across stages to avoid quadratic allocation.
+	var next []float64
+	for s := 0; s < stages; s++ {
+		mean := MeanAbs(cur)
+		if mean == 0 || len(cur) == 0 {
+			break
+		}
+		// Threshold for the conditional distribution above the previous
+		// threshold: memorylessness of the exponential gives an additive
+		// update.
+		threshold += -math.Log(perStage) * mean
+		if s == stages-1 {
+			break
+		}
+		next = next[:0]
+		for _, x := range cur {
+			if a := math.Abs(x); a >= threshold {
+				next = append(next, a-threshold)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		cur, next = next, cur[:0]
+		// After swapping, "cur" may alias the original input on the first
+		// iteration; copy-on-write is unnecessary because we only read.
+	}
+	return threshold
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of v using linear
+// interpolation over the sorted copy. Empty input returns 0.
+func Quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := make([]float64, len(v))
+	copy(s, v)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Series accumulates a named sequence of (x, y) measurements, e.g. density
+// per iteration or accuracy per epoch, and renders summaries for the
+// experiment reports.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one measurement.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// MeanY returns the mean of the recorded y values.
+func (s *Series) MeanY() float64 { return Mean(s.Y) }
+
+// LastY returns the final y value (0 if empty).
+func (s *Series) LastY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// MinY and MaxY return extremes of y (0 if empty).
+func (s *Series) MinY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// MaxY returns the maximum recorded y value.
+func (s *Series) MaxY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// TailMeanY returns the mean of the last frac fraction of y values,
+// a robust "converged value" summary. frac is clamped to (0, 1].
+func (s *Series) TailMeanY(frac float64) float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	n := int(math.Ceil(frac * float64(len(s.Y))))
+	return Mean(s.Y[len(s.Y)-n:])
+}

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMeanVariance(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	if Mean(v) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(v))
+	}
+	if Variance(v) != 1.25 {
+		t.Fatalf("Variance = %v", Variance(v))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if MeanAbs([]float64{-2, 2}) != 2 {
+		t.Fatal("MeanAbs wrong")
+	}
+	if MeanAbs(nil) != 0 {
+		t.Fatal("MeanAbs(nil) should be 0")
+	}
+}
+
+// On genuinely exponential data the exponential-fit threshold should
+// select close to the target fraction.
+func TestExpThresholdOnExponentialData(t *testing.T) {
+	r := rng.New(1)
+	n := 200000
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Exp() * 3.7 // rate 1/3.7
+	}
+	for _, ratio := range []float64{0.1, 0.01, 0.001} {
+		th := ExpThreshold(v, ratio)
+		got := 0
+		for _, x := range v {
+			if x >= th {
+				got++
+			}
+		}
+		frac := float64(got) / float64(n)
+		if frac < ratio/2 || frac > ratio*2 {
+			t.Errorf("ratio %v: selected fraction %v, want within 2x", ratio, frac)
+		}
+	}
+}
+
+func TestExpThresholdEdges(t *testing.T) {
+	v := []float64{1, 2, 3}
+	if !math.IsInf(ExpThreshold(v, 0), 1) {
+		t.Fatal("ratio 0 should give +Inf")
+	}
+	if ExpThreshold(v, 1) != 0 {
+		t.Fatal("ratio 1 should give 0")
+	}
+	if ExpThreshold([]float64{0, 0}, 0.5) != 0 {
+		t.Fatal("all-zero input should give 0 threshold")
+	}
+}
+
+func TestMultiStageSharperThanSingleOnHeavyTail(t *testing.T) {
+	// Gaussian magnitudes are lighter-tailed than exponential; the
+	// single-stage exponential fit overestimates the tail and selects too
+	// many elements at small ratios. Multi-stage refits on the tail and
+	// must do no worse.
+	r := rng.New(2)
+	n := 100000
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Norm()
+	}
+	ratio := 0.01
+	single := ExpThreshold(v, ratio)
+	multi := MultiStageExpThreshold(v, ratio, 3)
+	fracAt := func(th float64) float64 {
+		c := 0
+		for _, x := range v {
+			if math.Abs(x) >= th {
+				c++
+			}
+		}
+		return float64(c) / float64(n)
+	}
+	errSingle := math.Abs(fracAt(single) - ratio)
+	errMulti := math.Abs(fracAt(multi) - ratio)
+	if errMulti > errSingle*1.5 {
+		t.Errorf("multi-stage err %v much worse than single %v", errMulti, errSingle)
+	}
+}
+
+func TestMultiStageDegeneratesToSingle(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	if MultiStageExpThreshold(v, 0.3, 1) != ExpThreshold(v, 0.3) {
+		t.Fatal("stages=1 should equal single stage")
+	}
+	if MultiStageExpThreshold(v, 0.3, 0) != ExpThreshold(v, 0.3) {
+		t.Fatal("stages=0 should equal single stage")
+	}
+}
+
+func TestMultiStageEdges(t *testing.T) {
+	v := []float64{1, 2}
+	if !math.IsInf(MultiStageExpThreshold(v, 0, 3), 1) {
+		t.Fatal("ratio 0 should give +Inf")
+	}
+	if MultiStageExpThreshold(v, 1, 3) != 0 {
+		t.Fatal("ratio 1 should give 0")
+	}
+	if th := MultiStageExpThreshold([]float64{0, 0, 0}, 0.5, 3); th != 0 {
+		t.Fatalf("all zeros gave %v", th)
+	}
+}
+
+func TestMultiStageMonotoneInRatio(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		v := make([]float64, 2000)
+		for i := range v {
+			v[i] = r.Norm()
+		}
+		t1 := MultiStageExpThreshold(v, 0.2, 3)
+		t2 := MultiStageExpThreshold(v, 0.02, 3)
+		return t2 >= t1 // rarer selection needs a higher threshold
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{4, 1, 3, 2}
+	if Quantile(v, 0) != 1 || Quantile(v, 1) != 4 {
+		t.Fatal("quantile extremes wrong")
+	}
+	if got := Quantile(v, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	if v[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.LastY() != 0 || s.MinY() != 0 || s.MaxY() != 0 || s.TailMeanY(0.5) != 0 {
+		t.Fatal("empty series summaries should be 0")
+	}
+	s.Append(0, 10)
+	s.Append(1, 20)
+	s.Append(2, 30)
+	if s.MeanY() != 20 || s.LastY() != 30 || s.MinY() != 10 || s.MaxY() != 30 {
+		t.Fatalf("series summaries wrong: %+v", s)
+	}
+	if got := s.TailMeanY(0.34); got != 30 { // last 1 element (ceil(0.34*3)=2? no: ceil(1.02)=2)
+		// ceil(0.34*3)=ceil(1.02)=2 -> mean(20,30)=25
+		if got != 25 {
+			t.Fatalf("TailMeanY = %v", got)
+		}
+	}
+	if got := s.TailMeanY(5); got != 20 { // clamped to all
+		t.Fatalf("TailMeanY clamp = %v", got)
+	}
+}
+
+func BenchmarkMultiStageExpThreshold(b *testing.B) {
+	r := rng.New(3)
+	v := make([]float64, 1<<20)
+	for i := range v {
+		v[i] = r.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MultiStageExpThreshold(v, 0.01, 3)
+	}
+}

@@ -1,0 +1,303 @@
+// Package tensor implements the dense numeric arrays used by the neural
+// network substrate and the sparsifiers.
+//
+// The representation is deliberately simple: a flat []float64 buffer plus a
+// shape. All layout is row-major. The package provides only the kernels the
+// reproduction actually needs (element-wise ops, GEMM, reductions, norms);
+// it is not a general array library.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Tensor is a dense row-major array of float64.
+type Tensor struct {
+	Data  []float64
+	shape []int
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Data: make([]float64, n), shape: s}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is not
+// copied; the tensor aliases it.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elements, slice has %d", shape, n, len(data)))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Data: data, shape: s}
+}
+
+// Randn fills a new tensor with N(0, std²) variates.
+func Randn(r *rng.RNG, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = r.Norm() * std
+	}
+	return t
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dim returns the length of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape of the same total size. The data
+// buffer is shared.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.shape, len(t.Data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Data: t.Data, shape: s}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// AddScaled computes t += alpha * u element-wise.
+func (t *Tensor) AddScaled(alpha float64, u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AddScaled size mismatch")
+	}
+	for i, v := range u.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float64) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of t and u viewed as flat vectors.
+func (t *Tensor) Dot(u *Tensor) float64 {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: Dot size mismatch")
+	}
+	s := 0.0
+	for i, v := range t.Data {
+		s += v * u.Data[i]
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 { return L2Norm(t.Data) }
+
+// L2Norm returns the Euclidean norm of v, guarding against overflow for
+// large magnitudes by scaling.
+func L2Norm(v []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), returning a
+// new m×n tensor. The inner loops are ordered ikj for cache friendliness.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
+	}
+	c := New(m, n)
+	GemmInto(c.Data, a.Data, b.Data, m, k, n, false)
+	return c
+}
+
+// GemmInto computes C = A·B (or C += A·B when accumulate is true) over flat
+// row-major buffers with dimensions A: m×k, B: k×n, C: m×n.
+func GemmInto(c, a, b []float64, m, k, n int, accumulate bool) {
+	if !accumulate {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTransA computes C = Aᵀ·B where A is k×m (so Aᵀ is m×k), B is k×n.
+func GemmTransA(c, a, b []float64, m, k, n int, accumulate bool) {
+	if !accumulate {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	}
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTransB computes C = A·Bᵀ where A is m×k, B is n×k.
+func GemmTransB(c, a, b []float64, m, k, n int, accumulate bool) {
+	if !accumulate {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += s
+		}
+	}
+}
+
+// ArgMax returns the index of the largest element of v (first on ties).
+func ArgMax(v []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// Sum returns the sum of all elements.
+func Sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute value in v (0 for empty v).
+func MaxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// HasNaN reports whether v contains a NaN or Inf.
+func HasNaN(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

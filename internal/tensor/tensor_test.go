@@ -1,0 +1,300 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", x.Size())
+	}
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad dims: %v", x.Shape())
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New must zero-initialise")
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceAliasesAndValidates(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	x.Data[0] = 9
+	if d[0] != 9 {
+		t.Fatal("FromSlice must alias, not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	FromSlice(d, 3, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if got := x.At(2, 1); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	if x.Data[2*4+1] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAtPanicsOutOfBounds(t *testing.T) {
+	x := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, 2}, {-1, 0}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for index %v", idx)
+				}
+			}()
+			x.At(idx...)
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := New(4)
+	x.Fill(3)
+	y := x.Clone()
+	y.Data[0] = -1
+	if x.Data[0] != 3 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Data[5] = 42
+	if x.Data[5] != 42 {
+		t.Fatal("Reshape must share the buffer")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad reshape")
+		}
+	}()
+	x.Reshape(5)
+}
+
+func TestAddScaledAndScale(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3}, 3)
+	y := FromSlice([]float64{10, 20, 30}, 3)
+	x.AddScaled(0.5, y)
+	want := []float64{6, 12, 18}
+	for i := range want {
+		if x.Data[i] != want[i] {
+			t.Fatalf("AddScaled[%d] = %v, want %v", i, x.Data[i], want[i])
+		}
+	}
+	x.Scale(2)
+	if x.Data[2] != 36 {
+		t.Fatalf("Scale gave %v", x.Data[2])
+	}
+}
+
+func TestDot(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3}, 3)
+	y := FromSlice([]float64{4, 5, 6}, 3)
+	if got := x.Dot(y); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestL2Norm(t *testing.T) {
+	x := FromSlice([]float64{3, 4}, 2)
+	if got := x.L2Norm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("L2Norm = %v, want 5", got)
+	}
+	if L2Norm(nil) != 0 {
+		t.Fatal("L2Norm(nil) should be 0")
+	}
+	// Overflow guard: plain sum-of-squares would overflow here.
+	big := []float64{1e200, 1e200}
+	if got := L2Norm(big); math.IsInf(got, 0) || math.Abs(got-1e200*math.Sqrt2) > 1e188 {
+		t.Fatalf("L2Norm big = %v", got)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], want[i])
+		}
+	}
+}
+
+func TestMatMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// naiveGemm is the reference implementation for property testing.
+func naiveGemm(a, b []float64, m, k, n int) []float64 {
+	c := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func TestGemmVariantsAgainstNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := Randn(r, 1, m, k)
+		b := Randn(r, 1, k, n)
+		want := naiveGemm(a.Data, b.Data, m, k, n)
+
+		got := make([]float64, m*n)
+		GemmInto(got, a.Data, b.Data, m, k, n, false)
+		if !approxEq(got, want, 1e-9) {
+			return false
+		}
+
+		// GemmTransA: store A transposed (k×m), expect the same product.
+		at := make([]float64, k*m)
+		for i := 0; i < m; i++ {
+			for p := 0; p < k; p++ {
+				at[p*m+i] = a.Data[i*k+p]
+			}
+		}
+		got2 := make([]float64, m*n)
+		GemmTransA(got2, at, b.Data, m, k, n, false)
+		if !approxEq(got2, want, 1e-9) {
+			return false
+		}
+
+		// GemmTransB: store B transposed (n×k).
+		bt := make([]float64, n*k)
+		for p := 0; p < k; p++ {
+			for j := 0; j < n; j++ {
+				bt[j*k+p] = b.Data[p*n+j]
+			}
+		}
+		got3 := make([]float64, m*n)
+		GemmTransB(got3, a.Data, bt, m, k, n, false)
+		return approxEq(got3, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmAccumulate(t *testing.T) {
+	a := []float64{1, 0, 0, 1}
+	c := []float64{5, 5, 5, 5}
+	GemmInto(c, a, a, 2, 2, 2, true)
+	want := []float64{6, 5, 5, 6}
+	if !approxEq(c, want, 0) {
+		t.Fatalf("accumulate gave %v, want %v", c, want)
+	}
+}
+
+func approxEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax wrong")
+	}
+	if ArgMax([]float64{2, 2}) != 0 {
+		t.Fatal("ArgMax should return first on ties")
+	}
+}
+
+func TestSumMaxAbsHasNaN(t *testing.T) {
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Fatal("Sum wrong")
+	}
+	if MaxAbs([]float64{-7, 3}) != 7 {
+		t.Fatal("MaxAbs wrong")
+	}
+	if MaxAbs(nil) != 0 {
+		t.Fatal("MaxAbs(nil) should be 0")
+	}
+	if HasNaN([]float64{1, 2}) {
+		t.Fatal("false NaN")
+	}
+	if !HasNaN([]float64{1, math.NaN()}) || !HasNaN([]float64{math.Inf(1)}) {
+		t.Fatal("missed NaN/Inf")
+	}
+}
+
+func TestRandnStd(t *testing.T) {
+	r := rng.New(11)
+	x := Randn(r, 0.5, 100, 100)
+	var ss float64
+	for _, v := range x.Data {
+		ss += v * v
+	}
+	std := math.Sqrt(ss / float64(x.Size()))
+	if math.Abs(std-0.5) > 0.02 {
+		t.Fatalf("std = %v, want ~0.5", std)
+	}
+}
+
+func BenchmarkGemm64(b *testing.B) {
+	r := rng.New(1)
+	a := Randn(r, 1, 64, 64)
+	x := Randn(r, 1, 64, 64)
+	c := make([]float64, 64*64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmInto(c, a.Data, x.Data, 64, 64, 64, false)
+	}
+}
+
+func BenchmarkL2Norm(b *testing.B) {
+	r := rng.New(1)
+	x := Randn(r, 1, 1<<16)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = x.L2Norm()
+	}
+	_ = sink
+}

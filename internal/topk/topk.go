@@ -1,0 +1,211 @@
+// Package topk implements the gradient-selection kernels shared by all
+// sparsifiers: exact top-k by absolute magnitude (heap- and
+// quickselect-based), and linear threshold scans.
+//
+// The paper models the cost of top-k selection over an n-element vector as
+// O(n log k) (ref. [29] in the paper); the heap implementation here has
+// exactly that complexity and is the kernel whose wall-clock time the
+// speedup experiments (Fig 7, Fig 9) measure.
+package topk
+
+import (
+	"math"
+	"sort"
+)
+
+// HeapTopK returns the indices of the k largest elements of v by absolute
+// value, in unspecified order. It runs in O(n log k) time and O(k) space.
+// If k >= len(v) all indices are returned; if k <= 0 the result is empty.
+func HeapTopK(v []float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(v) {
+		idx := make([]int, len(v))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	// Min-heap of size k keyed by |v[idx]|; the root is the smallest of the
+	// current candidates, so any larger element replaces it.
+	h := make([]int, 0, k)
+	less := func(a, b int) bool { return abs(v[h[a]]) < abs(v[h[b]]) }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(h) && less(l, smallest) {
+				smallest = l
+			}
+			if r < len(h) && less(r, smallest) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			h[i], h[smallest] = h[smallest], h[i]
+			i = smallest
+		}
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(i, parent) {
+				return
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+	}
+	for i := range v {
+		if len(h) < k {
+			h = append(h, i)
+			siftUp(len(h) - 1)
+			continue
+		}
+		if abs(v[i]) > abs(v[h[0]]) {
+			h[0] = i
+			siftDown(0)
+		}
+	}
+	return h
+}
+
+// QuickSelectTopK returns the indices of the k largest elements of v by
+// absolute value using in-place quickselect over an index permutation.
+// Expected O(n) time, O(n) space for the permutation.
+func QuickSelectTopK(v []float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	n := len(v)
+	if k >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partition idx so that the k indices with the largest |v| end up in
+	// idx[:k]. Deterministic median-of-three pivoting avoids adversarial
+	// O(n²) for the structured inputs the simulator produces.
+	lo, hi := 0, n-1
+	for lo < hi {
+		p := partition(v, idx, lo, hi)
+		switch {
+		case p == k-1:
+			lo = hi // done
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return idx[:k]
+}
+
+// partition rearranges idx[lo..hi] around a pivot chosen by median-of-three
+// so that elements with larger |v| come first; returns the pivot's final
+// position.
+func partition(v []float64, idx []int, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Order lo, mid, hi descending by |v|, then use mid as pivot.
+	if abs(v[idx[mid]]) > abs(v[idx[lo]]) {
+		idx[mid], idx[lo] = idx[lo], idx[mid]
+	}
+	if abs(v[idx[hi]]) > abs(v[idx[lo]]) {
+		idx[hi], idx[lo] = idx[lo], idx[hi]
+	}
+	if abs(v[idx[hi]]) > abs(v[idx[mid]]) {
+		idx[hi], idx[mid] = idx[mid], idx[hi]
+	}
+	pivot := abs(v[idx[mid]])
+	idx[mid], idx[hi] = idx[hi], idx[mid]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if abs(v[idx[i]]) > pivot {
+			idx[store], idx[i] = idx[i], idx[store]
+			store++
+		}
+	}
+	idx[store], idx[hi] = idx[hi], idx[store]
+	return store
+}
+
+// SortTopK is the reference implementation: full sort by |v| descending.
+// O(n log n). Used for testing and as the "very high cost" baseline.
+func SortTopK(v []float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		av, bv := abs(v[idx[a]]), abs(v[idx[b]])
+		if av != bv {
+			return av > bv
+		}
+		return idx[a] < idx[b] // stable tie-break for determinism
+	})
+	if k > n {
+		k = n
+	}
+	return idx[:k]
+}
+
+// AboveThreshold returns the indices i with |v[i]| >= threshold, in
+// ascending index order. This is the O(n) kernel used by the
+// hard-threshold and SIDCo sparsifiers.
+func AboveThreshold(v []float64, threshold float64) []int {
+	var idx []int
+	for i, x := range v {
+		if abs(x) >= threshold {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// CountAbove returns how many elements satisfy |v[i]| >= threshold without
+// materialising the index list.
+func CountAbove(v []float64, threshold float64) int {
+	n := 0
+	for _, x := range v {
+		if abs(x) >= threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// KthAbs returns the k-th largest absolute value in v (1-based), i.e. the
+// exact threshold that a top-k selection uses. Panics if k is out of range.
+func KthAbs(v []float64, k int) float64 {
+	if k < 1 || k > len(v) {
+		panic("topk: KthAbs k out of range")
+	}
+	idx := QuickSelectTopK(v, k)
+	// The k-th largest is the minimum of the selected set.
+	m := math.Inf(1)
+	for _, i := range idx {
+		if a := abs(v[i]); a < m {
+			m = a
+		}
+	}
+	return m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

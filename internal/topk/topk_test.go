@@ -1,0 +1,250 @@
+package topk
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// magnitudeSet returns the multiset of |v[i]| for the given indices, sorted.
+func magnitudeSet(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = math.Abs(v[j])
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func randVec(seed uint64, n int) []float64 {
+	r := rng.New(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Norm()
+	}
+	return v
+}
+
+func TestTopKKernelsAgreeWithSort(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(500)
+		k := r.Intn(n + 2) // may exceed n
+		v := randVec(seed+1, n)
+		want := magnitudeSet(v, SortTopK(v, k))
+		gotHeap := magnitudeSet(v, HeapTopK(v, k))
+		gotQS := magnitudeSet(v, QuickSelectTopK(v, k))
+		if len(gotHeap) != len(want) || len(gotQS) != len(want) {
+			return false
+		}
+		for i := range want {
+			if gotHeap[i] != want[i] || gotQS[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKNoDuplicateIndices(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(300)
+		k := 1 + r.Intn(n)
+		v := randVec(seed, n)
+		for _, idx := range [][]int{HeapTopK(v, k), QuickSelectTopK(v, k), SortTopK(v, k)} {
+			seen := map[int]bool{}
+			for _, i := range idx {
+				if i < 0 || i >= n || seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+			if len(idx) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	v := []float64{3, -1, 2}
+	if got := HeapTopK(v, 0); len(got) != 0 {
+		t.Errorf("k=0 gave %v", got)
+	}
+	if got := HeapTopK(v, -5); len(got) != 0 {
+		t.Errorf("k<0 gave %v", got)
+	}
+	if got := HeapTopK(v, 10); len(got) != 3 {
+		t.Errorf("k>n gave %v", got)
+	}
+	if got := QuickSelectTopK(nil, 3); len(got) != 0 {
+		t.Errorf("empty v gave %v", got)
+	}
+	if got := HeapTopK(nil, 3); len(got) != 0 {
+		t.Errorf("empty v heap gave %v", got)
+	}
+}
+
+func TestTopKSelectsLargest(t *testing.T) {
+	v := []float64{0.1, -9, 0.2, 5, -0.3}
+	got := HeapTopK(v, 2)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("HeapTopK = %v, want [1 3]", got)
+	}
+}
+
+func TestTopKAllEqualValues(t *testing.T) {
+	v := []float64{2, 2, 2, 2, 2}
+	for _, fn := range []func([]float64, int) []int{HeapTopK, QuickSelectTopK, SortTopK} {
+		got := fn(v, 3)
+		if len(got) != 3 {
+			t.Fatalf("equal values: got %d indices, want 3", len(got))
+		}
+	}
+}
+
+func TestAboveThreshold(t *testing.T) {
+	v := []float64{0.5, -2, 0, 3, -0.1}
+	got := AboveThreshold(v, 1)
+	want := []int{1, 3}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("AboveThreshold = %v, want %v", got, want)
+	}
+	if got := AboveThreshold(v, 100); got != nil {
+		t.Fatalf("high threshold should return nil, got %v", got)
+	}
+	// threshold 0 selects everything (|x| >= 0 always true).
+	if got := AboveThreshold(v, 0); len(got) != 5 {
+		t.Fatalf("zero threshold selected %d, want 5", len(got))
+	}
+}
+
+func TestCountAboveMatchesAboveThreshold(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(200)
+		v := randVec(seed, n)
+		th := math.Abs(r.Norm())
+		return CountAbove(v, th) == len(AboveThreshold(v, th))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKthAbs(t *testing.T) {
+	v := []float64{1, -5, 3, -2, 4}
+	cases := []struct {
+		k    int
+		want float64
+	}{{1, 5}, {2, 4}, {3, 3}, {4, 2}, {5, 1}}
+	for _, c := range cases {
+		if got := KthAbs(v, c.k); got != c.want {
+			t.Errorf("KthAbs(k=%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestKthAbsPanics(t *testing.T) {
+	for _, k := range []int{0, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KthAbs(k=%d) should panic", k)
+				}
+			}()
+			KthAbs([]float64{1, 2, 3, 4, 5}, k)
+		}()
+	}
+}
+
+// TestThresholdConsistency: selecting with the exact k-th magnitude as a
+// threshold must select at least k elements (>= comparison) and the top-k
+// set magnitudes must all be >= that threshold.
+func TestThresholdConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(300)
+		k := 1 + r.Intn(n)
+		v := randVec(seed, n)
+		th := KthAbs(v, k)
+		if CountAbove(v, th) < k {
+			return false
+		}
+		for _, i := range HeapTopK(v, k) {
+			if math.Abs(v[i]) < th {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSelectAdversarialSorted(t *testing.T) {
+	// Already-sorted inputs exercise the median-of-three pivot path.
+	n := 5000
+	asc := make([]float64, n)
+	desc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		asc[i] = float64(i)
+		desc[i] = float64(n - i)
+	}
+	for _, v := range [][]float64{asc, desc} {
+		got := magnitudeSet(v, QuickSelectTopK(v, 100))
+		want := magnitudeSet(v, SortTopK(v, 100))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatal("quickselect wrong on sorted input")
+			}
+		}
+	}
+}
+
+func benchVec(n int) []float64 { return randVec(99, n) }
+
+func BenchmarkHeapTopK_1M_k10K(b *testing.B) {
+	v := benchVec(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HeapTopK(v, 10000)
+	}
+}
+
+func BenchmarkQuickSelectTopK_1M_k10K(b *testing.B) {
+	v := benchVec(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QuickSelectTopK(v, 10000)
+	}
+}
+
+func BenchmarkSortTopK_1M_k10K(b *testing.B) {
+	v := benchVec(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SortTopK(v, 10000)
+	}
+}
+
+func BenchmarkAboveThreshold_1M(b *testing.B) {
+	v := benchVec(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AboveThreshold(v, 2.5)
+	}
+}

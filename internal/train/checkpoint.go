@@ -1,0 +1,98 @@
+package train
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// checkpointMagic identifies the checkpoint format; the version byte
+// guards against silent format drift.
+var checkpointMagic = [8]byte{'D', 'E', 'F', 'T', 'C', 'K', 'P', 1}
+
+// SaveParams serialises parameter values (not gradients) to w:
+// magic, count, then per parameter a length-prefixed name, element count,
+// and little-endian float64 data. Layout is positional, so loading
+// requires an identically-structured model.
+func SaveParams(w io.Writer, params []*nn.Param) error {
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("train: checkpoint write: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return fmt.Errorf("train: checkpoint write: %w", err)
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+			return fmt.Errorf("train: checkpoint write %s: %w", p.Name, err)
+		}
+		if _, err := w.Write(name); err != nil {
+			return fmt.Errorf("train: checkpoint write %s: %w", p.Name, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(p.Size())); err != nil {
+			return fmt.Errorf("train: checkpoint write %s: %w", p.Name, err)
+		}
+		buf := make([]byte, 8*p.Size())
+		for i, v := range p.W.Data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("train: checkpoint write %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// LoadParams restores parameter values saved by SaveParams into params.
+// Names, order and sizes must match exactly; mismatches are reported with
+// the offending parameter.
+func LoadParams(r io.Reader, params []*nn.Param) error {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("train: checkpoint read: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("train: not a DEFT checkpoint (magic %q)", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("train: checkpoint read: %w", err)
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("train: checkpoint has %d params, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("train: checkpoint read %s: %w", p.Name, err)
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("train: checkpoint name length %d implausible", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return fmt.Errorf("train: checkpoint read %s: %w", p.Name, err)
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("train: checkpoint param %q, model expects %q", name, p.Name)
+		}
+		var sz uint64
+		if err := binary.Read(r, binary.LittleEndian, &sz); err != nil {
+			return fmt.Errorf("train: checkpoint read %s: %w", p.Name, err)
+		}
+		if int(sz) != p.Size() {
+			return fmt.Errorf("train: checkpoint %s has %d elements, model has %d", p.Name, sz, p.Size())
+		}
+		buf := make([]byte, 8*sz)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("train: checkpoint read %s: %w", p.Name, err)
+		}
+		for i := range p.W.Data {
+			p.W.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package train_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	w := mlpWorkload()
+	m := w.NewModel()
+	params := m.Params()
+	// Train a bit so the values are non-trivial.
+	for i := 0; i < 5; i++ {
+		nn.ZeroGrads(params)
+		m.Step(rng.New(uint64(i)))
+		for _, p := range params {
+			p.W.AddScaled(-0.1, p.G)
+		}
+	}
+	var buf bytes.Buffer
+	if err := train.SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := w.NewModel()
+	if err := train.LoadParams(bytes.NewReader(buf.Bytes()), m2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	p2 := m2.Params()
+	for i, p := range params {
+		for j := range p.W.Data {
+			if p.W.Data[j] != p2[i].W.Data[j] {
+				t.Fatalf("param %s[%d] differs after round trip", p.Name, j)
+			}
+		}
+	}
+	// Loaded replica evaluates identically.
+	if w.Evaluate(m) != w.Evaluate(m2) {
+		t.Fatal("loaded model evaluates differently")
+	}
+}
+
+func TestCheckpointRejectsMismatches(t *testing.T) {
+	mlp := mlpWorkload()
+	m := mlp.NewModel()
+	var buf bytes.Buffer
+	if err := train.SaveParams(&buf, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different architecture: vision model.
+	other := visionModelParams()
+	if err := train.LoadParams(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("cross-architecture load accepted")
+	}
+
+	// Corrupt magic.
+	bad := append([]byte{}, buf.Bytes()...)
+	bad[0] ^= 0xff
+	if err := train.LoadParams(bytes.NewReader(bad), m.Params()); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+
+	// Truncated stream.
+	if err := train.LoadParams(bytes.NewReader(buf.Bytes()[:20]), m.Params()); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func visionModelParams() []*nn.Param {
+	r := rng.New(1)
+	return nn.NewDense("other", r, 3, 3, true).Params()
+}

@@ -1,0 +1,42 @@
+package train
+
+import "repro/internal/nn"
+
+import "repro/internal/sparsifier"
+
+// Layout maps a parameter list onto contiguous slices of one flat gradient
+// vector, in parameter order. The result is the layer list handed to
+// sparsifiers (each weight/bias tensor is one "layer", paper footnote 2).
+func Layout(params []*nn.Param) []sparsifier.Layer {
+	layers := make([]sparsifier.Layer, len(params))
+	pos := 0
+	for i, p := range params {
+		layers[i] = sparsifier.Layer{Name: p.Name, Start: pos, End: pos + p.Size()}
+		pos += p.Size()
+	}
+	return layers
+}
+
+// FlattenGrads copies every parameter gradient into the flat vector out,
+// which must have length Σ p.Size().
+func FlattenGrads(params []*nn.Param, out []float64) {
+	pos := 0
+	for _, p := range params {
+		copy(out[pos:pos+p.Size()], p.G.Data)
+		pos += p.Size()
+	}
+}
+
+// ApplyUpdate subtracts scale · update (flat layout) from the parameters:
+// x ← x − scale·u.
+func ApplyUpdate(params []*nn.Param, update []float64, scale float64) {
+	pos := 0
+	for _, p := range params {
+		w := p.W.Data
+		u := update[pos : pos+p.Size()]
+		for i := range w {
+			w[i] -= scale * u[i]
+		}
+		pos += p.Size()
+	}
+}

@@ -1,0 +1,405 @@
+// Package train implements Algorithm 1 of the paper: synchronous
+// data-parallel SGD with gradient sparsification and error feedback, run on
+// the simulated cluster of internal/comm.
+//
+// Per iteration and per worker i:
+//
+//	acc_i ← e_i + η_t · G_i(x)          (error feedback)
+//	idx_i ← Sparsify(acc_i)
+//	idx   ← AllGatherUnique(idx_i)      (union; its size is the density)
+//	g_i   ← acc_i[idx]
+//	g     ← AllReduceSum(g_i)
+//	x     ← x − g / n                    (identical on all replicas)
+//	acc_i[idx] ← 0;  e_i ← acc_i
+//
+// The trainer owns metric collection: realised density, error norm ‖e_t‖
+// (Eq. 2), selection wall time, modeled communication time, and the
+// periodic evaluation metric.
+package train
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sparsifier"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Model is one worker's replica.
+type Model interface {
+	// Params returns the trainable parameter tensors, in a fixed order
+	// identical across replicas.
+	Params() []*nn.Param
+	// Step samples one minibatch with r, runs forward and backward, and
+	// accumulates gradients into Params().G (caller zeroes them). It
+	// returns the minibatch training loss.
+	Step(r *rng.RNG) float64
+}
+
+// Workload builds replicas and evaluates them.
+type Workload interface {
+	Name() string
+	MetricName() string
+	// NewModel returns a replica whose initial parameters are identical on
+	// every call.
+	NewModel() Model
+	// Evaluate returns the test metric of the given replica.
+	Evaluate(m Model) float64
+}
+
+// Config drives one distributed training run.
+type Config struct {
+	Workers   int
+	Density   float64
+	LR        float64
+	LRDecayAt []int   // iterations at which LR is multiplied by LRDecay
+	LRDecay   float64 // default 0.1 when LRDecayAt is set
+	Momentum  float64 // applied to the aggregated update, identical on all replicas
+
+	Iterations    int
+	EvalEvery     int // iterations between metric evaluations (0: only at end)
+	RecordEvery   int // iterations between density/error samples (default 1)
+	Seed          uint64
+	CostModel     comm.CostModel
+	DisableSparse bool // dense baseline: all-reduce the full gradient
+
+	// CheckSync verifies after every iteration that all replicas hold
+	// bit-identical parameters (they must: every replica applies the same
+	// aggregated update). Cheap insurance in tests; panics on divergence.
+	CheckSync bool
+}
+
+// Result aggregates everything the experiments need.
+type Result struct {
+	Workload   string
+	Sparsifier string
+	Workers    int
+	Density    float64
+
+	TrainLoss     stats.Series // x = iteration
+	Metric        stats.Series // x = iteration, y = Evaluate()
+	ActualDensity stats.Series
+	ErrorNorm     stats.Series // ‖e_t‖, Eq. 2
+
+	// Time accounting (seconds), totals over the run. Selection and
+	// gradient compute are wall-clock (max over workers per iteration);
+	// communication uses the α–β model.
+	ComputeTime   float64
+	SelectTime    float64
+	PartitionTime float64 // DEFT's extra overhead bucket
+	CommTime      float64
+
+	Traffic comm.TrafficCounter
+	// WireBytes is the total sparse payload all workers shipped, with the
+	// standard uint32 index + float32 value encoding (internal/sparse):
+	// per iteration, each worker uploads its local selection and receives
+	// the union's summed values.
+	WireBytes int64
+	// NaNIterations counts iterations where any worker produced a
+	// non-finite gradient (the update still proceeds; inspect this to
+	// diagnose divergence).
+	NaNIterations int
+}
+
+// Run executes distributed training and returns the collected result.
+// factory builds one sparsifier per worker; pass nil with
+// cfg.DisableSparse for the dense baseline.
+func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
+	if cfg.Workers < 1 {
+		panic("train: Workers must be >= 1")
+	}
+	if cfg.Density <= 0 && !cfg.DisableSparse {
+		panic("train: Density must be positive for sparsified training")
+	}
+	if cfg.RecordEvery < 1 {
+		cfg.RecordEvery = 1
+	}
+	if cfg.LRDecay == 0 {
+		cfg.LRDecay = 0.1
+	}
+
+	res := &Result{
+		Workload: w.Name(),
+		Workers:  cfg.Workers,
+		Density:  cfg.Density,
+	}
+	if cfg.DisableSparse {
+		res.Sparsifier = "dense"
+	} else {
+		probe := factory()
+		res.Sparsifier = probe.Name()
+	}
+
+	n := cfg.Workers
+	cluster := comm.NewCluster(n)
+	root := rng.New(cfg.Seed)
+
+	// Timing gate: a cluster-wide mutex serialising the *measured*
+	// sections (gradient selection, DEFT's partitioning). With every
+	// worker hosted on one machine, un-gated sections contend for the CPU
+	// and their wall times measure scheduler interleaving instead of work;
+	// gated sections run alone, so max-over-workers is the simulated
+	// parallel time.
+	var gate sync.Mutex
+	isolate := func(fn func()) time.Duration {
+		gate.Lock()
+		defer gate.Unlock()
+		t0 := time.Now()
+		fn()
+		return time.Since(t0)
+	}
+
+	// Per-iteration reduction buffers filled by workers, combined by rank 0.
+	type iterStats struct {
+		loss      float64
+		errNorm   float64
+		selTime   time.Duration
+		partTime  time.Duration
+		stepTime  time.Duration
+		selectedK int
+		wireBytes int64
+		hasNaN    bool
+	}
+	perWorker := make([]iterStats, n)
+
+	// Evaluation runs on rank 0's replica only (replicas stay identical).
+	var rank0 Model
+
+	cluster.Run(func(cm *comm.Comm) {
+		rank := cm.Rank()
+		model := w.NewModel()
+		if rank == 0 {
+			rank0 = model
+		}
+		params := model.Params()
+		layers := Layout(params)
+		ng := layers[len(layers)-1].End
+
+		var sp sparsifier.Sparsifier
+		if !cfg.DisableSparse {
+			sp = factory()
+		}
+
+		acc := make([]float64, ng)  // e_i, then acc_i inside the iteration
+		flat := make([]float64, ng) // scratch for the new gradient
+		var velocity []float64
+		if cfg.Momentum > 0 {
+			velocity = make([]float64, ng)
+		}
+
+		lr := cfg.LR
+		decayIdx := 0
+
+		for t := 0; t < cfg.Iterations; t++ {
+			for decayIdx < len(cfg.LRDecayAt) && t == cfg.LRDecayAt[decayIdx] {
+				lr *= cfg.LRDecay
+				decayIdx++
+			}
+
+			// Local gradient on this worker's shard: RNG split by (rank, t)
+			// gives independent minibatches per worker, identical across
+			// runs. Gated so stepTime is a contention-free per-worker time
+			// (max over workers = simulated parallel compute time); on the
+			// single-core simulator the gate costs nothing because the
+			// sections were serialised anyway.
+			var loss float64
+			stepTime := isolate(func() {
+				nn.ZeroGrads(params)
+				loss = model.Step(root.Split(uint64(rank), uint64(t)))
+				FlattenGrads(params, flat)
+			})
+
+			hasNaN := tensor.HasNaN(flat)
+
+			// acc_i ← e_i + η·G_i.
+			for i, g := range flat {
+				acc[i] += lr * g
+			}
+
+			var update []float64
+			var selTime, partTime time.Duration
+			selectedK := ng
+			var wireBytes int64
+
+			if cfg.DisableSparse {
+				update = cm.AllReduceSum(acc)
+				for i := range acc {
+					acc[i] = 0
+				}
+				// Ring all-reduce moves ~2·ng float32 values per worker.
+				wireBytes = int64(8 * ng)
+			} else {
+				// Align workers before the measured selection phase: without
+				// this, a worker's gated section still competes with other
+				// workers' compute (they haven't reached their own gate
+				// yet), and the measurement absorbs scheduler interleaving.
+				// Synchronous SGD synchronises at the all-gather anyway, so
+				// this changes no semantics.
+				cm.Barrier()
+				ctx := &sparsifier.Ctx{
+					Rank:                rank,
+					NWorkers:            n,
+					Iteration:           t,
+					Density:             cfg.Density,
+					Layers:              layers,
+					BroadcastInts:       cm.BroadcastInts,
+					BroadcastIntsNested: cm.BroadcastIntsNested,
+					Isolate:             isolate,
+				}
+				var localIdx []int
+				if d, ok := sp.(overheadReporter); ok {
+					// Scheme with internal collectives (DEFT, CLT-k): it
+					// gates its own local segments and reports them.
+					localIdx = sp.Select(ctx, acc)
+					partTime, selTime = d.LastOverhead()
+				} else {
+					// Pure-local scheme: gate the whole selection.
+					selTime = isolate(func() {
+						localIdx = sp.Select(ctx, acc)
+					})
+				}
+
+				// Lines 7–9 of Algorithm 1.
+				idx := cm.AllGatherUniqueInts(localIdx)
+				selectedK = len(idx)
+				// Wire accounting: this worker ships its local (index,
+				// value) pairs up and receives the union's values back,
+				// uint32+float32 each (internal/sparse encoding).
+				wireBytes = int64(8*len(localIdx) + 8*len(idx))
+				vals := make([]float64, len(idx))
+				for j, i := range idx {
+					vals[j] = acc[i]
+				}
+				sum := cm.AllReduceSum(vals)
+
+				// Lines 10–12: update model, clear transmitted entries.
+				update = make([]float64, ng)
+				for j, i := range idx {
+					update[i] = sum[j]
+					acc[i] = 0
+				}
+			}
+
+			// x ← x − update/n (with optional momentum on the aggregate;
+			// every replica computes the same thing, so they stay in sync).
+			invN := 1 / float64(n)
+			if velocity != nil {
+				for i := range update {
+					velocity[i] = cfg.Momentum*velocity[i] + update[i]*invN
+				}
+				ApplyUpdate(params, velocity, 1)
+			} else {
+				ApplyUpdate(params, update, invN)
+			}
+
+			if cfg.CheckSync {
+				sum := 0.0
+				for _, p := range params {
+					for _, v := range p.W.Data {
+						sum += v
+					}
+				}
+				// Sequential summation of n identical values can differ from
+				// sum*n by rounding, so compare with a tight relative bound.
+				all := cm.AllReduceSum([]float64{sum})
+				want := sum * float64(n)
+				if diff := math.Abs(all[0] - want); diff > 1e-9*math.Max(1, math.Abs(want)) {
+					panic(fmt.Sprintf("train: replica divergence at iteration %d (rank %d: %v vs mean %v)",
+						t, rank, sum, all[0]/float64(n)))
+				}
+			}
+
+			// Metrics.
+			perWorker[rank] = iterStats{
+				loss:      loss,
+				errNorm:   tensor.L2Norm(acc),
+				selTime:   selTime,
+				partTime:  partTime,
+				stepTime:  stepTime,
+				selectedK: selectedK,
+				wireBytes: wireBytes,
+				hasNaN:    hasNaN,
+			}
+			cm.Barrier() // all perWorker entries written
+
+			if rank == 0 {
+				// Loss: mean across workers. Error: Eq. 2, the mean of the
+				// per-worker ‖e_i‖. Times: the slowest worker bounds the
+				// iteration (paper §5.3); communication uses the α–β model
+				// with the realised per-worker k.
+				var lossSum, errSum float64
+				var maxSel, maxPart, maxStep time.Duration
+				anyNaN := false
+				for i := range perWorker {
+					s := &perWorker[i]
+					lossSum += s.loss
+					errSum += s.errNorm
+					res.WireBytes += s.wireBytes
+					anyNaN = anyNaN || s.hasNaN
+					if s.selTime > maxSel {
+						maxSel = s.selTime
+					}
+					if s.partTime > maxPart {
+						maxPart = s.partTime
+					}
+					if s.stepTime > maxStep {
+						maxStep = s.stepTime
+					}
+				}
+				if anyNaN {
+					res.NaNIterations++
+				}
+				res.ComputeTime += maxStep.Seconds()
+				res.SelectTime += maxSel.Seconds()
+				res.PartitionTime += maxPart.Seconds()
+				k := perWorker[0].selectedK
+				if cfg.DisableSparse {
+					res.CommTime += cfg.CostModel.AllReduceDense(n, ng)
+				} else {
+					res.CommTime += cfg.CostModel.AllGatherSparse(n, k)
+				}
+				if t%cfg.RecordEvery == 0 {
+					res.TrainLoss.Append(float64(t), lossSum/float64(n))
+					res.ErrorNorm.Append(float64(t), errSum/float64(n))
+					res.ActualDensity.Append(float64(t), float64(k)/float64(ng))
+				}
+				if cfg.EvalEvery > 0 && t > 0 && t%cfg.EvalEvery == 0 {
+					res.Metric.Append(float64(t), w.Evaluate(rank0))
+				}
+			}
+			cm.Barrier() // keep workers in lockstep with the recording
+		}
+	})
+
+	res.Traffic = cluster.Traffic()
+	// Final evaluation.
+	res.Metric.Append(float64(cfg.Iterations), w.Evaluate(rank0))
+	return res
+}
+
+// overheadReporter is implemented by DEFT to expose its partition-vs-select
+// split without this package importing internal/core.
+type overheadReporter interface {
+	LastOverhead() (partition, selection time.Duration)
+}
+
+// Summary renders a short human-readable digest of the run.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s/%s workers=%d d=%g: loss %.4f→%.4f, metric %.3f, density mean %.5f, err final %.4g",
+		r.Workload, r.Sparsifier, r.Workers, r.Density,
+		firstY(&r.TrainLoss), r.TrainLoss.LastY(), r.Metric.LastY(),
+		r.ActualDensity.MeanY(), r.ErrorNorm.LastY())
+}
+
+func firstY(s *stats.Series) float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[0]
+}

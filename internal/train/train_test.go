@@ -1,0 +1,373 @@
+package train_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sparsifier"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func mlpWorkload() train.Workload {
+	cfg := models.DefaultMLPConfig()
+	cfg.TestN = 128
+	return models.NewMLP(cfg)
+}
+
+func topkFactory() sparsifier.Factory {
+	return func() sparsifier.Sparsifier { return sparsifier.TopK{} }
+}
+
+func cltkFactory() sparsifier.Factory {
+	return func() sparsifier.Sparsifier { return &sparsifier.CLTK{} }
+}
+
+func TestLayoutTilesParams(t *testing.T) {
+	w := mlpWorkload()
+	params := w.NewModel().Params()
+	layers := train.Layout(params)
+	ng := 0
+	for _, p := range params {
+		ng += p.Size()
+	}
+	if err := sparsifier.ValidateLayers(layers, ng); err != nil {
+		t.Fatal(err)
+	}
+	if layers[0].Name != params[0].Name {
+		t.Fatal("layer names must follow param names")
+	}
+}
+
+func TestFlattenApplyRoundTrip(t *testing.T) {
+	w := mlpWorkload()
+	m := w.NewModel()
+	params := m.Params()
+	nn.ZeroGrads(params)
+	m.Step(rng.New(1))
+	ng := nn.TotalSize(params)
+	flat := make([]float64, ng)
+	train.FlattenGrads(params, flat)
+	// Applying the flattened gradient with scale 1 must equal per-param
+	// subtraction.
+	before := nn.Clone(params)
+	train.ApplyUpdate(params, flat, 0.5)
+	pos := 0
+	for pi, p := range params {
+		for i := range p.W.Data {
+			want := before[pi].W.Data[i] - 0.5*flat[pos]
+			if math.Abs(p.W.Data[i]-want) > 1e-15 {
+				t.Fatalf("ApplyUpdate mismatch at %s[%d]", p.Name, i)
+			}
+			pos++
+		}
+	}
+}
+
+func TestDenseBaselineLearns(t *testing.T) {
+	res := train.Run(mlpWorkload(), nil, train.Config{
+		Workers: 2, LR: 0.3, Iterations: 60, Seed: 1,
+		DisableSparse: true, CheckSync: true,
+	})
+	if res.Sparsifier != "dense" {
+		t.Fatalf("sparsifier label %q", res.Sparsifier)
+	}
+	if res.TrainLoss.Y[0] <= res.TrainLoss.LastY() {
+		t.Fatalf("dense loss did not decrease: %v -> %v", res.TrainLoss.Y[0], res.TrainLoss.LastY())
+	}
+	if res.Metric.LastY() < 30 {
+		t.Fatalf("dense accuracy %v too low", res.Metric.LastY())
+	}
+}
+
+func TestSparsifiedTrainingLearns(t *testing.T) {
+	for name, factory := range map[string]sparsifier.Factory{
+		"topk": topkFactory(),
+		"cltk": cltkFactory(),
+		"deft": core.Factory(core.DefaultOptions()),
+	} {
+		res := train.Run(mlpWorkload(), factory, train.Config{
+			Workers: 4, Density: 0.05, LR: 0.3, Iterations: 80, Seed: 2,
+			CheckSync: true,
+		})
+		if res.TrainLoss.LastY() >= res.TrainLoss.Y[0]*0.9 {
+			t.Errorf("%s: loss did not improve: %v -> %v", name, res.TrainLoss.Y[0], res.TrainLoss.LastY())
+		}
+	}
+}
+
+func TestDEFTDensityEqualsTarget(t *testing.T) {
+	res := train.Run(mlpWorkload(), core.Factory(core.DefaultOptions()), train.Config{
+		Workers: 8, Density: 0.01, LR: 0.3, Iterations: 20, Seed: 3,
+	})
+	mean := res.ActualDensity.MeanY()
+	// DEFT keeps density at the target up to the per-fragment floor of 1.
+	if mean > 0.02 || mean < 0.005 {
+		t.Fatalf("DEFT mean density %v, want ~0.01", mean)
+	}
+	// And it must be near-constant: max/min ratio small.
+	if res.ActualDensity.MaxY() > 2.5*res.ActualDensity.MinY() {
+		t.Fatalf("DEFT density unstable: [%v, %v]", res.ActualDensity.MinY(), res.ActualDensity.MaxY())
+	}
+}
+
+func TestCLTKDensityEqualsTarget(t *testing.T) {
+	res := train.Run(mlpWorkload(), cltkFactory(), train.Config{
+		Workers: 8, Density: 0.01, LR: 0.3, Iterations: 20, Seed: 4,
+	})
+	ng := nn.TotalSize(mlpWorkload().NewModel().Params())
+	k := int(math.Round(0.01 * float64(ng)))
+	wantDensity := float64(k) / float64(ng)
+	for _, d := range res.ActualDensity.Y {
+		if math.Abs(d-wantDensity) > 1e-9 {
+			t.Fatalf("CLT-k density %v, want exactly %v", d, wantDensity)
+		}
+	}
+}
+
+func TestTopKBuildUpGrowsWithWorkers(t *testing.T) {
+	// Fig 1: the realised density of Top-k grows with the worker count.
+	densities := map[int]float64{}
+	for _, n := range []int{2, 8} {
+		res := train.Run(mlpWorkload(), topkFactory(), train.Config{
+			Workers: n, Density: 0.01, LR: 0.3, Iterations: 15, Seed: 5,
+		})
+		densities[n] = res.ActualDensity.MeanY()
+	}
+	if densities[2] <= 0.01 {
+		t.Fatalf("n=2 density %v should exceed the target 0.01", densities[2])
+	}
+	if densities[8] <= densities[2] {
+		t.Fatalf("build-up did not grow: n=2 %v, n=8 %v", densities[2], densities[8])
+	}
+}
+
+func TestErrorNormTracksSelection(t *testing.T) {
+	// Error feedback accumulates what is not transmitted: a sparser run
+	// must carry a larger error norm than a denser one.
+	sparse := train.Run(mlpWorkload(), cltkFactory(), train.Config{
+		Workers: 2, Density: 0.01, LR: 0.3, Iterations: 40, Seed: 6,
+	})
+	denser := train.Run(mlpWorkload(), cltkFactory(), train.Config{
+		Workers: 2, Density: 0.2, LR: 0.3, Iterations: 40, Seed: 6,
+	})
+	if sparse.ErrorNorm.TailMeanY(0.25) <= denser.ErrorNorm.TailMeanY(0.25) {
+		t.Fatalf("sparser run should have larger error: %v vs %v",
+			sparse.ErrorNorm.TailMeanY(0.25), denser.ErrorNorm.TailMeanY(0.25))
+	}
+	// The dense baseline transmits everything: error identically 0.
+	dense := train.Run(mlpWorkload(), nil, train.Config{
+		Workers: 2, LR: 0.3, Iterations: 10, Seed: 6, DisableSparse: true,
+	})
+	if dense.ErrorNorm.MaxY() != 0 {
+		t.Fatalf("dense baseline must have zero error, got %v", dense.ErrorNorm.MaxY())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := train.Config{Workers: 4, Density: 0.05, LR: 0.3, Iterations: 15, Seed: 7}
+	a := train.Run(mlpWorkload(), core.Factory(core.DefaultOptions()), cfg)
+	b := train.Run(mlpWorkload(), core.Factory(core.DefaultOptions()), cfg)
+	if len(a.TrainLoss.Y) != len(b.TrainLoss.Y) {
+		t.Fatal("series lengths differ")
+	}
+	for i := range a.TrainLoss.Y {
+		if a.TrainLoss.Y[i] != b.TrainLoss.Y[i] {
+			t.Fatalf("loss differs at %d: %v vs %v", i, a.TrainLoss.Y[i], b.TrainLoss.Y[i])
+		}
+	}
+	if a.Metric.LastY() != b.Metric.LastY() {
+		t.Fatal("final metric differs")
+	}
+}
+
+func TestLRDecayApplies(t *testing.T) {
+	// With LR decayed to ~0 immediately, parameters must barely move.
+	w := mlpWorkload()
+	res := train.Run(w, cltkFactory(), train.Config{
+		Workers: 2, Density: 0.05, LR: 0.3, LRDecayAt: []int{1}, LRDecay: 1e-9,
+		Iterations: 30, Seed: 8,
+	})
+	// Loss after decay should stay around its level at iteration 1.
+	early := res.TrainLoss.Y[2]
+	late := res.TrainLoss.LastY()
+	if math.Abs(late-early) > 0.5 {
+		t.Fatalf("loss moved after LR kill: %v -> %v", early, late)
+	}
+}
+
+func TestMomentumRun(t *testing.T) {
+	res := train.Run(mlpWorkload(), cltkFactory(), train.Config{
+		Workers: 2, Density: 0.05, LR: 0.1, Momentum: 0.9,
+		Iterations: 60, Seed: 9, CheckSync: true,
+	})
+	if res.TrainLoss.LastY() >= res.TrainLoss.Y[0] {
+		t.Fatalf("momentum run did not improve: %v -> %v", res.TrainLoss.Y[0], res.TrainLoss.LastY())
+	}
+}
+
+func TestTimeAccountingPopulated(t *testing.T) {
+	res := train.Run(mlpWorkload(), core.Factory(core.DefaultOptions()), train.Config{
+		Workers: 2, Density: 0.05, LR: 0.3, Iterations: 5, Seed: 10,
+	})
+	if res.ComputeTime <= 0 || res.SelectTime <= 0 {
+		t.Fatalf("times not recorded: compute %v select %v", res.ComputeTime, res.SelectTime)
+	}
+	if res.PartitionTime <= 0 {
+		t.Fatalf("DEFT partition overhead not recorded")
+	}
+	if res.Traffic.Total() == 0 {
+		t.Fatal("traffic not recorded")
+	}
+}
+
+func TestEvalEvery(t *testing.T) {
+	res := train.Run(mlpWorkload(), cltkFactory(), train.Config{
+		Workers: 2, Density: 0.05, LR: 0.3, Iterations: 20, EvalEvery: 5, Seed: 11,
+	})
+	// Evaluations at 5, 10, 15 plus the final one.
+	if len(res.Metric.Y) != 4 {
+		t.Fatalf("expected 4 metric points, got %d", len(res.Metric.Y))
+	}
+}
+
+func TestRunPanicsOnBadConfig(t *testing.T) {
+	for name, cfg := range map[string]train.Config{
+		"zero workers": {Workers: 0, Density: 0.1, LR: 0.1, Iterations: 1},
+		"zero density": {Workers: 1, Density: 0, LR: 0.1, Iterations: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			train.Run(mlpWorkload(), topkFactory(), cfg)
+		}()
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	res := train.Run(mlpWorkload(), cltkFactory(), train.Config{
+		Workers: 2, Density: 0.05, LR: 0.3, Iterations: 5, Seed: 12,
+	})
+	s := res.Summary()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestErrorFeedbackReintroducesGradients(t *testing.T) {
+	// Unit-level check of the error-feedback arithmetic on a fabricated
+	// two-element model: a gradient entry that is never selected must keep
+	// accumulating in acc (the error), not vanish.
+	grad := []float64{1.0, 0.001}
+	acc := make([]float64, 2)
+	lr := 0.1
+	for t0 := 0; t0 < 10; t0++ {
+		for i, g := range grad {
+			acc[i] += lr * g
+		}
+		// Always select only index 0.
+		acc[0] = 0
+	}
+	if math.Abs(acc[1]-10*lr*0.001) > 1e-12 {
+		t.Fatalf("unselected gradient not accumulated: %v", acc[1])
+	}
+	_ = tensor.L2Norm(acc)
+}
+
+func TestWireBytesAccounted(t *testing.T) {
+	res := train.Run(mlpWorkload(), cltkFactory(), train.Config{
+		Workers: 2, Density: 0.05, LR: 0.3, Iterations: 5, Seed: 20,
+	})
+	if res.WireBytes <= 0 {
+		t.Fatal("wire bytes not accounted")
+	}
+	dense := train.Run(mlpWorkload(), nil, train.Config{
+		Workers: 2, LR: 0.3, Iterations: 5, Seed: 20, DisableSparse: true,
+	})
+	if dense.WireBytes <= res.WireBytes {
+		t.Fatalf("dense wire bytes %d should far exceed sparse %d", dense.WireBytes, res.WireBytes)
+	}
+}
+
+// nanWorkload wraps the MLP but injects a NaN gradient at iteration 2.
+type nanWorkload struct{ train.Workload }
+
+type nanModel struct {
+	train.Model
+	steps int
+}
+
+func (w *nanWorkload) NewModel() train.Model {
+	return &nanModel{Model: w.Workload.NewModel()}
+}
+
+func (m *nanModel) Step(r *rng.RNG) float64 {
+	loss := m.Model.Step(r)
+	m.steps++
+	if m.steps == 2 {
+		m.Params()[0].G.Data[0] = math.NaN()
+	}
+	return loss
+}
+
+func (w *nanWorkload) Evaluate(m train.Model) float64 {
+	return w.Workload.Evaluate(m.(*nanModel).Model)
+}
+
+func TestNaNIterationsDetected(t *testing.T) {
+	w := &nanWorkload{mlpWorkload()}
+	res := train.Run(w, topkFactory(), train.Config{
+		Workers: 2, Density: 0.5, LR: 0.0, Iterations: 4, Seed: 21,
+	})
+	if res.NaNIterations < 1 {
+		t.Fatal("NaN gradient not detected")
+	}
+	clean := train.Run(mlpWorkload(), topkFactory(), train.Config{
+		Workers: 2, Density: 0.5, LR: 0.3, Iterations: 4, Seed: 21,
+	})
+	if clean.NaNIterations != 0 {
+		t.Fatalf("false NaN detections: %d", clean.NaNIterations)
+	}
+}
+
+// TestAllWorkloadsTrainWithDEFT pushes each of the paper's three
+// applications (plus the MLP) through the full stack — model, data,
+// collectives, DEFT, error feedback — and checks learning progress and
+// density stability in one place.
+func TestAllWorkloadsTrainWithDEFT(t *testing.T) {
+	workloads := []struct {
+		w     train.Workload
+		lr    float64
+		iters int
+	}{
+		{models.NewMLP(models.DefaultMLPConfig()), 0.3, 30},
+		{models.NewVision(models.DefaultVisionConfig()), 0.15, 30},
+		{models.NewText(models.DefaultTextConfig()), 1.0, 40},
+		{models.NewRecsys(models.DefaultRecsysConfig()), 1.0, 60},
+	}
+	for _, tc := range workloads {
+		res := train.Run(tc.w, core.Factory(core.DefaultOptions()), train.Config{
+			Workers: 4, Density: 0.05, LR: tc.lr, Iterations: tc.iters,
+			Seed: 33, CheckSync: true,
+		})
+		if res.TrainLoss.LastY() >= res.TrainLoss.Y[0] {
+			t.Errorf("%s: loss did not improve: %v -> %v",
+				tc.w.Name(), res.TrainLoss.Y[0], res.TrainLoss.LastY())
+		}
+		if res.NaNIterations != 0 {
+			t.Errorf("%s: %d NaN iterations", tc.w.Name(), res.NaNIterations)
+		}
+		// DEFT's density stays near the target (the fragment floor can
+		// lift it on tiny models, never build-up territory).
+		if d := res.ActualDensity.MeanY(); d > 0.05*2 {
+			t.Errorf("%s: density %v drifted above target 0.05", tc.w.Name(), d)
+		}
+	}
+}

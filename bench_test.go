@@ -10,10 +10,8 @@ package deft
 import (
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/benchkit"
 	"repro/internal/experiments"
-	"repro/internal/shapes"
-	"repro/internal/topk"
 )
 
 // benchExperiment regenerates one artefact per benchmark iteration with a
@@ -50,39 +48,19 @@ func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
 // Ablation benches for the design choices DESIGN.md §5 calls out.
 func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
 
-// The two microbenches below isolate the headline claim at kernel level on
-// the LSTM catalog (scaled to 1.36M gradients, d=0.001): a whole-vector
-// top-k (what Top-k/CLT-k run every iteration) vs the slowest worker's
-// layer-wise selection under DEFT at n=16.
-func selectionFixture() (frags []core.Fragment, slowest []int, grad []float64, k int) {
-	catalog := shapes.LSTMWiki().Scaled(0.01)
-	grad = catalog.SyntheticGradients(42)
-	k = int(0.001 * float64(len(grad)))
-	frags = core.Partition(catalog.Layers(), 16, core.PartitionOpts{SecondStage: true})
-	core.ComputeNorms(frags, grad)
-	core.AssignK(frags, k)
-	bins := core.Allocate(frags, 16, core.LPTPolicy)
-	best := 0.0
-	for _, bin := range bins {
-		if c := core.WorkerCost(frags, bin); c > best {
-			best, slowest = c, bin
-		}
-	}
-	return frags, slowest, grad, k
+// The microbenches below isolate the headline claim at kernel level on the
+// LSTM catalog (scaled to 1.36M gradients, d=0.001): a whole-vector top-k
+// (what Top-k/CLT-k run every iteration) vs the slowest worker's layer-wise
+// selection under DEFT at n=16, plus one full training iteration of
+// Algorithm 1. Bodies live in internal/benchkit so that `deft-bench -json`
+// can run the identical measurements and persist them to
+// BENCH_results.json.
+func BenchmarkSelectWholeVectorTopK(b *testing.B) { benchkit.BenchSelectWholeVectorTopK(b) }
+
+func BenchmarkSelectWholeVectorQuickSelect(b *testing.B) {
+	benchkit.BenchSelectWholeVectorQuickSelect(b)
 }
 
-func BenchmarkSelectWholeVectorTopK(b *testing.B) {
-	_, _, grad, k := selectionFixture()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		topk.HeapTopK(grad, k)
-	}
-}
+func BenchmarkSelectDEFTSlowestWorker(b *testing.B) { benchkit.BenchSelectDEFTSlowestWorker(b) }
 
-func BenchmarkSelectDEFTSlowestWorker(b *testing.B) {
-	frags, slowest, grad, _ := selectionFixture()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.SelectLayerwise(frags, slowest, grad)
-	}
-}
+func BenchmarkTrainIteration(b *testing.B) { benchkit.BenchTrainIteration(b) }

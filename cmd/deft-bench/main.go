@@ -1,11 +1,16 @@
 // Command deft-bench regenerates the paper's tables and figures on the
-// simulated substrate.
+// simulated substrate, and doubles as the perf-regression harness.
 //
 // Usage:
 //
 //	deft-bench [-quick] [-seed N] <id>...
 //	deft-bench -list
 //	deft-bench all            # every experiment
+//	deft-bench -json          # run perf microbenches, write BENCH_results.json
+//	deft-bench -compare BENCH_results.json
+//	                          # run microbenches, fail on >10% ns/op regression
+//	deft-bench -compare old.json -against new.json
+//	                          # compare two saved files without running
 //
 // ids: table1 table2 fig1 fig3a fig3b fig3c fig4 fig5 fig6 fig7 fig8 fig9
 // fig10 ablation
@@ -19,6 +24,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/benchkit"
 	"repro/internal/experiments"
 )
 
@@ -27,8 +33,13 @@ func main() {
 	seed := flag.Uint64("seed", 0, "seed offset for all runs")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	jsonOut := flag.Bool("json", false, "run the perf microbenchmarks and write -bench-out")
+	benchOut := flag.String("bench-out", "BENCH_results.json", "output path for -json results")
+	compare := flag.String("compare", "", "baseline BENCH_results.json; exit 1 on >tolerance ns/op regression")
+	against := flag.String("against", "", "with -compare: saved results to compare instead of running")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op growth for -compare")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: deft-bench [-quick] [-seed N] <id>... | all | -list\n")
+		fmt.Fprintf(os.Stderr, "usage: deft-bench [-quick] [-seed N] <id>... | all | -list | -json | -compare baseline.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,6 +47,13 @@ func main() {
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *jsonOut || *compare != "" {
+		if err := runBenchmarks(*jsonOut, *benchOut, *compare, *against, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "deft-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -64,6 +82,56 @@ func main() {
 		}
 		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runBenchmarks implements -json and -compare: execute the benchkit
+// microbenchmarks (unless a saved -against file is supplied), optionally
+// persist them, and gate against a baseline.
+func runBenchmarks(writeJSON bool, outPath, baselinePath, againstPath string, tolerance float64) error {
+	// Load the baseline before anything can write -bench-out: with
+	// `-json -compare BENCH_results.json` both point at the same file, and
+	// writing first would make the gate compare the new results against
+	// themselves.
+	var base benchkit.File
+	if baselinePath != "" {
+		var err error
+		if base, err = benchkit.ReadFile(baselinePath); err != nil {
+			return err
+		}
+	}
+	var cur benchkit.File
+	if againstPath != "" {
+		var err error
+		if cur, err = benchkit.ReadFile(againstPath); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("running perf microbenchmarks (this takes a minute)...")
+		cur = benchkit.RunAll()
+	}
+	for _, r := range cur.Results {
+		fmt.Printf("  %-32s %14.0f ns/op %10d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if writeJSON {
+		if err := cur.WriteFile(outPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	regs := benchkit.Compare(base, cur, tolerance)
+	if len(regs) == 0 {
+		fmt.Printf("no ns/op regression beyond %.0f%% against %s\n", tolerance*100, baselinePath)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "REGRESSION %-32s %.0f -> %.0f ns/op (%.1f%%)\n",
+			r.Name, r.Old, r.New, (r.Ratio-1)*100)
+	}
+	return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regs), tolerance*100)
 }
 
 // writeCSV stores one table as dir/<id>.csv (columns header + rows).

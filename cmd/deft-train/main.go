@@ -53,7 +53,7 @@ func main() {
 	case "deft":
 		factory = core.Factory(core.DefaultOptions())
 	case "topk":
-		factory = func() sparsifier.Sparsifier { return sparsifier.TopK{} }
+		factory = func() sparsifier.Sparsifier { return sparsifier.NewTopK() }
 	case "cltk":
 		factory = func() sparsifier.Sparsifier { return &sparsifier.CLTK{} }
 	case "sidco":

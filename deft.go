@@ -83,7 +83,7 @@ func NewDEFTFactory() SparsifierFactory { return core.Factory(core.DefaultOption
 // NewTopKFactory returns the classical local Top-k sparsifier (suffers
 // gradient build-up).
 func NewTopKFactory() SparsifierFactory {
-	return func() Sparsifier { return sparsifier.TopK{} }
+	return func() Sparsifier { return sparsifier.NewTopK() }
 }
 
 // NewCLTKFactory returns the cyclic local top-k sparsifier of Chen et al.

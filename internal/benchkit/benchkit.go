@@ -1,0 +1,209 @@
+// Package benchkit defines the performance microbenchmarks shared between
+// the `go test -bench` harness (bench_test.go at the repo root) and the
+// deft-bench CLI's -json mode, plus the BENCH_results.json encoding and the
+// regression comparison used to gate future PRs.
+//
+// The benchmarked quantities are the ones the paper's evaluation is about:
+// whole-vector top-k selection (the Top-k/CLT-k per-iteration kernel, Fig
+// 7/9), DEFT's slowest-worker layer-wise selection, and one full training
+// iteration of Algorithm 1 on the simulated cluster. Allocations per
+// operation are tracked as a first-class metric beside wall time: the
+// selection wall times the simulator reports are only meaningful when the
+// hot path is not fighting the garbage collector.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/shapes"
+	"repro/internal/topk"
+	"repro/internal/train"
+)
+
+// Case is one registered microbenchmark.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Cases returns the registered microbenchmarks, in reporting order.
+func Cases() []Case {
+	return []Case{
+		{Name: "SelectWholeVectorTopK", Bench: BenchSelectWholeVectorTopK},
+		{Name: "SelectWholeVectorQuickSelect", Bench: BenchSelectWholeVectorQuickSelect},
+		{Name: "SelectDEFTSlowestWorker", Bench: BenchSelectDEFTSlowestWorker},
+		{Name: "TrainIteration", Bench: BenchTrainIteration},
+	}
+}
+
+// SelectionFixture builds the kernel-level speedup fixture shared by the
+// selection microbenches: the LSTM catalog scaled to ~1.36M gradients at
+// d=0.001, partitioned for 16 workers, with the slowest worker's bin under
+// LPT packing.
+func SelectionFixture() (frags []core.Fragment, slowest []int, grad []float64, k int) {
+	catalog := shapes.LSTMWiki().Scaled(0.01)
+	grad = catalog.SyntheticGradients(42)
+	k = int(0.001 * float64(len(grad)))
+	frags = core.Partition(catalog.Layers(), 16, core.PartitionOpts{SecondStage: true})
+	core.ComputeNorms(frags, grad)
+	core.AssignK(frags, k)
+	bins := core.Allocate(frags, 16, core.LPTPolicy)
+	best := 0.0
+	for _, bin := range bins {
+		if c := core.WorkerCost(frags, bin); c > best {
+			best, slowest = c, bin
+		}
+	}
+	return frags, slowest, grad, k
+}
+
+// BenchSelectWholeVectorTopK measures the O(n log k) heap selection over
+// the whole gradient vector — what Top-k and CLT-k pay every iteration.
+func BenchSelectWholeVectorTopK(b *testing.B) {
+	_, _, grad, k := SelectionFixture()
+	var s topk.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topk.HeapTopKInto(grad, k, &s)
+	}
+}
+
+// BenchSelectWholeVectorQuickSelect measures the expected-O(n) introselect
+// variant over the same fixture.
+func BenchSelectWholeVectorQuickSelect(b *testing.B) {
+	_, _, grad, k := SelectionFixture()
+	var s topk.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topk.QuickSelectTopKInto(grad, k, &s)
+	}
+}
+
+// BenchSelectDEFTSlowestWorker measures the slowest worker's layer-wise
+// selection under DEFT at n=16 — the per-iteration cost that bounds DEFT's
+// iteration time (Eq. 5).
+func BenchSelectDEFTSlowestWorker(b *testing.B) {
+	frags, slowest, grad, _ := SelectionFixture()
+	var s topk.Scratch
+	var dst []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = core.SelectLayerwiseInto(frags, slowest, grad, dst, &s)
+	}
+}
+
+// BenchTrainIteration measures one full iteration of Algorithm 1 — gradient
+// step, DEFT selection, index union, value all-reduce, sparse update — on
+// the 4-worker MLP workload. The run executes b.N iterations, so ns/op and
+// allocs/op amortise the one-time replica construction and converge to the
+// steady-state per-iteration cost.
+func BenchTrainIteration(b *testing.B) {
+	w := models.NewMLP(models.DefaultMLPConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	train.Run(w, core.Factory(core.DefaultOptions()), train.Config{
+		Workers:    4,
+		Density:    0.01,
+		LR:         0.1,
+		Iterations: b.N,
+		Seed:       1,
+	})
+}
+
+// Result is one benchmark's measurement as persisted in BENCH_results.json.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// File is the BENCH_results.json document: the perf trajectory record one
+// PR leaves for the next.
+type File struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// RunAll executes every registered case through testing.Benchmark and
+// returns the measurements.
+func RunAll() File {
+	f := File{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, c := range Cases() {
+		r := testing.Benchmark(c.Bench)
+		f.Results = append(f.Results, Result{
+			Name:        c.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	return f
+}
+
+// WriteFile persists the results as indented JSON.
+func (f File) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a BENCH_results.json document.
+func ReadFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("benchkit: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Regression describes one benchmark whose ns/op grew beyond the allowed
+// ratio between a baseline and a current run.
+type Regression struct {
+	Name     string
+	Old, New float64 // ns/op
+	Ratio    float64 // New / Old
+}
+
+// Compare matches benchmarks by name and returns the ones whose ns/op
+// regressed by more than tolerance (e.g. 0.10 for +10%). Benchmarks present
+// in only one file are ignored: adding a benchmark must not fail the gate.
+func Compare(old, cur File, tolerance float64) []Regression {
+	baseline := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		baseline[r.Name] = r
+	}
+	var regs []Regression
+	for _, r := range cur.Results {
+		b, ok := baseline[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		if ratio > 1+tolerance {
+			regs = append(regs, Regression{Name: r.Name, Old: b.NsPerOp, New: r.NsPerOp, Ratio: ratio})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs
+}

@@ -1,0 +1,72 @@
+package benchkit
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := File{Results: []Result{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "OnlyOld", NsPerOp: 1000},
+	}}
+	cur := File{Results: []Result{
+		{Name: "A", NsPerOp: 1099}, // +9.9%: within tolerance
+		{Name: "B", NsPerOp: 1200}, // +20%: regression
+		{Name: "OnlyNew", NsPerOp: 5000},
+	}}
+	regs := Compare(old, cur, 0.10)
+	if len(regs) != 1 || regs[0].Name != "B" {
+		t.Fatalf("Compare = %+v, want exactly B", regs)
+	}
+	if regs[0].Ratio < 1.19 || regs[0].Ratio > 1.21 {
+		t.Errorf("ratio = %v, want ~1.2", regs[0].Ratio)
+	}
+	if got := Compare(old, cur, 0.25); len(got) != 0 {
+		t.Errorf("tolerance 25%% should pass, got %+v", got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	f := File{
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Results: []Result{
+			{Name: "X", NsPerOp: 123.5, BytesPerOp: 64, AllocsPerOp: 2, Iterations: 100},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0] != f.Results[0] || got.GoVersion != f.GoVersion {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestCasesRunQuickly executes every registered benchmark body for a single
+// iteration as a smoke test, so a broken fixture fails `go test` rather
+// than only the CLI.
+func TestCasesRunQuickly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark fixtures are slow")
+	}
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			r := testing.Benchmark(func(b *testing.B) {
+				if b.N > 1 {
+					b.Skip("smoke only")
+				}
+				c.Bench(b)
+			})
+			_ = r
+		})
+	}
+}

@@ -7,8 +7,6 @@
 // currently lightest bin. LPT guarantees makespan ≤ 4/3·OPT + 1/3·max.
 package binpack
 
-import "sort"
-
 // Assignment maps bins to the item indices they hold. Bins[b] lists item
 // indices placed in bin b, in placement order.
 type Assignment struct {
@@ -41,35 +39,78 @@ func (a *Assignment) MinLoad() float64 {
 	return m
 }
 
+// Reset prepares the assignment for reuse with nBins bins: bin and load
+// slices are truncated in place, reallocating only when the bin count grew.
+// Fresh zero-value Assignments work too.
+func (a *Assignment) Reset(nBins int) {
+	if cap(a.Bins) < nBins {
+		a.Bins = make([][]int, nBins)
+	}
+	a.Bins = a.Bins[:nBins]
+	for b := range a.Bins {
+		a.Bins[b] = a.Bins[b][:0]
+	}
+	if cap(a.Load) < nBins {
+		a.Load = make([]float64, nBins)
+	}
+	a.Load = a.Load[:nBins]
+	for b := range a.Load {
+		a.Load[b] = 0
+	}
+}
+
 // LPT allocates items (given by their costs) to nBins bins with the
 // longest-processing-time greedy used by Algorithm 4: the costliest
 // remaining item goes to the currently lightest bin. Ties on bin load break
 // toward the lowest bin index, matching the argmin in the pseudocode.
 // It panics if nBins <= 0.
 func LPT(costs []float64, nBins int) *Assignment {
+	a := &Assignment{}
+	LPTInto(costs, nBins, a, nil)
+	return a
+}
+
+// LPTInto is the scratch-buffer form of LPT: the assignment a is reset and
+// filled in place, and order (if non-nil and large enough) is used for the
+// cost-sorted item permutation. In steady state (stable item count and bin
+// count) it performs zero heap allocations beyond slice growth on the first
+// call.
+func LPTInto(costs []float64, nBins int, a *Assignment, order []int) {
 	if nBins <= 0 {
 		panic("binpack: LPT with non-positive bin count")
 	}
-	a := &Assignment{
-		Bins: make([][]int, nBins),
-		Load: make([]float64, nBins),
+	a.Reset(nBins)
+	if cap(order) < len(costs) {
+		order = make([]int, len(costs))
 	}
-	order := make([]int, len(costs))
+	order = order[:len(costs)]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(x, y int) bool {
-		if costs[order[x]] != costs[order[y]] {
-			return costs[order[x]] > costs[order[y]]
+	// Insertion sort, descending by cost with ascending-index tie-break:
+	// stable, allocation-free, and fast for the O(100) fragment counts the
+	// partition produces.
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && lessCost(costs, order[j], order[j-1]) {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
 		}
-		return order[x] < order[y]
-	})
+	}
 	for _, item := range order {
 		b := argMinLoad(a.Load)
 		a.Bins[b] = append(a.Bins[b], item)
 		a.Load[b] += costs[item]
 	}
-	return a
+}
+
+// lessCost orders items descending by cost, ascending by index on ties —
+// the LPT priority.
+func lessCost(costs []float64, x, y int) bool {
+	if costs[x] != costs[y] {
+		return costs[x] > costs[y]
+	}
+	return x < y
 }
 
 // RoundRobin allocates item i to bin i mod nBins, ignoring costs. Ablation

@@ -8,6 +8,13 @@
 // ahead of a collective), so phenomena like gradient build-up are measured
 // from genuinely independent per-rank data rather than assumed.
 //
+// The rendezvous is typed: each element type has its own mailbox (a generic
+// slot array plus combined result), so no collective boxes its payload into
+// an interface. Combine results are computed into buffers owned by the
+// cluster and reused across generations, and every collective has an Into
+// variant that copies the shared result into a caller-owned buffer — the
+// steady-state hot path of a training iteration allocates nothing here.
+//
 // Wall-clock time inside a simulated collective is meaningless as a proxy
 // for network time, so the package also provides the α–β cost model the
 // paper itself uses in §5.3 to discuss communication time.
@@ -15,8 +22,20 @@ package comm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
+
+// mailbox is the typed slot array of the rendezvous: one deposit slot per
+// rank plus the combined result of the current generation. One mailbox per
+// payload type removes the any-boxing of the previous design; since the
+// collectives are SPMD (every rank calls the same operation in the same
+// order), only one mailbox is active per generation and they can all share
+// the cluster's single arrival counter.
+type mailbox[T any] struct {
+	slots  []T
+	result T
+}
 
 // Cluster owns the shared rendezvous state for n ranks.
 type Cluster struct {
@@ -26,8 +45,17 @@ type Cluster struct {
 
 	arrived    int
 	generation uint64
-	slots      []any
-	result     any
+
+	ints   mailbox[[]int]
+	floats mailbox[[]float64]
+	nested mailbox[[][]int]
+
+	// Reusable combine buffers (guarded by mu; written only by the last
+	// arrival of a generation, read by all ranks before the next combine of
+	// the same type can start).
+	intBuf   []int
+	floatBuf []float64
+	heads    []int // k-way merge cursors for AllGatherUniqueInts
 
 	traffic TrafficCounter
 }
@@ -37,7 +65,13 @@ func NewCluster(n int) *Cluster {
 	if n <= 0 {
 		panic(fmt.Sprintf("comm: cluster size %d must be positive", n))
 	}
-	c := &Cluster{n: n, slots: make([]any, n)}
+	c := &Cluster{
+		n:     n,
+		heads: make([]int, n),
+	}
+	c.ints.slots = make([][]int, n)
+	c.floats.slots = make([][]float64, n)
+	c.nested.slots = make([][][]int, n)
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -85,21 +119,25 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the cluster size.
 func (c *Comm) Size() int { return c.cluster.n }
 
-// exchange is the rendezvous core. Every rank deposits contrib; the last
-// arrival runs combine over the deposited slots (indexed by rank) and the
-// shared result is returned to every rank. combine runs exactly once per
-// generation, under the cluster lock.
-func (c *Comm) exchange(contrib any, combine func(slots []any) any) any {
+// exchange is the rendezvous core, generic over the payload type. Every
+// rank deposits contrib into the mailbox; the last arrival runs combine
+// over the deposited slots (indexed by rank) and the shared result is
+// returned to every rank. combine runs exactly once per generation, under
+// the cluster lock.
+//
+// The result may alias cluster-owned buffers: a rank must copy what it
+// needs before entering its next collective. That ordering is safe without
+// extra synchronisation because the next combine of any type cannot run
+// until all n ranks have deposited again, which each rank only does after
+// it is done reading.
+func exchange[T any](c *Comm, mb *mailbox[T], contrib T, combine func(slots []T) T) T {
 	cl := c.cluster
 	cl.mu.Lock()
 	gen := cl.generation
-	cl.slots[c.rank] = contrib
+	mb.slots[c.rank] = contrib
 	cl.arrived++
 	if cl.arrived == cl.n {
-		cl.result = combine(cl.slots)
-		for i := range cl.slots {
-			cl.slots[i] = nil
-		}
+		mb.result = combine(mb.slots)
 		cl.arrived = 0
 		cl.generation++
 		cl.cond.Broadcast()
@@ -108,59 +146,63 @@ func (c *Comm) exchange(contrib any, combine func(slots []any) any) any {
 			cl.cond.Wait()
 		}
 	}
-	res := cl.result
+	res := mb.result
 	cl.mu.Unlock()
 	return res
 }
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
-	c.exchange(nil, func([]any) any { return nil })
+	exchange(c, &c.cluster.ints, nil, func([][]int) []int { return nil })
 }
 
 // BroadcastInts distributes root's slice to every rank. Every rank receives
 // a fresh copy (safe to mutate). Non-root ranks may pass nil.
 func (c *Comm) BroadcastInts(root int, data []int) []int {
+	return c.BroadcastIntsInto(root, data, nil)
+}
+
+// BroadcastIntsInto is the scratch-buffer form of BroadcastInts: the result
+// is copied into dst (grown only when capacity is insufficient).
+func (c *Comm) BroadcastIntsInto(root int, data []int, dst []int) []int {
 	c.checkRoot(root)
-	res := c.exchange(data, func(slots []any) any {
-		src, _ := slots[root].([]int)
-		c.cluster.traffic.BroadcastInts += int64(len(src))
-		return src
+	src := exchange(c, &c.cluster.ints, data, func(slots [][]int) []int {
+		s := slots[root]
+		c.cluster.traffic.BroadcastInts += int64(len(s))
+		return s
 	})
-	src, _ := res.([]int)
-	out := make([]int, len(src))
-	copy(out, src)
-	return out
+	return append(dst[:0], src...)
 }
 
 // BroadcastFloats distributes root's slice to every rank as a fresh copy.
 func (c *Comm) BroadcastFloats(root int, data []float64) []float64 {
+	return c.BroadcastFloatsInto(root, data, nil)
+}
+
+// BroadcastFloatsInto is the scratch-buffer form of BroadcastFloats.
+func (c *Comm) BroadcastFloatsInto(root int, data []float64, dst []float64) []float64 {
 	c.checkRoot(root)
-	res := c.exchange(data, func(slots []any) any {
-		src, _ := slots[root].([]float64)
-		c.cluster.traffic.BroadcastFloats += int64(len(src))
-		return src
+	src := exchange(c, &c.cluster.floats, data, func(slots [][]float64) []float64 {
+		s := slots[root]
+		c.cluster.traffic.BroadcastFloats += int64(len(s))
+		return s
 	})
-	src, _ := res.([]float64)
-	out := make([]float64, len(src))
-	copy(out, src)
-	return out
+	return append(dst[:0], src...)
 }
 
 // BroadcastIntsNested distributes root's slice-of-slices (e.g. the
 // bin-packing result of DEFT's Algorithm 4) to every rank as a deep copy.
 func (c *Comm) BroadcastIntsNested(root int, data [][]int) [][]int {
 	c.checkRoot(root)
-	res := c.exchange(data, func(slots []any) any {
-		src, _ := slots[root].([][]int)
+	src := exchange(c, &c.cluster.nested, data, func(slots [][][]int) [][]int {
+		s := slots[root]
 		total := 0
-		for _, s := range src {
-			total += len(s)
+		for _, b := range s {
+			total += len(b)
 		}
 		c.cluster.traffic.BroadcastInts += int64(total)
-		return src
+		return s
 	})
-	src, _ := res.([][]int)
 	out := make([][]int, len(src))
 	for i, s := range src {
 		out[i] = make([]int, len(s))
@@ -172,114 +214,160 @@ func (c *Comm) BroadcastIntsNested(root int, data [][]int) [][]int {
 // AllGatherInts concatenates every rank's contribution in rank order and
 // returns a fresh copy of the concatenation to every rank.
 func (c *Comm) AllGatherInts(data []int) []int {
-	res := c.exchange(data, func(slots []any) any {
+	return c.AllGatherIntsInto(data, nil)
+}
+
+// AllGatherIntsInto is the scratch-buffer form of AllGatherInts.
+func (c *Comm) AllGatherIntsInto(data []int, dst []int) []int {
+	shared := exchange(c, &c.cluster.ints, data, func(slots [][]int) []int {
+		cl := c.cluster
 		total := 0
 		for _, s := range slots {
-			v, _ := s.([]int)
-			total += len(v)
+			total += len(s)
 		}
-		out := make([]int, 0, total)
+		out := growInts(&cl.intBuf, total)[:0]
 		for _, s := range slots {
-			v, _ := s.([]int)
-			out = append(out, v...)
+			out = append(out, s...)
 		}
-		c.cluster.traffic.AllGatherInts += int64(total)
+		cl.intBuf = out
+		cl.traffic.AllGatherInts += int64(total)
 		return out
 	})
-	shared, _ := res.([]int)
-	out := make([]int, len(shared))
-	copy(out, shared)
-	return out
+	return append(dst[:0], shared...)
 }
 
 // AllGatherUniqueInts gathers every rank's index set and returns the sorted
 // union without duplicates. This is the collective on line 7 of Algorithm 1:
 // the resulting length, relative to the per-rank k, is exactly the gradient
 // build-up the paper measures.
+//
+// Contributions should be sorted ascending; an unsorted contribution is
+// sorted in place (the deposit slices are mutated). The union is computed
+// by an n-way merge over the sorted per-rank lists — O(total·n) with no
+// hashing and no allocation in steady state, against the previous map-based
+// dedup's O(total) hash inserts plus a map and result allocation per call.
 func (c *Comm) AllGatherUniqueInts(data []int) []int {
-	res := c.exchange(data, func(slots []any) any {
+	return c.AllGatherUniqueIntsInto(data, nil)
+}
+
+// AllGatherUniqueIntsInto is the scratch-buffer form of AllGatherUniqueInts.
+func (c *Comm) AllGatherUniqueIntsInto(data []int, dst []int) []int {
+	shared := exchange(c, &c.cluster.ints, data, func(slots [][]int) []int {
+		cl := c.cluster
 		total := 0
 		for _, s := range slots {
-			v, _ := s.([]int)
-			total += len(v)
+			if !sort.IntsAreSorted(s) {
+				sort.Ints(s)
+			}
+			total += len(s)
 		}
 		// Traffic: every rank ships its own k indices.
-		c.cluster.traffic.AllGatherInts += int64(total)
-		seen := make(map[int]struct{}, total)
-		out := make([]int, 0, total)
-		for _, s := range slots {
-			v, _ := s.([]int)
-			for _, idx := range v {
-				if _, ok := seen[idx]; !ok {
-					seen[idx] = struct{}{}
-					out = append(out, idx)
+		cl.traffic.AllGatherInts += int64(total)
+		// n-way merge with dedup. heads[r] is rank r's cursor.
+		heads := cl.heads
+		for r := range heads {
+			heads[r] = 0
+		}
+		out := growInts(&cl.intBuf, total)[:0]
+		for {
+			best, bv := -1, 0
+			for r, s := range slots {
+				if h := heads[r]; h < len(s) {
+					if v := s[h]; best < 0 || v < bv {
+						best, bv = r, v
+					}
 				}
 			}
+			if best < 0 {
+				break
+			}
+			if len(out) == 0 || out[len(out)-1] != bv {
+				out = append(out, bv)
+			}
+			heads[best]++
 		}
-		sortInts(out)
+		cl.intBuf = out
 		return out
 	})
-	shared, _ := res.([]int)
-	out := make([]int, len(shared))
-	copy(out, shared)
-	return out
+	return append(dst[:0], shared...)
 }
 
 // AllReduceSum element-wise sums every rank's vector (all must have equal
 // length) and returns a fresh copy of the sum to every rank.
 func (c *Comm) AllReduceSum(data []float64) []float64 {
-	res := c.exchange(data, func(slots []any) any {
-		first, _ := slots[0].([]float64)
-		sum := make([]float64, len(first))
-		for r, s := range slots {
-			v, _ := s.([]float64)
-			if len(v) != len(sum) {
+	return c.AllReduceSumInto(data, nil)
+}
+
+// AllReduceSumInto is the scratch-buffer form of AllReduceSum.
+func (c *Comm) AllReduceSumInto(data []float64, dst []float64) []float64 {
+	shared := exchange(c, &c.cluster.floats, data, func(slots [][]float64) []float64 {
+		cl := c.cluster
+		sum := growFloats(&cl.floatBuf, len(slots[0]))
+		copy(sum, slots[0])
+		for r, s := range slots[1:] {
+			if len(s) != len(sum) {
 				panic(fmt.Sprintf("comm: AllReduceSum length mismatch: rank %d has %d, rank 0 has %d",
-					r, len(v), len(sum)))
+					r+1, len(s), len(sum)))
 			}
-			for i, x := range v {
+			for i, x := range s {
 				sum[i] += x
 			}
 		}
-		c.cluster.traffic.AllReduceFloats += int64(len(sum)) * int64(c.cluster.n)
+		cl.traffic.AllReduceFloats += int64(len(sum)) * int64(cl.n)
 		return sum
 	})
-	shared, _ := res.([]float64)
-	out := make([]float64, len(shared))
-	copy(out, shared)
-	return out
+	return append(dst[:0], shared...)
 }
 
 // AllReduceMax element-wise maximum across ranks.
 func (c *Comm) AllReduceMax(data []float64) []float64 {
-	res := c.exchange(data, func(slots []any) any {
-		first, _ := slots[0].([]float64)
-		m := make([]float64, len(first))
-		copy(m, first)
+	return c.AllReduceMaxInto(data, nil)
+}
+
+// AllReduceMaxInto is the scratch-buffer form of AllReduceMax.
+func (c *Comm) AllReduceMaxInto(data []float64, dst []float64) []float64 {
+	shared := exchange(c, &c.cluster.floats, data, func(slots [][]float64) []float64 {
+		cl := c.cluster
+		m := growFloats(&cl.floatBuf, len(slots[0]))
+		copy(m, slots[0])
 		for _, s := range slots[1:] {
-			v, _ := s.([]float64)
-			if len(v) != len(m) {
+			if len(s) != len(m) {
 				panic("comm: AllReduceMax length mismatch")
 			}
-			for i, x := range v {
+			for i, x := range s {
 				if x > m[i] {
 					m[i] = x
 				}
 			}
 		}
-		c.cluster.traffic.AllReduceFloats += int64(len(m)) * int64(c.cluster.n)
+		cl.traffic.AllReduceFloats += int64(len(m)) * int64(cl.n)
 		return m
 	})
-	shared, _ := res.([]float64)
-	out := make([]float64, len(shared))
-	copy(out, shared)
-	return out
+	return append(dst[:0], shared...)
 }
 
 func (c *Comm) checkRoot(root int) {
 	if root < 0 || root >= c.cluster.n {
 		panic(fmt.Sprintf("comm: root %d out of range [0,%d)", root, c.cluster.n))
 	}
+}
+
+// growInts resizes *buf to length n, reallocating only on capacity growth.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growFloats resizes *buf to length n, reallocating only on capacity growth.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // TrafficCounter accumulates logical element counts moved by collectives.
@@ -295,22 +383,4 @@ type TrafficCounter struct {
 // Total returns the sum of all counters.
 func (t TrafficCounter) Total() int64 {
 	return t.AllGatherInts + t.AllReduceFloats + t.BroadcastInts + t.BroadcastFloats
-}
-
-// sortInts is insertion-free small wrapper around sort for []int; kept
-// local to avoid importing sort in several files.
-func sortInts(v []int) {
-	// Simple pdq via sort.Ints would be fine; manual shellsort avoids the
-	// interface overhead for the very hot union path.
-	n := len(v)
-	for gap := n / 2; gap > 0; gap /= 2 {
-		for i := gap; i < n; i++ {
-			tmp := v[i]
-			j := i
-			for ; j >= gap && v[j-gap] > tmp; j -= gap {
-				v[j] = v[j-gap]
-			}
-			v[j] = tmp
-		}
-	}
 }

@@ -1,0 +1,148 @@
+package comm
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestAllGatherUniqueIntsMerge exercises the n-way merge against a map
+// reference across overlap patterns: disjoint, identical, nested, and
+// randomly overlapping unsorted contributions.
+func TestAllGatherUniqueIntsMerge(t *testing.T) {
+	cases := []struct {
+		name    string
+		contrib [][]int
+	}{
+		{"disjoint", [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}},
+		{"identical", [][]int{{3, 1, 2}, {1, 2, 3}, {2, 3, 1}, {3, 2, 1}}},
+		{"nested", [][]int{{5}, {4, 5, 6}, {3, 4, 5, 6, 7}, {5, 6}}},
+		{"empty-some", [][]int{{}, {9, 1}, nil, {1, 9, 4}}},
+		{"all-empty", [][]int{nil, {}, nil, {}}},
+		{"unsorted", [][]int{{9, 0, 4}, {7, 7, 2}, {100, 50}, {0, 100}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Reference: map-based union.
+			seen := map[int]bool{}
+			for _, s := range c.contrib {
+				for _, x := range s {
+					seen[x] = true
+				}
+			}
+			want := make([]int, 0, len(seen))
+			for x := range seen {
+				want = append(want, x)
+			}
+			sort.Ints(want)
+			if len(want) == 0 {
+				want = nil
+			}
+
+			cl := NewCluster(len(c.contrib))
+			var mu sync.Mutex
+			got := make([][]int, len(c.contrib))
+			cl.Run(func(cm *Comm) {
+				// Copy: the collective may sort contributions in place.
+				in := append([]int(nil), c.contrib[cm.Rank()]...)
+				res := cm.AllGatherUniqueInts(in)
+				mu.Lock()
+				got[cm.Rank()] = res
+				mu.Unlock()
+			})
+			for r, g := range got {
+				if len(g) == 0 {
+					g = nil
+				}
+				if !reflect.DeepEqual(g, want) {
+					t.Fatalf("rank %d: union = %v, want %v", r, g, want)
+				}
+			}
+		})
+	}
+}
+
+// TestIntoVariantsReuseBuffers verifies the Into collectives fill the
+// caller's buffer without reallocating when capacity suffices, and that
+// repeated use across generations keeps returning correct values.
+func TestIntoVariantsReuseBuffers(t *testing.T) {
+	const n = 4
+	const iters = 5
+	cl := NewCluster(n)
+	cl.Run(func(cm *Comm) {
+		rank := cm.Rank()
+		idxBuf := make([]int, 0, 64)
+		sumBuf := make([]float64, 0, 64)
+		for it := 0; it < iters; it++ {
+			contrib := []int{rank, rank + 10, it}
+			prev := cap(idxBuf)
+			idxBuf = cm.AllGatherUniqueIntsInto(contrib, idxBuf)
+			if cap(idxBuf) != prev {
+				t.Errorf("rank %d iter %d: AllGatherUniqueIntsInto reallocated (cap %d -> %d)",
+					rank, it, prev, cap(idxBuf))
+			}
+			if !sort.IntsAreSorted(idxBuf) {
+				t.Errorf("rank %d iter %d: union not sorted: %v", rank, it, idxBuf)
+			}
+
+			vals := []float64{float64(rank), float64(it)}
+			prevF := cap(sumBuf)
+			sumBuf = cm.AllReduceSumInto(vals, sumBuf)
+			if cap(sumBuf) != prevF {
+				t.Errorf("rank %d iter %d: AllReduceSumInto reallocated", rank, it)
+			}
+			wantSum := float64(n * (n - 1) / 2) // Σ ranks
+			if sumBuf[0] != wantSum || sumBuf[1] != float64(it*n) {
+				t.Errorf("rank %d iter %d: sum = %v, want [%v %v]", rank, it, sumBuf, wantSum, it*n)
+			}
+		}
+	})
+}
+
+// TestResultsSurviveNextCollective guards the buffer-reuse contract: a
+// result copied out by a rank must not be corrupted by the next collective
+// (whose combine reuses the cluster-owned intermediate buffers).
+func TestResultsSurviveNextCollective(t *testing.T) {
+	const n = 4
+	cl := NewCluster(n)
+	cl.Run(func(cm *Comm) {
+		rank := cm.Rank()
+		first := cm.AllGatherUniqueInts([]int{rank * 2})
+		second := cm.AllGatherUniqueInts([]int{100 + rank})
+		want1 := []int{0, 2, 4, 6}
+		want2 := []int{100, 101, 102, 103}
+		if !reflect.DeepEqual(first, want1) {
+			t.Errorf("rank %d: first union corrupted: %v", rank, first)
+		}
+		if !reflect.DeepEqual(second, want2) {
+			t.Errorf("rank %d: second union = %v, want %v", rank, second, want2)
+		}
+	})
+}
+
+// TestMixedTypedCollectivesInterleave runs a sequence alternating between
+// the int, float and nested mailboxes, ensuring the typed rendezvous shares
+// one arrival counter correctly.
+func TestMixedTypedCollectivesInterleave(t *testing.T) {
+	const n = 3
+	cl := NewCluster(n)
+	cl.Run(func(cm *Comm) {
+		rank := cm.Rank()
+		for it := 0; it < 4; it++ {
+			g := cm.AllGatherInts([]int{rank})
+			if len(g) != n {
+				t.Errorf("gather %d: %v", it, g)
+			}
+			s := cm.AllReduceSum([]float64{1})
+			if s[0] != n {
+				t.Errorf("sum %d: %v", it, s)
+			}
+			cm.Barrier()
+			b := cm.BroadcastIntsNested(0, [][]int{{it}, {rank}})
+			if b[0][0] != it {
+				t.Errorf("nested broadcast %d: %v", it, b)
+			}
+		}
+	})
+}

@@ -114,9 +114,16 @@ func Partition(layers []sparsifier.Layer, nWorkers int, opts PartitionOpts) []Fr
 // Norms must already be stored in frags (use ComputeNorms). Fragments with
 // zero remaining norm get k_temp = 0 → k = 1 per line 13's max(1, ·).
 func AssignK(frags []Fragment, kTotal int) {
+	AssignKScratch(frags, kTotal, make([]int, len(frags)))
+}
+
+// AssignKScratch is the scratch-buffer form of AssignK: order is the
+// caller-owned permutation buffer (must have len(frags) capacity or more;
+// contents are overwritten). Zero heap allocations.
+func AssignKScratch(frags []Fragment, kTotal int, order []int) {
 	// Priority order: descending norm. Sort an index permutation so the
 	// caller's fragment order (positional) is preserved.
-	order := make([]int, len(frags))
+	order = order[:len(frags)]
 	for i := range order {
 		order[i] = i
 	}
@@ -232,23 +239,65 @@ func Allocate(frags []Fragment, nWorkers int, policy AllocPolicy) [][]int {
 	return a.Bins
 }
 
+// AllocScratch holds the reusable buffers of AllocateInto. The zero value
+// is ready to use.
+type AllocScratch struct {
+	costs  []float64
+	order  []int
+	assign binpack.Assignment
+}
+
+// AllocateInto is the scratch-buffer form of Allocate for the LPT policy
+// hot path. The returned bins alias s and are valid until s is next used.
+// Non-LPT policies fall back to the allocating implementations (they are
+// ablation baselines, not hot paths).
+func AllocateInto(frags []Fragment, nWorkers int, policy AllocPolicy, s *AllocScratch) [][]int {
+	if policy != LPTPolicy {
+		return Allocate(frags, nWorkers, policy)
+	}
+	if cap(s.costs) < len(frags) {
+		s.costs = make([]float64, len(frags))
+	}
+	s.costs = s.costs[:len(frags)]
+	for i := range frags {
+		s.costs[i] = frags[i].Cost()
+	}
+	if cap(s.order) < len(frags) {
+		s.order = make([]int, len(frags))
+	}
+	binpack.LPTInto(s.costs, nWorkers, &s.assign, s.order[:cap(s.order)])
+	return s.assign.Bins
+}
+
 // SelectLayerwise implements Algorithm 5: run top-k inside each allocated
 // fragment and shift the local indices by the fragment start. The result is
 // this worker's global index list; k_i = Σ k_x over owned fragments.
 func SelectLayerwise(frags []Fragment, alloc []int, grad []float64) []int {
+	var s topk.Scratch
+	return SelectLayerwiseInto(frags, alloc, grad, nil, &s)
+}
+
+// SelectLayerwiseInto is the scratch-buffer form of SelectLayerwise: the
+// selected indices are appended to dst[:0] (grown only on first use) and
+// the per-fragment top-k runs through the caller's topk.Scratch, so the
+// steady-state call performs zero heap allocations.
+func SelectLayerwiseInto(frags []Fragment, alloc []int, grad []float64, dst []int, s *topk.Scratch) []int {
 	total := 0
 	for _, fi := range alloc {
 		total += frags[fi].K
 	}
-	indices := make([]int, 0, total)
+	if cap(dst) < total {
+		dst = make([]int, 0, total)
+	}
+	dst = dst[:0]
 	for _, fi := range alloc {
 		f := frags[fi]
-		local := topk.HeapTopK(grad[f.Start:f.End], f.K)
+		local := topk.HeapTopKInto(grad[f.Start:f.End], f.K, s)
 		for _, li := range local {
-			indices = append(indices, li+f.Start)
+			dst = append(dst, li+f.Start)
 		}
 	}
-	return indices
+	return dst
 }
 
 // WorkerCost returns Σ cost over the fragments allocated to one worker

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/sparsifier"
+	"repro/internal/topk"
 )
 
 // Options configures a DEFT sparsifier instance.
@@ -29,6 +30,12 @@ func DefaultOptions() Options {
 // DEFT is the sparsifier. One instance per worker; the fragment partition
 // is computed once (it depends only on layer shapes and cluster size) and
 // per-iteration state (norms, k, allocation) is recomputed each Select.
+//
+// All per-iteration buffers (norm-sort permutation, packing scratch,
+// selection scratch, index output) are retained on the instance, so the
+// steady-state Select performs zero heap allocations on the single-process
+// path; the slice returned by Select aliases this scratch and is valid
+// until the next Select call.
 type DEFT struct {
 	opts Options
 
@@ -36,6 +43,13 @@ type DEFT struct {
 	frags    []Fragment // cached partition
 	partFor  int        // nWorkers the cache was built for
 	layersAt int        // len(ctx.Layers) the cache was built for
+
+	// Reusable per-iteration scratch (accessed only by the owning worker).
+	order    []int        // AssignK priority permutation
+	alloc    AllocScratch // Algorithm 4 packing buffers
+	sel      topk.Scratch // Algorithm 5 per-fragment top-k
+	idx      []int        // selection output
+	localBin []int        // adopted bin copied out of the broadcast
 
 	// Overhead accounting for the training-time breakdown (Fig 7).
 	lastPartition time.Duration // norms + k assignment + packing + broadcast
@@ -72,36 +86,37 @@ func (d *DEFT) Fragments() []Fragment {
 // Select implements sparsifier.Sparsifier. It follows §4's sequence:
 // partition (cached), per-layer norms + local k (Algorithm 3, computed
 // locally on every worker), delegated bin-packing allocation with broadcast
-// (Algorithm 4), then layer-wise top-k (Algorithm 5).
+// (Algorithm 4), then layer-wise top-k (Algorithm 5). The returned slice is
+// owned by the sparsifier and valid until the next Select call.
+//
+// The cluster path (timing gate or broadcast installed) and the
+// single-process path are separate methods: the cluster path hands closures
+// to ctx.Isolate, and a closure that writes a local forces that local onto
+// the heap for the *whole* function regardless of which branch runs — so
+// the allocation-free local path must not share a function body with it.
 func (d *DEFT) Select(ctx *sparsifier.Ctx, grad []float64) []int {
+	if ctx.Isolate != nil || ctx.BroadcastIntsNested != nil {
+		return d.selectCluster(ctx, grad)
+	}
+	return d.selectLocal(ctx, grad)
+}
+
+// selectCluster runs Select under a trainer (timing gate, allocation
+// broadcast). Partition overhead is timed over the *local* work only
+// (partition, norms, k assignment, packing) under the trainer's timing gate
+// (ctx.Isolated), so the reported numbers are contention-free per-worker
+// times. The broadcast call is excluded: in the simulator its duration is
+// dominated by waiting for the other ranks to arrive (rendezvous skew),
+// which is not a cost of DEFT — on a real cluster workers arrive together
+// and the payload is the 4L bytes the paper bounds in §4.3.
+func (d *DEFT) selectCluster(ctx *sparsifier.Ctx, grad []float64) []int {
 	nWorkers := ctx.NWorkers
 	if nWorkers < 1 {
 		nWorkers = 1
 	}
-
-	// Partition overhead is timed over the *local* work only (partition,
-	// norms, k assignment, packing) under the trainer's timing gate
-	// (ctx.Isolated), so the reported numbers are contention-free
-	// per-worker times. The broadcast call is excluded: in the simulator
-	// its duration is dominated by waiting for the other ranks to arrive
-	// (rendezvous skew), which is not a cost of DEFT — on a real cluster
-	// workers arrive together and the payload is the 4L bytes the paper
-	// bounds in §4.3.
-	var frags []Fragment
 	kTotal := ctx.TargetK(len(grad))
-	localPart := ctx.Isolated(func() {
-		frags = d.partition(ctx, nWorkers)
-		// Algorithm 3 runs locally on every worker: k depends on the
-		// worker's own gradient norms. §4.3 notes the resulting k_x differ
-		// only slightly between workers because all replicas share the
-		// model state.
-		ComputeNorms(frags, grad)
-		if d.opts.UniformK {
-			AssignUniform(frags, kTotal)
-		} else {
-			AssignK(frags, kTotal)
-		}
-	})
+	var frags []Fragment
+	localPart := ctx.Isolated(func() { frags = d.assignPhase(ctx, grad, kTotal, nWorkers) })
 
 	// Algorithm 4: the cycle worker decides the allocation and broadcasts
 	// it; everyone else adopts the broadcast bins. Without a cluster
@@ -110,35 +125,81 @@ func (d *DEFT) Select(ctx *sparsifier.Ctx, grad []float64) []int {
 	if ctx.NWorkers > 0 {
 		cycle = ctx.Iteration % ctx.NWorkers
 	}
-	var bins [][]int
+	// curr_part ← (cycle + rank) mod n, line 2 of Algorithm 4: bins rotate
+	// with the cycle so each worker walks through all bins over n
+	// iterations.
+	currPart := (cycle + ctx.Rank) % nWorkers
+	var bin []int
 	if ctx.BroadcastIntsNested == nil {
 		localPart += ctx.Isolated(func() {
-			bins = Allocate(frags, nWorkers, d.opts.Alloc)
+			bin = AllocateInto(frags, nWorkers, d.opts.Alloc, &d.alloc)[currPart]
 		})
 	} else {
 		var local [][]int
 		if ctx.Rank == cycle {
 			localPart += ctx.Isolated(func() {
-				local = Allocate(frags, nWorkers, d.opts.Alloc)
+				local = AllocateInto(frags, nWorkers, d.opts.Alloc, &d.alloc)
 			})
 		}
-		bins = ctx.BroadcastIntsNested(cycle, local)
+		bins := ctx.BroadcastIntsNested(cycle, local)
+		d.localBin = append(d.localBin[:0], bins[currPart]...)
+		bin = d.localBin
 	}
-	// curr_part ← (cycle + rank) mod n, line 2 of Algorithm 4: bins rotate
-	// with the cycle so each worker walks through all bins over n
-	// iterations.
-	currPart := (cycle + ctx.Rank) % nWorkers
-	alloc := bins[currPart]
 
-	var indices []int
 	sel := ctx.Isolated(func() {
-		indices = SelectLayerwise(frags, alloc, grad)
+		d.idx = SelectLayerwiseInto(frags, bin, grad, d.idx, &d.sel)
 	})
 	d.mu.Lock()
 	d.lastPartition = localPart
 	d.lastSelection = sel
 	d.mu.Unlock()
-	return indices
+	return d.idx
+}
+
+// selectLocal is the single-process fast path: identical algorithm, inline
+// timing, no closures — zero heap allocations once the instance scratch has
+// reached steady-state size.
+func (d *DEFT) selectLocal(ctx *sparsifier.Ctx, grad []float64) []int {
+	nWorkers := ctx.NWorkers
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	kTotal := ctx.TargetK(len(grad))
+	t0 := time.Now()
+	frags := d.assignPhase(ctx, grad, kTotal, nWorkers)
+	cycle := 0
+	if ctx.NWorkers > 0 {
+		cycle = ctx.Iteration % ctx.NWorkers
+	}
+	currPart := (cycle + ctx.Rank) % nWorkers
+	bin := AllocateInto(frags, nWorkers, d.opts.Alloc, &d.alloc)[currPart]
+	t1 := time.Now()
+	d.idx = SelectLayerwiseInto(frags, bin, grad, d.idx, &d.sel)
+	t2 := time.Now()
+	d.mu.Lock()
+	d.lastPartition = t1.Sub(t0)
+	d.lastSelection = t2.Sub(t1)
+	d.mu.Unlock()
+	return d.idx
+}
+
+// assignPhase runs the local portion of Algorithms 2–3: cached partition,
+// per-fragment norms, and local k assignment through the instance scratch.
+func (d *DEFT) assignPhase(ctx *sparsifier.Ctx, grad []float64, kTotal, nWorkers int) []Fragment {
+	frags := d.partition(ctx, nWorkers)
+	// Algorithm 3 runs locally on every worker: k depends on the worker's
+	// own gradient norms. §4.3 notes the resulting k_x differ only slightly
+	// between workers because all replicas share the model state.
+	ComputeNorms(frags, grad)
+	if cap(d.order) < len(frags) {
+		d.order = make([]int, len(frags))
+	}
+	if d.opts.UniformK {
+		AssignUniform(frags, kTotal)
+	} else {
+		AssignKScratch(frags, kTotal, d.order)
+	}
+	return frags
 }
 
 // partition returns the cached fragment list, rebuilding it when the layer

@@ -100,7 +100,7 @@ func TestDEFTNoBuildUpVsTopK(t *testing.T) {
 		}
 	}
 
-	tk := sparsifier.TopK{}
+	tk := sparsifier.NewTopK()
 	topkUnion := map[int]struct{}{}
 	for r := 0; r < n; r++ {
 		ctx := &sparsifier.Ctx{Rank: r, NWorkers: n, Density: density, Layers: layers}

@@ -7,6 +7,7 @@
 package data
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/rng"
@@ -112,25 +113,40 @@ func (v *Vision) Sample(r *rng.RNG, batch int) (x *tensor.Tensor, labels []int) 
 	cfg := v.cfg
 	x = tensor.New(batch, cfg.Channels, cfg.Size, cfg.Size)
 	labels = make([]int, batch)
+	v.SampleInto(r, x, labels)
+	return x, labels
+}
+
+// SampleInto is the scratch-buffer form of Sample: x must be shaped
+// [len(labels), C, S, S]. Reusing one batch across iterations keeps the
+// training step allocation-free at the data layer. Prototype pixels are
+// read by flat offset — the variadic At() accessor boxes its index list and
+// was, by itself, the training loop's dominant allocation site.
+func (v *Vision) SampleInto(r *rng.RNG, x *tensor.Tensor, labels []int) {
+	cfg := v.cfg
+	batch := len(labels)
 	img := cfg.Channels * cfg.Size * cfg.Size
+	if x.Size() != batch*img {
+		panic(fmt.Sprintf("data: SampleInto batch tensor has %d elements, want %d", x.Size(), batch*img))
+	}
 	for b := 0; b < batch; b++ {
 		c := r.Intn(cfg.Classes)
 		labels[b] = c
 		// Random circular shift: cheap translation augmentation.
 		dy, dx := r.Intn(3)-1, r.Intn(3)-1
-		proto := v.protos[c]
+		proto := v.protos[c].Data
 		for ch := 0; ch < cfg.Channels; ch++ {
 			for y := 0; y < cfg.Size; y++ {
 				sy := (y + dy + cfg.Size) % cfg.Size
+				srow := proto[(ch*cfg.Size+sy)*cfg.Size:]
+				drow := x.Data[b*img+(ch*cfg.Size+y)*cfg.Size:]
 				for xx := 0; xx < cfg.Size; xx++ {
 					sx := (xx + dx + cfg.Size) % cfg.Size
-					val := proto.At(ch, sy, sx) + r.Norm()*cfg.Noise
-					x.Data[b*img+(ch*cfg.Size+y)*cfg.Size+xx] = val
+					drow[xx] = srow[sx] + r.Norm()*cfg.Noise
 				}
 			}
 		}
 	}
-	return x, labels
 }
 
 // TestSet returns a fixed evaluation set of n examples.

@@ -191,7 +191,7 @@ func sparsifierFactory(name string) sparsifier.Factory {
 	case "deft":
 		return core.Factory(core.DefaultOptions())
 	case "topk":
-		return func() sparsifier.Sparsifier { return sparsifier.TopK{} }
+		return func() sparsifier.Sparsifier { return sparsifier.NewTopK() }
 	case "cltk":
 		return func() sparsifier.Sparsifier { return &sparsifier.CLTK{} }
 	case "sidco":

@@ -74,6 +74,10 @@ type VisionModel struct {
 	net *nn.Sequential
 	ds  *data.Vision
 	cfg VisionConfig
+
+	// Reusable minibatch scratch (per replica; a replica steps serially).
+	batchX *tensor.Tensor
+	batchY []int
 }
 
 // NewModel implements train.Workload. Every call returns an identically
@@ -111,9 +115,14 @@ func (m *VisionModel) Params() []*nn.Param { return m.net.Params() }
 
 // Step implements train.Model.
 func (m *VisionModel) Step(r *rng.RNG) float64 {
-	x, labels := m.ds.Sample(r, m.cfg.BatchSize)
-	logits := m.net.Forward(x, true)
-	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+	if m.batchX == nil {
+		d := m.cfg.Data
+		m.batchX = tensor.New(m.cfg.BatchSize, d.Channels, d.Size, d.Size)
+		m.batchY = make([]int, m.cfg.BatchSize)
+	}
+	m.ds.SampleInto(r, m.batchX, m.batchY)
+	logits := m.net.Forward(m.batchX, true)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, m.batchY)
 	m.net.Backward(grad)
 	return loss
 }
@@ -456,6 +465,10 @@ type MLPModel struct {
 	net *nn.Sequential
 	ds  *data.Vision
 	cfg MLPConfig
+
+	// Reusable minibatch scratch (per replica; a replica steps serially).
+	batchX *tensor.Tensor
+	batchY []int
 }
 
 // NewModel implements train.Workload.
@@ -482,9 +495,14 @@ func (mm *MLPModel) Params() []*nn.Param { return mm.net.Params() }
 
 // Step implements train.Model.
 func (mm *MLPModel) Step(r *rng.RNG) float64 {
-	x, labels := mm.ds.Sample(r, mm.cfg.BatchSize)
-	logits := mm.net.Forward(x, true)
-	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+	if mm.batchX == nil {
+		d := mm.cfg.Data
+		mm.batchX = tensor.New(mm.cfg.BatchSize, d.Channels, d.Size, d.Size)
+		mm.batchY = make([]int, mm.cfg.BatchSize)
+	}
+	mm.ds.SampleInto(r, mm.batchX, mm.batchY)
+	logits := mm.net.Forward(mm.batchX, true)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, mm.batchY)
 	mm.net.Backward(grad)
 	return loss
 }

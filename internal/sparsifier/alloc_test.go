@@ -1,0 +1,95 @@
+package sparsifier_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparsifier"
+)
+
+// syntheticLayers builds a layer list covering ng gradients with uneven
+// layer sizes, mimicking a real model layout.
+func syntheticLayers(ng int) []sparsifier.Layer {
+	sizes := []int{ng / 2, ng / 4, ng / 8, ng - ng/2 - ng/4 - ng/8}
+	layers := make([]sparsifier.Layer, 0, len(sizes))
+	pos := 0
+	for i, s := range sizes {
+		layers = append(layers, sparsifier.Layer{Name: string(rune('a' + i)), Start: pos, End: pos + s})
+		pos += s
+	}
+	return layers
+}
+
+func syntheticGrad(ng int) []float64 {
+	g := make([]float64, ng)
+	for i := range g {
+		g[i] = float64((i*2654435761)%1000)/1000 - 0.5
+	}
+	return g
+}
+
+// TestSteadyStateSelectZeroAllocs asserts the PR's acceptance criterion:
+// the steady-state Select path of the TopK and DEFT sparsifiers performs
+// zero heap allocations per call (single-process ctx, warmed scratch).
+func TestSteadyStateSelectZeroAllocs(t *testing.T) {
+	const ng = 40000
+	grad := syntheticGrad(ng)
+	ctx := &sparsifier.Ctx{
+		Rank:     0,
+		NWorkers: 4,
+		Density:  0.01,
+		Layers:   syntheticLayers(ng),
+	}
+
+	cases := []struct {
+		name string
+		sp   sparsifier.Sparsifier
+	}{
+		{"topk", sparsifier.NewTopK()},
+		{"deft", core.NewDefault()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Warm the instance scratch (partition cache, heap buffers,
+			// output slices) before measuring.
+			for i := 0; i < 3; i++ {
+				ctx.Iteration = i
+				c.sp.Select(ctx, grad)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				ctx.Iteration++
+				c.sp.Select(ctx, grad)
+			})
+			if allocs != 0 {
+				t.Errorf("%s steady-state Select allocates %v per call, want 0", c.name, allocs)
+			}
+		})
+	}
+}
+
+// TestScratchSelectMatchesFresh verifies that scratch reuse does not change
+// what is selected: a long-lived instance must pick the same index set as a
+// fresh instance at every iteration.
+func TestScratchSelectMatchesFresh(t *testing.T) {
+	const ng = 10000
+	grad := syntheticGrad(ng)
+	layers := syntheticLayers(ng)
+	warm := core.NewDefault()
+	for it := 0; it < 8; it++ {
+		ctx := &sparsifier.Ctx{Rank: 0, NWorkers: 4, Iteration: it, Density: 0.02, Layers: layers}
+		got := append([]int(nil), warm.Select(ctx, grad)...)
+		want := core.NewDefault().Select(ctx, grad)
+		if len(got) != len(want) {
+			t.Fatalf("iteration %d: warm selected %d, fresh %d", it, len(got), len(want))
+		}
+		seen := make(map[int]bool, len(want))
+		for _, i := range want {
+			seen[i] = true
+		}
+		for _, i := range got {
+			if !seen[i] {
+				t.Fatalf("iteration %d: warm instance selected %d, not in fresh selection", it, i)
+			}
+		}
+	}
+}

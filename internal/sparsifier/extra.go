@@ -20,6 +20,14 @@ type DGC struct {
 	// estimation (DGC uses 0.01 at scale; default 0.05 here because the
 	// simulated models are small).
 	SampleRatio float64
+
+	// Reusable per-worker scratch: sample and candidate-value buffers, the
+	// threshold-scan index buffer, and the top-k selection scratch.
+	sample []float64
+	cand   []float64
+	idx    []int
+	out    []int
+	s      topk.Scratch
 }
 
 // Name implements Sparsifier.
@@ -30,7 +38,7 @@ func (d *DGC) Select(ctx *Ctx, grad []float64) []int {
 	ng := len(grad)
 	k := ctx.TargetK(ng)
 	if k >= ng {
-		return topk.HeapTopK(grad, k)
+		return topk.HeapTopKInto(grad, k, &d.s)
 	}
 	ratio := d.SampleRatio
 	if ratio <= 0 {
@@ -47,7 +55,10 @@ func (d *DGC) Select(ctx *Ctx, grad []float64) []int {
 	// with a rotating offset is cheap and unbiased enough for a threshold
 	// estimate.
 	r := rng.New(uint64(ctx.Iteration)*31 + uint64(ctx.Rank) + 1)
-	sample := make([]float64, sampleN)
+	if cap(d.sample) < sampleN {
+		d.sample = make([]float64, sampleN)
+	}
+	sample := d.sample[:sampleN]
 	stride := ng / sampleN
 	if stride < 1 {
 		stride = 1
@@ -64,18 +75,25 @@ func (d *DGC) Select(ctx *Ctx, grad []float64) []int {
 	if sk > sampleN {
 		sk = sampleN
 	}
-	threshold := topk.KthAbs(sample, sk)
-	idx := topk.AboveThreshold(grad, threshold)
+	threshold := topk.KthAbsInto(sample, sk, &d.s)
+	d.idx = topk.AboveThresholdInto(grad, threshold, d.idx)
+	idx := d.idx
 	if len(idx) <= k*2 {
 		return idx
 	}
 	// Over-selected: exact top-k among the candidates only.
-	cand := make([]float64, len(idx))
+	if cap(d.cand) < len(idx) {
+		d.cand = make([]float64, len(idx))
+	}
+	cand := d.cand[:len(idx)]
 	for i, ix := range idx {
 		cand[i] = grad[ix]
 	}
-	local := topk.HeapTopK(cand, k)
-	out := make([]int, len(local))
+	local := topk.HeapTopKInto(cand, k, &d.s)
+	if cap(d.out) < len(local) {
+		d.out = make([]int, len(local))
+	}
+	out := d.out[:len(local)]
 	for i, li := range local {
 		out[i] = idx[li]
 	}

@@ -82,7 +82,10 @@ type Sparsifier interface {
 	Name() string
 	// Select returns the indices of the gradients this worker transmits.
 	// grad is the worker's error-compensated accumulated gradient (acc in
-	// Algorithm 1). The returned slice is owned by the caller.
+	// Algorithm 1). The returned slice may alias the sparsifier's internal
+	// scratch: it is valid (and may be reordered in place by the caller)
+	// only until the next Select call on the same instance. Callers that
+	// need to retain it longer must copy.
 	Select(ctx *Ctx, grad []float64) []int
 }
 
@@ -95,15 +98,22 @@ type Factory func() Sparsifier
 
 // TopK is the classical local top-k sparsifier: every worker selects its k
 // largest-magnitude gradients from the entire vector. It suffers gradient
-// build-up (paper §1, Fig 1) because per-worker index sets differ.
-type TopK struct{}
+// build-up (paper §1, Fig 1) because per-worker index sets differ. One
+// instance per worker: the selection scratch is retained across iterations,
+// so the steady-state Select performs zero heap allocations.
+type TopK struct {
+	s topk.Scratch
+}
+
+// NewTopK returns a fresh instance (one per worker).
+func NewTopK() *TopK { return &TopK{} }
 
 // Name implements Sparsifier.
-func (TopK) Name() string { return "topk" }
+func (*TopK) Name() string { return "topk" }
 
 // Select implements Sparsifier.
-func (TopK) Select(ctx *Ctx, grad []float64) []int {
-	return topk.HeapTopK(grad, ctx.TargetK(len(grad)))
+func (t *TopK) Select(ctx *Ctx, grad []float64) []int {
+	return topk.HeapTopKInto(grad, ctx.TargetK(len(grad)), &t.s)
 }
 
 // ---------------------------------------------------------------- CLT-k --
@@ -112,9 +122,11 @@ func (TopK) Select(ctx *Ctx, grad []float64) []int {
 // iteration t the leader worker t mod n selects its local top-k and
 // broadcasts the indices; every worker then transmits exactly those
 // indices. No build-up, but non-leader workers idle during selection.
-// One instance per worker (it records its last local selection time).
+// One instance per worker (it records its last local selection time and
+// owns the selection scratch).
 type CLTK struct {
 	lastSelection time.Duration
+	s             topk.Scratch
 }
 
 // Name implements Sparsifier.
@@ -130,13 +142,13 @@ func (c *CLTK) Select(ctx *Ctx, grad []float64) []int {
 	c.lastSelection = 0
 	if ctx.Rank == leader {
 		c.lastSelection = ctx.Isolated(func() {
-			local = topk.HeapTopK(grad, ctx.TargetK(len(grad)))
+			local = topk.HeapTopKInto(grad, ctx.TargetK(len(grad)), &c.s)
 		})
 	}
 	if ctx.BroadcastInts == nil {
 		// Single-process: this worker is its own leader.
 		if local == nil {
-			local = topk.HeapTopK(grad, ctx.TargetK(len(grad)))
+			local = topk.HeapTopKInto(grad, ctx.TargetK(len(grad)), &c.s)
 		}
 		return local
 	}
@@ -159,6 +171,8 @@ func (c *CLTK) LastOverhead() (partition, selection time.Duration) {
 // unpredictable — both weaknesses Table 1 records.
 type HardThreshold struct {
 	Threshold float64
+
+	idx []int // selection scratch
 }
 
 // Name implements Sparsifier.
@@ -166,7 +180,8 @@ func (h *HardThreshold) Name() string { return "hardthreshold" }
 
 // Select implements Sparsifier.
 func (h *HardThreshold) Select(ctx *Ctx, grad []float64) []int {
-	return topk.AboveThreshold(grad, h.Threshold)
+	h.idx = topk.AboveThresholdInto(grad, h.Threshold, h.idx)
+	return h.idx
 }
 
 // TuneHardThreshold picks the threshold that yields the target density on a
@@ -193,6 +208,9 @@ type SIDCo struct {
 	// Stages is the number of fitting refinement stages (the reference
 	// implementation uses 3 for the exponential variant).
 	Stages int
+
+	fit stats.ExpFitScratch // fitting-stage filter buffers
+	idx []int               // selection scratch
 }
 
 // Name implements Sparsifier.
@@ -204,8 +222,9 @@ func (s *SIDCo) Select(ctx *Ctx, grad []float64) []int {
 	if stages <= 0 {
 		stages = 3
 	}
-	th := stats.MultiStageExpThreshold(grad, ctx.Density, stages)
-	return topk.AboveThreshold(grad, th)
+	th := stats.MultiStageExpThresholdScratch(grad, ctx.Density, stages, &s.fit)
+	s.idx = topk.AboveThresholdInto(grad, th, s.idx)
+	return s.idx
 }
 
 // ---------------------------------------------------------------- Rand-k --

@@ -42,7 +42,7 @@ func TestTargetK(t *testing.T) {
 func TestTopKSelectsExactlyK(t *testing.T) {
 	g := randGrad(1, 1000)
 	ctx := &Ctx{Density: 0.05}
-	idx := TopK{}.Select(ctx, g)
+	idx := NewTopK().Select(ctx, g)
 	if len(idx) != 50 {
 		t.Fatalf("selected %d, want 50", len(idx))
 	}
@@ -79,7 +79,7 @@ func TestCLTKAllRanksAgree(t *testing.T) {
 		results[cm.Rank()] = (&CLTK{}).Select(ctx, grads[cm.Rank()])
 	})
 	// Every rank must hold the leader's indices.
-	leaderLocal := TopK{}.Select(&Ctx{Density: 0.02}, grads[2])
+	leaderLocal := NewTopK().Select(&Ctx{Density: 0.02}, grads[2])
 	sort.Ints(leaderLocal)
 	for r := range results {
 		got := append([]int(nil), results[r]...)
@@ -112,7 +112,7 @@ func TestCLTKLeaderRotates(t *testing.T) {
 		})
 		perIter[iter] = results[0]
 		// Cross-check directly against the expected leader's local top-k.
-		want := TopK{}.Select(&Ctx{Density: 0.05}, grads[iter%n])
+		want := NewTopK().Select(&Ctx{Density: 0.05}, grads[iter%n])
 		sort.Ints(want)
 		got := append([]int(nil), results[0]...)
 		sort.Ints(got)
@@ -286,7 +286,7 @@ func BenchmarkTopKSelect_1M(b *testing.B) {
 	ctx := &Ctx{Density: 0.01}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		TopK{}.Select(ctx, g)
+		NewTopK().Select(ctx, g)
 	}
 }
 

@@ -81,6 +81,23 @@ func ExpThreshold(v []float64, ratio float64) float64 {
 // surviving fraction should be ratio^{(j+1)/stages}, so each stage keeps
 // fraction ratio^{1/stages} of its input.
 func MultiStageExpThreshold(v []float64, ratio float64, stages int) float64 {
+	var s ExpFitScratch
+	return MultiStageExpThresholdScratch(v, ratio, stages, &s)
+}
+
+// ExpFitScratch holds the surviving-population filter buffers of
+// MultiStageExpThresholdScratch. The zero value is ready; buffers are
+// retained across calls so a warmed scratch performs no allocations.
+type ExpFitScratch struct {
+	a, b []float64
+}
+
+// MultiStageExpThresholdScratch is the scratch-buffer form of
+// MultiStageExpThreshold. The input v is never written (an earlier version
+// ping-ponged the filter buffer with a reslice of v and corrupted the
+// caller's gradient vector from the second stage on — the filter buffers
+// now live entirely in the scratch).
+func MultiStageExpThresholdScratch(v []float64, ratio float64, stages int, scratch *ExpFitScratch) float64 {
 	if stages <= 1 {
 		return ExpThreshold(v, ratio)
 	}
@@ -93,8 +110,7 @@ func MultiStageExpThreshold(v []float64, ratio float64, stages int) float64 {
 	perStage := math.Pow(ratio, 1/float64(stages))
 	cur := v
 	threshold := 0.0
-	// Scratch reused across stages to avoid quadratic allocation.
-	var next []float64
+	cutNext, cutAfter := scratch.a[:0], scratch.b[:0]
 	for s := 0; s < stages; s++ {
 		mean := MeanAbs(cur)
 		if mean == 0 || len(cur) == 0 {
@@ -107,18 +123,21 @@ func MultiStageExpThreshold(v []float64, ratio float64, stages int) float64 {
 		if s == stages-1 {
 			break
 		}
-		next = next[:0]
+		cutNext = cutNext[:0]
 		for _, x := range cur {
 			if a := math.Abs(x); a >= threshold {
-				next = append(next, a-threshold)
+				cutNext = append(cutNext, a-threshold)
 			}
 		}
-		if len(next) == 0 {
+		if len(cutNext) == 0 {
 			break
 		}
-		cur, next = next, cur[:0]
-		// After swapping, "cur" may alias the original input on the first
-		// iteration; copy-on-write is unnecessary because we only read.
+		cur, cutNext, cutAfter = cutNext, cutAfter, cutNext
+	}
+	// Persist grown buffers for the next call. cur may alias one of them;
+	// the rotation above keeps v itself out of the buffer pair.
+	if cap(cutNext) > cap(scratch.a) || cap(cutAfter) > cap(scratch.b) {
+		scratch.a, scratch.b = cutNext[:0], cutAfter[:0]
 	}
 	return threshold
 }

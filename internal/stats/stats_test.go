@@ -186,3 +186,43 @@ func BenchmarkMultiStageExpThreshold(b *testing.B) {
 		MultiStageExpThreshold(v, 0.01, 3)
 	}
 }
+
+// TestMultiStageDoesNotMutateInput is the regression test for a scratch
+// aliasing bug: the stage filter used to ping-pong through a reslice of the
+// input, overwriting the caller's gradient vector from the second stage on.
+func TestMultiStageDoesNotMutateInput(t *testing.T) {
+	r := rng.New(17)
+	v := make([]float64, 5000)
+	for i := range v {
+		v[i] = r.Norm()
+	}
+	orig := append([]float64(nil), v...)
+	for _, stages := range []int{2, 3, 5} {
+		MultiStageExpThreshold(v, 0.01, stages)
+		for i := range v {
+			if v[i] != orig[i] {
+				t.Fatalf("stages=%d: input mutated at %d: %v -> %v", stages, i, orig[i], v[i])
+			}
+		}
+	}
+}
+
+// TestMultiStageScratchReuseStable: a reused scratch must produce the same
+// threshold as a fresh one, with zero steady-state allocations.
+func TestMultiStageScratchReuseStable(t *testing.T) {
+	r := rng.New(23)
+	v := make([]float64, 3000)
+	for i := range v {
+		v[i] = r.Norm()
+	}
+	var s ExpFitScratch
+	want := MultiStageExpThreshold(v, 0.02, 3)
+	for i := 0; i < 5; i++ {
+		if got := MultiStageExpThresholdScratch(v, 0.02, 3, &s); got != want {
+			t.Fatalf("reused scratch run %d: %v, want %v", i, got, want)
+		}
+	}
+	if a := testing.AllocsPerRun(10, func() { MultiStageExpThresholdScratch(v, 0.02, 3, &s) }); a != 0 {
+		t.Errorf("warmed scratch allocates %v per run, want 0", a)
+	}
+}

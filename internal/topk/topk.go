@@ -6,6 +6,13 @@
 // O(n log k) (ref. [29] in the paper); the heap implementation here has
 // exactly that complexity and is the kernel whose wall-clock time the
 // speedup experiments (Fig 7, Fig 9) measure.
+//
+// Every kernel has two forms: an allocating convenience function
+// (HeapTopK, QuickSelectTopK, AboveThreshold) and a scratch-buffer variant
+// (HeapTopKInto, QuickSelectTopKInto, AboveThresholdInto) that reuses
+// caller-owned buffers so steady-state selection performs zero heap
+// allocations. The Into variants return slices aliasing the scratch; they
+// are valid until the scratch is next used.
 package topk
 
 import (
@@ -13,89 +20,153 @@ import (
 	"sort"
 )
 
+// Scratch holds the reusable buffers of the Into kernels. The zero value is
+// ready to use; buffers grow on demand and are retained across calls, so a
+// Scratch that has seen its steady-state sizes performs no allocations.
+// A Scratch must not be shared between concurrent selections.
+type Scratch struct {
+	idx  []int     // index permutation / result buffer
+	vals []float64 // |v| cache paired with idx (heap kernel)
+}
+
+// growIdx returns s.idx with length n, reallocating only when capacity is
+// insufficient.
+func (s *Scratch) growIdx(n int) []int {
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+	}
+	s.idx = s.idx[:n]
+	return s.idx
+}
+
+// growVals returns s.vals with length n, reallocating only when capacity is
+// insufficient.
+func (s *Scratch) growVals(n int) []float64 {
+	if cap(s.vals) < n {
+		s.vals = make([]float64, n)
+	}
+	s.vals = s.vals[:n]
+	return s.vals
+}
+
 // HeapTopK returns the indices of the k largest elements of v by absolute
 // value, in unspecified order. It runs in O(n log k) time and O(k) space.
 // If k >= len(v) all indices are returned; if k <= 0 the result is empty.
 func HeapTopK(v []float64, k int) []int {
+	var s Scratch
+	out := HeapTopKInto(v, k, &s)
+	if out == nil {
+		return nil
+	}
+	res := make([]int, len(out))
+	copy(res, out)
+	return res
+}
+
+// HeapTopKInto is the scratch-buffer form of HeapTopK: the returned slice
+// aliases s and is valid until s is next used. Zero heap allocations once s
+// has grown to the steady-state k.
+func HeapTopKInto(v []float64, k int, s *Scratch) []int {
 	if k <= 0 {
 		return nil
 	}
-	if k >= len(v) {
-		idx := make([]int, len(v))
+	n := len(v)
+	if k >= n {
+		idx := s.growIdx(n)
 		for i := range idx {
 			idx[i] = i
 		}
 		return idx
 	}
-	// Min-heap of size k keyed by |v[idx]|; the root is the smallest of the
-	// current candidates, so any larger element replaces it.
-	h := make([]int, 0, k)
-	less := func(a, b int) bool { return abs(v[h[a]]) < abs(v[h[b]]) }
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			smallest := i
-			if l < len(h) && less(l, smallest) {
-				smallest = l
-			}
-			if r < len(h) && less(r, smallest) {
-				smallest = r
-			}
-			if smallest == i {
-				return
-			}
-			h[i], h[smallest] = h[smallest], h[i]
-			i = smallest
+	// Min-heap of size k over parallel (|v|, index) arrays. Caching the
+	// absolute values beside the heap avoids re-reading (and re-absing) v on
+	// every sift comparison, and the concrete loops below let the compiler
+	// keep the root threshold in a register through the scan.
+	hi := s.growIdx(k)
+	hv := s.growVals(k)
+	for i := 0; i < k; i++ {
+		hi[i] = i
+		hv[i] = math.Abs(v[i])
+	}
+	// Floyd heapify: O(k).
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(hv, hi, i, k)
+	}
+	// Scan the tail with the root threshold cached in a register;
+	// math.Abs is branchless (sign-bit clear) on the common platforms.
+	root := hv[0]
+	for j, x := range v[k:] {
+		if a := math.Abs(x); a > root {
+			hv[0], hi[0] = a, j+k
+			siftDown(hv, hi, 0, k)
+			root = hv[0]
 		}
 	}
-	siftUp := func(i int) {
-		for i > 0 {
-			parent := (i - 1) / 2
-			if !less(i, parent) {
-				return
-			}
-			h[i], h[parent] = h[parent], h[i]
-			i = parent
+	return hi
+}
+
+// siftDown restores the min-heap property of the parallel arrays (hv keyed)
+// from position i within heap size n.
+func siftDown(hv []float64, hi []int, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
 		}
+		smallest := l
+		if r := l + 1; r < n && hv[r] < hv[l] {
+			smallest = r
+		}
+		if hv[smallest] >= hv[i] {
+			return
+		}
+		hv[i], hv[smallest] = hv[smallest], hv[i]
+		hi[i], hi[smallest] = hi[smallest], hi[i]
+		i = smallest
 	}
-	for i := range v {
-		if len(h) < k {
-			h = append(h, i)
-			siftUp(len(h) - 1)
-			continue
-		}
-		if abs(v[i]) > abs(v[h[0]]) {
-			h[0] = i
-			siftDown(0)
-		}
-	}
-	return h
 }
 
 // QuickSelectTopK returns the indices of the k largest elements of v by
 // absolute value using in-place quickselect over an index permutation.
 // Expected O(n) time, O(n) space for the permutation.
 func QuickSelectTopK(v []float64, k int) []int {
+	var s Scratch
+	out := QuickSelectTopKInto(v, k, &s)
+	if out == nil {
+		return nil
+	}
+	res := make([]int, len(out))
+	copy(res, out)
+	return res
+}
+
+// QuickSelectTopKInto is the scratch-buffer form of QuickSelectTopK. It is
+// an introselect: median-of-three quickselect with a depth budget of
+// 2·⌈log₂ n⌉; a partition sequence that exceeds the budget (adversarial
+// input) falls back to an in-place heap selection of the remaining range,
+// guarding the O(n²) worst case. The returned slice aliases s and is valid
+// until s is next used.
+func QuickSelectTopKInto(v []float64, k int, s *Scratch) []int {
 	if k <= 0 {
 		return nil
 	}
 	n := len(v)
-	if k >= n {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-		return idx
-	}
-	idx := make([]int, n)
+	idx := s.growIdx(n)
 	for i := range idx {
 		idx[i] = i
 	}
-	// Partition idx so that the k indices with the largest |v| end up in
-	// idx[:k]. Deterministic median-of-three pivoting avoids adversarial
-	// O(n²) for the structured inputs the simulator produces.
+	if k >= n {
+		return idx
+	}
+	depth := 0
+	budget := 2 * ceilLog2(n)
 	lo, hi := 0, n-1
 	for lo < hi {
+		if depth > budget {
+			heapSelectRange(v, idx, lo, hi, k-lo)
+			break
+		}
+		depth++
 		p := partition(v, idx, lo, hi)
 		switch {
 		case p == k-1:
@@ -107,6 +178,57 @@ func QuickSelectTopK(v []float64, k int) []int {
 		}
 	}
 	return idx[:k]
+}
+
+// ceilLog2 returns ⌈log₂ n⌉ for n >= 1.
+func ceilLog2(n int) int {
+	b := 0
+	for x := n - 1; x > 0; x >>= 1 {
+		b++
+	}
+	return b
+}
+
+// heapSelectRange permutes idx[lo..hi] so that the m entries with the
+// largest |v| occupy idx[lo:lo+m]. In-place max-heap: heapify the range,
+// then pop m maxima to the back and swap the collected block to the front.
+// O(len + m·log len) time, zero allocations.
+func heapSelectRange(v []float64, idx []int, lo, hi, m int) {
+	n := hi - lo + 1
+	if m <= 0 || m >= n {
+		return
+	}
+	h := idx[lo : hi+1]
+	// Max-heapify by |v|.
+	down := func(i, size int) {
+		for {
+			l := 2*i + 1
+			if l >= size {
+				return
+			}
+			largest := l
+			if r := l + 1; r < size && abs(v[h[r]]) > abs(v[h[l]]) {
+				largest = r
+			}
+			if abs(v[h[largest]]) <= abs(v[h[i]]) {
+				return
+			}
+			h[i], h[largest] = h[largest], h[i]
+			i = largest
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		down(i, n)
+	}
+	// Pop the m largest to h[n-1], h[n-2], ..., h[n-m].
+	for size := n; size > n-m; size-- {
+		h[0], h[size-1] = h[size-1], h[0]
+		down(0, size-1)
+	}
+	// Move the selected block to the front of the range.
+	for i := 0; i < m; i++ {
+		h[i], h[n-m+i] = h[n-m+i], h[i]
+	}
 }
 
 // partition rearranges idx[lo..hi] around a pivot chosen by median-of-three
@@ -163,15 +285,33 @@ func SortTopK(v []float64, k int) []int {
 
 // AboveThreshold returns the indices i with |v[i]| >= threshold, in
 // ascending index order. This is the O(n) kernel used by the
-// hard-threshold and SIDCo sparsifiers.
+// hard-threshold and SIDCo sparsifiers. The result is pre-sized via
+// CountAbove, so it allocates exactly once (never for an empty result).
 func AboveThreshold(v []float64, threshold float64) []int {
-	var idx []int
+	n := CountAbove(v, threshold)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, 0, n)
 	for i, x := range v {
 		if abs(x) >= threshold {
 			idx = append(idx, i)
 		}
 	}
 	return idx
+}
+
+// AboveThresholdInto appends the indices i with |v[i]| >= threshold to
+// dst[:0] and returns the extended slice. Pass a buffer retained across
+// calls for allocation-free steady state.
+func AboveThresholdInto(v []float64, threshold float64, dst []int) []int {
+	dst = dst[:0]
+	for i, x := range v {
+		if abs(x) >= threshold {
+			dst = append(dst, i)
+		}
+	}
+	return dst
 }
 
 // CountAbove returns how many elements satisfy |v[i]| >= threshold without
@@ -189,10 +329,16 @@ func CountAbove(v []float64, threshold float64) int {
 // KthAbs returns the k-th largest absolute value in v (1-based), i.e. the
 // exact threshold that a top-k selection uses. Panics if k is out of range.
 func KthAbs(v []float64, k int) float64 {
+	var s Scratch
+	return KthAbsInto(v, k, &s)
+}
+
+// KthAbsInto is the scratch-buffer form of KthAbs.
+func KthAbsInto(v []float64, k int, s *Scratch) float64 {
 	if k < 1 || k > len(v) {
 		panic("topk: KthAbs k out of range")
 	}
-	idx := QuickSelectTopK(v, k)
+	idx := QuickSelectTopKInto(v, k, s)
 	// The k-th largest is the minimum of the selected set.
 	m := math.Inf(1)
 	for _, i := range idx {
@@ -203,9 +349,6 @@ func KthAbs(v []float64, k int) float64 {
 	return m
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
+// abs is math.Abs; the alias keeps call sites compact. The compiler
+// intrinsifies it to a sign-bit clear, so there is no branch.
+func abs(x float64) float64 { return math.Abs(x) }

@@ -1,0 +1,215 @@
+package topk
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// checkAgreement verifies that every kernel (allocating and Into forms)
+// selects the same magnitude multiset as the sort reference for (v, k).
+func checkAgreement(t *testing.T, v []float64, k int) {
+	t.Helper()
+	want := magnitudeSet(v, SortTopK(v, k))
+	var s Scratch
+	got := map[string][]int{
+		"HeapTopK":            HeapTopK(v, k),
+		"QuickSelectTopK":     QuickSelectTopK(v, k),
+		"HeapTopKInto":        append([]int(nil), HeapTopKInto(v, k, &s)...),
+		"QuickSelectTopKInto": append([]int(nil), QuickSelectTopKInto(v, k, &s)...),
+	}
+	for name, idx := range got {
+		ms := magnitudeSet(v, idx)
+		if len(ms) != len(want) {
+			t.Fatalf("%s(n=%d, k=%d): selected %d, want %d", name, len(v), k, len(ms), len(want))
+		}
+		for i := range want {
+			if ms[i] != want[i] {
+				t.Fatalf("%s(n=%d, k=%d): magnitude multiset differs at %d: %v vs %v",
+					name, len(v), k, i, ms[i], want[i])
+			}
+		}
+		seen := make(map[int]bool, len(idx))
+		for _, i := range idx {
+			if i < 0 || i >= len(v) || seen[i] {
+				t.Fatalf("%s(n=%d, k=%d): invalid or duplicate index %d", name, len(v), k, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// adversarialVectors are the inputs the satellite task calls out: all-equal
+// values, ties exactly at the k-th boundary, already sorted both ways, and
+// alternating signs.
+func adversarialVectors(n int) map[string][]float64 {
+	allEqual := make([]float64, n)
+	asc := make([]float64, n)
+	desc := make([]float64, n)
+	ties := make([]float64, n)
+	signs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		allEqual[i] = 1.5
+		asc[i] = float64(i)
+		desc[i] = float64(n - i)
+		// Two magnitude classes: the boundary between them falls on k for
+		// many k, forcing tie-break behaviour at the k-th position.
+		if i < n/2 {
+			ties[i] = 2
+		} else {
+			ties[i] = 7
+		}
+		signs[i] = float64(i%5) * float64(1-2*(i%2))
+	}
+	return map[string][]float64{
+		"allEqual": allEqual,
+		"asc":      asc,
+		"desc":     desc,
+		"ties":     ties,
+		"signs":    signs,
+	}
+}
+
+func TestTopKAdversarialInputs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 256} {
+		for name, v := range adversarialVectors(n) {
+			for _, k := range []int{0, 1, n / 2, n - 1, n, n + 3} {
+				if k < 0 {
+					continue
+				}
+				t.Run(name, func(t *testing.T) { checkAgreement(t, v, k) })
+			}
+		}
+	}
+}
+
+// TestIntoVariantsReuseScratch verifies a shared scratch is safe to reuse
+// across kernels and sizes (the training loop's usage pattern).
+func TestIntoVariantsReuseScratch(t *testing.T) {
+	var s Scratch
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(400)
+		k := r.Intn(n + 1)
+		v := randVec(uint64(trial), n)
+		want := magnitudeSet(v, SortTopK(v, k))
+		for _, got := range [][]int{HeapTopKInto(v, k, &s), QuickSelectTopKInto(v, k, &s)} {
+			ms := magnitudeSet(v, got)
+			for i := range want {
+				if ms[i] != want[i] {
+					t.Fatalf("trial %d (n=%d k=%d): scratch reuse broke selection", trial, n, k)
+				}
+			}
+		}
+	}
+}
+
+// TestIntoVariantsZeroAlloc asserts the acceptance criterion directly: a
+// warmed scratch performs zero heap allocations per selection.
+func TestIntoVariantsZeroAlloc(t *testing.T) {
+	v := randVec(3, 20000)
+	k := 200
+	var s Scratch
+	HeapTopKInto(v, k, &s) // warm the scratch
+	if a := testing.AllocsPerRun(20, func() { HeapTopKInto(v, k, &s) }); a != 0 {
+		t.Errorf("HeapTopKInto allocates %v per run, want 0", a)
+	}
+	QuickSelectTopKInto(v, k, &s)
+	if a := testing.AllocsPerRun(20, func() { QuickSelectTopKInto(v, k, &s) }); a != 0 {
+		t.Errorf("QuickSelectTopKInto allocates %v per run, want 0", a)
+	}
+	dst := make([]int, 0, len(v))
+	th := KthAbsInto(v, k, &s)
+	if a := testing.AllocsPerRun(20, func() { dst = AboveThresholdInto(v, th, dst) }); a != 0 {
+		t.Errorf("AboveThresholdInto allocates %v per run, want 0", a)
+	}
+}
+
+// TestHeapSelectRange exercises the introselect fallback path directly:
+// after heapSelectRange the front of the range must hold the m largest
+// magnitudes of the range.
+func TestHeapSelectRange(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(100)
+		v := randVec(uint64(trial)+500, n)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		lo := r.Intn(n)
+		hi := lo + r.Intn(n-lo)
+		m := r.Intn(hi - lo + 2)
+		heapSelectRange(v, idx, lo, hi, m)
+		// idx must remain a permutation.
+		seen := make(map[int]bool, n)
+		for _, i := range idx {
+			if seen[i] {
+				t.Fatalf("trial %d: heapSelectRange broke the permutation", trial)
+			}
+			seen[i] = true
+		}
+		if m <= 0 || m >= hi-lo+1 {
+			continue
+		}
+		minSel := math.Inf(1)
+		for _, i := range idx[lo : lo+m] {
+			if a := math.Abs(v[i]); a < minSel {
+				minSel = a
+			}
+		}
+		for _, i := range idx[lo+m : hi+1] {
+			if math.Abs(v[i]) > minSel {
+				t.Fatalf("trial %d: unselected element %v above selected minimum %v",
+					trial, math.Abs(v[i]), minSel)
+			}
+		}
+	}
+}
+
+// TestAboveThresholdPreSized checks result length against CountAbove and
+// ascending order (the union merge in comm relies on sortedness).
+func TestAboveThresholdPreSized(t *testing.T) {
+	v := randVec(21, 997)
+	for _, th := range []float64{0, 0.5, 1, 2.5, 100} {
+		idx := AboveThreshold(v, th)
+		if len(idx) != CountAbove(v, th) {
+			t.Fatalf("threshold %v: len %d != CountAbove %d", th, len(idx), CountAbove(v, th))
+		}
+		if !sort.IntsAreSorted(idx) {
+			t.Fatalf("threshold %v: indices not ascending", th)
+		}
+	}
+}
+
+// FuzzTopKKernels cross-checks heap, quickselect and the Into variants
+// against the sort reference on fuzz-generated vectors.
+func FuzzTopKKernels(f *testing.F) {
+	f.Add(uint64(1), 10, 3)
+	f.Add(uint64(2), 1, 0)
+	f.Add(uint64(3), 64, 64)
+	f.Add(uint64(4), 100, 99)
+	f.Fuzz(func(t *testing.T, seed uint64, n, k int) {
+		if n < 1 || n > 2000 {
+			return
+		}
+		if k < 0 || k > n+2 {
+			return
+		}
+		r := rng.New(seed)
+		v := make([]float64, n)
+		for i := range v {
+			switch r.Intn(4) {
+			case 0:
+				v[i] = 0
+			case 1:
+				v[i] = 3 // force ties
+			default:
+				v[i] = r.Norm()
+			}
+		}
+		checkAgreement(t, v, k)
+	})
+}

@@ -40,3 +40,26 @@ func ApplyUpdate(params []*nn.Param, update []float64, scale float64) {
 		pos += p.Size()
 	}
 }
+
+// ApplySparseUpdate subtracts scale · vals[j] from the parameter element at
+// flat index idx[j], for all j: the sparse form of ApplyUpdate that touches
+// only the selected indices instead of all n_g parameters. idx must be
+// sorted ascending (the all-gathered union is) and within [0, Σ Size).
+func ApplySparseUpdate(params []*nn.Param, idx []int, vals []float64, scale float64) {
+	if len(idx) == 0 {
+		return
+	}
+	pi := 0
+	start := 0
+	end := params[0].Size()
+	w := params[0].W.Data
+	for j, ix := range idx {
+		for ix >= end {
+			pi++
+			start = end
+			end += params[pi].Size()
+			w = params[pi].W.Data
+		}
+		w[ix-start] -= scale * vals[j]
+	}
+}

@@ -1,0 +1,104 @@
+package train
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func testParams(sizes []int) []*nn.Param {
+	r := rng.New(5)
+	params := make([]*nn.Param, len(sizes))
+	for i, s := range sizes {
+		params[i] = &nn.Param{Name: string(rune('a' + i)), W: tensor.Randn(r, 1, s), G: tensor.New(s)}
+	}
+	return params
+}
+
+func cloneWeights(params []*nn.Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.W.Data...)
+	}
+	return out
+}
+
+// TestApplySparseUpdateMatchesDense: applying (idx, vals) sparsely must
+// produce exactly the same weights as scattering into a dense vector and
+// applying that with ApplyUpdate — including indices on parameter
+// boundaries and empty selections.
+func TestApplySparseUpdateMatchesDense(t *testing.T) {
+	sizes := []int{7, 1, 12, 3}
+	ng := 23
+	r := rng.New(99)
+	for trial := 0; trial < 100; trial++ {
+		k := r.Intn(ng + 1)
+		idxSet := map[int]bool{}
+		for len(idxSet) < k {
+			idxSet[r.Intn(ng)] = true
+		}
+		idx := make([]int, 0, k)
+		for i := range idxSet {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		vals := make([]float64, k)
+		for i := range vals {
+			vals[i] = r.Norm()
+		}
+		scale := 1 + r.Float64()
+
+		sparse := testParams(sizes)
+		dense := testParams(sizes)
+		ApplySparseUpdate(sparse, idx, vals, scale)
+		flat := make([]float64, ng)
+		for j, i := range idx {
+			flat[i] = vals[j]
+		}
+		ApplyUpdate(dense, flat, scale)
+
+		want := cloneWeights(dense)
+		got := cloneWeights(sparse)
+		for p := range want {
+			for i := range want[p] {
+				if math.Abs(got[p][i]-want[p][i]) != 0 {
+					t.Fatalf("trial %d: param %d elem %d: sparse %v, dense %v",
+						trial, p, i, got[p][i], want[p][i])
+				}
+			}
+		}
+	}
+}
+
+// TestApplySparseUpdateBoundaries hits the exact first/last index of each
+// parameter (the cursor-advance edge in the implementation).
+func TestApplySparseUpdateBoundaries(t *testing.T) {
+	sizes := []int{4, 2, 5}
+	params := testParams(sizes)
+	before := cloneWeights(params)
+	// First and last flat index of every parameter: 0,3 | 4,5 | 6,10.
+	idx := []int{0, 3, 4, 5, 6, 10}
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	ApplySparseUpdate(params, idx, vals, 2)
+	checks := []struct {
+		p, off int
+		delta  float64
+	}{
+		{0, 0, 2}, {0, 3, 4}, {1, 0, 6}, {1, 1, 8}, {2, 0, 10}, {2, 4, 12},
+	}
+	for _, c := range checks {
+		got := params[c.p].W.Data[c.off]
+		want := before[c.p][c.off] - c.delta
+		if got != want {
+			t.Errorf("param %d off %d: got %v, want %v", c.p, c.off, got, want)
+		}
+	}
+	// Untouched element stays put.
+	if params[2].W.Data[2] != before[2][2] {
+		t.Error("untouched element modified")
+	}
+}

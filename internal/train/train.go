@@ -20,6 +20,7 @@ package train
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -185,12 +186,50 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 		if !cfg.DisableSparse {
 			sp = factory()
 		}
+		reporter, hasReporter := sp.(overheadReporter)
 
 		acc := make([]float64, ng)  // e_i, then acc_i inside the iteration
 		flat := make([]float64, ng) // scratch for the new gradient
 		var velocity []float64
 		if cfg.Momentum > 0 {
 			velocity = make([]float64, ng)
+		}
+		// Per-worker reusable scratch for the sparse exchange: the gathered
+		// index union, the values shipped into the all-reduce, and its
+		// result. The dense update vector is only materialised on the paths
+		// that need a dense view (momentum, dense baseline).
+		var idxBuf []int
+		var vals, sum []float64
+		var update []float64
+		if cfg.Momentum > 0 || cfg.DisableSparse {
+			update = make([]float64, ng)
+		}
+
+		// The sparsifier context and the gated closures are hoisted out of
+		// the iteration loop (closures capture by reference), so the steady
+		// state creates no per-iteration closure or context objects.
+		ctx := &sparsifier.Ctx{
+			Rank:                rank,
+			NWorkers:            n,
+			Density:             cfg.Density,
+			Layers:              layers,
+			BroadcastInts:       cm.BroadcastInts,
+			BroadcastIntsNested: cm.BroadcastIntsNested,
+			Isolate:             isolate,
+		}
+		var curT int
+		var loss float64
+		var localIdx []int
+		stepFn := func() {
+			// Local gradient on this worker's shard: RNG split by
+			// (rank, t) gives independent minibatches per worker, identical
+			// across runs.
+			nn.ZeroGrads(params)
+			loss = model.Step(root.Split(uint64(rank), uint64(curT)))
+			FlattenGrads(params, flat)
+		}
+		selectFn := func() {
+			localIdx = sp.Select(ctx, acc)
 		}
 
 		lr := cfg.LR
@@ -202,18 +241,12 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 				decayIdx++
 			}
 
-			// Local gradient on this worker's shard: RNG split by (rank, t)
-			// gives independent minibatches per worker, identical across
-			// runs. Gated so stepTime is a contention-free per-worker time
-			// (max over workers = simulated parallel compute time); on the
+			// Gated so stepTime is a contention-free per-worker time (max
+			// over workers = simulated parallel compute time); on the
 			// single-core simulator the gate costs nothing because the
 			// sections were serialised anyway.
-			var loss float64
-			stepTime := isolate(func() {
-				nn.ZeroGrads(params)
-				loss = model.Step(root.Split(uint64(rank), uint64(t)))
-				FlattenGrads(params, flat)
-			})
+			curT = t
+			stepTime := isolate(stepFn)
 
 			hasNaN := tensor.HasNaN(flat)
 
@@ -222,13 +255,12 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 				acc[i] += lr * g
 			}
 
-			var update []float64
 			var selTime, partTime time.Duration
 			selectedK := ng
 			var wireBytes int64
 
 			if cfg.DisableSparse {
-				update = cm.AllReduceSum(acc)
+				update = cm.AllReduceSumInto(acc, update)
 				for i := range acc {
 					acc[i] = 0
 				}
@@ -242,59 +274,69 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 				// Synchronous SGD synchronises at the all-gather anyway, so
 				// this changes no semantics.
 				cm.Barrier()
-				ctx := &sparsifier.Ctx{
-					Rank:                rank,
-					NWorkers:            n,
-					Iteration:           t,
-					Density:             cfg.Density,
-					Layers:              layers,
-					BroadcastInts:       cm.BroadcastInts,
-					BroadcastIntsNested: cm.BroadcastIntsNested,
-					Isolate:             isolate,
-				}
-				var localIdx []int
-				if d, ok := sp.(overheadReporter); ok {
+				ctx.Iteration = t
+				if hasReporter {
 					// Scheme with internal collectives (DEFT, CLT-k): it
 					// gates its own local segments and reports them.
-					localIdx = sp.Select(ctx, acc)
-					partTime, selTime = d.LastOverhead()
+					selectFn()
+					partTime, selTime = reporter.LastOverhead()
 				} else {
 					// Pure-local scheme: gate the whole selection.
-					selTime = isolate(func() {
-						localIdx = sp.Select(ctx, acc)
-					})
+					selTime = isolate(selectFn)
 				}
 
-				// Lines 7–9 of Algorithm 1.
-				idx := cm.AllGatherUniqueInts(localIdx)
+				// Lines 7–9 of Algorithm 1. The union collective merges
+				// sorted per-rank lists, so sort the local selection first —
+				// the selection kernels return unspecified order and permit
+				// in-place reordering until the next Select.
+				sort.Ints(localIdx)
+				idxBuf = cm.AllGatherUniqueIntsInto(localIdx, idxBuf)
+				idx := idxBuf
 				selectedK = len(idx)
 				// Wire accounting: this worker ships its local (index,
 				// value) pairs up and receives the union's values back,
 				// uint32+float32 each (internal/sparse encoding).
 				wireBytes = int64(8*len(localIdx) + 8*len(idx))
-				vals := make([]float64, len(idx))
+				if cap(vals) < len(idx) {
+					vals = make([]float64, len(idx))
+				}
+				vals = vals[:len(idx)]
 				for j, i := range idx {
 					vals[j] = acc[i]
 				}
-				sum := cm.AllReduceSum(vals)
+				sum = cm.AllReduceSumInto(vals, sum)
 
-				// Lines 10–12: update model, clear transmitted entries.
-				update = make([]float64, ng)
-				for j, i := range idx {
-					update[i] = sum[j]
+				// Lines 10–12: update model, clear transmitted entries. The
+				// aggregated update is applied sparsely — only the selected
+				// indices are touched — unless a dense view is needed for
+				// the momentum buffer below.
+				if velocity != nil {
+					for i := range update {
+						update[i] = 0
+					}
+					for j, i := range idx {
+						update[i] = sum[j]
+					}
+				} else {
+					ApplySparseUpdate(params, idx, sum, 1/float64(n))
+				}
+				for _, i := range idx {
 					acc[i] = 0
 				}
 			}
 
 			// x ← x − update/n (with optional momentum on the aggregate;
 			// every replica computes the same thing, so they stay in sync).
+			// Momentum keeps a dense velocity vector, so it falls back to
+			// the dense application path; the momentum-free sparse path has
+			// already applied the update above.
 			invN := 1 / float64(n)
 			if velocity != nil {
 				for i := range update {
 					velocity[i] = cfg.Momentum*velocity[i] + update[i]*invN
 				}
 				ApplyUpdate(params, velocity, 1)
-			} else {
+			} else if cfg.DisableSparse {
 				ApplyUpdate(params, update, invN)
 			}
 

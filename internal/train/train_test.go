@@ -20,7 +20,7 @@ func mlpWorkload() train.Workload {
 }
 
 func topkFactory() sparsifier.Factory {
-	return func() sparsifier.Sparsifier { return sparsifier.TopK{} }
+	return func() sparsifier.Sparsifier { return sparsifier.NewTopK() }
 }
 
 func cltkFactory() sparsifier.Factory {

@@ -64,3 +64,12 @@ func BenchmarkSelectWholeVectorQuickSelect(b *testing.B) {
 func BenchmarkSelectDEFTSlowestWorker(b *testing.B) { benchkit.BenchSelectDEFTSlowestWorker(b) }
 
 func BenchmarkTrainIteration(b *testing.B) { benchkit.BenchTrainIteration(b) }
+
+// Wire codec benchmarks: encoding the LSTM fixture's selection at low
+// density (COO varint regime) and high density (bitmap regime), plus the
+// decode path. All three are zero-alloc in steady state.
+func BenchmarkWireEncodeCOOVarint(b *testing.B) { benchkit.BenchWireEncodeCOOVarint(b) }
+
+func BenchmarkWireEncodeBitmap(b *testing.B) { benchkit.BenchWireEncodeBitmap(b) }
+
+func BenchmarkWireDecodeCOOVarint(b *testing.B) { benchkit.BenchWireDecodeCOOVarint(b) }

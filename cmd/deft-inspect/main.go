@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/models"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/shapes"
 	"repro/internal/sparsifier"
 	"repro/internal/train"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -113,6 +115,63 @@ func main() {
 		core.FullCost(ng, k)/maxC,
 		core.FullCost(ng, k)/core.TrivialCost(ng, k, *workers),
 		*workers)
+
+	printWireTable(layers, grad, *workers, *density)
+}
+
+// printWireTable runs every sparsifier scheme once on the gradient and
+// reports its encoded upload payload — bytes one worker ships per
+// iteration — under each internal/wire format, the automatically selected
+// cheapest format, and the compression ratio against the dense fp32
+// baseline.
+func printWireTable(layers []sparsifier.Layer, grad []float64, workers int, density float64) {
+	ng := len(grad)
+	schemes := []struct {
+		name string
+		sp   sparsifier.Sparsifier
+	}{
+		{"deft", core.NewDefault()},
+		{"topk", sparsifier.NewTopK()},
+		{"cltk", &sparsifier.CLTK{}},
+		{"sidco", &sparsifier.SIDCo{Stages: 3}},
+		{"dgc", &sparsifier.DGC{}},
+		{"gaussiank", sparsifier.GaussianK{}},
+		{"hardthreshold", sparsifier.TuneHardThreshold(grad, density)},
+		{"randk", sparsifier.RandK{}},
+	}
+	dense := wire.DenseBytes(ng)
+	fmt.Printf("\nwire footprint per scheme (one worker-iteration upload; dense fp32 baseline %d B):\n", dense)
+	fmt.Printf("%-14s %-9s %-10s %-10s %-10s %-10s %-10s %-10s %-7s\n",
+		"scheme", "nnz", "density", "coo32", "coo16", "bitmap32", "bitmap16", "bytes/it", "ratio")
+	vals := make([]float64, 0, ng)
+	for _, s := range schemes {
+		ctx := &sparsifier.Ctx{NWorkers: workers, Density: density, Layers: layers}
+		idx := append([]int(nil), s.sp.Select(ctx, grad)...)
+		sort.Ints(idx)
+		vals = vals[:0]
+		for _, ix := range idx {
+			vals = append(vals, grad[ix])
+		}
+		best, size := wire.Pick(ng, idx, wire.Float32)
+		buf, f, err := wire.AppendAuto(nil, ng, idx, vals, wire.Float32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: %s: wire encode failed: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		if f != best || len(buf) != size {
+			fmt.Fprintf(os.Stderr, "deft-inspect: %s: encode produced (%v, %d B), Pick promised (%v, %d B)\n",
+				s.name, f, len(buf), best, size)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s %-9d %-10.6f %-10d %-10d %-10d %-10d %-10s %.1fx\n",
+			s.name, len(idx), float64(len(idx))/float64(ng),
+			wire.EncodedSize(wire.COO32, ng, idx),
+			wire.EncodedSize(wire.COO16, ng, idx),
+			wire.EncodedSize(wire.Bitmap32, ng, idx),
+			wire.EncodedSize(wire.Bitmap16, ng, idx),
+			fmt.Sprintf("%d (%s)", size, best),
+			float64(dense)/float64(size))
+	}
 }
 
 func buildWorkload(name string) train.Workload {

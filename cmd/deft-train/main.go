@@ -83,11 +83,12 @@ func main() {
 	for i := range res.Metric.X {
 		fmt.Printf("  iter %-8.0f %.3f\n", res.Metric.X[i], res.Metric.Y[i])
 	}
-	fmt.Printf("\ntime totals: compute %.3fs, selection %.3fs, partition %.3fs, comm (modeled) %.3fs\n",
-		res.ComputeTime, res.SelectTime, res.PartitionTime, res.CommTime)
-	fmt.Printf("traffic (elements): allgather %d, allreduce %d, broadcast %d\n",
-		res.Traffic.AllGatherInts, res.Traffic.AllReduceFloats,
-		res.Traffic.BroadcastInts+res.Traffic.BroadcastFloats)
+	fmt.Printf("\ntime totals: compute %.3fs, selection %.3fs, partition %.3fs, comm (α–β) %.3fs, comm (topology, encoded bytes) %.3fs\n",
+		res.ComputeTime, res.SelectTime, res.PartitionTime, res.CommTime, res.WireCommTime)
+	fmt.Printf("traffic (encoded bytes): allgather %d, allreduce %d, broadcast %d\n",
+		res.Traffic.AllGatherBytes, res.Traffic.AllReduceBytes, res.Traffic.BroadcastBytes)
+	fmt.Printf("wire: %d B encoded (%.0f B/iteration), dense fp32 baseline %d B, compression %.2fx\n",
+		res.WireBytes, res.BytesPerIteration(), res.DenseBytes, res.CompressionRatio())
 }
 
 func buildWorkload(name string) train.Workload {

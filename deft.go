@@ -30,6 +30,7 @@ import (
 	"repro/internal/shapes"
 	"repro/internal/sparsifier"
 	"repro/internal/train"
+	"repro/internal/wire"
 )
 
 // Sparsifier selects, per worker and iteration, the gradient indices to
@@ -59,6 +60,53 @@ type Model = train.Model
 
 // CostModel is the α–β communication time model of §5.3.
 type CostModel = comm.CostModel
+
+// Topology is the byte-parameterized, fabric-aware communication model:
+// ring all-reduce, recursive-doubling all-gather and hierarchical/tree
+// broadcast over nodes of WorkersPerNode workers.
+type Topology = comm.Topology
+
+// DefaultTopology approximates the paper's 4-GPU-per-node, 10 GbE cluster.
+func DefaultTopology() Topology { return comm.DefaultTopology() }
+
+// WireFormat identifies one sparse wire encoding (COO varint or bitmap
+// index block, fp32 or fp16 values).
+type WireFormat = wire.Format
+
+// WirePrecision selects the value quantization of the automatic format
+// choice.
+type WirePrecision = wire.Precision
+
+// Wire format and precision constants, re-exported from internal/wire.
+const (
+	WireCOO32    = wire.COO32
+	WireCOO16    = wire.COO16
+	WireBitmap32 = wire.Bitmap32
+	WireBitmap16 = wire.Bitmap16
+
+	WireFloat32 = wire.Float32
+	WireFloat16 = wire.Float16
+)
+
+// EncodeSparse appends the cheapest encoding of a sparse gradient slice
+// (strictly increasing idx over a length-ng vector, parallel values) to
+// dst and returns the extended buffer and the chosen format. Steady-state
+// zero-alloc when dst capacity suffices.
+func EncodeSparse(dst []byte, ng int, idx []int, values []float64, prec WirePrecision) ([]byte, WireFormat, error) {
+	return wire.AppendAuto(dst, ng, idx, values, prec)
+}
+
+// DecodeSparseInto decodes a payload produced by EncodeSparse into
+// caller-owned slices, growing them only on capacity misses.
+func DecodeSparseInto(buf []byte, idx []int, values []float64) (WireFormat, int, []int, []float64, error) {
+	return wire.DecodeInto(buf, idx, values)
+}
+
+// PickWireFormat returns the cheapest wire format for the given index set
+// and its exact encoded size in bytes, without encoding.
+func PickWireFormat(ng int, idx []int, prec WirePrecision) (WireFormat, int) {
+	return wire.Pick(ng, idx, prec)
+}
 
 // DEFTOptions configures the DEFT sparsifier (partitioning, allocation
 // policy, k-assignment ablations).

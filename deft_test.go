@@ -82,3 +82,36 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestFacadeWireCodecs(t *testing.T) {
+	ng := 10000
+	idx := []int{0, 17, 4096, 9999}
+	vals := []float64{1, -2, 0.5, 3.25}
+	buf, format, err := EncodeSparse(nil, ng, idx, vals, WireFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf, size := PickWireFormat(ng, idx, WireFloat32); pf != format || size != len(buf) {
+		t.Fatalf("Pick (%v, %d) disagrees with encode (%v, %d)", pf, size, format, len(buf))
+	}
+	gf, gng, gidx, gvals, err := DecodeSparseInto(buf, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf != format || gng != ng || len(gidx) != len(idx) {
+		t.Fatalf("decode header (%v, %d, %d)", gf, gng, len(gidx))
+	}
+	for i := range idx {
+		if gidx[i] != idx[i] || gvals[i] != vals[i] {
+			t.Fatalf("entry %d: (%d, %v) vs (%d, %v)", i, gidx[i], gvals[i], idx[i], vals[i])
+		}
+	}
+	// A training run reports the wire metrics the formats exist for.
+	res := Train(NewMLPWorkload(), NewCLTKFactory(), TrainConfig{
+		Workers: 2, Density: 0.05, LR: 0.3, Iterations: 5, Seed: 2,
+		Topology: DefaultTopology(),
+	})
+	if res.CompressionRatio() <= 1 || res.WireCommTime <= 0 {
+		t.Fatalf("wire metrics missing: ratio %v, comm %v", res.CompressionRatio(), res.WireCommTime)
+	}
+}

@@ -25,4 +25,6 @@ func main() {
 	fmt.Printf("realised density: mean %.5f (target 0.01000) — no gradient build-up\n",
 		res.ActualDensity.MeanY())
 	fmt.Printf("final %s: %.2f\n", workload.MetricName(), res.Metric.LastY())
+	fmt.Printf("wire: %.0f B/iteration encoded vs %.0f B/iteration dense fp32 — %.1fx compression\n",
+		res.BytesPerIteration(), res.BytesPerIteration()*res.CompressionRatio(), res.CompressionRatio())
 }

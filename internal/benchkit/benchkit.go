@@ -25,6 +25,7 @@ import (
 	"repro/internal/shapes"
 	"repro/internal/topk"
 	"repro/internal/train"
+	"repro/internal/wire"
 )
 
 // Case is one registered microbenchmark.
@@ -40,6 +41,9 @@ func Cases() []Case {
 		{Name: "SelectWholeVectorQuickSelect", Bench: BenchSelectWholeVectorQuickSelect},
 		{Name: "SelectDEFTSlowestWorker", Bench: BenchSelectDEFTSlowestWorker},
 		{Name: "TrainIteration", Bench: BenchTrainIteration},
+		{Name: "WireEncodeCOOVarint", Bench: BenchWireEncodeCOOVarint},
+		{Name: "WireEncodeBitmap", Bench: BenchWireEncodeBitmap},
+		{Name: "WireDecodeCOOVarint", Bench: BenchWireDecodeCOOVarint},
 	}
 }
 
@@ -118,6 +122,71 @@ func BenchTrainIteration(b *testing.B) {
 		Iterations: b.N,
 		Seed:       1,
 	})
+}
+
+// WireFixture builds the codec benchmark payload: the top-k selection of
+// the scaled LSTM catalog's synthetic gradient at the given density, as
+// sorted (index, value) pairs ready to encode.
+func WireFixture(density float64) (ng int, idx []int, vals []float64) {
+	catalog := shapes.LSTMWiki().Scaled(0.01)
+	grad := catalog.SyntheticGradients(42)
+	ng = len(grad)
+	k := int(density * float64(ng))
+	var s topk.Scratch
+	idx = append([]int(nil), topk.HeapTopKInto(grad, k, &s)...)
+	sort.Ints(idx)
+	vals = make([]float64, len(idx))
+	for i, ix := range idx {
+		vals[i] = grad[ix]
+	}
+	return ng, idx, vals
+}
+
+// BenchWireEncodeCOOVarint measures the automatic encode of a d=0.001
+// selection — the regime where the varint-delta COO format wins — over the
+// ~1.36M-gradient LSTM fixture. Steady state must be zero-alloc.
+func BenchWireEncodeCOOVarint(b *testing.B) {
+	ng, idx, vals := WireFixture(0.001)
+	buf, _, _ := wire.AppendAuto(nil, ng, idx, vals, wire.Float32) // warm the buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _, _ = wire.AppendAuto(buf[:0], ng, idx, vals, wire.Float32)
+	}
+	_ = buf
+}
+
+// BenchWireEncodeBitmap measures the automatic encode of a d=0.25
+// selection, where the fixed-cost presence bitmap beats per-index varints.
+func BenchWireEncodeBitmap(b *testing.B) {
+	ng, idx, vals := WireFixture(0.25)
+	buf, _, _ := wire.AppendAuto(nil, ng, idx, vals, wire.Float32) // warm the buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _, _ = wire.AppendAuto(buf[:0], ng, idx, vals, wire.Float32)
+	}
+	_ = buf
+}
+
+// BenchWireDecodeCOOVarint measures DecodeInto of the d=0.001 payload into
+// warmed caller-owned slices.
+func BenchWireDecodeCOOVarint(b *testing.B) {
+	ng, idx, vals := WireFixture(0.001)
+	buf, _, err := wire.AppendAuto(nil, ng, idx, vals, wire.Float32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dIdx := make([]int, 0, len(idx))
+	dVals := make([]float64, 0, len(vals))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, dIdx, dVals, err = wire.DecodeInto(buf, dIdx, dVals)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // Result is one benchmark's measurement as persisted in BENCH_results.json.

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/wire"
 )
 
 // mailbox is the typed slot array of the rendezvous: one deposit slot per
@@ -48,7 +50,6 @@ type Cluster struct {
 
 	ints   mailbox[[]int]
 	floats mailbox[[]float64]
-	nested mailbox[[][]int]
 
 	// Reusable combine buffers (guarded by mu; written only by the last
 	// arrival of a generation, read by all ranks before the next combine of
@@ -71,7 +72,6 @@ func NewCluster(n int) *Cluster {
 	}
 	c.ints.slots = make([][]int, n)
 	c.floats.slots = make([][]float64, n)
-	c.nested.slots = make([][][]int, n)
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -111,6 +111,13 @@ func (c *Cluster) Run(fn func(comm *Comm)) {
 type Comm struct {
 	rank    int
 	cluster *Cluster
+
+	// Reusable rank-owned buffers for the flattened nested broadcast: the
+	// root's flattening scratch plus this rank's decoded bins. A rank's
+	// collectives are serial, so no locking is needed here.
+	nestedFlat []int
+	nestedBins [][]int
+	nestedData []int
 }
 
 // Rank returns this handle's rank in [0, Size).
@@ -168,7 +175,7 @@ func (c *Comm) BroadcastIntsInto(root int, data []int, dst []int) []int {
 	c.checkRoot(root)
 	src := exchange(c, &c.cluster.ints, data, func(slots [][]int) []int {
 		s := slots[root]
-		c.cluster.traffic.BroadcastInts += int64(len(s))
+		c.cluster.traffic.BroadcastBytes += intPayloadBytes(s)
 		return s
 	})
 	return append(dst[:0], src...)
@@ -184,31 +191,63 @@ func (c *Comm) BroadcastFloatsInto(root int, data []float64, dst []float64) []fl
 	c.checkRoot(root)
 	src := exchange(c, &c.cluster.floats, data, func(slots [][]float64) []float64 {
 		s := slots[root]
-		c.cluster.traffic.BroadcastFloats += int64(len(s))
+		c.cluster.traffic.BroadcastBytes += 4 * int64(len(s)) // fp32 on the wire
 		return s
 	})
 	return append(dst[:0], src...)
 }
 
 // BroadcastIntsNested distributes root's slice-of-slices (e.g. the
-// bin-packing result of DEFT's Algorithm 4) to every rank as a deep copy.
+// bin-packing result of DEFT's Algorithm 4) to every rank. The payload
+// travels as one flattened [count, len_0 … len_{k−1}, data…] slice through
+// the reusable int mailbox — replacing the previous per-rank deep copy —
+// and each rank decodes it into rank-owned buffers. The returned bins are
+// therefore valid only until this rank's next BroadcastIntsNested call;
+// callers that retain a bin across iterations must copy it out (the DEFT
+// sparsifier does).
 func (c *Comm) BroadcastIntsNested(root int, data [][]int) [][]int {
 	c.checkRoot(root)
-	src := exchange(c, &c.cluster.nested, data, func(slots [][][]int) [][]int {
-		s := slots[root]
-		total := 0
-		for _, b := range s {
-			total += len(b)
+	var contrib []int
+	if c.rank == root {
+		flat := append(c.nestedFlat[:0], len(data))
+		for _, bin := range data {
+			flat = append(flat, len(bin))
 		}
-		c.cluster.traffic.BroadcastInts += int64(total)
-		return s
-	})
-	out := make([][]int, len(src))
-	for i, s := range src {
-		out[i] = make([]int, len(s))
-		copy(out[i], s)
+		for _, bin := range data {
+			flat = append(flat, bin...)
+		}
+		c.nestedFlat = flat
+		contrib = flat
 	}
-	return out
+	src := exchange(c, &c.cluster.ints, contrib, func(slots [][]int) []int {
+		cl := c.cluster
+		s := slots[root]
+		// The flattened header+data ships as uint32s: lengths and fragment
+		// ids are all small.
+		cl.traffic.BroadcastBytes += 4 * int64(len(s))
+		// Copy into the cluster-owned buffer: the root flattens into its
+		// rank-owned scratch BEFORE depositing, so lagging ranks must not
+		// read that scratch after the rendezvous — the root may already be
+		// flattening its next payload into it. The cluster buffer is safe:
+		// no combine of any type can run again until every rank has
+		// finished reading and deposited anew.
+		out := growInts(&cl.intBuf, len(s))
+		copy(out, s)
+		return out
+	})
+	nBins := src[0]
+	lens := src[1 : 1+nBins]
+	c.nestedData = append(c.nestedData[:0], src[1+nBins:]...)
+	if cap(c.nestedBins) < nBins {
+		c.nestedBins = make([][]int, nBins)
+	}
+	bins := c.nestedBins[:nBins]
+	off := 0
+	for i, l := range lens {
+		bins[i] = c.nestedData[off : off+l : off+l]
+		off += l
+	}
+	return bins
 }
 
 // AllGatherInts concatenates every rank's contribution in rank order and
@@ -230,7 +269,9 @@ func (c *Comm) AllGatherIntsInto(data []int, dst []int) []int {
 			out = append(out, s...)
 		}
 		cl.intBuf = out
-		cl.traffic.AllGatherInts += int64(total)
+		for _, s := range slots {
+			cl.traffic.AllGatherBytes += intPayloadBytes(s)
+		}
 		return out
 	})
 	return append(dst[:0], shared...)
@@ -261,8 +302,11 @@ func (c *Comm) AllGatherUniqueIntsInto(data []int, dst []int) []int {
 			}
 			total += len(s)
 		}
-		// Traffic: every rank ships its own k indices.
-		cl.traffic.AllGatherInts += int64(total)
+		// Traffic: every rank ships its own sorted index list, which goes on
+		// the wire as the COO varint delta block.
+		for _, s := range slots {
+			cl.traffic.AllGatherBytes += intPayloadBytes(s)
+		}
 		// n-way merge with dedup. heads[r] is rank r's cursor.
 		heads := cl.heads
 		for r := range heads {
@@ -313,7 +357,7 @@ func (c *Comm) AllReduceSumInto(data []float64, dst []float64) []float64 {
 				sum[i] += x
 			}
 		}
-		cl.traffic.AllReduceFloats += int64(len(sum)) * int64(cl.n)
+		cl.traffic.AllReduceBytes += 4 * int64(len(sum)) * int64(cl.n)
 		return sum
 	})
 	return append(dst[:0], shared...)
@@ -340,7 +384,7 @@ func (c *Comm) AllReduceMaxInto(data []float64, dst []float64) []float64 {
 				}
 			}
 		}
-		cl.traffic.AllReduceFloats += int64(len(m)) * int64(cl.n)
+		cl.traffic.AllReduceBytes += 4 * int64(len(m)) * int64(cl.n)
 		return m
 	})
 	return append(dst[:0], shared...)
@@ -370,17 +414,31 @@ func growFloats(buf *[]float64, n int) []float64 {
 	return *buf
 }
 
-// TrafficCounter accumulates logical element counts moved by collectives.
-// Element counts (not bytes) keep the numbers precision-agnostic; multiply
-// by 4 for float32-on-the-wire as in the paper's systems.
+// TrafficCounter accumulates the encoded wire bytes moved by collectives —
+// not element counts. Sorted index lists are charged at their COO varint
+// delta size (internal/wire), other int payloads at uint32 each, and float
+// payloads at fp32 each, matching what NCCL-class systems put on the
+// network. Conventions per collective: all-gathers charge the sum of every
+// rank's encoded contribution, all-reduces charge the fp32 vector times the
+// rank count, and broadcasts charge the root's payload once — the topology
+// cost models, not the counters, decide how many links a payload crosses.
 type TrafficCounter struct {
-	AllGatherInts   int64
-	AllReduceFloats int64
-	BroadcastInts   int64
-	BroadcastFloats int64
+	AllGatherBytes int64
+	AllReduceBytes int64
+	BroadcastBytes int64
 }
 
-// Total returns the sum of all counters.
+// Total returns the sum of all counters in bytes.
 func (t TrafficCounter) Total() int64 {
-	return t.AllGatherInts + t.AllReduceFloats + t.BroadcastInts + t.BroadcastFloats
+	return t.AllGatherBytes + t.AllReduceBytes + t.BroadcastBytes
+}
+
+// intPayloadBytes returns the wire footprint of an int payload: the COO
+// varint delta block for a strictly increasing index list (the common case
+// — sorted selections), else 4 bytes per element as plain uint32s.
+func intPayloadBytes(s []int) int64 {
+	if n, ok := wire.IndexBytes(s); ok {
+		return int64(n)
+	}
+	return 4 * int64(len(s))
 }

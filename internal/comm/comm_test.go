@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/rng"
 )
@@ -253,31 +254,106 @@ func TestSingleRankCluster(t *testing.T) {
 	})
 }
 
-func TestTrafficAccounting(t *testing.T) {
+func TestTrafficAccountingBytes(t *testing.T) {
 	const n = 4
 	c := NewCluster(n)
 	c.Run(func(cm *Comm) {
-		cm.AllGatherInts([]int{1, 2}) // 8 ints total
+		// Sorted contribution {1, 2}: varint delta block is 2 bytes per
+		// rank (uvarint(1), uvarint(0)) — 8 bytes across 4 ranks.
+		cm.AllGatherInts([]int{1, 2})
+		// 3 fp32 values from each of 4 ranks: 48 bytes.
 		cm.AllReduceSum([]float64{1, 2, 3})
+		// Sorted single index 9: one varint byte, charged once at the root.
 		cm.BroadcastInts(0, []int{9})
+		// Unsorted payload falls back to plain uint32s: 8 bytes.
+		cm.BroadcastInts(0, []int{5, 2})
 	})
 	tr := c.Traffic()
-	if tr.AllGatherInts != 8 {
-		t.Errorf("AllGatherInts = %d, want 8", tr.AllGatherInts)
+	if tr.AllGatherBytes != 8 {
+		t.Errorf("AllGatherBytes = %d, want 8", tr.AllGatherBytes)
 	}
-	if tr.AllReduceFloats != 12 {
-		t.Errorf("AllReduceFloats = %d, want 12", tr.AllReduceFloats)
+	if tr.AllReduceBytes != 48 {
+		t.Errorf("AllReduceBytes = %d, want 48", tr.AllReduceBytes)
 	}
-	if tr.BroadcastInts != 1 {
-		t.Errorf("BroadcastInts = %d, want 1", tr.BroadcastInts)
+	if tr.BroadcastBytes != 9 {
+		t.Errorf("BroadcastBytes = %d, want 9", tr.BroadcastBytes)
 	}
-	if tr.Total() != 21 {
-		t.Errorf("Total = %d, want 21", tr.Total())
+	if tr.Total() != 65 {
+		t.Errorf("Total = %d, want 65", tr.Total())
 	}
 	c.ResetTraffic()
 	if c.Traffic().Total() != 0 {
 		t.Error("ResetTraffic failed")
 	}
+}
+
+func TestNestedBroadcastTrafficIsFlattenedBytes(t *testing.T) {
+	c := NewCluster(2)
+	c.Run(func(cm *Comm) {
+		var data [][]int
+		if cm.Rank() == 0 {
+			data = [][]int{{1}, {2, 3}}
+		}
+		cm.BroadcastIntsNested(0, data)
+	})
+	// Flattened payload: [2, 1, 2, 1, 2, 3] = 6 uint32s = 24 bytes.
+	if got := c.Traffic().BroadcastBytes; got != 24 {
+		t.Errorf("nested broadcast charged %d bytes, want 24", got)
+	}
+}
+
+func TestNestedBroadcastLaggingReaderSeesOwnGeneration(t *testing.T) {
+	// Back-to-back nested broadcasts with a slow non-root rank: the root
+	// starts flattening iteration t+1 while the laggard is still decoding
+	// iteration t. The decode must come from a cluster-owned copy, not the
+	// root's flattening scratch (this is the regression test for the race
+	// `go test -race` catches if the combine returns the root's slice).
+	const n, rounds = 3, 30
+	c := NewCluster(n)
+	var bad int32
+	c.Run(func(cm *Comm) {
+		for it := 0; it < rounds; it++ {
+			var in [][]int
+			if cm.Rank() == 0 {
+				in = [][]int{{it}, {it + 1, it + 2}}
+			}
+			out := cm.BroadcastIntsNested(0, in)
+			if cm.Rank() != 0 {
+				time.Sleep(100 * time.Microsecond) // lag behind the root
+			}
+			if len(out) != 2 || out[0][0] != it || out[1][1] != it+2 {
+				atomic.AddInt32(&bad, 1)
+			}
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d corrupted reads across generations", bad)
+	}
+}
+
+func TestNestedBroadcastReusesBuffers(t *testing.T) {
+	// Steady state: repeated nested broadcasts must not allocate per rank
+	// beyond the first call's buffer growth.
+	c := NewCluster(2)
+	c.Run(func(cm *Comm) {
+		data := [][]int{{1, 2}, {3}, {4, 5, 6}}
+		var first [][]int
+		for it := 0; it < 3; it++ {
+			var in [][]int
+			if cm.Rank() == 0 {
+				in = data
+			}
+			out := cm.BroadcastIntsNested(0, in)
+			if len(out) != 3 || out[2][2] != 6 {
+				t.Errorf("iteration %d: got %v", it, out)
+			}
+			if it == 0 {
+				first = out
+			} else if &out[0][0] != &first[0][0] {
+				t.Errorf("iteration %d reallocated the decode buffer", it)
+			}
+		}
+	})
 }
 
 func TestConcurrentClustersIndependent(t *testing.T) {
@@ -316,6 +392,58 @@ func TestCostModel(t *testing.T) {
 	// AllReduceDense n=2, ng=1000: 2*1*1 + 2*(1/2)*1000*0.001 = 2+1
 	if got := m.AllReduceDense(2, 1000); math.Abs(got-3) > 1e-12 {
 		t.Errorf("AllReduceDense = %v, want 3", got)
+	}
+}
+
+func TestTopologyModels(t *testing.T) {
+	topo := Topology{Alpha: 1, BytesPerSec: 1000, WorkersPerNode: 4, IntraFactor: 10}
+	for name, got := range map[string]float64{
+		"ring n=1":  topo.RingAllReduce(1, 1 << 20),
+		"rdag n=1":  topo.RecursiveDoublingAllGather(1, 1 << 20),
+		"tree n=1":  topo.TreeBroadcast(1, 1 << 20),
+		"hier n=1":  topo.HierarchicalBroadcast(1, 1 << 20),
+		"ring zero": topo.RingAllReduce(8, 0) - 2*7*1, // α-only when payload is empty
+	} {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+	}
+	// Ring all-reduce n=8 (2 nodes → inter-node β = 1/1000):
+	// 2·7·1 + 2·7/8·8000·0.001 = 14 + 14.
+	if got := topo.RingAllReduce(8, 8000); math.Abs(got-28) > 1e-9 {
+		t.Errorf("RingAllReduce = %v, want 28", got)
+	}
+	// The same collective confined to one 4-worker node rides the 10×
+	// intra-node links: 2·3·1 + 2·3/4·8000·0.0001 = 6 + 1.2.
+	if got := topo.RingAllReduce(4, 8000); math.Abs(got-7.2) > 1e-9 {
+		t.Errorf("intra-node RingAllReduce = %v, want 7.2", got)
+	}
+	// Recursive doubling all-gather n=8: 3·1 + 7·1000·0.001 = 10.
+	if got := topo.RecursiveDoublingAllGather(8, 1000); math.Abs(got-10) > 1e-9 {
+		t.Errorf("RecursiveDoublingAllGather = %v, want 10", got)
+	}
+	// Tree broadcast n=8: 3·(1 + 500·0.001) = 4.5.
+	if got := topo.TreeBroadcast(8, 500); math.Abs(got-4.5) > 1e-9 {
+		t.Errorf("TreeBroadcast = %v, want 4.5", got)
+	}
+	// Hierarchical broadcast n=8 (2 nodes of 4): inter tree over 2 leaders
+	// + intra tree over 4 workers = 1·(1+500·0.001) + 2·(1+500·0.0001).
+	want := 1*(1+0.5) + 2*(1+0.05)
+	if got := topo.HierarchicalBroadcast(8, 500); math.Abs(got-want) > 1e-9 {
+		t.Errorf("HierarchicalBroadcast = %v, want %v", got, want)
+	}
+	// Node awareness must help: the hierarchical broadcast beats the flat
+	// tree whenever the group spans nodes.
+	if topo.HierarchicalBroadcast(16, 1<<20) >= topo.TreeBroadcast(16, 1<<20) {
+		t.Error("hierarchical broadcast should beat the flat tree across nodes")
+	}
+	// Flat topology degrades gracefully.
+	flat := Topology{Alpha: 1, BytesPerSec: 1000}
+	if got, want := flat.HierarchicalBroadcast(8, 500), flat.TreeBroadcast(8, 500); got != want {
+		t.Errorf("flat hierarchical = %v, want tree cost %v", got, want)
+	}
+	if DefaultTopology().BytesPerSec <= 0 || DefaultTopology().WorkersPerNode <= 0 {
+		t.Error("DefaultTopology not usable")
 	}
 }
 

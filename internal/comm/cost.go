@@ -50,6 +50,115 @@ func (m CostModel) AllReduceDense(n, ng int) float64 {
 	return 2*(fn-1)*m.Alpha + 2*(fn-1)/fn*float64(ng)*m.Beta
 }
 
+// ------------------------------------------------- byte-accurate models --
+//
+// The CostModel methods above take element counts, as the paper's §5.3
+// formulas do. The Topology below is their byte-parameterized, fabric-aware
+// successor: now that internal/wire produces actual payloads, modeled time
+// can be driven by encoded bytes and by where the workers sit (a 4-GPU
+// node's NVLink is an order of magnitude faster than the 10 GbE between
+// nodes, and a collective confined to one node never touches the slow
+// link).
+
+// Topology describes the cluster fabric for the byte-parameterized cost
+// models: nodes of WorkersPerNode workers each, inter-node links moving
+// BytesPerSec, intra-node links IntraFactor times faster.
+type Topology struct {
+	Alpha          float64 // per-message latency (s)
+	BytesPerSec    float64 // inter-node link bandwidth (bytes/s)
+	WorkersPerNode int     // workers per node; <= 1 means a flat topology
+	IntraFactor    float64 // intra-node bandwidth multiplier (>= 1)
+}
+
+// DefaultTopology approximates the paper's cluster: 4 V100 workers per
+// node (NVLink-class intra-node fabric, ~10x the node uplink) with
+// 10 GbE-class interconnect between nodes.
+func DefaultTopology() Topology {
+	return Topology{Alpha: 30e-6, BytesPerSec: 1.25e9, WorkersPerNode: 4, IntraFactor: 10}
+}
+
+// beta returns the inter-node per-byte transfer time.
+func (t Topology) beta() float64 {
+	if t.BytesPerSec <= 0 {
+		return 0
+	}
+	return 1 / t.BytesPerSec
+}
+
+// linkBeta returns the per-byte cost of the slowest link a synchronous
+// collective over n workers crosses: the fast intra-node link when the
+// whole group fits on one node, the node uplink otherwise.
+func (t Topology) linkBeta(n int) float64 {
+	b := t.beta()
+	if n <= t.WorkersPerNode && t.IntraFactor > 1 {
+		return b / t.IntraFactor
+	}
+	return b
+}
+
+// nodes returns how many nodes n workers occupy.
+func (t Topology) nodes(n int) int {
+	if t.WorkersPerNode <= 1 {
+		return n
+	}
+	return (n + t.WorkersPerNode - 1) / t.WorkersPerNode
+}
+
+// RingAllReduce models the bandwidth-optimal ring all-reduce of a payload
+// of the given bytes per worker: 2(n−1) synchronous steps, each moving
+// bytes/n over the slowest link the ring crosses —
+// 2(n−1)·α + 2·(n−1)/n·bytes·β.
+func (t Topology) RingAllReduce(n int, bytes int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	return 2*(fn-1)*t.Alpha + 2*(fn-1)/fn*float64(bytes)*t.linkBeta(n)
+}
+
+// RecursiveDoublingAllGather models the all-gather of bytesPerRank from
+// every rank by recursive doubling: ceil(log2 n) rounds whose payload
+// doubles each round — ceil(log2 n)·α + (n−1)·bytesPerRank·β. This is the
+// collective the sparse index/value exchange of Algorithm 1 rides on.
+func (t Topology) RecursiveDoublingAllGather(n int, bytesPerRank int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(n)))
+	return rounds*t.Alpha + float64(n-1)*float64(bytesPerRank)*t.linkBeta(n)
+}
+
+// TreeBroadcast models a flat binomial-tree broadcast of a payload:
+// ceil(log2 n)·(α + bytes·β), every hop charged at the topology's slowest
+// link.
+func (t Topology) TreeBroadcast(n int, bytes int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(n)))
+	return rounds * (t.Alpha + float64(bytes)*t.linkBeta(n))
+}
+
+// HierarchicalBroadcast models the two-level broadcast a node-aware
+// runtime performs: a binomial tree over the node leaders on the inter-node
+// links, then — concurrently across nodes — a tree inside each node on the
+// fast intra-node links. With one node (or a flat topology) it degrades to
+// TreeBroadcast.
+func (t Topology) HierarchicalBroadcast(n int, bytes int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	m := t.nodes(n)
+	if m <= 1 || m >= n {
+		return t.TreeBroadcast(n, bytes)
+	}
+	fb := float64(bytes)
+	inter := math.Ceil(math.Log2(float64(m))) * (t.Alpha + fb*t.beta())
+	w := t.WorkersPerNode
+	intra := math.Ceil(math.Log2(float64(w))) * (t.Alpha + fb*t.linkBeta(w))
+	return inter + intra
+}
+
 // SelectionCost returns the paper's computational cost model for finding
 // the top k elements of an ng-element vector: ng·log(k) (natural log, the
 // constant factor is irrelevant to the speedups in Fig 9). k < 2 costs ng

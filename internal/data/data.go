@@ -229,6 +229,21 @@ func (t *Text) Sample(r *rng.RNG, batch int) (x *tensor.Tensor, targets []int) {
 	T := t.cfg.SeqLen
 	x = tensor.New(batch, T)
 	targets = make([]int, batch*T)
+	t.SampleInto(r, x, targets)
+	return x, targets
+}
+
+// SampleInto is the scratch-buffer form of Sample: x must be shaped
+// [B, SeqLen] with len(targets) == B·SeqLen. Reusing one batch across
+// iterations keeps the language-model training step allocation-free at the
+// data layer, like Vision.SampleInto.
+func (t *Text) SampleInto(r *rng.RNG, x *tensor.Tensor, targets []int) {
+	T := t.cfg.SeqLen
+	if x.Size() != len(targets) || len(targets)%T != 0 {
+		panic(fmt.Sprintf("data: Text.SampleInto got %d ids for %d targets (seqlen %d)",
+			x.Size(), len(targets), T))
+	}
+	batch := len(targets) / T
 	for b := 0; b < batch; b++ {
 		w := r.Intn(t.cfg.Vocab)
 		for step := 0; step < T; step++ {
@@ -237,7 +252,6 @@ func (t *Text) Sample(r *rng.RNG, batch int) (x *tensor.Tensor, targets []int) {
 			targets[b*T+step] = w
 		}
 	}
-	return x, targets
 }
 
 // TestSet returns a fixed evaluation batch.
@@ -372,6 +386,16 @@ func (d *Recsys) Config() RecsysConfig { return d.cfg }
 // Sample returns a training batch of (user, item, label) triples with
 // negRatio sampled negatives per positive.
 func (d *Recsys) Sample(r *rng.RNG, positives, negRatio int) (users, items []int, labels []float64) {
+	return d.SampleInto(r, positives, negRatio, nil, nil, nil)
+}
+
+// SampleInto is the scratch-buffer form of Sample: the triples are
+// appended into the passed slices after truncation to zero length, so a
+// caller that hands back the previous batch's slices reallocates nothing
+// once capacities have reached the batch size — the same contract as
+// Vision.SampleInto.
+func (d *Recsys) SampleInto(r *rng.RNG, positives, negRatio int, users, items []int, labels []float64) ([]int, []int, []float64) {
+	users, items, labels = users[:0], items[:0], labels[:0]
 	for p := 0; p < positives; p++ {
 		u := r.Intn(d.cfg.Users)
 		pos := d.positives[u][r.Intn(len(d.positives[u]))]

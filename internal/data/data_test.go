@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/tensor"
 )
 
 func TestVisionDeterministicPrototypes(t *testing.T) {
@@ -221,5 +222,56 @@ func TestRecsysPlantedStructure(t *testing.T) {
 	}
 	if identical > d.Config().Users/10 {
 		t.Fatalf("%d users share identical positives; structure degenerate", identical)
+	}
+}
+
+func TestTextSampleIntoMatchesSample(t *testing.T) {
+	ds := NewText(DefaultTextConfig())
+	x1, t1 := ds.Sample(rng.New(9), 4)
+	T := ds.Config().SeqLen
+	x2 := x1.Clone()
+	for i := range x2.Data {
+		x2.Data[i] = -1
+	}
+	t2 := make([]int, 4*T)
+	ds.SampleInto(rng.New(9), x2, t2)
+	for i := range x1.Data {
+		if x1.Data[i] != x2.Data[i] {
+			t.Fatalf("id %d differs: %v vs %v", i, x1.Data[i], x2.Data[i])
+		}
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("target %d differs: %d vs %d", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestTextSampleIntoPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ds := NewText(DefaultTextConfig())
+	ds.SampleInto(rng.New(1), tensor.New(5), make([]int, 7))
+}
+
+func TestRecsysSampleIntoMatchesSampleAndReuses(t *testing.T) {
+	ds := NewRecsys(DefaultRecsysConfig())
+	u1, i1, l1 := ds.Sample(rng.New(5), 4, 3)
+	u2, i2, l2 := ds.SampleInto(rng.New(5), 4, 3, nil, nil, nil)
+	if len(u1) != len(u2) {
+		t.Fatalf("lengths differ: %d vs %d", len(u1), len(u2))
+	}
+	for i := range u1 {
+		if u1[i] != u2[i] || i1[i] != i2[i] || l1[i] != l2[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+	// Handing the slices back must reuse their backing arrays.
+	u3, i3, l3 := ds.SampleInto(rng.New(6), 4, 3, u2, i2, l2)
+	if &u3[0] != &u2[0] || &i3[0] != &i2[0] || &l3[0] != &l2[0] {
+		t.Fatal("SampleInto reallocated caller-owned scratch")
 	}
 }

@@ -194,6 +194,10 @@ type TextModel struct {
 	out  *nn.Dense
 	ds   *data.Text
 	cfg  TextConfig
+
+	// Reusable minibatch scratch (per replica; a replica steps serially).
+	batchX *tensor.Tensor
+	batchT []int
 }
 
 // NewModel implements train.Workload.
@@ -225,7 +229,12 @@ func (m *TextModel) forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Step implements train.Model.
 func (m *TextModel) Step(r *rng.RNG) float64 {
-	x, targets := m.ds.Sample(r, m.cfg.BatchSize)
+	if m.batchX == nil {
+		m.batchX = tensor.New(m.cfg.BatchSize, m.cfg.Data.SeqLen)
+		m.batchT = make([]int, m.cfg.BatchSize*m.cfg.Data.SeqLen)
+	}
+	m.ds.SampleInto(r, m.batchX, m.batchT)
+	x, targets := m.batchX, m.batchT
 	logits := m.forward(x, true)
 	loss, grad := nn.SoftmaxCrossEntropy(logits, targets)
 	dh := m.out.Backward(grad)
@@ -308,6 +317,12 @@ type RecsysModel struct {
 
 	// forward cache for backward
 	gmfU, gmfI *tensor.Tensor
+
+	// Reusable minibatch scratch (per replica; a replica steps serially):
+	// the sampled triples and the id tensors fed to the embeddings.
+	users, items []int
+	labels       []float64
+	uIDs, iIDs   *tensor.Tensor
 }
 
 // NewModel implements train.Workload.
@@ -338,11 +353,16 @@ func (m *RecsysModel) Params() []*nn.Param {
 	return ps
 }
 
-// forward scores (user, item) pairs, returning logits [B].
+// forward scores (user, item) pairs, returning logits [B]. The id tensors
+// are per-replica scratch, rebuilt only when the batch size changes (the
+// training batch is fixed; evaluation batches differ and are rare).
 func (m *RecsysModel) forward(users, items []int, train bool) *tensor.Tensor {
 	b := len(users)
-	uIDs := tensor.New(b)
-	iIDs := tensor.New(b)
+	if m.uIDs == nil || m.uIDs.Size() != b {
+		m.uIDs = tensor.New(b)
+		m.iIDs = tensor.New(b)
+	}
+	uIDs, iIDs := m.uIDs, m.iIDs
 	for i := range users {
 		uIDs.Data[i] = float64(users[i])
 		iIDs.Data[i] = float64(items[i])
@@ -388,9 +408,9 @@ func (m *RecsysModel) backward(dlogits *tensor.Tensor) {
 
 // Step implements train.Model.
 func (m *RecsysModel) Step(r *rng.RNG) float64 {
-	users, items, labels := m.ds.Sample(r, m.cfg.Positives, m.cfg.NegRatio)
-	logits := m.forward(users, items, true)
-	loss, grad := nn.BCEWithLogits(logits, labels)
+	m.users, m.items, m.labels = m.ds.SampleInto(r, m.cfg.Positives, m.cfg.NegRatio, m.users, m.items, m.labels)
+	logits := m.forward(m.users, m.items, true)
+	loss, grad := nn.BCEWithLogits(logits, m.labels)
 	m.backward(grad)
 	return loss
 }

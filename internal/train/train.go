@@ -30,6 +30,7 @@ import (
 	"repro/internal/sparsifier"
 	"repro/internal/stats"
 	"repro/internal/tensor"
+	"repro/internal/wire"
 )
 
 // Model is one worker's replica.
@@ -68,7 +69,8 @@ type Config struct {
 	RecordEvery   int // iterations between density/error samples (default 1)
 	Seed          uint64
 	CostModel     comm.CostModel
-	DisableSparse bool // dense baseline: all-reduce the full gradient
+	Topology      comm.Topology // byte-parameterized comm model (zero: DefaultTopology)
+	DisableSparse bool          // dense baseline: all-reduce the full gradient
 
 	// CheckSync verifies after every iteration that all replicas hold
 	// bit-identical parameters (they must: every replica applies the same
@@ -90,18 +92,32 @@ type Result struct {
 
 	// Time accounting (seconds), totals over the run. Selection and
 	// gradient compute are wall-clock (max over workers per iteration);
-	// communication uses the α–β model.
+	// communication uses the α–β model on element counts (CommTime) and
+	// the topology-aware byte model on actual encoded payloads
+	// (WireCommTime).
 	ComputeTime   float64
 	SelectTime    float64
 	PartitionTime float64 // DEFT's extra overhead bucket
 	CommTime      float64
+	WireCommTime  float64
 
 	Traffic comm.TrafficCounter
-	// WireBytes is the total sparse payload all workers shipped, with the
-	// standard uint32 index + float32 value encoding (internal/sparse):
-	// per iteration, each worker uploads its local selection and receives
-	// the union's summed values.
+	// WireBytes is the total encoded payload all workers moved over the
+	// run, counting both directions symmetrically per worker: the upload
+	// (sparse: the local selection encoded with the cheapest internal/wire
+	// format at fp32; dense: the full fp32 gradient) plus the download
+	// (sparse: the union's summed values as fp32 — the indices are already
+	// known from the all-gather, so only values come back; dense: the
+	// reduced fp32 vector).
 	WireBytes int64
+	// DenseBytes is the fp32 dense baseline over the same run under the
+	// same both-directions convention (2·4·ng per worker per iteration) —
+	// the numerator of CompressionRatio, which is therefore exactly 1 for
+	// a dense run.
+	DenseBytes int64
+	// EncodedBytes samples the per-iteration encoded payload summed over
+	// workers (x = iteration), every RecordEvery iterations.
+	EncodedBytes stats.Series
 	// NaNIterations counts iterations where any worker produced a
 	// non-finite gradient (the update still proceeds; inspect this to
 	// diagnose divergence).
@@ -123,6 +139,9 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 	}
 	if cfg.LRDecay == 0 {
 		cfg.LRDecay = 0.1
+	}
+	if cfg.Topology == (comm.Topology{}) {
+		cfg.Topology = comm.DefaultTopology()
 	}
 
 	res := &Result{
@@ -164,7 +183,7 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 		partTime  time.Duration
 		stepTime  time.Duration
 		selectedK int
-		wireBytes int64
+		upBytes   int64 // this worker's encoded upload payload
 		hasNaN    bool
 	}
 	perWorker := make([]iterStats, n)
@@ -197,10 +216,15 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 		// Per-worker reusable scratch for the sparse exchange: the gathered
 		// index union, the values shipped into the all-reduce, and its
 		// result. The dense update vector is only materialised on the paths
-		// that need a dense view (momentum, dense baseline).
+		// that need a dense view (momentum, dense baseline). wireBuf and
+		// localVals carry the encoded upload payload — the worker's local
+		// (index, value) selection through the cheapest internal/wire
+		// format — so WireBytes reports what actually crosses the network.
 		var idxBuf []int
 		var vals, sum []float64
 		var update []float64
+		var wireBuf []byte
+		var localVals []float64
 		if cfg.Momentum > 0 || cfg.DisableSparse {
 			update = make([]float64, ng)
 		}
@@ -257,15 +281,16 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 
 			var selTime, partTime time.Duration
 			selectedK := ng
-			var wireBytes int64
+			var upBytes int64
 
 			if cfg.DisableSparse {
 				update = cm.AllReduceSumInto(acc, update)
 				for i := range acc {
 					acc[i] = 0
 				}
-				// Ring all-reduce moves ~2·ng float32 values per worker.
-				wireBytes = int64(8 * ng)
+				// The dense baseline ships the full fp32 gradient up and
+				// receives the reduced fp32 vector back.
+				upBytes = 2 * wire.DenseBytes(ng)
 			} else {
 				// Align workers before the measured selection phase: without
 				// this, a worker's gated section still competes with other
@@ -290,13 +315,27 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 				// the selection kernels return unspecified order and permit
 				// in-place reordering until the next Select.
 				sort.Ints(localIdx)
+				// Wire accounting: encode this worker's local (index, value)
+				// selection with the cheapest codec — the payload a real
+				// system would put on the network. The encode is the genuine
+				// article, not a size estimate, so the zero-alloc codec path
+				// is exercised every iteration.
+				if cap(localVals) < len(localIdx) {
+					localVals = make([]float64, len(localIdx))
+				}
+				localVals = localVals[:len(localIdx)]
+				for j, i := range localIdx {
+					localVals[j] = acc[i]
+				}
+				var wireErr error
+				wireBuf, _, wireErr = wire.AppendAuto(wireBuf[:0], ng, localIdx, localVals, wire.Float32)
+				if wireErr != nil {
+					panic(fmt.Sprintf("train: wire encode of local selection: %v", wireErr))
+				}
+				upBytes = int64(len(wireBuf))
 				idxBuf = cm.AllGatherUniqueIntsInto(localIdx, idxBuf)
 				idx := idxBuf
 				selectedK = len(idx)
-				// Wire accounting: this worker ships its local (index,
-				// value) pairs up and receives the union's values back,
-				// uint32+float32 each (internal/sparse encoding).
-				wireBytes = int64(8*len(localIdx) + 8*len(idx))
 				if cap(vals) < len(idx) {
 					vals = make([]float64, len(idx))
 				}
@@ -365,7 +404,7 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 				partTime:  partTime,
 				stepTime:  stepTime,
 				selectedK: selectedK,
-				wireBytes: wireBytes,
+				upBytes:   upBytes,
 				hasNaN:    hasNaN,
 			}
 			cm.Barrier() // all perWorker entries written
@@ -376,14 +415,18 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 				// iteration (paper §5.3); communication uses the α–β model
 				// with the realised per-worker k.
 				var lossSum, errSum float64
+				var iterUp, maxUp int64
 				var maxSel, maxPart, maxStep time.Duration
 				anyNaN := false
 				for i := range perWorker {
 					s := &perWorker[i]
 					lossSum += s.loss
 					errSum += s.errNorm
-					res.WireBytes += s.wireBytes
+					iterUp += s.upBytes
 					anyNaN = anyNaN || s.hasNaN
+					if s.upBytes > maxUp {
+						maxUp = s.upBytes
+					}
 					if s.selTime > maxSel {
 						maxSel = s.selTime
 					}
@@ -401,15 +444,34 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 				res.SelectTime += maxSel.Seconds()
 				res.PartitionTime += maxPart.Seconds()
 				k := perWorker[0].selectedK
+				// Byte accounting: every worker's encoded upload, plus the
+				// download each worker receives back — in sparse runs the
+				// union's summed values as fp32 (the indices are already
+				// known to every worker from the all-gather, so only values
+				// return); the dense baseline already counted both
+				// directions in upBytes. The same both-directions
+				// convention on both sides makes CompressionRatio an honest
+				// cross-mode comparison (exactly 1 for dense).
+				iterBytes := iterUp
+				res.DenseBytes += 2 * wire.DenseBytes(ng) * int64(n)
 				if cfg.DisableSparse {
 					res.CommTime += cfg.CostModel.AllReduceDense(n, ng)
+					res.WireCommTime += cfg.Topology.RingAllReduce(n, wire.DenseBytes(ng))
 				} else {
+					iterBytes += 4 * int64(k) * int64(n) // union values, fp32, per worker
 					res.CommTime += cfg.CostModel.AllGatherSparse(n, k)
+					// The sparse exchange rides a recursive-doubling
+					// all-gather of the slowest worker's encoded payload,
+					// then a ring all-reduce of the union's fp32 values.
+					res.WireCommTime += cfg.Topology.RecursiveDoublingAllGather(n, maxUp) +
+						cfg.Topology.RingAllReduce(n, 4*int64(k))
 				}
+				res.WireBytes += iterBytes
 				if t%cfg.RecordEvery == 0 {
 					res.TrainLoss.Append(float64(t), lossSum/float64(n))
 					res.ErrorNorm.Append(float64(t), errSum/float64(n))
 					res.ActualDensity.Append(float64(t), float64(k)/float64(ng))
+					res.EncodedBytes.Append(float64(t), float64(iterBytes))
 				}
 				if cfg.EvalEvery > 0 && t > 0 && t%cfg.EvalEvery == 0 {
 					res.Metric.Append(float64(t), w.Evaluate(rank0))
@@ -431,12 +493,28 @@ type overheadReporter interface {
 	LastOverhead() (partition, selection time.Duration)
 }
 
+// CompressionRatio returns the run's wire compression ratio: the fp32
+// dense baseline over the encoded bytes actually shipped (1 for the dense
+// baseline itself, 0 before any iteration ran).
+func (r *Result) CompressionRatio() float64 {
+	if r.WireBytes <= 0 {
+		return 0
+	}
+	return float64(r.DenseBytes) / float64(r.WireBytes)
+}
+
+// BytesPerIteration returns the mean encoded bytes shipped per iteration
+// across all workers.
+func (r *Result) BytesPerIteration() float64 {
+	return r.EncodedBytes.MeanY()
+}
+
 // Summary renders a short human-readable digest of the run.
 func (r *Result) Summary() string {
-	return fmt.Sprintf("%s/%s workers=%d d=%g: loss %.4f→%.4f, metric %.3f, density mean %.5f, err final %.4g",
+	return fmt.Sprintf("%s/%s workers=%d d=%g: loss %.4f→%.4f, metric %.3f, density mean %.5f, err final %.4g, wire %.2fx",
 		r.Workload, r.Sparsifier, r.Workers, r.Density,
 		firstY(&r.TrainLoss), r.TrainLoss.LastY(), r.Metric.LastY(),
-		r.ActualDensity.MeanY(), r.ErrorNorm.LastY())
+		r.ActualDensity.MeanY(), r.ErrorNorm.LastY(), r.CompressionRatio())
 }
 
 func firstY(s *stats.Series) float64 {

@@ -296,6 +296,53 @@ func TestWireBytesAccounted(t *testing.T) {
 	}
 }
 
+func TestCompressionRatioAndEncodedSeries(t *testing.T) {
+	const iters = 6
+	res := train.Run(mlpWorkload(), cltkFactory(), train.Config{
+		Workers: 2, Density: 0.05, LR: 0.3, Iterations: iters, Seed: 21,
+	})
+	// At d=0.05 the encoded payload must be far below dense fp32; the
+	// exact ratio depends on the realised union, but >4x is safe headroom
+	// for a 20x nominal compression.
+	if r := res.CompressionRatio(); r < 4 {
+		t.Fatalf("compression ratio %.2f too small for d=0.05", r)
+	}
+	if len(res.EncodedBytes.Y) != iters {
+		t.Fatalf("EncodedBytes has %d samples, want %d", len(res.EncodedBytes.Y), iters)
+	}
+	for i, b := range res.EncodedBytes.Y {
+		if b <= 0 {
+			t.Fatalf("iteration %d recorded %v encoded bytes", i, b)
+		}
+	}
+	if res.BytesPerIteration() <= 0 {
+		t.Fatal("BytesPerIteration not positive")
+	}
+	if res.WireCommTime <= 0 {
+		t.Fatal("topology-modeled comm time not recorded")
+	}
+	// Dense baseline: ratio pinned at exactly 1 (payload is the fp32
+	// gradient itself), and byte-modeled comm time still populated.
+	dense := train.Run(mlpWorkload(), nil, train.Config{
+		Workers: 2, LR: 0.3, Iterations: 3, Seed: 21, DisableSparse: true,
+	})
+	if r := dense.CompressionRatio(); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("dense compression ratio %v, want exactly 1", r)
+	}
+	if dense.WireCommTime <= 0 {
+		t.Fatal("dense topology-modeled comm time not recorded")
+	}
+	// More workers union more indices: total bytes must grow with the
+	// cluster even at fixed density.
+	wide := train.Run(mlpWorkload(), cltkFactory(), train.Config{
+		Workers: 4, Density: 0.05, LR: 0.3, Iterations: iters, Seed: 21,
+	})
+	if wide.WireBytes <= res.WireBytes {
+		t.Fatalf("4-worker run shipped %d B, 2-worker %d B: bytes should grow with workers",
+			wide.WireBytes, res.WireBytes)
+	}
+}
+
 // nanWorkload wraps the MLP but injects a NaN gradient at iteration 2.
 type nanWorkload struct{ train.Workload }
 

@@ -1,0 +1,78 @@
+package wire
+
+import "math"
+
+// IEEE 754 binary16 conversion for the fp16-quantized wire formats. The
+// conversion goes through float32 (matching how GPU systems cast before
+// transmission) and rounds to nearest, ties to even. Out-of-range
+// magnitudes saturate to ±Inf, NaN is preserved as a quiet NaN, and
+// subnormal halves (|x| < 2^-14) are produced and consumed exactly.
+
+// Float16bits converts x to its binary16 bit pattern.
+func Float16bits(x float64) uint16 {
+	b := math.Float32bits(float32(x))
+	sign := uint16((b >> 16) & 0x8000)
+	exp := int((b >> 23) & 0xff)
+	man := b & 0x7fffff
+
+	if exp == 0xff { // Inf or NaN
+		if man != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	}
+
+	e := exp - 127 + 15
+	if e >= 0x1f {
+		return sign | 0x7c00 // overflow: saturate to Inf
+	}
+	if e <= 0 {
+		// Subnormal target (or underflow to zero). The float32 significand
+		// with its implicit bit, man|0x800000, scaled by 2^(e-14), is the
+		// subnormal payload; shift it down with round-to-nearest-even.
+		if e < -10 {
+			return sign // underflows even the smallest subnormal
+		}
+		man |= 0x800000
+		shift := uint(14 - e) // in [14, 24]
+		v := uint16(man >> shift)
+		rem := man & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && v&1 == 1) {
+			v++
+		}
+		return sign | v
+	}
+
+	// Normal target: drop 23−10 = 13 significand bits with
+	// round-to-nearest-even. A mantissa carry propagates into the exponent
+	// bits, which is exactly the correct rounding (up to Inf at the top).
+	h := sign | uint16(e)<<10 | uint16(man>>13)
+	rem := man & 0x1fff
+	if rem > 0x1000 || (rem == 0x1000 && h&1 == 1) {
+		h++
+	}
+	return h
+}
+
+// Float16from converts a binary16 bit pattern back to float64.
+func Float16from(h uint16) float64 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		// Zero or subnormal: man × 2^-24.
+		v := float64(man) * 0x1p-24
+		if sign != 0 {
+			v = -v
+		}
+		return v
+	case 0x1f:
+		if man != 0 {
+			return math.NaN()
+		}
+		return float64(math.Float32frombits(sign | 0x7f800000))
+	}
+	return float64(math.Float32frombits(sign | (exp-15+127)<<23 | man<<13))
+}

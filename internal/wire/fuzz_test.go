@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeInto feeds arbitrary bytes to the decoder: it must never panic,
+// and anything it accepts must re-encode (in the same format) to a payload
+// that decodes to the identical selection — i.e. decode∘encode is the
+// identity on the decoder's accepted language.
+func FuzzDecodeInto(f *testing.F) {
+	seed := [][]struct {
+		ng   int
+		idx  []int
+		vals []float64
+	}{{
+		{0, nil, nil},
+		{1, []int{0}, []float64{1.5}},
+		{1000, []int{0, 1, 999}, []float64{-1, 0, 65000}},
+		{257, []int{13, 14, 15, 128, 256}, []float64{1e-5, -2, 3, 4, 5}},
+	}}
+	for _, cases := range seed {
+		for _, c := range cases {
+			for _, fmtc := range allFormats {
+				buf, err := AppendEncode(nil, fmtc, c.ng, c.idx, c.vals)
+				if err != nil {
+					f.Fatal(err)
+				}
+				f.Add(buf)
+			}
+		}
+	}
+	f.Add([]byte{byte(COO32), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{byte(Bitmap16), 0x10, 0x03, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		format, ng, idx, vals, err := DecodeInto(buf, nil, nil)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must round-trip bit-identically: the decoded
+		// selection re-encodes to a canonical payload that decodes equal.
+		re, err := AppendEncode(nil, format, ng, idx, vals)
+		if err != nil {
+			t.Fatalf("re-encode of accepted payload failed: %v", err)
+		}
+		f2, ng2, idx2, vals2, err := DecodeInto(re, nil, nil)
+		if err != nil {
+			t.Fatalf("decode of re-encoded payload failed: %v", err)
+		}
+		if f2 != format || ng2 != ng || len(idx2) != len(idx) || len(vals2) != len(vals) {
+			t.Fatalf("round trip changed shape: (%v,%d,%d) vs (%v,%d,%d)",
+				format, ng, len(idx), f2, ng2, len(idx2))
+		}
+		for i := range idx {
+			if idx2[i] != idx[i] {
+				t.Fatalf("round trip changed index %d: %d vs %d", i, idx[i], idx2[i])
+			}
+		}
+		// Values compare via their wire bits (NaN-safe).
+		rv, err := AppendEncode(nil, format, ng, idx2, vals2)
+		if err != nil || !bytes.Equal(re, rv) {
+			t.Fatalf("re-encoding is not a fixed point (err %v)", err)
+		}
+	})
+}
+
+// FuzzEncodeDecodeIdentity drives the encoder with fuzzer-chosen shapes:
+// any selection the encoder accepts must decode back identically.
+func FuzzEncodeDecodeIdentity(f *testing.F) {
+	f.Add(uint16(1000), uint64(0x12345), byte(1), byte(0))
+	f.Add(uint16(64), uint64(0xffffffff), byte(3), byte(1))
+	f.Add(uint16(0), uint64(0), byte(2), byte(0))
+	f.Fuzz(func(t *testing.T, ng16 uint16, pattern uint64, fb byte, vseed byte) {
+		ng := int(ng16)
+		format := allFormats[int(fb)%len(allFormats)]
+		// Derive a strictly increasing index set from the bit pattern.
+		var idx []int
+		var vals []float64
+		x := pattern | 1
+		for i := 0; i < ng; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			if x&7 == 0 {
+				idx = append(idx, i)
+				vals = append(vals, float64(int(x%1024))-512+float64(vseed)/7)
+			}
+		}
+		buf, err := AppendEncode(nil, format, ng, idx, vals)
+		if err != nil {
+			t.Fatalf("encoder rejected a valid selection: %v", err)
+		}
+		gf, gng, gidx, gvals, err := DecodeInto(buf, nil, nil)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if gf != format || gng != ng || len(gidx) != len(idx) {
+			t.Fatalf("shape mismatch")
+		}
+		for i := range idx {
+			if gidx[i] != idx[i] {
+				t.Fatalf("index %d: %d vs %d", i, idx[i], gidx[i])
+			}
+			want := float64(float32(vals[i]))
+			if format.valueBytes() == 2 {
+				want = Float16from(Float16bits(vals[i]))
+			}
+			if gvals[i] != want {
+				t.Fatalf("value %d: %v vs %v", i, want, gvals[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomSelection draws a strictly increasing index set of the given
+// density over [0, ng) with values in [-8, 8).
+func randomSelection(r *rng.RNG, ng int, density float64) (idx []int, vals []float64) {
+	for i := 0; i < ng; i++ {
+		if r.Float64() < density {
+			idx = append(idx, i)
+			vals = append(vals, r.Float64()*16-8)
+		}
+	}
+	return idx, vals
+}
+
+// TestPropertyRoundTripIdentity is the satellite-task property test:
+// encode→decode is the identity on indices for random index sets at
+// densities 1e-4…0.5 — including the empty and full vectors — in every
+// format, and the identity on values up to the format's value precision.
+func TestPropertyRoundTripIdentity(t *testing.T) {
+	r := rng.New(7)
+	densities := []float64{1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5}
+	lengths := []int{1, 3, 64, 1000, 50000}
+	var buf []byte
+	var dIdx []int
+	var dVals []float64
+	check := func(ng int, idx []int, vals []float64) {
+		t.Helper()
+		for _, f := range allFormats {
+			var err error
+			buf, err = AppendEncode(buf[:0], f, ng, idx, vals)
+			if err != nil {
+				t.Fatalf("%v ng=%d nnz=%d: encode: %v", f, ng, len(idx), err)
+			}
+			if len(buf) != EncodedSize(f, ng, idx) {
+				t.Fatalf("%v ng=%d nnz=%d: size %d != EncodedSize %d",
+					f, ng, len(idx), len(buf), EncodedSize(f, ng, idx))
+			}
+			var gf Format
+			var gng int
+			gf, gng, dIdx, dVals, err = DecodeInto(buf, dIdx, dVals)
+			if err != nil {
+				t.Fatalf("%v ng=%d nnz=%d: decode: %v", f, ng, len(idx), err)
+			}
+			if gf != f || gng != ng || len(dIdx) != len(idx) {
+				t.Fatalf("%v: header (%v, %d, %d), want (%v, %d, %d)",
+					f, gf, gng, len(dIdx), f, ng, len(idx))
+			}
+			for i := range idx {
+				if dIdx[i] != idx[i] {
+					t.Fatalf("%v ng=%d: index %d is %d, want %d", f, ng, i, dIdx[i], idx[i])
+				}
+				want := float64(float32(vals[i]))
+				if f.valueBytes() == 2 {
+					want = Float16from(Float16bits(vals[i]))
+				}
+				if dVals[i] != want {
+					t.Fatalf("%v ng=%d: value %d is %v, want %v", f, ng, i, dVals[i], want)
+				}
+			}
+		}
+	}
+	for _, ng := range lengths {
+		for _, d := range densities {
+			idx, vals := randomSelection(r, ng, d)
+			check(ng, idx, vals)
+		}
+		// Empty and full vectors.
+		check(ng, nil, nil)
+		full := make([]int, ng)
+		fullV := make([]float64, ng)
+		for i := range full {
+			full[i] = i
+			fullV[i] = r.Norm()
+		}
+		check(ng, full, fullV)
+	}
+}
+
+// TestPropertyPickIsCheapest verifies the selector against brute force on
+// random selections across the density sweep.
+func TestPropertyPickIsCheapest(t *testing.T) {
+	r := rng.New(11)
+	for _, ng := range []int{100, 4096, 100000} {
+		for _, d := range []float64{1e-4, 1e-2, 0.1, 0.2, 0.5} {
+			idx, _ := randomSelection(r, ng, d)
+			for _, prec := range []Precision{Float32, Float16} {
+				f, size := Pick(ng, idx, prec)
+				coo, bm := COO32, Bitmap32
+				if prec == Float16 {
+					coo, bm = COO16, Bitmap16
+				}
+				best := EncodedSize(coo, ng, idx)
+				if s := EncodedSize(bm, ng, idx); s < best {
+					best = s
+				}
+				if size != best || size != EncodedSize(f, ng, idx) {
+					t.Fatalf("ng=%d d=%g prec=%d: Pick (%v, %d), brute-force min %d",
+						ng, d, prec, f, size, best)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyFloat16Monotone checks the quantizer is monotone and within
+// one half-precision ulp across a magnitude sweep — the property that makes
+// fp16 gradients usable at all.
+func TestPropertyFloat16Monotone(t *testing.T) {
+	r := rng.New(13)
+	prev := math.Inf(-1)
+	step := 0.001
+	for x := -65000.0; x < 65000; x += step {
+		got := Float16from(Float16bits(x))
+		if got < prev {
+			t.Fatalf("quantizer not monotone at %v: %v < %v", x, got, prev)
+		}
+		prev = got
+		step *= 1.01 // geometric step: dense near zero, coarse at the ends
+	}
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()*130000 - 65000
+		q := Float16from(Float16bits(x))
+		if math.Abs(q-x) > math.Max(math.Abs(x)/1024, 0x1p-24) {
+			t.Fatalf("f16(%v) = %v: error beyond one ulp", x, q)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+var allFormats = []Format{COO32, COO16, Bitmap32, Bitmap16}
+
+// roundTrip encodes (ng, idx, vals) in format f and decodes it back,
+// failing the test on any error or mismatch in format, length or indices.
+// It returns the decoded values and the encoded size.
+func roundTrip(t *testing.T, f Format, ng int, idx []int, vals []float64) ([]float64, int) {
+	t.Helper()
+	buf, err := AppendEncode(nil, f, ng, idx, vals)
+	if err != nil {
+		t.Fatalf("%v encode: %v", f, err)
+	}
+	if got, want := len(buf), EncodedSize(f, ng, idx); got != want {
+		t.Fatalf("%v: encoded %d bytes, EncodedSize says %d", f, got, want)
+	}
+	gf, gng, gidx, gvals, err := DecodeInto(buf, nil, nil)
+	if err != nil {
+		t.Fatalf("%v decode: %v", f, err)
+	}
+	if gf != f || gng != ng {
+		t.Fatalf("%v: decoded header (%v, %d), want (%v, %d)", f, gf, gng, f, ng)
+	}
+	if len(gidx) != len(idx) {
+		t.Fatalf("%v: decoded %d indices, want %d", f, len(gidx), len(idx))
+	}
+	for i := range idx {
+		if gidx[i] != idx[i] {
+			t.Fatalf("%v: index %d decoded as %d, want %d", f, i, gidx[i], idx[i])
+		}
+	}
+	return gvals, len(buf)
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	ng := 1000
+	idx := []int{0, 1, 7, 8, 300, 301, 999}
+	vals := []float64{-1.5, 0, 0.25, 1e-3, -7.75, 42, 0.5}
+	for _, f := range allFormats {
+		gvals, _ := roundTrip(t, f, ng, idx, vals)
+		for i, v := range vals {
+			want := float64(float32(v))
+			if f.valueBytes() == 2 {
+				want = Float16from(Float16bits(v))
+			}
+			if gvals[i] != want {
+				t.Errorf("%v: value %d decoded as %v, want %v", f, i, gvals[i], want)
+			}
+		}
+	}
+}
+
+func TestRoundTripEmptyAndFull(t *testing.T) {
+	for _, f := range allFormats {
+		// Empty selection.
+		gvals, _ := roundTrip(t, f, 64, nil, nil)
+		if len(gvals) != 0 {
+			t.Errorf("%v: empty round trip returned %d values", f, len(gvals))
+		}
+		// Zero-length vector.
+		roundTrip(t, f, 0, nil, nil)
+		// Full vector: every index present.
+		const ng = 130
+		idx := make([]int, ng)
+		vals := make([]float64, ng)
+		for i := range idx {
+			idx[i] = i
+			vals[i] = float64(i) - 60
+		}
+		roundTrip(t, f, ng, idx, vals)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	cases := map[string]struct {
+		f    Format
+		ng   int
+		idx  []int
+		vals []float64
+	}{
+		"unknown format":  {Format(0), 10, []int{1}, []float64{1}},
+		"length mismatch": {COO32, 10, []int{1, 2}, []float64{1}},
+		"negative ng":     {COO32, -1, nil, nil},
+		"negative index":  {Bitmap32, 10, []int{-1}, []float64{1}},
+		"out of range":    {COO32, 10, []int{10}, []float64{1}},
+		"duplicate":       {COO32, 10, []int{3, 3}, []float64{1, 2}},
+		"unsorted":        {Bitmap16, 10, []int{5, 2}, []float64{1, 2}},
+	}
+	for name, c := range cases {
+		if _, err := AppendEncode(nil, c.f, c.ng, c.idx, c.vals); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, err := AppendEncode(nil, COO32, 100, []int{3, 50}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := AppendEncode(nil, Bitmap32, 100, []int{3, 50}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"unknown format":    {0xee, 10, 0},
+		"truncated header":  good[:2],
+		"truncated indices": good[:4],
+		"truncated values":  good[:len(good)-1],
+		"trailing bytes":    append(append([]byte(nil), good...), 0),
+		"bitmap truncated":  bm[:5],
+	}
+	// Bitmap popcount disagreeing with the nnz header.
+	bad := append([]byte(nil), bm...)
+	bad[3+3/8] |= 1 << 7 // set an extra bit in the bitmap block
+	cases["popcount mismatch"] = bad
+	// Hostile headers claiming gigantic nnz/ng over a tiny body: must be
+	// rejected cheaply, before any nnz-sized allocation happens.
+	var varint [binary.MaxVarintLen64]byte
+	huge := []byte{byte(COO32)}
+	huge = append(huge, varint[:binary.PutUvarint(varint[:], math.MaxInt32-1)]...) // ng
+	huge = append(huge, varint[:binary.PutUvarint(varint[:], 1<<30)]...)           // nnz
+	cases["huge nnz, empty body"] = huge
+	hugeBM := []byte{byte(Bitmap16)}
+	hugeBM = append(hugeBM, varint[:binary.PutUvarint(varint[:], math.MaxInt32-1)]...)
+	hugeBM = append(hugeBM, varint[:binary.PutUvarint(varint[:], 1<<30)]...)
+	cases["huge bitmap, empty body"] = hugeBM
+
+	for name, buf := range cases {
+		if _, _, _, _, err := DecodeInto(buf, nil, nil); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestPickComputesExactMinimum(t *testing.T) {
+	// Low density: COO must win. High density: bitmap must win.
+	ng := 100000
+	sparseIdx := []int{5, 20000, 77777}
+	denseIdx := make([]int, ng/2)
+	for i := range denseIdx {
+		denseIdx[i] = 2 * i
+	}
+	for _, c := range []struct {
+		idx  []int
+		prec Precision
+	}{{sparseIdx, Float32}, {sparseIdx, Float16}, {denseIdx, Float32}, {denseIdx, Float16}} {
+		f, size := Pick(ng, c.idx, c.prec)
+		coo, bm := COO32, Bitmap32
+		if c.prec == Float16 {
+			coo, bm = COO16, Bitmap16
+		}
+		min := EncodedSize(coo, ng, c.idx)
+		if s := EncodedSize(bm, ng, c.idx); s < min {
+			min = s
+		}
+		if size != min {
+			t.Errorf("Pick(%d idx, prec %d) size %d, want exact min %d", len(c.idx), c.prec, size, min)
+		}
+		if size != EncodedSize(f, ng, c.idx) {
+			t.Errorf("Pick returned inconsistent (format, size)")
+		}
+	}
+	if f, _ := Pick(ng, sparseIdx, Float32); f != COO32 {
+		t.Errorf("sparse selection picked %v, want coo32", f)
+	}
+	if f, _ := Pick(ng, denseIdx, Float32); f != Bitmap32 {
+		t.Errorf("half-dense selection picked %v, want bitmap32", f)
+	}
+}
+
+func TestIndexBytes(t *testing.T) {
+	if n, ok := IndexBytes([]int{0, 1, 2, 3}); !ok || n != 4 {
+		t.Errorf("dense run: (%d, %v), want (4, true)", n, ok)
+	}
+	// Gap of 129 needs a 2-byte varint (128 after the −1 shift).
+	if n, ok := IndexBytes([]int{0, 129}); !ok || n != 3 {
+		t.Errorf("gap 129: (%d, %v), want (3, true)", n, ok)
+	}
+	if _, ok := IndexBytes([]int{3, 3}); ok {
+		t.Error("duplicate accepted")
+	}
+	if _, ok := IndexBytes([]int{-1, 4}); ok {
+		t.Error("negative accepted")
+	}
+	if n, ok := IndexBytes(nil); !ok || n != 0 {
+		t.Errorf("empty: (%d, %v), want (0, true)", n, ok)
+	}
+}
+
+func TestFloat16Conversion(t *testing.T) {
+	exact := []float64{0, 1, -1, 0.5, -0.25, 2048, 65504, -65504, 0x1p-14, 0x1p-24, -0x1p-24}
+	for _, v := range exact {
+		if got := Float16from(Float16bits(v)); got != v {
+			t.Errorf("f16 round trip of exactly-representable %v gave %v", v, got)
+		}
+	}
+	if Float16bits(0) != 0 || Float16bits(math.Copysign(0, -1)) != 0x8000 {
+		t.Error("signed zeros not preserved")
+	}
+	if v := Float16from(Float16bits(math.Inf(1))); !math.IsInf(v, 1) {
+		t.Errorf("+Inf became %v", v)
+	}
+	if v := Float16from(Float16bits(math.Inf(-1))); !math.IsInf(v, -1) {
+		t.Errorf("-Inf became %v", v)
+	}
+	if v := Float16from(Float16bits(math.NaN())); !math.IsNaN(v) {
+		t.Errorf("NaN became %v", v)
+	}
+	// Overflow saturates to Inf; deep underflow flushes to zero.
+	if v := Float16from(Float16bits(1e6)); !math.IsInf(v, 1) {
+		t.Errorf("65504-overflow became %v", v)
+	}
+	if v := Float16from(Float16bits(1e-9)); v != 0 {
+		t.Errorf("underflow became %v", v)
+	}
+	// Round-to-nearest-even: 2049 is exactly between 2048 and 2050 in
+	// binary16 (ulp 2 at this magnitude) and must round to the even 2048.
+	if v := Float16from(Float16bits(2049)); v != 2048 {
+		t.Errorf("2049 rounded to %v, want 2048 (ties to even)", v)
+	}
+	if v := Float16from(Float16bits(2051)); v != 2052 {
+		t.Errorf("2051 rounded to %v, want 2052 (ties to even)", v)
+	}
+	// Relative error within half-precision epsilon for normal values.
+	for _, v := range []float64{0.1, 3.14159, -123.456, 999.9} {
+		got := Float16from(Float16bits(v))
+		if rel := math.Abs(got-v) / math.Abs(v); rel > 1.0/1024 {
+			t.Errorf("f16(%v) = %v, relative error %v too large", v, got, rel)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	for _, f := range allFormats {
+		if s := f.String(); s == "" || strings.Contains(s, "Format(") {
+			t.Errorf("format %d has no name: %q", uint8(f), s)
+		}
+	}
+	if s := Format(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown format string %q", s)
+	}
+}
+
+// TestSteadyStateZeroAlloc asserts the acceptance criterion: with warmed
+// caller-owned buffers, Encode and DecodeInto allocate nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	ng := 100000
+	idx := make([]int, 0, 1000)
+	vals := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		idx = append(idx, i*97)
+		vals = append(vals, float64(i)*0.25-100)
+	}
+	for _, f := range allFormats {
+		var buf []byte
+		var err error
+		buf, err = AppendEncode(buf[:0], f, ng, idx, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			buf, err = AppendEncode(buf[:0], f, ng, idx, vals)
+		}); n != 0 {
+			t.Errorf("%v: AppendEncode allocates %.1f per run in steady state", f, n)
+		}
+		dIdx := make([]int, 0, len(idx))
+		dVals := make([]float64, 0, len(vals))
+		if n := testing.AllocsPerRun(50, func() {
+			_, _, dIdx, dVals, err = DecodeInto(buf, dIdx, dVals)
+		}); n != 0 {
+			t.Errorf("%v: DecodeInto allocates %.1f per run in steady state", f, n)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The automatic path (Pick + encode) must be allocation-free too.
+	var buf []byte
+	buf, _, _ = AppendAuto(buf[:0], ng, idx, vals, Float32)
+	if n := testing.AllocsPerRun(50, func() {
+		buf, _, _ = AppendAuto(buf[:0], ng, idx, vals, Float32)
+	}); n != 0 {
+		t.Errorf("AppendAuto allocates %.1f per run in steady state", n)
+	}
+}

@@ -2,23 +2,31 @@
 // two-stage partition (Algorithm 2), the norm-proportional local k
 // assignment (Algorithm 3) and the bin-packing allocation (Algorithm 4) —
 // for one of the paper's model catalogs with synthetic gradients, or for a
-// trainable workload's first real gradient.
+// trainable workload's first real gradient, plus the wire footprint of
+// every sparsifier scheme on that gradient.
 //
 // Usage:
 //
 //	deft-inspect -catalog lstm -workers 16 -density 0.001
 //	deft-inspect -workload vision -workers 8 -density 0.01
+//	deft-inspect -workload mlp -json > inspect.json
+//
+// Output is two tables (fragment allocation, wire footprint); -json emits
+// them with the shared experiments.Table serialization used by deft-serve
+// and deft-bench.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/models"
+	"repro/internal/experiments"
 	"repro/internal/nn"
+	"repro/internal/registry"
 	"repro/internal/rng"
 	"repro/internal/shapes"
 	"repro/internal/sparsifier"
@@ -33,10 +41,12 @@ func main() {
 	density := flag.Float64("density", 0.01, "target density")
 	scale := flag.Float64("scale", 0.1, "catalog scale factor")
 	maxRows := flag.Int("max-rows", 24, "fragment rows to print (0 = all)")
+	jsonOut := flag.Bool("json", false, "emit the tables as JSON instead of text")
 	flag.Parse()
 
 	var layers []sparsifier.Layer
 	var grad []float64
+	var source string
 	switch {
 	case *catalog != "":
 		c, ok := shapes.ByName(*catalog)
@@ -47,10 +57,11 @@ func main() {
 		c = c.Scaled(*scale)
 		layers = c.Layers()
 		grad = c.SyntheticGradients(42)
+		source = fmt.Sprintf("catalog %s (scale %g)", *catalog, *scale)
 	case *workload != "":
-		w := buildWorkload(*workload)
-		if w == nil {
-			fmt.Fprintf(os.Stderr, "deft-inspect: unknown workload %q\n", *workload)
+		w, err := registry.NewWorkload(*workload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: %v\n", err)
 			os.Exit(2)
 		}
 		m := w.NewModel()
@@ -60,20 +71,46 @@ func main() {
 		grad = make([]float64, nn.TotalSize(params))
 		train.FlattenGrads(params, grad)
 		layers = train.Layout(params)
+		source = fmt.Sprintf("workload %s (first real gradient)", *workload)
 	default:
 		fmt.Fprintln(os.Stderr, "deft-inspect: pass -catalog or -workload")
 		os.Exit(2)
 	}
 
-	ng := len(grad)
-	k := int(float64(ng) * *density)
-	fmt.Printf("model: %d gradients in %d layers; workers=%d, d=%g (k=%d)\n\n",
-		ng, len(layers), *workers, *density, k)
+	// In JSON mode all fragment rows ship; -max-rows trims only the text
+	// rendering.
+	rows := *maxRows
+	if *jsonOut {
+		rows = 0
+	}
+	tables := []*experiments.Table{
+		fragmentTable(layers, grad, *workers, *density, source, rows),
+		wireTable(layers, grad, *workers, *density),
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: encode: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+}
 
-	frags := core.Partition(layers, *workers, core.PartitionOpts{SecondStage: true})
+// fragmentTable renders DEFT's partition/assign/allocate decisions as one
+// table: fragment rows plus per-worker cost rows, with the balance and
+// speedup summary in the notes.
+func fragmentTable(layers []sparsifier.Layer, grad []float64, workers int, density float64, source string, maxRows int) *experiments.Table {
+	ng := len(grad)
+	k := int(float64(ng) * density)
+	frags := core.Partition(layers, workers, core.PartitionOpts{SecondStage: true})
 	core.ComputeNorms(frags, grad)
 	core.AssignK(frags, k)
-	bins := core.Allocate(frags, *workers, core.LPTPolicy)
+	bins := core.Allocate(frags, workers, core.LPTPolicy)
 
 	owner := make([]int, len(frags))
 	for w, bin := range bins {
@@ -82,67 +119,85 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%-6s %-28s %-10s %-12s %-8s %-10s %-6s\n",
-		"frag", "layer", "size", "norm", "k", "cost", "worker")
+	t := &experiments.Table{
+		ID: "inspect-fragments",
+		Title: fmt.Sprintf("DEFT fragment allocation — %s: %d gradients in %d layers, workers=%d, d=%g (k=%d)",
+			source, ng, len(layers), workers, density, k),
+		Columns: []string{"frag", "layer", "size", "norm", "k", "cost", "worker"},
+	}
 	shown := 0
 	for i, f := range frags {
-		if *maxRows > 0 && shown >= *maxRows {
-			fmt.Printf("... (%d more fragments)\n", len(frags)-shown)
+		if maxRows > 0 && shown >= maxRows {
+			t.Notes = append(t.Notes, fmt.Sprintf("%d more fragments elided (-max-rows)", len(frags)-shown))
 			break
 		}
-		fmt.Printf("%-6d %-28s %-10d %-12.4g %-8d %-10.4g %-6d\n",
-			i, truncate(f.Name, 28), f.Size(), f.Norm, f.K, f.Cost(), owner[i])
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i), truncate(f.Name, 28), fmt.Sprintf("%d", f.Size()),
+			fmt.Sprintf("%.4g", f.Norm), fmt.Sprintf("%d", f.K),
+			fmt.Sprintf("%.4g", f.Cost()), fmt.Sprintf("%d", owner[i]),
+		})
 		shown++
 	}
 
 	totalK := 0
-	for _, f := range frags {
-		totalK += f.K
-	}
-	fmt.Printf("\nΣk = %d (target %d, realised density %.6f)\n", totalK, k, float64(totalK)/float64(ng))
-	fmt.Printf("per-worker selection cost (n_g,x·log k_x):\n")
 	total := 0.0
 	for _, f := range frags {
+		totalK += f.K
 		total += f.Cost()
 	}
 	for w := range bins {
-		c := core.WorkerCost(frags, bins[w])
-		fmt.Printf("  worker %-3d cost %-14.4g (%d fragments)\n", w, c, len(bins[w]))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("worker %d", w), fmt.Sprintf("(%d fragments)", len(bins[w])), "", "", "",
+			fmt.Sprintf("%.4g", core.WorkerCost(frags, bins[w])), fmt.Sprintf("%d", w),
+		})
 	}
 	maxC := core.MaxWorkerCost(frags, bins)
-	fmt.Printf("balance: max/mean = %.3f; modeled speedup over whole-vector top-k = %.1fx (trivial bound %.1fx, linear %dx)\n",
-		maxC/(total/float64(*workers)),
-		core.FullCost(ng, k)/maxC,
-		core.FullCost(ng, k)/core.TrivialCost(ng, k, *workers),
-		*workers)
-
-	printWireTable(layers, grad, *workers, *density)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Σk = %d (target %d, realised density %.6f)", totalK, k, float64(totalK)/float64(ng)),
+		fmt.Sprintf("balance: max/mean = %.3f; modeled speedup over whole-vector top-k = %.1fx (trivial bound %.1fx, linear %dx)",
+			maxC/(total/float64(workers)),
+			core.FullCost(ng, k)/maxC,
+			core.FullCost(ng, k)/core.TrivialCost(ng, k, workers),
+			workers))
+	return t
 }
 
-// printWireTable runs every sparsifier scheme once on the gradient and
-// reports its encoded upload payload — bytes one worker ships per
-// iteration — under each internal/wire format, the automatically selected
-// cheapest format, and the compression ratio against the dense fp32
-// baseline.
-func printWireTable(layers []sparsifier.Layer, grad []float64, workers int, density float64) {
+// wireTable runs every sparsifier scheme once on the gradient and reports
+// its encoded upload payload — bytes one worker ships per iteration —
+// under each internal/wire format, the automatically selected cheapest
+// format, and the compression ratio against the dense fp32 baseline.
+func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density float64) *experiments.Table {
 	ng := len(grad)
-	schemes := []struct {
+	// Every scheme the registry advertises, so a sparsifier added there
+	// shows up here automatically. The dense baseline has no selection to
+	// encode, and hardthreshold tunes on the inspected gradient itself
+	// (catalog mode has no workload to sample).
+	type scheme struct {
 		name string
 		sp   sparsifier.Sparsifier
-	}{
-		{"deft", core.NewDefault()},
-		{"topk", sparsifier.NewTopK()},
-		{"cltk", &sparsifier.CLTK{}},
-		{"sidco", &sparsifier.SIDCo{Stages: 3}},
-		{"dgc", &sparsifier.DGC{}},
-		{"gaussiank", sparsifier.GaussianK{}},
-		{"hardthreshold", sparsifier.TuneHardThreshold(grad, density)},
-		{"randk", sparsifier.RandK{}},
+	}
+	var schemes []scheme
+	for _, name := range registry.Sparsifiers() {
+		switch name {
+		case "dense":
+			continue
+		case "hardthreshold":
+			schemes = append(schemes, scheme{name, sparsifier.TuneHardThreshold(grad, density)})
+		default:
+			factory, _, err := registry.NewFactory(name, nil, density)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "deft-inspect: %v\n", err)
+				os.Exit(1)
+			}
+			schemes = append(schemes, scheme{name, factory()})
+		}
 	}
 	dense := wire.DenseBytes(ng)
-	fmt.Printf("\nwire footprint per scheme (one worker-iteration upload; dense fp32 baseline %d B):\n", dense)
-	fmt.Printf("%-14s %-9s %-10s %-10s %-10s %-10s %-10s %-10s %-7s\n",
-		"scheme", "nnz", "density", "coo32", "coo16", "bitmap32", "bitmap16", "bytes/it", "ratio")
+	t := &experiments.Table{
+		ID:      "inspect-wire",
+		Title:   fmt.Sprintf("Wire footprint per scheme (one worker-iteration upload; dense fp32 baseline %d B)", dense),
+		Columns: []string{"scheme", "nnz", "density", "coo32", "coo16", "bitmap32", "bitmap16", "bytes/it", "ratio"},
+	}
 	vals := make([]float64, 0, ng)
 	for _, s := range schemes {
 		ctx := &sparsifier.Ctx{NWorkers: workers, Density: density, Layers: layers}
@@ -163,29 +218,17 @@ func printWireTable(layers []sparsifier.Layer, grad []float64, workers int, dens
 				s.name, f, len(buf), best, size)
 			os.Exit(1)
 		}
-		fmt.Printf("%-14s %-9d %-10.6f %-10d %-10d %-10d %-10d %-10s %.1fx\n",
-			s.name, len(idx), float64(len(idx))/float64(ng),
-			wire.EncodedSize(wire.COO32, ng, idx),
-			wire.EncodedSize(wire.COO16, ng, idx),
-			wire.EncodedSize(wire.Bitmap32, ng, idx),
-			wire.EncodedSize(wire.Bitmap16, ng, idx),
+		t.Rows = append(t.Rows, []string{
+			s.name, fmt.Sprintf("%d", len(idx)), fmt.Sprintf("%.6f", float64(len(idx))/float64(ng)),
+			fmt.Sprintf("%d", wire.EncodedSize(wire.COO32, ng, idx)),
+			fmt.Sprintf("%d", wire.EncodedSize(wire.COO16, ng, idx)),
+			fmt.Sprintf("%d", wire.EncodedSize(wire.Bitmap32, ng, idx)),
+			fmt.Sprintf("%d", wire.EncodedSize(wire.Bitmap16, ng, idx)),
 			fmt.Sprintf("%d (%s)", size, best),
-			float64(dense)/float64(size))
+			fmt.Sprintf("%.1fx", float64(dense)/float64(size)),
+		})
 	}
-}
-
-func buildWorkload(name string) train.Workload {
-	switch name {
-	case "mlp":
-		return models.NewMLP(models.DefaultMLPConfig())
-	case "vision":
-		return models.NewVision(models.DefaultVisionConfig())
-	case "langmodel":
-		return models.NewText(models.DefaultTextConfig())
-	case "recsys":
-		return models.NewRecsys(models.DefaultRecsysConfig())
-	}
-	return nil
+	return t
 }
 
 func truncate(s string, n int) string {

@@ -1,0 +1,75 @@
+// Command deft-serve runs the experiment-job service: an HTTP server that
+// schedules paper artefacts and ad-hoc training runs as observable,
+// cancellable jobs with single-flight dedup and a content-addressed
+// result cache.
+//
+// Usage:
+//
+//	deft-serve -addr :8080 -pool 2
+//
+// Submit, stream, and cancel with curl:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"experiment":"fig4","quick":true}'
+//	curl -s localhost:8080/v1/jobs -d '{"train":{"workload":"mlp","sparsifier":"deft","iterations":200}}'
+//	curl -N localhost:8080/v1/jobs/job-000001/stream
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
+//
+// SIGINT/SIGTERM shut down gracefully: running trainers abort
+// mid-iteration, queued jobs drain as cancelled, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 2, "concurrent flights (each training flight spawns its own worker goroutines)")
+	queueDepth := flag.Int("queue", 256, "max queued flights before submissions get 503")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{Pool: *pool, Queue: *queueDepth})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("deft-serve: listening on %s (pool %d)", *addr, *pool)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("deft-serve: %v, draining (budget %v)", sig, *drain)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "deft-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Settle the scheduler first — running trainers abort mid-iteration,
+	// jobs report cancelled, event streams terminate — so the HTTP drain
+	// below isn't stuck behind open /stream connections.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "deft-serve: scheduler drain: %v\n", err)
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("deft-serve: http shutdown: %v", err)
+	}
+	log.Printf("deft-serve: drained cleanly")
+}

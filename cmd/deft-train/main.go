@@ -5,22 +5,24 @@
 // Usage:
 //
 //	deft-train -workload vision -sparsifier deft -workers 16 -density 0.01 -iters 200
+//	deft-train -workload mlp -json > result.json
 //
 // Workloads: mlp, vision, langmodel, recsys.
-// Sparsifiers: deft, topk, cltk, sidco, randk, hardthreshold, dense.
+// Sparsifiers: deft, topk, cltk, sidco, randk, dgc, gaussiank,
+// hardthreshold, dense.
+//
+// -json emits the train.Result JSON document — the same serialization the
+// deft-serve job service returns, so downstream tooling parses one format.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/comm"
-	"repro/internal/core"
-	"repro/internal/models"
-	"repro/internal/nn"
-	"repro/internal/rng"
-	"repro/internal/sparsifier"
+	"repro/internal/registry"
 	"repro/internal/train"
 )
 
@@ -34,45 +36,37 @@ func main() {
 	iters := flag.Int("iters", 100, "training iterations")
 	evalEvery := flag.Int("eval-every", 25, "iterations between evaluations")
 	seed := flag.Uint64("seed", 1, "run seed")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
 
-	w := buildWorkload(*workload)
-	if w == nil {
-		fmt.Fprintf(os.Stderr, "deft-train: unknown workload %q\n", *workload)
+	w, err := registry.NewWorkload(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deft-train: %v\n", err)
+		os.Exit(2)
+	}
+	factory, dense, err := registry.NewFactory(*scheme, w, *density)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deft-train: %v\n", err)
 		os.Exit(2)
 	}
 	cfg := train.Config{
 		Workers: *workers, Density: *density, LR: *lr, Momentum: *momentum,
 		Iterations: *iters, EvalEvery: *evalEvery, Seed: *seed,
-		CostModel: comm.DefaultCostModel(),
-	}
-	var factory sparsifier.Factory
-	switch *scheme {
-	case "dense":
-		cfg.DisableSparse = true
-	case "deft":
-		factory = core.Factory(core.DefaultOptions())
-	case "topk":
-		factory = func() sparsifier.Sparsifier { return sparsifier.NewTopK() }
-	case "cltk":
-		factory = func() sparsifier.Sparsifier { return &sparsifier.CLTK{} }
-	case "sidco":
-		factory = func() sparsifier.Sparsifier { return &sparsifier.SIDCo{Stages: 3} }
-	case "randk":
-		factory = func() sparsifier.Sparsifier { return sparsifier.RandK{} }
-	case "dgc":
-		factory = func() sparsifier.Sparsifier { return &sparsifier.DGC{} }
-	case "gaussiank":
-		factory = func() sparsifier.Sparsifier { return sparsifier.GaussianK{} }
-	case "hardthreshold":
-		h := tuneHard(w, *density)
-		factory = func() sparsifier.Sparsifier { return h }
-	default:
-		fmt.Fprintf(os.Stderr, "deft-train: unknown sparsifier %q\n", *scheme)
-		os.Exit(2)
+		DisableSparse: dense,
+		CostModel:     comm.DefaultCostModel(),
+		Topology:      comm.DefaultTopology(),
 	}
 
 	res := train.Run(w, factory, cfg)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "deft-train: encode: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Println(res.Summary())
 	fmt.Printf("\n%-12s %-12s %-14s %-12s\n", "iteration", "train loss", "density", "error ‖e‖")
 	for i := range res.TrainLoss.X {
@@ -89,30 +83,4 @@ func main() {
 		res.Traffic.AllGatherBytes, res.Traffic.AllReduceBytes, res.Traffic.BroadcastBytes)
 	fmt.Printf("wire: %d B encoded (%.0f B/iteration), dense fp32 baseline %d B, compression %.2fx\n",
 		res.WireBytes, res.BytesPerIteration(), res.DenseBytes, res.CompressionRatio())
-}
-
-func buildWorkload(name string) train.Workload {
-	switch name {
-	case "mlp":
-		return models.NewMLP(models.DefaultMLPConfig())
-	case "vision":
-		return models.NewVision(models.DefaultVisionConfig())
-	case "langmodel":
-		return models.NewText(models.DefaultTextConfig())
-	case "recsys":
-		return models.NewRecsys(models.DefaultRecsysConfig())
-	}
-	return nil
-}
-
-// tuneHard tunes the hard-threshold sparsifier on one sample gradient, the
-// pre-training hyperparameter step the paper's Table 1 describes.
-func tuneHard(w train.Workload, density float64) *sparsifier.HardThreshold {
-	m := w.NewModel()
-	params := m.Params()
-	nn.ZeroGrads(params)
-	m.Step(rng.New(99))
-	flat := make([]float64, nn.TotalSize(params))
-	train.FlattenGrads(params, flat)
-	return sparsifier.TuneHardThreshold(flat, density)
 }

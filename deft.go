@@ -23,6 +23,8 @@
 package deft
 
 import (
+	"context"
+
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -118,6 +120,17 @@ func Train(w Workload, factory SparsifierFactory, cfg TrainConfig) *TrainResult 
 	return train.Run(w, factory, cfg)
 }
 
+// TrainProgress is one streamed training event (see TrainConfig.Progress).
+type TrainProgress = train.Progress
+
+// TrainContext is Train with cancellation: when ctx is cancelled the
+// simulated cluster aborts mid-iteration and the partial result is
+// returned with the ctx error. Set TrainConfig.Progress to observe the
+// run live.
+func TrainContext(ctx context.Context, w Workload, factory SparsifierFactory, cfg TrainConfig) (*TrainResult, error) {
+	return train.RunContext(ctx, w, factory, cfg)
+}
+
 // NewDEFT returns a DEFT sparsifier with the paper's configuration:
 // two-stage partitioning, norm-proportional local k, LPT bin packing.
 func NewDEFT() Sparsifier { return core.NewDefault() }
@@ -207,4 +220,15 @@ func RunExperiment(id string, quick bool) (string, error) {
 		return "", err
 	}
 	return tab.String(), nil
+}
+
+// ExperimentTable is a machine-readable experiment artefact (it marshals
+// to the JSON form the deft-serve job service returns).
+type ExperimentTable = experiments.Table
+
+// RunExperimentContext regenerates one paper artefact under a
+// cancellation context and returns the structured table; cancelling ctx
+// aborts the underlying training runs mid-iteration.
+func RunExperimentContext(ctx context.Context, id string, quick bool) (*ExperimentTable, error) {
+	return experiments.RunContext(ctx, id, experiments.Options{Quick: quick})
 }

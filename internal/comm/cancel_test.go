@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancelUnblocksCollective: ranks parked in a rendezvous
+// must wake and unwind when the context is cancelled, instead of
+// deadlocking forever.
+func TestRunContextCancelUnblocksCollective(t *testing.T) {
+	c := NewCluster(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var entered atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- c.RunContext(ctx, func(cm *Comm) {
+			if cm.Rank() == 0 {
+				// Rank 0 never joins: the other three park in the barrier.
+				for entered.Load() != 3 {
+					time.Sleep(time.Millisecond)
+				}
+				cancel()
+				return
+			}
+			entered.Add(1)
+			cm.Barrier() // must unwind, not hang
+			t.Error("barrier returned on an aborted cluster")
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext error = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+}
+
+// TestAbortPoisonsLaterCollectives: a rank that reaches a collective
+// after the abort must unwind on entry.
+func TestAbortPoisonsLaterCollectives(t *testing.T) {
+	c := NewCluster(2)
+	c.Abort(nil)
+	err := c.RunContext(context.Background(), func(cm *Comm) {
+		cm.Barrier()
+		t.Error("collective succeeded on aborted cluster")
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+}
+
+// TestCheckAbortUnwinds: CheckAbort is the compute-section cancellation
+// point; it must unwind exactly like an aborted collective.
+func TestCheckAbortUnwinds(t *testing.T) {
+	c := NewCluster(1)
+	reached := false
+	c.Abort(errors.New("boom"))
+	err := c.RunContext(context.Background(), func(cm *Comm) {
+		cm.CheckAbort()
+		reached = true
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if reached {
+		t.Fatal("CheckAbort did not unwind")
+	}
+}
+
+// TestRunContextCleanRun: an uncancelled context changes nothing — the
+// collectives behave exactly as under Run.
+func TestRunContextCleanRun(t *testing.T) {
+	c := NewCluster(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sum atomic.Int64
+	if err := c.RunContext(ctx, func(cm *Comm) {
+		res := cm.AllReduceSum([]float64{1})
+		sum.Add(int64(res[0]))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 9 { // 3 ranks each see the 3-way sum
+		t.Fatalf("sum = %d, want 9", sum.Load())
+	}
+}
+
+// TestRunContextPreCancelled: a context cancelled before the run starts
+// must not start any rank.
+func TestRunContextPreCancelled(t *testing.T) {
+	c := NewCluster(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Bool{}
+	err := c.RunContext(ctx, func(cm *Comm) { ran.Store(true) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() {
+		t.Fatal("rank ran under a pre-cancelled context")
+	}
+}

@@ -21,9 +21,12 @@
 package comm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -58,8 +61,22 @@ type Cluster struct {
 	floatBuf []float64
 	heads    []int // k-way merge cursors for AllGatherUniqueInts
 
+	// Abort state: once set, every rank entering (or parked inside) a
+	// collective unwinds with an abortPanic instead of blocking, so a
+	// cancelled run cannot deadlock on the rendezvous. aborted mirrors
+	// abortErr != nil for lock-free polling between collectives.
+	abortErr error
+	aborted  atomic.Bool
+
 	traffic TrafficCounter
 }
+
+// ErrAborted is the abort reason when Abort is called with a nil error.
+var ErrAborted = errors.New("comm: cluster aborted")
+
+// abortPanic unwinds rank goroutines out of a collective when the cluster
+// is aborted. RunContext recovers it; any other panic propagates untouched.
+type abortPanic struct{ err error }
 
 // NewCluster creates a cluster of n ranks. It panics if n <= 0.
 func NewCluster(n int) *Cluster {
@@ -93,18 +110,81 @@ func (c *Cluster) ResetTraffic() {
 	c.traffic = TrafficCounter{}
 }
 
+// Abort poisons the cluster: every rank currently parked in a collective
+// wakes and unwinds, and every later collective call unwinds on entry (the
+// unwind is recovered by Run/RunContext, where it terminates the rank's
+// function). A nil err records ErrAborted. An aborted cluster stays
+// aborted; Abort is idempotent and safe from any goroutine.
+func (c *Cluster) Abort(err error) {
+	if err == nil {
+		err = ErrAborted
+	}
+	c.mu.Lock()
+	if c.abortErr == nil {
+		c.abortErr = err
+		c.aborted.Store(true)
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// Err returns the abort reason, or nil while the cluster is healthy.
+func (c *Cluster) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.abortErr
+}
+
 // Run starts fn on every rank concurrently and waits for all to finish.
 // Each invocation receives a rank-bound Comm handle.
 func (c *Cluster) Run(fn func(comm *Comm)) {
+	c.RunContext(context.Background(), fn)
+}
+
+// RunContext starts fn on every rank concurrently and waits for all to
+// finish. When ctx is cancelled the cluster is aborted: ranks parked in a
+// collective wake immediately, ranks busy between collectives stop at
+// their next collective (or CheckAbort call), and every rank's fn is
+// unwound. It returns nil on a clean run, or the abort reason (the ctx
+// error for a cancellation).
+func (c *Cluster) RunContext(ctx context.Context, fn func(comm *Comm)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	stop := make(chan struct{})
+	var watcher sync.WaitGroup
+	if ctx.Done() != nil {
+		watcher.Add(1)
+		go func() {
+			defer watcher.Done()
+			select {
+			case <-ctx.Done():
+				c.Abort(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	wg.Add(c.n)
 	for rank := 0; rank < c.n; rank++ {
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				// Swallow only the cluster's own abort unwind; genuine
+				// panics in fn keep crashing as they always did.
+				if r := recover(); r != nil {
+					if _, ok := r.(abortPanic); !ok {
+						panic(r)
+					}
+				}
+			}()
 			fn(&Comm{rank: rank, cluster: c})
 		}(rank)
 	}
 	wg.Wait()
+	close(stop)
+	watcher.Wait()
+	return c.Err()
 }
 
 // Comm is a rank-bound handle for collective operations.
@@ -123,6 +203,16 @@ type Comm struct {
 // Rank returns this handle's rank in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
 
+// CheckAbort unwinds this rank (exactly as an aborted collective would) if
+// the cluster has been aborted. Long compute sections call it between
+// collectives so a cancelled run stops mid-iteration instead of at its
+// next rendezvous; the un-aborted fast path is one atomic load.
+func (c *Comm) CheckAbort() {
+	if c.cluster.aborted.Load() {
+		panic(abortPanic{c.cluster.Err()})
+	}
+}
+
 // Size returns the cluster size.
 func (c *Comm) Size() int { return c.cluster.n }
 
@@ -140,6 +230,10 @@ func (c *Comm) Size() int { return c.cluster.n }
 func exchange[T any](c *Comm, mb *mailbox[T], contrib T, combine func(slots []T) T) T {
 	cl := c.cluster
 	cl.mu.Lock()
+	if err := cl.abortErr; err != nil {
+		cl.mu.Unlock()
+		panic(abortPanic{err})
+	}
 	gen := cl.generation
 	mb.slots[c.rank] = contrib
 	cl.arrived++
@@ -151,6 +245,12 @@ func exchange[T any](c *Comm, mb *mailbox[T], contrib T, combine func(slots []T)
 	} else {
 		for gen == cl.generation {
 			cl.cond.Wait()
+			// An abort broadcast wakes parked ranks without advancing the
+			// generation; unwind instead of re-parking forever.
+			if err := cl.abortErr; err != nil {
+				cl.mu.Unlock()
+				panic(abortPanic{err})
+			}
 		}
 	}
 	res := mb.result
@@ -423,9 +523,9 @@ func growFloats(buf *[]float64, n int) []float64 {
 // rank count, and broadcasts charge the root's payload once — the topology
 // cost models, not the counters, decide how many links a payload crosses.
 type TrafficCounter struct {
-	AllGatherBytes int64
-	AllReduceBytes int64
-	BroadcastBytes int64
+	AllGatherBytes int64 `json:"allgather_bytes"`
+	AllReduceBytes int64 `json:"allreduce_bytes"`
+	BroadcastBytes int64 `json:"broadcast_bytes"`
 }
 
 // Total returns the sum of all counters in bytes.

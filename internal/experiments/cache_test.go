@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/train"
+)
+
+// countingWorkload wraps the mlp workload to count replica constructions
+// — a proxy for "a training run actually started".
+type countingWorkload struct {
+	train.Workload
+	models atomic.Int64
+}
+
+func (c *countingWorkload) NewModel() train.Model {
+	c.models.Add(1)
+	return c.Workload.NewModel()
+}
+
+// TestCachedRunSingleFlight: concurrent builders sharing a run key must
+// train once — the waiters block on the leader's flight and read the
+// memoised result.
+func TestCachedRunSingleFlight(t *testing.T) {
+	ResetCache()
+	w := &countingWorkload{Workload: newWorkload("mlp")}
+	cfg := train.Config{Workers: 2, Density: 0.05, LR: 0.1, Iterations: 6, Seed: 7}
+	const n = 8
+	results := make([]*train.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = cachedRun(Options{}, "test/singleflight", w, sparsifierFactory("topk"), cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+	// One run builds exactly cfg.Workers replicas.
+	if got := w.models.Load(); got != int64(cfg.Workers) {
+		t.Fatalf("built %d replicas, want %d (one run)", got, cfg.Workers)
+	}
+}
+
+// TestRunContextCancelled: a cancelled context surfaces as an error from
+// RunContext, and nothing partial is memoised.
+func TestRunContextCancelled(t *testing.T) {
+	ResetCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, "fig1", Options{Quick: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	runMu.Lock()
+	cached := len(runCache)
+	runMu.Unlock()
+	if cached != 0 {
+		t.Fatalf("%d partial runs memoised after cancellation", cached)
+	}
+}
+
+// TestOptionsProgressTagged: the experiment-level progress hook receives
+// events tagged with the underlying run key.
+func TestOptionsProgressTagged(t *testing.T) {
+	ResetCache()
+	var mu sync.Mutex
+	runs := map[string]int{}
+	o := Options{Quick: true, Progress: func(run string, p train.Progress) {
+		mu.Lock()
+		runs[run]++
+		mu.Unlock()
+	}}
+	w := newWorkload("mlp")
+	cfg := train.Config{Workers: 2, Density: 0.05, LR: 0.1, Iterations: 4}
+	cachedRun(o, "test/progress", w, sparsifierFactory("topk"), cfg)
+	if runs["test/progress"] < 4 {
+		t.Fatalf("progress events = %v, want >=4 tagged with the run key", runs)
+	}
+	// A memoised rerun replays nothing.
+	cachedRun(o, "test/progress", w, sparsifierFactory("topk"), cfg)
+	if runs["test/progress"] > 5 { // 4 records + final eval
+		t.Fatalf("cache hit re-emitted progress: %v", runs)
+	}
+}

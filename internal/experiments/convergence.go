@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/train"
 )
 
@@ -28,12 +29,14 @@ func convergenceRun(o Options, app, scheme string, workers, iters, evalEvery, re
 		EvalEvery:   evalEvery,
 		RecordEvery: recordEvery,
 		Seed:        1000 + o.Seed,
+		CostModel:   comm.DefaultCostModel(),
+		Topology:    comm.DefaultTopology(),
 	}
 	if scheme == "dense" {
 		cfg.DisableSparse = true
-		return cachedRun(key, w, nil, cfg)
+		return cachedRun(o, key, w, nil, cfg)
 	}
-	return cachedRun(key, w, sparsifierFactory(scheme), cfg)
+	return cachedRun(o, key, w, sparsifierFactory(scheme), cfg)
 }
 
 var convSchemes = []string{"deft", "cltk", "topk", "dense"}
@@ -155,7 +158,7 @@ func Fig1(o Options) *Table {
 	}
 	for _, n := range workerSet {
 		key := fmt.Sprintf("fig1/n%d/i%d/s%d", n, iters, o.Seed)
-		r := cachedRun(key, newWorkload("vision"), sparsifierFactory("topk"), train.Config{
+		r := cachedRun(o, key, newWorkload("vision"), sparsifierFactory("topk"), train.Config{
 			Workers: n, Density: 0.01, LR: appLR("vision"),
 			Iterations: iters, RecordEvery: recordEvery, Seed: 2000 + o.Seed,
 		})
@@ -228,8 +231,19 @@ func Fig8(o Options) *Table {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	// Per-density communication time, byte-accurate: the topology model
+	// over the actual encoded payloads, with the element-count α–β model
+	// kept as the secondary reference row.
+	wireRow := []string{"comm ms/iter (wire)"}
+	abRow := []string{"comm ms/iter (α–β)"}
+	for _, r := range results {
+		wireRow = append(wireRow, f2(r.WireCommTime/float64(iters)*1000))
+		abRow = append(abRow, f2(r.CommTime/float64(iters)*1000))
+	}
+	t.Rows = append(t.Rows, wireRow, abRow)
 	t.Notes = append(t.Notes,
-		"paper shape: lower density converges slightly slower early but reaches the same convergence point")
+		"paper shape: lower density converges slightly slower early but reaches the same convergence point",
+		"comm rows: wire = topology model on encoded bytes (byte-accurate); α–β = element-count model of §5.3, kept for reference")
 	return t
 }
 

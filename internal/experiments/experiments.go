@@ -13,13 +13,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 
-	"repro/internal/core"
-	"repro/internal/models"
+	"repro/internal/registry"
 	"repro/internal/sparsifier"
 	"repro/internal/train"
 )
@@ -30,15 +30,33 @@ type Options struct {
 	Quick bool
 	// Seed offsets all run seeds, for repeated-trial studies.
 	Seed uint64
+	// Progress, when non-nil, receives the per-iteration training events
+	// of every *fresh* underlying run, tagged with the run's cache key
+	// (memoised runs replay nothing). It inherits train.Config.Progress's
+	// contract: fast and non-blocking.
+	Progress func(run string, p train.Progress)
+
+	// ctx carries cancellation from RunContext down into cachedRun; nil
+	// means Background. Unexported so Run/RunContext stay the only doors.
+	ctx context.Context
+}
+
+// context returns the options' cancellation context, defaulting to
+// Background.
+func (o Options) context() context.Context {
+	if o.ctx != nil {
+		return o.ctx
+	}
+	return context.Background()
 }
 
 // Table is a rendered experiment artefact.
 type Table struct {
-	ID      string // e.g. "fig3a"
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string // qualitative checks, substitutions, caveats
+	ID      string     `json:"id"` // e.g. "fig3a"
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"` // qualitative checks, substitutions, caveats
 }
 
 // Fprint renders the table as aligned text.
@@ -103,6 +121,33 @@ func IDs() []string {
 
 // Run dispatches an experiment by id.
 func Run(id string, o Options) (*Table, error) {
+	return RunContext(context.Background(), id, o)
+}
+
+// RunContext dispatches an experiment by id under a cancellation context:
+// when ctx is cancelled, the underlying training runs abort mid-iteration
+// (nothing partial is memoised) and RunContext returns ctx's error.
+func RunContext(ctx context.Context, id string, o Options) (tab *Table, err error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	o.ctx = ctx
+	// cachedRun signals cancellation by panicking with a cancelPanic so the
+	// fifteen Fig*/Table* builders don't each thread an error return for an
+	// event that abandons the whole table anyway.
+	defer func() {
+		if r := recover(); r != nil {
+			if cp, ok := r.(cancelPanic); ok {
+				tab, err = nil, cp.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	return dispatch(id, o)
+}
+
+func dispatch(id string, o Options) (*Table, error) {
 	switch id {
 	case "table1":
 		return Table1(o), nil
@@ -170,61 +215,89 @@ func appLR(app string) float64 {
 
 // newWorkload builds the simulated stand-in for the paper's application.
 func newWorkload(app string) train.Workload {
-	switch app {
-	case "vision":
-		return models.NewVision(models.DefaultVisionConfig())
-	case "langmodel":
-		return models.NewText(models.DefaultTextConfig())
-	case "recsys":
-		return models.NewRecsys(models.DefaultRecsysConfig())
-	case "mlp":
-		return models.NewMLP(models.DefaultMLPConfig())
+	w, err := registry.NewWorkload(app)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	panic("experiments: unknown app " + app)
+	return w
 }
 
-// sparsifierFactory builds the named scheme. hardthreshold and sidco need a
-// density to parameterise; hardthreshold additionally tunes its threshold
-// on a sample gradient, done by the caller.
+// sparsifierFactory builds the named scheme through the shared registry.
+// The schemes used here are all self-configuring; hardthreshold (which
+// needs pre-training tuning) is built explicitly by the tables that study
+// it.
 func sparsifierFactory(name string) sparsifier.Factory {
-	switch name {
-	case "deft":
-		return core.Factory(core.DefaultOptions())
-	case "topk":
-		return func() sparsifier.Sparsifier { return sparsifier.NewTopK() }
-	case "cltk":
-		return func() sparsifier.Sparsifier { return &sparsifier.CLTK{} }
-	case "sidco":
-		return func() sparsifier.Sparsifier { return &sparsifier.SIDCo{Stages: 3} }
-	case "randk":
-		return func() sparsifier.Sparsifier { return sparsifier.RandK{} }
-	case "dgc":
-		return func() sparsifier.Sparsifier { return &sparsifier.DGC{} }
-	case "gaussiank":
-		return func() sparsifier.Sparsifier { return sparsifier.GaussianK{} }
+	f, dense, err := registry.NewFactory(name, nil, 0)
+	if err != nil || dense {
+		panic("experiments: unknown sparsifier " + name)
 	}
-	panic("experiments: unknown sparsifier " + name)
+	return f
 }
+
+// cancelPanic unwinds a Fig*/Table* builder when its context is
+// cancelled; RunContext recovers it into an ordinary error.
+type cancelPanic struct{ err error }
 
 // runCache memoises training runs within one process so Fig 3/4/5 (which
-// share the same runs) train once.
+// share the same runs) train once. inflight adds single-flight semantics:
+// when experiment jobs run concurrently (the deft-serve worker pool),
+// builders sharing a run key wait for the first trainer instead of
+// training the same configuration twice.
 var (
 	runMu    sync.Mutex
 	runCache = map[string]*train.Result{}
+	inflight = map[string]*inflightRun{}
 )
 
-func cachedRun(key string, w train.Workload, factory sparsifier.Factory, cfg train.Config) *train.Result {
-	runMu.Lock()
-	if r, ok := runCache[key]; ok {
+// inflightRun is one in-progress training run; done is closed when the
+// leader finishes, ok reports whether it populated the cache (a cancelled
+// leader leaves ok false and a waiter takes over).
+type inflightRun struct {
+	done chan struct{}
+	ok   bool
+}
+
+func cachedRun(o Options, key string, w train.Workload, factory sparsifier.Factory, cfg train.Config) *train.Result {
+	ctx := o.context()
+	if o.Progress != nil {
+		progress := o.Progress
+		cfg.Progress = func(p train.Progress) { progress(key, p) }
+	}
+	for {
+		runMu.Lock()
+		if r, ok := runCache[key]; ok {
+			runMu.Unlock()
+			return r
+		}
+		if c, ok := inflight[key]; ok {
+			runMu.Unlock()
+			select {
+			case <-c.done:
+				// Leader finished: on success the next loop pass hits the
+				// cache; on a cancelled leader, race to become the leader.
+				continue
+			case <-ctx.Done():
+				panic(cancelPanic{ctx.Err()})
+			}
+		}
+		c := &inflightRun{done: make(chan struct{})}
+		inflight[key] = c
 		runMu.Unlock()
+
+		r, err := train.RunContext(ctx, w, factory, cfg)
+		runMu.Lock()
+		delete(inflight, key)
+		if err == nil {
+			runCache[key] = r
+			c.ok = true
+		}
+		runMu.Unlock()
+		close(c.done)
+		if err != nil {
+			panic(cancelPanic{err})
+		}
 		return r
 	}
-	runMu.Unlock()
-	r := train.Run(w, factory, cfg)
-	runMu.Lock()
-	runCache[key] = r
-	runMu.Unlock()
-	return r
 }
 
 // ResetCache clears the memoised runs (tests use it to force fresh runs).

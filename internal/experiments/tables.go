@@ -56,7 +56,7 @@ func Table1(o Options) *Table {
 	}
 	for _, ri := range rows {
 		key := fmt.Sprintf("table1/%s/n%d/i%d/s%d", ri.name, workers, iters, o.Seed)
-		r := cachedRun(key, w, ri.factory, train.Config{
+		r := cachedRun(o, key, w, ri.factory, train.Config{
 			Workers: workers, Density: density, LR: appLR("vision"),
 			Iterations: iters, Seed: 4000 + o.Seed,
 		})
@@ -171,7 +171,7 @@ func Ablation(o Options) *Table {
 	}
 	for _, v := range variants {
 		key := fmt.Sprintf("ablation/%s/n%d/i%d/s%d", v.name, workers, iters, o.Seed)
-		r := cachedRun(key, w, core.Factory(v.opts), train.Config{
+		r := cachedRun(o, key, w, core.Factory(v.opts), train.Config{
 			Workers: workers, Density: density, LR: appLR("vision"),
 			Iterations: iters, Seed: 5000 + o.Seed,
 		})
@@ -254,7 +254,7 @@ func Table3(o Options) *Table {
 	}
 	for _, s := range schemes {
 		key := fmt.Sprintf("table3/%s/n%d/i%d/s%d", s.name, workers, iters, o.Seed)
-		r := cachedRun(key, w, s.factory, train.Config{
+		r := cachedRun(o, key, w, s.factory, train.Config{
 			Workers: workers, Density: density, LR: appLR("vision"),
 			Iterations: iters, Seed: 6000 + o.Seed,
 		})

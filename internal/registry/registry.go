@@ -1,0 +1,90 @@
+// Package registry maps the string names used at every entry point — the
+// CLIs, the experiment harness and the deft-serve job service — onto
+// workload and sparsifier constructors. Before it existed each entry point
+// carried its own copy of the name switch; a scheme added in one place was
+// silently missing from the others.
+package registry
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sparsifier"
+	"repro/internal/train"
+)
+
+// Workloads lists the valid workload names.
+func Workloads() []string {
+	return []string{"mlp", "vision", "langmodel", "recsys"}
+}
+
+// Sparsifiers lists the valid sparsifier names, including the "dense"
+// (non-sparsified) baseline.
+func Sparsifiers() []string {
+	return []string{"deft", "topk", "cltk", "sidco", "randk", "dgc", "gaussiank", "hardthreshold", "dense"}
+}
+
+// NewWorkload builds the named workload with its default configuration.
+func NewWorkload(name string) (train.Workload, error) {
+	switch name {
+	case "mlp":
+		return models.NewMLP(models.DefaultMLPConfig()), nil
+	case "vision":
+		return models.NewVision(models.DefaultVisionConfig()), nil
+	case "langmodel":
+		return models.NewText(models.DefaultTextConfig()), nil
+	case "recsys":
+		return models.NewRecsys(models.DefaultRecsysConfig()), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (known: %s)", name, strings.Join(Workloads(), ", "))
+}
+
+// NewFactory builds the per-worker sparsifier factory for name. The
+// "dense" baseline reports dense=true with a nil factory (set
+// train.Config.DisableSparse). "hardthreshold" tunes its threshold on one
+// sample gradient of w at the target density — the pre-training
+// hyperparameter step the paper's Table 1 charges it with — and therefore
+// needs a non-nil workload; every other scheme ignores w and density.
+func NewFactory(name string, w train.Workload, density float64) (factory sparsifier.Factory, dense bool, err error) {
+	switch name {
+	case "dense":
+		return nil, true, nil
+	case "deft":
+		return core.Factory(core.DefaultOptions()), false, nil
+	case "topk":
+		return func() sparsifier.Sparsifier { return sparsifier.NewTopK() }, false, nil
+	case "cltk":
+		return func() sparsifier.Sparsifier { return &sparsifier.CLTK{} }, false, nil
+	case "sidco":
+		return func() sparsifier.Sparsifier { return &sparsifier.SIDCo{Stages: 3} }, false, nil
+	case "randk":
+		return func() sparsifier.Sparsifier { return sparsifier.RandK{} }, false, nil
+	case "dgc":
+		return func() sparsifier.Sparsifier { return &sparsifier.DGC{} }, false, nil
+	case "gaussiank":
+		return func() sparsifier.Sparsifier { return sparsifier.GaussianK{} }, false, nil
+	case "hardthreshold":
+		if w == nil {
+			return nil, false, fmt.Errorf("sparsifier %q needs a workload to tune its threshold on", name)
+		}
+		h := sparsifier.TuneHardThreshold(SampleGradient(w), density)
+		return func() sparsifier.Sparsifier { return h }, false, nil
+	}
+	return nil, false, fmt.Errorf("unknown sparsifier %q (known: %s)", name, strings.Join(Sparsifiers(), ", "))
+}
+
+// SampleGradient computes one minibatch gradient on a fresh replica of w,
+// flattened — the tuning sample for threshold schemes.
+func SampleGradient(w train.Workload) []float64 {
+	m := w.NewModel()
+	params := m.Params()
+	nn.ZeroGrads(params)
+	m.Step(rng.New(99))
+	flat := make([]float64, nn.TotalSize(params))
+	train.FlattenGrads(params, flat)
+	return flat
+}

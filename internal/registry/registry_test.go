@@ -1,0 +1,45 @@
+package registry
+
+import "testing"
+
+// TestEveryNameConstructs: each advertised name must build, and unknown
+// names must be rejected — the registry is the single catalog every entry
+// point (CLI, experiments, serve) trusts.
+func TestEveryNameConstructs(t *testing.T) {
+	for _, name := range Workloads() {
+		w, err := NewWorkload(name)
+		if err != nil || w == nil {
+			t.Fatalf("workload %q: %v", name, err)
+		}
+	}
+	if _, err := NewWorkload("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+
+	mlp, err := NewWorkload("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Sparsifiers() {
+		f, dense, err := NewFactory(name, mlp, 0.01)
+		if err != nil {
+			t.Fatalf("sparsifier %q: %v", name, err)
+		}
+		if dense != (name == "dense") {
+			t.Fatalf("sparsifier %q: dense = %v", name, dense)
+		}
+		if !dense {
+			sp := f()
+			if sp == nil || sp.Name() == "" {
+				t.Fatalf("sparsifier %q: empty instance", name)
+			}
+		}
+	}
+	if _, _, err := NewFactory("nope", mlp, 0.01); err == nil {
+		t.Fatal("unknown sparsifier accepted")
+	}
+	// hardthreshold without a workload cannot tune and must error.
+	if _, _, err := NewFactory("hardthreshold", nil, 0.01); err == nil {
+		t.Fatal("hardthreshold without workload accepted")
+	}
+}

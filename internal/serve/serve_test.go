@@ -1,0 +1,477 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/train"
+)
+
+// newTestServer returns a started scheduler plus its httptest front end;
+// both are torn down with the test.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec string) (jobView, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var v jobView
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("decode job: %v\n%s", err, body)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	return v
+}
+
+// waitState polls until the job reaches want (or any terminal state) and
+// returns the final view.
+func waitState(t *testing.T, ts *httptest.Server, id string, want JobState) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJob(t, ts, id)
+		if v.State == want {
+			return v
+		}
+		if v.State.Terminal() {
+			t.Fatalf("job %s reached %q while waiting for %q (err %q)", id, v.State, want, v.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, want)
+	return jobView{}
+}
+
+// TestEndToEndTrainJob covers the main loop: submit → poll → stream →
+// fetch, asserting the streamed NDJSON records match the final Result
+// series exactly.
+func TestEndToEndTrainJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 2})
+
+	v, code := postJob(t, ts, `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":12,"lr":0.1,"eval_every":6}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	if v.State != StateQueued && v.State != StateRunning {
+		t.Fatalf("fresh job state %q", v.State)
+	}
+
+	// Stream to completion.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	type line struct {
+		Type  string   `json:"type"`
+		State JobState `json:"state"`
+		train.Progress
+	}
+	var records []line
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		records = append(records, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if len(records) == 0 || records[len(records)-1].Type != "done" {
+		t.Fatalf("stream should end with a done event, got %+v", records)
+	}
+	if records[len(records)-1].State != StateDone {
+		t.Fatalf("final state %q", records[len(records)-1].State)
+	}
+
+	// Fetch the result and cross-check the streamed records against the
+	// final series.
+	final := waitState(t, ts, v.ID, StateDone)
+	if final.Result == nil || final.Result.TrainResult == nil {
+		t.Fatal("done job has no train result")
+	}
+	res := final.Result.TrainResult
+	var progress, evals []line
+	for _, r := range records {
+		if r.Type != "progress" {
+			continue
+		}
+		if r.Kind == "eval" {
+			evals = append(evals, r)
+		} else {
+			progress = append(progress, r)
+		}
+	}
+	if len(progress) != len(res.TrainLoss.X) {
+		t.Fatalf("streamed %d records, series has %d", len(progress), len(res.TrainLoss.X))
+	}
+	for i, p := range progress {
+		if float64(p.Iteration) != res.TrainLoss.X[i] || p.TrainLoss != res.TrainLoss.Y[i] {
+			t.Errorf("record %d: (%d, %v) vs series (%v, %v)",
+				i, p.Iteration, p.TrainLoss, res.TrainLoss.X[i], res.TrainLoss.Y[i])
+		}
+		if p.ErrorNorm != res.ErrorNorm.Y[i] || p.ActualDensity != res.ActualDensity.Y[i] {
+			t.Errorf("record %d: error/density mismatch", i)
+		}
+	}
+	if len(evals) != len(res.Metric.X) {
+		t.Fatalf("streamed %d evals, metric series has %d", len(evals), len(res.Metric.X))
+	}
+	for i, e := range evals {
+		if e.Metric != res.Metric.Y[i] {
+			t.Errorf("eval %d: %v vs %v", i, e.Metric, res.Metric.Y[i])
+		}
+	}
+}
+
+// TestSingleFlightDedup asserts the headline guarantee: 8 concurrent
+// identical submissions complete with exactly one underlying train.Run.
+func TestSingleFlightDedup(t *testing.T) {
+	s, ts := newTestServer(t, Options{Pool: 4})
+	var runs atomic.Int64
+	orig := s.runTrain
+	s.runTrain = func(ctx context.Context, spec TrainSpec, progress func(train.Progress)) (*train.Result, error) {
+		runs.Add(1)
+		// Hold the flight open long enough that every concurrent submit
+		// joins it rather than hitting the result cache.
+		time.Sleep(50 * time.Millisecond)
+		return orig(ctx, spec, progress)
+	}
+
+	const n = 8
+	spec := `{"train":{"workload":"mlp","sparsifier":"deft","workers":2,"iterations":8,"lr":0.1}}`
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var v jobView
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				errs <- err
+				return
+			}
+			ids[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var hash string
+	for _, id := range ids {
+		v := waitState(t, ts, id, StateDone)
+		if v.Result == nil || v.Result.TrainResult == nil {
+			t.Fatalf("%s: done without result", id)
+		}
+		if hash == "" {
+			hash = v.Hash
+		} else if v.Hash != hash {
+			t.Fatalf("hashes diverge: %s vs %s", v.Hash, hash)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("8 identical submissions trained %d times, want 1", got)
+	}
+
+	// A later identical submission is a pure cache hit: done on arrival,
+	// still exactly one training run.
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusOK || v.State != StateDone || !v.CacheHit {
+		t.Fatalf("resubmit: status %d state %q cacheHit %v", code, v.State, v.CacheHit)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("cache hit retrained: %d runs", got)
+	}
+}
+
+// TestCancelRunningJob asserts DELETE stops a running trainer within a few
+// iterations and leaks no goroutines.
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 1})
+	before := runtime.NumGoroutine()
+
+	// A job long enough (100k iterations) that it cannot finish on its
+	// own within the test timeout: it either cancels mid-run or hangs.
+	v, code := postJob(t, ts, `{"train":{"workload":"mlp","sparsifier":"topk","workers":4,"iterations":100000,"lr":0.05}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitState(t, ts, v.ID, StateRunning)
+
+	// Wait for at least one progress record so the trainer is provably
+	// mid-run, not still constructing replicas.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/stream")
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		seen := false
+		for sc.Scan() {
+			if bytes.Contains(sc.Bytes(), []byte(`"type":"progress"`)) {
+				seen = true
+				break
+			}
+		}
+		resp.Body.Close()
+		if seen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress events before cancel")
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	var dv jobView
+	if err := json.NewDecoder(resp.Body).Decode(&dv); err != nil {
+		t.Fatalf("decode DELETE response: %v", err)
+	}
+	resp.Body.Close()
+	if dv.State != StateCancelled {
+		t.Fatalf("DELETE returned state %q, want cancelled", dv.State)
+	}
+
+	// The trainer goroutines must unwind promptly (abort is checked every
+	// collective), freeing the single pool slot for the next flight.
+	v2, _ := postJob(t, ts, `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":4,"lr":0.1}}`)
+	waitState(t, ts, v2.ID, StateDone)
+	t.Logf("cancel-to-next-job-done took %v", time.Since(start))
+
+	// Goroutine accounting: everything the cancelled flight spawned (4
+	// ranks + watcher) must exit. Allow scheduler lag with a retry loop
+	// and slack for httptest's own connection goroutines.
+	ok := false
+	for i := 0; i < 100 && !ok; i++ {
+		time.Sleep(10 * time.Millisecond)
+		ok = runtime.NumGoroutine() <= before+5
+	}
+	if !ok {
+		t.Errorf("goroutines: %d before, %d after cancel", before, runtime.NumGoroutine())
+	}
+}
+
+// TestExperimentJob runs a cheap (training-free) paper artefact through
+// the service and checks the Table JSON comes back.
+func TestExperimentJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 1})
+	v, code := postJob(t, ts, `{"experiment":"table2","quick":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	final := waitState(t, ts, v.ID, StateDone)
+	if final.Result == nil || final.Result.Table == nil {
+		t.Fatal("experiment job has no table")
+	}
+	if final.Result.Table.ID != "table2" || len(final.Result.Table.Rows) == 0 {
+		t.Fatalf("bad table: %+v", final.Result.Table)
+	}
+}
+
+// TestSpecValidation covers the rejection paths.
+func TestSpecValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 1})
+	for _, bad := range []string{
+		`{}`,
+		`{"experiment":"fig999"}`,
+		`{"experiment":"fig4","train":{"workload":"mlp"}}`,
+		`{"train":{"workload":"nope"}}`,
+		`{"train":{"workload":"mlp","sparsifier":"nope"}}`,
+		`{"train":{"workload":"mlp","workers":-1}}`,
+		`{"train":{"workload":"mlp","workers":1000000000}}`,
+		`{"train":{"workload":"mlp","iterations":2000000}}`,
+		`{"train":{"workload":"mlp","iterations":1000000,"record_every":1}}`,
+		`{"train":{"workload":"mlp","density":1.5}}`,
+		`{"train":{"workload":"mlp","lr":-0.1}}`,
+		`{"train":{"workload":"mlp","momentum":1.5}}`,
+		`{"bogus_field":1}`,
+	} {
+		if _, code := postJob(t, ts, bad); code != http.StatusBadRequest {
+			t.Errorf("spec %s: status %d, want 400", bad, code)
+		}
+	}
+	if _, code := postJob(t, ts, `{"train":{}}`); code != http.StatusAccepted {
+		t.Errorf("empty train spec should normalize to defaults, got %d", code)
+	}
+}
+
+// TestSpecHashCanonical: specs that normalize identically must collide;
+// different work must not.
+func TestSpecHashCanonical(t *testing.T) {
+	a := JobSpec{Train: &TrainSpec{}}
+	b := JobSpec{Train: &TrainSpec{Workload: "mlp", Sparsifier: "deft", Workers: 4, Density: 0.01, LR: 0.1, Iterations: 50, RecordEvery: 1}}
+	c := JobSpec{Train: &TrainSpec{Workload: "mlp", Sparsifier: "deft", Workers: 8}}
+	for _, s := range []*JobSpec{&a, &b, &c} {
+		if err := s.normalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.hash() != b.hash() {
+		t.Errorf("defaulted and explicit specs hash differently: %s vs %s", a.hash(), b.hash())
+	}
+	if a.hash() == c.hash() {
+		t.Error("different worker counts collide")
+	}
+}
+
+// TestMetricsAndHealth sanity-checks the observability endpoints.
+func TestMetricsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 1})
+	v, _ := postJob(t, ts, `{"train":{"workload":"mlp","iterations":4,"workers":2}}`)
+	waitState(t, ts, v.ID, StateDone)
+	postJob(t, ts, `{"train":{"workload":"mlp","iterations":4,"workers":2}}`) // cache hit
+
+	var m struct {
+		Jobs      map[string]int `json:"jobs"`
+		Submitted int            `json:"submitted"`
+		CacheHits int            `json:"cache_hits"`
+		Runs      int            `json:"runs"`
+		PoolSize  int            `json:"pool_size"`
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Submitted != 2 || m.CacheHits != 1 || m.Runs != 1 || m.Jobs["done"] != 2 || m.PoolSize != 1 {
+		t.Errorf("metrics off: %+v", m)
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", hr.StatusCode)
+	}
+
+	er, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer er.Body.Close()
+	var ids struct {
+		Experiments []string `json:"experiments"`
+	}
+	if err := json.NewDecoder(er.Body).Decode(&ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids.Experiments) == 0 {
+		t.Error("no experiment ids")
+	}
+}
+
+// TestShutdownCancelsRunning: Shutdown drains a running flight as
+// cancelled instead of hanging.
+func TestShutdownCancelsRunning(t *testing.T) {
+	s := New(Options{Pool: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, _ := postJob(t, ts, `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":100000,"lr":0.05}}`)
+	waitState(t, ts, v.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := getJob(t, ts, v.ID).State; got != StateCancelled {
+		t.Fatalf("job state after shutdown = %q, want cancelled", got)
+	}
+	if _, code := postJob(t, ts, `{"train":{"workload":"mlp"}}`); code != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown: %d, want 503", code)
+	}
+}
+
+// TestStreamReplayForCacheHit: a cache-hit job's stream replays the
+// original run's progress history.
+func TestStreamReplayForCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 1})
+	spec := `{"train":{"workload":"mlp","iterations":6,"workers":2}}`
+	v1, _ := postJob(t, ts, spec)
+	waitState(t, ts, v1.ID, StateDone)
+	v2, _ := postJob(t, ts, spec)
+	if !v2.CacheHit {
+		t.Fatal("second submit not a cache hit")
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v2.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	records := bytes.Count(body, []byte(`"kind":"record"`))
+	evals := bytes.Count(body, []byte(`"kind":"eval"`))
+	if records != 6 || evals != 1 {
+		t.Errorf("replayed %d records + %d evals, want 6 + 1 (the final evaluation)\n%s", records, evals, body)
+	}
+}

@@ -1,0 +1,656 @@
+// Package serve is the experiment-job service: it exposes every paper
+// artefact id and ad-hoc training configuration as a schedulable job over
+// HTTP, turning the batch reproduction into a multi-tenant system.
+//
+//	POST   /v1/jobs          submit {"experiment":"fig4"} or {"train":{...}}
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}         job status + result
+//	GET    /v1/jobs/{id}/stream  NDJSON live metrics
+//	DELETE /v1/jobs/{id}         cancel (stops a running trainer mid-iteration)
+//	GET    /v1/experiments   runnable experiment ids
+//	GET    /healthz          liveness
+//	GET    /metrics          expvar counters: jobs by state, cache hits, in-flight trainers
+//
+// Jobs are content-addressed by the hash of their normalized spec. A
+// completed hash is served from the result cache; an in-flight hash is
+// joined (single-flight), so N concurrent identical submissions train
+// exactly once. Every flight runs under its own context, derived from the
+// server's: DELETE cancels it when the last attached job is cancelled,
+// and the abort propagates through train.RunContext into the simulated
+// cluster, which stops mid-iteration rather than at run end.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/experiments"
+	"repro/internal/registry"
+	"repro/internal/train"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+// The job lifecycle: queued → running → done | failed | cancelled.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final (done, failed or cancelled).
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// runOutcome is what a flight produces: exactly one of the two, matching
+// the spec kind.
+type runOutcome struct {
+	TrainResult *train.Result      `json:"train_result,omitempty"`
+	Table       *experiments.Table `json:"table,omitempty"`
+}
+
+// Job is one submission. All fields are guarded by the server mutex.
+type Job struct {
+	ID       string
+	Spec     JobSpec
+	Hash     string
+	State    JobState
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Err      string
+	CacheHit bool
+
+	flight  *flight // non-nil while queued/running
+	outcome *runOutcome
+	events  *eventLog
+}
+
+// flight is one in-flight execution of a spec, shared by every job whose
+// hash matches while it runs. Its jobs list is the attachment set: DELETE
+// detaches a job, and cancelling the last attached job cancels the
+// flight's context.
+type flight struct {
+	hash   string
+	spec   JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	started bool
+	jobs    []*Job            // attached jobs (fan-out targets)
+	history []json.RawMessage // progress lines so far, replayed to late joiners
+}
+
+// progress fans one training event out to every attached job's stream.
+// It runs on the training path (rank 0, between barriers): one marshal,
+// one slice append per attached job, no blocking.
+func (f *flight) progress(run string, p train.Progress) {
+	line := marshalEvent(event{Type: "progress", Run: run, Progress: &p})
+	f.mu.Lock()
+	f.history = append(f.history, line)
+	for _, j := range f.jobs {
+		j.events.append(line)
+	}
+	f.mu.Unlock()
+}
+
+// cacheEntry is a completed flight's outcome plus its progress history,
+// so cache-hit jobs replay the identical stream.
+type cacheEntry struct {
+	outcome *runOutcome
+	history []json.RawMessage
+}
+
+// maxCachedResults bounds the in-memory result cache (FIFO eviction).
+// Per-entry size is already bounded by the spec's maxRecords sample cap.
+const maxCachedResults = 512
+
+// Options configures a Server.
+type Options struct {
+	// Pool is the number of concurrent flights (default 2). Each training
+	// flight itself runs spec-many worker goroutines.
+	Pool int
+	// Queue bounds the backlog of waiting flights (default 256);
+	// submissions beyond it are rejected with 503.
+	Queue int
+}
+
+// Server owns the job registry, the single-flight dedup layer, the result
+// cache and the worker pool. Create with New, serve via Handler, stop
+// with Shutdown.
+type Server struct {
+	opts  Options
+	start time.Time
+
+	mu         sync.Mutex
+	closed     bool
+	nextID     int
+	jobs       map[string]*Job
+	order      []string // insertion order for listing
+	flights    map[string]*flight
+	cache      map[string]*cacheEntry
+	cacheOrder []string // FIFO for eviction
+
+	queue      chan *flight
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	// expvar counters (unpublished: a process may host several servers).
+	mSubmitted expvar.Int // jobs accepted
+	mCacheHits expvar.Int // jobs answered from the result cache
+	mDeduped   expvar.Int // jobs attached to an in-flight run
+	mRuns      expvar.Int // flights actually executed
+	mInFlight  expvar.Int // flights executing right now
+
+	// Execution seams; tests substitute these to count and delay runs.
+	runTrain      func(ctx context.Context, spec TrainSpec, progress func(train.Progress)) (*train.Result, error)
+	runExperiment func(ctx context.Context, id string, o experiments.Options) (*experiments.Table, error)
+}
+
+// New creates a server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Pool <= 0 {
+		opts.Pool = 2
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:          opts,
+		start:         time.Now(),
+		jobs:          map[string]*Job{},
+		flights:       map[string]*flight{},
+		cache:         map[string]*cacheEntry{},
+		queue:         make(chan *flight, opts.Queue),
+		baseCtx:       ctx,
+		baseCancel:    cancel,
+		runTrain:      runTrain,
+		runExperiment: experiments.RunContext,
+	}
+	s.wg.Add(opts.Pool)
+	for i := 0; i < opts.Pool; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// runTrain is the production training runner behind the seam.
+func runTrain(ctx context.Context, spec TrainSpec, progress func(train.Progress)) (*train.Result, error) {
+	w, err := registry.NewWorkload(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	factory, dense, err := registry.NewFactory(spec.Sparsifier, w, spec.Density)
+	if err != nil {
+		return nil, err
+	}
+	return train.RunContext(ctx, w, factory, train.Config{
+		Workers:       spec.Workers,
+		Density:       spec.Density,
+		LR:            spec.LR,
+		Momentum:      spec.Momentum,
+		Iterations:    spec.Iterations,
+		EvalEvery:     spec.EvalEvery,
+		RecordEvery:   spec.RecordEvery,
+		Seed:          spec.Seed,
+		DisableSparse: dense,
+		CostModel:     comm.DefaultCostModel(),
+		Topology:      comm.DefaultTopology(),
+		Progress:      progress,
+	})
+}
+
+// Shutdown stops the server: no new jobs are accepted, every flight's
+// context is cancelled (running trainers abort mid-iteration, queued jobs
+// drain as cancelled), and it waits — bounded by ctx — for the pool to
+// finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.baseCancel()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the flight queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for fl := range s.queue {
+		s.runFlight(fl)
+	}
+}
+
+// runFlight executes one flight and settles every job still attached.
+func (s *Server) runFlight(fl *flight) {
+	if err := fl.ctx.Err(); err != nil {
+		// Cancelled while queued (every attached job was deleted, or the
+		// server shut down): settle whatever is still attached.
+		s.settleFlight(fl, nil, context.Canceled)
+		return
+	}
+	s.mu.Lock()
+	fl.mu.Lock()
+	fl.started = true
+	now := time.Now()
+	for _, j := range fl.jobs {
+		j.State = StateRunning
+		j.Started = now
+		j.events.appendEvent(event{Type: "state", State: string(StateRunning)})
+	}
+	fl.mu.Unlock()
+	s.mu.Unlock()
+
+	s.mRuns.Add(1)
+	s.mInFlight.Add(1)
+	var outcome *runOutcome
+	var err error
+	if fl.spec.Train != nil {
+		var res *train.Result
+		res, err = s.runTrain(fl.ctx, *fl.spec.Train, func(p train.Progress) { fl.progress("", p) })
+		if err == nil {
+			outcome = &runOutcome{TrainResult: res}
+		}
+	} else {
+		var tab *experiments.Table
+		tab, err = s.runExperiment(fl.ctx, fl.spec.Experiment, experiments.Options{
+			Quick:    fl.spec.Quick,
+			Seed:     fl.spec.Seed,
+			Progress: fl.progress,
+		})
+		if err == nil {
+			outcome = &runOutcome{Table: tab}
+		}
+	}
+	s.mInFlight.Add(-1)
+	s.settleFlight(fl, outcome, err)
+}
+
+// settleFlight records a flight's outcome: success populates the result
+// cache and completes attached jobs; failure or cancellation marks them
+// failed/cancelled. Detached (individually cancelled) jobs were settled
+// at DELETE time.
+func (s *Server) settleFlight(fl *flight, outcome *runOutcome, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flights[fl.hash] == fl {
+		delete(s.flights, fl.hash)
+	}
+	fl.cancel() // release the context regardless of outcome
+
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if err == nil {
+		if _, exists := s.cache[fl.hash]; !exists {
+			s.cacheOrder = append(s.cacheOrder, fl.hash)
+			// FIFO eviction keeps the result cache bounded; evicted specs
+			// simply train again on resubmission.
+			for len(s.cacheOrder) > maxCachedResults {
+				delete(s.cache, s.cacheOrder[0])
+				s.cacheOrder = s.cacheOrder[1:]
+			}
+		}
+		s.cache[fl.hash] = &cacheEntry{outcome: outcome, history: fl.history}
+	}
+	now := time.Now()
+	for _, j := range fl.jobs {
+		j.Finished = now
+		j.flight = nil
+		switch {
+		case err == nil:
+			j.State = StateDone
+			j.outcome = outcome
+			j.events.appendEvent(event{Type: "done", State: string(StateDone)})
+		case errors.Is(err, context.Canceled) || errors.Is(err, comm.ErrAborted):
+			j.State = StateCancelled
+			j.events.appendEvent(event{Type: "done", State: string(StateCancelled)})
+		default:
+			j.State = StateFailed
+			j.Err = err.Error()
+			j.events.appendEvent(event{Type: "done", State: string(StateFailed), Error: j.Err})
+		}
+		j.events.close()
+	}
+	fl.jobs = nil
+}
+
+// ----------------------------------------------------------- HTTP layer --
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	return mux
+}
+
+// jobView is the wire form of a Job.
+type jobView struct {
+	ID       string      `json:"id"`
+	State    JobState    `json:"state"`
+	Hash     string      `json:"hash"`
+	CacheHit bool        `json:"cache_hit,omitempty"`
+	Spec     JobSpec     `json:"spec"`
+	Created  time.Time   `json:"created"`
+	Started  *time.Time  `json:"started,omitempty"`
+	Finished *time.Time  `json:"finished,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Result   *runOutcome `json:"result,omitempty"`
+}
+
+// view renders a job; callers hold s.mu. withResult attaches the outcome
+// (job detail only — the list stays light).
+func (j *Job) view(withResult bool) jobView {
+	v := jobView{
+		ID: j.ID, State: j.State, Hash: j.Hash, CacheHit: j.CacheHit,
+		Spec: j.Spec, Created: j.Created, Error: j.Err,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		v.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		v.Finished = &t
+	}
+	if withResult && j.State == StateDone {
+		v.Result = j.outcome
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone: nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	hash := spec.hash()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.nextID++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.nextID),
+		Spec:    spec,
+		Hash:    hash,
+		Created: time.Now(),
+		events:  newEventLog(),
+	}
+	status := http.StatusAccepted
+	switch {
+	case s.cache[hash] != nil:
+		// Content-addressed cache hit: done before it ever queues, with
+		// the original run's stream replayed into the job's log.
+		ce := s.cache[hash]
+		job.State = StateDone
+		job.CacheHit = true
+		job.Started = job.Created
+		job.Finished = job.Created
+		job.outcome = ce.outcome
+		for _, line := range ce.history {
+			job.events.append(line)
+		}
+		job.events.appendEvent(event{Type: "done", State: string(StateDone)})
+		job.events.close()
+		s.mCacheHits.Add(1)
+		status = http.StatusOK
+	case s.flights[hash] != nil && s.flights[hash].ctx.Err() == nil:
+		// Single-flight join: ride the in-progress run. A flight whose
+		// context is already cancelled (its last job was just deleted) is
+		// not joinable — it falls through and a fresh flight replaces it
+		// in the map (settleFlight only deletes its own entry).
+		fl := s.flights[hash]
+		job.flight = fl
+		fl.mu.Lock()
+		job.State = StateQueued
+		if fl.started {
+			job.State = StateRunning
+			job.Started = time.Now()
+		}
+		for _, line := range fl.history {
+			job.events.append(line)
+		}
+		job.events.appendEvent(event{Type: "state", State: string(job.State)})
+		fl.jobs = append(fl.jobs, job)
+		fl.mu.Unlock()
+		s.mDeduped.Add(1)
+	default:
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		fl := &flight{hash: hash, spec: spec, ctx: ctx, cancel: cancel, jobs: []*Job{job}}
+		job.State = StateQueued
+		job.flight = fl
+		job.events.appendEvent(event{Type: "state", State: string(StateQueued)})
+		select {
+		case s.queue <- fl:
+			s.flights[hash] = fl
+		default:
+			cancel()
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "queue full (%d flights waiting)", s.opts.Queue)
+			return
+		}
+	}
+	s.mSubmitted.Add(1)
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	v := job.view(true)
+	s.mu.Unlock()
+	writeJSON(w, status, v)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var v jobView
+	if ok {
+		v = job.view(true)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleDelete cancels a job. A queued or running job detaches from its
+// flight and turns cancelled immediately; when the last attached job
+// leaves, the flight's context is cancelled and the trainer aborts
+// mid-iteration. Deleting a terminal job is an idempotent no-op.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if fl := job.flight; fl != nil {
+		fl.mu.Lock()
+		for i, j := range fl.jobs {
+			if j == job {
+				fl.jobs = append(fl.jobs[:i], fl.jobs[i+1:]...)
+				break
+			}
+		}
+		orphaned := len(fl.jobs) == 0
+		fl.mu.Unlock()
+		job.flight = nil
+		job.State = StateCancelled
+		job.Finished = time.Now()
+		job.events.appendEvent(event{Type: "done", State: string(StateCancelled)})
+		job.events.close()
+		if orphaned {
+			fl.cancel()
+		}
+	}
+	v := job.view(false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleStream serves the job's event log as NDJSON: full history first,
+// then live events until the job reaches a terminal state or the client
+// disconnects.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	cursor := 0
+	for {
+		lines, closed, ping := job.events.next(cursor)
+		for _, line := range lines {
+			w.Write(line)         //nolint:errcheck // disconnect caught below
+			w.Write([]byte{'\n'}) //nolint:errcheck
+			cursor++              // one line consumed
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if len(lines) > 0 {
+			continue
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-ping:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.IDs()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	closed := s.closed
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if closed {
+		status = "shutting down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"jobs":           n,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics reports the expvar counters plus the registry scanned by
+// state — the numbers a fleet scheduler or dashboard polls.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	byState := map[JobState]int{}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		byState[j.State]++
+	}
+	queueDepth := len(s.queue)
+	s.mu.Unlock()
+	states := map[string]int{}
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		states[string(st)] = byState[st]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":               states,
+		"submitted":          s.mSubmitted.Value(),
+		"cache_hits":         s.mCacheHits.Value(),
+		"deduped":            s.mDeduped.Value(),
+		"runs":               s.mRuns.Value(),
+		"in_flight_trainers": s.mInFlight.Value(),
+		"queue_depth":        queueDepth,
+		"pool_size":          s.opts.Pool,
+	})
+}
+
+// Jobs returns the ids of all registered jobs in submission order (test
+// and tooling helper).
+func (s *Server) Jobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.order...)
+	sort.Strings(out)
+	return out
+}

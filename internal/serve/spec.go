@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/registry"
+)
+
+// JobSpec describes one schedulable unit of work: exactly one of
+// Experiment (a paper table/figure id) or Train (an ad-hoc training
+// configuration) must be set. Submitting the same normalized spec twice
+// is guaranteed to train at most once: specs are content-addressed by
+// Hash and deduplicated against both the result cache and in-flight runs.
+type JobSpec struct {
+	// Experiment is a paper artefact id from experiments.IDs(), e.g. "fig4".
+	Experiment string `json:"experiment,omitempty"`
+	// Quick shrinks worker counts and iteration budgets (experiment jobs).
+	Quick bool `json:"quick,omitempty"`
+	// Seed offsets all run seeds (experiment jobs).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Train is an ad-hoc training run.
+	Train *TrainSpec `json:"train,omitempty"`
+}
+
+// TrainSpec mirrors train.Config for the workload/sparsifier names of
+// internal/registry. Zero fields are filled with defaults by normalize.
+type TrainSpec struct {
+	Workload    string  `json:"workload"`
+	Sparsifier  string  `json:"sparsifier"`
+	Workers     int     `json:"workers,omitempty"`
+	Density     float64 `json:"density,omitempty"`
+	LR          float64 `json:"lr,omitempty"`
+	Momentum    float64 `json:"momentum,omitempty"`
+	Iterations  int     `json:"iterations,omitempty"`
+	EvalEvery   int     `json:"eval_every,omitempty"`
+	RecordEvery int     `json:"record_every,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+}
+
+// normalize validates the spec and fills defaults in place, so that every
+// spec describing the same work hashes identically.
+func (s *JobSpec) normalize() error {
+	switch {
+	case s.Experiment != "" && s.Train != nil:
+		return fmt.Errorf("spec sets both experiment and train; pick one")
+	case s.Experiment == "" && s.Train == nil:
+		return fmt.Errorf("spec sets neither experiment nor train")
+	case s.Experiment != "":
+		for _, id := range experiments.IDs() {
+			if id == s.Experiment {
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown experiment %q", s.Experiment)
+	}
+
+	t := s.Train
+	if s.Quick || s.Seed != 0 {
+		return fmt.Errorf("quick/seed apply to experiment jobs; use the train fields")
+	}
+	if t.Workload == "" {
+		t.Workload = "mlp"
+	}
+	if t.Sparsifier == "" {
+		t.Sparsifier = "deft"
+	}
+	if _, err := registry.NewWorkload(t.Workload); err != nil {
+		return err
+	}
+	known := false
+	for _, n := range registry.Sparsifiers() {
+		if n == t.Sparsifier {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown sparsifier %q", t.Sparsifier)
+	}
+	if t.Workers == 0 {
+		t.Workers = 4
+	}
+	// Upper bounds keep one tenant's spec from wedging the shared
+	// process: each simulated worker is a goroutine holding several
+	// gradient-sized buffers, and a pool slot is held for the whole run.
+	if t.Workers < 1 || t.Workers > maxWorkers {
+		return fmt.Errorf("workers %d out of [1, %d]", t.Workers, maxWorkers)
+	}
+	if t.Density == 0 && t.Sparsifier != "dense" {
+		t.Density = 0.01
+	}
+	if t.Density < 0 || t.Density > 1 {
+		return fmt.Errorf("density %g out of (0, 1]", t.Density)
+	}
+	if t.LR == 0 {
+		t.LR = 0.1
+	}
+	if t.LR < 0 {
+		return fmt.Errorf("lr %g must be positive", t.LR)
+	}
+	if t.Momentum < 0 || t.Momentum >= 1 {
+		return fmt.Errorf("momentum %g out of [0, 1)", t.Momentum)
+	}
+	if t.Iterations == 0 {
+		t.Iterations = 50
+	}
+	if t.Iterations < 1 || t.Iterations > maxIterations {
+		return fmt.Errorf("iterations %d out of [1, %d]", t.Iterations, maxIterations)
+	}
+	if t.RecordEvery < 0 || t.EvalEvery < 0 {
+		return fmt.Errorf("record_every/eval_every must be non-negative")
+	}
+	if t.RecordEvery == 0 {
+		// Scale the sampling stride with the run length so a long job's
+		// series — and its streamed/cached event history — stays bounded
+		// by default.
+		t.RecordEvery = max(1, t.Iterations/maxDefaultRecords)
+	}
+	if t.Iterations/t.RecordEvery > maxRecords {
+		return fmt.Errorf("iterations/record_every = %d samples exceeds %d; raise record_every",
+			t.Iterations/t.RecordEvery, maxRecords)
+	}
+	return nil
+}
+
+// Spec limits: the largest cluster the paper scales to leaves headroom
+// (64 ≥ 2×32 workers), and a million iterations of the smallest workload
+// already runs for hours — anything bigger is a misconfigured client.
+// maxRecords bounds the per-run sample count (series points, streamed
+// NDJSON lines, cached history) no matter what the client asks for;
+// maxDefaultRecords is the gentler target used when record_every is left
+// for the server to pick.
+const (
+	maxWorkers        = 64
+	maxIterations     = 1_000_000
+	maxRecords        = 100_000
+	maxDefaultRecords = 10_000
+)
+
+// hash returns the content address of a normalized spec: the first 16 hex
+// digits of the SHA-256 of its canonical JSON (struct field order is
+// fixed, so encoding/json is canonical here).
+func (s JobSpec) hash() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic("serve: spec hash: " + err.Error()) // unreachable: plain fields
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/train"
+)
+
+// event is one NDJSON line of a job's stream. Type "state" marks job
+// lifecycle transitions, "progress" carries a training sample (the same
+// values appended to the run's Result series), and "done" terminates the
+// stream with the job's final state.
+type event struct {
+	Type  string `json:"type"` // "state" | "progress" | "done"
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Run tags progress events with the underlying run's cache key when an
+	// experiment job trains several configurations.
+	Run string `json:"run,omitempty"`
+	*train.Progress
+}
+
+// marshalEvent renders an event to one newline-free JSON line. Marshal
+// failures are impossible for the plain field types involved.
+func marshalEvent(ev event) json.RawMessage {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		panic("serve: marshal event: " + err.Error())
+	}
+	return line
+}
+
+// eventLog is an append-only broadcast buffer: writers append marshalled
+// lines, readers cursor through history and block for more. Each job owns
+// one log; deduplicated jobs sharing a training run receive fan-out copies
+// of the run's progress events, so a job's stream is self-contained (a
+// late or repeated GET replays the full history).
+type eventLog struct {
+	mu     sync.Mutex
+	lines  []json.RawMessage
+	closed bool
+	ping   chan struct{} // closed and replaced on every append/close
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{ping: make(chan struct{})}
+}
+
+// append adds one line and wakes blocked readers. Appending to a closed
+// log is a no-op (a cancelled job's log stays terminated).
+func (l *eventLog) append(line json.RawMessage) {
+	l.mu.Lock()
+	if !l.closed {
+		l.lines = append(l.lines, line)
+		close(l.ping)
+		l.ping = make(chan struct{})
+	}
+	l.mu.Unlock()
+}
+
+// appendEvent marshals and appends.
+func (l *eventLog) appendEvent(ev event) { l.append(marshalEvent(ev)) }
+
+// close terminates the log: readers drain what remains and stop.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.ping)
+	}
+	l.mu.Unlock()
+}
+
+// next returns the lines beyond cursor, whether the log is terminated,
+// and a channel that is closed on the next append/close (valid only when
+// no lines were returned and the log is open).
+func (l *eventLog) next(cursor int) (lines []json.RawMessage, closed bool, ping <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cursor < len(l.lines) {
+		return l.lines[cursor:], l.closed, nil
+	}
+	return nil, l.closed, l.ping
+}

@@ -170,9 +170,9 @@ func Quantile(v []float64, q float64) float64 {
 // per iteration or accuracy per epoch, and renders summaries for the
 // experiment reports.
 type Series struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    `json:"name,omitempty"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
 }
 
 // Append adds one measurement.

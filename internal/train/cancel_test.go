@@ -1,0 +1,121 @@
+package train_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/train"
+)
+
+// TestRunContextCancelMidRun: cancelling a run must stop it within a few
+// iterations, returning the partial result and the context error.
+func TestRunContextCancelMidRun(t *testing.T) {
+	w := mlpWorkload()
+	ctx, cancel := context.WithCancel(context.Background())
+	recorded := 0
+	cfg := train.Config{
+		Workers: 4, Density: 0.01, LR: 0.1,
+		Iterations: 1_000_000, // cannot finish: must be cancelled
+		Progress: func(p train.Progress) {
+			if p.Kind == "record" {
+				recorded++
+				if recorded == 3 {
+					cancel()
+				}
+			}
+		},
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	var res *train.Result
+	var err error
+	go func() {
+		res, err = train.RunContext(ctx, w, topkFactory(), cfg)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned nil partial result")
+	}
+	// The partial series hold everything recorded up to the abort; the
+	// abort itself lands within a few iterations of the cancel.
+	if n := len(res.TrainLoss.Y); n < 3 || n > 16 {
+		t.Errorf("partial series has %d points; want >=3 (recorded) and <<1e6 (cancelled promptly)", n)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Errorf("cancellation took %v", time.Since(start))
+	}
+}
+
+// TestRunContextCompletesCleanly: with an inert context, RunContext is
+// exactly Run — including the final evaluation point.
+func TestRunContextCompletesCleanly(t *testing.T) {
+	w := mlpWorkload()
+	cfg := train.Config{Workers: 2, Density: 0.05, LR: 0.1, Iterations: 6}
+	res, err := train.RunContext(context.Background(), w, topkFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TrainLoss.Y) != 6 {
+		t.Fatalf("train loss points = %d, want 6", len(res.TrainLoss.Y))
+	}
+	if len(res.Metric.Y) != 1 {
+		t.Fatalf("metric points = %d, want the final evaluation", len(res.Metric.Y))
+	}
+}
+
+// TestProgressMatchesSeries: the streamed events must carry exactly the
+// values appended to the result series, in order.
+func TestProgressMatchesSeries(t *testing.T) {
+	w := mlpWorkload()
+	var events []train.Progress
+	cfg := train.Config{
+		Workers: 2, Density: 0.05, LR: 0.1,
+		Iterations: 10, EvalEvery: 4, RecordEvery: 2,
+		Progress: func(p train.Progress) { events = append(events, p) },
+	}
+	res, err := train.RunContext(context.Background(), w, cltkFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records, evals []train.Progress
+	for _, e := range events {
+		switch e.Kind {
+		case "record":
+			records = append(records, e)
+		case "eval":
+			evals = append(evals, e)
+		default:
+			t.Fatalf("unknown event kind %q", e.Kind)
+		}
+	}
+	if len(records) != len(res.TrainLoss.X) {
+		t.Fatalf("%d record events, %d series points", len(records), len(res.TrainLoss.X))
+	}
+	for i, e := range records {
+		if float64(e.Iteration) != res.TrainLoss.X[i] ||
+			e.TrainLoss != res.TrainLoss.Y[i] ||
+			e.ErrorNorm != res.ErrorNorm.Y[i] ||
+			e.ActualDensity != res.ActualDensity.Y[i] ||
+			e.EncodedBytes != res.EncodedBytes.Y[i] {
+			t.Errorf("record %d diverges from series: %+v", i, e)
+		}
+	}
+	if len(evals) != len(res.Metric.X) {
+		t.Fatalf("%d eval events, %d metric points", len(evals), len(res.Metric.X))
+	}
+	for i, e := range evals {
+		if float64(e.Iteration) != res.Metric.X[i] || e.Metric != res.Metric.Y[i] {
+			t.Errorf("eval %d diverges from metric series: %+v", i, e)
+		}
+	}
+}

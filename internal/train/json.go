@@ -1,0 +1,17 @@
+package train
+
+import "encoding/json"
+
+// MarshalJSON emits the result with snake_case keys plus the derived
+// summary fields (compression ratio, mean bytes/iteration, one-line
+// digest), so every consumer of the machine-readable form — the -json CLI
+// modes and the deft-serve job service — shares one serialization.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	type plain Result // identical fields, no methods: avoids recursion
+	return json.Marshal(struct {
+		*plain
+		CompressionRatio  float64 `json:"compression_ratio"`
+		BytesPerIteration float64 `json:"bytes_per_iteration"`
+		Summary           string  `json:"summary"`
+	}{(*plain)(r), r.CompressionRatio(), r.BytesPerIteration(), r.Summary()})
+}

@@ -18,6 +18,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -76,32 +77,54 @@ type Config struct {
 	// bit-identical parameters (they must: every replica applies the same
 	// aggregated update). Cheap insurance in tests; panics on divergence.
 	CheckSync bool
+
+	// Progress, when non-nil, is invoked on rank 0 with exactly the values
+	// appended to the Result series: once per recorded iteration (every
+	// RecordEvery) and once per evaluation, including the final one. It
+	// runs on the training path while the other ranks wait at a barrier —
+	// it must be fast and must never block on a slow consumer.
+	Progress func(Progress)
 }
 
-// Result aggregates everything the experiments need.
-type Result struct {
-	Workload   string
-	Sparsifier string
-	Workers    int
-	Density    float64
+// Progress is one streamed training event. Kind "record" carries the
+// per-iteration loss/density/error/bytes sample; kind "eval" carries the
+// periodic evaluation metric.
+type Progress struct {
+	Kind          string  `json:"kind"` // "record" | "eval"
+	Iteration     int     `json:"iteration"`
+	TrainLoss     float64 `json:"train_loss,omitempty"`
+	ActualDensity float64 `json:"actual_density,omitempty"`
+	ErrorNorm     float64 `json:"error_norm,omitempty"`
+	EncodedBytes  float64 `json:"encoded_bytes,omitempty"`
+	Metric        float64 `json:"metric,omitempty"`
+}
 
-	TrainLoss     stats.Series // x = iteration
-	Metric        stats.Series // x = iteration, y = Evaluate()
-	ActualDensity stats.Series
-	ErrorNorm     stats.Series // ‖e_t‖, Eq. 2
+// Result aggregates everything the experiments need. The JSON form (see
+// MarshalJSON) is the machine-readable artefact shared by the -json CLI
+// modes and the deft-serve job service.
+type Result struct {
+	Workload   string  `json:"workload"`
+	Sparsifier string  `json:"sparsifier"`
+	Workers    int     `json:"workers"`
+	Density    float64 `json:"density"`
+
+	TrainLoss     stats.Series `json:"train_loss"`     // x = iteration
+	Metric        stats.Series `json:"metric"`         // x = iteration, y = Evaluate()
+	ActualDensity stats.Series `json:"actual_density"` // realised density
+	ErrorNorm     stats.Series `json:"error_norm"`     // ‖e_t‖, Eq. 2
 
 	// Time accounting (seconds), totals over the run. Selection and
 	// gradient compute are wall-clock (max over workers per iteration);
 	// communication uses the α–β model on element counts (CommTime) and
 	// the topology-aware byte model on actual encoded payloads
 	// (WireCommTime).
-	ComputeTime   float64
-	SelectTime    float64
-	PartitionTime float64 // DEFT's extra overhead bucket
-	CommTime      float64
-	WireCommTime  float64
+	ComputeTime   float64 `json:"compute_time_s"`
+	SelectTime    float64 `json:"select_time_s"`
+	PartitionTime float64 `json:"partition_time_s"` // DEFT's extra overhead bucket
+	CommTime      float64 `json:"comm_time_s"`
+	WireCommTime  float64 `json:"wire_comm_time_s"`
 
-	Traffic comm.TrafficCounter
+	Traffic comm.TrafficCounter `json:"traffic"`
 	// WireBytes is the total encoded payload all workers moved over the
 	// run, counting both directions symmetrically per worker: the upload
 	// (sparse: the local selection encoded with the cheapest internal/wire
@@ -109,25 +132,36 @@ type Result struct {
 	// (sparse: the union's summed values as fp32 — the indices are already
 	// known from the all-gather, so only values come back; dense: the
 	// reduced fp32 vector).
-	WireBytes int64
+	WireBytes int64 `json:"wire_bytes"`
 	// DenseBytes is the fp32 dense baseline over the same run under the
 	// same both-directions convention (2·4·ng per worker per iteration) —
 	// the numerator of CompressionRatio, which is therefore exactly 1 for
 	// a dense run.
-	DenseBytes int64
+	DenseBytes int64 `json:"dense_bytes"`
 	// EncodedBytes samples the per-iteration encoded payload summed over
 	// workers (x = iteration), every RecordEvery iterations.
-	EncodedBytes stats.Series
+	EncodedBytes stats.Series `json:"encoded_bytes"`
 	// NaNIterations counts iterations where any worker produced a
 	// non-finite gradient (the update still proceeds; inspect this to
 	// diagnose divergence).
-	NaNIterations int
+	NaNIterations int `json:"nan_iterations"`
 }
 
 // Run executes distributed training and returns the collected result.
 // factory builds one sparsifier per worker; pass nil with
 // cfg.DisableSparse for the dense baseline.
 func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
+	res, _ := RunContext(context.Background(), w, factory, cfg)
+	return res
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the
+// simulated cluster is aborted, every rank stops at its next collective
+// or compute-section boundary (within one iteration), and RunContext
+// returns the partial Result accumulated so far together with the ctx
+// error. A nil error means the run completed; the Result is then
+// identical to Run's.
+func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg Config) (*Result, error) {
 	if cfg.Workers < 1 {
 		panic("train: Workers must be >= 1")
 	}
@@ -191,7 +225,7 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 	// Evaluation runs on rank 0's replica only (replicas stay identical).
 	var rank0 Model
 
-	cluster.Run(func(cm *comm.Comm) {
+	runErr := cluster.RunContext(ctx, func(cm *comm.Comm) {
 		rank := cm.Rank()
 		model := w.NewModel()
 		if rank == 0 {
@@ -260,6 +294,11 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 		decayIdx := 0
 
 		for t := 0; t < cfg.Iterations; t++ {
+			// Cancellation point ahead of the compute phase: collectives
+			// abort on their own, but a rank about to disappear into a long
+			// Step would otherwise burn a full gradient first. One atomic
+			// load when the run is healthy.
+			cm.CheckAbort()
 			for decayIdx < len(cfg.LRDecayAt) && t == cfg.LRDecayAt[decayIdx] {
 				lr *= cfg.LRDecay
 				decayIdx++
@@ -472,9 +511,23 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 					res.ErrorNorm.Append(float64(t), errSum/float64(n))
 					res.ActualDensity.Append(float64(t), float64(k)/float64(ng))
 					res.EncodedBytes.Append(float64(t), float64(iterBytes))
+					if cfg.Progress != nil {
+						cfg.Progress(Progress{
+							Kind:          "record",
+							Iteration:     t,
+							TrainLoss:     lossSum / float64(n),
+							ActualDensity: float64(k) / float64(ng),
+							ErrorNorm:     errSum / float64(n),
+							EncodedBytes:  float64(iterBytes),
+						})
+					}
 				}
 				if cfg.EvalEvery > 0 && t > 0 && t%cfg.EvalEvery == 0 {
-					res.Metric.Append(float64(t), w.Evaluate(rank0))
+					m := w.Evaluate(rank0)
+					res.Metric.Append(float64(t), m)
+					if cfg.Progress != nil {
+						cfg.Progress(Progress{Kind: "eval", Iteration: t, Metric: m})
+					}
 				}
 			}
 			cm.Barrier() // keep workers in lockstep with the recording
@@ -482,9 +535,19 @@ func Run(w Workload, factory sparsifier.Factory, cfg Config) *Result {
 	})
 
 	res.Traffic = cluster.Traffic()
+	if runErr != nil {
+		// Cancelled: hand back whatever rank 0 recorded before the abort
+		// (the series are consistent — they are only appended between the
+		// two lockstep barriers) and skip the final evaluation.
+		return res, runErr
+	}
 	// Final evaluation.
-	res.Metric.Append(float64(cfg.Iterations), w.Evaluate(rank0))
-	return res
+	m := w.Evaluate(rank0)
+	res.Metric.Append(float64(cfg.Iterations), m)
+	if cfg.Progress != nil {
+		cfg.Progress(Progress{Kind: "eval", Iteration: cfg.Iterations, Metric: m})
+	}
+	return res, nil
 }
 
 // overheadReporter is implemented by DEFT to expose its partition-vs-select

@@ -65,6 +65,23 @@ func BenchmarkSelectDEFTSlowestWorker(b *testing.B) { benchkit.BenchSelectDEFTSl
 
 func BenchmarkTrainIteration(b *testing.B) { benchkit.BenchTrainIteration(b) }
 
+// Blocked-GEMM substrate benchmarks: model-realistic shapes (the MLP dense
+// layers, the LSTM gate product), a ragged odd-dimension shape, the two
+// transposed backward products, and a full Conv2D forward through the
+// im2col + GEMM path. All are gated like every other hot path via
+// deft-bench -compare.
+func BenchmarkGemmMLPForward(b *testing.B) { benchkit.BenchGemmMLPForward(b) }
+
+func BenchmarkGemmLSTMGates(b *testing.B) { benchkit.BenchGemmLSTMGates(b) }
+
+func BenchmarkGemmOddBlocked(b *testing.B) { benchkit.BenchGemmOddBlocked(b) }
+
+func BenchmarkGemmTransAGrad(b *testing.B) { benchkit.BenchGemmTransAGrad(b) }
+
+func BenchmarkGemmTransBBack(b *testing.B) { benchkit.BenchGemmTransBBack(b) }
+
+func BenchmarkConvForwardPath(b *testing.B) { benchkit.BenchConvForward(b) }
+
 // Wire codec benchmarks: encoding the LSTM fixture's selection at low
 // density (COO varint regime) and high density (bitmap regime), plus the
 // decode path. All three are zero-alloc in steady state.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/benchkit"
@@ -31,6 +32,8 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced worker counts and iteration budgets")
 	seed := flag.Uint64("seed", 0, "seed offset for all runs")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"fan each experiment's independent training runs over up to N goroutines (1 = sequential)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
 	jsonOut := flag.Bool("json", false, "run the perf microbenchmarks and write -bench-out")
@@ -65,7 +68,7 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = experiments.IDs()
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
 	for _, id := range args {
 		start := time.Now()
 		tab, err := experiments.Run(id, opts)

@@ -21,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -42,6 +44,8 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "catalog scale factor")
 	maxRows := flag.Int("max-rows", 24, "fragment rows to print (0 = all)")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON instead of text")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"run up to N sparsifier schemes' selection+encode concurrently (1 = sequential); output is byte-identical either way")
 	flag.Parse()
 
 	var layers []sparsifier.Layer
@@ -85,7 +89,7 @@ func main() {
 	}
 	tables := []*experiments.Table{
 		fragmentTable(layers, grad, *workers, *density, source, rows),
-		wireTable(layers, grad, *workers, *density),
+		wireTable(layers, grad, *workers, *density, *parallel),
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -166,7 +170,13 @@ func fragmentTable(layers []sparsifier.Layer, grad []float64, workers int, densi
 // its encoded upload payload — bytes one worker ships per iteration —
 // under each internal/wire format, the automatically selected cheapest
 // format, and the compression ratio against the dense fp32 baseline.
-func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density float64) *experiments.Table {
+//
+// The per-scheme selection+encode passes are independent (each scheme gets
+// its own sparsifier instance, context and buffers; the gradient is only
+// read), so they fan out over a pool of up to parallel goroutines. Rows
+// are assembled in registry order, making the table byte-identical to a
+// sequential run — the cells carry no wall-clock measurements.
+func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density float64, parallel int) *experiments.Table {
 	ng := len(grad)
 	// Every scheme the registry advertises, so a sparsifier added there
 	// shows up here automatically. The dense baseline has no selection to
@@ -182,6 +192,9 @@ func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density f
 		case "dense":
 			continue
 		case "hardthreshold":
+			// The threshold tune runs here, not in the pool: it is shared
+			// input preparation, and keeping it out keeps every pool job a
+			// pure function of (scheme, grad).
 			schemes = append(schemes, scheme{name, sparsifier.TuneHardThreshold(grad, density)})
 		default:
 			factory, _, err := registry.NewFactory(name, nil, density)
@@ -198,36 +211,58 @@ func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density f
 		Title:   fmt.Sprintf("Wire footprint per scheme (one worker-iteration upload; dense fp32 baseline %d B)", dense),
 		Columns: []string{"scheme", "nnz", "density", "coo32", "coo16", "bitmap32", "bitmap16", "bytes/it", "ratio"},
 	}
-	vals := make([]float64, 0, ng)
-	for _, s := range schemes {
-		ctx := &sparsifier.Ctx{NWorkers: workers, Density: density, Layers: layers}
-		idx := append([]int(nil), s.sp.Select(ctx, grad)...)
-		sort.Ints(idx)
-		vals = vals[:0]
-		for _, ix := range idx {
-			vals = append(vals, grad[ix])
-		}
-		best, size := wire.Pick(ng, idx, wire.Float32)
-		buf, f, err := wire.AppendAuto(nil, ng, idx, vals, wire.Float32)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "deft-inspect: %s: wire encode failed: %v\n", s.name, err)
-			os.Exit(1)
-		}
-		if f != best || len(buf) != size {
-			fmt.Fprintf(os.Stderr, "deft-inspect: %s: encode produced (%v, %d B), Pick promised (%v, %d B)\n",
-				s.name, f, len(buf), best, size)
-			os.Exit(1)
-		}
-		t.Rows = append(t.Rows, []string{
-			s.name, fmt.Sprintf("%d", len(idx)), fmt.Sprintf("%.6f", float64(len(idx))/float64(ng)),
-			fmt.Sprintf("%d", wire.EncodedSize(wire.COO32, ng, idx)),
-			fmt.Sprintf("%d", wire.EncodedSize(wire.COO16, ng, idx)),
-			fmt.Sprintf("%d", wire.EncodedSize(wire.Bitmap32, ng, idx)),
-			fmt.Sprintf("%d", wire.EncodedSize(wire.Bitmap16, ng, idx)),
-			fmt.Sprintf("%d (%s)", size, best),
-			fmt.Sprintf("%.1fx", float64(dense)/float64(size)),
-		})
+	if parallel < 1 {
+		parallel = 1
 	}
+	rows := make([][]string, len(schemes))
+	errs := make([]error, len(schemes))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, s := range schemes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, s scheme) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			ctx := &sparsifier.Ctx{NWorkers: workers, Density: density, Layers: layers}
+			idx := append([]int(nil), s.sp.Select(ctx, grad)...)
+			slices.Sort(idx)
+			vals := make([]float64, len(idx))
+			for j, ix := range idx {
+				vals[j] = grad[ix]
+			}
+			best, size := wire.Pick(ng, idx, wire.Float32)
+			buf, f, err := wire.AppendAuto(nil, ng, idx, vals, wire.Float32)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: wire encode failed: %w", s.name, err)
+				return
+			}
+			if f != best || len(buf) != size {
+				errs[i] = fmt.Errorf("%s: encode produced (%v, %d B), Pick promised (%v, %d B)",
+					s.name, f, len(buf), best, size)
+				return
+			}
+			rows[i] = []string{
+				s.name, fmt.Sprintf("%d", len(idx)), fmt.Sprintf("%.6f", float64(len(idx))/float64(ng)),
+				fmt.Sprintf("%d", wire.EncodedSize(wire.COO32, ng, idx)),
+				fmt.Sprintf("%d", wire.EncodedSize(wire.COO16, ng, idx)),
+				fmt.Sprintf("%d", wire.EncodedSize(wire.Bitmap32, ng, idx)),
+				fmt.Sprintf("%d", wire.EncodedSize(wire.Bitmap16, ng, idx)),
+				fmt.Sprintf("%d (%s)", size, best),
+				fmt.Sprintf("%.1fx", float64(dense)/float64(size)),
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	t.Rows = rows
 	return t
 }
 

@@ -13,16 +13,20 @@
 package benchkit
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
+	"slices"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
 	"repro/internal/shapes"
+	"repro/internal/tensor"
 	"repro/internal/topk"
 	"repro/internal/train"
 	"repro/internal/wire"
@@ -41,6 +45,12 @@ func Cases() []Case {
 		{Name: "SelectWholeVectorQuickSelect", Bench: BenchSelectWholeVectorQuickSelect},
 		{Name: "SelectDEFTSlowestWorker", Bench: BenchSelectDEFTSlowestWorker},
 		{Name: "TrainIteration", Bench: BenchTrainIteration},
+		{Name: "GemmMLPForward", Bench: BenchGemmMLPForward},
+		{Name: "GemmLSTMGates", Bench: BenchGemmLSTMGates},
+		{Name: "GemmOddBlocked", Bench: BenchGemmOddBlocked},
+		{Name: "GemmTransAGrad", Bench: BenchGemmTransAGrad},
+		{Name: "GemmTransBBack", Bench: BenchGemmTransBBack},
+		{Name: "ConvForward", Bench: BenchConvForward},
 		{Name: "WireEncodeCOOVarint", Bench: BenchWireEncodeCOOVarint},
 		{Name: "WireEncodeBitmap", Bench: BenchWireEncodeBitmap},
 		{Name: "WireDecodeCOOVarint", Bench: BenchWireDecodeCOOVarint},
@@ -124,6 +134,101 @@ func BenchTrainIteration(b *testing.B) {
 	})
 }
 
+// gemmFixture builds Gaussian operands for one GEMM benchmark shape.
+func gemmFixture(seed uint64, sizes ...int) [][]float64 {
+	r := rng.New(seed)
+	out := make([][]float64, len(sizes))
+	for i, n := range sizes {
+		buf := make([]float64, n)
+		for j := range buf {
+			buf[j] = r.Norm()
+		}
+		out[i] = buf
+	}
+	return out
+}
+
+// BenchGemmMLPForward measures C = A·B at the MLP's first dense layer
+// shape (batch 16 × 192 inputs × 32 units) — the modal forward GEMM of the
+// TrainIteration workload, just above the blocked-path threshold.
+func BenchGemmMLPForward(b *testing.B) {
+	const m, k, n = 16, 192, 32
+	f := gemmFixture(1, m*k, k*n, m*n)
+	a, bb, c := f[0], f[1], f[2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmInto(c, a, bb, m, k, n, false)
+	}
+}
+
+// BenchGemmLSTMGates measures the LSTM's per-timestep gate product (batch
+// 8 × hidden 32 × 4·32 gate units) — the modal GEMM of the language model.
+func BenchGemmLSTMGates(b *testing.B) {
+	const m, k, n = 8, 32, 128
+	f := gemmFixture(2, m*k, k*n, m*n)
+	a, bb, c := f[0], f[1], f[2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmInto(c, a, bb, m, k, n, false)
+	}
+}
+
+// BenchGemmOddBlocked measures a deliberately ragged blocked-path shape
+// (61×127×33): every micro-tile edge and the panel remainder paths run.
+func BenchGemmOddBlocked(b *testing.B) {
+	const m, k, n = 61, 127, 33
+	f := gemmFixture(3, m*k, k*n, m*n)
+	a, bb, c := f[0], f[1], f[2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmInto(c, a, bb, m, k, n, false)
+	}
+}
+
+// BenchGemmTransAGrad measures the weight-gradient product dW += xᵀ·dout
+// at the MLP fc1 shape (192×16 batch×32) in accumulate mode.
+func BenchGemmTransAGrad(b *testing.B) {
+	const m, k, n = 192, 16, 32 // A is k×m, B is k×n
+	f := gemmFixture(4, k*m, k*n, m*n)
+	a, bb, c := f[0], f[1], f[2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmTransA(c, a, bb, m, k, n, true)
+	}
+}
+
+// BenchGemmTransBBack measures the input-gradient product dx = dout·Wᵀ at
+// the MLP fc1 shape (16×32×192).
+func BenchGemmTransBBack(b *testing.B) {
+	const m, k, n = 16, 32, 192 // B is n×k
+	f := gemmFixture(5, m*k, n*k, m*n)
+	a, bb, c := f[0], f[1], f[2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmTransB(c, a, bb, m, k, n, false)
+	}
+}
+
+// BenchConvForward measures one Conv2D forward pass at the vision
+// workload's stage-1 shape (batch 8, 8→8 channels, 3×3, 8×8 maps) through
+// the im2col + blocked-GEMM path.
+func BenchConvForward(b *testing.B) {
+	r := rng.New(6)
+	c := nn.NewConv2D("bench", r, 8, 8, 3, 1, 1, false)
+	x := tensor.Randn(r, 1, 8, 8, 8, 8)
+	c.Forward(x, true) // warm the layer scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x, true)
+	}
+}
+
 // WireFixture builds the codec benchmark payload: the top-k selection of
 // the scaled LSTM catalog's synthetic gradient at the given density, as
 // sorted (index, value) pairs ready to encode.
@@ -134,7 +239,7 @@ func WireFixture(density float64) (ng int, idx []int, vals []float64) {
 	k := int(density * float64(ng))
 	var s topk.Scratch
 	idx = append([]int(nil), topk.HeapTopKInto(grad, k, &s)...)
-	sort.Ints(idx)
+	slices.Sort(idx)
 	vals = make([]float64, len(idx))
 	for i, ix := range idx {
 		vals[i] = grad[ix]
@@ -273,6 +378,6 @@ func Compare(old, cur File, tolerance float64) []Regression {
 			regs = append(regs, Regression{Name: r.Name, Old: b.NsPerOp, New: r.NsPerOp, Ratio: ratio})
 		}
 	}
-	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	slices.SortFunc(regs, func(a, b Regression) int { return cmp.Compare(b.Ratio, a.Ratio) })
 	return regs
 }

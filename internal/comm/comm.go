@@ -24,7 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -397,8 +397,8 @@ func (c *Comm) AllGatherUniqueIntsInto(data []int, dst []int) []int {
 		cl := c.cluster
 		total := 0
 		for _, s := range slots {
-			if !sort.IntsAreSorted(s) {
-				sort.Ints(s)
+			if !slices.IsSorted(s) {
+				slices.Sort(s)
 			}
 			total += len(s)
 		}

@@ -398,10 +398,10 @@ func TestCostModel(t *testing.T) {
 func TestTopologyModels(t *testing.T) {
 	topo := Topology{Alpha: 1, BytesPerSec: 1000, WorkersPerNode: 4, IntraFactor: 10}
 	for name, got := range map[string]float64{
-		"ring n=1":  topo.RingAllReduce(1, 1 << 20),
-		"rdag n=1":  topo.RecursiveDoublingAllGather(1, 1 << 20),
-		"tree n=1":  topo.TreeBroadcast(1, 1 << 20),
-		"hier n=1":  topo.HierarchicalBroadcast(1, 1 << 20),
+		"ring n=1":  topo.RingAllReduce(1, 1<<20),
+		"rdag n=1":  topo.RecursiveDoublingAllGather(1, 1<<20),
+		"tree n=1":  topo.TreeBroadcast(1, 1<<20),
+		"hier n=1":  topo.HierarchicalBroadcast(1, 1<<20),
 		"ring zero": topo.RingAllReduce(8, 0) - 2*7*1, // α-only when payload is empty
 	} {
 		if got != 0 {

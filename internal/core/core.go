@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/binpack"
 	"repro/internal/sparsifier"
+	"repro/internal/tensor"
 	"repro/internal/topk"
 )
 
@@ -183,28 +184,14 @@ func AssignUniform(frags []Fragment, kTotal int) {
 }
 
 // ComputeNorms fills each fragment's Norm field with the L2 norm of its
-// slice of grad.
+// slice of grad. It runs every iteration on every worker inside the gated
+// selection section, so it uses tensor.L2Norm's branch-free fast path
+// (scaled fallback on overflow/underflow) instead of unconditional scaled
+// accumulation.
 func ComputeNorms(frags []Fragment, grad []float64) {
 	for i := range frags {
 		f := &frags[i]
-		var scale, ssq float64 = 0, 1
-		for _, x := range grad[f.Start:f.End] {
-			if x == 0 {
-				continue
-			}
-			if x < 0 {
-				x = -x
-			}
-			if scale < x {
-				r := scale / x
-				ssq = 1 + ssq*r*r
-				scale = x
-			} else {
-				r := x / scale
-				ssq += r * r
-			}
-		}
-		f.Norm = scale * math.Sqrt(ssq)
+		f.Norm = tensor.L2Norm(grad[f.Start:f.End])
 	}
 }
 

@@ -140,9 +140,19 @@ func (v *Vision) SampleInto(r *rng.RNG, x *tensor.Tensor, labels []int) {
 				sy := (y + dy + cfg.Size) % cfg.Size
 				srow := proto[(ch*cfg.Size+sy)*cfg.Size:]
 				drow := x.Data[b*img+(ch*cfg.Size+y)*cfg.Size:]
+				// dx is in {-1,0,1}, so the wrapped source column can step
+				// with a compare instead of a per-pixel modulo. The RNG
+				// draw order (ascending xx) is unchanged.
+				sx := dx
+				if sx < 0 {
+					sx += cfg.Size
+				}
 				for xx := 0; xx < cfg.Size; xx++ {
-					sx := (xx + dx + cfg.Size) % cfg.Size
 					drow[xx] = srow[sx] + r.Norm()*cfg.Noise
+					sx++
+					if sx == cfg.Size {
+						sx = 0
+					}
 				}
 			}
 		}

@@ -47,14 +47,23 @@ func Fig7(o Options) *Table {
 		Columns: []string{"sparsifier", "fwd+bwd (ms)", "selection (ms)",
 			"communication (ms)", "partition (ms)", "total (ms)", "comm α–β (ms)"},
 	}
-	for _, scheme := range []string{"deft", "cltk", "topk"} {
-		key := fmt.Sprintf("fig7/%s/n%d/i%d/s%d", scheme, workers, iters, o.Seed)
-		r := cachedRun(o, key, w, sparsifierFactory(scheme), train.Config{
-			Workers: workers, Density: density, LR: appLR("langmodel"),
-			Iterations: iters, Seed: 3000 + o.Seed,
-			CostModel: comm.DefaultCostModel(),
-			Topology:  comm.DefaultTopology(),
-		})
+	schemes := []string{"deft", "cltk", "topk"}
+	specs := make([]runSpec, len(schemes))
+	for i, scheme := range schemes {
+		specs[i] = runSpec{
+			key: fmt.Sprintf("fig7/%s/n%d/i%d/s%d", scheme, workers, iters, o.Seed),
+			w:   w, factory: sparsifierFactory(scheme),
+			cfg: train.Config{
+				Workers: workers, Density: density, LR: appLR("langmodel"),
+				Iterations: iters, Seed: 3000 + o.Seed,
+				CostModel: comm.DefaultCostModel(),
+				Topology:  comm.DefaultTopology(),
+			},
+		}
+	}
+	warm(o, specs)
+	for i, scheme := range schemes {
+		r := specs[i].run(o)
 		perIter := func(total float64) float64 { return total / float64(iters) * 1000 }
 		compute := perIter(r.ComputeTime)
 		sel := perIter(r.SelectTime)

@@ -17,8 +17,8 @@ func convScale(o Options) (workers, iters, evalEvery, recordEvery int) {
 	return 16, 240, 24, 8
 }
 
-// convergenceRun trains one (app, scheme) pair, memoised.
-func convergenceRun(o Options, app, scheme string, workers, iters, evalEvery, recordEvery int, density float64) *train.Result {
+// convergenceSpec declares one (app, scheme) training run.
+func convergenceSpec(o Options, app, scheme string, workers, iters, evalEvery, recordEvery int, density float64) runSpec {
 	key := fmt.Sprintf("conv/%s/%s/n%d/i%d/d%g/s%d", app, scheme, workers, iters, density, o.Seed)
 	w := newWorkload(app)
 	cfg := train.Config{
@@ -32,20 +32,40 @@ func convergenceRun(o Options, app, scheme string, workers, iters, evalEvery, re
 		CostModel:   comm.DefaultCostModel(),
 		Topology:    comm.DefaultTopology(),
 	}
+	spec := runSpec{key: key, w: w, cfg: cfg}
 	if scheme == "dense" {
-		cfg.DisableSparse = true
-		return cachedRun(o, key, w, nil, cfg)
+		spec.cfg.DisableSparse = true
+	} else {
+		spec.factory = sparsifierFactory(scheme)
 	}
-	return cachedRun(o, key, w, sparsifierFactory(scheme), cfg)
+	return spec
+}
+
+// convergenceRun trains one (app, scheme) pair, memoised.
+func convergenceRun(o Options, app, scheme string, workers, iters, evalEvery, recordEvery int, density float64) *train.Result {
+	return convergenceSpec(o, app, scheme, workers, iters, evalEvery, recordEvery, density).run(o)
 }
 
 var convSchemes = []string{"deft", "cltk", "topk", "dense"}
+
+// convergenceSpecs enumerates the (app, scheme) runs of one figure so warm
+// can fan them out before the rows are built.
+func convergenceSpecs(o Options, apps, schemes []string, workers, iters, evalEvery, recordEvery int, density func(app string) float64) []runSpec {
+	specs := make([]runSpec, 0, len(apps)*len(schemes))
+	for _, app := range apps {
+		for _, s := range schemes {
+			specs = append(specs, convergenceSpec(o, app, s, workers, iters, evalEvery, recordEvery, density(app)))
+		}
+	}
+	return specs
+}
 
 // Fig3 reproduces Figure 3: convergence of DEFT vs CLT-k vs Top-k vs the
 // non-sparsified baseline on one application at the paper's density.
 func Fig3(o Options, app string) *Table {
 	workers, iters, evalEvery, recordEvery := convScale(o)
 	d := appDensity(app)
+	warm(o, convergenceSpecs(o, []string{app}, convSchemes, workers, iters, evalEvery, recordEvery, appDensity))
 	results := map[string]*train.Result{}
 	for _, s := range convSchemes {
 		results[s] = convergenceRun(o, app, s, workers, iters, evalEvery, recordEvery, d)
@@ -84,6 +104,8 @@ func Fig3(o Options, app string) *Table {
 // applications on the same runs as Fig 3.
 func Fig4(o Options) *Table {
 	workers, iters, evalEvery, recordEvery := convScale(o)
+	warm(o, convergenceSpecs(o, []string{"vision", "langmodel", "recsys"},
+		[]string{"deft", "cltk", "topk"}, workers, iters, evalEvery, recordEvery, appDensity))
 	t := &Table{
 		ID:      "fig4",
 		Title:   fmt.Sprintf("Actual density over training on %d workers — paper Fig 4", workers),
@@ -116,6 +138,8 @@ func Fig4(o Options) *Table {
 // over iterations, same runs as Fig 3.
 func Fig5(o Options) *Table {
 	workers, iters, evalEvery, recordEvery := convScale(o)
+	warm(o, convergenceSpecs(o, []string{"vision", "langmodel", "recsys"},
+		[]string{"deft", "cltk", "topk"}, workers, iters, evalEvery, recordEvery, appDensity))
 	t := &Table{
 		ID:      "fig5",
 		Title:   fmt.Sprintf("Error ‖e_t‖ over training on %d workers — paper Fig 5", workers),
@@ -156,15 +180,23 @@ func Fig1(o Options) *Table {
 		Title:   "Top-k gradient build-up by scale-out (vision, d=0.01) — paper Fig 1",
 		Columns: []string{"workers", "mean density", "max density", "ratio to target"},
 	}
-	for _, n := range workerSet {
-		key := fmt.Sprintf("fig1/n%d/i%d/s%d", n, iters, o.Seed)
-		r := cachedRun(o, key, newWorkload("vision"), sparsifierFactory("topk"), train.Config{
-			Workers: n, Density: 0.01, LR: appLR("vision"),
-			Iterations: iters, RecordEvery: recordEvery, Seed: 2000 + o.Seed,
-		})
+	specs := make([]runSpec, len(workerSet))
+	for i, n := range workerSet {
+		specs[i] = runSpec{
+			key: fmt.Sprintf("fig1/n%d/i%d/s%d", n, iters, o.Seed),
+			w:   newWorkload("vision"), factory: sparsifierFactory("topk"),
+			cfg: train.Config{
+				Workers: n, Density: 0.01, LR: appLR("vision"),
+				Iterations: iters, RecordEvery: recordEvery, Seed: 2000 + o.Seed,
+			},
+		}
+	}
+	warm(o, specs)
+	for _, s := range specs {
+		r := s.run(o)
 		mean := r.ActualDensity.MeanY()
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", n), f6(mean), f6(r.ActualDensity.MaxY()), f2(mean / 0.01),
+			fmt.Sprintf("%d", s.cfg.Workers), f6(mean), f6(r.ActualDensity.MaxY()), f2(mean / 0.01),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -177,6 +209,14 @@ func Fig1(o Options) *Table {
 // error norm.
 func Fig6(o Options) *Table {
 	workers, iters, evalEvery, recordEvery := convScale(o)
+	var specs []runSpec
+	for _, app := range []string{"vision", "langmodel"} {
+		base := appDensity(app)
+		specs = append(specs,
+			convergenceSpec(o, app, "topk", workers, iters, evalEvery, recordEvery, base),
+			convergenceSpec(o, app, "deft", workers, iters, evalEvery, recordEvery, base*10))
+	}
+	warm(o, specs)
 	t := &Table{
 		ID:      "fig6",
 		Title:   fmt.Sprintf("Error at matched realised density on %d workers — paper Fig 6", workers),
@@ -209,6 +249,12 @@ func Fig6(o Options) *Table {
 func Fig8(o Options) *Table {
 	workers, iters, evalEvery, recordEvery := convScale(o)
 	densities := []float64{0.1, 0.01, 0.001}
+	var specs []runSpec
+	for _, d := range densities {
+		specs = append(specs, convergenceSpec(o, "langmodel", "deft", workers, iters, evalEvery, recordEvery, d))
+	}
+	specs = append(specs, convergenceSpec(o, "langmodel", "dense", workers, iters, evalEvery, recordEvery, appDensity("langmodel")))
+	warm(o, specs)
 	t := &Table{
 		ID:      "fig8",
 		Title:   fmt.Sprintf("DEFT convergence by density (langmodel, %d workers) — paper Fig 8", workers),
@@ -260,6 +306,11 @@ func Fig10(o Options) *Table {
 		Title:   "DEFT convergence by scale-out (langmodel, d=0.001) — paper Fig 10",
 		Columns: []string{"workers", "final perplexity", "dense final"},
 	}
+	specs := []runSpec{convergenceSpec(o, "langmodel", "dense", workerSet[len(workerSet)-1], iters, evalEvery, recordEvery, 0.001)}
+	for _, n := range workerSet {
+		specs = append(specs, convergenceSpec(o, "langmodel", "deft", n, iters, evalEvery, recordEvery, 0.001))
+	}
+	warm(o, specs)
 	dense := convergenceRun(o, "langmodel", "dense", workerSet[len(workerSet)-1], iters, evalEvery, recordEvery, 0.001)
 	for _, n := range workerSet {
 		r := convergenceRun(o, "langmodel", "deft", n, iters, evalEvery, recordEvery, 0.001)

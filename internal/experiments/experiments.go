@@ -30,6 +30,15 @@ type Options struct {
 	Quick bool
 	// Seed offsets all run seeds, for repeated-trial studies.
 	Seed uint64
+	// Parallel fans the independent training runs of one experiment out
+	// over a bounded pool of at most Parallel goroutines (0 or 1 runs them
+	// sequentially). Results are identical to a sequential run: every run
+	// is deterministic in its config, the single-flight cache trains each
+	// configuration once, and the trainer's process-global timing gate
+	// keeps measured compute/selection sections contention-free across
+	// concurrent runs. With Parallel > 1 Progress may be invoked from
+	// multiple goroutines and must be safe for concurrent use.
+	Parallel int
 	// Progress, when non-nil, receives the per-iteration training events
 	// of every *fresh* underlying run, tagged with the run's cache key
 	// (memoised runs replay nothing). It inherits train.Config.Progress's
@@ -305,6 +314,70 @@ func ResetCache() {
 	runMu.Lock()
 	runCache = map[string]*train.Result{}
 	runMu.Unlock()
+}
+
+// runSpec declares one training run a table builder needs: the cache key
+// and everything cachedRun wants to execute it. Builders enumerate their
+// specs up front so warm can fan the independent runs out before the rows
+// are assembled (in deterministic order) from the cache.
+type runSpec struct {
+	key     string
+	w       train.Workload
+	factory sparsifier.Factory
+	cfg     train.Config
+}
+
+// run executes (or fetches) the spec through the memoising single-flight
+// cache.
+func (s runSpec) run(o Options) *train.Result {
+	return cachedRun(o, s.key, s.w, s.factory, s.cfg)
+}
+
+// warm executes the given specs through cachedRun, fanning out over a
+// bounded pool of o.Parallel goroutines. Sequential options make it a
+// no-op: the builder's own cachedRun calls do the work. Duplicate specs
+// are harmless (single-flight dedups them). A cancellation inside any
+// worker is re-raised as cancelPanic on the caller after the pool drains,
+// so RunContext unwinds exactly as in the sequential path; any other
+// panic propagates as itself.
+func warm(o Options, specs []runSpec) {
+	if o.Parallel <= 1 || len(specs) < 2 {
+		return
+	}
+	sem := make(chan struct{}, o.Parallel)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var cancelled *cancelPanic
+	var failure any
+	for _, s := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s runSpec) {
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if cp, ok := r.(cancelPanic); ok {
+						if cancelled == nil {
+							cancelled = &cp
+						}
+					} else if failure == nil {
+						failure = r
+					}
+					mu.Unlock()
+				}
+				<-sem
+				wg.Done()
+			}()
+			s.run(o)
+		}(s)
+	}
+	wg.Wait()
+	if failure != nil {
+		panic(failure)
+	}
+	if cancelled != nil {
+		panic(*cancelled)
+	}
 }
 
 func f(v float64) string  { return fmt.Sprintf("%.4f", v) }

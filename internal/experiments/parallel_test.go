@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestParallelMatchesSequential asserts the parallel experiment driver's
+// determinism contract: a table generated with a worker pool is identical
+// to the sequentially generated one. fig1's cells are realised densities —
+// pure functions of the run configs — so the comparison is exact.
+func TestParallelMatchesSequential(t *testing.T) {
+	ResetCache()
+	seq, err := Run("fig1", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	par, err := Run("fig1", Options{Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("parallel table differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestParallelSharedRuns exercises the single-flight path under the pool:
+// two experiments that share underlying runs (fig4 and fig5 reuse the same
+// convergence runs) generated concurrently, each with its own worker pool.
+// The run cache must train every configuration exactly once and both
+// tables must build. Run under -race in CI.
+func TestParallelSharedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models")
+	}
+	ResetCache()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, id := range []string{"fig4", "fig5"} {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			_, errs[i] = Run(id, Options{Quick: true, Parallel: 2})
+		}(i, id)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+}
+
+// TestParallelCancellation cancels a parallel table mid-flight: RunContext
+// must surface the context error (not hang, not panic) and memoise nothing
+// partial.
+func TestParallelCancellation(t *testing.T) {
+	ResetCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, "fig1", Options{Quick: true, Parallel: 3})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel run did not unwind after cancellation")
+	}
+}

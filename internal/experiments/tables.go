@@ -54,12 +54,20 @@ func Table1(o Options) *Table {
 		Columns: []string{"sparsifier", "build-up", "density ratio", "unpredictable density",
 			"hyperparam tuning", "worker idling", "selection (µs)", "overhead (µs)"},
 	}
-	for _, ri := range rows {
-		key := fmt.Sprintf("table1/%s/n%d/i%d/s%d", ri.name, workers, iters, o.Seed)
-		r := cachedRun(o, key, w, ri.factory, train.Config{
-			Workers: workers, Density: density, LR: appLR("vision"),
-			Iterations: iters, Seed: 4000 + o.Seed,
-		})
+	specs := make([]runSpec, len(rows))
+	for i, ri := range rows {
+		specs[i] = runSpec{
+			key: fmt.Sprintf("table1/%s/n%d/i%d/s%d", ri.name, workers, iters, o.Seed),
+			w:   w, factory: ri.factory,
+			cfg: train.Config{
+				Workers: workers, Density: density, LR: appLR("vision"),
+				Iterations: iters, Seed: 4000 + o.Seed,
+			},
+		}
+	}
+	warm(o, specs)
+	for i, ri := range rows {
+		r := specs[i].run(o)
 		ratio := r.ActualDensity.MeanY() / density
 		buildUp := "No"
 		if ratio > 1.5 {
@@ -169,12 +177,20 @@ func Ablation(o Options) *Table {
 		Columns: []string{"variant", "final loss", "tail ‖e‖", "mean density",
 			"balance (max/mean cost)"},
 	}
-	for _, v := range variants {
-		key := fmt.Sprintf("ablation/%s/n%d/i%d/s%d", v.name, workers, iters, o.Seed)
-		r := cachedRun(o, key, w, core.Factory(v.opts), train.Config{
-			Workers: workers, Density: density, LR: appLR("vision"),
-			Iterations: iters, Seed: 5000 + o.Seed,
-		})
+	specs := make([]runSpec, len(variants))
+	for i, v := range variants {
+		specs[i] = runSpec{
+			key: fmt.Sprintf("ablation/%s/n%d/i%d/s%d", v.name, workers, iters, o.Seed),
+			w:   w, factory: core.Factory(v.opts),
+			cfg: train.Config{
+				Workers: workers, Density: density, LR: appLR("vision"),
+				Iterations: iters, Seed: 5000 + o.Seed,
+			},
+		}
+	}
+	warm(o, specs)
+	for i, v := range variants {
+		r := specs[i].run(o)
 		balance := allocBalance(w, v.opts, workers, density)
 		t.Rows = append(t.Rows, []string{
 			v.name, f(r.TrainLoss.LastY()), f6(r.ErrorNorm.TailMeanY(0.25)),
@@ -252,12 +268,20 @@ func Table3(o Options) *Table {
 		Columns: []string{"sparsifier", "final loss", "mean density", "density/target",
 			"tail ‖e‖", "selection (µs)"},
 	}
-	for _, s := range schemes {
-		key := fmt.Sprintf("table3/%s/n%d/i%d/s%d", s.name, workers, iters, o.Seed)
-		r := cachedRun(o, key, w, s.factory, train.Config{
-			Workers: workers, Density: density, LR: appLR("vision"),
-			Iterations: iters, Seed: 6000 + o.Seed,
-		})
+	specs := make([]runSpec, len(schemes))
+	for i, s := range schemes {
+		specs[i] = runSpec{
+			key: fmt.Sprintf("table3/%s/n%d/i%d/s%d", s.name, workers, iters, o.Seed),
+			w:   w, factory: s.factory,
+			cfg: train.Config{
+				Workers: workers, Density: density, LR: appLR("vision"),
+				Iterations: iters, Seed: 6000 + o.Seed,
+			},
+		}
+	}
+	warm(o, specs)
+	for i, s := range schemes {
+		r := specs[i].run(o)
 		t.Rows = append(t.Rows, []string{
 			s.name, f(r.TrainLoss.LastY()), f6(r.ActualDensity.MeanY()),
 			f2(r.ActualDensity.MeanY() / density),

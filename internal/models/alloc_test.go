@@ -1,0 +1,71 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// TestStepAllocations asserts every workload's Step is allocation-free in
+// steady state: the Into-style scratch threaded through the layers, the
+// losses and the minibatch sampling must all reuse their buffers once
+// warm. This is the property that keeps TrainIteration's allocs/op flat —
+// the trainer's remaining per-iteration allocations live in the
+// collectives, not the models.
+func TestStepAllocations(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() interface {
+			Params() []*nn.Param
+			Step(*rng.RNG) float64
+		}
+		max float64 // tolerated allocs/op (0 for fully threaded models)
+	}{
+		{"mlp", func() interface {
+			Params() []*nn.Param
+			Step(*rng.RNG) float64
+		} {
+			return NewMLP(DefaultMLPConfig()).NewModel()
+		}, 0},
+		{"vision", func() interface {
+			Params() []*nn.Param
+			Step(*rng.RNG) float64
+		} {
+			return NewVision(DefaultVisionConfig()).NewModel()
+		}, 0},
+		{"langmodel", func() interface {
+			Params() []*nn.Param
+			Step(*rng.RNG) float64
+		} {
+			return NewText(DefaultTextConfig()).NewModel()
+		}, 0},
+		{"recsys", func() interface {
+			Params() []*nn.Param
+			Step(*rng.RNG) float64
+		} {
+			return NewRecsys(DefaultRecsysConfig()).NewModel()
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.fn()
+			r := rng.New(3)
+			// params is hoisted exactly as the trainer hoists it: Params()
+			// itself builds a fresh slice per call and is not on the
+			// per-iteration path.
+			params := m.Params()
+			for i := 0; i < 3; i++ { // warm the scratch buffers
+				nn.ZeroGrads(params)
+				m.Step(r)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				nn.ZeroGrads(params)
+				m.Step(r)
+			})
+			if allocs > tc.max {
+				t.Errorf("%s Step: %v allocs/op after warmup, want <= %v", tc.name, allocs, tc.max)
+			}
+		})
+	}
+}

@@ -76,8 +76,9 @@ type VisionModel struct {
 	cfg VisionConfig
 
 	// Reusable minibatch scratch (per replica; a replica steps serially).
-	batchX *tensor.Tensor
-	batchY []int
+	batchX   *tensor.Tensor
+	batchY   []int
+	lossGrad *tensor.Tensor
 }
 
 // NewModel implements train.Workload. Every call returns an identically
@@ -122,7 +123,8 @@ func (m *VisionModel) Step(r *rng.RNG) float64 {
 	}
 	m.ds.SampleInto(r, m.batchX, m.batchY)
 	logits := m.net.Forward(m.batchX, true)
-	loss, grad := nn.SoftmaxCrossEntropy(logits, m.batchY)
+	loss, grad := nn.SoftmaxCrossEntropyInto(logits, m.batchY, m.lossGrad)
+	m.lossGrad = grad
 	m.net.Backward(grad)
 	return loss
 }
@@ -196,8 +198,10 @@ type TextModel struct {
 	cfg  TextConfig
 
 	// Reusable minibatch scratch (per replica; a replica steps serially).
-	batchX *tensor.Tensor
-	batchT []int
+	batchX   *tensor.Tensor
+	batchT   []int
+	lossGrad *tensor.Tensor
+	dhView   *tensor.Tensor // [B, T, H] view of the decoder's input gradient
 }
 
 // NewModel implements train.Workload.
@@ -236,10 +240,12 @@ func (m *TextModel) Step(r *rng.RNG) float64 {
 	m.ds.SampleInto(r, m.batchX, m.batchT)
 	x, targets := m.batchX, m.batchT
 	logits := m.forward(x, true)
-	loss, grad := nn.SoftmaxCrossEntropy(logits, targets)
+	loss, grad := nn.SoftmaxCrossEntropyInto(logits, targets, m.lossGrad)
+	m.lossGrad = grad
 	dh := m.out.Backward(grad)
 	b, T := x.Dim(0), x.Dim(1)
-	de := m.lstm.Backward(dh.Reshape(b, T, m.cfg.Hidden))
+	m.dhView = tensor.ViewOf(m.dhView, dh, b, T, m.cfg.Hidden)
+	de := m.lstm.Backward(m.dhView)
 	m.emb.Backward(de)
 	return loss
 }
@@ -319,10 +325,17 @@ type RecsysModel struct {
 	gmfU, gmfI *tensor.Tensor
 
 	// Reusable minibatch scratch (per replica; a replica steps serially):
-	// the sampled triples and the id tensors fed to the embeddings.
+	// the sampled triples, the id tensors fed to the embeddings, and the
+	// intermediate tower tensors of forward/backward.
 	users, items []int
 	labels       []float64
 	uIDs, iIDs   *tensor.Tensor
+	gmf, mlpIn   *tensor.Tensor
+	fused        *tensor.Tensor
+	dGmf, dMlp   *tensor.Tensor
+	dGu, dGi     *tensor.Tensor
+	dMu, dMi     *tensor.Tensor
+	lossGrad     *tensor.Tensor
 }
 
 // NewModel implements train.Workload.
@@ -358,10 +371,8 @@ func (m *RecsysModel) Params() []*nn.Param {
 // training batch is fixed; evaluation batches differ and are rare).
 func (m *RecsysModel) forward(users, items []int, train bool) *tensor.Tensor {
 	b := len(users)
-	if m.uIDs == nil || m.uIDs.Size() != b {
-		m.uIDs = tensor.New(b)
-		m.iIDs = tensor.New(b)
-	}
+	m.uIDs = tensor.Ensure(m.uIDs, b)
+	m.iIDs = tensor.Ensure(m.iIDs, b)
 	uIDs, iIDs := m.uIDs, m.iIDs
 	for i := range users {
 		uIDs.Data[i] = float64(users[i])
@@ -371,27 +382,30 @@ func (m *RecsysModel) forward(users, items []int, train bool) *tensor.Tensor {
 	gi := m.itemG.Forward(iIDs, train)
 	m.gmfU, m.gmfI = gu, gi
 	g := m.cfg.GMFDim
-	gmf := tensor.New(b, g)
+	m.gmf = tensor.Ensure(m.gmf, b, g)
+	gmf := m.gmf
 	for i := range gmf.Data {
 		gmf.Data[i] = gu.Data[i] * gi.Data[i]
 	}
 	mu := m.userM.Forward(uIDs, train) // [B, M]
 	mi := m.itemM.Forward(iIDs, train)
-	mlpIn := concatCols(mu, mi)
-	h := m.relu1.Forward(m.fc1.Forward(mlpIn, train), train)
+	m.mlpIn = concatColsInto(m.mlpIn, mu, mi)
+	h := m.relu1.Forward(m.fc1.Forward(m.mlpIn, train), train)
 	mlpOut := m.relu2.Forward(m.fc2.Forward(h, train), train) // [B, G]
-	fused := concatCols(gmf, mlpOut)                          // [B, 2G]
-	return m.fuse.Forward(fused, train)                       // [B, 1]
+	m.fused = concatColsInto(m.fused, gmf, mlpOut)            // [B, 2G]
+	return m.fuse.Forward(m.fused, train)                     // [B, 1]
 }
 
 // backward propagates dL/dlogits through both towers.
 func (m *RecsysModel) backward(dlogits *tensor.Tensor) {
 	dFused := m.fuse.Backward(dlogits) // [B, 2G]
 	g := m.cfg.GMFDim
-	dGmf, dMlpOut := splitCols(dFused, g)
+	m.dGmf, m.dMlp = splitColsInto(m.dGmf, m.dMlp, dFused, g)
+	dGmf, dMlpOut := m.dGmf, m.dMlp
 	// GMF tower: d gu = dgmf ⊙ gi, d gi = dgmf ⊙ gu.
-	dGu := tensor.New(dGmf.Shape()...)
-	dGi := tensor.New(dGmf.Shape()...)
+	m.dGu = tensor.Ensure(m.dGu, dGmf.Shape()...)
+	m.dGi = tensor.Ensure(m.dGi, dGmf.Shape()...)
+	dGu, dGi := m.dGu, m.dGi
 	for i := range dGmf.Data {
 		dGu.Data[i] = dGmf.Data[i] * m.gmfI.Data[i]
 		dGi.Data[i] = dGmf.Data[i] * m.gmfU.Data[i]
@@ -401,16 +415,17 @@ func (m *RecsysModel) backward(dlogits *tensor.Tensor) {
 	// MLP tower.
 	dh := m.fc2.Backward(m.relu2.Backward(dMlpOut))
 	dMlpIn := m.fc1.Backward(m.relu1.Backward(dh))
-	dMu, dMi := splitCols(dMlpIn, m.cfg.MLPDim)
-	m.userM.Backward(dMu)
-	m.itemM.Backward(dMi)
+	m.dMu, m.dMi = splitColsInto(m.dMu, m.dMi, dMlpIn, m.cfg.MLPDim)
+	m.userM.Backward(m.dMu)
+	m.itemM.Backward(m.dMi)
 }
 
 // Step implements train.Model.
 func (m *RecsysModel) Step(r *rng.RNG) float64 {
 	m.users, m.items, m.labels = m.ds.SampleInto(r, m.cfg.Positives, m.cfg.NegRatio, m.users, m.items, m.labels)
 	logits := m.forward(m.users, m.items, true)
-	loss, grad := nn.BCEWithLogits(logits, m.labels)
+	loss, grad := nn.BCEWithLogitsInto(logits, m.labels, m.lossGrad)
+	m.lossGrad = grad
 	m.backward(grad)
 	return loss
 }
@@ -487,8 +502,9 @@ type MLPModel struct {
 	cfg MLPConfig
 
 	// Reusable minibatch scratch (per replica; a replica steps serially).
-	batchX *tensor.Tensor
-	batchY []int
+	batchX   *tensor.Tensor
+	batchY   []int
+	lossGrad *tensor.Tensor
 }
 
 // NewModel implements train.Workload.
@@ -522,7 +538,8 @@ func (mm *MLPModel) Step(r *rng.RNG) float64 {
 	}
 	mm.ds.SampleInto(r, mm.batchX, mm.batchY)
 	logits := mm.net.Forward(mm.batchX, true)
-	loss, grad := nn.SoftmaxCrossEntropy(logits, mm.batchY)
+	loss, grad := nn.SoftmaxCrossEntropyInto(logits, mm.batchY, mm.lossGrad)
+	mm.lossGrad = grad
 	mm.net.Backward(grad)
 	return loss
 }
@@ -543,11 +560,12 @@ func (m *MLP) Evaluate(mi train.Model) float64 {
 
 // --------------------------------------------------------------- helpers --
 
-// concatCols concatenates two [B, X] / [B, Y] tensors into [B, X+Y].
-func concatCols(a, b *tensor.Tensor) *tensor.Tensor {
+// concatColsInto concatenates two [B, X] / [B, Y] tensors into [B, X+Y],
+// reusing dst's buffer when capacity allows.
+func concatColsInto(dst, a, b *tensor.Tensor) *tensor.Tensor {
 	ba, ca := a.Dim(0), a.Dim(1)
 	cb := b.Dim(1)
-	out := tensor.New(ba, ca+cb)
+	out := tensor.Ensure(dst, ba, ca+cb)
 	for i := 0; i < ba; i++ {
 		copy(out.Data[i*(ca+cb):i*(ca+cb)+ca], a.Data[i*ca:(i+1)*ca])
 		copy(out.Data[i*(ca+cb)+ca:(i+1)*(ca+cb)], b.Data[i*cb:(i+1)*cb])
@@ -555,11 +573,12 @@ func concatCols(a, b *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// splitCols splits [B, X+Y] at column x into [B, X] and [B, Y].
-func splitCols(t *tensor.Tensor, x int) (*tensor.Tensor, *tensor.Tensor) {
+// splitColsInto splits [B, X+Y] at column x into [B, X] and [B, Y], reusing
+// the destination buffers.
+func splitColsInto(dstA, dstB, t *tensor.Tensor, x int) (*tensor.Tensor, *tensor.Tensor) {
 	b, c := t.Dim(0), t.Dim(1)
-	a := tensor.New(b, x)
-	bb := tensor.New(b, c-x)
+	a := tensor.Ensure(dstA, b, x)
+	bb := tensor.Ensure(dstB, b, c-x)
 	for i := 0; i < b; i++ {
 		copy(a.Data[i*x:(i+1)*x], t.Data[i*c:i*c+x])
 		copy(bb.Data[i*(c-x):(i+1)*(c-x)], t.Data[i*c+x:(i+1)*c])

@@ -206,11 +206,11 @@ func TestConcatSplitRoundTrip(t *testing.T) {
 	r := rng.New(9)
 	a := randMat(r, 3, 4)
 	b := randMat(r, 3, 2)
-	c := concatCols(a, b)
+	c := concatColsInto(nil, a, b)
 	if c.Dim(0) != 3 || c.Dim(1) != 6 {
 		t.Fatalf("concat shape %v", c.Shape())
 	}
-	a2, b2 := splitCols(c, 4)
+	a2, b2 := splitColsInto(nil, nil, c, 4)
 	for i := range a.Data {
 		if a.Data[i] != a2.Data[i] {
 			t.Fatal("split lost a")

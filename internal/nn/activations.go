@@ -8,7 +8,8 @@ import (
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
+	mask  []bool
+	y, dx *tensor.Tensor // reusable per-step scratch
 }
 
 // NewReLU creates a ReLU layer.
@@ -16,14 +17,16 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
+	r.y = tensor.Ensure(r.y, x.Shape()...)
+	y := r.y
 	if cap(r.mask) < x.Size() {
 		r.mask = make([]bool, x.Size())
 	}
 	r.mask = r.mask[:x.Size()]
-	for i, v := range y.Data {
+	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			y.Data[i] = v
 		} else {
 			r.mask[i] = false
 			y.Data[i] = 0
@@ -34,9 +37,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	r.dx = tensor.Ensure(r.dx, dout.Shape()...)
+	dx := r.dx
+	for i, g := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -118,9 +124,11 @@ func sigmoid(x float64) float64 {
 	return z / (1 + z)
 }
 
-// Flatten reshapes [B, ...] to [B, rest]. It is shape bookkeeping only.
+// Flatten reshapes [B, ...] to [B, rest]. It is shape bookkeeping only; the
+// views are cached so the steady state allocates nothing.
 type Flatten struct {
-	inShape []int
+	inShape          []int
+	fwdView, bwdView *tensor.Tensor
 }
 
 // NewFlatten creates a Flatten layer.
@@ -130,12 +138,14 @@ func NewFlatten() *Flatten { return &Flatten{} }
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.inShape = append(f.inShape[:0], x.Shape()...)
 	b := x.Dim(0)
-	return x.Reshape(b, x.Size()/b)
+	f.fwdView = tensor.ViewOf(f.fwdView, x, b, x.Size()/b)
+	return f.fwdView
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	return dout.Reshape(f.inShape...)
+	f.bwdView = tensor.ViewOf(f.bwdView, dout, f.inShape...)
+	return f.bwdView
 }
 
 // Params implements Layer.

@@ -21,10 +21,11 @@ type BatchNorm struct {
 	RunMean []float64
 	RunVar  []float64
 
-	// Forward cache.
+	// Forward cache and reusable per-step scratch.
 	xhat    *tensor.Tensor
 	invStd  []float64
 	inShape []int
+	y, dx   *tensor.Tensor
 }
 
 // NewBatchNorm creates a batch-norm layer over C channels.
@@ -67,8 +68,9 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b, hw := bn.dims(x)
 	bn.inShape = append(bn.inShape[:0], x.Shape()...)
 	n := float64(b * hw)
-	y := tensor.New(x.Shape()...)
-	bn.xhat = tensor.New(x.Shape()...)
+	bn.y = tensor.Ensure(bn.y, x.Shape()...)
+	y := bn.y
+	bn.xhat = tensor.Ensure(bn.xhat, x.Shape()...)
 	if cap(bn.invStd) < bn.C {
 		bn.invStd = make([]float64, bn.C)
 	}
@@ -122,7 +124,8 @@ func (bn *BatchNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		hw = bn.inShape[2] * bn.inShape[3]
 	}
 	n := float64(b * hw)
-	dx := tensor.New(bn.inShape...)
+	bn.dx = tensor.Ensure(bn.dx, bn.inShape...)
+	dx := bn.dx
 	for c := 0; c < bn.C; c++ {
 		var sumDy, sumDyXhat float64
 		for i := 0; i < b; i++ {

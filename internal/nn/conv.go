@@ -8,6 +8,14 @@ import (
 )
 
 // Conv2D is a 2-D convolution over NCHW input with square kernels.
+//
+// Both passes are routed through the blocked GEMM substrate: the forward
+// pass lowers each image to a [InC·K·K, OH·OW] column matrix (im2col) and
+// multiplies it by the [OutC, InC·K·K] weight view; the backward pass
+// reuses the same lowering for the weight gradient (A·Bᵀ) and the input
+// gradient (Aᵀ·B followed by a col2im scatter). The column matrix, the
+// output and the gradients live in per-layer scratch reused across steps,
+// so the steady state allocates nothing.
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 	Weight                    *Param // [OutC, InC, K, K]
@@ -15,6 +23,11 @@ type Conv2D struct {
 
 	x          *tensor.Tensor // cached input
 	outH, outW int
+
+	cols  []float64      // im2col scratch, one image: [InC·K·K, OH·OW]
+	dcols []float64      // backward column gradient, one image
+	y     *tensor.Tensor // forward output scratch
+	dx    *tensor.Tensor // backward input-gradient scratch
 }
 
 // NewConv2D builds a convolution with Kaiming initialisation.
@@ -41,40 +54,23 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b, h, w := sh[0], sh[2], sh[3]
 	oh, ow := c.OutSize(h), c.OutSize(w)
 	c.x, c.outH, c.outW = x, oh, ow
-	y := tensor.New(b, c.OutC, oh, ow)
+	ckk := c.InC * c.K * c.K
+	ohw := oh * ow
+	c.cols = grow(c.cols, ckk*ohw)
+	c.y = tensor.Ensure(c.y, b, c.OutC, oh, ow)
+	y := c.y
 
 	wd := c.Weight.W.Data
 	for n := 0; n < b; n++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := 0.0
-			if c.Bias != nil {
-				bias = c.Bias.W.Data[oc]
-			}
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					sum := bias
-					iy0 := oy*c.Stride - c.Pad
-					ix0 := ox*c.Stride - c.Pad
-					for ic := 0; ic < c.InC; ic++ {
-						xBase := ((n*c.InC + ic) * h)
-						wBase := ((oc*c.InC + ic) * c.K) * c.K
-						for ky := 0; ky < c.K; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							xRow := (xBase + iy) * w
-							wRow := wBase + ky*c.K
-							for kx := 0; kx < c.K; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= w {
-									continue
-								}
-								sum += x.Data[xRow+ix] * wd[wRow+kx]
-							}
-						}
-					}
-					y.Data[((n*c.OutC+oc)*oh+oy)*ow+ox] = sum
+		c.im2col(c.cols, x.Data[n*c.InC*h*w:], h, w, oh, ow)
+		out := y.Data[n*c.OutC*ohw : (n+1)*c.OutC*ohw]
+		tensor.GemmInto(out, wd, c.cols, c.OutC, ckk, ohw, false)
+		if c.Bias != nil {
+			for oc := 0; oc < c.OutC; oc++ {
+				bias := c.Bias.W.Data[oc]
+				row := out[oc*ohw : (oc+1)*ohw]
+				for i := range row {
+					row[i] += bias
 				}
 			}
 		}
@@ -88,48 +84,115 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	sh := x.Shape()
 	b, h, w := sh[0], sh[2], sh[3]
 	oh, ow := c.outH, c.outW
-	dx := tensor.New(sh...)
+	ckk := c.InC * c.K * c.K
+	ohw := oh * ow
+	c.dx = tensor.Ensure(c.dx, sh...)
+	c.dx.Zero()
+	c.dcols = grow(c.dcols, ckk*ohw)
 	wd := c.Weight.W.Data
 	gw := c.Weight.G.Data
 
 	for n := 0; n < b; n++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := dout.Data[((n*c.OutC+oc)*oh+oy)*ow+ox]
-					if g == 0 {
+		g := dout.Data[n*c.OutC*ohw : (n+1)*c.OutC*ohw]
+		if c.Bias != nil {
+			for oc := 0; oc < c.OutC; oc++ {
+				s := 0.0
+				for _, v := range g[oc*ohw : (oc+1)*ohw] {
+					s += v
+				}
+				c.Bias.G.Data[oc] += s
+			}
+		}
+		// dW += g · colsᵀ — recompute the lowering instead of caching it for
+		// the whole batch (one image of columns is cheap; B of them are not).
+		c.im2col(c.cols, x.Data[n*c.InC*h*w:], h, w, oh, ow)
+		tensor.GemmTransB(gw, g, c.cols, c.OutC, ohw, ckk, true)
+		// dcols = Wᵀ · g, scattered back to input coordinates.
+		tensor.GemmTransA(c.dcols, wd, g, ckk, c.OutC, ohw, false)
+		c.col2im(c.dx.Data[n*c.InC*h*w:], c.dcols, h, w, oh, ow)
+	}
+	return c.dx
+}
+
+// im2col lowers one image (src, [InC, h, w]) into dst laid out as
+// [InC·K·K, oh·ow]: row (ic·K+ky)·K+kx holds the input value under kernel
+// tap (ic, ky, kx) for every output position, zero where the tap falls in
+// the padding.
+func (c *Conv2D) im2col(dst, src []float64, h, w, oh, ow int) {
+	ohw := oh * ow
+	for ic := 0; ic < c.InC; ic++ {
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				row := dst[((ic*c.K+ky)*c.K+kx)*ohw : ((ic*c.K+ky)*c.K+kx+1)*ohw]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.Stride - c.Pad + ky
+					d := row[oy*ow : (oy+1)*ow]
+					if iy < 0 || iy >= h {
+						clear(d)
 						continue
 					}
-					if c.Bias != nil {
-						c.Bias.G.Data[oc] += g
+					srcRow := src[(ic*h+iy)*w : (ic*h+iy+1)*w]
+					ox0, ox1 := c.validOxRange(kx, w, ow)
+					for ox := 0; ox < ox0; ox++ {
+						d[ox] = 0
 					}
-					iy0 := oy*c.Stride - c.Pad
-					ix0 := ox*c.Stride - c.Pad
-					for ic := 0; ic < c.InC; ic++ {
-						xBase := (n*c.InC + ic) * h
-						wBase := ((oc*c.InC + ic) * c.K) * c.K
-						for ky := 0; ky < c.K; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							xRow := (xBase + iy) * w
-							wRow := wBase + ky*c.K
-							for kx := 0; kx < c.K; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= w {
-									continue
-								}
-								gw[wRow+kx] += g * x.Data[xRow+ix]
-								dx.Data[xRow+ix] += g * wd[wRow+kx]
-							}
+					if c.Stride == 1 {
+						copy(d[ox0:ox1], srcRow[ox0-c.Pad+kx:])
+					} else {
+						for ox := ox0; ox < ox1; ox++ {
+							d[ox] = srcRow[ox*c.Stride-c.Pad+kx]
 						}
+					}
+					for ox := ox1; ox < ow; ox++ {
+						d[ox] = 0
 					}
 				}
 			}
 		}
 	}
-	return dx
+}
+
+// col2im scatters a column-gradient matrix (same layout as im2col) back
+// into image coordinates, accumulating into dst ([InC, h, w]).
+func (c *Conv2D) col2im(dst, cols []float64, h, w, oh, ow int) {
+	ohw := oh * ow
+	for ic := 0; ic < c.InC; ic++ {
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				row := cols[((ic*c.K+ky)*c.K+kx)*ohw : ((ic*c.K+ky)*c.K+kx+1)*ohw]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.Stride - c.Pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					dstRow := dst[(ic*h+iy)*w : (ic*h+iy+1)*w]
+					src := row[oy*ow : (oy+1)*ow]
+					ox0, ox1 := c.validOxRange(kx, w, ow)
+					for ox := ox0; ox < ox1; ox++ {
+						dstRow[ox*c.Stride-c.Pad+kx] += src[ox]
+					}
+				}
+			}
+		}
+	}
+}
+
+// validOxRange returns the half-open range of output columns whose input
+// column ix = ox·Stride − Pad + kx lands inside [0, w).
+func (c *Conv2D) validOxRange(kx, w, ow int) (ox0, ox1 int) {
+	// ix >= 0  ⇔  ox >= ceil((Pad−kx)/Stride)
+	if lo := c.Pad - kx; lo > 0 {
+		ox0 = (lo + c.Stride - 1) / c.Stride
+	}
+	// ix < w  ⇔  ox <= floor((w−1+Pad−kx)/Stride)
+	ox1 = (w-1+c.Pad-kx)/c.Stride + 1
+	if ox1 > ow {
+		ox1 = ow
+	}
+	if ox1 < ox0 {
+		ox1 = ox0
+	}
+	return ox0, ox1
 }
 
 // Params implements Layer.
@@ -143,6 +206,7 @@ func (c *Conv2D) Params() []*Param {
 // GlobalAvgPool averages each channel's spatial map: [B,C,H,W] → [B,C].
 type GlobalAvgPool struct {
 	inShape []int
+	y, dx   *tensor.Tensor
 }
 
 // NewGlobalAvgPool creates the pooling layer.
@@ -156,7 +220,8 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	p.inShape = append(p.inShape[:0], sh...)
 	b, ch, hw := sh[0], sh[1], sh[2]*sh[3]
-	y := tensor.New(b, ch)
+	p.y = tensor.Ensure(p.y, b, ch)
+	y := p.y
 	for n := 0; n < b; n++ {
 		for c := 0; c < ch; c++ {
 			base := (n*ch + c) * hw
@@ -174,7 +239,8 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (p *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	b, ch, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
 	hw := h * w
-	dx := tensor.New(p.inShape...)
+	p.dx = tensor.Ensure(p.dx, p.inShape...)
+	dx := p.dx
 	inv := 1 / float64(hw)
 	for n := 0; n < b; n++ {
 		for c := 0; c < ch; c++ {

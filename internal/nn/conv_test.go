@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// convForwardDirect is the pre-im2col direct convolution loop, kept as the
+// correctness oracle for the GEMM-lowered forward pass.
+func convForwardDirect(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	sh := x.Shape()
+	b, h, w := sh[0], sh[2], sh[3]
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	y := tensor.New(b, c.OutC, oh, ow)
+	wd := c.Weight.W.Data
+	for n := 0; n < b; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := 0.0
+			if c.Bias != nil {
+				bias = c.Bias.W.Data[oc]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := bias
+					iy0 := oy*c.Stride - c.Pad
+					ix0 := ox*c.Stride - c.Pad
+					for ic := 0; ic < c.InC; ic++ {
+						xBase := (n*c.InC + ic) * h
+						wBase := ((oc*c.InC + ic) * c.K) * c.K
+						for ky := 0; ky < c.K; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += x.Data[(xBase+iy)*w+ix] * wd[wBase+ky*c.K+kx]
+							}
+						}
+					}
+					y.Data[((n*c.OutC+oc)*oh+oy)*ow+ox] = sum
+				}
+			}
+		}
+	}
+	return y
+}
+
+// TestConvForwardMatchesDirect compares the im2col + blocked-GEMM forward
+// pass against the direct convolution loops across stride/pad/size/bias
+// combinations, including non-square and padding-dominated maps.
+func TestConvForwardMatchesDirect(t *testing.T) {
+	cases := []struct {
+		name                      string
+		inC, outC, k, stride, pad int
+		b, h, w                   int
+		bias                      bool
+	}{
+		{"3x3-s1-p1", 3, 8, 3, 1, 1, 2, 8, 8, false},
+		{"3x3-s1-p1-bias", 4, 6, 3, 1, 1, 3, 6, 6, true},
+		{"3x3-s2-p1", 8, 16, 3, 2, 1, 2, 8, 8, false},
+		{"5x5-s1-p2", 2, 4, 5, 1, 2, 1, 9, 9, true},
+		{"1x1-s1-p0", 6, 3, 1, 1, 0, 2, 5, 5, false},
+		{"3x3-s1-p0", 3, 5, 3, 1, 0, 2, 7, 7, false},
+		{"nonsquare", 3, 4, 3, 1, 1, 2, 6, 10, true},
+		{"3x3-s3-p1", 2, 3, 3, 3, 1, 1, 10, 10, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rng.New(77)
+			c := NewConv2D("c", r, tc.inC, tc.outC, tc.k, tc.stride, tc.pad, tc.bias)
+			if tc.bias {
+				for i := range c.Bias.W.Data {
+					c.Bias.W.Data[i] = r.Norm()
+				}
+			}
+			x := tensor.Randn(r, 1, tc.b, tc.inC, tc.h, tc.w)
+			got := c.Forward(x, true)
+			want := convForwardDirect(c, x)
+			if got.Size() != want.Size() {
+				t.Fatalf("output size %d, want %d", got.Size(), want.Size())
+			}
+			for i := range got.Data {
+				d := math.Abs(got.Data[i] - want.Data[i])
+				den := math.Max(math.Abs(want.Data[i]), 1)
+				if d/den > 1e-12 {
+					t.Fatalf("element %d: got %v want %v", i, got.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestConvForwardReusesScratch asserts the im2col forward and backward
+// paths are allocation-free once the layer scratch is warm.
+func TestConvForwardReusesScratch(t *testing.T) {
+	r := rng.New(5)
+	c := NewConv2D("c", r, 4, 4, 3, 1, 1, false)
+	x := tensor.Randn(r, 1, 2, 4, 8, 8)
+	y := c.Forward(x, true)
+	dout := tensor.Randn(r, 1, y.Shape()...)
+	c.Backward(dout)
+	if allocs := testing.AllocsPerRun(10, func() {
+		ZeroGrads(c.Params())
+		c.Forward(x, true)
+		c.Backward(dout)
+	}); allocs != 0 {
+		t.Errorf("conv forward+backward: %v allocs/op after warmup, want 0", allocs)
+	}
+}

@@ -15,6 +15,10 @@ type Dense struct {
 	Bias    *Param // [Out], nil when disabled
 
 	x *tensor.Tensor // cached input, flattened to [B, In]
+
+	// Reusable per-step scratch: the flattened input/dout views and the
+	// forward/backward outputs, overwritten on every pass.
+	xview, y, dview, dx *tensor.Tensor
 }
 
 // NewDense builds a dense layer with Kaiming-initialised weights and zero
@@ -36,9 +40,11 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense(%d→%d) got input of size %d", d.In, d.Out, x.Size()))
 	}
 	b := x.Size() / d.In
-	xf := x.Reshape(b, d.In)
+	d.xview = tensor.ViewOf(d.xview, x, b, d.In)
+	xf := d.xview
 	d.x = xf
-	y := tensor.New(b, d.Out)
+	d.y = tensor.Ensure(d.y, b, d.Out)
+	y := d.y
 	tensor.GemmInto(y.Data, xf.Data, d.Weight.W.Data, b, d.In, d.Out, false)
 	if d.Bias != nil {
 		for i := 0; i < b; i++ {
@@ -57,7 +63,8 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if dout.Size() != b*d.Out {
 		panic(fmt.Sprintf("nn: Dense backward got dout size %d, want %d", dout.Size(), b*d.Out))
 	}
-	df := dout.Reshape(b, d.Out)
+	d.dview = tensor.ViewOf(d.dview, dout, b, d.Out)
+	df := d.dview
 	// dW = xᵀ · dout  (In×Out), accumulate.
 	tensor.GemmTransA(d.Weight.G.Data, d.x.Data, df.Data, d.In, b, d.Out, true)
 	if d.Bias != nil {
@@ -69,7 +76,8 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx = dout · Wᵀ  (B×In).
-	dx := tensor.New(b, d.In)
+	d.dx = tensor.Ensure(d.dx, b, d.In)
+	dx := d.dx
 	tensor.GemmTransB(dx.Data, df.Data, d.Weight.W.Data, b, d.Out, d.In, false)
 	return dx
 }

@@ -14,8 +14,10 @@ type Embedding struct {
 	Vocab, Dim int
 	Weight     *Param // [Vocab, Dim]
 
-	ids     []int
-	inShape []int
+	ids      []int
+	inShape  []int
+	outShape []int
+	y        *tensor.Tensor // reusable per-step scratch
 }
 
 // NewEmbedding builds an embedding table with N(0, 0.1²) initialisation.
@@ -34,8 +36,9 @@ func (e *Embedding) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		e.ids = make([]int, n)
 	}
 	e.ids = e.ids[:n]
-	outShape := append(append([]int{}, x.Shape()...), e.Dim)
-	y := tensor.New(outShape...)
+	e.outShape = append(append(e.outShape[:0], x.Shape()...), e.Dim)
+	e.y = tensor.Ensure(e.y, e.outShape...)
+	y := e.y
 	for i := 0; i < n; i++ {
 		id := int(x.Data[i])
 		if id < 0 || id >= e.Vocab {

@@ -31,6 +31,12 @@ type GRU struct {
 	gates []float64 // [T][B][3H] post-activation r, z, n
 	hs    []float64 // [T][B][H]
 	hcand []float64 // [T][B][H]: h_{t-1}·Un + bn_h, cached for backward
+
+	// Reusable per-step scratch (outputs and step-local work buffers).
+	y, dx                 *tensor.Tensor
+	hPrev, xt, preI, preH []float64 // forward step buffers
+	dh, dPreI, dPreH, dxt []float64 // backward step buffers
+	dhNext, hpz           []float64
 }
 
 // NewGRU builds a GRU layer with Xavier initialisation.
@@ -56,11 +62,14 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g.hs = grow(g.hs, t*b*h)
 	g.hcand = grow(g.hcand, t*b*h)
 
-	y := tensor.New(b, t, h)
-	hPrev := make([]float64, b*h)
-	xt := make([]float64, b*g.In)
-	preI := make([]float64, b*3*h) // x·Wih
-	preH := make([]float64, b*3*h) // h·Whh
+	g.y = tensor.Ensure(g.y, b, t, h)
+	y := g.y
+	g.hPrev = grow(g.hPrev, b*h)
+	g.xt = grow(g.xt, b*g.In)
+	g.preI = grow(g.preI, b*3*h) // x·Wih
+	g.preH = grow(g.preH, b*3*h) // h·Whh
+	hPrev, xt, preI, preH := g.hPrev, g.xt, g.preI, g.preH
+	clear(hPrev)
 
 	for step := 0; step < t; step++ {
 		for n := 0; n < b; n++ {
@@ -94,14 +103,18 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer (full BPTT).
 func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	b, t, h := g.b, g.t, g.H
-	dx := tensor.New(b, t, g.In)
-	dh := make([]float64, b*h)
-	dPreI := make([]float64, b*3*h)
-	dPreH := make([]float64, b*3*h)
-	xt := make([]float64, b*g.In)
-	dxt := make([]float64, b*g.In)
-	dhNext := make([]float64, b*h)
-	hPrevBuf := make([]float64, b*h)
+	g.dx = tensor.Ensure(g.dx, b, t, g.In)
+	dx := g.dx
+	g.dh = grow(g.dh, b*h)
+	g.dPreI = grow(g.dPreI, b*3*h)
+	g.dPreH = grow(g.dPreH, b*3*h)
+	g.xt = grow(g.xt, b*g.In)
+	g.dxt = grow(g.dxt, b*g.In)
+	g.dhNext = grow(g.dhNext, b*h)
+	g.hpz = grow(g.hpz, b*h)
+	dh, dPreI, dPreH, xt := g.dh, g.dPreI, g.dPreH, g.xt
+	dxt, dhNext, hPrevBuf := g.dxt, g.dhNext, g.hpz
+	clear(dh)
 
 	for step := t - 1; step >= 0; step-- {
 		gBase := step * b * 3 * h

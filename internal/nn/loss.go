@@ -10,12 +10,19 @@ import (
 // [B, C] and integer labels, and the gradient dL/dlogits. Rows are
 // max-shifted for numerical stability.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	return SoftmaxCrossEntropyInto(logits, labels, nil)
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the gradient into
+// caller-owned scratch (resized as needed; nil allocates). It returns the
+// gradient tensor so callers can keep it for the next step.
+func SoftmaxCrossEntropyInto(logits *tensor.Tensor, labels []int, scratch *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
 	sh := logits.Shape()
 	b, c := sh[0], sh[1]
 	if len(labels) != b {
 		panic("nn: SoftmaxCrossEntropy label count mismatch")
 	}
-	grad = tensor.New(b, c)
+	grad = tensor.Ensure(scratch, b, c)
 	invB := 1 / float64(b)
 	for n := 0; n < b; n++ {
 		row := logits.Data[n*c : (n+1)*c]
@@ -49,11 +56,17 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 // (or [B,1]) and targets in {0,1}, plus dL/dlogits. The log-sum-exp form
 // keeps it stable for large |logit|.
 func BCEWithLogits(logits *tensor.Tensor, targets []float64) (loss float64, grad *tensor.Tensor) {
+	return BCEWithLogitsInto(logits, targets, nil)
+}
+
+// BCEWithLogitsInto is BCEWithLogits writing the gradient into caller-owned
+// scratch (resized as needed; nil allocates).
+func BCEWithLogitsInto(logits *tensor.Tensor, targets []float64, scratch *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
 	n := logits.Size()
 	if len(targets) != n {
 		panic("nn: BCEWithLogits target count mismatch")
 	}
-	grad = tensor.New(logits.Shape()...)
+	grad = tensor.Ensure(scratch, logits.Shape()...)
 	invN := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		z, y := logits.Data[i], targets[i]

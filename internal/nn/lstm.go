@@ -30,6 +30,11 @@ type LSTM struct {
 	cells []float64 // [T][B][H] cell states c_t
 	tanhC []float64 // [T][B][H] tanh(c_t)
 	hs    []float64 // [T][B][H] hidden states h_t
+
+	// Reusable per-step scratch (outputs and step-local work buffers).
+	y, dx                  *tensor.Tensor
+	hPrev, cPrev, xt, pre  []float64 // forward step buffers
+	dh, dc, dPre, dxt, hpz []float64 // backward step buffers
 }
 
 // NewLSTM builds an LSTM layer.
@@ -59,11 +64,15 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.tanhC = grow(l.tanhC, t*b*h)
 	l.hs = grow(l.hs, t*b*h)
 
-	y := tensor.New(b, t, h)
-	hPrev := make([]float64, b*h) // zero initial state
-	cPrev := make([]float64, b*h)
-	xt := make([]float64, b*l.In)
-	pre := make([]float64, b*4*h)
+	l.y = tensor.Ensure(l.y, b, t, h)
+	y := l.y
+	l.hPrev = grow(l.hPrev, b*h) // zero initial state
+	l.cPrev = grow(l.cPrev, b*h)
+	l.xt = grow(l.xt, b*l.In)
+	l.pre = grow(l.pre, b*4*h)
+	hPrev, cPrev, xt, pre := l.hPrev, l.cPrev, l.xt, l.pre
+	clear(hPrev)
+	clear(cPrev)
 
 	for step := 0; step < t; step++ {
 		// Gather x_t: rows step of each sequence.
@@ -107,13 +116,17 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // dL/dx [B, T, In].
 func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	b, t, h := l.b, l.t, l.H
-	dx := tensor.New(b, t, l.In)
-	dh := make([]float64, b*h)     // dL/dh_t carried across steps
-	dc := make([]float64, b*h)     // dL/dc_t carried across steps
-	dPre := make([]float64, b*4*h) // gradient at pre-activations
-	xt := make([]float64, b*l.In)
-	dxt := make([]float64, b*l.In)
-	hPrevBuf := make([]float64, b*h)
+	l.dx = tensor.Ensure(l.dx, b, t, l.In)
+	dx := l.dx
+	l.dh = grow(l.dh, b*h)       // dL/dh_t carried across steps
+	l.dc = grow(l.dc, b*h)       // dL/dc_t carried across steps
+	l.dPre = grow(l.dPre, b*4*h) // gradient at pre-activations
+	l.xt = grow(l.xt, b*l.In)
+	l.dxt = grow(l.dxt, b*l.In)
+	l.hpz = grow(l.hpz, b*h)
+	dh, dc, dPre, xt, dxt, hPrevBuf := l.dh, l.dc, l.dPre, l.xt, l.dxt, l.hpz
+	clear(dh)
+	clear(dc)
 
 	for step := t - 1; step >= 0; step-- {
 		gBase := step * b * 4 * h

@@ -9,6 +9,10 @@ type Residual struct {
 	Body Layer
 
 	mask []bool // post-sum ReLU mask
+
+	// Reusable per-step scratch for the summed forward output, the masked
+	// gradient fed to the body, and the summed input gradient.
+	out, dmask, dsum *tensor.Tensor
 }
 
 // NewResidual wraps body with an identity shortcut and output ReLU.
@@ -20,17 +24,17 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if y.Size() != x.Size() {
 		panic("nn: Residual body changed tensor size")
 	}
-	out := y.Clone()
-	for i, v := range x.Data {
-		out.Data[i] += v
-	}
+	r.out = tensor.Ensure(r.out, y.Shape()...)
+	out := r.out
 	if cap(r.mask) < out.Size() {
 		r.mask = make([]bool, out.Size())
 	}
 	r.mask = r.mask[:out.Size()]
-	for i, v := range out.Data {
-		if v > 0 {
+	for i, v := range x.Data {
+		s := y.Data[i] + v
+		if s > 0 {
 			r.mask[i] = true
+			out.Data[i] = s
 		} else {
 			r.mask[i] = false
 			out.Data[i] = 0
@@ -41,16 +45,20 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	d := dout.Clone()
-	for i := range d.Data {
-		if !r.mask[i] {
+	r.dmask = tensor.Ensure(r.dmask, dout.Shape()...)
+	d := r.dmask
+	for i, g := range dout.Data {
+		if r.mask[i] {
+			d.Data[i] = g
+		} else {
 			d.Data[i] = 0
 		}
 	}
 	dx := r.Body.Backward(d)
-	out := dx.Clone()
+	r.dsum = tensor.Ensure(r.dsum, dx.Shape()...)
+	out := r.dsum
 	for i, v := range d.Data {
-		out.Data[i] += v
+		out.Data[i] = dx.Data[i] + v
 	}
 	return out
 }

@@ -51,6 +51,13 @@ func New(seed uint64) *RNG {
 // streams from a single root seed: worker i at iteration t uses
 // root.Split(uint64(i), uint64(t)).
 func (r *RNG) Split(ids ...uint64) *RNG {
+	return r.SplitInto(&RNG{}, ids...)
+}
+
+// SplitInto is Split writing the derived generator into caller-owned
+// storage, so hot loops can split once per iteration without allocating.
+// It returns dst.
+func (r *RNG) SplitInto(dst *RNG, ids ...uint64) *RNG {
 	// Mix the current state with the ids through SplitMix64. The state is
 	// read, not advanced, to keep Split free of side effects.
 	h := r.s0 ^ (r.s1 << 1) ^ (r.s2 << 2) ^ (r.s3 << 3)
@@ -58,7 +65,16 @@ func (r *RNG) Split(ids ...uint64) *RNG {
 		x := h ^ (id + 0x9e3779b97f4a7c15)
 		h = splitmix64(&x)
 	}
-	return New(h)
+	sm := h
+	dst.s0 = splitmix64(&sm)
+	dst.s1 = splitmix64(&sm)
+	dst.s2 = splitmix64(&sm)
+	dst.s3 = splitmix64(&sm)
+	if dst.s0|dst.s1|dst.s2|dst.s3 == 0 {
+		dst.s0 = 1
+	}
+	dst.spare, dst.hasSpare = 0, false
+	return dst
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

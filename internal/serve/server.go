@@ -27,7 +27,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -651,6 +651,6 @@ func (s *Server) Jobs() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := append([]string(nil), s.order...)
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

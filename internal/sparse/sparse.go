@@ -8,7 +8,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Vector is a sparse view of a dense gradient vector: parallel slices of
@@ -23,7 +23,7 @@ type Vector struct {
 func FromDense(dense []float64, indices []int) (*Vector, error) {
 	idx := make([]int, len(indices))
 	copy(idx, indices)
-	sort.Ints(idx)
+	slices.Sort(idx)
 	v := &Vector{Indices: idx, Values: make([]float64, len(idx))}
 	for i, ix := range idx {
 		if ix < 0 || ix >= len(dense) {

@@ -13,7 +13,7 @@ package stats
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Mean returns the arithmetic mean of v (0 for empty input).
@@ -150,7 +150,7 @@ func Quantile(v []float64, q float64) float64 {
 	}
 	s := make([]float64, len(v))
 	copy(s, v)
-	sort.Float64s(s)
+	slices.Sort(s)
 	if q <= 0 {
 		return s[0]
 	}

@@ -1,0 +1,238 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Naive reference kernels: the pre-blocking loops, kept verbatim as the
+// correctness oracle for the packed/tiled/parallel paths.
+
+func refGemm(c, a, b []float64, m, k, n int, accumulate bool) {
+	if !accumulate {
+		clear(c[:m*n])
+	}
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += av * b[p*n+j]
+			}
+		}
+	}
+}
+
+func refGemmTransA(c, a, b []float64, m, k, n int, accumulate bool) {
+	if !accumulate {
+		clear(c[:m*n])
+	}
+	for p := 0; p < k; p++ {
+		for i := 0; i < m; i++ {
+			av := a[p*m+i]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += av * b[p*n+j]
+			}
+		}
+	}
+}
+
+func refGemmTransB(c, a, b []float64, m, k, n int, accumulate bool) {
+	if !accumulate {
+		clear(c[:m*n])
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[j*k+p]
+			}
+			c[i*n+j] += s
+		}
+	}
+}
+
+func randSlice(r *rng.RNG, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.Norm()
+	}
+	return s
+}
+
+// maxRelDiff returns the largest relative element difference, scaled by the
+// k-length of the accumulation (rounding differs between summation orders).
+func maxRelDiff(got, want []float64) float64 {
+	worst := 0.0
+	for i := range got {
+		d := math.Abs(got[i] - want[i])
+		den := math.Max(math.Abs(want[i]), 1)
+		if rel := d / den; rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// gemmShapes covers the dispatch boundaries: scalar edges, sub-tile shapes,
+// exact and off-by-one micro-tile multiples, shapes straddling the
+// small/blocked threshold, and panels crossing the KC/MC block boundaries.
+var gemmShapes = []struct{ m, k, n int }{
+	{1, 1, 1}, {1, 7, 1}, {3, 2, 5}, {4, 4, 4}, {5, 9, 6},
+	{4, 8, 3}, {3, 8, 4}, {8, 16, 8}, {16, 192, 32}, {17, 191, 33},
+	{8, 32, 128}, {61, 127, 33}, {64, 256, 64}, {65, 257, 63},
+	{130, 300, 37}, {12, 520, 20},
+}
+
+func TestGemmMatchesReference(t *testing.T) {
+	type variant struct {
+		name string
+		run  func(c, a, b []float64, m, k, n int, acc bool)
+		ref  func(c, a, b []float64, m, k, n int, acc bool)
+		aLen func(m, k int) int // operand A element count
+		bLen func(k, n int) int
+	}
+	variants := []variant{
+		{"NN", GemmInto, refGemm,
+			func(m, k int) int { return m * k }, func(k, n int) int { return k * n }},
+		{"TransA", GemmTransA, refGemmTransA,
+			func(m, k int) int { return k * m }, func(k, n int) int { return k * n }},
+		{"TransB", GemmTransB, refGemmTransB,
+			func(m, k int) int { return m * k }, func(k, n int) int { return n * k }},
+	}
+	r := rng.New(7)
+	for _, v := range variants {
+		for _, sh := range gemmShapes {
+			for _, acc := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/%dx%dx%d/acc=%v", v.name, sh.m, sh.k, sh.n, acc), func(t *testing.T) {
+					a := randSlice(r, v.aLen(sh.m, sh.k))
+					b := randSlice(r, v.bLen(sh.k, sh.n))
+					got := randSlice(r, sh.m*sh.n)
+					want := append([]float64(nil), got...)
+					v.run(got, a, b, sh.m, sh.k, sh.n, acc)
+					v.ref(want, a, b, sh.m, sh.k, sh.n, acc)
+					// Tolerance scales with the accumulation length: blocked
+					// and reference paths sum the k terms in different orders.
+					tol := 1e-13 * float64(sh.k+1)
+					if d := maxRelDiff(got, want); d > tol {
+						t.Fatalf("max relative diff %g > %g", d, tol)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGemmParallelBitIdentical asserts the documented determinism claim:
+// the row-band parallel path produces bit-identical results to the serial
+// path for any worker count, for all three operand layouts (which at
+// these sizes resolve to the streaming, packed-Aᵀ and packed-Bᵀ kernels).
+func TestGemmParallelBitIdentical(t *testing.T) {
+	ops := []struct {
+		name string
+		run  func(c, a, b []float64, m, k, n int)
+		aLen func(m, k int) int
+		bLen func(k, n int) int
+	}{
+		{"NN", func(c, a, b []float64, m, k, n int) { GemmInto(c, a, b, m, k, n, false) },
+			func(m, k int) int { return m * k }, func(k, n int) int { return k * n }},
+		{"TransA", func(c, a, b []float64, m, k, n int) { GemmTransA(c, a, b, m, k, n, false) },
+			func(m, k int) int { return k * m }, func(k, n int) int { return k * n }},
+		{"TransB", func(c, a, b []float64, m, k, n int) { GemmTransB(c, a, b, m, k, n, false) },
+			func(m, k int) int { return m * k }, func(k, n int) int { return n * k }},
+	}
+	r := rng.New(11)
+	// 160·160·160 = 4.1M multiply-adds: comfortably above the parallel
+	// threshold; 161/157 exercise ragged band and tile edges too. k=300
+	// crosses the KC panel boundary of the packed paths.
+	for _, sh := range []struct{ m, k, n int }{{160, 160, 160}, {161, 157, 149}, {128, 300, 64}} {
+		for _, op := range ops {
+			a := randSlice(r, op.aLen(sh.m, sh.k))
+			b := randSlice(r, op.bLen(sh.k, sh.n))
+			serial := make([]float64, sh.m*sh.n)
+			parallel := make([]float64, sh.m*sh.n)
+
+			prev := SetGemmWorkers(1)
+			op.run(serial, a, b, sh.m, sh.k, sh.n)
+			SetGemmWorkers(4)
+			op.run(parallel, a, b, sh.m, sh.k, sh.n)
+			SetGemmWorkers(prev)
+
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("%s shape %v: element %d differs: serial %v parallel %v",
+						op.name, sh, i, serial[i], parallel[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGemmPackedPathZeroAlloc asserts the pool-backed packing scratch keeps
+// the blocked kernels allocation-free in steady state for all three layouts.
+func TestGemmPackedPathZeroAlloc(t *testing.T) {
+	r := rng.New(13)
+	m, k, n := 64, 256, 64 // blocked path, multi-strip B panel
+	a := randSlice(r, m*k)
+	bT := randSlice(r, n*k)
+	aT := randSlice(r, k*m)
+	b := randSlice(r, k*n)
+	c := make([]float64, m*n)
+
+	for name, fn := range map[string]func(){
+		"GemmInto":   func() { GemmInto(c, a, b, m, k, n, false) },
+		"GemmTransA": func() { GemmTransA(c, aT, b, m, k, n, true) },
+		"GemmTransB": func() { GemmTransB(c, a, bT, m, k, n, false) },
+	} {
+		fn() // warm the pool
+		if allocs := testing.AllocsPerRun(20, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op on the packed path, want 0", name, allocs)
+		}
+	}
+}
+
+func TestEnsureReusesBuffer(t *testing.T) {
+	a := Ensure(nil, 3, 4)
+	if a.Size() != 12 {
+		t.Fatalf("size %d", a.Size())
+	}
+	a.Fill(1)
+	data := &a.Data[0]
+	b := Ensure(a, 2, 5)
+	if b != a || &b.Data[0] != data {
+		t.Fatal("Ensure reallocated despite sufficient capacity")
+	}
+	if b.Dim(0) != 2 || b.Dim(1) != 5 || b.Size() != 10 {
+		t.Fatalf("shape %v", b.Shape())
+	}
+	c := Ensure(b, 6, 6)
+	if c.Size() != 36 {
+		t.Fatalf("grown size %d", c.Size())
+	}
+}
+
+func TestViewOfSharesData(t *testing.T) {
+	src := New(2, 6)
+	src.Data[7] = 42
+	v := ViewOf(nil, src, 3, 4)
+	if v.Data[7] != 42 {
+		t.Fatal("view does not alias source")
+	}
+	v.Data[0] = 9
+	if src.Data[0] != 9 {
+		t.Fatal("write through view not visible in source")
+	}
+	// Repointing the same view must not allocate a new tensor.
+	v2 := ViewOf(v, src, 4, 3)
+	if v2 != v {
+		t.Fatal("ViewOf allocated a new view")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected size-mismatch panic")
+		}
+	}()
+	ViewOf(nil, src, 5, 5)
+}

@@ -157,9 +157,32 @@ func (t *Tensor) Dot(u *Tensor) float64 {
 // L2Norm returns the Euclidean norm of the flattened tensor.
 func (t *Tensor) L2Norm() float64 { return L2Norm(t.Data) }
 
-// L2Norm returns the Euclidean norm of v, guarding against overflow for
-// large magnitudes by scaling.
+// L2Norm returns the Euclidean norm of v. The hot path is a plain
+// two-chain sum of squares; when that overflows to +Inf or underflows to
+// a subnormal-or-zero result it falls back to the branchy scaled
+// accumulation, which is immune to both.
 func L2Norm(v []float64) float64 {
+	var s0, s1 float64
+	i := 0
+	for ; i+2 <= len(v); i += 2 {
+		s0 += v[i] * v[i]
+		s1 += v[i+1] * v[i+1]
+	}
+	if i < len(v) {
+		s0 += v[i] * v[i]
+	}
+	ssq := s0 + s1
+	// 0x1p-1000 leaves the partial squares far above subnormal rounding.
+	// Everything else — all-zero input, underflow, overflow, NaN — goes
+	// through the scaled path, which handles each correctly.
+	if ssq > 0x1p-1000 && ssq <= math.MaxFloat64 {
+		return math.Sqrt(ssq)
+	}
+	return l2NormScaled(v)
+}
+
+// l2NormScaled is the overflow/underflow-safe slow path of L2Norm.
+func l2NormScaled(v []float64) float64 {
 	var scale, ssq float64 = 0, 1
 	for _, x := range v {
 		if x == 0 {
@@ -179,7 +202,7 @@ func L2Norm(v []float64) float64 {
 }
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), returning a
-// new m×n tensor. The inner loops are ordered ikj for cache friendliness.
+// new m×n tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("tensor: MatMul requires 2-D tensors")
@@ -194,71 +217,52 @@ func MatMul(a, b *Tensor) *Tensor {
 	return c
 }
 
-// GemmInto computes C = A·B (or C += A·B when accumulate is true) over flat
-// row-major buffers with dimensions A: m×k, B: k×n, C: m×n.
-func GemmInto(c, a, b []float64, m, k, n int, accumulate bool) {
-	if !accumulate {
-		for i := range c[:m*n] {
-			c[i] = 0
+// Ensure returns t resized to shape, reusing its data and shape buffers
+// when capacity allows; a nil t allocates a fresh tensor. The contents are
+// unspecified — callers must overwrite (or Zero) the tensor. It is the
+// allocation-free counterpart of New for per-step scratch that layers keep
+// across forward/backward calls.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			// Plain message: formatting shape here would make the variadic
+			// escape and cost an allocation on every call.
+			panic("tensor: negative dimension in Ensure shape")
 		}
+		n *= d
 	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := c[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
+	if t == nil {
+		t = &Tensor{}
 	}
+	if cap(t.Data) < n {
+		t.Data = make([]float64, n)
+	}
+	t.Data = t.Data[:n]
+	t.shape = append(t.shape[:0], shape...)
+	return t
 }
 
-// GemmTransA computes C = Aᵀ·B where A is k×m (so Aᵀ is m×k), B is k×n.
-func GemmTransA(c, a, b []float64, m, k, n int, accumulate bool) {
-	if !accumulate {
-		for i := range c[:m*n] {
-			c[i] = 0
-		}
+// ViewOf repoints view (allocating it on first use when nil) at src's data
+// buffer with the given shape — the allocation-free counterpart of Reshape
+// for cached reshape views. The product of shape must equal src's size.
+func ViewOf(view, src *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
 	}
-	for p := 0; p < k; p++ {
-		arow := a[p*m : (p+1)*m]
-		brow := b[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
+	if n != len(src.Data) {
+		// Sizes only: formatting the shape slices would make the variadic
+		// escape and cost an allocation on every call.
+		panic(fmt.Sprintf("tensor: cannot view %d elems as a shape of %d elems",
+			len(src.Data), n))
 	}
-}
-
-// GemmTransB computes C = A·Bᵀ where A is m×k, B is n×k.
-func GemmTransB(c, a, b []float64, m, k, n int, accumulate bool) {
-	if !accumulate {
-		for i := range c[:m*n] {
-			c[i] = 0
-		}
+	if view == nil {
+		view = &Tensor{}
 	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := c[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] += s
-		}
-	}
+	view.Data = src.Data
+	view.shape = append(view.shape[:0], shape...)
+	return view
 }
 
 // ArgMax returns the index of the largest element of v (first on ties).
@@ -292,12 +296,21 @@ func MaxAbs(v []float64) float64 {
 	return m
 }
 
-// HasNaN reports whether v contains a NaN or Inf.
+// HasNaN reports whether v contains a NaN or Inf. x·0 is ±0 for every
+// finite x and NaN for ±Inf and NaN, so a poisoned running sum replaces
+// two classification branches per element with one multiply-add.
 func HasNaN(v []float64) bool {
-	for _, x := range v {
-		if math.IsNaN(x) || math.IsInf(x, 0) {
-			return true
-		}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i] * 0
+		s1 += v[i+1] * 0
+		s2 += v[i+2] * 0
+		s3 += v[i+3] * 0
 	}
-	return false
+	for ; i < len(v); i++ {
+		s0 += v[i] * 0
+	}
+	s := s0 + s1 + s2 + s3
+	return s != s
 }

@@ -17,7 +17,7 @@ package topk
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Scratch holds the reusable buffers of the Into kernels. The zero value is
@@ -270,12 +270,15 @@ func SortTopK(v []float64, k int) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		av, bv := abs(v[idx[a]]), abs(v[idx[b]])
+	slices.SortFunc(idx, func(a, b int) int {
+		av, bv := abs(v[a]), abs(v[b])
 		if av != bv {
-			return av > bv
+			if av > bv {
+				return -1
+			}
+			return 1
 		}
-		return idx[a] < idx[b] // stable tie-break for determinism
+		return a - b // stable tie-break for determinism
 	})
 	if k > n {
 		k = n

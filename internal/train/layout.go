@@ -27,6 +27,27 @@ func FlattenGrads(params []*nn.Param, out []float64) {
 	}
 }
 
+// AccumulateGrads folds the parameter gradients into the flat error
+// buffer — acc[i] += lr·gᵢ in layout order — and reports whether any
+// gradient value was non-finite (gᵢ·0 is NaN exactly for ±Inf and NaN).
+// The fused single pass replaces the flatten-copy, NaN-scan and
+// error-feedback loops the trainer used to run over three separate
+// traversals of the gradient.
+func AccumulateGrads(params []*nn.Param, acc []float64, lr float64) (hasNaN bool) {
+	pos := 0
+	var poison float64
+	for _, p := range params {
+		g := p.G.Data
+		dst := acc[pos : pos+len(g)]
+		for i, gv := range g {
+			dst[i] += lr * gv
+			poison += gv * 0
+		}
+		pos += len(g)
+	}
+	return poison != poison
+}
+
 // ApplyUpdate subtracts scale · update (flat layout) from the parameters:
 // x ← x − scale·u.
 func ApplyUpdate(params []*nn.Param, update []float64, scale float64) {

@@ -21,9 +21,10 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"time"
+	"unsafe"
 
 	"repro/internal/comm"
 	"repro/internal/nn"
@@ -194,33 +195,10 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 	cluster := comm.NewCluster(n)
 	root := rng.New(cfg.Seed)
 
-	// Timing gate: a cluster-wide mutex serialising the *measured*
-	// sections (gradient selection, DEFT's partitioning). With every
-	// worker hosted on one machine, un-gated sections contend for the CPU
-	// and their wall times measure scheduler interleaving instead of work;
-	// gated sections run alone, so max-over-workers is the simulated
-	// parallel time.
-	var gate sync.Mutex
-	isolate := func(fn func()) time.Duration {
-		gate.Lock()
-		defer gate.Unlock()
-		t0 := time.Now()
-		fn()
-		return time.Since(t0)
-	}
-
-	// Per-iteration reduction buffers filled by workers, combined by rank 0.
-	type iterStats struct {
-		loss      float64
-		errNorm   float64
-		selTime   time.Duration
-		partTime  time.Duration
-		stepTime  time.Duration
-		selectedK int
-		upBytes   int64 // this worker's encoded upload payload
-		hasNaN    bool
-	}
-	perWorker := make([]iterStats, n)
+	// Per-iteration reduction buffers filled by workers, combined by rank
+	// 0. Each entry is padded to its own cache-line pair so neighbouring
+	// workers' writes never false-share (see paddedIterStats).
+	perWorker := make([]paddedIterStats, n)
 
 	// Evaluation runs on rank 0's replica only (replicas stay identical).
 	var rank0 Model
@@ -241,8 +219,7 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 		}
 		reporter, hasReporter := sp.(overheadReporter)
 
-		acc := make([]float64, ng)  // e_i, then acc_i inside the iteration
-		flat := make([]float64, ng) // scratch for the new gradient
+		acc := make([]float64, ng) // e_i, then acc_i inside the iteration
 		var velocity []float64
 		if cfg.Momentum > 0 {
 			velocity = make([]float64, ng)
@@ -278,13 +255,13 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 		var curT int
 		var loss float64
 		var localIdx []int
+		var stepRNG rng.RNG // per-worker storage for the (rank, t) stream
 		stepFn := func() {
 			// Local gradient on this worker's shard: RNG split by
 			// (rank, t) gives independent minibatches per worker, identical
 			// across runs.
 			nn.ZeroGrads(params)
-			loss = model.Step(root.Split(uint64(rank), uint64(curT)))
-			FlattenGrads(params, flat)
+			loss = model.Step(root.SplitInto(&stepRNG, uint64(rank), uint64(curT)))
 		}
 		selectFn := func() {
 			localIdx = sp.Select(ctx, acc)
@@ -311,12 +288,9 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 			curT = t
 			stepTime := isolate(stepFn)
 
-			hasNaN := tensor.HasNaN(flat)
-
-			// acc_i ← e_i + η·G_i.
-			for i, g := range flat {
-				acc[i] += lr * g
-			}
+			// acc_i ← e_i + η·G_i, fused with the NaN scan in one pass
+			// over the parameter gradients (no flattening copy).
+			hasNaN := AccumulateGrads(params, acc, lr)
 
 			var selTime, partTime time.Duration
 			selectedK := ng
@@ -353,7 +327,7 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 				// sorted per-rank lists, so sort the local selection first —
 				// the selection kernels return unspecified order and permit
 				// in-place reordering until the next Select.
-				sort.Ints(localIdx)
+				slices.Sort(localIdx)
 				// Wire accounting: encode this worker's local (index, value)
 				// selection with the cheapest codec — the payload a real
 				// system would put on the network. The encode is the genuine
@@ -436,7 +410,7 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 			}
 
 			// Metrics.
-			perWorker[rank] = iterStats{
+			perWorker[rank].iterStats = iterStats{
 				loss:      loss,
 				errNorm:   tensor.L2Norm(acc),
 				selTime:   selTime,
@@ -554,6 +528,48 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 // split without this package importing internal/core.
 type overheadReporter interface {
 	LastOverhead() (partition, selection time.Duration)
+}
+
+// measureGate is the process-global timing gate: a mutex serialising the
+// *measured* sections (gradient compute, selection, DEFT's partitioning)
+// of every worker of every concurrently running cluster. With all workers
+// hosted on one machine, un-gated sections contend for the CPU and their
+// wall times measure scheduler interleaving instead of work; gated
+// sections run alone, so max-over-workers is the simulated parallel time.
+// The gate is process-global rather than per-cluster so that concurrent
+// training runs — the parallel experiment driver fans independent runs out
+// over a worker pool — cannot contend with each other's measured sections
+// either.
+var measureGate sync.Mutex
+
+// isolate runs fn under the process-global timing gate and returns its
+// contention-free wall time.
+func isolate(fn func()) time.Duration {
+	measureGate.Lock()
+	defer measureGate.Unlock()
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}
+
+// iterStats is one worker's per-iteration metric contribution.
+type iterStats struct {
+	loss      float64
+	errNorm   float64
+	selTime   time.Duration
+	partTime  time.Duration
+	stepTime  time.Duration
+	selectedK int
+	upBytes   int64 // this worker's encoded upload payload
+	hasNaN    bool
+}
+
+// paddedIterStats pads each worker's entry to a 128-byte boundary (two
+// 64-byte lines: the adjacent-line prefetcher drags pairs) so concurrent
+// workers writing neighbouring slice entries never share a cache line.
+type paddedIterStats struct {
+	iterStats
+	_ [128 - unsafe.Sizeof(iterStats{})%128]byte
 }
 
 // CompressionRatio returns the run's wire compression ratio: the fp32

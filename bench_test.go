@@ -48,6 +48,10 @@ func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
 // Ablation benches for the design choices DESIGN.md §5 calls out.
 func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
 
+// Quantized fp16 training vs fp32 across every workload (the `quant`
+// experiment backing the golden convergence fixtures).
+func BenchmarkQuant(b *testing.B) { benchExperiment(b, "quant") }
+
 // The microbenches below isolate the headline claim at kernel level on the
 // LSTM catalog (scaled to 1.36M gradients, d=0.001): a whole-vector top-k
 // (what Top-k/CLT-k run every iteration) vs the slowest worker's layer-wise
@@ -79,6 +83,13 @@ func BenchmarkGemmOddBlocked(b *testing.B) { benchkit.BenchGemmOddBlocked(b) }
 func BenchmarkGemmTransAGrad(b *testing.B) { benchkit.BenchGemmTransAGrad(b) }
 
 func BenchmarkGemmTransBBack(b *testing.B) { benchkit.BenchGemmTransBBack(b) }
+
+// Row-band parallel GEMM at a shape above the 2M-MAC threshold: the serial
+// reference and the 4-band sharded run (bit-identical results; the
+// multi-core CI job is where the 4-band case shows actual speedup).
+func BenchmarkGemmParallel1(b *testing.B) { benchkit.BenchGemmParallel1(b) }
+
+func BenchmarkGemmParallel4(b *testing.B) { benchkit.BenchGemmParallel4(b) }
 
 func BenchmarkConvForwardPath(b *testing.B) { benchkit.BenchConvForward(b) }
 

@@ -13,7 +13,7 @@
 //	                          # compare two saved files without running
 //
 // ids: table1 table2 fig1 fig3a fig3b fig3c fig4 fig5 fig6 fig7 fig8 fig9
-// fig10 ablation
+// fig10 ablation table3 quant
 package main
 
 import (
@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/benchkit"
 	"repro/internal/experiments"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "seed offset for all runs")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"fan each experiment's independent training runs over up to N goroutines (1 = sequential)")
+	gemmWorkers := flag.Int("gemm-workers", 0,
+		"cap tensor.SetGemmWorkers for this process (0 = leave the GOMAXPROCS default); output is bit-identical for any value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
 	jsonOut := flag.Bool("json", false, "run the perf microbenchmarks and write -bench-out")
@@ -47,6 +50,9 @@ func main() {
 	}
 	flag.Parse()
 
+	if *gemmWorkers > 0 {
+		tensor.SetGemmWorkers(*gemmWorkers)
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

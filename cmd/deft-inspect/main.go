@@ -209,7 +209,7 @@ func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density f
 	t := &experiments.Table{
 		ID:      "inspect-wire",
 		Title:   fmt.Sprintf("Wire footprint per scheme (one worker-iteration upload; dense fp32 baseline %d B)", dense),
-		Columns: []string{"scheme", "nnz", "density", "coo32", "coo16", "bitmap32", "bitmap16", "bytes/it", "ratio"},
+		Columns: []string{"scheme", "nnz", "density", "coo32", "coo16†", "bitmap32", "bitmap16†", "fp32 bytes/it", "fp16 bytes/it", "fp32 x", "fp16 x"},
 	}
 	if parallel < 1 {
 		parallel = 1
@@ -244,6 +244,7 @@ func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density f
 					s.name, f, len(buf), best, size)
 				return
 			}
+			best16, size16 := wire.Pick(ng, idx, wire.Float16)
 			rows[i] = []string{
 				s.name, fmt.Sprintf("%d", len(idx)), fmt.Sprintf("%.6f", float64(len(idx))/float64(ng)),
 				fmt.Sprintf("%d", wire.EncodedSize(wire.COO32, ng, idx)),
@@ -251,7 +252,9 @@ func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density f
 				fmt.Sprintf("%d", wire.EncodedSize(wire.Bitmap32, ng, idx)),
 				fmt.Sprintf("%d", wire.EncodedSize(wire.Bitmap16, ng, idx)),
 				fmt.Sprintf("%d (%s)", size, best),
+				fmt.Sprintf("%d (%s)", size16, best16),
 				fmt.Sprintf("%.1fx", float64(dense)/float64(size)),
+				fmt.Sprintf("%.1fx", float64(dense)/float64(size16)),
 			}
 		}(i, s)
 	}
@@ -263,6 +266,9 @@ func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density f
 		}
 	}
 	t.Rows = rows
+	t.Notes = append(t.Notes,
+		"† fp16-capable format: values quantized to IEEE binary16 — the payload `deft-train -quantize` (and spec \"quantize\": true) ships",
+		"fp16 bytes/ratio columns cross-reference the convergence rows of the `quant` experiment (deft-bench quant)")
 	return t
 }
 

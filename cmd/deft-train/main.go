@@ -5,6 +5,7 @@
 // Usage:
 //
 //	deft-train -workload vision -sparsifier deft -workers 16 -density 0.01 -iters 200
+//	deft-train -workload langmodel -sparsifier deft -quantize   # fp16 wire payloads
 //	deft-train -workload mlp -json > result.json
 //
 // Workloads: mlp, vision, langmodel, recsys.
@@ -35,6 +36,8 @@ func main() {
 	momentum := flag.Float64("momentum", 0, "momentum on the aggregated update")
 	iters := flag.Int("iters", 100, "training iterations")
 	evalEvery := flag.Int("eval-every", 25, "iterations between evaluations")
+	quantize := flag.Bool("quantize", false,
+		"ship fp16 uploads (coo16/bitmap16) and apply the decoded values; error feedback absorbs the quantization error")
 	seed := flag.Uint64("seed", 1, "run seed")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
@@ -49,9 +52,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "deft-train: %v\n", err)
 		os.Exit(2)
 	}
+	if *quantize && dense {
+		fmt.Fprintln(os.Stderr, "deft-train: -quantize applies to sparse schemes; the dense baseline ships fp32")
+		os.Exit(2)
+	}
 	cfg := train.Config{
 		Workers: *workers, Density: *density, LR: *lr, Momentum: *momentum,
 		Iterations: *iters, EvalEvery: *evalEvery, Seed: *seed,
+		Quantize:      *quantize,
 		DisableSparse: dense,
 		CostModel:     comm.DefaultCostModel(),
 		Topology:      comm.DefaultTopology(),

@@ -1,0 +1,215 @@
+// Golden convergence fixtures: the recorded, deterministic end-to-end
+// training trajectory of every workload × representative scheme ×
+// precision, compared EXACTLY against testdata/convergence/*.json.
+//
+// Every numeric change to the training stack — a new sampler, a kernel
+// rewrite, a quantization tweak — shows up here as an explicit, reviewed
+// diff of expectations instead of silent drift. When a change is
+// intentional, regenerate and review:
+//
+//	go test -run TestGoldenConvergence -update .
+//	git diff testdata/convergence/
+//
+// The fixtures record only the deterministic numerics (series, byte
+// accounting, derived compression) — never wall-clock fields. They are
+// recorded on linux/amd64; Go's float64 arithmetic does not fuse FMAs on
+// that target, so the values are stable across amd64 machines.
+package deft
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/stats"
+	"repro/internal/train"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/convergence fixtures with freshly trained trajectories")
+
+// goldenCase is one recorded configuration. The config block is part of
+// the fixture, so a fixture can never silently drift away from the run
+// that produces it.
+type goldenCase struct {
+	Workload   string  `json:"workload"`
+	Sparsifier string  `json:"sparsifier"`
+	Precision  string  `json:"precision"`
+	Workers    int     `json:"workers"`
+	Density    float64 `json:"density"`
+	LR         float64 `json:"lr"`
+	Iterations int     `json:"iterations"`
+	Seed       uint64  `json:"seed"`
+}
+
+// goldenFixture is the serialized expectation: the case plus every
+// deterministic numeric output of the run.
+type goldenFixture struct {
+	goldenCase
+	TrainLoss        stats.Series `json:"train_loss"`
+	Metric           stats.Series `json:"metric"`
+	ErrorNorm        stats.Series `json:"error_norm"`
+	ActualDensity    stats.Series `json:"actual_density"`
+	EncodedBytes     stats.Series `json:"encoded_bytes"`
+	WireBytes        int64        `json:"wire_bytes"`
+	DenseBytes       int64        `json:"dense_bytes"`
+	CompressionRatio float64      `json:"compression_ratio"`
+	NaNIterations    int          `json:"nan_iterations"`
+}
+
+// goldenCases enumerates all four workloads × {deft, topk} × {fp32, fp16}
+// plus the dense fp32 reference — 20 fixtures. Scale is chosen so the
+// whole suite trains in a few seconds while every code path (conv GEMMs,
+// LSTM steps, embedding scatter, fp16 encode→decode) still runs.
+func goldenCases() []goldenCase {
+	lr := map[string]float64{"mlp": 0.3, "vision": 0.15, "langmodel": 1.0, "recsys": 1.0}
+	var cases []goldenCase
+	for _, w := range registry.Workloads() {
+		for _, scheme := range []string{"deft", "topk"} {
+			for _, prec := range registry.Precisions() {
+				cases = append(cases, goldenCase{
+					Workload: w, Sparsifier: scheme, Precision: prec,
+					Workers: 4, Density: 0.05, LR: lr[w], Iterations: 8, Seed: 77,
+				})
+			}
+		}
+		cases = append(cases, goldenCase{
+			Workload: w, Sparsifier: "dense", Precision: "fp32",
+			Workers: 4, LR: lr[w], Iterations: 8, Seed: 77,
+		})
+	}
+	return cases
+}
+
+func (c goldenCase) name() string {
+	return fmt.Sprintf("%s_%s_%s", c.Workload, c.Sparsifier, c.Precision)
+}
+
+func (c goldenCase) path() string {
+	return filepath.Join("testdata", "convergence", c.name()+".json")
+}
+
+// run trains the case and packages the deterministic outputs.
+func (c goldenCase) run(t *testing.T) *goldenFixture {
+	t.Helper()
+	w, err := registry.NewWorkload(c.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, dense, err := registry.NewFactory(c.Sparsifier, w, c.Density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantize, err := registry.ParsePrecision(c.Precision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := train.Run(w, factory, train.Config{
+		Workers: c.Workers, Density: c.Density, LR: c.LR,
+		Iterations: c.Iterations, EvalEvery: 4, RecordEvery: 2, Seed: c.Seed,
+		Quantize: quantize, DisableSparse: dense, CheckSync: true,
+	})
+	return &goldenFixture{
+		goldenCase:       c,
+		TrainLoss:        res.TrainLoss,
+		Metric:           res.Metric,
+		ErrorNorm:        res.ErrorNorm,
+		ActualDensity:    res.ActualDensity,
+		EncodedBytes:     res.EncodedBytes,
+		WireBytes:        res.WireBytes,
+		DenseBytes:       res.DenseBytes,
+		CompressionRatio: res.CompressionRatio(),
+		NaNIterations:    res.NaNIterations,
+	}
+}
+
+// marshal renders a fixture in the canonical on-disk form. encoding/json
+// prints float64 in the shortest representation that round-trips, so byte
+// equality of the rendered forms is bit equality of every number.
+func (f *goldenFixture) marshal(t *testing.T) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestGoldenConvergence trains every golden case at its fixed seed and
+// compares the trajectory byte-for-byte against the recorded fixture.
+func TestGoldenConvergence(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		// Go fuses float64 multiply-adds on arm64/ppc64, which perturbs
+		// every trajectory; the fixtures are only meaningful where they
+		// were recorded.
+		t.Skipf("fixtures recorded on amd64; exact compare is not defined on %s", runtime.GOARCH)
+	}
+	for _, c := range goldenCases() {
+		t.Run(c.name(), func(t *testing.T) {
+			got := c.run(t).marshal(t)
+			path := c.path()
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture %s (record with: go test -run TestGoldenConvergence -update .): %v", path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trajectory drifted from %s:\n%s\nIf the change is intentional, regenerate with -update and review the git diff.",
+					path, firstDiff(want, got))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line pair of two fixture texts.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g []byte
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if !bytes.Equal(w, g) {
+			return fmt.Sprintf("line %d:\n  recorded: %s\n  got:      %s", i+1, w, g)
+		}
+	}
+	return "(no line diff: length mismatch)"
+}
+
+// TestGoldenCoversAllWorkloadsAndPrecisions guards the fixture matrix
+// itself: every registry workload appears at both precisions, so a
+// workload or precision added to the registry without a recorded fixture
+// fails here rather than silently going unpinned.
+func TestGoldenCoversAllWorkloadsAndPrecisions(t *testing.T) {
+	seen := map[string]map[string]bool{}
+	for _, c := range goldenCases() {
+		if seen[c.Workload] == nil {
+			seen[c.Workload] = map[string]bool{}
+		}
+		seen[c.Workload][c.Precision] = true
+	}
+	for _, w := range registry.Workloads() {
+		for _, p := range registry.Precisions() {
+			if !seen[w][p] {
+				t.Errorf("no golden fixture for workload %q at precision %q", w, p)
+			}
+		}
+	}
+}

@@ -50,6 +50,8 @@ func Cases() []Case {
 		{Name: "GemmOddBlocked", Bench: BenchGemmOddBlocked},
 		{Name: "GemmTransAGrad", Bench: BenchGemmTransAGrad},
 		{Name: "GemmTransBBack", Bench: BenchGemmTransBBack},
+		{Name: "GemmParallel1", Bench: BenchGemmParallel1},
+		{Name: "GemmParallel4", Bench: BenchGemmParallel4},
 		{Name: "ConvForward", Bench: BenchConvForward},
 		{Name: "WireEncodeCOOVarint", Bench: BenchWireEncodeCOOVarint},
 		{Name: "WireEncodeBitmap", Bench: BenchWireEncodeBitmap},
@@ -213,6 +215,32 @@ func BenchGemmTransBBack(b *testing.B) {
 		tensor.GemmTransB(c, a, bb, m, k, n, false)
 	}
 }
+
+// benchGemmParallel measures C = A·B at 256×256×64 — 4.2M MACs, above the
+// 2M-MAC row-band parallel threshold with bands taller than the 32-row
+// minimum — under an explicit tensor.SetGemmWorkers cap. The two
+// registered widths bracket the parallel path: GemmParallel1 is the serial
+// reference, GemmParallel4 shards four row bands (bit-identical output; on
+// a single-core runner it measures the banding overhead instead of the
+// speedup, which is exactly what the multi-core CI job is for).
+func benchGemmParallel(b *testing.B, workers int) {
+	const m, k, n = 256, 256, 64
+	f := gemmFixture(7, m*k, k*n, m*n)
+	a, bb, c := f[0], f[1], f[2]
+	prev := tensor.SetGemmWorkers(workers)
+	defer tensor.SetGemmWorkers(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmInto(c, a, bb, m, k, n, false)
+	}
+}
+
+// BenchGemmParallel1 is the serial baseline of the large parallel shape.
+func BenchGemmParallel1(b *testing.B) { benchGemmParallel(b, 1) }
+
+// BenchGemmParallel4 runs the same shape sharded across 4 row bands.
+func BenchGemmParallel4(b *testing.B) { benchGemmParallel(b, 4) }
 
 // BenchConvForward measures one Conv2D forward pass at the vision
 // workload's stage-1 shape (batch 8, 8→8 channels, 3×3, 8×8 maps) through

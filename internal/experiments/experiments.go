@@ -124,7 +124,7 @@ func IDs() []string {
 		"table1", "table2",
 		"fig1", "fig3a", "fig3b", "fig3c", "fig4", "fig5",
 		"fig6", "fig7", "fig8", "fig9", "fig10",
-		"ablation", "table3",
+		"ablation", "table3", "quant",
 	}
 }
 
@@ -188,6 +188,8 @@ func dispatch(id string, o Options) (*Table, error) {
 		return Ablation(o), nil
 	case "table3":
 		return Table3(o), nil
+	case "quant":
+		return Quant(o), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
 }
@@ -198,6 +200,8 @@ func dispatch(id string, o Options) (*Table, error) {
 // Fig 3 captions).
 func appDensity(app string) float64 {
 	switch app {
+	case "mlp":
+		return 0.01
 	case "vision":
 		return 0.01
 	case "langmodel":
@@ -212,6 +216,8 @@ func appDensity(app string) float64 {
 // workloads.
 func appLR(app string) float64 {
 	switch app {
+	case "mlp":
+		return 0.3
 	case "vision":
 		return 0.15
 	case "langmodel":

@@ -188,6 +188,40 @@ func TestAblationShape(t *testing.T) {
 	}
 }
 
+// TestQuantShape checks the quantized-vs-fp32 comparison: fp16 rows must
+// report strictly higher wire compression than their fp32 twins for every
+// (app, scheme), and the fp32/fp16 cache keys must never collide (a
+// quantized run memoised as its fp32 twin would poison both).
+func TestQuantShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains every workload at both precisions")
+	}
+	tab := Quant(quick)
+	wireCol := colIndex(t, tab, "wire x")
+	precCol := colIndex(t, tab, "precision")
+	if len(tab.Rows)%2 != 0 {
+		t.Fatalf("rows must pair fp32/fp16, got %d", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		fp32Row, fp16Row := tab.Rows[i], tab.Rows[i+1]
+		if fp32Row[precCol] != "fp32" || fp16Row[precCol] != "fp16" {
+			t.Fatalf("row pair %d not (fp32, fp16): %v / %v", i, fp32Row, fp16Row)
+		}
+		if cell(t, tab, i+1, wireCol) <= cell(t, tab, i, wireCol) {
+			t.Errorf("%s/%s: fp16 compression %v not above fp32 %v",
+				fp32Row[0], fp32Row[1], tab.Rows[i+1][wireCol], tab.Rows[i][wireCol])
+		}
+	}
+	a := quantSpec(quick, "mlp", "deft", "fp32", 4, 8, 4, 2, 0.01)
+	b := quantSpec(quick, "mlp", "deft", "fp16", 4, 8, 4, 2, 0.01)
+	if a.key == b.key {
+		t.Fatalf("fp32 and fp16 specs share cache key %q", a.key)
+	}
+	if a.cfg.Quantize || !b.cfg.Quantize {
+		t.Fatalf("quantize flags wrong: fp32=%v fp16=%v", a.cfg.Quantize, b.cfg.Quantize)
+	}
+}
+
 func TestTableRenderStable(t *testing.T) {
 	tab := &Table{ID: "x", Title: "T", Columns: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
 	out := tab.String()

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/train"
 )
 
 // TestParallelMatchesSequential asserts the parallel experiment driver's
@@ -25,6 +27,49 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	if seq.String() != par.String() {
 		t.Fatalf("parallel table differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestParallelQuantMatchesSequential extends the determinism contract to
+// quantized runs: fp32 and fp16 variants fanned out together over the
+// parallel driver must reproduce their sequential twins bit-exactly —
+// series, wire bytes and compression included. A deliberately small spec
+// set (two apps × both precisions) keeps it affordable under -race, where
+// CI runs it.
+func TestParallelQuantMatchesSequential(t *testing.T) {
+	specsFor := func(o Options) []runSpec {
+		var specs []runSpec
+		for _, app := range []string{"mlp", "vision"} {
+			for _, prec := range []string{"fp32", "fp16"} {
+				specs = append(specs, quantSpec(o, app, "deft", prec, 4, 8, 4, 2, 0.05))
+			}
+		}
+		return specs
+	}
+	// trajectory is the run's canonical deterministic record (series +
+	// byte accounting, no wall-clock fields) for exact compare.
+	trajectory := func(r *train.Result) string {
+		data, err := r.DeterministicJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	ResetCache()
+	seq := Options{Quick: true}
+	sequential := make([]string, 0, 4)
+	for _, s := range specsFor(seq) {
+		sequential = append(sequential, trajectory(s.run(seq)))
+	}
+	ResetCache()
+	par := Options{Quick: true, Parallel: 4}
+	specs := specsFor(par)
+	warm(par, specs)
+	for i, s := range specs {
+		if got := trajectory(s.run(par)); got != sequential[i] {
+			t.Errorf("%s: parallel run diverged from sequential:\n  sequential: %s\n  parallel:   %s",
+				s.key, sequential[i], got)
+		}
 	}
 }
 

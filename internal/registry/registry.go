@@ -28,6 +28,26 @@ func Sparsifiers() []string {
 	return []string{"deft", "topk", "cltk", "sidco", "randk", "dgc", "gaussiank", "hardthreshold", "dense"}
 }
 
+// Precisions lists the valid training wire-precision names: "fp32" ships
+// the sparse upload values as float32, "fp16" enables the quantized
+// training mode (train.Config.Quantize — the fp16 wire payload is decoded
+// into the update, error feedback absorbs the quantization error).
+func Precisions() []string {
+	return []string{"fp32", "fp16"}
+}
+
+// ParsePrecision maps a precision name (empty defaults to fp32) onto
+// train.Config.Quantize.
+func ParsePrecision(name string) (quantize bool, err error) {
+	switch name {
+	case "", "fp32":
+		return false, nil
+	case "fp16":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown precision %q (known: %s)", name, strings.Join(Precisions(), ", "))
+}
+
 // NewWorkload builds the named workload with its default configuration.
 func NewWorkload(name string) (train.Workload, error) {
 	switch name {

@@ -43,3 +43,23 @@ func TestEveryNameConstructs(t *testing.T) {
 		t.Fatal("hardthreshold without workload accepted")
 	}
 }
+
+// TestParsePrecision pins the precision catalog: every advertised name
+// parses, empty defaults to fp32, unknown names are rejected.
+func TestParsePrecision(t *testing.T) {
+	for _, name := range Precisions() {
+		q, err := ParsePrecision(name)
+		if err != nil {
+			t.Fatalf("precision %q: %v", name, err)
+		}
+		if q != (name == "fp16") {
+			t.Fatalf("precision %q: quantize = %v", name, q)
+		}
+	}
+	if q, err := ParsePrecision(""); err != nil || q {
+		t.Fatalf("empty precision: (%v, %v), want fp32 default", q, err)
+	}
+	if _, err := ParsePrecision("fp8"); err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+}

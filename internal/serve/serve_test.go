@@ -242,6 +242,78 @@ func TestSingleFlightDedup(t *testing.T) {
 	}
 }
 
+// TestQuantizedSpecNotDeduped submits fp32 and fp16 variants of the same
+// training configuration concurrently: the precision is part of the
+// canonical spec, so the two must hash — and therefore cache and flight —
+// separately, training exactly twice, never collapsing into one entry.
+// Run under -race in CI: both trainers execute at once.
+func TestQuantizedSpecNotDeduped(t *testing.T) {
+	s, ts := newTestServer(t, Options{Pool: 2})
+	var runs atomic.Int64
+	orig := s.runTrain
+	s.runTrain = func(ctx context.Context, spec TrainSpec, progress func(train.Progress)) (*train.Result, error) {
+		runs.Add(1)
+		// Hold both flights open so the second submission sees the first
+		// in flight rather than completed.
+		time.Sleep(50 * time.Millisecond)
+		return orig(ctx, spec, progress)
+	}
+
+	specs := []string{
+		`{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":8,"lr":0.1}}`,
+		`{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":8,"lr":0.1,"quantize":true}}`,
+	}
+	views := make([]jobView, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if err := json.NewDecoder(resp.Body).Decode(&views[i]); err != nil {
+				t.Error(err)
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if views[0].Hash == views[1].Hash {
+		t.Fatalf("fp32 and fp16 specs share hash %s: quantize not part of the cache key", views[0].Hash)
+	}
+
+	fp32 := waitState(t, ts, views[0].ID, StateDone)
+	fp16 := waitState(t, ts, views[1].ID, StateDone)
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("two distinct specs trained %d times, want 2", got)
+	}
+	if fp32.Result.TrainResult.Quantized || !fp16.Result.TrainResult.Quantized {
+		t.Fatalf("quantized flags wrong: fp32=%v fp16=%v",
+			fp32.Result.TrainResult.Quantized, fp16.Result.TrainResult.Quantized)
+	}
+	if fp16.Result.TrainResult.WireBytes >= fp32.Result.TrainResult.WireBytes {
+		t.Errorf("fp16 job shipped %d B, fp32 %d B: quantization saved nothing",
+			fp16.Result.TrainResult.WireBytes, fp32.Result.TrainResult.WireBytes)
+	}
+
+	// Resubmissions hit their own cache entries — still two runs.
+	for i, spec := range specs {
+		v, code := postJob(t, ts, spec)
+		if code != http.StatusOK || !v.CacheHit {
+			t.Errorf("spec %d resubmit: status %d cacheHit %v", i, code, v.CacheHit)
+		}
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("cache hits retrained: %d runs", got)
+	}
+}
+
 // TestCancelRunningJob asserts DELETE stops a running trainer within a few
 // iterations and leaks no goroutines.
 func TestCancelRunningJob(t *testing.T) {
@@ -348,6 +420,7 @@ func TestSpecValidation(t *testing.T) {
 		`{"train":{"workload":"mlp","density":1.5}}`,
 		`{"train":{"workload":"mlp","lr":-0.1}}`,
 		`{"train":{"workload":"mlp","momentum":1.5}}`,
+		`{"train":{"workload":"mlp","sparsifier":"dense","quantize":true}}`,
 		`{"bogus_field":1}`,
 	} {
 		if _, code := postJob(t, ts, bad); code != http.StatusBadRequest {

@@ -208,6 +208,7 @@ func runTrain(ctx context.Context, spec TrainSpec, progress func(train.Progress)
 		EvalEvery:     spec.EvalEvery,
 		RecordEvery:   spec.RecordEvery,
 		Seed:          spec.Seed,
+		Quantize:      spec.Quantize,
 		DisableSparse: dense,
 		CostModel:     comm.DefaultCostModel(),
 		Topology:      comm.DefaultTopology(),

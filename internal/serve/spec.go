@@ -40,6 +40,11 @@ type TrainSpec struct {
 	EvalEvery   int     `json:"eval_every,omitempty"`
 	RecordEvery int     `json:"record_every,omitempty"`
 	Seed        uint64  `json:"seed,omitempty"`
+	// Quantize ships fp16 uploads and applies the decoded values with
+	// error feedback (train.Config.Quantize). Part of the canonical spec:
+	// a quantized run hashes — and therefore caches — separately from its
+	// fp32 twin.
+	Quantize bool `json:"quantize,omitempty"`
 }
 
 // normalize validates the spec and fills defaults in place, so that every
@@ -104,6 +109,9 @@ func (s *JobSpec) normalize() error {
 	}
 	if t.Momentum < 0 || t.Momentum >= 1 {
 		return fmt.Errorf("momentum %g out of [0, 1)", t.Momentum)
+	}
+	if t.Quantize && t.Sparsifier == "dense" {
+		return fmt.Errorf("quantize applies to sparse schemes; the dense baseline ships fp32")
 	}
 	if t.Iterations == 0 {
 		t.Iterations = 50

@@ -1,6 +1,10 @@
 package train
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"repro/internal/stats"
+)
 
 // MarshalJSON emits the result with snake_case keys plus the derived
 // summary fields (compression ratio, mean bytes/iteration, one-line
@@ -14,4 +18,32 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		BytesPerIteration float64 `json:"bytes_per_iteration"`
 		Summary           string  `json:"summary"`
 	}{(*plain)(r), r.CompressionRatio(), r.BytesPerIteration(), r.Summary()})
+}
+
+// DeterministicJSON renders the run's deterministic numeric record — the
+// recorded series and the byte accounting, excluding every wall-clock
+// field — as canonical JSON. Two runs of the same configuration must
+// produce byte-identical records regardless of GEMM worker count or
+// concurrent load; the determinism tests compare these strings so a field
+// added here strengthens all of them at once.
+func (r *Result) DeterministicJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Workload      string       `json:"workload"`
+		Sparsifier    string       `json:"sparsifier"`
+		Quantized     bool         `json:"quantized"`
+		Workers       int          `json:"workers"`
+		Density       float64      `json:"density"`
+		TrainLoss     stats.Series `json:"train_loss"`
+		Metric        stats.Series `json:"metric"`
+		ErrorNorm     stats.Series `json:"error_norm"`
+		ActualDensity stats.Series `json:"actual_density"`
+		EncodedBytes  stats.Series `json:"encoded_bytes"`
+		WireBytes     int64        `json:"wire_bytes"`
+		DenseBytes    int64        `json:"dense_bytes"`
+		NaNIterations int          `json:"nan_iterations"`
+	}{
+		r.Workload, r.Sparsifier, r.Quantized, r.Workers, r.Density,
+		r.TrainLoss, r.Metric, r.ErrorNorm, r.ActualDensity, r.EncodedBytes,
+		r.WireBytes, r.DenseBytes, r.NaNIterations,
+	})
 }

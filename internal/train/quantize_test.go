@@ -1,0 +1,261 @@
+package train_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sparsifier"
+	"repro/internal/tensor"
+	"repro/internal/train"
+	"repro/internal/wire"
+)
+
+func visionWorkload() train.Workload {
+	return models.NewVision(models.DefaultVisionConfig())
+}
+
+// TestQuantizedResidualInvariant is the error-feedback absorption
+// invariant, end to end: after one quantized step the trainer's residual
+// equals (accumulated gradient − applied update) EXACTLY. With one worker
+// the whole pipeline is reconstructable outside the trainer — same RNG
+// split, same AccumulateGrads, same selection — so the recorded ‖e‖ must
+// be bit-equal to the reconstruction, and every applied value must be
+// exactly fp16-representable (it came off the wire as binary16).
+func TestQuantizedResidualInvariant(t *testing.T) {
+	const (
+		density = 0.05
+		lr      = 0.3
+		seed    = 42
+	)
+	w := mlpWorkload()
+	res := train.Run(w, topkFactory(), train.Config{
+		Workers: 1, Density: density, LR: lr, Iterations: 1, Seed: seed,
+		Quantize: true,
+	})
+	if !res.Quantized {
+		t.Fatal("result not flagged quantized")
+	}
+
+	// Reconstruct the worker's accumulator acc = e_0 + lr·G = lr·G
+	// (identical replica, identical (rank=0, t=0) RNG split, same fused
+	// accumulation pass).
+	m := w.NewModel()
+	params := m.Params()
+	nn.ZeroGrads(params)
+	var stepRNG rng.RNG
+	m.Step(rng.New(seed).SplitInto(&stepRNG, 0, 0))
+	acc := make([]float64, nn.TotalSize(params))
+	train.AccumulateGrads(params, acc, lr)
+
+	// The same selection the trainer ran (Top-k is deterministic and
+	// local; select on a copy so acc stays pristine).
+	sp := sparsifier.NewTopK()
+	ctx := &sparsifier.Ctx{Rank: 0, NWorkers: 1, Density: density, Layers: train.Layout(params)}
+	selIn := append([]float64(nil), acc...)
+	idx := append([]int(nil), sp.Select(ctx, selIn)...)
+	if len(idx) == 0 {
+		t.Fatal("empty selection")
+	}
+
+	// Expected residual: the quantization error on transmitted entries,
+	// the untouched accumulator everywhere else.
+	expected := append([]float64(nil), acc...)
+	for _, i := range idx {
+		q := wire.Quantize16(wire.Sat16(acc[i]))
+		if wire.Quantize16(q) != q {
+			t.Fatalf("applied value %v at %d is not a binary16 fixed point", q, i)
+		}
+		expected[i] = acc[i] - q
+	}
+	want := tensor.L2Norm(expected)
+	if got := res.ErrorNorm.Y[0]; got != want {
+		t.Fatalf("recorded ‖e‖ = %v, reconstruction = %v (must be bit-equal)", got, want)
+	}
+	if want == 0 {
+		t.Fatal("quantization error vanished entirely: invariant vacuous")
+	}
+}
+
+// TestQuantizedTrainingLearns runs the full quantized stack (DEFT
+// selection, fp16 encode→decode, error feedback) and checks convergence
+// holds while the wire footprint drops well below the fp32 twin's.
+func TestQuantizedTrainingLearns(t *testing.T) {
+	cfg := train.Config{
+		Workers: 4, Density: 0.05, LR: 0.3, Iterations: 30, Seed: 2,
+		CheckSync: true,
+	}
+	fp32 := train.Run(mlpWorkload(), core.Factory(core.DefaultOptions()), cfg)
+	cfg.Quantize = true
+	fp16 := train.Run(mlpWorkload(), core.Factory(core.DefaultOptions()), cfg)
+
+	if fp16.TrainLoss.LastY() >= fp16.TrainLoss.Y[0]*0.9 {
+		t.Errorf("quantized loss did not improve: %v -> %v", fp16.TrainLoss.Y[0], fp16.TrainLoss.LastY())
+	}
+	if fp16.NaNIterations != 0 {
+		t.Errorf("%d NaN iterations under quantization", fp16.NaNIterations)
+	}
+	// fp16 halves the value payloads; with varint indices unchanged the
+	// total must land clearly below fp32 (but above half, indices remain).
+	if fp16.WireBytes >= fp32.WireBytes {
+		t.Errorf("fp16 shipped %d B, fp32 %d B: quantization saved nothing", fp16.WireBytes, fp32.WireBytes)
+	}
+	if fp16.CompressionRatio() <= fp32.CompressionRatio() {
+		t.Errorf("fp16 compression %.2f not above fp32 %.2f", fp16.CompressionRatio(), fp32.CompressionRatio())
+	}
+	if fp16.WireCommTime >= fp32.WireCommTime {
+		t.Errorf("fp16 modeled comm %v not below fp32 %v", fp16.WireCommTime, fp32.WireCommTime)
+	}
+}
+
+// trajectory renders the run's canonical deterministic record for
+// bit-exact comparison.
+func trajectory(t *testing.T, r *train.Result) string {
+	t.Helper()
+	data, err := r.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestQuantizedBitIdenticalAcrossGemmWorkers extends the byte-identical
+// determinism assertions to the quantized path: the whole numeric
+// trajectory must be bit-identical whether large GEMMs run serial or
+// sharded across 4 row bands.
+func TestQuantizedBitIdenticalAcrossGemmWorkers(t *testing.T) {
+	for _, w := range []struct {
+		name string
+		mk   func() train.Workload
+		lr   float64
+	}{
+		{"mlp", mlpWorkload, 0.3},
+		{"vision", visionWorkload, 0.15},
+	} {
+		cfg := train.Config{
+			Workers: 4, Density: 0.05, LR: w.lr, Iterations: 8, Seed: 7,
+			Quantize: true,
+		}
+		prev := tensor.SetGemmWorkers(1)
+		serial := train.Run(w.mk(), core.Factory(core.DefaultOptions()), cfg)
+		tensor.SetGemmWorkers(4)
+		banded := train.Run(w.mk(), core.Factory(core.DefaultOptions()), cfg)
+		tensor.SetGemmWorkers(prev)
+		if a, b := trajectory(t, serial), trajectory(t, banded); a != b {
+			t.Errorf("%s: quantized trajectory differs between 1 and 4 GEMM workers:\n%s\n%s", w.name, a, b)
+		}
+	}
+}
+
+// TestQuantizedConcurrentRuns trains fp32 and fp16 variants of the same
+// configuration concurrently — the shape of a deft-serve mixed workload —
+// and asserts each matches its own sequential twin bit-exactly. Run under
+// -race in CI: it exercises the quantized trainer's per-worker scratch and
+// the process-global timing gate across clusters.
+func TestQuantizedConcurrentRuns(t *testing.T) {
+	base := train.Config{Workers: 4, Density: 0.05, LR: 0.3, Iterations: 10, Seed: 3}
+	quant := base
+	quant.Quantize = true
+
+	seqFP32 := train.Run(mlpWorkload(), core.Factory(core.DefaultOptions()), base)
+	seqFP16 := train.Run(mlpWorkload(), core.Factory(core.DefaultOptions()), quant)
+
+	var wg sync.WaitGroup
+	results := make([]*train.Result, 2)
+	for i, cfg := range []train.Config{base, quant} {
+		wg.Add(1)
+		go func(i int, cfg train.Config) {
+			defer wg.Done()
+			results[i] = train.Run(mlpWorkload(), core.Factory(core.DefaultOptions()), cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+
+	if a, b := trajectory(t, seqFP32), trajectory(t, results[0]); a != b {
+		t.Error("concurrent fp32 run diverged from its sequential twin")
+	}
+	if a, b := trajectory(t, seqFP16), trajectory(t, results[1]); a != b {
+		t.Error("concurrent fp16 run diverged from its sequential twin")
+	}
+	if trajectory(t, results[0]) == trajectory(t, results[1]) {
+		t.Error("fp32 and fp16 trajectories identical: quantization had no effect")
+	}
+}
+
+// hugeGradWorkload wraps the MLP and injects one gradient entry far above
+// the finite binary16 range (65504) at each replica's third (final) step —
+// keep the injection step in sync with the test's Iterations, or the
+// saturation path silently goes unexercised.
+type hugeGradWorkload struct{ train.Workload }
+
+type hugeGradModel struct {
+	train.Model
+	steps int
+}
+
+func (w *hugeGradWorkload) NewModel() train.Model {
+	return &hugeGradModel{Model: w.Workload.NewModel()}
+}
+
+func (m *hugeGradModel) Step(r *rng.RNG) float64 {
+	loss := m.Model.Step(r)
+	m.steps++
+	// Inject at the final step only: the saturated ±65504 update is huge,
+	// and letting further steps run forward through the blown-up weights
+	// would conflate model divergence with the codec behavior under test.
+	if m.steps == 3 {
+		m.Params()[0].G.Data[0] = 1e6
+	}
+	return loss
+}
+
+func (w *hugeGradWorkload) Evaluate(m train.Model) float64 {
+	return w.Workload.Evaluate(m.(*hugeGradModel).Model)
+}
+
+// TestQuantizedSaturatesToFiniteHalf pins the overflow contract: a
+// gradient entry beyond the binary16 range ships as ±MaxFloat16, never as
+// the codec's ±Inf — parameters stay finite, the clipped remainder stays
+// in the error-feedback residual, and no NaN iteration is flagged (the
+// raw gradient was finite).
+func TestQuantizedSaturatesToFiniteHalf(t *testing.T) {
+	w := &hugeGradWorkload{mlpWorkload()}
+	res := train.Run(w, topkFactory(), train.Config{
+		Workers: 2, Density: 0.5, LR: 1.0, Iterations: 3, Seed: 5,
+		Quantize: true, CheckSync: true,
+	})
+	if res.NaNIterations != 0 {
+		t.Errorf("finite oversized gradient flagged as NaN: %d iterations", res.NaNIterations)
+	}
+	for _, y := range res.TrainLoss.Y {
+		if y != y {
+			t.Fatal("training loss went NaN after an oversized quantized entry")
+		}
+	}
+	for _, y := range res.ErrorNorm.Y {
+		if y != y || y > 1e308 {
+			t.Fatalf("error norm %v not finite", y)
+		}
+	}
+	// The clipped remainder (≈1e6 − 65504 per injection) must be visible
+	// in the residual rather than vanish or blow up.
+	if res.ErrorNorm.MaxY() < 1e6-float64(wire.MaxFloat16)-1 {
+		t.Errorf("residual %v does not carry the clipped magnitude", res.ErrorNorm.MaxY())
+	}
+}
+
+// TestQuantizePanicsOnDense pins the config contract: the dense baseline
+// ships fp32 by definition, so Quantize with DisableSparse must refuse.
+func TestQuantizePanicsOnDense(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantize + DisableSparse accepted")
+		}
+	}()
+	train.Run(mlpWorkload(), nil, train.Config{
+		Workers: 1, LR: 0.1, Iterations: 1, DisableSparse: true, Quantize: true,
+	})
+}

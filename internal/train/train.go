@@ -74,6 +74,16 @@ type Config struct {
 	Topology      comm.Topology // byte-parameterized comm model (zero: DefaultTopology)
 	DisableSparse bool          // dense baseline: all-reduce the full gradient
 
+	// Quantize ships every worker's sparse upload quantized to IEEE
+	// binary16: the local selection is encoded with the cheapest fp16 wire
+	// format (coo16/bitmap16 via wire.AppendAuto), the *decoded* fp16
+	// values — not the fp32 originals — feed the value all-reduce and the
+	// model update, and the per-element quantization error acc[i] − q(acc[i])
+	// stays in the error-feedback residual, so convergence degrades
+	// gracefully instead of silently diverging. Incompatible with
+	// DisableSparse (the dense baseline ships fp32 by definition).
+	Quantize bool
+
 	// CheckSync verifies after every iteration that all replicas hold
 	// bit-identical parameters (they must: every replica applies the same
 	// aggregated update). Cheap insurance in tests; panics on divergence.
@@ -108,6 +118,9 @@ type Result struct {
 	Sparsifier string  `json:"sparsifier"`
 	Workers    int     `json:"workers"`
 	Density    float64 `json:"density"`
+	// Quantized records that the run shipped fp16 uploads and applied the
+	// decoded fp16 values with error feedback (Config.Quantize).
+	Quantized bool `json:"quantized,omitempty"`
 
 	TrainLoss     stats.Series `json:"train_loss"`     // x = iteration
 	Metric        stats.Series `json:"metric"`         // x = iteration, y = Evaluate()
@@ -125,6 +138,12 @@ type Result struct {
 	CommTime      float64 `json:"comm_time_s"`
 	WireCommTime  float64 `json:"wire_comm_time_s"`
 
+	// Traffic is the simulated cluster's per-collective byte counter. It
+	// charges float payloads at fp32 for every run — including quantized
+	// ones — because it also covers the schemes' internal metadata
+	// collectives (DEFT's norms, CLT-k's thresholds), which stay fp64/fp32
+	// regardless of the upload precision. WireBytes/WireCommTime below are
+	// the precision-accurate record of the gradient exchange itself.
 	Traffic comm.TrafficCounter `json:"traffic"`
 	// WireBytes is the total encoded payload all workers moved over the
 	// run, counting both directions symmetrically per worker: the upload
@@ -169,6 +188,9 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 	if cfg.Density <= 0 && !cfg.DisableSparse {
 		panic("train: Density must be positive for sparsified training")
 	}
+	if cfg.Quantize && cfg.DisableSparse {
+		panic("train: Quantize applies to the sparse upload path; the dense baseline ships fp32")
+	}
 	if cfg.RecordEvery < 1 {
 		cfg.RecordEvery = 1
 	}
@@ -180,9 +202,19 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 	}
 
 	res := &Result{
-		Workload: w.Name(),
-		Workers:  cfg.Workers,
-		Density:  cfg.Density,
+		Workload:  w.Name(),
+		Workers:   cfg.Workers,
+		Density:   cfg.Density,
+		Quantized: cfg.Quantize,
+	}
+	// Wire precision of the value payloads: the upload is whatever the
+	// codec emits, but the union values returning from the all-reduce ride
+	// at the same precision as the upload — fp16 halves that leg too.
+	prec := wire.Float32
+	valBytes := int64(4)
+	if cfg.Quantize {
+		prec = wire.Float16
+		valBytes = 2
 	}
 	if cfg.DisableSparse {
 		res.Sparsifier = "dense"
@@ -236,6 +268,10 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 		var update []float64
 		var wireBuf []byte
 		var localVals []float64
+		// Quantized mode decodes the encoded upload back into these scratch
+		// slices: the decoded fp16 values are what the update applies.
+		var decIdx []int
+		var decVals []float64
 		if cfg.Momentum > 0 || cfg.DisableSparse {
 			update = make([]float64, ng)
 		}
@@ -337,15 +373,36 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 					localVals = make([]float64, len(localIdx))
 				}
 				localVals = localVals[:len(localIdx)]
-				for j, i := range localIdx {
-					localVals[j] = acc[i]
+				if cfg.Quantize {
+					// Saturate to the largest finite half before encoding:
+					// an accumulator entry beyond ±65504 must ship as
+					// ±MaxFloat16, never as the codec's ±Inf (which would
+					// make the aggregated update infinite).
+					for j, i := range localIdx {
+						localVals[j] = wire.Sat16(acc[i])
+					}
+				} else {
+					for j, i := range localIdx {
+						localVals[j] = acc[i]
+					}
 				}
 				var wireErr error
-				wireBuf, _, wireErr = wire.AppendAuto(wireBuf[:0], ng, localIdx, localVals, wire.Float32)
+				wireBuf, _, wireErr = wire.AppendAuto(wireBuf[:0], ng, localIdx, localVals, prec)
 				if wireErr != nil {
 					panic(fmt.Sprintf("train: wire encode of local selection: %v", wireErr))
 				}
 				upBytes = int64(len(wireBuf))
+				if cfg.Quantize {
+					// Decode the payload just encoded: the receiver side of
+					// the wire format, run on the genuine bytes, so the
+					// values entering the update are exactly what a remote
+					// peer would reconstruct.
+					var decErr error
+					_, _, decIdx, decVals, decErr = wire.DecodeInto(wireBuf, decIdx, decVals)
+					if decErr != nil {
+						panic(fmt.Sprintf("train: wire decode of local selection: %v", decErr))
+					}
+				}
 				idxBuf = cm.AllGatherUniqueIntsInto(localIdx, idxBuf)
 				idx := idxBuf
 				selectedK = len(idx)
@@ -353,8 +410,24 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 					vals = make([]float64, len(idx))
 				}
 				vals = vals[:len(idx)]
-				for j, i := range idx {
-					vals[j] = acc[i]
+				if cfg.Quantize {
+					// Locally selected entries contribute the decoded wire
+					// values verbatim; union entries this worker did not
+					// select ride the value all-reduce at the same fp16
+					// precision, through the same quantizer.
+					li := 0
+					for j, i := range idx {
+						if li < len(decIdx) && decIdx[li] == i {
+							vals[j] = decVals[li]
+							li++
+						} else {
+							vals[j] = wire.Quantize16(wire.Sat16(acc[i]))
+						}
+					}
+				} else {
+					for j, i := range idx {
+						vals[j] = acc[i]
+					}
 				}
 				sum = cm.AllReduceSumInto(vals, sum)
 
@@ -372,8 +445,18 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 				} else {
 					ApplySparseUpdate(params, idx, sum, 1/float64(n))
 				}
-				for _, i := range idx {
-					acc[i] = 0
+				if cfg.Quantize {
+					// Only the transmitted fp16 value left this worker, so
+					// only it leaves the accumulator: the residual keeps
+					// acc[i] − vals[j], the per-element quantization error —
+					// the error-feedback absorption invariant.
+					for j, i := range idx {
+						acc[i] -= vals[j]
+					}
+				} else {
+					for _, i := range idx {
+						acc[i] = 0
+					}
 				}
 			}
 
@@ -471,13 +554,14 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 					res.CommTime += cfg.CostModel.AllReduceDense(n, ng)
 					res.WireCommTime += cfg.Topology.RingAllReduce(n, wire.DenseBytes(ng))
 				} else {
-					iterBytes += 4 * int64(k) * int64(n) // union values, fp32, per worker
+					iterBytes += valBytes * int64(k) * int64(n) // union values per worker, at the run's wire precision
 					res.CommTime += cfg.CostModel.AllGatherSparse(n, k)
 					// The sparse exchange rides a recursive-doubling
 					// all-gather of the slowest worker's encoded payload,
-					// then a ring all-reduce of the union's fp32 values.
+					// then a ring all-reduce of the union's values at the
+					// run's wire precision.
 					res.WireCommTime += cfg.Topology.RecursiveDoublingAllGather(n, maxUp) +
-						cfg.Topology.RingAllReduce(n, 4*int64(k))
+						cfg.Topology.RingAllReduce(n, valBytes*int64(k))
 				}
 				res.WireBytes += iterBytes
 				if t%cfg.RecordEvery == 0 {
@@ -590,8 +674,12 @@ func (r *Result) BytesPerIteration() float64 {
 
 // Summary renders a short human-readable digest of the run.
 func (r *Result) Summary() string {
-	return fmt.Sprintf("%s/%s workers=%d d=%g: loss %.4f→%.4f, metric %.3f, density mean %.5f, err final %.4g, wire %.2fx",
-		r.Workload, r.Sparsifier, r.Workers, r.Density,
+	mode := ""
+	if r.Quantized {
+		mode = "+fp16"
+	}
+	return fmt.Sprintf("%s/%s%s workers=%d d=%g: loss %.4f→%.4f, metric %.3f, density mean %.5f, err final %.4g, wire %.2fx",
+		r.Workload, r.Sparsifier, mode, r.Workers, r.Density,
 		firstY(&r.TrainLoss), r.TrainLoss.LastY(), r.Metric.LastY(),
 		r.ActualDensity.MeanY(), r.ErrorNorm.LastY(), r.CompressionRatio())
 }

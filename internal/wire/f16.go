@@ -55,6 +55,33 @@ func Float16bits(x float64) uint16 {
 	return h
 }
 
+// Quantize16 rounds x through IEEE binary16 and back: the exact value a
+// receiver decodes from an fp16 wire payload carrying x. The quantized
+// trainer uses it for the union entries that ride the value all-reduce
+// without passing through an encoded upload, so every transmitted value —
+// encoded or not — is the same function of its fp32 original.
+func Quantize16(x float64) float64 { return Float16from(Float16bits(x)) }
+
+// MaxFloat16 is the largest finite binary16 value (2^15 × (1 + 1023/1024)).
+const MaxFloat16 = 65504
+
+// Sat16 clamps x to the finite binary16 range [-MaxFloat16, MaxFloat16].
+// Quantize16 alone saturates out-of-range magnitudes to ±Inf — correct for
+// a codec, catastrophic inside a training update (one oversized
+// error-feedback entry would turn the aggregated update infinite). The
+// quantized trainer therefore saturates to the largest finite half before
+// quantizing, the standard behavior of fp16 gradient compression. NaN
+// passes through (the trainer's NaN accounting owns that case).
+func Sat16(x float64) float64 {
+	if x > MaxFloat16 {
+		return MaxFloat16
+	}
+	if x < -MaxFloat16 {
+		return -MaxFloat16
+	}
+	return x
+}
+
 // Float16from converts a binary16 bit pattern back to float64.
 func Float16from(h uint16) float64 {
 	sign := uint32(h&0x8000) << 16

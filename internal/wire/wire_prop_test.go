@@ -83,6 +83,60 @@ func TestPropertyRoundTripIdentity(t *testing.T) {
 	}
 }
 
+// TestPropertyRoundTripFloat16ULP pins the quantized-training contract of
+// the fp16 formats: an encode→decode round trip through coo16/bitmap16
+// returns, for every element, the nearest binary16 neighbour of the input —
+// within half a binary16 ulp (round-to-nearest) — and is bit-identical to
+// Quantize16, the function the trainer applies to union values that skip
+// the encoded upload.
+func TestPropertyRoundTripFloat16ULP(t *testing.T) {
+	r := rng.New(17)
+	var buf []byte
+	var dIdx []int
+	var dVals []float64
+	// halfULP returns ulp16(x)/2: values in [2^e, 2^(e+1)) have spacing
+	// 2^(e-10); below 2^-14 the subnormal spacing is a fixed 2^-24.
+	halfULP := func(x float64) float64 {
+		ax := math.Abs(x)
+		if ax < 0x1p-14 {
+			return 0x1p-25
+		}
+		_, exp := math.Frexp(ax) // ax = f·2^exp with f ∈ [0.5, 1)
+		return math.Ldexp(1, exp-12)
+	}
+	for _, ng := range []int{64, 5000} {
+		for _, d := range []float64{0.01, 0.2} {
+			idx, vals := randomSelection(r, ng, d)
+			// Sweep magnitudes from deep subnormal to near the fp16 max
+			// (|v| < 8·2^12 = 32768 < 65504, so nothing saturates to Inf).
+			for i := range vals {
+				vals[i] = math.Ldexp(vals[i], i%28-15)
+			}
+			for _, f := range []Format{COO16, Bitmap16} {
+				var err error
+				buf, err = AppendEncode(buf[:0], f, ng, idx, vals)
+				if err != nil {
+					t.Fatalf("%v ng=%d: encode: %v", f, ng, err)
+				}
+				_, _, dIdx, dVals, err = DecodeInto(buf, dIdx, dVals)
+				if err != nil {
+					t.Fatalf("%v ng=%d: decode: %v", f, ng, err)
+				}
+				for i := range idx {
+					if diff := math.Abs(dVals[i] - vals[i]); diff > halfULP(vals[i]) {
+						t.Fatalf("%v: value %v decoded as %v, error %v beyond half-ulp %v",
+							f, vals[i], dVals[i], diff, halfULP(vals[i]))
+					}
+					if q := Quantize16(vals[i]); dVals[i] != q {
+						t.Fatalf("%v: decode(%v) = %v differs from Quantize16 = %v",
+							f, vals[i], dVals[i], q)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestPropertyPickIsCheapest verifies the selector against brute force on
 // random selections across the density sweep.
 func TestPropertyPickIsCheapest(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"slices"
 	"sync"
 
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/nn"
@@ -43,6 +44,8 @@ func main() {
 	density := flag.Float64("density", 0.01, "target density")
 	scale := flag.Float64("scale", 0.1, "catalog scale factor")
 	maxRows := flag.Int("max-rows", 24, "fragment rows to print (0 = all)")
+	faults := flag.String("faults", "",
+		"also inspect a chaos schedule (JSON fault plan or shorthand like 'straggler:1x4,drop:3@50') against -workers")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON instead of text")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"run up to N sparsifier schemes' selection+encode concurrently (1 = sequential); output is byte-identical either way")
@@ -90,6 +93,18 @@ func main() {
 	tables := []*experiments.Table{
 		fragmentTable(layers, grad, *workers, *density, source, rows),
 		wireTable(layers, grad, *workers, *density, *parallel),
+	}
+	if *faults != "" {
+		plan, err := registry.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		if err := plan.Validate(*workers); err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		tables = append(tables, faultTable(plan, *workers))
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -269,6 +284,65 @@ func wireTable(layers []sparsifier.Layer, grad []float64, workers int, density f
 	t.Notes = append(t.Notes,
 		"† fp16-capable format: values quantized to IEEE binary16 — the payload `deft-train -quantize` (and spec \"quantize\": true) ships",
 		"fp16 bytes/ratio columns cross-reference the convergence rows of the `quant` experiment (deft-bench quant)")
+	return t
+}
+
+// faultTable renders a parsed chaos schedule: every entry with its firing
+// condition, sorted the way the run experiences them, plus the canonical
+// JSON form (the replay artefact) and the survivor count after all drops.
+func faultTable(plan *comm.FaultPlan, workers int) *experiments.Table {
+	t := &experiments.Table{
+		ID:      "inspect-faults",
+		Title:   fmt.Sprintf("Fault plan against %d workers", workers),
+		Columns: []string{"kind", "rank", "fires", "effect"},
+	}
+	for _, s := range plan.Stragglers {
+		window := "every iteration"
+		switch {
+		case s.Until > 0:
+			window = fmt.Sprintf("iterations [%d,%d)", s.From, s.Until)
+		case s.From > 0:
+			window = fmt.Sprintf("iterations >= %d", s.From)
+		}
+		t.Rows = append(t.Rows, []string{
+			"straggler", fmt.Sprintf("%d", s.Rank), window,
+			fmt.Sprintf("step time x%g (every attempt)", s.Factor),
+		})
+	}
+	type event struct {
+		kind            string
+		rank, iter, att int
+	}
+	var events []event
+	for _, tr := range plan.Transients {
+		events = append(events, event{comm.FaultTransient, tr.Rank, tr.Iteration, tr.Attempts})
+	}
+	for _, d := range plan.Drops {
+		events = append(events, event{comm.FaultDrop, d.Rank, d.Iteration, d.Attempts})
+	}
+	slices.SortStableFunc(events, func(a, b event) int { return a.iter - b.iter })
+	survivors := workers
+	for _, e := range events {
+		attempts := "first attempt"
+		if e.att > 1 {
+			attempts = fmt.Sprintf("attempts 1-%d", e.att)
+		}
+		effect := "cluster unwinds; rank survives a recovery/retry"
+		if e.kind == comm.FaultDrop {
+			survivors--
+			effect = fmt.Sprintf("rank lost; %d survive a recovery", survivors)
+		}
+		t.Rows = append(t.Rows, []string{
+			e.kind, fmt.Sprintf("%d", e.rank), fmt.Sprintf("iteration %d (%s)", e.iter, attempts), effect,
+		})
+	}
+	canonical, err := json.Marshal(plan)
+	if err != nil {
+		panic("deft-inspect: fault plan marshal: " + err.Error())
+	}
+	t.Notes = append(t.Notes,
+		"canonical JSON (replayable via deft-train -faults / spec \"faults\"): "+string(canonical),
+		"firing is a pure function of (plan, rank, iteration, attempt): the same plan replays bit-identically")
 	return t
 }
 

@@ -6,6 +6,7 @@
 //
 //	deft-train -workload vision -sparsifier deft -workers 16 -density 0.01 -iters 200
 //	deft-train -workload langmodel -sparsifier deft -quantize   # fp16 wire payloads
+//	deft-train -workload mlp -faults 'drop:3@50' -recover       # chaos + recovery
 //	deft-train -workload mlp -json > result.json
 //
 // Workloads: mlp, vision, langmodel, recsys.
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +41,10 @@ func main() {
 	quantize := flag.Bool("quantize", false,
 		"ship fp16 uploads (coo16/bitmap16) and apply the decoded values; error feedback absorbs the quantization error")
 	seed := flag.Uint64("seed", 1, "run seed")
+	faults := flag.String("faults", "",
+		"chaos schedule: JSON fault plan or shorthand like 'straggler:1x4,drop:3@50' (see README 'Chaos & elasticity')")
+	recoverFlag := flag.Bool("recover", false,
+		"on an injected drop/transient: checkpoint, rebuild the cluster at the surviving size and resume")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
 
@@ -56,16 +62,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "deft-train: -quantize applies to sparse schemes; the dense baseline ships fp32")
 		os.Exit(2)
 	}
+	plan, err := registry.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deft-train: -faults: %v\n", err)
+		os.Exit(2)
+	}
+	if err := plan.Validate(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "deft-train: -faults: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := train.Config{
 		Workers: *workers, Density: *density, LR: *lr, Momentum: *momentum,
 		Iterations: *iters, EvalEvery: *evalEvery, Seed: *seed,
 		Quantize:      *quantize,
 		DisableSparse: dense,
+		Faults:        plan,
+		Recover:       *recoverFlag,
 		CostModel:     comm.DefaultCostModel(),
 		Topology:      comm.DefaultTopology(),
 	}
 
-	res := train.Run(w, factory, cfg)
+	res, err := train.RunContext(context.Background(), w, factory, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deft-train: %v\n", err)
+		os.Exit(1)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -91,4 +112,11 @@ func main() {
 		res.Traffic.AllGatherBytes, res.Traffic.AllReduceBytes, res.Traffic.BroadcastBytes)
 	fmt.Printf("wire: %d B encoded (%.0f B/iteration), dense fp32 baseline %d B, compression %.2fx\n",
 		res.WireBytes, res.BytesPerIteration(), res.DenseBytes, res.CompressionRatio())
+	if len(res.Faults) > 0 {
+		fmt.Printf("\nchaos: %d injected fault(s), %d recover(ies) costing %.1fms, %d/%d workers surviving\n",
+			len(res.Faults), res.Recoveries, res.RecoveryTime*1000, res.Survivors, res.Workers)
+		for _, fe := range res.Faults {
+			fmt.Printf("  %s of rank %d at iteration %d\n", fe.Kind, fe.Rank, fe.Iteration)
+		}
+	}
 }

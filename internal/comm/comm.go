@@ -64,9 +64,17 @@ type Cluster struct {
 	// Abort state: once set, every rank entering (or parked inside) a
 	// collective unwinds with an abortPanic instead of blocking, so a
 	// cancelled run cannot deadlock on the rendezvous. aborted mirrors
-	// abortErr != nil for lock-free polling between collectives.
-	abortErr error
-	aborted  atomic.Bool
+	// abortErr != nil for lock-free polling between collectives. The first
+	// Abort wins deterministically (the lock serialises callers); later
+	// distinct errors are kept as suppressed causes so a drop+timeout race
+	// reports both.
+	abortErr   error
+	suppressed []error
+	aborted    atomic.Bool
+
+	// faults is the attached chaos schedule (nil when healthy); see
+	// SetFaultPlan. Written before the ranks start, read-only after.
+	faults *FaultPlan
 
 	traffic TrafficCounter
 }
@@ -115,24 +123,68 @@ func (c *Cluster) ResetTraffic() {
 // unwind is recovered by Run/RunContext, where it terminates the rank's
 // function). A nil err records ErrAborted. An aborted cluster stays
 // aborted; Abort is idempotent and safe from any goroutine.
+//
+// The first call wins deterministically — the cluster lock serialises
+// callers, so whoever aborts first is the reason every later check sees.
+// A later call with a distinct error does not overwrite the winner; it is
+// recorded as a suppressed cause, and Err reports the winner together with
+// the suppressed errors errors.Join-style (Unwrap() []error), so a worker
+// drop racing a deadline reports both instead of silently losing one.
 func (c *Cluster) Abort(err error) {
 	if err == nil {
 		err = ErrAborted
 	}
 	c.mu.Lock()
-	if c.abortErr == nil {
+	switch {
+	case c.abortErr == nil:
 		c.abortErr = err
 		c.aborted.Store(true)
 		c.cond.Broadcast()
+	case err != c.abortErr && !slices.Contains(c.suppressed, err) && len(c.suppressed) < maxSuppressedAborts:
+		c.suppressed = append(c.suppressed, err)
 	}
 	c.mu.Unlock()
 }
 
-// Err returns the abort reason, or nil while the cluster is healthy.
+// maxSuppressedAborts bounds the suppressed-cause list: every rank of a
+// large cluster aborting with its own error must not grow state without
+// limit. Eight is far beyond any diagnosable pile-up.
+const maxSuppressedAborts = 8
+
+// Err returns the abort reason, or nil while the cluster is healthy. When
+// several distinct aborts raced, the returned error's message and
+// errors.Is/As behaviour cover the deterministic winner first and every
+// suppressed cause after it.
 func (c *Cluster) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.abortErr
+	if c.abortErr == nil || len(c.suppressed) == 0 {
+		return c.abortErr
+	}
+	return &abortCauses{winner: c.abortErr, suppressed: slices.Clone(c.suppressed)}
+}
+
+// abortCauses is the multi-error form of an aborted cluster: the
+// deterministic winner plus the suppressed later aborts. Unwrap follows
+// the errors.Join convention so errors.Is/As match every cause.
+type abortCauses struct {
+	winner     error
+	suppressed []error
+}
+
+func (e *abortCauses) Error() string {
+	msg := e.winner.Error() + " (suppressed:"
+	for i, s := range e.suppressed {
+		if i > 0 {
+			msg += ";"
+		}
+		msg += " " + s.Error()
+	}
+	return msg + ")"
+}
+
+func (e *abortCauses) Unwrap() []error {
+	return append([]error{e.winner}, e.suppressed...)
 }
 
 // Run starts fn on every rank concurrently and waits for all to finish.
@@ -531,6 +583,14 @@ type TrafficCounter struct {
 // Total returns the sum of all counters in bytes.
 func (t TrafficCounter) Total() int64 {
 	return t.AllGatherBytes + t.AllReduceBytes + t.BroadcastBytes
+}
+
+// Add accumulates another counter into t (the trainer sums the segments of
+// a recovered run into one per-run record).
+func (t *TrafficCounter) Add(o TrafficCounter) {
+	t.AllGatherBytes += o.AllGatherBytes
+	t.AllReduceBytes += o.AllReduceBytes
+	t.BroadcastBytes += o.BroadcastBytes
 }
 
 // intPayloadBytes returns the wire footprint of an int payload: the COO

@@ -1,0 +1,286 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan is pure data — JSON-serialisable, no hidden state — describing
+// a chaos schedule: per-rank slowdown windows (stragglers), transient
+// collective errors, and hard worker drops at a given iteration. Because
+// firing is a pure function of (plan, rank, iteration, attempt), the same
+// plan replays bit-identically: the identical faults fire at the identical
+// points of every run, which is what lets the elasticity experiments and
+// the chaos CI job assert on fault trajectories instead of sampling them.
+//
+// Injection rides the existing abort machinery: a drop or transient error
+// calls Cluster.Abort with a *FaultError, so every rank — including ranks
+// parked mid-rendezvous — unwinds exactly as a cancelled run does, instead
+// of deadlocking on a collective the dead rank will never join.
+package comm
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Straggler slows one rank by a multiplicative factor over an iteration
+// window. The simulator applies the factor to the rank's measured compute
+// time (wall clock inside a collective is meaningless here, exactly as for
+// the α–β comm model), so a ×4 straggler shows up as a ×4 step time in the
+// per-rank series and in the max-over-workers iteration time.
+type Straggler struct {
+	Rank   int     `json:"rank"`
+	Factor float64 `json:"factor"`
+	// From is the first iteration the slowdown applies to; Until, when
+	// positive, is the first iteration it no longer applies to (a zero
+	// Until means "until the end of the run").
+	From  int `json:"from,omitempty"`
+	Until int `json:"until,omitempty"`
+}
+
+// Transient is a transient collective error: the rank's iteration fails
+// once (the whole cluster unwinds mid-rendezvous), but the rank survives —
+// a recovering trainer resumes at the same size, and a retrying job
+// re-executes with the fault already expired.
+type Transient struct {
+	Rank      int `json:"rank"`
+	Iteration int `json:"iteration"`
+	// Attempts is the number of run attempts the fault fires on (default
+	// 1: first execution only, so a retry succeeds). See ForAttempt.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// Drop is a hard worker failure: from the given iteration on, the rank is
+// gone. A recovering trainer rebuilds the cluster at the surviving size; a
+// non-recovering run fails with the *FaultError.
+type Drop struct {
+	Rank      int `json:"rank"`
+	Iteration int `json:"iteration"`
+	Attempts  int `json:"attempts,omitempty"`
+}
+
+// FaultPlan is a deterministic chaos schedule for one cluster. The zero
+// value (and nil) injects nothing. Plans are immutable once attached:
+// every derived schedule (ForAttempt, Survive) is a fresh value, so one
+// plan can be shared by any number of replayed runs.
+type FaultPlan struct {
+	Stragglers []Straggler `json:"stragglers,omitempty"`
+	Transients []Transient `json:"transients,omitempty"`
+	Drops      []Drop      `json:"drops,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *FaultPlan) Empty() bool {
+	return p == nil || len(p.Stragglers)+len(p.Transients)+len(p.Drops) == 0
+}
+
+// Validate checks every entry against a cluster of the given size.
+func (p *FaultPlan) Validate(ranks int) error {
+	if p == nil {
+		return nil
+	}
+	checkRank := func(kind string, rank int) error {
+		if rank < 0 || rank >= ranks {
+			return fmt.Errorf("comm: fault plan: %s rank %d out of [0,%d)", kind, rank, ranks)
+		}
+		return nil
+	}
+	for _, s := range p.Stragglers {
+		if err := checkRank("straggler", s.Rank); err != nil {
+			return err
+		}
+		if s.Factor <= 0 {
+			return fmt.Errorf("comm: fault plan: straggler factor %g must be positive", s.Factor)
+		}
+		if s.From < 0 || (s.Until != 0 && s.Until <= s.From) {
+			return fmt.Errorf("comm: fault plan: straggler window [%d,%d) invalid", s.From, s.Until)
+		}
+	}
+	for _, t := range p.Transients {
+		if err := checkRank("transient", t.Rank); err != nil {
+			return err
+		}
+		if t.Iteration < 0 || t.Attempts < 0 {
+			return fmt.Errorf("comm: fault plan: transient at iteration %d, attempts %d invalid", t.Iteration, t.Attempts)
+		}
+	}
+	for _, d := range p.Drops {
+		if err := checkRank("drop", d.Rank); err != nil {
+			return err
+		}
+		if d.Iteration < 0 || d.Attempts < 0 {
+			return fmt.Errorf("comm: fault plan: drop at iteration %d, attempts %d invalid", d.Iteration, d.Attempts)
+		}
+	}
+	return nil
+}
+
+// Factor returns the combined straggler slowdown of rank at the given
+// iteration (1 when healthy). Overlapping windows multiply.
+func (p *FaultPlan) Factor(rank, iteration int) float64 {
+	if p == nil {
+		return 1
+	}
+	f := 1.0
+	for _, s := range p.Stragglers {
+		if s.Rank == rank && iteration >= s.From && (s.Until == 0 || iteration < s.Until) {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// attemptCount normalises the Attempts field: zero means "first attempt
+// only".
+func attemptCount(a int) int {
+	if a <= 0 {
+		return 1
+	}
+	return a
+}
+
+// ForAttempt returns the schedule as seen by the attempt-th execution of
+// the run (attempt is 1-based): transients and drops expire after their
+// Attempts count, so a retried job eventually runs clean, while stragglers
+// — a property of the machine, not of one execution — persist on every
+// attempt. The receiver is never mutated.
+func (p *FaultPlan) ForAttempt(attempt int) *FaultPlan {
+	if p == nil || attempt <= 1 {
+		return p
+	}
+	out := &FaultPlan{Stragglers: slices.Clone(p.Stragglers)}
+	for _, t := range p.Transients {
+		if attemptCount(t.Attempts) >= attempt {
+			out.Transients = append(out.Transients, t)
+		}
+	}
+	for _, d := range p.Drops {
+		if attemptCount(d.Attempts) >= attempt {
+			out.Drops = append(out.Drops, d)
+		}
+	}
+	return out
+}
+
+// Survive returns the schedule for the cluster rebuilt after fe fired. A
+// fired transient is removed (the rank survived; refiring it on resume
+// would loop forever). A fired drop removes the dead rank entirely: its
+// remaining faults die with it, every other entry is renumbered down past
+// it, and the fired drop itself disappears. The receiver is never mutated.
+func (p *FaultPlan) Survive(fe *FaultError) *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	out := &FaultPlan{}
+	if fe.Kind == FaultTransient {
+		out.Stragglers = slices.Clone(p.Stragglers)
+		out.Drops = slices.Clone(p.Drops)
+		for _, t := range p.Transients {
+			if t.Rank == fe.Rank && t.Iteration == fe.Iteration {
+				continue
+			}
+			out.Transients = append(out.Transients, t)
+		}
+		return out
+	}
+	// Drop: remove rank fe.Rank, shift higher ranks down by one.
+	remap := func(rank int) (int, bool) {
+		switch {
+		case rank == fe.Rank:
+			return 0, false
+		case rank > fe.Rank:
+			return rank - 1, true
+		}
+		return rank, true
+	}
+	for _, s := range p.Stragglers {
+		if r, ok := remap(s.Rank); ok {
+			s.Rank = r
+			out.Stragglers = append(out.Stragglers, s)
+		}
+	}
+	for _, t := range p.Transients {
+		if r, ok := remap(t.Rank); ok {
+			t.Rank = r
+			out.Transients = append(out.Transients, t)
+		}
+	}
+	for _, d := range p.Drops {
+		if r, ok := remap(d.Rank); ok {
+			d.Rank = r
+			out.Drops = append(out.Drops, d)
+		}
+	}
+	return out
+}
+
+// Fault kinds carried by FaultError.
+const (
+	FaultDrop      = "drop"
+	FaultTransient = "transient"
+)
+
+// FaultError is the abort reason of an injected fault. Rank is in the
+// numbering of the cluster the fault fired on (the trainer maps it back to
+// the original rank across recoveries); Iteration is where it fired — the
+// iteration whose update was NOT applied, i.e. where a recovery resumes.
+type FaultError struct {
+	Kind      string `json:"kind"` // FaultDrop | FaultTransient
+	Rank      int    `json:"rank"`
+	Iteration int    `json:"iteration"`
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("comm: injected %s fault: rank %d at iteration %d", e.Kind, e.Rank, e.Iteration)
+}
+
+// SetFaultPlan attaches a chaos schedule to the cluster. It must be called
+// before Run/RunContext starts the ranks; a nil plan (the default) keeps
+// the fault path entirely off the collectives. The plan is data only — the
+// cluster never mutates it — so the same value can drive any number of
+// replayed runs.
+func (c *Cluster) SetFaultPlan(p *FaultPlan) {
+	if p != nil {
+		if err := p.Validate(c.n); err != nil {
+			panic(err.Error())
+		}
+	}
+	c.faults = p
+}
+
+// FaultPlan returns the attached chaos schedule (nil when healthy).
+func (c *Cluster) FaultPlan() *FaultPlan { return c.faults }
+
+// StartIteration is the per-iteration fault checkpoint, called by each
+// rank at the top of its iteration (it subsumes CheckAbort). Drops and
+// transients scheduled for this rank fire here — before the iteration's
+// compute, exactly like a worker dying between steps — and the abort
+// broadcast unwinds every other rank out of whatever collective it is
+// parked in mid-rendezvous. The healthy path costs one nil check plus one
+// atomic load.
+func (c *Comm) StartIteration(t int) {
+	if p := c.cluster.faults; p != nil {
+		for _, d := range p.Drops {
+			if d.Rank == c.rank && t >= d.Iteration {
+				c.injectFault(&FaultError{Kind: FaultDrop, Rank: c.rank, Iteration: t})
+			}
+		}
+		for _, tr := range p.Transients {
+			if tr.Rank == c.rank && tr.Iteration == t {
+				c.injectFault(&FaultError{Kind: FaultTransient, Rank: c.rank, Iteration: t})
+			}
+		}
+	}
+	c.CheckAbort()
+}
+
+// injectFault aborts the cluster with the given fault and unwinds this
+// rank. If another abort already won the race, that winner is kept (the
+// fault is recorded as a suppressed cause) and the rank unwinds all the
+// same.
+func (c *Comm) injectFault(fe *FaultError) {
+	c.cluster.Abort(fe)
+	panic(abortPanic{c.cluster.Err()})
+}
+
+// StragglerFactor returns the plan's slowdown multiplier for this rank at
+// the given iteration (1 when no plan is attached or the rank is healthy).
+func (c *Comm) StragglerFactor(t int) float64 {
+	return c.cluster.faults.Factor(c.rank, t)
+}

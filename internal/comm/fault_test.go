@@ -1,0 +1,381 @@
+package comm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func samplePlan() *FaultPlan {
+	return &FaultPlan{
+		Stragglers: []Straggler{{Rank: 1, Factor: 4}, {Rank: 2, Factor: 2, From: 10, Until: 20}},
+		Transients: []Transient{{Rank: 0, Iteration: 5, Attempts: 2}},
+		Drops:      []Drop{{Rank: 3, Iteration: 50}},
+	}
+}
+
+// TestFaultPlanJSONRoundTrip: the plan is pure data — its JSON form must
+// reconstruct it exactly, so a serialised chaos run replays bit-identically.
+func TestFaultPlanJSONRoundTrip(t *testing.T) {
+	p := samplePlan()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q FaultPlan
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, &q) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", p, &q)
+	}
+	data2, err := json.Marshal(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("re-marshal not byte-identical: %s vs %s", data, data2)
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan FaultPlan
+		ok   bool
+	}{
+		{"empty", FaultPlan{}, true},
+		{"sample", *samplePlan(), true},
+		{"straggler rank high", FaultPlan{Stragglers: []Straggler{{Rank: 4, Factor: 2}}}, false},
+		{"straggler rank negative", FaultPlan{Stragglers: []Straggler{{Rank: -1, Factor: 2}}}, false},
+		{"straggler factor zero", FaultPlan{Stragglers: []Straggler{{Rank: 0}}}, false},
+		{"straggler window inverted", FaultPlan{Stragglers: []Straggler{{Rank: 0, Factor: 2, From: 9, Until: 3}}}, false},
+		{"transient rank high", FaultPlan{Transients: []Transient{{Rank: 9}}}, false},
+		{"transient negative iteration", FaultPlan{Transients: []Transient{{Rank: 0, Iteration: -1}}}, false},
+		{"drop negative attempts", FaultPlan{Drops: []Drop{{Rank: 0, Attempts: -1}}}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(4)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+	var nilPlan *FaultPlan
+	if err := nilPlan.Validate(4); err != nil {
+		t.Errorf("nil plan: %v", err)
+	}
+}
+
+// TestFaultPlanFactor: window semantics [From, Until), zero Until = open
+// end, overlapping windows multiply, nil plan is healthy.
+func TestFaultPlanFactor(t *testing.T) {
+	p := &FaultPlan{Stragglers: []Straggler{
+		{Rank: 1, Factor: 4},
+		{Rank: 1, Factor: 2, From: 10, Until: 20},
+		{Rank: 2, Factor: 3, From: 5},
+	}}
+	cases := []struct {
+		rank, iter int
+		want       float64
+	}{
+		{0, 0, 1}, {1, 0, 4}, {1, 9, 4}, {1, 10, 8}, {1, 19, 8}, {1, 20, 4},
+		{2, 4, 1}, {2, 5, 3}, {2, 1000, 3},
+	}
+	for _, c := range cases {
+		if got := p.Factor(c.rank, c.iter); got != c.want {
+			t.Errorf("Factor(%d, %d) = %g, want %g", c.rank, c.iter, got, c.want)
+		}
+	}
+	var nilPlan *FaultPlan
+	if got := nilPlan.Factor(0, 0); got != 1 {
+		t.Errorf("nil plan factor = %g, want 1", got)
+	}
+}
+
+// TestFaultPlanForAttempt: transients/drops expire after their Attempts
+// count (default 1), stragglers persist, and the receiver is not mutated.
+func TestFaultPlanForAttempt(t *testing.T) {
+	p := samplePlan()
+	orig := *samplePlan()
+
+	if got := p.ForAttempt(1); got != p {
+		t.Fatal("attempt 1 must see the plan unchanged")
+	}
+	a2 := p.ForAttempt(2)
+	if len(a2.Stragglers) != 2 {
+		t.Fatalf("attempt 2 lost stragglers: %+v", a2)
+	}
+	if len(a2.Transients) != 1 || a2.Transients[0].Rank != 0 {
+		t.Fatalf("attempt 2 must keep the attempts=2 transient: %+v", a2)
+	}
+	if len(a2.Drops) != 0 {
+		t.Fatalf("attempt 2 must expire the default-attempts drop: %+v", a2)
+	}
+	a3 := p.ForAttempt(3)
+	if len(a3.Transients) != 0 || len(a3.Drops) != 0 || len(a3.Stragglers) != 2 {
+		t.Fatalf("attempt 3 must keep only stragglers: %+v", a3)
+	}
+	if !reflect.DeepEqual(p, &orig) {
+		t.Fatalf("ForAttempt mutated the receiver: %+v", p)
+	}
+}
+
+// TestFaultPlanSurvive: a fired transient is removed; a fired drop removes
+// the dead rank's entries and renumbers higher ranks down.
+func TestFaultPlanSurvive(t *testing.T) {
+	p := samplePlan()
+	orig := *samplePlan()
+
+	afterTransient := p.Survive(&FaultError{Kind: FaultTransient, Rank: 0, Iteration: 5})
+	if len(afterTransient.Transients) != 0 {
+		t.Fatalf("fired transient not removed: %+v", afterTransient)
+	}
+	if len(afterTransient.Stragglers) != 2 || len(afterTransient.Drops) != 1 {
+		t.Fatalf("transient survival must keep everything else: %+v", afterTransient)
+	}
+
+	afterDrop := p.Survive(&FaultError{Kind: FaultDrop, Rank: 2, Iteration: 30})
+	// Rank 2's straggler dies with it; rank 3's drop renumbers to rank 2.
+	want := &FaultPlan{
+		Stragglers: []Straggler{{Rank: 1, Factor: 4}},
+		Transients: []Transient{{Rank: 0, Iteration: 5, Attempts: 2}},
+		Drops:      []Drop{{Rank: 2, Iteration: 50}},
+	}
+	if !reflect.DeepEqual(afterDrop, want) {
+		t.Fatalf("drop survival = %+v, want %+v", afterDrop, want)
+	}
+	if !reflect.DeepEqual(p, &orig) {
+		t.Fatalf("Survive mutated the receiver: %+v", p)
+	}
+}
+
+// TestSetFaultPlanValidates: attaching an out-of-range plan is a
+// programming error and panics before any rank starts.
+func TestSetFaultPlanValidates(t *testing.T) {
+	c := NewCluster(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetFaultPlan accepted an invalid plan")
+		}
+	}()
+	c.SetFaultPlan(&FaultPlan{Drops: []Drop{{Rank: 5}}})
+}
+
+// TestDropUnwindsMidRendezvous is the tentpole comm guarantee: when a
+// scheduled drop fires on one rank, every other rank — parked inside a
+// collective the dead rank will never join — unwinds with the FaultError
+// instead of deadlocking.
+func TestDropUnwindsMidRendezvous(t *testing.T) {
+	c := NewCluster(4)
+	c.SetFaultPlan(&FaultPlan{Drops: []Drop{{Rank: 2, Iteration: 1}}})
+	var completed atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- c.RunContext(context.Background(), func(cm *Comm) {
+			for ti := 0; ; ti++ {
+				cm.StartIteration(ti)
+				cm.Barrier()
+				if ti == 0 {
+					completed.Add(1)
+				}
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		var fe *FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("err = %v, want *FaultError", err)
+		}
+		if fe.Kind != FaultDrop || fe.Rank != 2 || fe.Iteration != 1 {
+			t.Fatalf("fault = %+v, want drop of rank 2 at iteration 1", fe)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster deadlocked on a dropped rank")
+	}
+	// The dropping rank itself must have completed iteration 0 before the
+	// injection at iteration 1. Other ranks may unwind while waking from an
+	// already-satisfied barrier (the abort is asynchronous), so their count
+	// is not asserted.
+	if completed.Load() < 1 {
+		t.Fatalf("iteration 0 completed on %d ranks, want >= 1", completed.Load())
+	}
+}
+
+// TestTransientFiresOnItsIterationOnly: a transient aborts the run at its
+// iteration; a fresh cluster with the fired fault removed (Survive) runs
+// clean — the recovery loop's contract.
+func TestTransientFiresOnItsIterationOnly(t *testing.T) {
+	plan := &FaultPlan{Transients: []Transient{{Rank: 1, Iteration: 2}}}
+	c := NewCluster(2)
+	c.SetFaultPlan(plan)
+	err := c.RunContext(context.Background(), func(cm *Comm) {
+		for ti := 0; ti < 5; ti++ {
+			cm.StartIteration(ti)
+			cm.Barrier()
+		}
+	})
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != FaultTransient || fe.Iteration != 2 {
+		t.Fatalf("err = %v, want transient at iteration 2", err)
+	}
+
+	c2 := NewCluster(2)
+	c2.SetFaultPlan(plan.Survive(fe))
+	if err := c2.RunContext(context.Background(), func(cm *Comm) {
+		for ti := 2; ti < 5; ti++ {
+			cm.StartIteration(ti)
+			cm.Barrier()
+		}
+	}); err != nil {
+		t.Fatalf("resumed cluster still faults: %v", err)
+	}
+}
+
+// TestConcurrentAbortStress: every rank aborts with its own error while
+// all are inside (or entering) a collective. The cluster must neither
+// deadlock nor leak goroutines, one abort must win, and under -race this
+// exercises the suppressed-cause bookkeeping from all ranks at once.
+func TestConcurrentAbortStress(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		c := NewCluster(8)
+		errs := make([]error, 8)
+		for i := range errs {
+			errs[i] = fmt.Errorf("rank %d abort", i)
+		}
+		done := make(chan error, 1)
+		go func() {
+			done <- c.RunContext(context.Background(), func(cm *Comm) {
+				cm.Barrier() // align all ranks
+				c.Abort(errs[cm.Rank()])
+				cm.Barrier() // must unwind, not hang
+				t.Error("barrier returned on an aborted cluster")
+			})
+		}()
+		select {
+		case err := <-done:
+			won := false
+			for _, e := range errs {
+				if errors.Is(err, e) {
+					won = true
+					break
+				}
+			}
+			if !won {
+				t.Fatalf("round %d: abort error %v is none of the ranks'", round, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: concurrent abort deadlocked", round)
+		}
+	}
+	// goleak-style check: all rank goroutines must have drained.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+// TestAbortWinnerDeterministic: when abort order is observable (the second
+// abort strictly follows the first), the first caller's error wins and the
+// later one is reported as a suppressed cause — both visible via errors.Is.
+func TestAbortWinnerDeterministic(t *testing.T) {
+	first := errors.New("drop")
+	second := errors.New("timeout")
+	for i := 0; i < 100; i++ {
+		c := NewCluster(1)
+		c.Abort(first)
+		c.Abort(second)
+		c.Abort(second) // duplicates are not recorded twice
+		err := c.Err()
+		if !errors.Is(err, first) || !errors.Is(err, second) {
+			t.Fatalf("Err() = %v, want both causes in the chain", err)
+		}
+		var ac *abortCauses
+		if !errors.As(err, &ac) {
+			t.Fatalf("Err() = %T, want *abortCauses", err)
+		}
+		if ac.winner != first {
+			t.Fatalf("winner = %v, want the first abort", ac.winner)
+		}
+		if len(ac.suppressed) != 1 || ac.suppressed[0] != second {
+			t.Fatalf("suppressed = %v, want exactly the later abort", ac.suppressed)
+		}
+	}
+}
+
+// TestAbortSuppressedCap: the suppressed list is bounded no matter how
+// many distinct errors race in after the winner.
+func TestAbortSuppressedCap(t *testing.T) {
+	c := NewCluster(1)
+	c.Abort(errors.New("winner"))
+	for i := 0; i < 3*maxSuppressedAborts; i++ {
+		c.Abort(fmt.Errorf("latecomer %d", i))
+	}
+	var ac *abortCauses
+	if !errors.As(c.Err(), &ac) {
+		t.Fatalf("Err() = %T, want *abortCauses", c.Err())
+	}
+	if len(ac.suppressed) != maxSuppressedAborts {
+		t.Fatalf("suppressed = %d causes, want capped at %d", len(ac.suppressed), maxSuppressedAborts)
+	}
+}
+
+// TestSingleAbortErrUnchanged: with no suppressed causes Err() returns the
+// winner itself, not a wrapper — existing errors.Is call sites keep the
+// exact error they always saw.
+func TestSingleAbortErrUnchanged(t *testing.T) {
+	c := NewCluster(1)
+	boom := errors.New("boom")
+	c.Abort(boom)
+	if err := c.Err(); err != boom {
+		t.Fatalf("Err() = %v (%T), want the bare winner", err, err)
+	}
+}
+
+// TestStragglerFactorThroughComm: ranks read their own slowdown through
+// the rank-bound handle; healthy ranks read 1.
+func TestStragglerFactorThroughComm(t *testing.T) {
+	c := NewCluster(3)
+	c.SetFaultPlan(&FaultPlan{Stragglers: []Straggler{{Rank: 1, Factor: 4, From: 2}}})
+	factors := make([]float64, 3)
+	c.Run(func(cm *Comm) {
+		factors[cm.Rank()] = cm.StragglerFactor(5)
+	})
+	if factors[0] != 1 || factors[1] != 4 || factors[2] != 1 {
+		t.Fatalf("factors = %v, want [1 4 1]", factors)
+	}
+}
+
+// TestStartIterationHealthyPath: with no plan attached StartIteration is
+// exactly CheckAbort — it neither injects nor allocates.
+func TestStartIterationHealthyPath(t *testing.T) {
+	c := NewCluster(2)
+	if err := c.RunContext(context.Background(), func(cm *Comm) {
+		for ti := 0; ti < 100; ti++ {
+			cm.StartIteration(ti)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		comm := &Comm{rank: 0, cluster: c}
+		comm.StartIteration(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("healthy StartIteration allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -124,7 +124,7 @@ func IDs() []string {
 		"table1", "table2",
 		"fig1", "fig3a", "fig3b", "fig3c", "fig4", "fig5",
 		"fig6", "fig7", "fig8", "fig9", "fig10",
-		"ablation", "table3", "quant",
+		"ablation", "table3", "quant", "elasticity",
 	}
 }
 
@@ -190,6 +190,8 @@ func dispatch(id string, o Options) (*Table, error) {
 		return Table3(o), nil
 	case "quant":
 		return Quant(o), nil
+	case "elasticity":
+		return Elasticity(o), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
 }

@@ -222,6 +222,47 @@ func TestQuantShape(t *testing.T) {
 	}
 }
 
+// TestElasticityShape checks the chaos table's invariants: a straggler
+// degrades iterations/sec without moving the loss (synchronous SGD waits,
+// it doesn't diverge), a drop recovers exactly once with measured
+// overhead, and faulted runs never share a cache key with healthy twins.
+func TestElasticityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains every workload under three chaos scenarios")
+	}
+	tab := Elasticity(quick)
+	lossCol := colIndex(t, tab, "final loss")
+	degrCol := colIndex(t, tab, "degr %")
+	recovCol := colIndex(t, tab, "recov")
+	scCol := colIndex(t, tab, "scenario")
+	if len(tab.Rows)%3 != 0 {
+		t.Fatalf("rows must come in scenario triples, got %d", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 3 {
+		healthy, straggler, drop := tab.Rows[i], tab.Rows[i+1], tab.Rows[i+2]
+		if healthy[scCol] != "healthy" || straggler[scCol] != "straggler x4" || drop[scCol] != "drop @50%" {
+			t.Fatalf("row triple %d out of order: %v / %v / %v", i, healthy[scCol], straggler[scCol], drop[scCol])
+		}
+		if healthy[lossCol] != straggler[lossCol] {
+			t.Errorf("%s/%s: straggler moved final loss %s -> %s; must only slow the clock",
+				healthy[0], healthy[1], healthy[lossCol], straggler[lossCol])
+		}
+		if d := cell(t, tab, i+1, degrCol); d <= 0 {
+			t.Errorf("%s/%s: straggler degradation %v not positive", healthy[0], healthy[1], d)
+		}
+		if healthy[recovCol] != "0" || straggler[recovCol] != "0" || drop[recovCol] != "1" {
+			t.Errorf("%s/%s: recovery counts %s/%s/%s, want 0/0/1",
+				healthy[0], healthy[1], healthy[recovCol], straggler[recovCol], drop[recovCol])
+		}
+	}
+	scs := elasticScenarios()
+	a := elasticSpec(quick, "mlp", "deft", scs[0], 4, 12, 6, 3, 0.01)
+	b := elasticSpec(quick, "mlp", "deft", scs[2], 4, 12, 6, 3, 0.01)
+	if a.key == b.key {
+		t.Fatalf("healthy and drop specs share cache key %q", a.key)
+	}
+}
+
 func TestTableRenderStable(t *testing.T) {
 	tab := &Table{ID: "x", Title: "T", Columns: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
 	out := tab.String()

@@ -1,0 +1,127 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+)
+
+// ParseFaultPlan parses a chaos schedule from either a JSON object (the
+// comm.FaultPlan wire format, recognised by a leading '{') or the compact
+// CLI shorthand: comma-separated clauses of
+//
+//	straggler:<rank>x<factor>[@<from>[-<until>]]
+//	drop:<rank>@<iter>[x<attempts>]
+//	transient:<rank>@<iter>[x<attempts>]
+//
+// e.g. "straggler:1x4,drop:3@120". An empty string returns a nil plan
+// (healthy run). Rank bounds are checked later, against the actual cluster
+// size, by comm.FaultPlan.Validate.
+func ParseFaultPlan(s string) (*comm.FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		p := &comm.FaultPlan{}
+		dec := json.NewDecoder(strings.NewReader(s))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("fault plan JSON: %w", err)
+		}
+		if p.Empty() {
+			return nil, nil
+		}
+		return p, nil
+	}
+	p := &comm.FaultPlan{}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault clause %q: want <kind>:<spec>", clause)
+		}
+		switch kind {
+		case "straggler":
+			st, err := parseStraggler(rest)
+			if err != nil {
+				return nil, fmt.Errorf("fault clause %q: %w", clause, err)
+			}
+			p.Stragglers = append(p.Stragglers, st)
+		case "drop", "transient":
+			rank, iter, attempts, err := parseRankAtIter(rest)
+			if err != nil {
+				return nil, fmt.Errorf("fault clause %q: %w", clause, err)
+			}
+			if kind == "drop" {
+				p.Drops = append(p.Drops, comm.Drop{Rank: rank, Iteration: iter, Attempts: attempts})
+			} else {
+				p.Transients = append(p.Transients, comm.Transient{Rank: rank, Iteration: iter, Attempts: attempts})
+			}
+		default:
+			return nil, fmt.Errorf("fault clause %q: unknown kind %q (want straggler, drop or transient)", clause, kind)
+		}
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// parseStraggler parses "<rank>x<factor>[@<from>[-<until>]]".
+func parseStraggler(s string) (comm.Straggler, error) {
+	var st comm.Straggler
+	head, window, hasWindow := strings.Cut(s, "@")
+	rankStr, factorStr, ok := strings.Cut(head, "x")
+	if !ok {
+		return st, fmt.Errorf("want <rank>x<factor>[@<from>[-<until>]]")
+	}
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil {
+		return st, fmt.Errorf("rank %q: %w", rankStr, err)
+	}
+	factor, err := strconv.ParseFloat(factorStr, 64)
+	if err != nil {
+		return st, fmt.Errorf("factor %q: %w", factorStr, err)
+	}
+	st = comm.Straggler{Rank: rank, Factor: factor}
+	if hasWindow {
+		fromStr, untilStr, hasUntil := strings.Cut(window, "-")
+		if st.From, err = strconv.Atoi(fromStr); err != nil {
+			return st, fmt.Errorf("window start %q: %w", fromStr, err)
+		}
+		if hasUntil {
+			if st.Until, err = strconv.Atoi(untilStr); err != nil {
+				return st, fmt.Errorf("window end %q: %w", untilStr, err)
+			}
+		}
+	}
+	return st, nil
+}
+
+// parseRankAtIter parses "<rank>@<iter>[x<attempts>]".
+func parseRankAtIter(s string) (rank, iter, attempts int, err error) {
+	rankStr, tail, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want <rank>@<iter>[x<attempts>]")
+	}
+	iterStr, attemptsStr, hasAttempts := strings.Cut(tail, "x")
+	if rank, err = strconv.Atoi(rankStr); err != nil {
+		return 0, 0, 0, fmt.Errorf("rank %q: %w", rankStr, err)
+	}
+	if iter, err = strconv.Atoi(iterStr); err != nil {
+		return 0, 0, 0, fmt.Errorf("iteration %q: %w", iterStr, err)
+	}
+	if hasAttempts {
+		if attempts, err = strconv.Atoi(attemptsStr); err != nil {
+			return 0, 0, 0, fmt.Errorf("attempts %q: %w", attemptsStr, err)
+		}
+	}
+	return rank, iter, attempts, nil
+}

@@ -1,0 +1,93 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestParseFaultPlanShorthand(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *comm.FaultPlan
+	}{
+		{"", nil},
+		{"   ", nil},
+		{",,", nil},
+		{"straggler:1x4", &comm.FaultPlan{
+			Stragglers: []comm.Straggler{{Rank: 1, Factor: 4}},
+		}},
+		{"straggler:2x1.5@10-20", &comm.FaultPlan{
+			Stragglers: []comm.Straggler{{Rank: 2, Factor: 1.5, From: 10, Until: 20}},
+		}},
+		{"straggler:0x3@5", &comm.FaultPlan{
+			Stragglers: []comm.Straggler{{Rank: 0, Factor: 3, From: 5}},
+		}},
+		{"drop:3@120", &comm.FaultPlan{
+			Drops: []comm.Drop{{Rank: 3, Iteration: 120}},
+		}},
+		{"drop:3@120x2", &comm.FaultPlan{
+			Drops: []comm.Drop{{Rank: 3, Iteration: 120, Attempts: 2}},
+		}},
+		{"transient:0@7", &comm.FaultPlan{
+			Transients: []comm.Transient{{Rank: 0, Iteration: 7}},
+		}},
+		{"straggler:1x4, drop:3@120, transient:0@7x3", &comm.FaultPlan{
+			Stragglers: []comm.Straggler{{Rank: 1, Factor: 4}},
+			Transients: []comm.Transient{{Rank: 0, Iteration: 7, Attempts: 3}},
+			Drops:      []comm.Drop{{Rank: 3, Iteration: 120}},
+		}},
+	}
+	for _, tc := range cases {
+		got, err := ParseFaultPlan(tc.in)
+		if err != nil {
+			t.Errorf("ParseFaultPlan(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseFaultPlan(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseFaultPlanJSON(t *testing.T) {
+	in := `{"stragglers":[{"rank":1,"factor":4}],"drops":[{"rank":3,"iteration":120}]}`
+	got, err := ParseFaultPlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &comm.FaultPlan{
+		Stragglers: []comm.Straggler{{Rank: 1, Factor: 4}},
+		Drops:      []comm.Drop{{Rank: 3, Iteration: 120}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseFaultPlan(JSON) = %+v, want %+v", got, want)
+	}
+	// An empty JSON object is a healthy run, same as the empty string.
+	if got, err := ParseFaultPlan("{}"); err != nil || got != nil {
+		t.Fatalf("ParseFaultPlan({}) = %+v, %v; want nil plan", got, err)
+	}
+}
+
+func TestParseFaultPlanErrors(t *testing.T) {
+	bad := []string{
+		"straggler",             // no spec
+		"straggler:1",           // missing factor
+		"straggler:ax2",         // bad rank
+		"straggler:1xfast",      // bad factor
+		"straggler:1x2@ten",     // bad window start
+		"straggler:1x2@1-twenty",// bad window end
+		"drop:3",                // missing iteration
+		"drop:3@abc",            // bad iteration
+		"drop:3@5xmany",         // bad attempts
+		"pause:1@5",             // unknown kind
+		`{"drops":[{"rank":0,"iteration":1}],"oops":true}`, // unknown JSON field
+		`{"drops":`,             // truncated JSON
+	}
+	for _, in := range bad {
+		if p, err := ParseFaultPlan(in); err == nil {
+			t.Errorf("ParseFaultPlan(%q) = %+v, want error", in, p)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/train"
+)
+
+// streamLines drains a finished job's stream and returns the parsed lines.
+func streamLines(t *testing.T, url, id string) []event {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer resp.Body.Close()
+	var lines []event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("stream line: %v\n%s", err, sc.Text())
+		}
+		lines = append(lines, e)
+	}
+	return lines
+}
+
+// TestInjectedDropRetriesToDone is the chaos smoke the CI job also runs:
+// a job whose first execution dies from an injected drop retries inside
+// its flight and completes, with the attempt count on the job view and a
+// "retry" event in the stream.
+func TestInjectedDropRetriesToDone(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 2})
+	spec := `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":6,"lr":0.1,
+		"faults":{"drops":[{"rank":1,"iteration":2}]},"retries":2}}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	final := waitState(t, ts, v.ID, StateDone)
+	if final.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (fault on the first, clean second)", final.Attempts)
+	}
+	if final.Result == nil || final.Result.TrainResult == nil {
+		t.Fatal("done without a training result")
+	}
+	if got := len(final.Result.TrainResult.TrainLoss.Y); got == 0 {
+		t.Fatal("retried run returned an empty series")
+	}
+	retries := 0
+	for _, e := range streamLines(t, ts.URL, v.ID) {
+		if e.Type == "retry" {
+			retries++
+			if e.Attempt != 2 || !strings.Contains(e.Error, "injected drop") {
+				t.Fatalf("retry event = %+v, want attempt 2 with the drop cause", e)
+			}
+		}
+	}
+	if retries != 1 {
+		t.Fatalf("%d retry events, want 1", retries)
+	}
+}
+
+// TestRetryExhaustedFails: a fault scheduled to fire on every attempt must
+// exhaust the retry budget and fail — with the attempt count preserved.
+func TestRetryExhaustedFails(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 2})
+	spec := `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":6,"lr":0.1,
+		"faults":{"drops":[{"rank":1,"iteration":2,"attempts":99}]},"retries":1}}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	final := waitState(t, ts, v.ID, StateFailed)
+	if final.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (original + 1 retry)", final.Attempts)
+	}
+	if !strings.Contains(final.Error, "retries exhausted") || !strings.Contains(final.Error, "injected drop") {
+		t.Fatalf("error = %q, want retry exhaustion wrapping the drop", final.Error)
+	}
+}
+
+// TestRecoverAvoidsRetry: with the in-run recovery policy enabled the
+// first attempt survives the drop by itself — no retry consumed.
+func TestRecoverAvoidsRetry(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 2})
+	spec := `{"train":{"workload":"mlp","sparsifier":"topk","workers":3,"iterations":6,"lr":0.1,
+		"faults":{"drops":[{"rank":2,"iteration":3}]},"recover":true,"retries":2}}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	final := waitState(t, ts, v.ID, StateDone)
+	if final.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (recovery, not retry)", final.Attempts)
+	}
+	r := final.Result.TrainResult
+	if r == nil || r.Recoveries != 1 || r.Survivors != 2 {
+		t.Fatalf("result = %+v, want 1 recovery with 2 survivors", r)
+	}
+}
+
+// TestBudgetFailsWithDistinctReason: a job past its wall-clock budget must
+// end failed — not cancelled — with the ErrBudget reason, and must not
+// burn retries on the way out.
+func TestBudgetFailsWithDistinctReason(t *testing.T) {
+	s, ts := newTestServer(t, Options{Pool: 1})
+	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
+		<-ctx.Done() // a chaos-stuck trainer: only the context frees it
+		return nil, ctx.Err()
+	}
+	spec := `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":6,"lr":0.1,
+		"budget_ms":50,"retries":3}}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	final := waitState(t, ts, v.ID, StateFailed)
+	if !strings.Contains(final.Error, ErrBudget.Error()) {
+		t.Fatalf("error = %q, want the budget reason", final.Error)
+	}
+	if final.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (budget expiry is never retried)", final.Attempts)
+	}
+}
+
+// TestRetriesStayInsideOneFlight: two identical faulty submissions share a
+// flight; its retry re-executes the trainer but never spawns a second
+// flight — the attempt count is the execution count for both jobs.
+func TestRetriesStayInsideOneFlight(t *testing.T) {
+	s, ts := newTestServer(t, Options{Pool: 4})
+	var calls atomic.Int64
+	started := make(chan struct{})
+	var once sync.Once
+	orig := s.runTrain
+	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
+		calls.Add(1)
+		once.Do(func() { close(started) })
+		// Hold the first attempt open until the second submission joined.
+		time.Sleep(30 * time.Millisecond)
+		return orig(ctx, spec, attempt, progress)
+	}
+	spec := `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":6,"lr":0.1,
+		"faults":{"drops":[{"rank":1,"iteration":2}]},"retries":3}}`
+	a, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	<-started
+	b, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit status = %d, want 202", code)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("identical specs hash differently: %s vs %s", a.Hash, b.Hash)
+	}
+	fa := waitState(t, ts, a.ID, StateDone)
+	fb := waitState(t, ts, b.ID, StateDone)
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("trainer executed %d times, want 2 (one faulted attempt + one retry, shared by both jobs)", got)
+	}
+	if fa.Attempts != 2 || fb.Attempts != 2 {
+		t.Fatalf("attempts = %d/%d, want 2 on both attached jobs", fa.Attempts, fb.Attempts)
+	}
+}
+
+// TestFaultSpecValidation: malformed chaos/retry/budget fields are
+// rejected at submission, and an empty fault plan normalises away so the
+// spec hashes like its healthy twin.
+func TestFaultSpecValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 1})
+	bad := []string{
+		`{"train":{"workload":"mlp","faults":{"drops":[{"rank":9,"iteration":0}]}}}`, // rank >= workers
+		`{"train":{"workload":"mlp","faults":{"stragglers":[{"rank":0,"factor":0}]}}}`,
+		`{"train":{"workload":"mlp","retries":99}}`,
+		`{"train":{"workload":"mlp","backoff_ms":-1}}`,
+		`{"train":{"workload":"mlp","budget_ms":-5}}`,
+	}
+	for _, spec := range bad {
+		if _, code := postJob(t, ts, spec); code != http.StatusBadRequest {
+			t.Errorf("spec %s accepted with status %d", spec, code)
+		}
+	}
+	plain, code := postJob(t, ts, `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":6,"lr":0.1}}`)
+	if code >= 300 {
+		t.Fatalf("plain spec rejected: %d", code)
+	}
+	empty, code := postJob(t, ts, `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":6,"lr":0.1,"faults":{}}}`)
+	if code >= 300 {
+		t.Fatalf("empty-plan spec rejected: %d", code)
+	}
+	if plain.Hash != empty.Hash {
+		t.Fatalf("empty fault plan changed the hash: %s vs %s", plain.Hash, empty.Hash)
+	}
+}

@@ -18,6 +18,13 @@
 // server's: DELETE cancels it when the last attached job is cancelled,
 // and the abort propagates through train.RunContext into the simulated
 // cluster, which stops mid-iteration rather than at run end.
+//
+// Training jobs harden against faults: a spec may carry a deterministic
+// chaos schedule ("faults"), a retry policy ("retries"/"backoff_ms" —
+// faulted runs re-execute inside the same flight with capped exponential
+// backoff, so retries never double-train a deduplicated spec) and a
+// wall-clock budget ("budget_ms" — expiry fails the job with the distinct
+// ErrBudget reason rather than a cancellation).
 package serve
 
 import (
@@ -72,6 +79,9 @@ type Job struct {
 	Finished time.Time
 	Err      string
 	CacheHit bool
+	// Attempts counts the executions the job's flight has started (1 for a
+	// run that never retried; 0 until it first runs).
+	Attempts int
 
 	flight  *flight // non-nil while queued/running
 	outcome *runOutcome
@@ -90,6 +100,7 @@ type flight struct {
 
 	mu      sync.Mutex
 	started bool
+	attempt int               // current execution attempt (1-based once running)
 	jobs    []*Job            // attached jobs (fan-out targets)
 	history []json.RawMessage // progress lines so far, replayed to late joiners
 }
@@ -157,9 +168,17 @@ type Server struct {
 	mInFlight  expvar.Int // flights executing right now
 
 	// Execution seams; tests substitute these to count and delay runs.
-	runTrain      func(ctx context.Context, spec TrainSpec, progress func(train.Progress)) (*train.Result, error)
+	// attempt is the 1-based execution attempt: the production trainer
+	// prunes the spec's fault plan through ForAttempt, so attempts-scoped
+	// faults expire on retries.
+	runTrain      func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error)
 	runExperiment func(ctx context.Context, id string, o experiments.Options) (*experiments.Table, error)
 }
+
+// ErrBudget marks a job that ran out of its spec's wall-clock budget
+// (budget_ms): the job fails — distinctly from a client cancellation —
+// with this sentinel in its error chain.
+var ErrBudget = errors.New("serve: wall-clock budget exhausted")
 
 // New creates a server and starts its worker pool.
 func New(opts Options) *Server {
@@ -190,7 +209,7 @@ func New(opts Options) *Server {
 }
 
 // runTrain is the production training runner behind the seam.
-func runTrain(ctx context.Context, spec TrainSpec, progress func(train.Progress)) (*train.Result, error) {
+func runTrain(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
 	w, err := registry.NewWorkload(spec.Workload)
 	if err != nil {
 		return nil, err
@@ -210,6 +229,8 @@ func runTrain(ctx context.Context, spec TrainSpec, progress func(train.Progress)
 		Seed:          spec.Seed,
 		Quantize:      spec.Quantize,
 		DisableSparse: dense,
+		Faults:        spec.Faults.ForAttempt(attempt),
+		Recover:       spec.Recover,
 		CostModel:     comm.DefaultCostModel(),
 		Topology:      comm.DefaultTopology(),
 		Progress:      progress,
@@ -277,11 +298,7 @@ func (s *Server) runFlight(fl *flight) {
 	var outcome *runOutcome
 	var err error
 	if fl.spec.Train != nil {
-		var res *train.Result
-		res, err = s.runTrain(fl.ctx, *fl.spec.Train, func(p train.Progress) { fl.progress("", p) })
-		if err == nil {
-			outcome = &runOutcome{TrainResult: res}
-		}
+		outcome, err = s.runTrainFlight(fl)
 	} else {
 		var tab *experiments.Table
 		tab, err = s.runExperiment(fl.ctx, fl.spec.Experiment, experiments.Options{
@@ -295,6 +312,77 @@ func (s *Server) runFlight(fl *flight) {
 	}
 	s.mInFlight.Add(-1)
 	s.settleFlight(fl, outcome, err)
+}
+
+// runTrainFlight executes a training flight's attempts: the run plus up to
+// Retries re-executions after faulted (not cancelled) runs, under capped
+// exponential backoff and the spec's optional wall-clock budget. Retries
+// stay inside the one flight, so attached jobs — and any identical spec
+// submitted meanwhile, which single-flight joins this flight — never
+// train twice for one failure.
+func (s *Server) runTrainFlight(fl *flight) (*runOutcome, error) {
+	spec := *fl.spec.Train
+	runCtx := fl.ctx
+	if spec.BudgetMS > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(fl.ctx, time.Duration(spec.BudgetMS)*time.Millisecond)
+		defer cancel()
+	}
+	backoff := time.Duration(spec.BackoffMS) * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		s.noteAttempt(fl, attempt, nil)
+		res, err := s.runTrain(runCtx, spec, attempt, func(p train.Progress) { fl.progress("", p) })
+		if err == nil {
+			return &runOutcome{TrainResult: res}, nil
+		}
+		if runCtx.Err() != nil && fl.ctx.Err() == nil {
+			// The budget fired, not the client: fail with the distinct
+			// budget reason (the run error rides along unwrapped, so a
+			// deadline never classifies as a cancellation).
+			return nil, fmt.Errorf("%w: budget_ms=%d elapsed on attempt %d: %v",
+				ErrBudget, spec.BudgetMS, attempt, err)
+		}
+		if fl.ctx.Err() != nil {
+			return nil, err // client cancellation / shutdown: never retried
+		}
+		if attempt > spec.Retries {
+			if spec.Retries > 0 {
+				return nil, fmt.Errorf("retries exhausted after %d attempts: %w", attempt, err)
+			}
+			return nil, err
+		}
+		s.noteAttempt(fl, attempt+1, err)
+		select {
+		case <-time.After(backoff):
+		case <-runCtx.Done():
+			// Cancelled or budget-expired mid-backoff: the next loop pass
+			// fails fast inside the trainer and classifies above.
+		}
+		backoff = min(backoff*2, maxBackoffMS*time.Millisecond)
+	}
+}
+
+// noteAttempt records the attempt count on every attached job and — for
+// retries (attempt > 1, called before the backoff with the killing error)
+// — emits a "retry" stream event. Lock order matches runFlight: s.mu, then
+// fl.mu; a job attaching concurrently holds both too, so late joiners see
+// a consistent attempt count.
+func (s *Server) noteAttempt(fl *flight, attempt int, cause error) {
+	s.mu.Lock()
+	fl.mu.Lock()
+	fl.attempt = attempt
+	for _, j := range fl.jobs {
+		j.Attempts = attempt
+	}
+	if cause != nil {
+		line := marshalEvent(event{Type: "retry", Attempt: attempt, Error: cause.Error()})
+		fl.history = append(fl.history, line)
+		for _, j := range fl.jobs {
+			j.events.append(line)
+		}
+	}
+	fl.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // settleFlight records a flight's outcome: success populates the result
@@ -367,6 +455,7 @@ type jobView struct {
 	State    JobState    `json:"state"`
 	Hash     string      `json:"hash"`
 	CacheHit bool        `json:"cache_hit,omitempty"`
+	Attempts int         `json:"attempts,omitempty"`
 	Spec     JobSpec     `json:"spec"`
 	Created  time.Time   `json:"created"`
 	Started  *time.Time  `json:"started,omitempty"`
@@ -380,7 +469,7 @@ type jobView struct {
 func (j *Job) view(withResult bool) jobView {
 	v := jobView{
 		ID: j.ID, State: j.State, Hash: j.Hash, CacheHit: j.CacheHit,
-		Spec: j.Spec, Created: j.Created, Error: j.Err,
+		Attempts: j.Attempts, Spec: j.Spec, Created: j.Created, Error: j.Err,
 	}
 	if !j.Started.IsZero() {
 		t := j.Started
@@ -466,6 +555,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if fl.started {
 			job.State = StateRunning
 			job.Started = time.Now()
+			job.Attempts = fl.attempt
 		}
 		for _, line := range fl.history {
 			job.events.append(line)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/experiments"
 	"repro/internal/registry"
 )
@@ -45,6 +46,25 @@ type TrainSpec struct {
 	// a quantized run hashes — and therefore caches — separately from its
 	// fp32 twin.
 	Quantize bool `json:"quantize,omitempty"`
+
+	// Faults is an optional deterministic chaos schedule injected into the
+	// run (see comm.FaultPlan). Part of the canonical spec: a faulted run
+	// hashes — and caches — separately from its healthy twin.
+	Faults *comm.FaultPlan `json:"faults,omitempty"`
+	// Recover makes the trainer checkpoint, rebuild at the surviving size
+	// and resume when an injected fault aborts the run (train.Config.Recover).
+	Recover bool `json:"recover,omitempty"`
+	// Retries is how many times a faulted (not cancelled) run is
+	// re-executed before the job fails, each attempt seeing the fault
+	// plan's ForAttempt view so attempts-scoped faults expire.
+	Retries int `json:"retries,omitempty"`
+	// BackoffMS is the first retry's backoff in milliseconds (default 10),
+	// doubling per attempt and capped at maxBackoffMS.
+	BackoffMS int `json:"backoff_ms,omitempty"`
+	// BudgetMS is the job's wall-clock budget across all attempts; when it
+	// expires the run aborts and the job fails with a distinct budget
+	// reason (ErrBudget). Zero means no budget.
+	BudgetMS int `json:"budget_ms,omitempty"`
 }
 
 // normalize validates the spec and fills defaults in place, so that every
@@ -132,6 +152,25 @@ func (s *JobSpec) normalize() error {
 		return fmt.Errorf("iterations/record_every = %d samples exceeds %d; raise record_every",
 			t.Iterations/t.RecordEvery, maxRecords)
 	}
+	if t.Faults.Empty() {
+		// A present-but-empty plan is the healthy run: normalise it away so
+		// the spec hashes identically to one that never mentioned faults.
+		t.Faults = nil
+	} else if err := t.Faults.Validate(t.Workers); err != nil {
+		return err
+	}
+	if t.Retries < 0 || t.Retries > maxRetries {
+		return fmt.Errorf("retries %d out of [0, %d]", t.Retries, maxRetries)
+	}
+	if t.BackoffMS < 0 || t.BackoffMS > maxBackoffMS {
+		return fmt.Errorf("backoff_ms %d out of [0, %d]", t.BackoffMS, maxBackoffMS)
+	}
+	if t.BackoffMS == 0 {
+		t.BackoffMS = defaultBackoffMS
+	}
+	if t.BudgetMS < 0 {
+		return fmt.Errorf("budget_ms %d must be non-negative", t.BudgetMS)
+	}
 	return nil
 }
 
@@ -142,11 +181,17 @@ func (s *JobSpec) normalize() error {
 // NDJSON lines, cached history) no matter what the client asks for;
 // maxDefaultRecords is the gentler target used when record_every is left
 // for the server to pick.
+// Retry limits: attempts are serial executions holding a pool slot, so
+// both the count and the backoff between them stay small; the default
+// backoff is just enough to order the retry behind the abort's unwinding.
 const (
 	maxWorkers        = 64
 	maxIterations     = 1_000_000
 	maxRecords        = 100_000
 	maxDefaultRecords = 10_000
+	maxRetries        = 8
+	maxBackoffMS      = 5_000
+	defaultBackoffMS  = 10
 )
 
 // hash returns the content address of a normalized spec: the first 16 hex

@@ -9,12 +9,15 @@ import (
 
 // event is one NDJSON line of a job's stream. Type "state" marks job
 // lifecycle transitions, "progress" carries a training sample (the same
-// values appended to the run's Result series), and "done" terminates the
-// stream with the job's final state.
+// values appended to the run's Result series), "retry" announces the next
+// execution attempt of a faulted run (Error holds what killed the previous
+// one), and "done" terminates the stream with the job's final state.
 type event struct {
-	Type  string `json:"type"` // "state" | "progress" | "done"
+	Type  string `json:"type"` // "state" | "progress" | "retry" | "done"
 	State string `json:"state,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Attempt is the 1-based execution attempt a retry event starts.
+	Attempt int `json:"attempt,omitempty"`
 	// Run tags progress events with the underlying run's cache key when an
 	// experiment job trains several configurations.
 	Run string `json:"run,omitempty"`

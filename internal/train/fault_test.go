@@ -1,0 +1,269 @@
+package train_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/train"
+)
+
+// chaosCfg is the shared base configuration of the fault tests: small and
+// fast, with recording every iteration so series assertions are exact.
+func chaosCfg(workers, iters int) train.Config {
+	return train.Config{
+		Workers: workers, Density: 0.05, LR: 0.1,
+		Iterations: iters, RecordEvery: 1, Seed: 7,
+	}
+}
+
+// TestStragglerInflatesPerRankSeries: a ×4 straggler must show up in the
+// straggled rank's step-time series — and only there — while the loss
+// trajectory stays exactly the healthy run's (a slow worker changes who
+// waits, not what is computed).
+func TestStragglerInflatesPerRankSeries(t *testing.T) {
+	w := mlpWorkload()
+	healthyCfg := chaosCfg(3, 8)
+	healthy, err := train.RunContext(context.Background(), w, topkFactory(), healthyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.RankStepTime != nil {
+		t.Fatal("healthy run allocated per-rank series; must stay off the fault-free path")
+	}
+
+	cfg := chaosCfg(3, 8)
+	cfg.Faults = &comm.FaultPlan{Stragglers: []comm.Straggler{{Rank: 1, Factor: 4}}}
+	res, err := train.RunContext(context.Background(), w, topkFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RankStepTime) != 3 {
+		t.Fatalf("rank step series = %d, want 3", len(res.RankStepTime))
+	}
+	for rank, s := range res.RankStepTime {
+		if len(s.Y) != 8 {
+			t.Fatalf("rank %d: %d samples, want 8", rank, len(s.Y))
+		}
+	}
+	// The factor is applied analytically to the measured compute time, so
+	// the straggled rank's mean must sit well above its peers (the exact
+	// ratio carries measurement noise of the underlying wall times).
+	if r := res.RankStepTime[1].MeanY() / res.RankStepTime[0].MeanY(); r < 2 {
+		t.Errorf("straggled/healthy mean step time = %.2f, want >= 2 (nominal 4)", r)
+	}
+	// Deterministic trajectory: stragglers never change the math.
+	hj, _ := healthy.DeterministicJSON()
+	sj, _ := res.DeterministicJSON()
+	if !bytes.Equal(hj, sj) {
+		t.Error("straggler changed the numeric trajectory; it must only inflate simulated time")
+	}
+}
+
+// TestDropRecoveryCompletes is the tentpole train guarantee: a hard drop
+// mid-run checkpoints, rebuilds at the surviving size, resumes and still
+// converges to a full-length result.
+func TestDropRecoveryCompletes(t *testing.T) {
+	w := mlpWorkload()
+	cfg := chaosCfg(4, 10)
+	cfg.EvalEvery = 5
+	cfg.Faults = &comm.FaultPlan{Drops: []comm.Drop{{Rank: 3, Iteration: 5}}}
+	cfg.Recover = true
+	var faultEvents int
+	cfg.Progress = func(p train.Progress) {
+		if p.Kind == "fault" {
+			faultEvents++
+		}
+	}
+	res, err := train.RunContext(context.Background(), w, topkFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TrainLoss.Y) != 10 {
+		t.Fatalf("train loss has %d points, want all 10 iterations", len(res.TrainLoss.Y))
+	}
+	if res.Recoveries != 1 || res.Survivors != 3 {
+		t.Fatalf("recoveries=%d survivors=%d, want 1 and 3", res.Recoveries, res.Survivors)
+	}
+	if res.RecoveryTime <= 0 {
+		t.Fatal("recovery time not recorded")
+	}
+	want := []train.FaultEvent{{Kind: comm.FaultDrop, Rank: 3, Iteration: 5}}
+	if !reflect.DeepEqual(res.Faults, want) {
+		t.Fatalf("faults = %+v, want %+v", res.Faults, want)
+	}
+	if faultEvents != 1 {
+		t.Fatalf("%d fault progress events, want 1", faultEvents)
+	}
+	if n := len(res.Metric.Y); n == 0 || res.Metric.X[n-1] != 10 {
+		t.Fatalf("final evaluation missing: %+v", res.Metric)
+	}
+}
+
+// TestTransientRecoveryKeepsSize: a transient collective error recovers at
+// the same cluster size.
+func TestTransientRecoveryKeepsSize(t *testing.T) {
+	w := mlpWorkload()
+	cfg := chaosCfg(3, 8)
+	cfg.Faults = &comm.FaultPlan{Transients: []comm.Transient{{Rank: 0, Iteration: 4}}}
+	cfg.Recover = true
+	res, err := train.RunContext(context.Background(), w, topkFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries != 1 || res.Survivors != 3 {
+		t.Fatalf("recoveries=%d survivors=%d, want 1 and 3", res.Recoveries, res.Survivors)
+	}
+	if len(res.TrainLoss.Y) != 8 {
+		t.Fatalf("train loss has %d points, want 8", len(res.TrainLoss.Y))
+	}
+}
+
+// TestFaultWithoutRecoverFails: recovery is opt-in — an injected fault on
+// a non-recovering run surfaces as the *FaultError with a partial result.
+func TestFaultWithoutRecoverFails(t *testing.T) {
+	w := mlpWorkload()
+	cfg := chaosCfg(3, 8)
+	cfg.Faults = &comm.FaultPlan{Drops: []comm.Drop{{Rank: 2, Iteration: 3}}}
+	res, err := train.RunContext(context.Background(), w, topkFactory(), cfg)
+	var fe *comm.FaultError
+	if !errors.As(err, &fe) || fe.Iteration != 3 {
+		t.Fatalf("err = %v, want the injected *FaultError at iteration 3", err)
+	}
+	if res == nil || len(res.TrainLoss.Y) != 3 {
+		t.Fatalf("partial result should hold iterations before the fault: %+v", res)
+	}
+	if len(res.Faults) != 1 {
+		t.Fatalf("faults = %+v, want the recorded drop", res.Faults)
+	}
+}
+
+// TestLastWorkerDropFails: dropping the only worker has nothing to
+// recover onto and must error rather than loop.
+func TestLastWorkerDropFails(t *testing.T) {
+	w := mlpWorkload()
+	cfg := chaosCfg(1, 6)
+	cfg.Faults = &comm.FaultPlan{Drops: []comm.Drop{{Rank: 0, Iteration: 2}}}
+	cfg.Recover = true
+	_, err := train.RunContext(context.Background(), w, topkFactory(), cfg)
+	if err == nil {
+		t.Fatal("recovering a 1-worker drop must fail")
+	}
+}
+
+// TestChaosReplayBitIdentical is the acceptance criterion: the same fault
+// plan and seed replay the identical run — numeric record, fault
+// trajectory and recovery accounting all byte-for-byte equal.
+func TestChaosReplayBitIdentical(t *testing.T) {
+	w := mlpWorkload()
+	run := func() *train.Result {
+		cfg := chaosCfg(4, 10)
+		cfg.Faults = &comm.FaultPlan{
+			Stragglers: []comm.Straggler{{Rank: 1, Factor: 4}},
+			Transients: []comm.Transient{{Rank: 0, Iteration: 2}},
+			Drops:      []comm.Drop{{Rank: 3, Iteration: 6}},
+		}
+		cfg.Recover = true
+		res, err := train.RunContext(context.Background(), w, topkFactory(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	aj, err := a.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("chaos replay diverged:\n%s\n%s", aj, bj)
+	}
+	if !reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Fatalf("fault trajectories diverged: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if a.Recoveries != b.Recoveries || a.Survivors != b.Survivors {
+		t.Fatalf("recovery accounting diverged: %d/%d vs %d/%d",
+			a.Recoveries, a.Survivors, b.Recoveries, b.Survivors)
+	}
+	if a.Recoveries != 2 {
+		t.Fatalf("recoveries = %d, want 2 (transient then drop)", a.Recoveries)
+	}
+}
+
+// TestCheckpointResumeEquivalence: for dense fp32 (no worker-local
+// error-feedback state to lose), a drop@k with recovery must land on the
+// byte-exact parameters of the equivalent healthy two-segment run — train
+// n workers to k, checkpoint, train n-1 workers from k on that snapshot.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	w := mlpWorkload()
+	const n, k, total = 4, 5, 10
+	dense := func(cfg train.Config) train.Config {
+		cfg.Density = 0
+		cfg.DisableSparse = true
+		cfg.Checkpoint = true
+		return cfg
+	}
+
+	// Reference segment 1: n workers, iterations [0, k).
+	cfgA := dense(chaosCfg(n, k))
+	segA, err := train.RunContext(context.Background(), w, nil, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference segment 2: n-1 workers resume from the snapshot at k.
+	cfgB := dense(chaosCfg(n-1, total))
+	cfgB.StartIteration = k
+	cfgB.InitCheckpoint = segA.Checkpoint
+	segB, err := train.RunContext(context.Background(), w, nil, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos run: rank n-1 drops at k, recovery resumes at n-1 workers.
+	cfgC := dense(chaosCfg(n, total))
+	cfgC.Faults = &comm.FaultPlan{Drops: []comm.Drop{{Rank: n - 1, Iteration: k}}}
+	cfgC.Recover = true
+	chaos, err := train.RunContext(context.Background(), w, nil, cfgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(chaos.Checkpoint) == 0 || len(segB.Checkpoint) == 0 {
+		t.Fatal("final checkpoints missing")
+	}
+	if !bytes.Equal(chaos.Checkpoint, segB.Checkpoint) {
+		t.Fatal("drop@k + resume diverged from the healthy two-segment reference (dense fp32 must be byte-exact)")
+	}
+}
+
+// TestStartIterationValidation: a resume point outside the run panics.
+func TestStartIterationValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range StartIteration accepted")
+		}
+	}()
+	cfg := chaosCfg(2, 4)
+	cfg.StartIteration = 5
+	train.RunContext(context.Background(), mlpWorkload(), topkFactory(), cfg) //nolint:errcheck
+}
+
+// TestFaultPlanValidatedAtRun: an invalid plan panics before any rank
+// starts, exactly like the other Config validation.
+func TestFaultPlanValidatedAtRun(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid fault plan accepted")
+		}
+	}()
+	cfg := chaosCfg(2, 4)
+	cfg.Faults = &comm.FaultPlan{Drops: []comm.Drop{{Rank: 7, Iteration: 0}}}
+	train.RunContext(context.Background(), mlpWorkload(), topkFactory(), cfg) //nolint:errcheck
+}

@@ -18,7 +18,9 @@
 package train
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -84,6 +86,37 @@ type Config struct {
 	// DisableSparse (the dense baseline ships fp32 by definition).
 	Quantize bool
 
+	// Faults attaches a deterministic chaos schedule (comm.FaultPlan) to
+	// the run: per-rank straggler slowdowns inflate that rank's step time,
+	// and injected transients/drops abort the cluster mid-rendezvous
+	// through the ordinary Abort path. Firing is a pure function of the
+	// plan, so the same plan replays bit-identically. nil keeps the fault
+	// path entirely off the hot loop.
+	Faults *comm.FaultPlan
+
+	// Recover turns injected faults into recoveries instead of failures:
+	// on a fault the trainer checkpoints the replica state (SaveParams),
+	// rebuilds a cluster at the surviving size (a drop loses its rank, a
+	// transient keeps the full size), restores, and resumes at the faulted
+	// iteration. Worker-local optimiser state that a real failure would
+	// lose — the error-feedback residual and the momentum velocity — is
+	// lost here too; the dense momentum-free path recovers byte-exactly.
+	Recover bool
+
+	// StartIteration resumes the iteration counter at this value instead
+	// of 0 (series x-values, RNG streams, LR decay and eval cadence all
+	// use absolute iterations). Used by the recovery path and by resume
+	// tests; pair it with InitCheckpoint to continue a previous run.
+	StartIteration int
+
+	// InitCheckpoint, when non-nil, is a SaveParams blob restored into
+	// every replica before the first iteration.
+	InitCheckpoint []byte
+
+	// Checkpoint records the final parameter state into Result.Checkpoint
+	// (a SaveParams blob) when the run completes.
+	Checkpoint bool
+
 	// CheckSync verifies after every iteration that all replicas hold
 	// bit-identical parameters (they must: every replica applies the same
 	// aggregated update). Cheap insurance in tests; panics on divergence.
@@ -99,15 +132,27 @@ type Config struct {
 
 // Progress is one streamed training event. Kind "record" carries the
 // per-iteration loss/density/error/bytes sample; kind "eval" carries the
-// periodic evaluation metric.
+// periodic evaluation metric; kind "fault" reports an injected fault the
+// run is recovering from (emitted between segments, not on the hot path).
 type Progress struct {
-	Kind          string  `json:"kind"` // "record" | "eval"
+	Kind          string  `json:"kind"` // "record" | "eval" | "fault"
 	Iteration     int     `json:"iteration"`
 	TrainLoss     float64 `json:"train_loss,omitempty"`
 	ActualDensity float64 `json:"actual_density,omitempty"`
 	ErrorNorm     float64 `json:"error_norm,omitempty"`
 	EncodedBytes  float64 `json:"encoded_bytes,omitempty"`
 	Metric        float64 `json:"metric,omitempty"`
+	Fault         string  `json:"fault,omitempty"`
+}
+
+// FaultEvent is one injected fault the run hit, in the order encountered.
+// Rank is in the ORIGINAL cluster numbering (stable across recoveries,
+// unlike the shrinking cluster's own ranks); Iteration is where the fault
+// fired — the iteration a recovery resumed at.
+type FaultEvent struct {
+	Kind      string `json:"kind"` // comm.FaultDrop | comm.FaultTransient
+	Rank      int    `json:"rank"`
+	Iteration int    `json:"iteration"`
 }
 
 // Result aggregates everything the experiments need. The JSON form (see
@@ -165,6 +210,25 @@ type Result struct {
 	// non-finite gradient (the update still proceeds; inspect this to
 	// diagnose divergence).
 	NaNIterations int `json:"nan_iterations"`
+
+	// Chaos record (Config.Faults): the injected faults encountered, how
+	// many the run recovered from, the wall-clock cost of those recoveries
+	// (checkpoint + rebuild + restore), and the worker count the run ended
+	// with (smaller than Workers after a drop).
+	Faults       []FaultEvent `json:"faults,omitempty"`
+	Recoveries   int          `json:"recoveries,omitempty"`
+	RecoveryTime float64      `json:"recovery_time_s,omitempty"`
+	Survivors    int          `json:"survivors,omitempty"`
+	// RankStepTime is the per-rank step-time series (x = iteration, y =
+	// seconds, straggler-inflated), indexed by ORIGINAL rank — a dropped
+	// rank's series simply stops. Recorded only for fault-injected runs so
+	// the healthy path stays allocation-identical.
+	RankStepTime []stats.Series `json:"rank_step_time,omitempty"`
+
+	// Checkpoint is the final parameter state as a SaveParams blob,
+	// populated when Config.Checkpoint is set. Excluded from the JSON
+	// artefact (it is a binary blob, not a metric).
+	Checkpoint []byte `json:"-"`
 }
 
 // Run executes distributed training and returns the collected result.
@@ -191,6 +255,12 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 	if cfg.Quantize && cfg.DisableSparse {
 		panic("train: Quantize applies to the sparse upload path; the dense baseline ships fp32")
 	}
+	if cfg.StartIteration < 0 || cfg.StartIteration > cfg.Iterations {
+		panic(fmt.Sprintf("train: StartIteration %d out of [0, %d]", cfg.StartIteration, cfg.Iterations))
+	}
+	if err := cfg.Faults.Validate(cfg.Workers); err != nil {
+		panic(err.Error())
+	}
 	if cfg.RecordEvery < 1 {
 		cfg.RecordEvery = 1
 	}
@@ -206,7 +276,121 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 		Workers:   cfg.Workers,
 		Density:   cfg.Density,
 		Quantized: cfg.Quantize,
+		Survivors: cfg.Workers,
 	}
+	if cfg.DisableSparse {
+		res.Sparsifier = "dense"
+	} else {
+		probe := factory()
+		res.Sparsifier = probe.Name()
+	}
+	if cfg.Faults != nil {
+		// Per-rank step-time series make straggler skew visible in the
+		// output; allocated only on the chaos path so a healthy run's
+		// allocation profile is untouched.
+		res.RankStepTime = make([]stats.Series, cfg.Workers)
+	}
+
+	seg := segment{
+		workers: cfg.Workers,
+		start:   cfg.StartIteration,
+		plan:    cfg.Faults,
+		init:    cfg.InitCheckpoint,
+		rankMap: make([]int, cfg.Workers),
+	}
+	for i := range seg.rankMap {
+		seg.rankMap[i] = i
+	}
+
+	for {
+		rank0, segErr := runSegment(ctx, w, factory, cfg, res, seg)
+		if segErr == nil {
+			// Final evaluation.
+			m := w.Evaluate(rank0)
+			res.Metric.Append(float64(cfg.Iterations), m)
+			if cfg.Progress != nil {
+				cfg.Progress(Progress{Kind: "eval", Iteration: cfg.Iterations, Metric: m})
+			}
+			if cfg.Checkpoint {
+				blob, err := snapshotParams(rank0)
+				if err != nil {
+					return res, fmt.Errorf("train: final checkpoint: %w", err)
+				}
+				res.Checkpoint = blob
+			}
+			return res, nil
+		}
+		var fe *comm.FaultError
+		if errors.As(segErr, &fe) {
+			res.Faults = append(res.Faults, FaultEvent{Kind: fe.Kind, Rank: seg.rankMap[fe.Rank], Iteration: fe.Iteration})
+		}
+		if fe == nil || !cfg.Recover || ctx.Err() != nil {
+			// Not an injected fault (cancellation, real failure), recovery
+			// disabled, or the surrounding context is gone: hand back the
+			// partial result exactly as a cancelled run does.
+			return res, segErr
+		}
+
+		// Recovery: checkpoint the replica state (rank 0's replica is at
+		// the last completed iteration — no rank can apply an update whose
+		// collectives did not finish, so the abort left every replica
+		// identical), rebuild at the surviving size, restore, and resume
+		// at the faulted iteration. Worker-local error-feedback residuals
+		// and momentum velocity restart at zero, as a real failure loses
+		// them too.
+		t0 := time.Now()
+		blob, err := snapshotParams(rank0)
+		if err != nil {
+			return res, fmt.Errorf("train: recovery checkpoint: %w", err)
+		}
+		if fe.Kind == comm.FaultDrop {
+			if seg.workers == 1 {
+				return res, fmt.Errorf("train: last worker dropped, nothing to recover: %w", segErr)
+			}
+			seg.workers--
+			seg.rankMap = slices.Delete(slices.Clone(seg.rankMap), fe.Rank, fe.Rank+1)
+		}
+		seg.plan = seg.plan.Survive(fe)
+		seg.init = blob
+		seg.start = fe.Iteration
+		res.Recoveries++
+		res.Survivors = seg.workers
+		res.RecoveryTime += time.Since(t0).Seconds()
+		if cfg.Progress != nil {
+			ev := res.Faults[len(res.Faults)-1]
+			cfg.Progress(Progress{Kind: "fault", Iteration: fe.Iteration,
+				Fault: fmt.Sprintf("%s of rank %d: recovered, resuming at iteration %d with %d workers",
+					ev.Kind, ev.Rank, seg.start, seg.workers)})
+		}
+	}
+}
+
+// segment is one fault-free stretch of a run: a cluster size, a resume
+// point, the chaos schedule still pending, the checkpoint to restore, and
+// the mapping from this cluster's ranks back to the original numbering.
+type segment struct {
+	workers int
+	start   int
+	plan    *comm.FaultPlan
+	init    []byte
+	rankMap []int
+}
+
+// snapshotParams serialises a replica's parameters to a SaveParams blob.
+func snapshotParams(m Model) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, m.Params()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runSegment executes iterations [seg.start, cfg.Iterations) on a fresh
+// cluster of seg.workers ranks, accumulating into res. It returns rank 0's
+// replica — valid even for an aborted segment, since every rank goroutine
+// has finished by then — and the abort reason (nil when the segment ran to
+// completion).
+func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg Config, res *Result, seg segment) (Model, error) {
 	// Wire precision of the value payloads: the upload is whatever the
 	// codec emits, but the union values returning from the all-reduce ride
 	// at the same precision as the upload — fp16 halves that leg too.
@@ -216,15 +400,10 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 		prec = wire.Float16
 		valBytes = 2
 	}
-	if cfg.DisableSparse {
-		res.Sparsifier = "dense"
-	} else {
-		probe := factory()
-		res.Sparsifier = probe.Name()
-	}
 
-	n := cfg.Workers
+	n := seg.workers
 	cluster := comm.NewCluster(n)
+	cluster.SetFaultPlan(seg.plan)
 	root := rng.New(cfg.Seed)
 
 	// Per-iteration reduction buffers filled by workers, combined by rank
@@ -242,6 +421,14 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 			rank0 = model
 		}
 		params := model.Params()
+		if seg.init != nil {
+			// Resumed (or externally seeded) segment: every rank restores the
+			// same snapshot, so the replicas start identical exactly as a
+			// fresh NewModel would leave them.
+			if err := LoadParams(bytes.NewReader(seg.init), params); err != nil {
+				panic(fmt.Sprintf("train: restore checkpoint: %v", err))
+			}
+		}
 		layers := Layout(params)
 		ng := layers[len(layers)-1].End
 
@@ -305,13 +492,19 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 
 		lr := cfg.LR
 		decayIdx := 0
+		// Replay the decay schedule a resumed segment skipped over.
+		for decayIdx < len(cfg.LRDecayAt) && cfg.LRDecayAt[decayIdx] < seg.start {
+			lr *= cfg.LRDecay
+			decayIdx++
+		}
 
-		for t := 0; t < cfg.Iterations; t++ {
-			// Cancellation point ahead of the compute phase: collectives
+		for t := seg.start; t < cfg.Iterations; t++ {
+			// Fault checkpoint and cancellation point ahead of the compute
+			// phase: scheduled drops/transients fire here, and collectives
 			// abort on their own, but a rank about to disappear into a long
-			// Step would otherwise burn a full gradient first. One atomic
-			// load when the run is healthy.
-			cm.CheckAbort()
+			// Step would otherwise burn a full gradient first. One nil check
+			// plus one atomic load when the run is healthy.
+			cm.StartIteration(t)
 			for decayIdx < len(cfg.LRDecayAt) && t == cfg.LRDecayAt[decayIdx] {
 				lr *= cfg.LRDecay
 				decayIdx++
@@ -323,6 +516,14 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 			// sections were serialised anyway.
 			curT = t
 			stepTime := isolate(stepFn)
+			if seg.plan != nil {
+				if f := cm.StragglerFactor(t); f != 1 {
+					// A straggler's slowdown is applied to the measured
+					// compute time — the same modelling stance as the α–β
+					// comm model: deterministic shape, simulated magnitude.
+					stepTime = time.Duration(float64(stepTime) * f)
+				}
+			}
 
 			// acc_i ← e_i + η·G_i, fused with the NaN scan in one pass
 			// over the parameter gradients (no flattening copy).
@@ -565,6 +766,14 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 				}
 				res.WireBytes += iterBytes
 				if t%cfg.RecordEvery == 0 {
+					if res.RankStepTime != nil {
+						// Per-rank step times under the ORIGINAL numbering,
+						// so a rank's series survives renumbering when a
+						// lower rank drops.
+						for i := range perWorker {
+							res.RankStepTime[seg.rankMap[i]].Append(float64(t), perWorker[i].stepTime.Seconds())
+						}
+					}
 					res.TrainLoss.Append(float64(t), lossSum/float64(n))
 					res.ErrorNorm.Append(float64(t), errSum/float64(n))
 					res.ActualDensity.Append(float64(t), float64(k)/float64(ng))
@@ -592,20 +801,11 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 		}
 	})
 
-	res.Traffic = cluster.Traffic()
-	if runErr != nil {
-		// Cancelled: hand back whatever rank 0 recorded before the abort
-		// (the series are consistent — they are only appended between the
-		// two lockstep barriers) and skip the final evaluation.
-		return res, runErr
-	}
-	// Final evaluation.
-	m := w.Evaluate(rank0)
-	res.Metric.Append(float64(cfg.Iterations), m)
-	if cfg.Progress != nil {
-		cfg.Progress(Progress{Kind: "eval", Iteration: cfg.Iterations, Metric: m})
-	}
-	return res, nil
+	// Accumulate (not assign): a recovered run's traffic is the sum over
+	// its segments. On an aborted segment the partial series are still
+	// consistent — rank 0 only appends between the two lockstep barriers.
+	res.Traffic.Add(cluster.Traffic())
+	return rank0, runErr
 }
 
 // overheadReporter is implemented by DEFT to expose its partition-vs-select

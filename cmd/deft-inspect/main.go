@@ -10,10 +10,16 @@
 //	deft-inspect -catalog lstm -workers 16 -density 0.001
 //	deft-inspect -workload vision -workers 8 -density 0.01
 //	deft-inspect -workload mlp -json > inspect.json
+//	deft-inspect -workload mlp -comm 30          # modeled vs measured comm per scheme
+//	deft-inspect -watch http://localhost:8080/v1/jobs/job-000001/stream
 //
 // Output is two tables (fragment allocation, wire footprint); -json emits
 // them with the shared experiments.Table serialization used by deft-serve
-// and deft-bench.
+// and deft-bench. -comm N trains every scheme for N iterations and
+// reports the topology-modeled comm time next to the measured collective
+// combine wall with the model error per scheme. -watch renders a running
+// job\'s per-layer allocation live from its NDJSON stream (pass - to read
+// the stream from stdin).
 package main
 
 import (
@@ -47,9 +53,25 @@ func main() {
 	faults := flag.String("faults", "",
 		"also inspect a chaos schedule (JSON fault plan or shorthand like 'straggler:1x4,drop:3@50') against -workers")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON instead of text")
+	commIters := flag.Int("comm", 0,
+		"train every scheme for N iterations and report modeled vs measured comm time per scheme (0 = off; needs -workload)")
+	watchSource := flag.String("watch", "",
+		"render a job's per-layer allocation live from its NDJSON stream: a deft-serve /v1/jobs/{id}/stream URL, a file, or - for stdin")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"run up to N sparsifier schemes' selection+encode concurrently (1 = sequential); output is byte-identical either way")
 	flag.Parse()
+
+	if *watchSource != "" {
+		if err := watch(*watchSource); err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: -watch: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *commIters > 0 && *workload == "" {
+		fmt.Fprintln(os.Stderr, "deft-inspect: -comm trains real workloads; pass -workload")
+		os.Exit(2)
+	}
 
 	var layers []sparsifier.Layer
 	var grad []float64
@@ -93,6 +115,9 @@ func main() {
 	tables := []*experiments.Table{
 		fragmentTable(layers, grad, *workers, *density, source, rows),
 		wireTable(layers, grad, *workers, *density, *parallel),
+	}
+	if *commIters > 0 {
+		tables = append(tables, commTable(*workload, *workers, *density, *commIters))
 	}
 	if *faults != "" {
 		plan, err := registry.ParseFaultPlan(*faults)
@@ -343,6 +368,55 @@ func faultTable(plan *comm.FaultPlan, workers int) *experiments.Table {
 	t.Notes = append(t.Notes,
 		"canonical JSON (replayable via deft-train -faults / spec \"faults\"): "+string(canonical),
 		"firing is a pure function of (plan, rank, iteration, attempt): the same plan replays bit-identically")
+	return t
+}
+
+// commTable trains every sparsifier scheme for iters iterations on the
+// workload and reports the topology-modeled comm time (WireCommTime, a
+// pure function of encoded bytes and the cost model) next to the measured
+// wall-clock the collectives' combine steps actually took, with the model
+// error per scheme. The two columns answer different questions — "what
+// would this cost on the modeled network" vs "what did the simulated
+// collectives cost here" — and the error column is how far apart they are.
+func commTable(workload string, workers int, density float64, iters int) *experiments.Table {
+	t := &experiments.Table{
+		ID: "inspect-comm",
+		Title: fmt.Sprintf("Modeled vs measured comm — workload %s, workers=%d, d=%g, %d iterations",
+			workload, workers, density, iters),
+		Columns: []string{"scheme", "modeled comm (s)", "measured wall (s)", "collectives", "error"},
+	}
+	for _, name := range registry.Sparsifiers() {
+		w, err := registry.NewWorkload(workload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		factory, dense, err := registry.NewFactory(name, w, density)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		cfg := train.Config{
+			Workers: workers, Density: density, LR: 0.1,
+			Iterations: iters, DisableSparse: dense,
+			CostModel: comm.DefaultCostModel(), Topology: comm.DefaultTopology(),
+		}
+		res := train.Run(w, factory, cfg)
+		measured := res.CommWall.TotalSeconds()
+		collectives := res.CommWall.Barrier.Count + res.CommWall.Broadcast.Count +
+			res.CommWall.AllGather.Count + res.CommWall.AllReduce.Count
+		errPct := "n/a"
+		if res.WireCommTime > 0 {
+			errPct = fmt.Sprintf("%+.1f%%", 100*(measured-res.WireCommTime)/res.WireCommTime)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%.4f", res.WireCommTime), fmt.Sprintf("%.4f", measured),
+			fmt.Sprintf("%d", collectives), errPct,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"modeled = WireCommTime: encoded bytes through the α–β topology cost model",
+		"measured = wall-clock of the in-process collectives' combine steps (Result.comm_wall); the error column is (measured−modeled)/modeled")
 	return t
 }
 

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/train"
+)
+
+// watchEvent mirrors the serve stream's NDJSON line shape (see
+// internal/serve stream.go): a type tag plus an embedded train.Progress
+// for progress events.
+type watchEvent struct {
+	Type    string `json:"type"`
+	State   string `json:"state"`
+	Error   string `json:"error"`
+	Attempt int    `json:"attempt"`
+	*train.Progress
+}
+
+// watch consumes a job's NDJSON stream — from a deft-serve
+// /v1/jobs/{id}/stream URL or stdin ("-") — and renders the per-layer
+// fragment-allocation table live as ProgressEvery snapshots arrive.
+func watch(source string) error {
+	var r io.Reader
+	switch {
+	case source == "-":
+		r = os.Stdin
+	case strings.HasPrefix(source, "http://") || strings.HasPrefix(source, "https://"):
+		resp, err := http.Get(source)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("stream %s: HTTP %d", source, resp.StatusCode)
+		}
+		r = resp.Body
+	default:
+		f, err := os.Open(source)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	clear := false
+	if fi, err := os.Stdout.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		clear = true
+	}
+	return runWatch(r, os.Stdout, clear)
+}
+
+// runWatch is the testable core of -watch: it decodes NDJSON events from
+// r and writes the live rendering to w. With clear set (stdout is a
+// terminal) each layer snapshot repaints the screen; otherwise snapshots
+// append, which keeps piped output a plain log.
+func runWatch(r io.Reader, w io.Writer, clear bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	snapshots := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev watchEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("bad NDJSON line %q: %w", line, err)
+		}
+		switch ev.Type {
+		case "state":
+			fmt.Fprintf(w, "state: %s\n", ev.State)
+		case "retry":
+			fmt.Fprintf(w, "retry: attempt %d (%s)\n", ev.Attempt, ev.Error)
+		case "done":
+			if ev.Error != "" {
+				fmt.Fprintf(w, "done: %s (%s)\n", ev.State, ev.Error)
+			} else {
+				fmt.Fprintf(w, "done: %s (%d layer snapshots)\n", ev.State, snapshots)
+			}
+		case "progress":
+			if ev.Progress == nil {
+				continue
+			}
+			switch {
+			case len(ev.Layers) > 0:
+				if clear {
+					fmt.Fprint(w, "\033[H\033[2J")
+				}
+				snapshots++
+				renderLayers(w, ev.Progress)
+			case ev.Kind == "eval":
+				fmt.Fprintf(w, "eval @ %-6d metric = %.4f\n", ev.Iteration, ev.Metric)
+			case ev.Kind == "fault":
+				fmt.Fprintf(w, "fault: %s @ %d\n", ev.Fault, ev.Iteration)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// renderLayers prints one per-layer snapshot: fragment allocation (k and
+// realised per-layer density, with a proportional bar) and the residual
+// gradient norm per layer.
+func renderLayers(w io.Writer, p *train.Progress) {
+	fmt.Fprintf(w, "iteration %-8d loss %-10.4f density %-10.6f ‖e‖ %.4f\n",
+		p.Iteration, p.TrainLoss, p.ActualDensity, p.ErrorNorm)
+	fmt.Fprintf(w, "%-28s %10s %8s %9s %12s  %s\n", "layer", "size", "k", "k/size", "norm", "allocation")
+	maxK := 1
+	for _, ls := range p.Layers {
+		if ls.K > maxK {
+			maxK = ls.K
+		}
+	}
+	totalSize, totalK := 0, 0
+	for _, ls := range p.Layers {
+		bar := strings.Repeat("█", (ls.K*24+maxK-1)/maxK)
+		fmt.Fprintf(w, "%-28s %10d %8d %8.4f%% %12.5g  %s\n",
+			truncate(ls.Name, 28), ls.Size, ls.K,
+			100*float64(ls.K)/float64(max(ls.Size, 1)), ls.Norm, bar)
+		totalSize += ls.Size
+		totalK += ls.K
+	}
+	fmt.Fprintf(w, "%-28s %10d %8d %8.4f%%\n\n", "total", totalSize, totalK,
+		100*float64(totalK)/float64(max(totalSize, 1)))
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunWatchRendersLayerTable feeds runWatch the NDJSON line shapes the
+// serve stream emits and asserts the live table renders every per-layer
+// snapshot with allocation and norms, plus the lifecycle lines.
+func TestRunWatchRendersLayerTable(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"type":"state","state":"queued"}`,
+		`{"type":"state","state":"running"}`,
+		`{"type":"progress","kind":"record","iteration":0,"train_loss":0.6931,"actual_density":0.05,"error_norm":1.25,` +
+			`"layers":[{"name":"hidden.w","size":4096,"k":210,"norm":0.82},{"name":"out.b","size":10,"k":1,"norm":0.03}]}`,
+		`{"type":"progress","kind":"record","iteration":1,"train_loss":0.69}`,
+		`{"type":"progress","kind":"eval","iteration":4,"metric":0.52}`,
+		`{"type":"progress","kind":"record","iteration":4,"train_loss":0.61,"actual_density":0.05,"error_norm":1.1,` +
+			`"layers":[{"name":"hidden.w","size":4096,"k":200,"norm":0.8},{"name":"out.b","size":10,"k":11,"norm":0.02}]}`,
+		`{"type":"done","state":"done"}`,
+	}, "\n")
+
+	var out bytes.Buffer
+	if err := runWatch(strings.NewReader(stream), &out, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"state: running",
+		"iteration 0",
+		"hidden.w",
+		"out.b",
+		"4096",
+		"210",
+		"eval @ 4",
+		"done: done (2 layer snapshots)",
+		"total",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("watch output missing %q\n%s", want, got)
+		}
+	}
+	// Two snapshots → the layer header renders twice.
+	if n := strings.Count(got, "allocation"); n != 2 {
+		t.Errorf("layer table rendered %d times, want 2", n)
+	}
+	// Piped mode (clear=false) must not emit terminal escapes.
+	if strings.Contains(got, "\033[") {
+		t.Error("non-terminal output contains ANSI escapes")
+	}
+}
+
+// TestRunWatchBadLine: a malformed NDJSON line is a decoding error, not a
+// silent skip.
+func TestRunWatchBadLine(t *testing.T) {
+	err := runWatch(strings.NewReader("{not json}\n"), &bytes.Buffer{}, false)
+	if err == nil {
+		t.Fatal("malformed line must error")
+	}
+}

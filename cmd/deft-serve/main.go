@@ -14,6 +14,11 @@
 //	curl -N localhost:8080/v1/jobs/job-000001/stream
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
 //
+// GET /metrics serves Prometheus text (append ?format=expvar for the
+// legacy JSON). -pprof mounts net/http/pprof under /debug/pprof/ for
+// profiling under load; -trace writes a Chrome trace of job lifecycle
+// spans (queued, running, attempt N, stream) on shutdown.
+//
 // SIGINT/SIGTERM shut down gracefully: running trainers abort
 // mid-iteration, queued jobs drain as cancelled, then the process exits.
 package main
@@ -25,11 +30,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -38,10 +45,28 @@ func main() {
 	pool := flag.Int("pool", 2, "concurrent flights (each training flight spawns its own worker goroutines)")
 	queueDepth := flag.Int("queue", 256, "max queued flights before submissions get 503")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: exposes goroutine and heap internals)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of job lifecycle spans on shutdown")
 	flag.Parse()
 
-	srv := serve.New(serve.Options{Pool: *pool, Queue: *queueDepth})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer("deft-serve")
+	}
+	srv := serve.New(serve.Options{Pool: *pool, Queue: *queueDepth, Tracer: tracer})
+	handler := srv.Handler()
+	if *pprofFlag {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("deft-serve: pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -70,6 +95,17 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("deft-serve: http shutdown: %v", err)
+	}
+	if tracer != nil {
+		if f, err := os.Create(*tracePath); err != nil {
+			log.Printf("deft-serve: -trace: %v", err)
+		} else {
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				log.Printf("deft-serve: -trace: %v", err)
+			}
+			f.Close()
+			log.Printf("deft-serve: wrote %d lifecycle spans to %s", tracer.SpanCount(), *tracePath)
+		}
 	}
 	log.Printf("deft-serve: drained cleanly")
 }

@@ -8,6 +8,7 @@
 //	deft-train -workload langmodel -sparsifier deft -quantize   # fp16 wire payloads
 //	deft-train -workload mlp -faults 'drop:3@50' -recover       # chaos + recovery
 //	deft-train -workload mlp -json > result.json
+//	deft-train -workload mlp -trace trace.json                  # Perfetto phase trace
 //
 // Workloads: mlp, vision, langmodel, recsys.
 // Sparsifiers: deft, topk, cltk, sidco, randk, dgc, gaussiank,
@@ -25,6 +26,7 @@ import (
 	"os"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/train"
 )
@@ -46,6 +48,10 @@ func main() {
 	recoverFlag := flag.Bool("recover", false,
 		"on an injected drop/transient: checkpoint, rebuild the cluster at the surviving size and resume")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
+	tracePath := flag.String("trace", "",
+		"write a Chrome trace-event JSON file of per-rank phase spans (load in Perfetto or chrome://tracing)")
+	progressEvery := flag.Int("progress-every", 0,
+		"emit per-layer allocation/norm snapshots every N record iterations (0 = off)")
 	flag.Parse()
 
 	w, err := registry.NewWorkload(*workload)
@@ -80,12 +86,35 @@ func main() {
 		Recover:       *recoverFlag,
 		CostModel:     comm.DefaultCostModel(),
 		Topology:      comm.DefaultTopology(),
+		ProgressEvery: *progressEvery,
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer("deft-train")
+		cfg.Tracer = tracer
 	}
 
 	res, err := train.RunContext(context.Background(), w, factory, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deft-train: %v\n", err)
 		os.Exit(1)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-train: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-train: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "deft-train: wrote %d spans to %s\n", tracer.SpanCount(), *tracePath)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -112,6 +141,9 @@ func main() {
 		res.Traffic.AllGatherBytes, res.Traffic.AllReduceBytes, res.Traffic.BroadcastBytes)
 	fmt.Printf("wire: %d B encoded (%.0f B/iteration), dense fp32 baseline %d B, compression %.2fx\n",
 		res.WireBytes, res.BytesPerIteration(), res.DenseBytes, res.CompressionRatio())
+	fmt.Printf("comm modeled vs measured: modeled (topology) %.3fs, measured combine wall %.3fs across %d collectives\n",
+		res.WireCommTime, res.CommWall.TotalSeconds(),
+		res.CommWall.Barrier.Count+res.CommWall.Broadcast.Count+res.CommWall.AllGather.Count+res.CommWall.AllReduce.Count)
 	if len(res.Faults) > 0 {
 		fmt.Printf("\nchaos: %d injected fault(s), %d recover(ies) costing %.1fms, %d/%d workers surviving\n",
 			len(res.Faults), res.Recoveries, res.RecoveryTime*1000, res.Survivors, res.Workers)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/shapes"
 	"repro/internal/tensor"
@@ -56,6 +57,45 @@ func Cases() []Case {
 		{Name: "WireEncodeCOOVarint", Bench: BenchWireEncodeCOOVarint},
 		{Name: "WireEncodeBitmap", Bench: BenchWireEncodeBitmap},
 		{Name: "WireDecodeCOOVarint", Bench: BenchWireDecodeCOOVarint},
+		{Name: "ObsSpanStartStop", Bench: BenchObsSpanStartStop},
+		{Name: "HistObserve", Bench: BenchHistObserve},
+	}
+}
+
+// BenchObsSpanStartStop measures one enabled-tracer span record — a
+// Start/Stop pair on a warm lane: two monotonic clock reads plus an
+// append into the reusable span buffer. This is the per-phase cost a
+// traced training iteration pays (the disabled tracer pays one nil check,
+// asserted separately by the train package's zero-alloc test).
+func BenchObsSpanStartStop(b *testing.B) {
+	tr := obs.NewTracer("bench")
+	lane := tr.Lane(0, "rank 0")
+	// Warm the span buffer so steady state is append-into-capacity.
+	for i := 0; i < 4096; i++ {
+		lane.Start(obs.PhaseSelect, i)
+		lane.Stop()
+	}
+	lane.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane.Start(obs.PhaseSelect, i)
+		lane.Stop()
+		if i&0xfff == 0xfff {
+			lane.Reset() // bound the buffer; amortised away
+		}
+	}
+}
+
+// BenchHistObserve measures one histogram observation: three atomic adds
+// with a bits.Len64 bucket index, the cost the serve hot paths pay per
+// queue-wait / run-duration sample.
+func BenchHistObserve(b *testing.B) {
+	var h obs.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)<<10 + 137)
 	}
 }
 

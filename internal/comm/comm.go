@@ -27,6 +27,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -77,6 +78,12 @@ type Cluster struct {
 	faults *FaultPlan
 
 	traffic TrafficCounter
+
+	// Measured combine wall clock per collective kind (guarded by mu:
+	// combines run under the lock in the last-arrival branch). Two clock
+	// reads per collective, no allocation — cheap enough to stay on.
+	wallNS    [numCollectiveKinds]int64
+	wallCount [numCollectiveKinds]int64
 }
 
 // ErrAborted is the abort reason when Abort is called with a nil error.
@@ -268,18 +275,32 @@ func (c *Comm) CheckAbort() {
 // Size returns the cluster size.
 func (c *Comm) Size() int { return c.cluster.n }
 
+// collectiveKind indexes the measured-wall accumulators; one slot per
+// collective family the trainer issues.
+type collectiveKind uint8
+
+const (
+	kindBarrier collectiveKind = iota
+	kindBroadcast
+	kindAllGather
+	kindAllReduce
+	numCollectiveKinds
+)
+
 // exchange is the rendezvous core, generic over the payload type. Every
 // rank deposits contrib into the mailbox; the last arrival runs combine
 // over the deposited slots (indexed by rank) and the shared result is
 // returned to every rank. combine runs exactly once per generation, under
-// the cluster lock.
+// the cluster lock; its wall-clock time — the in-process analogue of the
+// network actually moving and merging bytes — is accumulated per
+// collective kind for the modeled-vs-measured comparison (CommWall).
 //
 // The result may alias cluster-owned buffers: a rank must copy what it
 // needs before entering its next collective. That ordering is safe without
 // extra synchronisation because the next combine of any type cannot run
 // until all n ranks have deposited again, which each rank only does after
 // it is done reading.
-func exchange[T any](c *Comm, mb *mailbox[T], contrib T, combine func(slots []T) T) T {
+func exchange[T any](c *Comm, kind collectiveKind, mb *mailbox[T], contrib T, combine func(slots []T) T) T {
 	cl := c.cluster
 	cl.mu.Lock()
 	if err := cl.abortErr; err != nil {
@@ -290,7 +311,10 @@ func exchange[T any](c *Comm, mb *mailbox[T], contrib T, combine func(slots []T)
 	mb.slots[c.rank] = contrib
 	cl.arrived++
 	if cl.arrived == cl.n {
+		start := time.Now()
 		mb.result = combine(mb.slots)
+		cl.wallNS[kind] += int64(time.Since(start))
+		cl.wallCount[kind]++
 		cl.arrived = 0
 		cl.generation++
 		cl.cond.Broadcast()
@@ -312,7 +336,7 @@ func exchange[T any](c *Comm, mb *mailbox[T], contrib T, combine func(slots []T)
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
-	exchange(c, &c.cluster.ints, nil, func([][]int) []int { return nil })
+	exchange(c, kindBarrier, &c.cluster.ints, nil, func([][]int) []int { return nil })
 }
 
 // BroadcastInts distributes root's slice to every rank. Every rank receives
@@ -325,7 +349,7 @@ func (c *Comm) BroadcastInts(root int, data []int) []int {
 // is copied into dst (grown only when capacity is insufficient).
 func (c *Comm) BroadcastIntsInto(root int, data []int, dst []int) []int {
 	c.checkRoot(root)
-	src := exchange(c, &c.cluster.ints, data, func(slots [][]int) []int {
+	src := exchange(c, kindBroadcast, &c.cluster.ints, data, func(slots [][]int) []int {
 		s := slots[root]
 		c.cluster.traffic.BroadcastBytes += intPayloadBytes(s)
 		return s
@@ -341,7 +365,7 @@ func (c *Comm) BroadcastFloats(root int, data []float64) []float64 {
 // BroadcastFloatsInto is the scratch-buffer form of BroadcastFloats.
 func (c *Comm) BroadcastFloatsInto(root int, data []float64, dst []float64) []float64 {
 	c.checkRoot(root)
-	src := exchange(c, &c.cluster.floats, data, func(slots [][]float64) []float64 {
+	src := exchange(c, kindBroadcast, &c.cluster.floats, data, func(slots [][]float64) []float64 {
 		s := slots[root]
 		c.cluster.traffic.BroadcastBytes += 4 * int64(len(s)) // fp32 on the wire
 		return s
@@ -371,7 +395,7 @@ func (c *Comm) BroadcastIntsNested(root int, data [][]int) [][]int {
 		c.nestedFlat = flat
 		contrib = flat
 	}
-	src := exchange(c, &c.cluster.ints, contrib, func(slots [][]int) []int {
+	src := exchange(c, kindBroadcast, &c.cluster.ints, contrib, func(slots [][]int) []int {
 		cl := c.cluster
 		s := slots[root]
 		// The flattened header+data ships as uint32s: lengths and fragment
@@ -410,7 +434,7 @@ func (c *Comm) AllGatherInts(data []int) []int {
 
 // AllGatherIntsInto is the scratch-buffer form of AllGatherInts.
 func (c *Comm) AllGatherIntsInto(data []int, dst []int) []int {
-	shared := exchange(c, &c.cluster.ints, data, func(slots [][]int) []int {
+	shared := exchange(c, kindAllGather, &c.cluster.ints, data, func(slots [][]int) []int {
 		cl := c.cluster
 		total := 0
 		for _, s := range slots {
@@ -445,7 +469,7 @@ func (c *Comm) AllGatherUniqueInts(data []int) []int {
 
 // AllGatherUniqueIntsInto is the scratch-buffer form of AllGatherUniqueInts.
 func (c *Comm) AllGatherUniqueIntsInto(data []int, dst []int) []int {
-	shared := exchange(c, &c.cluster.ints, data, func(slots [][]int) []int {
+	shared := exchange(c, kindAllGather, &c.cluster.ints, data, func(slots [][]int) []int {
 		cl := c.cluster
 		total := 0
 		for _, s := range slots {
@@ -496,7 +520,7 @@ func (c *Comm) AllReduceSum(data []float64) []float64 {
 
 // AllReduceSumInto is the scratch-buffer form of AllReduceSum.
 func (c *Comm) AllReduceSumInto(data []float64, dst []float64) []float64 {
-	shared := exchange(c, &c.cluster.floats, data, func(slots [][]float64) []float64 {
+	shared := exchange(c, kindAllReduce, &c.cluster.floats, data, func(slots [][]float64) []float64 {
 		cl := c.cluster
 		sum := growFloats(&cl.floatBuf, len(slots[0]))
 		copy(sum, slots[0])
@@ -522,7 +546,7 @@ func (c *Comm) AllReduceMax(data []float64) []float64 {
 
 // AllReduceMaxInto is the scratch-buffer form of AllReduceMax.
 func (c *Comm) AllReduceMaxInto(data []float64, dst []float64) []float64 {
-	shared := exchange(c, &c.cluster.floats, data, func(slots [][]float64) []float64 {
+	shared := exchange(c, kindAllReduce, &c.cluster.floats, data, func(slots [][]float64) []float64 {
 		cl := c.cluster
 		m := growFloats(&cl.floatBuf, len(slots[0]))
 		copy(m, slots[0])
@@ -591,6 +615,69 @@ func (t *TrafficCounter) Add(o TrafficCounter) {
 	t.AllGatherBytes += o.AllGatherBytes
 	t.AllReduceBytes += o.AllReduceBytes
 	t.BroadcastBytes += o.BroadcastBytes
+}
+
+// CollectiveWall is the measured combine wall clock of one collective
+// family: how many combines ran and how long they took in total.
+type CollectiveWall struct {
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// add accumulates ns/count into the wall entry.
+func (w *CollectiveWall) add(o CollectiveWall) {
+	w.Count += o.Count
+	w.Seconds += o.Seconds
+}
+
+// CommWall is the measured counterpart of the modeled WireCommTime: the
+// wall clock actually spent combining payloads per collective family.
+// In this in-process substrate the combine (merge, sum, copy under the
+// cluster lock) is the data movement; comparing it against the α–β and
+// topology models is what turns those models from predictions into
+// testable claims.
+type CommWall struct {
+	Barrier   CollectiveWall `json:"barrier"`
+	Broadcast CollectiveWall `json:"broadcast"`
+	AllGather CollectiveWall `json:"allgather"`
+	AllReduce CollectiveWall `json:"allreduce"`
+}
+
+// TotalSeconds sums the measured wall over all collective families.
+func (w CommWall) TotalSeconds() float64 {
+	return w.Barrier.Seconds + w.Broadcast.Seconds + w.AllGather.Seconds + w.AllReduce.Seconds
+}
+
+// Add accumulates another snapshot into w (the trainer sums the segments
+// of a recovered run into one per-run record).
+func (w *CommWall) Add(o CommWall) {
+	w.Barrier.add(o.Barrier)
+	w.Broadcast.add(o.Broadcast)
+	w.AllGather.add(o.AllGather)
+	w.AllReduce.add(o.AllReduce)
+}
+
+// CommWall returns a snapshot of the measured combine wall clock.
+func (c *Cluster) CommWall() CommWall {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	at := func(k collectiveKind) CollectiveWall {
+		return CollectiveWall{Count: c.wallCount[k], Seconds: float64(c.wallNS[k]) / 1e9}
+	}
+	return CommWall{
+		Barrier:   at(kindBarrier),
+		Broadcast: at(kindBroadcast),
+		AllGather: at(kindAllGather),
+		AllReduce: at(kindAllReduce),
+	}
+}
+
+// ResetCommWall zeroes the measured wall accumulators.
+func (c *Cluster) ResetCommWall() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wallNS = [numCollectiveKinds]int64{}
+	c.wallCount = [numCollectiveKinds]int64{}
 }
 
 // intPayloadBytes returns the wire footprint of an int payload: the COO

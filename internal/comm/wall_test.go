@@ -1,0 +1,52 @@
+package comm
+
+import "testing"
+
+// TestCommWallCounts: every collective family a run issues shows up in
+// the measured-wall snapshot with the exact combine count, and Reset
+// zeroes it.
+func TestCommWallCounts(t *testing.T) {
+	c := NewCluster(4)
+	const iters = 3
+	c.Run(func(cm *Comm) {
+		for i := 0; i < iters; i++ {
+			cm.Barrier()
+			cm.BroadcastInts(0, []int{1, 2, 3})
+			cm.AllGatherUniqueInts([]int{cm.Rank(), cm.Rank() + 1})
+			cm.AllReduceSum([]float64{1, 2})
+		}
+	})
+	w := c.CommWall()
+	if w.Barrier.Count != iters {
+		t.Errorf("barrier combines = %d, want %d", w.Barrier.Count, iters)
+	}
+	if w.Broadcast.Count != iters {
+		t.Errorf("broadcast combines = %d, want %d", w.Broadcast.Count, iters)
+	}
+	if w.AllGather.Count != iters {
+		t.Errorf("allgather combines = %d, want %d", w.AllGather.Count, iters)
+	}
+	if w.AllReduce.Count != iters {
+		t.Errorf("allreduce combines = %d, want %d", w.AllReduce.Count, iters)
+	}
+	for _, s := range []float64{w.Barrier.Seconds, w.Broadcast.Seconds, w.AllGather.Seconds, w.AllReduce.Seconds} {
+		if s < 0 {
+			t.Errorf("negative measured wall %v", s)
+		}
+	}
+	if w.TotalSeconds() < w.AllReduce.Seconds {
+		t.Error("TotalSeconds smaller than one component")
+	}
+
+	sum := CommWall{}
+	sum.Add(w)
+	sum.Add(w)
+	if sum.AllGather.Count != 2*iters {
+		t.Errorf("Add: allgather count = %d, want %d", sum.AllGather.Count, 2*iters)
+	}
+
+	c.ResetCommWall()
+	if got := c.CommWall(); got.TotalSeconds() != 0 || got.Barrier.Count != 0 {
+		t.Errorf("after reset: %+v", got)
+	}
+}

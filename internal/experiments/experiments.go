@@ -44,6 +44,12 @@ type Options struct {
 	// (memoised runs replay nothing). It inherits train.Config.Progress's
 	// contract: fast and non-blocking.
 	Progress func(run string, p train.Progress)
+	// ProgressEvery forwards train.Config.ProgressEvery to every
+	// underlying run: per-layer allocation/norm snapshots ride each
+	// ProgressEvery-th record event of the Progress stream. 0 = off.
+	// Like Progress it is not part of the run cache key: a memoised
+	// result keeps the layer series of the run that first trained it.
+	ProgressEvery int
 
 	// ctx carries cancellation from RunContext down into cachedRun; nil
 	// means Background. Unexported so Run/RunContext stay the only doors.
@@ -280,6 +286,7 @@ func cachedRun(o Options, key string, w train.Workload, factory sparsifier.Facto
 		progress := o.Progress
 		cfg.Progress = func(p train.Progress) { progress(key, p) }
 	}
+	cfg.ProgressEvery = o.ProgressEvery
 	for {
 		runMu.Lock()
 		if r, ok := runCache[key]; ok {

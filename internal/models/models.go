@@ -17,6 +17,7 @@ package models
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/nn"
@@ -24,6 +25,19 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
+
+// sampleClock times the dataset-sampling prefix of a model Step so the
+// trainer's tracer can split the "sample" phase out of forward/backward.
+// Embedded by every model; the cost is two monotonic clock reads per
+// Step, with no allocation.
+type sampleClock struct {
+	last time.Duration
+}
+
+// LastSampleTime reports how long the most recent Step spent sampling
+// its minibatch. It satisfies the optional interface the trainer probes
+// when tracing is enabled.
+func (s *sampleClock) LastSampleTime() time.Duration { return s.last }
 
 // ---------------------------------------------------------------- vision --
 
@@ -71,6 +85,7 @@ func (v *Vision) MetricName() string { return "test accuracy (%)" }
 
 // VisionModel is a small residual CNN.
 type VisionModel struct {
+	sampleClock
 	net *nn.Sequential
 	ds  *data.Vision
 	cfg VisionConfig
@@ -121,7 +136,9 @@ func (m *VisionModel) Step(r *rng.RNG) float64 {
 		m.batchX = tensor.New(m.cfg.BatchSize, d.Channels, d.Size, d.Size)
 		m.batchY = make([]int, m.cfg.BatchSize)
 	}
+	sampleStart := time.Now()
 	m.ds.SampleInto(r, m.batchX, m.batchY)
+	m.sampleClock.last = time.Since(sampleStart)
 	logits := m.net.Forward(m.batchX, true)
 	loss, grad := nn.SoftmaxCrossEntropyInto(logits, m.batchY, m.lossGrad)
 	m.lossGrad = grad
@@ -191,6 +208,7 @@ func (t *Text) MetricName() string { return "test perplexity" }
 
 // TextModel is Embedding → LSTM → Dense over each timestep.
 type TextModel struct {
+	sampleClock
 	emb  *nn.Embedding
 	lstm *nn.LSTM
 	out  *nn.Dense
@@ -237,7 +255,9 @@ func (m *TextModel) Step(r *rng.RNG) float64 {
 		m.batchX = tensor.New(m.cfg.BatchSize, m.cfg.Data.SeqLen)
 		m.batchT = make([]int, m.cfg.BatchSize*m.cfg.Data.SeqLen)
 	}
+	sampleStart := time.Now()
 	m.ds.SampleInto(r, m.batchX, m.batchT)
+	m.sampleClock.last = time.Since(sampleStart)
 	x, targets := m.batchX, m.batchT
 	logits := m.forward(x, true)
 	loss, grad := nn.SoftmaxCrossEntropyInto(logits, targets, m.lossGrad)
@@ -313,6 +333,7 @@ func (rw *Recsys) MetricName() string { return "hr@10 (%)" }
 // embeddings through two dense layers), fused by a final dense layer to one
 // logit (He et al. [18]).
 type RecsysModel struct {
+	sampleClock
 	userG, itemG *nn.Embedding // GMF embeddings
 	userM, itemM *nn.Embedding // MLP embeddings
 	fc1, fc2     *nn.Dense
@@ -422,7 +443,9 @@ func (m *RecsysModel) backward(dlogits *tensor.Tensor) {
 
 // Step implements train.Model.
 func (m *RecsysModel) Step(r *rng.RNG) float64 {
+	sampleStart := time.Now()
 	m.users, m.items, m.labels = m.ds.SampleInto(r, m.cfg.Positives, m.cfg.NegRatio, m.users, m.items, m.labels)
+	m.sampleClock.last = time.Since(sampleStart)
 	logits := m.forward(m.users, m.items, true)
 	loss, grad := nn.BCEWithLogitsInto(logits, m.labels, m.lossGrad)
 	m.lossGrad = grad
@@ -497,6 +520,7 @@ func (m *MLP) MetricName() string { return "test accuracy (%)" }
 
 // MLPModel is Flatten → Dense → ReLU → Dense.
 type MLPModel struct {
+	sampleClock
 	net *nn.Sequential
 	ds  *data.Vision
 	cfg MLPConfig
@@ -536,7 +560,9 @@ func (mm *MLPModel) Step(r *rng.RNG) float64 {
 		mm.batchX = tensor.New(mm.cfg.BatchSize, d.Channels, d.Size, d.Size)
 		mm.batchY = make([]int, mm.cfg.BatchSize)
 	}
+	sampleStart := time.Now()
 	mm.ds.SampleInto(r, mm.batchX, mm.batchY)
+	mm.sampleClock.last = time.Since(sampleStart)
 	logits := mm.net.Forward(mm.batchX, true)
 	loss, grad := nn.SoftmaxCrossEntropyInto(logits, mm.batchY, mm.lossGrad)
 	mm.lossGrad = grad

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format produced by Registry.WritePrometheus.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Counter is a monotonically increasing metric. Safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of internal log2 buckets: bucket i counts
+// observations with bits.Len64(ns) == i, i.e. durations in
+// [2^(i-1), 2^i) ns, which spans 1ns through ~292 years in 64 buckets.
+const histBuckets = 64
+
+// Histogram records nanosecond durations into log2 buckets with no
+// locks: one Observe is three atomic adds. Quantiles interpolated from
+// the buckets are exact to within a factor of 2 — the right tool for
+// latency distributions where the interesting signal is orders of
+// magnitude, not microseconds.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// Observe records one duration in nanoseconds. Negative observations
+// are clamped to zero.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// HistSnapshot is a point-in-time summary of a histogram in seconds.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P90   float64 `json:"p90_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+// Snapshot returns the current count, sum and p50/p90/p99 estimates.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   float64(h.sumNS.Load()) / 1e9,
+		P50:   quantile(&counts, total, 0.50),
+		P90:   quantile(&counts, total, 0.90),
+		P99:   quantile(&counts, total, 0.99),
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantile(&counts, total, q)
+}
+
+// quantile walks the cumulative bucket counts and interpolates linearly
+// inside the bucket containing the q-th observation. Returns seconds.
+func quantile(counts *[histBuckets]int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			// Bucket i spans [lo, hi) ns with hi = 2^i, lo = hi/2
+			// (bucket 0 is exactly 0ns).
+			if i == 0 {
+				return 0
+			}
+			hi := math.Ldexp(1, i)
+			lo := hi / 2
+			frac := (rank - float64(prev)) / float64(c)
+			return (lo + frac*(lo)) / 1e9 // lo + frac*(hi-lo)
+		}
+	}
+	return math.Ldexp(1, histBuckets-1) / 1e9
+}
+
+// promBounds are the published `le` bucket bounds in seconds: powers of
+// 4 from 1µs to ~4.4 hours plus +Inf — 17 lines per histogram, enough
+// resolution for dashboards without drowning the exposition.
+var promBounds = func() []float64 {
+	var b []float64
+	for ns := float64(1e3); ns <= 16e12; ns *= 4 {
+		b = append(b, ns/1e9)
+	}
+	return b
+}()
+
+// metricKind discriminates registry entries for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered metric: a name, optional single label
+// pair, help text, and exactly one of the value fields.
+type metric struct {
+	name string // full name including any {label="value"} suffix
+	base string // name without labels (for HELP/TYPE grouping)
+	kind metricKind
+	help string
+	c    *Counter
+	g    *Gauge
+	gf   func() int64
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Registration is cheap but mutex-guarded; reads of
+// the registered metrics themselves are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]int
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+// register adds m or returns the existing entry with the same full name.
+func (r *Registry) register(m metric) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[m.name]; ok {
+		return i
+	}
+	r.byName[m.name] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
+	return len(r.metrics) - 1
+}
+
+// Counter registers (or fetches) a counter. name may carry one static
+// label, e.g. `deft_jobs{state="queued"}` — the base name groups the
+// HELP/TYPE header.
+func (r *Registry) Counter(name, help string) *Counter {
+	i := r.register(metric{name: name, base: baseName(name), kind: kindCounter, help: help, c: &Counter{}})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[i].c
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	i := r.register(metric{name: name, base: baseName(name), kind: kindGauge, help: help, g: &Gauge{}})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[i].g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// for values the owner already tracks (queue depth, pool size). f must
+// be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) {
+	r.register(metric{name: name, base: baseName(name), kind: kindGaugeFunc, help: help, gf: f})
+}
+
+// Histogram registers (or fetches) a log-bucketed latency histogram.
+// The name should end in _seconds; samples are observed in nanoseconds
+// and exposed in seconds.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	i := r.register(metric{name: name, base: baseName(name), kind: kindHistogram, help: help, h: &Histogram{}})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[i].h
+}
+
+// baseName strips a trailing {label="value"} block.
+func baseName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), sorted by name so the output
+// is deterministic. Histograms expose cumulative _bucket lines over
+// promBounds plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].base != ms[j].base {
+			return ms[i].base < ms[j].base
+		}
+		return ms[i].name < ms[j].name
+	})
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	lastBase := ""
+	for _, m := range ms {
+		if m.base != lastBase {
+			lastBase = m.base
+			typ := "counter"
+			switch m.kind {
+			case kindGauge, kindGaugeFunc:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if m.help != "" {
+				p("# HELP %s %s\n", m.base, m.help)
+			}
+			p("# TYPE %s %s\n", m.base, typ)
+		}
+		switch m.kind {
+		case kindCounter:
+			p("%s %d\n", m.name, m.c.Value())
+		case kindGauge:
+			p("%s %d\n", m.name, m.g.Value())
+		case kindGaugeFunc:
+			p("%s %d\n", m.name, m.gf())
+		case kindHistogram:
+			writePromHistogram(p, m.name, m.h)
+		}
+	}
+	return err
+}
+
+// writePromHistogram emits the cumulative bucket/sum/count lines for
+// one histogram in seconds.
+func writePromHistogram(p func(string, ...any), name string, h *Histogram) {
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	cum := int64(0)
+	bi := 0
+	for _, bound := range promBounds {
+		// Internal bucket i holds durations < 2^i ns; fold every
+		// internal bucket whose upper edge fits under this bound.
+		for bi < histBuckets && math.Ldexp(1, bi)/1e9 <= bound+1e-18 {
+			cum += counts[bi]
+			bi++
+		}
+		p("%s_bucket{le=\"%g\"} %d\n", name, bound, cum)
+	}
+	total := int64(0)
+	for i := range counts {
+		total += counts[i]
+	}
+	p("%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	p("%s_sum %g\n", name, float64(h.sumNS.Load())/1e9)
+	p("%s_count %d\n", name, h.count.Load())
+}

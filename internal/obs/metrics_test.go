@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("deft_runs_total", "total runs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("deft_runs_total", "total runs"); again != c {
+		t.Error("re-registering a counter must return the same instance")
+	}
+	g := r.Gauge("deft_queue_depth", "jobs waiting")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+// TestHistogramQuantiles checks that quantile estimates land within the
+// factor-of-2 resolution the log2 buckets promise.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations at 1ms, 100 at 10ms, 10 at 100ms.
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(time.Millisecond))
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(10 * time.Millisecond))
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(int64(100 * time.Millisecond))
+	}
+	s := h.Snapshot()
+	if s.Count != 1110 {
+		t.Fatalf("count = %d, want 1110", s.Count)
+	}
+	wantSum := 1000*0.001 + 100*0.010 + 10*0.100
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	within := func(got, want float64) bool { return got >= want/2 && got <= want*2 }
+	if !within(s.P50, 0.001) {
+		t.Errorf("p50 = %v, want ~1ms", s.P50)
+	}
+	if !within(s.P90, 0.001) {
+		t.Errorf("p90 = %v, want ~1ms", s.P90)
+	}
+	if !within(s.P99, 0.010) {
+		t.Errorf("p99 = %v, want ~10ms", s.P99)
+	}
+	if q := h.Quantile(0.9999); !within(q, 0.100) {
+		t.Errorf("p99.99 = %v, want ~100ms", q)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot = %+v, want zeros", s)
+	}
+	h.Observe(-5)
+	if got := h.Snapshot(); got.Count != 1 || got.Sum != 0 {
+		t.Errorf("negative observation snapshot = %+v", got)
+	}
+}
+
+// TestHistogramObserveZeroAlloc pins the lock-free hot path.
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocates %v, want 0", allocs)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i) * 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Errorf("concurrent count = %d, want 8000", got)
+	}
+}
+
+// TestWritePrometheus validates the text exposition format: HELP/TYPE
+// headers, label handling, deterministic ordering, and the cumulative
+// histogram contract (monotone buckets, +Inf == count).
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("deft_jobs_submitted_total", "jobs accepted").Add(42)
+	r.Counter(`deft_jobs{state="queued"}`, "jobs by state").Add(3)
+	r.Counter(`deft_jobs{state="running"}`, "").Add(2)
+	r.Gauge("deft_pool_size", "trainer pool size").Set(4)
+	r.GaugeFunc("deft_queue_depth", "jobs waiting", func() int64 { return 9 })
+	h := r.Histogram("deft_job_run_seconds", "job run duration")
+	h.Observe(int64(5 * time.Millisecond))
+	h.Observe(int64(50 * time.Millisecond))
+	h.Observe(int64(2 * time.Second))
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP deft_jobs_submitted_total jobs accepted",
+		"# TYPE deft_jobs_submitted_total counter",
+		"deft_jobs_submitted_total 42",
+		"# TYPE deft_jobs counter",
+		`deft_jobs{state="queued"} 3`,
+		`deft_jobs{state="running"} 2`,
+		"# TYPE deft_pool_size gauge",
+		"deft_pool_size 4",
+		"deft_queue_depth 9",
+		"# TYPE deft_job_run_seconds histogram",
+		`deft_job_run_seconds_bucket{le="+Inf"} 3`,
+		"deft_job_run_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+
+	// One TYPE header per base name, even with multiple label values.
+	if got := strings.Count(out, "# TYPE deft_jobs "); got != 1 {
+		t.Errorf("TYPE deft_jobs appears %d times, want 1", got)
+	}
+
+	// Histogram buckets must be cumulative (non-decreasing) and the sum
+	// close to the observed total.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "deft_job_run_seconds_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+	if prev != 3 {
+		t.Errorf("final bucket = %d, want 3", prev)
+	}
+	if !strings.Contains(out, "deft_job_run_seconds_sum 2.055") {
+		t.Errorf("histogram sum wrong:\n%s", out)
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("WritePrometheus output is not deterministic")
+	}
+}

@@ -1,0 +1,309 @@
+// Package obs is the observability substrate shared by the trainer, the
+// communication layer and the job service: phase-span tracing exportable
+// as Chrome trace-event JSON (loadable in Perfetto / chrome://tracing),
+// and a Prometheus-style metrics registry with counters, gauges and
+// log-bucketed latency histograms.
+//
+// Both halves are built for the training hot loop's allocation budget:
+// a nil *Tracer (and a nil *Lane) is a valid no-op receiver, so disabled
+// tracing costs exactly one nil check per phase boundary and zero
+// allocations; an enabled lane records a span as one monotonic clock read
+// plus one append into a reusable per-rank buffer. Histogram observation
+// is three atomic adds with no locks.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Phase identifies one traced section of the training iteration or the
+// serve job lifecycle. The fixed enumeration keeps the hot-path span
+// record free of strings.
+type Phase uint8
+
+// Training-iteration phases (recorded per rank, nested under
+// PhaseIteration) and serve job-lifecycle phases.
+const (
+	PhaseIteration Phase = iota
+	PhaseSample
+	PhaseForwardBackward
+	PhaseSelect
+	PhaseEncode
+	PhaseDecode
+	PhaseCollective
+	PhaseApply
+	PhaseQueued
+	PhaseRunning
+	PhaseAttempt
+	PhaseStream
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"iteration", "sample", "forward/backward", "select", "encode",
+	"decode", "collective", "apply", "queued", "running", "attempt",
+	"stream",
+}
+
+// String returns the phase's trace-event name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// span is one completed trace event: times are nanoseconds since the
+// tracer's epoch. name overrides the phase name when non-empty (used by
+// the lifecycle spans of the job service); arg rides into the event's
+// args block (attempt number, job sequence) when >= 0.
+type span struct {
+	phase Phase
+	iter  int32
+	name  string
+	arg   int64
+	start int64
+	dur   int64
+}
+
+// openSpan is one Start awaiting its Stop on a lane's stack.
+type openSpan struct {
+	phase Phase
+	iter  int32
+	start int64
+}
+
+// maxOpenSpans bounds a lane's nesting depth; deeper Starts are counted
+// but not recorded (the matching Stops unwind the count), so a runaway
+// caller degrades to dropped spans instead of growing state.
+const maxOpenSpans = 16
+
+// Lane is one trace timeline — a simulated rank, a pool worker — owned by
+// a single goroutine. The nil lane is a valid no-op receiver: every
+// method returns immediately, so "tracing disabled" is spelled by handing
+// the hot loop a nil lane and costs one nil check per call.
+type Lane struct {
+	tracer *Tracer
+	id     int
+	name   string
+	depth  int
+	stack  [maxOpenSpans]openSpan
+	spans  []span
+}
+
+// Start opens a span of the given phase at the current time. iter tags
+// the span with an iteration number (pass -1 for none). Spans nest:
+// each Start must be matched by one Stop on the same lane.
+func (l *Lane) Start(ph Phase, iter int) {
+	if l == nil {
+		return
+	}
+	if l.depth < maxOpenSpans {
+		l.stack[l.depth] = openSpan{phase: ph, iter: int32(iter), start: l.tracer.now()}
+	}
+	l.depth++
+}
+
+// Stop closes the most recently started span. An unmatched Stop is a
+// no-op.
+func (l *Lane) Stop() {
+	if l == nil || l.depth == 0 {
+		return
+	}
+	l.depth--
+	if l.depth >= maxOpenSpans {
+		return // dropped by Start; nothing recorded
+	}
+	o := l.stack[l.depth]
+	l.spans = append(l.spans, span{
+		phase: o.phase, iter: o.iter, arg: -1,
+		start: o.start, dur: l.tracer.now() - o.start,
+	})
+}
+
+// Now returns the lane's trace clock (nanoseconds since the tracer
+// epoch), or 0 on the nil lane. Pair with RecordSpanAt to record spans
+// whose boundaries were measured externally.
+func (l *Lane) Now() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.tracer.now()
+}
+
+// RecordSpanAt appends a completed span with explicit trace-clock start
+// and duration (both in nanoseconds; see Now). This is the hot-path form
+// for callers that learn a sub-phase's duration after the fact — e.g.
+// splitting a step's sampling prefix out of forward/backward.
+func (l *Lane) RecordSpanAt(ph Phase, iter int, start, dur int64) {
+	if l == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	l.spans = append(l.spans, span{
+		phase: ph, iter: int32(iter), arg: -1, start: start, dur: dur,
+	})
+}
+
+// Reset discards the lane's recorded spans, keeping the buffer capacity
+// (reusable per-rank span buffers across runs or segments).
+func (l *Lane) Reset() {
+	if l == nil {
+		return
+	}
+	l.depth = 0
+	l.spans = l.spans[:0]
+}
+
+// Tracer collects spans across lanes and renders them as Chrome
+// trace-event JSON. The zero of *Tracer (nil) is the disabled tracer:
+// Lane returns nil and every recording path is a no-op.
+type Tracer struct {
+	process string
+	epoch   time.Time
+
+	mu    sync.Mutex
+	lanes map[int]*Lane
+	order []int // lane registration order, for deterministic export
+}
+
+// NewTracer creates a tracer whose trace clock starts now. process names
+// the trace's process row in the viewer ("deft-train", "deft-serve").
+func NewTracer(process string) *Tracer {
+	return &Tracer{process: process, epoch: time.Now(), lanes: map[int]*Lane{}}
+}
+
+// now returns nanoseconds since the tracer epoch on the monotonic clock.
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// Lane returns the lane with the given id, creating it with the given
+// display name on first use. A nil tracer returns the nil (no-op) lane.
+// The returned lane must be used by one goroutine at a time; distinct
+// lanes are independent.
+func (t *Tracer) Lane(id int, name string) *Lane {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.lanes[id]
+	if !ok {
+		l = &Lane{tracer: t, id: id, name: name}
+		t.lanes[id] = l
+		t.order = append(t.order, id)
+	}
+	return l
+}
+
+// RecordSpan appends one completed span under the tracer lock — the
+// cold-path entry for callers whose spans complete on arbitrary
+// goroutines (the job service's lifecycle spans). name labels the event;
+// arg (>= 0) rides into its args block; laneName is used only when the
+// lane does not exist yet. A nil tracer is a no-op.
+func (t *Tracer) RecordSpan(laneID int, laneName, name string, arg int64, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.lanes[laneID]
+	if !ok {
+		l = &Lane{tracer: t, id: laneID, name: laneName}
+		t.lanes[laneID] = l
+		t.order = append(t.order, laneID)
+	}
+	s := start.Sub(t.epoch)
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	l.spans = append(l.spans, span{
+		phase: numPhases, iter: -1, name: name, arg: arg,
+		start: int64(s), dur: int64(d),
+	})
+}
+
+// traceEvent is one Chrome trace-event JSON object. Complete events
+// (ph "X") carry ts+dur in microseconds; metadata events (ph "M") name
+// the process and thread rows.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders every recorded span as a Chrome trace-event
+// JSON document ({"traceEvents": [...]}), the format Perfetto and
+// chrome://tracing load directly. Lanes become threads (tid = lane id)
+// inside one process; spans become complete ("X") events with
+// microsecond timestamps relative to the trace start and an args block
+// carrying the iteration (and any span arg).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	events := []traceEvent{{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": t.process},
+	}}
+	for _, id := range t.order {
+		l := t.lanes[id]
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: l.id,
+			Args: map[string]any{"name": l.name},
+		})
+		for _, s := range l.spans {
+			name := s.name
+			if name == "" {
+				name = s.phase.String()
+			}
+			ev := traceEvent{
+				Name: name, Ph: "X", Pid: 1, Tid: l.id,
+				Ts:  float64(s.start) / 1e3,
+				Dur: float64(s.dur) / 1e3,
+			}
+			if s.iter >= 0 {
+				ev.Args = map[string]any{"iteration": s.iter}
+			}
+			if s.arg >= 0 {
+				if ev.Args == nil {
+					ev.Args = map[string]any{}
+				}
+				ev.Args["arg"] = s.arg
+			}
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     events,
+	})
+}
+
+// SpanCount returns the number of completed spans across all lanes.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, l := range t.lanes {
+		n += len(l.spans)
+	}
+	return n
+}

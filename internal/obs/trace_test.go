@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceStructure validates the exported document against the
+// Chrome trace-event format Perfetto accepts: a JSON object with a
+// traceEvents array whose entries carry ph/pid/tid, metadata ("M")
+// events naming process and threads, and complete ("X") events with
+// non-negative microsecond ts/dur.
+func TestChromeTraceStructure(t *testing.T) {
+	tr := NewTracer("test-proc")
+	lane := tr.Lane(0, "rank 0")
+	for iter := 0; iter < 3; iter++ {
+		lane.Start(PhaseIteration, iter)
+		lane.Start(PhaseForwardBackward, iter)
+		time.Sleep(time.Microsecond)
+		lane.Stop()
+		lane.Start(PhaseCollective, iter)
+		lane.Stop()
+		lane.Stop()
+	}
+	tr.Lane(1, "rank 1").Start(PhaseSelect, 0)
+	tr.Lane(1, "rank 1").Stop()
+	tr.RecordSpan(100, "serve", "attempt", 2, time.Now().Add(-time.Millisecond), time.Now())
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	var metaNames, spanNames []string
+	complete := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metaNames = append(metaNames, ev.Name)
+			if ev.Args["name"] == nil {
+				t.Errorf("metadata event %q missing args.name", ev.Name)
+			}
+		case "X":
+			complete++
+			spanNames = append(spanNames, ev.Name)
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("event %q has negative ts/dur (%v/%v)", ev.Name, ev.Ts, ev.Dur)
+			}
+			if ev.Pid != 1 {
+				t.Errorf("event %q pid = %d, want 1", ev.Name, ev.Pid)
+			}
+		default:
+			t.Errorf("unexpected ph %q", ev.Ph)
+		}
+	}
+	joinedMeta := strings.Join(metaNames, ",")
+	if !strings.Contains(joinedMeta, "process_name") || !strings.Contains(joinedMeta, "thread_name") {
+		t.Errorf("missing process/thread metadata events: %v", metaNames)
+	}
+	// 3 iterations x (iteration + forward/backward + collective) on rank 0,
+	// 1 select on rank 1, 1 recorded serve span.
+	if complete != 11 {
+		t.Errorf("complete events = %d, want 11", complete)
+	}
+	joined := strings.Join(spanNames, ",")
+	for _, want := range []string{"iteration", "forward/backward", "collective", "select", "attempt"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing span %q (have %v)", want, spanNames)
+		}
+	}
+
+	// Nested spans: the forward/backward span must sit inside its
+	// iteration span's window.
+	var iterTs, iterEnd, fbTs, fbEnd float64 = -1, -1, -1, -1
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Tid != 0 {
+			continue
+		}
+		it, _ := ev.Args["iteration"].(float64)
+		if it != 0 {
+			continue
+		}
+		switch ev.Name {
+		case "iteration":
+			iterTs, iterEnd = ev.Ts, ev.Ts+ev.Dur
+		case "forward/backward":
+			fbTs, fbEnd = ev.Ts, ev.Ts+ev.Dur
+		}
+	}
+	if iterTs < 0 || fbTs < 0 {
+		t.Fatal("did not find iteration-0 spans on rank 0")
+	}
+	if fbTs < iterTs || fbEnd > iterEnd+1e-6 {
+		t.Errorf("forward/backward [%v,%v] not nested in iteration [%v,%v]",
+			fbTs, fbEnd, iterTs, iterEnd)
+	}
+}
+
+// TestNilTracerNoOp exercises the disabled path: a nil tracer hands out
+// nil lanes, every method is safe, and the exported trace is an empty
+// document.
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	lane := tr.Lane(0, "rank 0")
+	if lane != nil {
+		t.Fatal("nil tracer must return nil lane")
+	}
+	lane.Start(PhaseIteration, 0)
+	lane.Stop()
+	lane.Reset()
+	tr.RecordSpan(0, "x", "y", -1, time.Now(), time.Now())
+	if tr.SpanCount() != 0 {
+		t.Errorf("nil tracer SpanCount = %d", tr.SpanCount())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace not valid JSON: %v", err)
+	}
+}
+
+// TestNilLaneZeroAlloc pins the contract the training hot loop relies
+// on: driving a nil lane through a full phase cycle allocates nothing.
+func TestNilLaneZeroAlloc(t *testing.T) {
+	var lane *Lane
+	allocs := testing.AllocsPerRun(1000, func() {
+		lane.Start(PhaseIteration, 7)
+		lane.Start(PhaseForwardBackward, 7)
+		lane.Stop()
+		lane.Stop()
+	})
+	if allocs != 0 {
+		t.Errorf("nil lane allocates %v per cycle, want 0", allocs)
+	}
+}
+
+// TestLaneSteadyStateZeroAlloc: once the span buffer has grown, an
+// enabled lane's Start/Stop cycle is also allocation-free (append into
+// existing capacity), so tracing costs clock reads, not GC pressure.
+func TestLaneSteadyStateZeroAlloc(t *testing.T) {
+	tr := NewTracer("alloc")
+	lane := tr.Lane(0, "rank 0")
+	for i := 0; i < 4096; i++ {
+		lane.Start(PhaseIteration, i)
+		lane.Stop()
+	}
+	lane.Reset() // keep capacity, drop spans
+	allocs := testing.AllocsPerRun(1000, func() {
+		lane.Start(PhaseIteration, 1)
+		lane.Stop()
+	})
+	if allocs != 0 {
+		t.Errorf("warm lane allocates %v per span, want 0", allocs)
+	}
+}
+
+// TestLaneOverflowDegradesGracefully: nesting past maxOpenSpans drops
+// the deep spans but keeps the shallow ones balanced.
+func TestLaneOverflowDegradesGracefully(t *testing.T) {
+	tr := NewTracer("overflow")
+	lane := tr.Lane(0, "rank 0")
+	const depth = maxOpenSpans + 8
+	for i := 0; i < depth; i++ {
+		lane.Start(PhaseIteration, i)
+	}
+	for i := 0; i < depth; i++ {
+		lane.Stop()
+	}
+	if got := tr.SpanCount(); got != maxOpenSpans {
+		t.Errorf("spans recorded = %d, want %d", got, maxOpenSpans)
+	}
+	lane.Stop() // unmatched: must not panic or underflow
+	lane.Start(PhaseApply, 0)
+	lane.Stop()
+	if got := tr.SpanCount(); got != maxOpenSpans+1 {
+		t.Errorf("after recovery spans = %d, want %d", got, maxOpenSpans+1)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/train"
 )
 
@@ -91,7 +92,7 @@ func waitState(t *testing.T, ts *httptest.Server, id string, want JobState) jobV
 func TestEndToEndTrainJob(t *testing.T) {
 	_, ts := newTestServer(t, Options{Pool: 2})
 
-	v, code := postJob(t, ts, `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":12,"lr":0.1,"eval_every":6}}`)
+	v, code := postJob(t, ts, `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":12,"lr":0.1,"eval_every":6,"record_every":1,"progress_every":4}}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit status = %d, want 202", code)
 	}
@@ -168,6 +169,36 @@ func TestEndToEndTrainJob(t *testing.T) {
 	for i, e := range evals {
 		if e.Metric != res.Metric.Y[i] {
 			t.Errorf("eval %d: %v vs %v", i, e.Metric, res.Metric.Y[i])
+		}
+	}
+
+	// progress_every=4 rode through the spec into the run: the streamed
+	// per-layer snapshots must decode to exactly the Result's layer
+	// series — the same identity contract as the scalar series above.
+	if len(res.LayerNames) == 0 {
+		t.Fatal("progress_every job produced no layer series")
+	}
+	var withLayers []line
+	for _, p := range progress {
+		if p.Layers != nil {
+			withLayers = append(withLayers, p)
+		}
+	}
+	if len(withLayers) != len(res.LayerAlloc[0].X) {
+		t.Fatalf("streamed %d layer snapshots, series has %d", len(withLayers), len(res.LayerAlloc[0].X))
+	}
+	for si, p := range withLayers {
+		if len(p.Layers) != len(res.LayerNames) {
+			t.Fatalf("snapshot %d has %d layers, want %d", si, len(p.Layers), len(res.LayerNames))
+		}
+		for li, ls := range p.Layers {
+			if ls.Name != res.LayerNames[li] {
+				t.Errorf("snapshot %d layer %d name %q, want %q", si, li, ls.Name, res.LayerNames[li])
+			}
+			if float64(ls.K) != res.LayerAlloc[li].Y[si] || ls.Norm != res.LayerNorm[li].Y[si] {
+				t.Errorf("snapshot %d layer %q: streamed (K=%d, norm=%v) vs series (%v, %v)",
+					si, ls.Name, ls.K, ls.Norm, res.LayerAlloc[li].Y[si], res.LayerNorm[li].Y[si])
+			}
 		}
 	}
 }
@@ -465,7 +496,7 @@ func TestMetricsAndHealth(t *testing.T) {
 		Runs      int            `json:"runs"`
 		PoolSize  int            `json:"pool_size"`
 	}
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics?format=expvar")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -475,6 +506,36 @@ func TestMetricsAndHealth(t *testing.T) {
 	}
 	if m.Submitted != 2 || m.CacheHits != 1 || m.Runs != 1 || m.Jobs["done"] != 2 || m.PoolSize != 1 {
 		t.Errorf("metrics off: %+v", m)
+	}
+
+	// The default format is Prometheus text: same counters, plus the
+	// queue-wait and run-duration histograms.
+	pr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	if ct := pr.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("prometheus content type %q, want %q", ct, obs.PrometheusContentType)
+	}
+	promBody, _ := io.ReadAll(pr.Body)
+	prom := string(promBody)
+	for _, want := range []string{
+		"# TYPE deft_jobs_submitted_total counter",
+		"deft_jobs_submitted_total 2",
+		"deft_jobs_cache_hits_total 1",
+		"deft_runs_total 1",
+		`deft_jobs{state="done"} 2`,
+		"deft_pool_size 1",
+		"# TYPE deft_job_queue_wait_seconds histogram",
+		"deft_job_queue_wait_seconds_count 1",
+		"# TYPE deft_job_run_seconds histogram",
+		"deft_job_run_seconds_count 1",
+		`deft_job_run_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
 	}
 
 	hr, err := http.Get(ts.URL + "/healthz")

@@ -9,7 +9,8 @@
 //	DELETE /v1/jobs/{id}         cancel (stops a running trainer mid-iteration)
 //	GET    /v1/experiments   runnable experiment ids
 //	GET    /healthz          liveness
-//	GET    /metrics          expvar counters: jobs by state, cache hits, in-flight trainers
+//	GET    /metrics          Prometheus text (counters, gauges, latency
+//	                         histograms); ?format=expvar keeps the legacy JSON
 //
 // Jobs are content-addressed by the hash of their normalized spec. A
 // completed hash is served from the result cache; an in-flight hash is
@@ -31,7 +32,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"expvar"
 	"fmt"
 	"net/http"
 	"slices"
@@ -40,8 +40,18 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/train"
+)
+
+// Trace lanes of the serve process: job lifecycle spans (queued,
+// running), per-attempt spans, and stream sessions each get their own
+// timeline in the exported trace.
+const (
+	laneJobs = iota
+	laneAttempts
+	laneStreams
 )
 
 // JobState is a job's position in its lifecycle.
@@ -137,6 +147,9 @@ type Options struct {
 	// Queue bounds the backlog of waiting flights (default 256);
 	// submissions beyond it are rejected with 503.
 	Queue int
+	// Tracer, when non-nil, records job-lifecycle spans (queued, running,
+	// attempt N, stream) for Chrome-trace export. nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Server owns the job registry, the single-flight dedup layer, the result
@@ -160,12 +173,20 @@ type Server struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	// expvar counters (unpublished: a process may host several servers).
-	mSubmitted expvar.Int // jobs accepted
-	mCacheHits expvar.Int // jobs answered from the result cache
-	mDeduped   expvar.Int // jobs attached to an in-flight run
-	mRuns      expvar.Int // flights actually executed
-	mInFlight  expvar.Int // flights executing right now
+	// Metrics live in a per-server obs.Registry (a process may host
+	// several servers), exposed as Prometheus text by /metrics and as the
+	// legacy JSON by /metrics?format=expvar — both read the same counters.
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	mSubmitted *obs.Counter   // jobs accepted
+	mCacheHits *obs.Counter   // jobs answered from the result cache
+	mDeduped   *obs.Counter   // jobs attached to an in-flight run
+	mRuns      *obs.Counter   // flights actually executed
+	mRetries   *obs.Counter   // retry attempts started after a faulted run
+	mBudget    *obs.Counter   // jobs failed by wall-clock budget expiry
+	mInFlight  *obs.Gauge     // flights executing right now
+	hQueueWait *obs.Histogram // job creation -> flight start
+	hRunDur    *obs.Histogram // flight start -> settle, per job
 
 	// Execution seams; tests substitute these to count and delay runs.
 	// attempt is the 1-based execution attempt: the production trainer
@@ -189,6 +210,7 @@ func New(opts Options) *Server {
 		opts.Queue = 256
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := obs.NewRegistry()
 	s := &Server{
 		opts:          opts,
 		start:         time.Now(),
@@ -198,8 +220,39 @@ func New(opts Options) *Server {
 		queue:         make(chan *flight, opts.Queue),
 		baseCtx:       ctx,
 		baseCancel:    cancel,
+		reg:           reg,
+		tracer:        opts.Tracer,
+		mSubmitted:    reg.Counter("deft_jobs_submitted_total", "jobs accepted by POST /v1/jobs"),
+		mCacheHits:    reg.Counter("deft_jobs_cache_hits_total", "jobs answered from the content-addressed result cache"),
+		mDeduped:      reg.Counter("deft_jobs_deduped_total", "jobs attached to an in-flight identical run"),
+		mRuns:         reg.Counter("deft_runs_total", "flights actually executed"),
+		mRetries:      reg.Counter("deft_retries_total", "retry attempts started after a faulted run"),
+		mBudget:       reg.Counter("deft_budget_expired_total", "jobs failed by wall-clock budget expiry"),
+		mInFlight:     reg.Gauge("deft_flights_in_flight", "flights executing right now"),
+		hQueueWait:    reg.Histogram("deft_job_queue_wait_seconds", "job creation to flight start"),
+		hRunDur:       reg.Histogram("deft_job_run_seconds", "flight start to settlement, per attached job"),
 		runTrain:      runTrain,
 		runExperiment: experiments.RunContext,
+	}
+	reg.GaugeFunc("deft_queue_depth", "flights waiting in the backlog", func() int64 {
+		return int64(len(s.queue))
+	})
+	reg.GaugeFunc("deft_pool_size", "concurrent-flight worker pool size", func() int64 {
+		return int64(s.opts.Pool)
+	})
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		st := st
+		reg.GaugeFunc(fmt.Sprintf("deft_jobs{state=%q}", string(st)), "jobs by lifecycle state", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := int64(0)
+			for _, j := range s.jobs {
+				if j.State == st {
+					n++
+				}
+			}
+			return n
+		})
 	}
 	s.wg.Add(opts.Pool)
 	for i := 0; i < opts.Pool; i++ {
@@ -226,6 +279,7 @@ func runTrain(ctx context.Context, spec TrainSpec, attempt int, progress func(tr
 		Iterations:    spec.Iterations,
 		EvalEvery:     spec.EvalEvery,
 		RecordEvery:   spec.RecordEvery,
+		ProgressEvery: spec.ProgressEvery,
 		Seed:          spec.Seed,
 		Quantize:      spec.Quantize,
 		DisableSparse: dense,
@@ -289,11 +343,15 @@ func (s *Server) runFlight(fl *flight) {
 		j.State = StateRunning
 		j.Started = now
 		j.events.appendEvent(event{Type: "state", State: string(StateRunning)})
+		s.hQueueWait.Observe(int64(now.Sub(j.Created)))
+		if s.tracer != nil {
+			s.tracer.RecordSpan(laneJobs, "jobs", "queued "+j.ID, -1, j.Created, now)
+		}
 	}
 	fl.mu.Unlock()
 	s.mu.Unlock()
 
-	s.mRuns.Add(1)
+	s.mRuns.Inc()
 	s.mInFlight.Add(1)
 	var outcome *runOutcome
 	var err error
@@ -331,7 +389,11 @@ func (s *Server) runTrainFlight(fl *flight) (*runOutcome, error) {
 	backoff := time.Duration(spec.BackoffMS) * time.Millisecond
 	for attempt := 1; ; attempt++ {
 		s.noteAttempt(fl, attempt, nil)
+		attemptStart := time.Now()
 		res, err := s.runTrain(runCtx, spec, attempt, func(p train.Progress) { fl.progress("", p) })
+		if s.tracer != nil {
+			s.tracer.RecordSpan(laneAttempts, "attempts", "attempt", int64(attempt), attemptStart, time.Now())
+		}
 		if err == nil {
 			return &runOutcome{TrainResult: res}, nil
 		}
@@ -339,6 +401,7 @@ func (s *Server) runTrainFlight(fl *flight) (*runOutcome, error) {
 			// The budget fired, not the client: fail with the distinct
 			// budget reason (the run error rides along unwrapped, so a
 			// deadline never classifies as a cancellation).
+			s.mBudget.Inc()
 			return nil, fmt.Errorf("%w: budget_ms=%d elapsed on attempt %d: %v",
 				ErrBudget, spec.BudgetMS, attempt, err)
 		}
@@ -375,6 +438,7 @@ func (s *Server) noteAttempt(fl *flight, attempt int, cause error) {
 		j.Attempts = attempt
 	}
 	if cause != nil {
+		s.mRetries.Inc()
 		line := marshalEvent(event{Type: "retry", Attempt: attempt, Error: cause.Error()})
 		fl.history = append(fl.history, line)
 		for _, j := range fl.jobs {
@@ -415,6 +479,12 @@ func (s *Server) settleFlight(fl *flight, outcome *runOutcome, err error) {
 	for _, j := range fl.jobs {
 		j.Finished = now
 		j.flight = nil
+		if !j.Started.IsZero() {
+			s.hRunDur.Observe(int64(now.Sub(j.Started)))
+			if s.tracer != nil {
+				s.tracer.RecordSpan(laneJobs, "jobs", "running "+j.ID, int64(j.Attempts), j.Started, now)
+			}
+		}
 		switch {
 		case err == nil:
 			j.State = StateDone
@@ -541,7 +611,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		job.events.appendEvent(event{Type: "done", State: string(StateDone)})
 		job.events.close()
-		s.mCacheHits.Add(1)
+		s.mCacheHits.Inc()
 		status = http.StatusOK
 	case s.flights[hash] != nil && s.flights[hash].ctx.Err() == nil:
 		// Single-flight join: ride the in-progress run. A flight whose
@@ -563,7 +633,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		job.events.appendEvent(event{Type: "state", State: string(job.State)})
 		fl.jobs = append(fl.jobs, job)
 		fl.mu.Unlock()
-		s.mDeduped.Add(1)
+		s.mDeduped.Inc()
 	default:
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		fl := &flight{hash: hash, spec: spec, ctx: ctx, cancel: cancel, jobs: []*Job{job}}
@@ -580,7 +650,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mSubmitted.Add(1)
+	s.mSubmitted.Inc()
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	v := job.view(true)
@@ -662,6 +732,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-cache")
+	if s.tracer != nil {
+		streamStart := time.Now()
+		id := job.ID
+		defer func() {
+			s.tracer.RecordSpan(laneStreams, "streams", "stream "+id, -1, streamStart, time.Now())
+		}()
+	}
 	flusher, _ := w.(http.Flusher)
 	cursor := 0
 	for {
@@ -710,31 +787,44 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics reports the expvar counters plus the registry scanned by
-// state — the numbers a fleet scheduler or dashboard polls.
+// handleMetrics serves the registry in Prometheus text exposition format
+// — counters, gauges, jobs by state, and the queue-wait / run-duration
+// histograms a fleet scheduler or dashboard scrapes. ?format=expvar keeps
+// the legacy JSON shape (same keys as before the registry existed), read
+// from the same counters, for existing consumers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	byState := map[JobState]int{}
-	s.mu.Lock()
-	for _, j := range s.jobs {
-		byState[j.State]++
+	if r.URL.Query().Get("format") == "expvar" {
+		byState := map[JobState]int{}
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			byState[j.State]++
+		}
+		queueDepth := len(s.queue)
+		s.mu.Unlock()
+		states := map[string]int{}
+		for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+			states[string(st)] = byState[st]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"jobs":               states,
+			"submitted":          s.mSubmitted.Value(),
+			"cache_hits":         s.mCacheHits.Value(),
+			"deduped":            s.mDeduped.Value(),
+			"runs":               s.mRuns.Value(),
+			"in_flight_trainers": s.mInFlight.Value(),
+			"queue_depth":        queueDepth,
+			"pool_size":          s.opts.Pool,
+		})
+		return
 	}
-	queueDepth := len(s.queue)
-	s.mu.Unlock()
-	states := map[string]int{}
-	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
-		states[string(st)] = byState[st]
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"jobs":               states,
-		"submitted":          s.mSubmitted.Value(),
-		"cache_hits":         s.mCacheHits.Value(),
-		"deduped":            s.mDeduped.Value(),
-		"runs":               s.mRuns.Value(),
-		"in_flight_trainers": s.mInFlight.Value(),
-		"queue_depth":        queueDepth,
-		"pool_size":          s.opts.Pool,
-	})
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	s.reg.WritePrometheus(w) //nolint:errcheck // client gone: nothing to do
 }
+
+// Metrics returns the server\'s metrics registry, for callers that want
+// to register their own metrics next to the service\'s or snapshot
+// histograms programmatically.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Jobs returns the ids of all registered jobs in submission order (test
 // and tooling helper).

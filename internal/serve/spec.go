@@ -40,7 +40,11 @@ type TrainSpec struct {
 	Iterations  int     `json:"iterations,omitempty"`
 	EvalEvery   int     `json:"eval_every,omitempty"`
 	RecordEvery int     `json:"record_every,omitempty"`
-	Seed        uint64  `json:"seed,omitempty"`
+	// ProgressEvery emits per-layer fragment-allocation and gradient-norm
+	// snapshots on every ProgressEvery-th record event, streamed through
+	// the job's NDJSON feed (train.Config.ProgressEvery). 0 disables them.
+	ProgressEvery int    `json:"progress_every,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
 	// Quantize ships fp16 uploads and applies the decoded values with
 	// error feedback (train.Config.Quantize). Part of the canonical spec:
 	// a quantized run hashes — and therefore caches — separately from its
@@ -141,6 +145,9 @@ func (s *JobSpec) normalize() error {
 	}
 	if t.RecordEvery < 0 || t.EvalEvery < 0 {
 		return fmt.Errorf("record_every/eval_every must be non-negative")
+	}
+	if t.ProgressEvery < 0 {
+		return fmt.Errorf("progress_every must be non-negative")
 	}
 	if t.RecordEvery == 0 {
 		// Scale the sampling stride with the run length so a long job's

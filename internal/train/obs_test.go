@@ -1,0 +1,271 @@
+package train_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/obs"
+	"repro/internal/train"
+)
+
+// TestProgressOrderingWithFaults: the full event stream of a recovering
+// run arrives in iteration order — records strictly ascend, the fault
+// event for iteration k lands before any re-run record of k, and evals
+// interleave at their exact cadence positions.
+func TestProgressOrderingWithFaults(t *testing.T) {
+	w := mlpWorkload()
+	var events []train.Progress
+	cfg := train.Config{
+		Workers: 3, Density: 0.05, LR: 0.1,
+		Iterations: 12, EvalEvery: 4, RecordEvery: 1,
+		Faults:  &comm.FaultPlan{Transients: []comm.Transient{{Rank: 1, Iteration: 6}}},
+		Recover: true,
+		Progress: func(p train.Progress) {
+			events = append(events, p)
+		},
+	}
+	res, err := train.RunContext(context.Background(), w, topkFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", res.Recoveries)
+	}
+
+	faultSeen := false
+	lastRecord := -1
+	evalIters := []int{}
+	for i, e := range events {
+		switch e.Kind {
+		case "record":
+			if e.Iteration <= lastRecord {
+				t.Errorf("event %d: record iteration %d not after %d", i, e.Iteration, lastRecord)
+			}
+			lastRecord = e.Iteration
+		case "eval":
+			evalIters = append(evalIters, e.Iteration)
+			// An eval reports the iteration just recorded (or the final
+			// iteration count for the terminal eval).
+			if e.Iteration != lastRecord && e.Iteration != cfg.Iterations {
+				t.Errorf("event %d: eval at %d does not follow its record (last %d)", i, e.Iteration, lastRecord)
+			}
+		case "fault":
+			faultSeen = true
+			if e.Iteration != 6 {
+				t.Errorf("fault event at iteration %d, want 6", e.Iteration)
+			}
+			// The transient fires at iteration 6 before its record: the
+			// last completed record must be 5, and the resumed segment
+			// re-records from 6.
+			if lastRecord != 5 {
+				t.Errorf("fault arrived after record %d, want 5", lastRecord)
+			}
+			lastRecord = 5 // resume: next record is 6 again
+		default:
+			t.Fatalf("unknown event kind %q", e.Kind)
+		}
+	}
+	if !faultSeen {
+		t.Fatal("no fault event streamed")
+	}
+	if lastRecord != cfg.Iterations-1 {
+		t.Errorf("last record iteration = %d, want %d", lastRecord, cfg.Iterations-1)
+	}
+	wantEvals := []int{4, 8, 12}
+	if len(evalIters) != len(wantEvals) {
+		t.Fatalf("eval iterations %v, want %v", evalIters, wantEvals)
+	}
+	for i := range wantEvals {
+		if evalIters[i] != wantEvals[i] {
+			t.Fatalf("eval iterations %v, want %v", evalIters, wantEvals)
+		}
+	}
+}
+
+// TestProgressLayersMatchSeries: the per-layer snapshots streamed on
+// ProgressEvery-th record events must decode to exactly the Result's
+// layer series — the same identity contract the scalar series have.
+func TestProgressLayersMatchSeries(t *testing.T) {
+	w := mlpWorkload()
+	var withLayers, without []train.Progress
+	cfg := train.Config{
+		Workers: 2, Density: 0.05, LR: 0.1,
+		Iterations: 9, RecordEvery: 1, ProgressEvery: 3,
+		Progress: func(p train.Progress) {
+			if p.Kind != "record" {
+				return
+			}
+			if p.Layers != nil {
+				withLayers = append(withLayers, p)
+			} else {
+				without = append(without, p)
+			}
+		},
+	}
+	res, err := train.RunContext(context.Background(), w, cltkFactory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LayerNames) == 0 {
+		t.Fatal("ProgressEvery > 0 must populate LayerNames")
+	}
+	if len(res.LayerAlloc) != len(res.LayerNames) || len(res.LayerNorm) != len(res.LayerNames) {
+		t.Fatalf("layer series count mismatch: %d names, %d alloc, %d norm",
+			len(res.LayerNames), len(res.LayerAlloc), len(res.LayerNorm))
+	}
+	// Iterations 0, 3, 6 carry layers; the other six records do not.
+	if len(withLayers) != 3 || len(without) != 6 {
+		t.Fatalf("layer-carrying records = %d (want 3), plain = %d (want 6)", len(withLayers), len(without))
+	}
+	for si, e := range withLayers {
+		if len(e.Layers) != len(res.LayerNames) {
+			t.Fatalf("event %d has %d layers, want %d", si, len(e.Layers), len(res.LayerNames))
+		}
+		totalK := 0
+		for li, ls := range e.Layers {
+			if ls.Name != res.LayerNames[li] {
+				t.Errorf("event %d layer %d name %q, want %q", si, li, ls.Name, res.LayerNames[li])
+			}
+			if x := res.LayerAlloc[li].X[si]; float64(e.Iteration) != x {
+				t.Errorf("layer %d alloc x = %v, want %d", li, x, e.Iteration)
+			}
+			if y := res.LayerAlloc[li].Y[si]; float64(ls.K) != y {
+				t.Errorf("layer %d alloc y = %v, want %d", li, y, ls.K)
+			}
+			if y := res.LayerNorm[li].Y[si]; ls.Norm != y {
+				t.Errorf("layer %d norm y = %v, want %v", li, y, ls.Norm)
+			}
+			if ls.K < 0 || ls.K > ls.Size {
+				t.Errorf("layer %q K=%d out of [0,%d]", ls.Name, ls.K, ls.Size)
+			}
+			totalK += ls.K
+		}
+		// The union is tiled exactly by the layers: per-layer K sums to
+		// the recorded union size (density × ng).
+		var rec *train.Progress
+		for i := range without {
+			if without[i].Iteration == e.Iteration {
+				rec = &without[i]
+				break
+			}
+		}
+		_ = rec // layer-carrying events ARE the record; use its own density
+		ng := 0
+		for _, ls := range e.Layers {
+			ng += ls.Size
+		}
+		if want := int(e.ActualDensity*float64(ng) + 0.5); totalK != want {
+			t.Errorf("event %d: sum of layer K = %d, want union size %d", si, totalK, want)
+		}
+	}
+
+	// The round trip through JSON (what the serve NDJSON stream does)
+	// preserves the layer snapshots exactly.
+	blob, err := json.Marshal(withLayers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded train.Progress
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Layers) != len(withLayers[0].Layers) {
+		t.Fatalf("JSON round trip lost layers: %d vs %d", len(decoded.Layers), len(withLayers[0].Layers))
+	}
+	for i, ls := range decoded.Layers {
+		if ls != withLayers[0].Layers[i] {
+			t.Errorf("layer %d changed across JSON: %+v vs %+v", i, ls, withLayers[0].Layers[i])
+		}
+	}
+}
+
+// TestTracedRunWritesValidChromeTrace: a traced training run must export
+// a structurally valid Chrome trace-event document containing every
+// training phase on every rank's lane.
+func TestTracedRunWritesValidChromeTrace(t *testing.T) {
+	w := mlpWorkload()
+	tr := obs.NewTracer("train-test")
+	cfg := train.Config{
+		Workers: 2, Density: 0.05, LR: 0.1,
+		Iterations: 4, Tracer: tr, Quantize: true,
+	}
+	if _, err := train.RunContext(context.Background(), w, topkFactory(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SpanCount() == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	phases := map[string]map[int]bool{} // phase name -> set of lanes
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if phases[ev.Name] == nil {
+			phases[ev.Name] = map[int]bool{}
+		}
+		phases[ev.Name][ev.Tid] = true
+	}
+	for _, want := range []string{
+		"iteration", "sample", "forward/backward", "select",
+		"encode", "decode", "collective", "apply",
+	} {
+		if len(phases[want]) != cfg.Workers {
+			t.Errorf("phase %q seen on %d lanes, want %d", want, len(phases[want]), cfg.Workers)
+		}
+	}
+}
+
+// TestDisabledTracerZeroAllocPerIteration is the ISSUE's acceptance
+// assertion in test form: with the tracer disabled (nil — the default)
+// and per-layer telemetry off, the steady-state training iteration
+// allocates nothing. Comparing two run lengths cancels the setup
+// allocations; RecordEvery larger than either run keeps the series
+// appends out of the loop.
+func TestDisabledTracerZeroAllocPerIteration(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations; the non-race run enforces this")
+	}
+	w := mlpWorkload()
+	run := func(iters int) func() {
+		return func() {
+			cfg := train.Config{
+				Workers: 2, Density: 0.05, LR: 0.1,
+				Iterations: iters, RecordEvery: 1 << 20,
+			}
+			train.Run(w, topkFactory(), cfg)
+		}
+	}
+	const short, long = 24, 48
+	// Warm up process-global state (GEMM pools, codec tables) first.
+	run(2)()
+	allocsShort := testing.AllocsPerRun(3, run(short))
+	allocsLong := testing.AllocsPerRun(3, run(long))
+	perIter := (allocsLong - allocsShort) / float64(long-short)
+	// The steady state is allocation-free except for growable scratch
+	// hitting a new union-size high-water mark (a fraction of an alloc
+	// per iteration, amortized). Any unconditional instrumentation
+	// allocation costs >= 1 per iteration, so half an alloc cleanly
+	// separates the regression from the noise.
+	if perIter >= 0.5 {
+		t.Errorf("disabled tracer: %.2f allocs per steady-state iteration, want ~0 (short=%v long=%v)",
+			perIter, allocsShort, allocsLong)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package train_test
+
+const raceEnabled = false

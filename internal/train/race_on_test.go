@@ -1,0 +1,8 @@
+//go:build race
+
+package train_test
+
+// raceEnabled mirrors the race build tag: the race detector instruments
+// allocations, so AllocsPerRun-based assertions are skipped under -race
+// (the non-race CI step still enforces them).
+const raceEnabled = true

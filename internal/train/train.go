@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sparsifier"
 	"repro/internal/stats"
@@ -128,6 +129,33 @@ type Config struct {
 	// runs on the training path while the other ranks wait at a barrier —
 	// it must be fast and must never block on a slow consumer.
 	Progress func(Progress)
+
+	// ProgressEvery, when > 0, attaches per-layer telemetry — fragment
+	// allocation (selected indices per layer) and the layer's residual
+	// gradient norm — to every ProgressEvery-th recorded iteration, both
+	// in the Progress stream (Progress.Layers) and in the Result layer
+	// series. Snapshots land on record iterations, so choose a multiple
+	// of RecordEvery. 0 (the default) keeps the per-layer path entirely
+	// off: no allocation, no per-layer scan.
+	ProgressEvery int
+
+	// Tracer, when non-nil, records phase spans (sample, forward/backward,
+	// select, encode, decode, collective, apply) on one lane per original
+	// rank, exportable as Chrome trace-event JSON. The nil default is the
+	// contract the hot loop is benchmarked under: one nil check per phase
+	// boundary and zero allocations.
+	Tracer *obs.Tracer
+}
+
+// LayerStat is one layer's slice of a per-layer telemetry snapshot:
+// how many of the union's selected indices landed in the layer (K, the
+// fragment allocation DEFT rebalances) and the L2 norm of the layer's
+// error-feedback residual after the update.
+type LayerStat struct {
+	Name string  `json:"name"`
+	Size int     `json:"size"`
+	K    int     `json:"k"`
+	Norm float64 `json:"norm"`
 }
 
 // Progress is one streamed training event. Kind "record" carries the
@@ -143,6 +171,10 @@ type Progress struct {
 	EncodedBytes  float64 `json:"encoded_bytes,omitempty"`
 	Metric        float64 `json:"metric,omitempty"`
 	Fault         string  `json:"fault,omitempty"`
+	// Layers carries the per-layer telemetry snapshot on every
+	// ProgressEvery-th record event (nil otherwise; see
+	// Config.ProgressEvery).
+	Layers []LayerStat `json:"layers,omitempty"`
 }
 
 // FaultEvent is one injected fault the run hit, in the order encountered.
@@ -224,6 +256,20 @@ type Result struct {
 	// rank's series simply stops. Recorded only for fault-injected runs so
 	// the healthy path stays allocation-identical.
 	RankStepTime []stats.Series `json:"rank_step_time,omitempty"`
+
+	// Per-layer telemetry series (Config.ProgressEvery > 0; nil
+	// otherwise): for layer i, LayerAlloc[i] samples the union indices
+	// that landed in the layer and LayerNorm[i] the layer's residual L2
+	// norm, both with x = iteration. LayerNames gives the layer order.
+	LayerNames []string       `json:"layer_names,omitempty"`
+	LayerAlloc []stats.Series `json:"layer_alloc,omitempty"`
+	LayerNorm  []stats.Series `json:"layer_norm,omitempty"`
+
+	// CommWall is the measured combine wall clock per collective family —
+	// the in-process counterpart of the modeled CommTime/WireCommTime,
+	// summed over a recovered run's segments. Wall-clock: excluded from
+	// DeterministicJSON.
+	CommWall comm.CommWall `json:"comm_wall"`
 
 	// Checkpoint is the final parameter state as a SaveParams blob,
 	// populated when Config.Checkpoint is set. Excluded from the JSON
@@ -438,6 +484,16 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 		}
 		reporter, hasReporter := sp.(overheadReporter)
 
+		// Tracing: one lane per ORIGINAL rank (stable across recovery
+		// segments). The nil lane of a disabled tracer makes every phase
+		// boundary below a single nil check.
+		var lane *obs.Lane
+		if cfg.Tracer != nil {
+			origRank := seg.rankMap[rank]
+			lane = cfg.Tracer.Lane(origRank, fmt.Sprintf("rank %d", origRank))
+		}
+		sampler, hasSampler := model.(interface{ LastSampleTime() time.Duration })
+
 		acc := make([]float64, ng) // e_i, then acc_i inside the iteration
 		var velocity []float64
 		if cfg.Momentum > 0 {
@@ -515,7 +571,22 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 			// single-core simulator the gate costs nothing because the
 			// sections were serialised anyway.
 			curT = t
+			lane.Start(obs.PhaseIteration, t)
+			stepStart := lane.Now()
 			stepTime := isolate(stepFn)
+			if lane != nil {
+				// Split the step into its sampling prefix and the
+				// forward/backward remainder, recorded retroactively so the
+				// traced run pays the same two clock reads as an untraced
+				// one inside the gate.
+				stepEnd := lane.Now()
+				var sampleNS int64
+				if hasSampler {
+					sampleNS = int64(sampler.LastSampleTime())
+				}
+				lane.RecordSpanAt(obs.PhaseSample, t, stepStart, sampleNS)
+				lane.RecordSpanAt(obs.PhaseForwardBackward, t, stepStart+sampleNS, stepEnd-stepStart-sampleNS)
+			}
 			if seg.plan != nil {
 				if f := cm.StragglerFactor(t); f != 1 {
 					// A straggler's slowdown is applied to the measured
@@ -534,7 +605,9 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 			var upBytes int64
 
 			if cfg.DisableSparse {
+				lane.Start(obs.PhaseCollective, t)
 				update = cm.AllReduceSumInto(acc, update)
+				lane.Stop()
 				for i := range acc {
 					acc[i] = 0
 				}
@@ -548,8 +621,11 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 				// yet), and the measurement absorbs scheduler interleaving.
 				// Synchronous SGD synchronises at the all-gather anyway, so
 				// this changes no semantics.
+				lane.Start(obs.PhaseCollective, t)
 				cm.Barrier()
+				lane.Stop()
 				ctx.Iteration = t
+				lane.Start(obs.PhaseSelect, t)
 				if hasReporter {
 					// Scheme with internal collectives (DEFT, CLT-k): it
 					// gates its own local segments and reports them.
@@ -559,11 +635,13 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 					// Pure-local scheme: gate the whole selection.
 					selTime = isolate(selectFn)
 				}
+				lane.Stop()
 
 				// Lines 7–9 of Algorithm 1. The union collective merges
 				// sorted per-rank lists, so sort the local selection first —
 				// the selection kernels return unspecified order and permit
 				// in-place reordering until the next Select.
+				lane.Start(obs.PhaseEncode, t)
 				slices.Sort(localIdx)
 				// Wire accounting: encode this worker's local (index, value)
 				// selection with the cheapest codec — the payload a real
@@ -593,18 +671,23 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 					panic(fmt.Sprintf("train: wire encode of local selection: %v", wireErr))
 				}
 				upBytes = int64(len(wireBuf))
+				lane.Stop()
 				if cfg.Quantize {
 					// Decode the payload just encoded: the receiver side of
 					// the wire format, run on the genuine bytes, so the
 					// values entering the update are exactly what a remote
 					// peer would reconstruct.
+					lane.Start(obs.PhaseDecode, t)
 					var decErr error
 					_, _, decIdx, decVals, decErr = wire.DecodeInto(wireBuf, decIdx, decVals)
+					lane.Stop()
 					if decErr != nil {
 						panic(fmt.Sprintf("train: wire decode of local selection: %v", decErr))
 					}
 				}
+				lane.Start(obs.PhaseCollective, t)
 				idxBuf = cm.AllGatherUniqueIntsInto(localIdx, idxBuf)
+				lane.Stop()
 				idx := idxBuf
 				selectedK = len(idx)
 				if cap(vals) < len(idx) {
@@ -630,12 +713,15 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 						vals[j] = acc[i]
 					}
 				}
+				lane.Start(obs.PhaseCollective, t)
 				sum = cm.AllReduceSumInto(vals, sum)
+				lane.Stop()
 
 				// Lines 10–12: update model, clear transmitted entries. The
 				// aggregated update is applied sparsely — only the selected
 				// indices are touched — unless a dense view is needed for
 				// the momentum buffer below.
+				lane.Start(obs.PhaseApply, t)
 				if velocity != nil {
 					for i := range update {
 						update[i] = 0
@@ -659,6 +745,7 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 						acc[i] = 0
 					}
 				}
+				lane.Stop()
 			}
 
 			// x ← x − update/n (with optional momentum on the aggregate;
@@ -667,13 +754,17 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 			// the dense application path; the momentum-free sparse path has
 			// already applied the update above.
 			invN := 1 / float64(n)
-			if velocity != nil {
-				for i := range update {
-					velocity[i] = cfg.Momentum*velocity[i] + update[i]*invN
+			if velocity != nil || cfg.DisableSparse {
+				lane.Start(obs.PhaseApply, t)
+				if velocity != nil {
+					for i := range update {
+						velocity[i] = cfg.Momentum*velocity[i] + update[i]*invN
+					}
+					ApplyUpdate(params, velocity, 1)
+				} else {
+					ApplyUpdate(params, update, invN)
 				}
-				ApplyUpdate(params, velocity, 1)
-			} else if cfg.DisableSparse {
-				ApplyUpdate(params, update, invN)
+				lane.Stop()
 			}
 
 			if cfg.CheckSync {
@@ -704,7 +795,9 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 				upBytes:   upBytes,
 				hasNaN:    hasNaN,
 			}
+			lane.Start(obs.PhaseCollective, t)
 			cm.Barrier() // all perWorker entries written
+			lane.Stop()
 
 			if rank == 0 {
 				// Loss: mean across workers. Error: Eq. 2, the mean of the
@@ -778,6 +871,26 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 					res.ErrorNorm.Append(float64(t), errSum/float64(n))
 					res.ActualDensity.Append(float64(t), float64(k)/float64(ng))
 					res.EncodedBytes.Append(float64(t), float64(iterBytes))
+					// Per-layer telemetry rides every ProgressEvery-th record
+					// event: lazily allocated, entirely absent at the default
+					// ProgressEvery == 0 so the hot loop's allocation profile
+					// is untouched.
+					var layerStats []LayerStat
+					if cfg.ProgressEvery > 0 && t%cfg.ProgressEvery == 0 {
+						layerStats = layerSnapshot(layers, acc, idxBuf, cfg.DisableSparse)
+						if res.LayerNames == nil {
+							res.LayerNames = make([]string, len(layers))
+							for i, l := range layers {
+								res.LayerNames[i] = l.Name
+							}
+							res.LayerAlloc = make([]stats.Series, len(layers))
+							res.LayerNorm = make([]stats.Series, len(layers))
+						}
+						for i, ls := range layerStats {
+							res.LayerAlloc[i].Append(float64(t), float64(ls.K))
+							res.LayerNorm[i].Append(float64(t), ls.Norm)
+						}
+					}
 					if cfg.Progress != nil {
 						cfg.Progress(Progress{
 							Kind:          "record",
@@ -786,6 +899,7 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 							ActualDensity: float64(k) / float64(ng),
 							ErrorNorm:     errSum / float64(n),
 							EncodedBytes:  float64(iterBytes),
+							Layers:        layerStats,
 						})
 					}
 				}
@@ -797,7 +911,10 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 					}
 				}
 			}
+			lane.Start(obs.PhaseCollective, t)
 			cm.Barrier() // keep workers in lockstep with the recording
+			lane.Stop()
+			lane.Stop() // iteration span
 		}
 	})
 
@@ -805,7 +922,36 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 	// its segments. On an aborted segment the partial series are still
 	// consistent — rank 0 only appends between the two lockstep barriers.
 	res.Traffic.Add(cluster.Traffic())
+	res.CommWall.Add(cluster.CommWall())
 	return rank0, runErr
+}
+
+// layerSnapshot builds the per-layer telemetry of one recorded iteration:
+// for each layer, how many of the union's indices (idx, sorted ascending)
+// fall inside it — the fragment allocation DEFT's partitioner rebalances —
+// and the L2 norm of the layer's slice of the error-feedback residual.
+// The dense baseline selects everything, so K is the layer size there.
+func layerSnapshot(layers []sparsifier.Layer, acc []float64, idx []int, dense bool) []LayerStat {
+	out := make([]LayerStat, len(layers))
+	li := 0
+	for i, l := range layers {
+		k := 0
+		if dense {
+			k = l.End - l.Start
+		} else {
+			for li < len(idx) && idx[li] < l.End {
+				k++
+				li++
+			}
+		}
+		out[i] = LayerStat{
+			Name: l.Name,
+			Size: l.End - l.Start,
+			K:    k,
+			Norm: tensor.L2Norm(acc[l.Start:l.End]),
+		}
+	}
+	return out
 }
 
 // overheadReporter is implemented by DEFT to expose its partition-vs-select

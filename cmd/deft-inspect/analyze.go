@@ -1,0 +1,39 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"repro/internal/obs/analyze"
+)
+
+// analyzeTrace loads a Chrome trace-event file (written by deft-train
+// -trace or deft-serve -trace) and prints its trace-analytics report:
+// phase stats, the cross-rank critical path, straggler attribution and
+// step-time anomalies. Pass "-" to read the trace from stdin. The report
+// is a pure function of the trace, so re-running it is byte-stable.
+func analyzeTrace(path string, jsonOut bool) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := analyze.LoadChromeTrace(r)
+	if err != nil {
+		return err
+	}
+	rep := analyze.Analyze(tr, analyze.Options{})
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return rep.Fprint(os.Stdout)
+}

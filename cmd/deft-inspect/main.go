@@ -12,6 +12,7 @@
 //	deft-inspect -workload mlp -json > inspect.json
 //	deft-inspect -workload mlp -comm 30          # modeled vs measured comm per scheme
 //	deft-inspect -watch http://localhost:8080/v1/jobs/job-000001/stream
+//	deft-inspect -analyze trace.json             # trace analytics report
 //
 // Output is two tables (fragment allocation, wire footprint); -json emits
 // them with the shared experiments.Table serialization used by deft-serve
@@ -19,7 +20,10 @@
 // reports the topology-modeled comm time next to the measured collective
 // combine wall with the model error per scheme. -watch renders a running
 // job\'s per-layer allocation live from its NDJSON stream (pass - to read
-// the stream from stdin).
+// the stream from stdin), reconnecting with capped backoff when an HTTP
+// stream drops. -analyze reads a Chrome trace written by deft-train
+// -trace and prints phase stats, the cross-rank critical path, straggler
+// attribution and anomalies (-json for the machine-readable report).
 package main
 
 import (
@@ -57,6 +61,8 @@ func main() {
 		"train every scheme for N iterations and report modeled vs measured comm time per scheme (0 = off; needs -workload)")
 	watchSource := flag.String("watch", "",
 		"render a job's per-layer allocation live from its NDJSON stream: a deft-serve /v1/jobs/{id}/stream URL, a file, or - for stdin")
+	analyzePath := flag.String("analyze", "",
+		"print the trace-analytics report for a Chrome trace-event file written by deft-train -trace (- for stdin; -json for the Report document)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"run up to N sparsifier schemes' selection+encode concurrently (1 = sequential); output is byte-identical either way")
 	flag.Parse()
@@ -64,6 +70,13 @@ func main() {
 	if *watchSource != "" {
 		if err := watch(*watchSource); err != nil {
 			fmt.Fprintf(os.Stderr, "deft-inspect: -watch: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *analyzePath != "" {
+		if err := analyzeTrace(*analyzePath, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "deft-inspect: -analyze: %v\n", err)
 			os.Exit(1)
 		}
 		return

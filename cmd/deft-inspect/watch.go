@@ -3,114 +3,226 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/obs/analyze"
 	"repro/internal/train"
 )
 
 // watchEvent mirrors the serve stream's NDJSON line shape (see
 // internal/serve stream.go): a type tag plus an embedded train.Progress
-// for progress events.
+// for progress events and an anomaly payload for detector flags.
 type watchEvent struct {
-	Type    string `json:"type"`
-	State   string `json:"state"`
-	Error   string `json:"error"`
-	Attempt int    `json:"attempt"`
+	Type    string           `json:"type"`
+	State   string           `json:"state"`
+	Error   string           `json:"error"`
+	Attempt int              `json:"attempt"`
+	Anomaly *analyze.Anomaly `json:"anomaly"`
 	*train.Progress
 }
 
+// errTruncated marks a line that failed to decode on a reconnectable
+// source: the connection died mid-line, so the tail is a torn write to
+// retry, not bad data to report.
+var errTruncated = errors.New("truncated NDJSON line")
+
+// permanentError wraps a watch error no reconnect can fix (the job does
+// not exist).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+const (
+	watchBackoffMin  = 250 * time.Millisecond
+	watchBackoffMax  = 5 * time.Second
+	watchDeadRetries = 8
+)
+
+// watchState carries rendering state across stream (re)connects. consumed
+// counts fully rendered NDJSON lines: the serve event log is append-only,
+// so each reconnect replays a byte-identical prefix of history and
+// skipping consumed lines resumes exactly at the last seen iteration.
+type watchState struct {
+	w         io.Writer
+	clear     bool
+	consumed  int
+	snapshots int
+	anomalies int
+	done      bool
+}
+
 // watch consumes a job's NDJSON stream — from a deft-serve
-// /v1/jobs/{id}/stream URL or stdin ("-") — and renders the per-layer
-// fragment-allocation table live as ProgressEvery snapshots arrive.
+// /v1/jobs/{id}/stream URL, a file, or stdin ("-") — and renders the
+// per-layer fragment-allocation table live as ProgressEvery snapshots
+// arrive. HTTP sources reconnect with capped backoff until the job's done
+// event; files and stdin are read once, strictly.
 func watch(source string) error {
-	var r io.Reader
+	clear := false
+	if fi, err := os.Stdout.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		clear = true
+	}
+	st := &watchState{w: os.Stdout, clear: clear}
 	switch {
 	case source == "-":
-		r = os.Stdin
+		return st.run(os.Stdin, false)
 	case strings.HasPrefix(source, "http://") || strings.HasPrefix(source, "https://"):
-		resp, err := http.Get(source)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("stream %s: HTTP %d", source, resp.StatusCode)
-		}
-		r = resp.Body
+		return watchHTTP(source, st, time.Sleep)
 	default:
 		f, err := os.Open(source)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		r = f
+		return st.run(f, false)
 	}
-	clear := false
-	if fi, err := os.Stdout.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
-		clear = true
-	}
-	return runWatch(r, os.Stdout, clear)
 }
 
-// runWatch is the testable core of -watch: it decodes NDJSON events from
-// r and writes the live rendering to w. With clear set (stdout is a
-// terminal) each layer snapshot repaints the screen; otherwise snapshots
-// append, which keeps piped output a plain log.
-func runWatch(r io.Reader, w io.Writer, clear bool) error {
+// watchHTTP streams source until the job's done event, reconnecting with
+// capped exponential backoff on EOF and transient failures (connection
+// errors, torn lines, non-404 HTTP statuses). Each reconnect replays the
+// job's history and st skips the consumed prefix, so rendering resumes
+// where the dead connection stopped. It gives up on a 404 — the job does
+// not exist and never will — or after watchDeadRetries consecutive
+// attempts that yield no new events.
+func watchHTTP(source string, st *watchState, sleep func(time.Duration)) error {
+	backoff := watchBackoffMin
+	dead := 0
+	for {
+		before := st.consumed
+		err := watchHTTPOnce(source, st)
+		if st.done {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if st.consumed > before {
+			dead, backoff = 0, watchBackoffMin
+		} else if dead++; dead >= watchDeadRetries {
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("stream %s: no progress after %d attempts: %w", source, dead, err)
+		}
+		reason := "stream ended before done"
+		if err != nil && !errors.Is(err, errTruncated) {
+			reason = err.Error()
+		}
+		fmt.Fprintf(st.w, "watch: %s — reconnecting in %s\n", reason, backoff)
+		sleep(backoff)
+		if backoff *= 2; backoff > watchBackoffMax {
+			backoff = watchBackoffMax
+		}
+	}
+}
+
+// watchHTTPOnce runs one connection attempt. A 404 is permanent;
+// everything else that goes wrong is transient.
+func watchHTTPOnce(source string, st *watchState) error {
+	resp, err := http.Get(source)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return &permanentError{fmt.Errorf("stream %s: HTTP 404 (no such job)", source)}
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("stream %s: HTTP %d", source, resp.StatusCode)
+	}
+	return st.run(resp.Body, true)
+}
+
+// run decodes NDJSON events from r and renders them, skipping the
+// already-consumed replay prefix. With resumable set, a line that fails to
+// decode is a torn tail of a dropped connection (errTruncated, retried by
+// the caller without advancing consumed); otherwise it is a hard error.
+func (st *watchState) run(r io.Reader, resumable bool) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	snapshots := 0
+	seen := 0
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
+		if seen++; seen <= st.consumed {
+			continue
+		}
 		var ev watchEvent
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			if resumable {
+				return errTruncated
+			}
 			return fmt.Errorf("bad NDJSON line %q: %w", line, err)
 		}
-		switch ev.Type {
-		case "state":
-			fmt.Fprintf(w, "state: %s\n", ev.State)
-		case "retry":
-			fmt.Fprintf(w, "retry: attempt %d (%s)\n", ev.Attempt, ev.Error)
-		case "done":
-			if ev.Error != "" {
-				fmt.Fprintf(w, "done: %s (%s)\n", ev.State, ev.Error)
-			} else {
-				fmt.Fprintf(w, "done: %s (%d layer snapshots)\n", ev.State, snapshots)
-			}
-		case "progress":
-			if ev.Progress == nil {
-				continue
-			}
-			switch {
-			case len(ev.Layers) > 0:
-				if clear {
-					fmt.Fprint(w, "\033[H\033[2J")
-				}
-				snapshots++
-				renderLayers(w, ev.Progress)
-			case ev.Kind == "eval":
-				fmt.Fprintf(w, "eval @ %-6d metric = %.4f\n", ev.Iteration, ev.Metric)
-			case ev.Kind == "fault":
-				fmt.Fprintf(w, "fault: %s @ %d\n", ev.Fault, ev.Iteration)
-			}
+		st.render(ev)
+		st.consumed++
+		if st.done {
+			return nil
 		}
 	}
 	return sc.Err()
 }
 
+// render writes one event's live output.
+func (st *watchState) render(ev watchEvent) {
+	w := st.w
+	switch ev.Type {
+	case "state":
+		fmt.Fprintf(w, "state: %s\n", ev.State)
+	case "retry":
+		fmt.Fprintf(w, "retry: attempt %d (%s)\n", ev.Attempt, ev.Error)
+	case "anomaly":
+		st.anomalies++
+		if ev.Anomaly != nil {
+			fmt.Fprintf(w, "anomaly: %s\n", ev.Anomaly)
+		}
+	case "done":
+		st.done = true
+		if ev.Error != "" {
+			fmt.Fprintf(w, "done: %s (%s)\n", ev.State, ev.Error)
+		} else {
+			fmt.Fprintf(w, "done: %s (%d layer snapshots, %d anomalies)\n",
+				ev.State, st.snapshots, st.anomalies)
+		}
+	case "progress":
+		if ev.Progress == nil {
+			return
+		}
+		switch {
+		case len(ev.Layers) > 0:
+			if st.clear {
+				fmt.Fprint(w, "\033[H\033[2J")
+			}
+			st.snapshots++
+			st.renderLayers(ev.Progress)
+		case ev.Kind == "eval":
+			fmt.Fprintf(w, "eval @ %-6d metric = %.4f\n", ev.Iteration, ev.Metric)
+		case ev.Kind == "fault":
+			fmt.Fprintf(w, "fault: %s @ %d\n", ev.Fault, ev.Iteration)
+		}
+	}
+}
+
 // renderLayers prints one per-layer snapshot: fragment allocation (k and
 // realised per-layer density, with a proportional bar) and the residual
-// gradient norm per layer.
-func renderLayers(w io.Writer, p *train.Progress) {
-	fmt.Fprintf(w, "iteration %-8d loss %-10.4f density %-10.6f ‖e‖ %.4f\n",
-		p.Iteration, p.TrainLoss, p.ActualDensity, p.ErrorNorm)
+// gradient norm per layer, headed by the run totals and the anomaly count
+// flagged so far.
+func (st *watchState) renderLayers(p *train.Progress) {
+	w := st.w
+	fmt.Fprintf(w, "iteration %-8d loss %-10.4f density %-10.6f ‖e‖ %-10.4f anomalies %d\n",
+		p.Iteration, p.TrainLoss, p.ActualDensity, p.ErrorNorm, st.anomalies)
 	fmt.Fprintf(w, "%-28s %10s %8s %9s %12s  %s\n", "layer", "size", "k", "k/size", "norm", "allocation")
 	maxK := 1
 	for _, ls := range p.Layers {

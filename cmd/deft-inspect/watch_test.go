@@ -2,28 +2,40 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
-// TestRunWatchRendersLayerTable feeds runWatch the NDJSON line shapes the
-// serve stream emits and asserts the live table renders every per-layer
-// snapshot with allocation and norms, plus the lifecycle lines.
-func TestRunWatchRendersLayerTable(t *testing.T) {
-	stream := strings.Join([]string{
-		`{"type":"state","state":"queued"}`,
-		`{"type":"state","state":"running"}`,
-		`{"type":"progress","kind":"record","iteration":0,"train_loss":0.6931,"actual_density":0.05,"error_norm":1.25,` +
-			`"layers":[{"name":"hidden.w","size":4096,"k":210,"norm":0.82},{"name":"out.b","size":10,"k":1,"norm":0.03}]}`,
-		`{"type":"progress","kind":"record","iteration":1,"train_loss":0.69}`,
-		`{"type":"progress","kind":"eval","iteration":4,"metric":0.52}`,
-		`{"type":"progress","kind":"record","iteration":4,"train_loss":0.61,"actual_density":0.05,"error_norm":1.1,` +
-			`"layers":[{"name":"hidden.w","size":4096,"k":200,"norm":0.8},{"name":"out.b","size":10,"k":11,"norm":0.02}]}`,
-		`{"type":"done","state":"done"}`,
-	}, "\n")
+// watchStream is the canonical NDJSON fixture: the line shapes the serve
+// stream emits, including an anomaly flag between snapshots.
+var watchStream = []string{
+	`{"type":"state","state":"queued"}`,
+	`{"type":"state","state":"running"}`,
+	`{"type":"progress","kind":"record","iteration":0,"train_loss":0.6931,"actual_density":0.05,"error_norm":1.25,` +
+		`"layers":[{"name":"hidden.w","size":4096,"k":210,"norm":0.82},{"name":"out.b","size":10,"k":1,"norm":0.03}]}`,
+	`{"type":"progress","kind":"record","iteration":1,"train_loss":0.69}`,
+	`{"type":"progress","kind":"eval","iteration":4,"metric":0.52}`,
+	`{"type":"anomaly","anomaly":{"metric":"step_time_s","iteration":4,"value":0.05,"mean":0.001,"z":12.5}}`,
+	`{"type":"progress","kind":"record","iteration":4,"train_loss":0.61,"actual_density":0.05,"error_norm":1.1,` +
+		`"layers":[{"name":"hidden.w","size":4096,"k":200,"norm":0.8},{"name":"out.b","size":10,"k":11,"norm":0.02}]}`,
+	`{"type":"done","state":"done"}`,
+}
 
+// TestWatchRendersLayerTable feeds the watch renderer the serve stream's
+// NDJSON line shapes and asserts the live table renders every per-layer
+// snapshot with allocation and norms, the anomaly flag, and the lifecycle
+// lines.
+func TestWatchRendersLayerTable(t *testing.T) {
 	var out bytes.Buffer
-	if err := runWatch(strings.NewReader(stream), &out, false); err != nil {
+	st := &watchState{w: &out}
+	if err := st.run(strings.NewReader(strings.Join(watchStream, "\n")), false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -35,7 +47,9 @@ func TestRunWatchRendersLayerTable(t *testing.T) {
 		"4096",
 		"210",
 		"eval @ 4",
-		"done: done (2 layer snapshots)",
+		"anomaly: iter 4 step_time_s = 0.05",
+		"anomalies 1", // the snapshot after the flag carries the count
+		"done: done (2 layer snapshots, 1 anomalies)",
 		"total",
 	} {
 		if !strings.Contains(got, want) {
@@ -52,11 +66,105 @@ func TestRunWatchRendersLayerTable(t *testing.T) {
 	}
 }
 
-// TestRunWatchBadLine: a malformed NDJSON line is a decoding error, not a
-// silent skip.
-func TestRunWatchBadLine(t *testing.T) {
-	err := runWatch(strings.NewReader("{not json}\n"), &bytes.Buffer{}, false)
-	if err == nil {
-		t.Fatal("malformed line must error")
+// TestWatchBadLine: a malformed NDJSON line is a hard decoding error on a
+// one-shot source, but a retryable truncation on a reconnectable one.
+func TestWatchBadLine(t *testing.T) {
+	st := &watchState{w: &bytes.Buffer{}}
+	if err := st.run(strings.NewReader("{not json}\n"), false); err == nil {
+		t.Fatal("malformed line must error on a strict source")
+	}
+	st = &watchState{w: &bytes.Buffer{}}
+	if err := st.run(strings.NewReader("{not json}\n"), true); !errors.Is(err, errTruncated) {
+		t.Fatalf("resumable bad line = %v, want errTruncated", err)
+	}
+}
+
+// TestWatchHTTPReconnectResumes: the first connection dies mid-line after
+// three events; the reconnect replays the full history and the watcher
+// resumes at the fourth event — nothing rendered twice, done reached, one
+// backoff sleep taken.
+func TestWatchHTTPReconnectResumes(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n == 1 {
+			for _, l := range watchStream[:3] {
+				fmt.Fprintln(w, l)
+			}
+			io.WriteString(w, `{"type":"prog`) // connection died mid-write
+			return
+		}
+		for _, l := range watchStream {
+			fmt.Fprintln(w, l)
+		}
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	var slept []time.Duration
+	st := &watchState{w: &out}
+	err := watchHTTP(ts.URL, st, func(d time.Duration) { slept = append(slept, d) })
+	if err != nil {
+		t.Fatalf("watchHTTP: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !st.done || !strings.Contains(got, "done: done (2 layer snapshots, 1 anomalies)") {
+		t.Errorf("watch did not reach done:\n%s", got)
+	}
+	// The replayed prefix must not render twice.
+	for _, once := range []string{"state: queued", "state: running", "eval @ 4", "anomaly:"} {
+		if n := strings.Count(got, once); n != 1 {
+			t.Errorf("%q rendered %d times, want 1\n%s", once, n, got)
+		}
+	}
+	if !strings.Contains(got, "reconnecting in 250ms") {
+		t.Errorf("missing reconnect notice:\n%s", got)
+	}
+	if len(slept) != 1 || slept[0] != watchBackoffMin {
+		t.Errorf("slept %v, want one %v backoff", slept, watchBackoffMin)
+	}
+}
+
+// TestWatchHTTP404IsPermanent: a missing job fails immediately — no
+// backoff loop against an ID that will never exist.
+func TestWatchHTTP404IsPermanent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	st := &watchState{w: &bytes.Buffer{}}
+	err := watchHTTP(ts.URL, st, func(time.Duration) { t.Fatal("must not sleep on a 404") })
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("err = %v, want permanent 404 failure", err)
+	}
+}
+
+// TestWatchHTTPGivesUpWhenDead: a server that always 500s is abandoned
+// after watchDeadRetries attempts, with the backoff growing to its cap.
+func TestWatchHTTPGivesUpWhenDead(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	var slept []time.Duration
+	st := &watchState{w: &bytes.Buffer{}}
+	err := watchHTTP(ts.URL, st, func(d time.Duration) { slept = append(slept, d) })
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("no progress after %d attempts", watchDeadRetries)) {
+		t.Fatalf("err = %v, want dead-retries bound", err)
+	}
+	if len(slept) != watchDeadRetries-1 {
+		t.Fatalf("slept %d times, want %d", len(slept), watchDeadRetries-1)
+	}
+	for i := 1; i < len(slept); i++ {
+		if slept[i] < slept[i-1] {
+			t.Errorf("backoff shrank without progress: %v", slept)
+		}
+	}
+	if slept[len(slept)-1] != watchBackoffMax {
+		t.Errorf("final backoff = %v, want capped at %v", slept[len(slept)-1], watchBackoffMax)
 	}
 }

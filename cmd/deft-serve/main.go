@@ -12,10 +12,12 @@
 //	curl -s localhost:8080/v1/jobs -d '{"experiment":"fig4","quick":true}'
 //	curl -s localhost:8080/v1/jobs -d '{"train":{"workload":"mlp","sparsifier":"deft","iterations":200}}'
 //	curl -N localhost:8080/v1/jobs/job-000001/stream
+//	curl -s localhost:8080/v1/jobs/job-000001/report
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
 //
 // GET /metrics serves Prometheus text (append ?format=expvar for the
-// legacy JSON). -pprof mounts net/http/pprof under /debug/pprof/ for
+// legacy JSON), including deft_runtime_* health gauges sampled every
+// -health-every. -pprof mounts net/http/pprof under /debug/pprof/ for
 // profiling under load; -trace writes a Chrome trace of job lifecycle
 // spans (queued, running, attempt N, stream) on shutdown.
 //
@@ -47,6 +49,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: exposes goroutine and heap internals)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of job lifecycle spans on shutdown")
+	healthEvery := flag.Duration("health-every", 5*time.Second,
+		"runtime health sampling interval — heap/GC/goroutine gauges on /metrics, counter events in the trace (0 = off)")
 	flag.Parse()
 
 	var tracer *obs.Tracer
@@ -54,6 +58,11 @@ func main() {
 		tracer = obs.NewTracer("deft-serve")
 	}
 	srv := serve.New(serve.Options{Pool: *pool, Queue: *queueDepth, Tracer: tracer})
+	var health *obs.HealthSampler
+	if *healthEvery > 0 {
+		health = obs.NewHealthSampler(srv.Metrics(), tracer)
+		health.Start(*healthEvery)
+	}
 	handler := srv.Handler()
 	if *pprofFlag {
 		mux := http.NewServeMux()
@@ -95,6 +104,9 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("deft-serve: http shutdown: %v", err)
+	}
+	if health != nil {
+		health.Stop() // final sample lands in the trace before it's flushed
 	}
 	if tracer != nil {
 		if f, err := os.Create(*tracePath); err != nil {

@@ -9,6 +9,7 @@
 //	deft-train -workload mlp -faults 'drop:3@50' -recover       # chaos + recovery
 //	deft-train -workload mlp -json > result.json
 //	deft-train -workload mlp -trace trace.json                  # Perfetto phase trace
+//	deft-train -workload mlp -faults 'straggler:1x4@20-50' -report  # trace analytics
 //
 // Workloads: mlp, vision, langmodel, recsys.
 // Sparsifiers: deft, topk, cltk, sidco, randk, dgc, gaussiank,
@@ -24,9 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/registry"
 	"repro/internal/train"
 )
@@ -52,6 +57,10 @@ func main() {
 		"write a Chrome trace-event JSON file of per-rank phase spans (load in Perfetto or chrome://tracing)")
 	progressEvery := flag.Int("progress-every", 0,
 		"emit per-layer allocation/norm snapshots every N record iterations (0 = off)")
+	report := flag.Bool("report", false,
+		"print the trace-analytics report after the run: phase table, critical path, straggler attribution, anomalies")
+	healthEvery := flag.Duration("health-every", time.Second,
+		"runtime health sampling interval for traced runs — heap/GC/goroutines as trace counter events (0 = off)")
 	flag.Parse()
 
 	w, err := registry.NewWorkload(*workload)
@@ -89,32 +98,48 @@ func main() {
 		ProgressEvery: *progressEvery,
 	}
 	var tracer *obs.Tracer
-	if *tracePath != "" {
+	if *tracePath != "" || *report {
 		tracer = obs.NewTracer("deft-train")
 		cfg.Tracer = tracer
 	}
 
-	res, err := train.RunContext(context.Background(), w, factory, cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "deft-train: %v\n", err)
-		os.Exit(1)
+	// SIGINT/SIGTERM cancel the run context: the trainer unwinds
+	// mid-iteration and returns its partial result, and the trace still
+	// gets flushed below — an interrupted run stays analyzable.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var health *obs.HealthSampler
+	if tracer != nil && *healthEvery > 0 {
+		health = obs.NewHealthSampler(nil, tracer)
+		health.Start(*healthEvery)
 	}
-	if tracer != nil {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "deft-train: -trace: %v\n", err)
-			os.Exit(1)
-		}
-		if err := tracer.WriteChromeTrace(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
+
+	res, runErr := train.RunContext(ctx, w, factory, cfg)
+	stopSignals() // a second ^C past this point kills the process normally
+	if health != nil {
+		health.Stop()
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "deft-train: %v\n", runErr)
+	}
+	if tracer != nil && *tracePath != "" {
+		if err := writeTrace(tracer, *tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "deft-train: -trace: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "deft-train: wrote %d spans to %s\n", tracer.SpanCount(), *tracePath)
+	}
+	if *report && tracer != nil {
+		rep := analyze.Analyze(analyze.FromTracer(tracer), analyze.Options{})
+		fmt.Println()
+		if err := rep.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "deft-train: -report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil || res == nil {
+		os.Exit(1)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -151,4 +176,18 @@ func main() {
 			fmt.Printf("  %s of rank %d at iteration %d\n", fe.Kind, fe.Rank, fe.Iteration)
 		}
 	}
+}
+
+// writeTrace flushes the tracer to path, closing the file even when the
+// encoder fails.
+func writeTrace(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

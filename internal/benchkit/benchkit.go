@@ -25,6 +25,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/rng"
 	"repro/internal/shapes"
 	"repro/internal/tensor"
@@ -59,6 +60,20 @@ func Cases() []Case {
 		{Name: "WireDecodeCOOVarint", Bench: BenchWireDecodeCOOVarint},
 		{Name: "ObsSpanStartStop", Bench: BenchObsSpanStartStop},
 		{Name: "HistObserve", Bench: BenchHistObserve},
+		{Name: "DetectorObserve", Bench: BenchDetectorObserve},
+	}
+}
+
+// BenchDetectorObserve measures one EWMA anomaly-detector observation —
+// the per-record cost deft-serve pays on every live progress event (a map
+// lookup plus a handful of float ops). Benchmarked over a non-flagging
+// steady series so the measured path is the common one.
+func BenchDetectorObserve(b *testing.B) {
+	det := analyze.NewDetector(0, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe("step_time_s", i, 0.001+1e-7*float64(i&7))
 	}
 }
 

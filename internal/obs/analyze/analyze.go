@@ -1,0 +1,652 @@
+// Package analyze turns the raw telemetry recorded by internal/obs into
+// diagnoses: per-phase duration statistics, per-iteration cross-rank
+// critical paths with collective wait attributed to the gating (slowest)
+// rank, straggler windows with named culprit ranks, and streaming
+// EWMA/z-score anomaly detection that works both post-hoc over traces
+// and live over train.Progress-shaped series.
+//
+// The analysis is a pure function of its input: the same trace bytes
+// produce the same Report, byte for byte, across replays — CI depends
+// on that to diff reports.
+package analyze
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/obs"
+)
+
+// Span is one completed trace span: Lane is the rank (or service lane),
+// Iter the tagged iteration (-1 when untagged), times in nanoseconds
+// since the trace epoch.
+type Span struct {
+	Lane  int
+	Name  string
+	Iter  int
+	Start int64
+	Dur   int64
+}
+
+// Trace is the analyzer's neutral input: built from a live Tracer
+// (FromTracer) or parsed back from an exported Chrome trace file
+// (LoadChromeTrace).
+type Trace struct {
+	Process   string
+	LaneNames map[int]string
+	Spans     []Span
+}
+
+// FromTracer snapshots a live tracer into an analyzable Trace.
+func FromTracer(t *obs.Tracer) *Trace {
+	process, recs := t.Snapshot()
+	tr := &Trace{Process: process, LaneNames: map[int]string{}}
+	for _, r := range recs {
+		tr.LaneNames[r.Lane] = r.LaneName
+		tr.Spans = append(tr.Spans, Span{
+			Lane: r.Lane, Name: r.Name, Iter: r.Iter, Start: r.Start, Dur: r.Dur,
+		})
+	}
+	return tr
+}
+
+// Options tunes the analysis; the zero value means "all defaults".
+type Options struct {
+	// StragglerRatio flags an iteration for a rank when its work is at
+	// least this multiple of the median work of the other ranks.
+	// Default 2.
+	StragglerRatio float64
+	// MinWindow is the minimum number of flagged iterations for a
+	// straggler window to be reported. Default 3.
+	MinWindow int
+	// MaxGap is the largest run of unflagged iterations absorbed into a
+	// window. Default 2.
+	MaxGap int
+	// TopSlow is how many slowest iterations the report lists. Default 5.
+	TopSlow int
+	// Alpha is the EWMA smoothing factor of the anomaly detector.
+	// Default 0.25.
+	Alpha float64
+	// ZThreshold is the |z| score at which a sample is anomalous.
+	// Default 4.
+	ZThreshold float64
+	// Warmup is the number of observations per series before the
+	// detector may flag. Default 8.
+	Warmup int
+}
+
+func (o Options) withDefaults() Options {
+	if o.StragglerRatio <= 0 {
+		o.StragglerRatio = 2
+	}
+	if o.MinWindow <= 0 {
+		o.MinWindow = 3
+	}
+	if o.MaxGap < 0 {
+		o.MaxGap = 0
+	} else if o.MaxGap == 0 {
+		o.MaxGap = 2
+	}
+	if o.TopSlow <= 0 {
+		o.TopSlow = 5
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.25
+	}
+	if o.ZThreshold <= 0 {
+		o.ZThreshold = 4
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 8
+	}
+	return o
+}
+
+// PhaseStat summarizes one span name across all ranks and iterations.
+// Count/P50/P99 are zero in result-based reports (FromSeries), which
+// only know aggregate totals.
+type PhaseStat struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count,omitempty"`
+	TotalNS int64   `json:"total_ns"`
+	P50NS   int64   `json:"p50_ns,omitempty"`
+	P99NS   int64   `json:"p99_ns,omitempty"`
+	Share   float64 `json:"share"`
+}
+
+// RankStat aggregates one rank's role in the critical path. Work is
+// compute-side time (everything but the collective), Wait is collective
+// time, Attributed is the other ranks' wait charged to this rank in the
+// iterations it gated.
+type RankStat struct {
+	Rank         int   `json:"rank"`
+	Iterations   int   `json:"iterations"`
+	Gated        int   `json:"gated"`
+	WorkNS       int64 `json:"work_ns"`
+	WaitNS       int64 `json:"wait_ns"`
+	AttributedNS int64 `json:"attributed_wait_ns"`
+}
+
+// CriticalStep is one iteration on the critical path: the gating rank,
+// its work, and the wait it imposed on the others.
+type CriticalStep struct {
+	Iteration int   `json:"iteration"`
+	Rank      int   `json:"rank"`
+	WorkNS    int64 `json:"work_ns"`
+	WaitNS    int64 `json:"attributed_wait_ns"`
+}
+
+// StragglerFinding is a contiguous window of iterations in which one
+// rank's work dominated the others — a FaultPlan straggler turned into
+// a named culprit. Until is exclusive, matching comm.Straggler windows.
+type StragglerFinding struct {
+	Rank      int     `json:"rank"`
+	From      int     `json:"from"`
+	Until     int     `json:"until"`
+	Flagged   int     `json:"flagged"`
+	Gated     int     `json:"gated"`
+	MeanRatio float64 `json:"mean_ratio"`
+}
+
+// Report is the full analysis output; it marshals to deterministic JSON
+// and renders as deterministic text via Fprint.
+type Report struct {
+	Process    string             `json:"process"`
+	Ranks      int                `json:"ranks"`
+	Iterations int                `json:"iterations"`
+	Phases     []PhaseStat        `json:"phases"`
+	RankStats  []RankStat         `json:"rank_stats,omitempty"`
+	Slowest    []CriticalStep     `json:"slowest_iterations,omitempty"`
+	Stragglers []StragglerFinding `json:"stragglers,omitempty"`
+	Anomalies  []Anomaly          `json:"anomalies,omitempty"`
+	Verdicts   []string           `json:"verdicts"`
+}
+
+// trainPhases is the canonical ordering of the training-iteration span
+// names in reports; names outside it sort after, alphabetically.
+var trainPhases = []string{
+	"iteration", "sample", "forward/backward", "stall", "select",
+	"encode", "decode", "collective", "apply",
+}
+
+// workPhases are the compute-side phases summed into a rank's
+// per-iteration work: everything it does outside the collective,
+// including simulated stall time.
+var workPhases = map[string]bool{
+	"sample": true, "forward/backward": true, "stall": true,
+	"select": true, "encode": true, "decode": true, "apply": true,
+}
+
+func phaseOrder(name string) int {
+	for i, p := range trainPhases {
+		if p == name {
+			return i
+		}
+	}
+	return len(trainPhases)
+}
+
+// cell is one (rank, iteration) of the work/wait matrix.
+type cell struct {
+	work int64
+	wait int64
+	seen bool
+}
+
+// Analyze folds a trace into a Report: phase stats, critical path and
+// wait attribution, straggler windows, and anomalies over per-phase
+// durations and per-rank step times.
+func Analyze(tr *Trace, opt Options) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{Process: tr.Process}
+
+	// Phase stats over every span name present.
+	durs := map[string][]int64{}
+	for _, s := range tr.Spans {
+		durs[s.Name] = append(durs[s.Name], s.Dur)
+	}
+	names := make([]string, 0, len(durs))
+	for n := range durs {
+		names = append(names, n)
+	}
+	slices.SortFunc(names, func(a, b string) int {
+		if d := phaseOrder(a) - phaseOrder(b); d != 0 {
+			return d
+		}
+		return cmpStr(a, b)
+	})
+	iterTotal := int64(0)
+	for _, d := range durs["iteration"] {
+		iterTotal += d
+	}
+	for _, n := range names {
+		ds := durs[n]
+		slices.Sort(ds)
+		total := int64(0)
+		for _, d := range ds {
+			total += d
+		}
+		st := PhaseStat{
+			Name: n, Count: len(ds), TotalNS: total,
+			P50NS: quantileNS(ds, 0.50), P99NS: quantileNS(ds, 0.99),
+		}
+		if iterTotal > 0 {
+			st.Share = float64(total) / float64(iterTotal)
+		}
+		rep.Phases = append(rep.Phases, st)
+	}
+
+	// Work/wait matrix over iteration-tagged spans of training phases.
+	iters, ranks, m := buildMatrix(tr)
+	rep.Iterations = len(iters)
+	rep.Ranks = len(ranks)
+	attribute(rep, iters, ranks, m, opt)
+
+	// Anomalies: per-phase duration series (max across ranks per
+	// iteration), then per-rank work series — deterministic feed order.
+	det := NewDetector(opt.Alpha, opt.ZThreshold, opt.Warmup)
+	phaseMax := map[string][]int64{}
+	iterIdx := make(map[int]int, len(iters))
+	for i, it := range iters {
+		iterIdx[it] = i
+	}
+	for _, s := range tr.Spans {
+		if s.Iter < 0 {
+			continue
+		}
+		if _, ok := iterIdx[s.Iter]; !ok {
+			continue
+		}
+		if phaseOrder(s.Name) >= len(trainPhases) {
+			continue
+		}
+		series := phaseMax[s.Name]
+		if series == nil {
+			series = make([]int64, len(iters))
+			phaseMax[s.Name] = series
+		}
+		if i := iterIdx[s.Iter]; s.Dur > series[i] {
+			series[i] = s.Dur
+		}
+	}
+	for _, n := range trainPhases {
+		series, ok := phaseMax[n]
+		if !ok {
+			continue
+		}
+		for i, it := range iters {
+			if a, bad := det.Observe("phase:"+n, it, float64(series[i])/1e9); bad {
+				rep.Anomalies = append(rep.Anomalies, a)
+			}
+		}
+	}
+	for ri, r := range ranks {
+		metric := fmt.Sprintf("rank %d step", r)
+		for ii, it := range iters {
+			if !m[ri][ii].seen {
+				continue
+			}
+			if a, bad := det.Observe(metric, it, float64(m[ri][ii].work)/1e9); bad {
+				rep.Anomalies = append(rep.Anomalies, a)
+			}
+		}
+	}
+
+	rep.verdicts(opt)
+	return rep
+}
+
+// buildMatrix extracts sorted iteration/rank axes and the dense
+// work/wait matrix [rankIdx][iterIdx] from a trace. A rank is any lane
+// carrying iteration-tagged training-phase spans.
+func buildMatrix(tr *Trace) (iters, ranks []int, m [][]cell) {
+	iterSet := map[int]bool{}
+	rankSet := map[int]bool{}
+	for _, s := range tr.Spans {
+		if s.Iter < 0 || phaseOrder(s.Name) >= len(trainPhases) {
+			continue
+		}
+		iterSet[s.Iter] = true
+		rankSet[s.Lane] = true
+	}
+	for it := range iterSet {
+		iters = append(iters, it)
+	}
+	for r := range rankSet {
+		ranks = append(ranks, r)
+	}
+	slices.Sort(iters)
+	slices.Sort(ranks)
+	iterIdx := make(map[int]int, len(iters))
+	for i, it := range iters {
+		iterIdx[it] = i
+	}
+	rankIdx := make(map[int]int, len(ranks))
+	for i, r := range ranks {
+		rankIdx[r] = i
+	}
+	m = make([][]cell, len(ranks))
+	for i := range m {
+		m[i] = make([]cell, len(iters))
+	}
+	for _, s := range tr.Spans {
+		if s.Iter < 0 || phaseOrder(s.Name) >= len(trainPhases) {
+			continue
+		}
+		c := &m[rankIdx[s.Lane]][iterIdx[s.Iter]]
+		c.seen = true
+		switch {
+		case workPhases[s.Name]:
+			c.work += s.Dur
+		case s.Name == "collective":
+			c.wait += s.Dur
+		}
+	}
+	return iters, ranks, m
+}
+
+// attribute computes per-rank stats, the slowest iterations and the
+// straggler windows from the work/wait matrix, filling rep in place.
+func attribute(rep *Report, iters, ranks []int, m [][]cell, opt Options) {
+	if len(ranks) == 0 || len(iters) == 0 {
+		return
+	}
+	stats := make([]RankStat, len(ranks))
+	for i, r := range ranks {
+		stats[i].Rank = r
+	}
+	steps := make([]CriticalStep, 0, len(iters))
+	for ii, it := range iters {
+		g, present := -1, 0
+		for ri := range ranks {
+			c := m[ri][ii]
+			if !c.seen {
+				continue
+			}
+			present++
+			stats[ri].Iterations++
+			stats[ri].WorkNS += c.work
+			stats[ri].WaitNS += c.wait
+			if g < 0 || c.work > m[g][ii].work {
+				g = ri
+			}
+		}
+		if g < 0 {
+			continue
+		}
+		stats[g].Gated++
+		attributed := int64(0)
+		for ri := range ranks {
+			if ri != g && m[ri][ii].seen {
+				attributed += m[ri][ii].wait
+			}
+		}
+		stats[g].AttributedNS += attributed
+		if present > 1 {
+			steps = append(steps, CriticalStep{
+				Iteration: it, Rank: ranks[g],
+				WorkNS: m[g][ii].work, WaitNS: attributed,
+			})
+		} else {
+			steps = append(steps, CriticalStep{Iteration: it, Rank: ranks[g], WorkNS: m[g][ii].work})
+		}
+	}
+	rep.RankStats = stats
+
+	slow := slices.Clone(steps)
+	slices.SortStableFunc(slow, func(a, b CriticalStep) int {
+		if a.WorkNS != b.WorkNS {
+			if a.WorkNS > b.WorkNS {
+				return -1
+			}
+			return 1
+		}
+		return a.Iteration - b.Iteration
+	})
+	if len(slow) > opt.TopSlow {
+		slow = slow[:opt.TopSlow]
+	}
+	rep.Slowest = slow
+
+	// Straggler windows: flag (rank, iteration) where work dominates the
+	// median of the other present ranks, then merge flags into windows.
+	type flag struct {
+		iter  int
+		ratio float64
+		gated bool
+	}
+	others := make([]int64, 0, len(ranks))
+	for ri, r := range ranks {
+		var flagged []flag
+		for ii, it := range iters {
+			if !m[ri][ii].seen {
+				continue
+			}
+			others = others[:0]
+			for rj := range ranks {
+				if rj != ri && m[rj][ii].seen {
+					others = append(others, m[rj][ii].work)
+				}
+			}
+			if len(others) == 0 {
+				continue
+			}
+			slices.Sort(others)
+			med := others[len(others)/2]
+			if len(others)%2 == 0 {
+				med = (others[len(others)/2-1] + others[len(others)/2]) / 2
+			}
+			if med <= 0 {
+				continue
+			}
+			ratio := float64(m[ri][ii].work) / float64(med)
+			if ratio >= opt.StragglerRatio {
+				flagged = append(flagged, flag{iter: it, ratio: ratio, gated: isGating(m, ri, ii)})
+			}
+		}
+		// Merge flags into windows tolerating gaps of MaxGap iterations,
+		// reporting windows with at least MinWindow flagged iterations.
+		flush := func(win []flag) {
+			if len(win) < opt.MinWindow {
+				return
+			}
+			f := StragglerFinding{
+				Rank: r, From: win[0].iter, Until: win[len(win)-1].iter + 1,
+				Flagged: len(win),
+			}
+			sum := 0.0
+			for _, fl := range win {
+				sum += fl.ratio
+				if fl.gated {
+					f.Gated++
+				}
+			}
+			f.MeanRatio = sum / float64(len(win))
+			rep.Stragglers = append(rep.Stragglers, f)
+		}
+		start := 0
+		for k := 1; k < len(flagged); k++ {
+			if flagged[k].iter-flagged[k-1].iter > opt.MaxGap+1 {
+				flush(flagged[start:k])
+				start = k
+			}
+		}
+		if len(flagged) > 0 {
+			flush(flagged[start:])
+		}
+	}
+}
+
+// isGating reports whether rank ri has the strictly-maximal work at
+// iteration ii (ties resolve to the lowest rank index, matching
+// attribute's gating choice).
+func isGating(m [][]cell, ri, ii int) bool {
+	for rj := range m {
+		if !m[rj][ii].seen {
+			continue
+		}
+		if m[rj][ii].work > m[ri][ii].work {
+			return false
+		}
+		if m[rj][ii].work == m[ri][ii].work && rj < ri {
+			return false
+		}
+	}
+	return true
+}
+
+// verdicts appends the human-readable conclusions, in a fixed order.
+func (r *Report) verdicts(opt Options) {
+	for _, f := range r.Stragglers {
+		r.Verdicts = append(r.Verdicts, fmt.Sprintf(
+			"straggler: rank %d ran %.1fx the median work of the other ranks over iterations [%d,%d) — gated the critical path in %d of %d flagged iterations",
+			f.Rank, f.MeanRatio, f.From, f.Until, f.Gated, f.Flagged))
+	}
+	if len(r.Stragglers) == 0 && r.Ranks > 1 && len(r.RankStats) > 0 {
+		top := r.RankStats[0]
+		for _, s := range r.RankStats[1:] {
+			if s.Gated > top.Gated {
+				top = s
+			}
+		}
+		r.Verdicts = append(r.Verdicts, fmt.Sprintf(
+			"no straggler: the gating rank rotates (rank %d gated most, %d of %d iterations)",
+			top.Rank, top.Gated, r.Iterations))
+	}
+	var work, wait, topAttr int64
+	topRank := -1
+	for _, s := range r.RankStats {
+		work += s.WorkNS
+		wait += s.WaitNS
+		if s.AttributedNS > topAttr {
+			topAttr, topRank = s.AttributedNS, s.Rank
+		}
+	}
+	if work+wait > 0 && wait > 0 {
+		v := fmt.Sprintf("collective wait is %.1f%% of traced rank time",
+			100*float64(wait)/float64(work+wait))
+		if topRank >= 0 && topAttr > 0 {
+			v += fmt.Sprintf("; %.1f%% of it is attributed to rank %d gating",
+				100*float64(topAttr)/float64(wait), topRank)
+		}
+		r.Verdicts = append(r.Verdicts, v)
+	}
+	if n := len(r.Anomalies); n > 0 {
+		r.Verdicts = append(r.Verdicts, fmt.Sprintf(
+			"%d anomalous samples flagged (EWMA z-score >= %g after %d-sample warmup)",
+			n, opt.ZThreshold, opt.Warmup))
+	} else {
+		r.Verdicts = append(r.Verdicts, "no anomalies flagged")
+	}
+}
+
+// PhaseTotal is one phase's aggregate time, for result-based reports.
+type PhaseTotal struct {
+	Name    string
+	Seconds float64
+}
+
+// StepSeries is one rank's per-iteration step time in seconds — the
+// shape of train.Result.RankStepTime.
+type StepSeries struct {
+	Rank    int
+	Iters   []int
+	Seconds []float64
+}
+
+// FromSeries builds a coarse Report from a finished run's aggregate
+// phase totals and (when the run was fault-injected) per-rank step-time
+// series, with collective wait modeled as the gap to the slowest rank.
+// anomalies are the live detector's findings for the run, carried into
+// the report verbatim; the function runs no detector of its own.
+func FromSeries(process string, iterations int, phases []PhaseTotal, steps []StepSeries, anomalies []Anomaly, opt Options) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{Process: process, Iterations: iterations, Anomalies: anomalies}
+	var total float64
+	for _, ph := range phases {
+		total += ph.Seconds
+	}
+	for _, ph := range phases {
+		st := PhaseStat{Name: ph.Name, TotalNS: int64(ph.Seconds * 1e9)}
+		if total > 0 {
+			st.Share = ph.Seconds / total
+		}
+		rep.Phases = append(rep.Phases, st)
+	}
+	if len(steps) > 0 {
+		steps = slices.Clone(steps)
+		slices.SortFunc(steps, func(a, b StepSeries) int { return a.Rank - b.Rank })
+		iterSet := map[int]bool{}
+		for _, s := range steps {
+			for _, it := range s.Iters {
+				iterSet[it] = true
+			}
+		}
+		iters := make([]int, 0, len(iterSet))
+		for it := range iterSet {
+			iters = append(iters, it)
+		}
+		slices.Sort(iters)
+		iterIdx := make(map[int]int, len(iters))
+		for i, it := range iters {
+			iterIdx[it] = i
+		}
+		ranks := make([]int, len(steps))
+		m := make([][]cell, len(steps))
+		for si, s := range steps {
+			ranks[si] = s.Rank
+			m[si] = make([]cell, len(iters))
+			for k, it := range s.Iters {
+				if k < len(s.Seconds) {
+					c := &m[si][iterIdx[it]]
+					c.seen = true
+					c.work += int64(s.Seconds[k] * 1e9)
+				}
+			}
+		}
+		// Modeled wait: each rank waits out the gap to the slowest.
+		for ii := range iters {
+			var max int64
+			for ri := range ranks {
+				if m[ri][ii].seen && m[ri][ii].work > max {
+					max = m[ri][ii].work
+				}
+			}
+			for ri := range ranks {
+				if m[ri][ii].seen {
+					m[ri][ii].wait = max - m[ri][ii].work
+				}
+			}
+		}
+		rep.Ranks = len(ranks)
+		if rep.Iterations == 0 {
+			rep.Iterations = len(iters)
+		}
+		attribute(rep, iters, ranks, m, opt)
+	}
+	rep.verdicts(opt)
+	return rep
+}
+
+// quantileNS returns the q-quantile of a sorted duration slice
+// (nearest-rank).
+func quantileNS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func cmpStr(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

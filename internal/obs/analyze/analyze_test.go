@@ -1,0 +1,273 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// syntheticTrace builds a 4-rank, 30-iteration trace where rank 1 does
+// factor x the base work during iterations [10,25) via a stall span —
+// the exact shape a FaultPlan straggler leaves behind.
+func syntheticTrace(factor float64) *Trace {
+	const ranks, iters = 4, 30
+	const base = int64(1e6) // 1ms of work per iteration
+	tr := &Trace{Process: "test", LaneNames: map[int]string{}}
+	for r := 0; r < ranks; r++ {
+		tr.LaneNames[r] = "rank"
+		t := int64(0)
+		for it := 0; it < iters; it++ {
+			work := base + int64(r)*1000 // deterministic slight skew
+			tr.Spans = append(tr.Spans,
+				Span{Lane: r, Name: "sample", Iter: it, Start: t, Dur: work / 4},
+				Span{Lane: r, Name: "forward/backward", Iter: it, Start: t + work/4, Dur: work - work/4},
+			)
+			end := t + work
+			if r == 1 && it >= 10 && it < 25 {
+				stall := int64(float64(work) * (factor - 1))
+				tr.Spans = append(tr.Spans, Span{Lane: r, Name: "stall", Iter: it, Start: end, Dur: stall})
+				end += stall
+			}
+			wait := int64(5e5)
+			tr.Spans = append(tr.Spans,
+				Span{Lane: r, Name: "collective", Iter: it, Start: end, Dur: wait},
+				Span{Lane: r, Name: "iteration", Iter: it, Start: t, Dur: end + wait - t},
+			)
+			t = end + wait
+		}
+	}
+	return tr
+}
+
+func TestAnalyzeAttributesStragglerWindow(t *testing.T) {
+	rep := Analyze(syntheticTrace(4), Options{})
+	if rep.Ranks != 4 || rep.Iterations != 30 {
+		t.Fatalf("ranks=%d iters=%d, want 4, 30", rep.Ranks, rep.Iterations)
+	}
+	if len(rep.Stragglers) != 1 {
+		t.Fatalf("stragglers = %+v, want exactly one", rep.Stragglers)
+	}
+	f := rep.Stragglers[0]
+	if f.Rank != 1 {
+		t.Errorf("straggler rank = %d, want 1", f.Rank)
+	}
+	if f.From != 10 || f.Until != 25 {
+		t.Errorf("straggler window = [%d,%d), want [10,25)", f.From, f.Until)
+	}
+	if f.Flagged != 15 || f.Gated != 15 {
+		t.Errorf("flagged=%d gated=%d, want 15, 15", f.Flagged, f.Gated)
+	}
+	if f.MeanRatio < 3.5 || f.MeanRatio > 4.5 {
+		t.Errorf("mean ratio = %v, want ~4", f.MeanRatio)
+	}
+
+	// Rank 1 gates exactly its window; rank 3 (highest skew) the rest.
+	var byRank [4]RankStat
+	for _, s := range rep.RankStats {
+		byRank[s.Rank] = s
+	}
+	if byRank[1].Gated != 15 {
+		t.Errorf("rank 1 gated %d iterations, want 15", byRank[1].Gated)
+	}
+	if byRank[3].Gated != 15 {
+		t.Errorf("rank 3 gated %d iterations, want 15", byRank[3].Gated)
+	}
+	// Wait attribution: in rank 1's window it absorbs the other three
+	// ranks' collective time (3 × 0.5ms × 15 iterations).
+	if want := int64(3 * 5e5 * 15); byRank[1].AttributedNS != want {
+		t.Errorf("rank 1 attributed wait = %d, want %d", byRank[1].AttributedNS, want)
+	}
+	// The slowest iterations all sit inside the straggler window.
+	if len(rep.Slowest) == 0 {
+		t.Fatal("no slowest iterations reported")
+	}
+	for _, s := range rep.Slowest {
+		if s.Rank != 1 || s.Iteration < 10 || s.Iteration >= 25 {
+			t.Errorf("slowest iteration %+v outside the straggler window", s)
+		}
+	}
+	// The verdict names the culprit.
+	found := false
+	for _, v := range rep.Verdicts {
+		if bytes.Contains([]byte(v), []byte("straggler: rank 1")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no straggler verdict naming rank 1 in %q", rep.Verdicts)
+	}
+}
+
+func TestAnalyzeHealthyHasNoStraggler(t *testing.T) {
+	rep := Analyze(syntheticTrace(1), Options{})
+	if len(rep.Stragglers) != 0 {
+		t.Fatalf("healthy trace flagged stragglers: %+v", rep.Stragglers)
+	}
+	found := false
+	for _, v := range rep.Verdicts {
+		if bytes.Contains([]byte(v), []byte("no straggler")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing no-straggler verdict in %q", rep.Verdicts)
+	}
+}
+
+// TestAnalyzeByteStable: the full pipeline — analyze, render, marshal —
+// is a pure function of the trace.
+func TestAnalyzeByteStable(t *testing.T) {
+	render := func() ([]byte, []byte) {
+		rep := Analyze(syntheticTrace(4), Options{})
+		var txt bytes.Buffer
+		if err := rep.Fprint(&txt); err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return txt.Bytes(), js
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if !bytes.Equal(t1, t2) {
+		t.Error("text report differs across replays")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON report differs across replays")
+	}
+}
+
+// TestChromeTraceRoundTrip: a trace written by the obs tracer and
+// parsed back via LoadChromeTrace reaches the same verdict as the
+// in-process snapshot (timestamps round through microseconds, so spans
+// agree to 1µs).
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tracer := obs.NewTracer("roundtrip")
+	for r := 0; r < 2; r++ {
+		lane := tracer.Lane(r, "rank")
+		base := int64(1e6)
+		tick := int64(0)
+		for it := 0; it < 12; it++ {
+			work := base
+			if r == 1 && it >= 4 {
+				work *= 5
+			}
+			lane.RecordSpanAt(obs.PhaseForwardBackward, it, tick, work)
+			lane.RecordSpanAt(obs.PhaseCollective, it, tick+work, 2e5)
+			lane.RecordSpanAt(obs.PhaseIteration, it, tick, work+2e5)
+			tick += work + 2e5
+		}
+	}
+	tracer.RecordCounter("heap_bytes", 12345)
+
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Process != "roundtrip" {
+		t.Errorf("process = %q, want roundtrip", loaded.Process)
+	}
+	direct := FromTracer(tracer)
+	if len(loaded.Spans) != len(direct.Spans) {
+		t.Fatalf("span count: loaded %d, direct %d", len(loaded.Spans), len(direct.Spans))
+	}
+	opt := Options{MinWindow: 3}
+	ra, rb := Analyze(direct, opt), Analyze(loaded, opt)
+	if len(ra.Stragglers) != 1 || len(rb.Stragglers) != 1 {
+		t.Fatalf("stragglers: direct %+v, loaded %+v, want one each", ra.Stragglers, rb.Stragglers)
+	}
+	if ra.Stragglers[0] != rb.Stragglers[0] {
+		t.Errorf("straggler findings diverge: direct %+v, loaded %+v", ra.Stragglers[0], rb.Stragglers[0])
+	}
+}
+
+// TestFromSeries: the coarse result-based report (per-rank step series,
+// no spans) attributes the same straggler.
+func TestFromSeries(t *testing.T) {
+	iters := make([]int, 40)
+	base := make([]float64, 40)
+	slow := make([]float64, 40)
+	for i := range iters {
+		iters[i] = i
+		base[i] = 0.001
+		slow[i] = 0.001
+		if i >= 15 && i < 35 {
+			slow[i] = 0.004
+		}
+	}
+	steps := []StepSeries{
+		{Rank: 0, Iters: iters, Seconds: base},
+		{Rank: 1, Iters: iters, Seconds: base},
+		{Rank: 2, Iters: iters, Seconds: slow},
+	}
+	phases := []PhaseTotal{{Name: "forward/backward", Seconds: 1.2}, {Name: "collective", Seconds: 0.4}}
+	rep := FromSeries("serve", 40, phases, steps, nil, Options{})
+	if rep.Ranks != 3 || rep.Iterations != 40 {
+		t.Fatalf("ranks=%d iters=%d, want 3, 40", rep.Ranks, rep.Iterations)
+	}
+	if len(rep.Stragglers) != 1 {
+		t.Fatalf("stragglers = %+v, want one", rep.Stragglers)
+	}
+	f := rep.Stragglers[0]
+	if f.Rank != 2 || f.From != 15 || f.Until != 35 {
+		t.Errorf("finding = %+v, want rank 2 over [15,35)", f)
+	}
+	if len(rep.Phases) != 2 || rep.Phases[0].Share < 0.74 || rep.Phases[0].Share > 0.76 {
+		t.Errorf("phase shares wrong: %+v", rep.Phases)
+	}
+}
+
+func TestDetector(t *testing.T) {
+	d := NewDetector(0.25, 4, 8)
+	// Warmup: no flags even for wild values.
+	for i := 0; i < 8; i++ {
+		v := 1.0
+		if i == 3 {
+			v = 100
+		}
+		if _, bad := d.Observe("m", i, v); bad {
+			t.Fatalf("flagged during warmup at %d", i)
+		}
+	}
+	// Steady state with mild jitter: no flags.
+	for i := 8; i < 40; i++ {
+		v := 1.0 + 0.01*float64(i%5)
+		if a, bad := d.Observe("m", i, v); bad {
+			t.Fatalf("false positive at %d: %+v", i, a)
+		}
+	}
+	// A 10x spike flags.
+	a, bad := d.Observe("m", 40, 10)
+	if !bad {
+		t.Fatal("10x spike not flagged")
+	}
+	if a.Iteration != 40 || a.Metric != "m" || a.Z < 4 {
+		t.Errorf("anomaly = %+v", a)
+	}
+	// The EWMA absorbs a sustained shift: after enough samples at the
+	// new level, flagging stops.
+	flags := 0
+	for i := 41; i < 80; i++ {
+		if _, bad := d.Observe("m", i, 10+0.01*float64(i%5)); bad {
+			flags++
+		}
+	}
+	if flags > 10 {
+		t.Errorf("detector never adapted to the new level: %d flags after shift", flags)
+	}
+	if _, bad := d.Observe("m", 80, 10.02); bad {
+		t.Error("still flagging at the adapted level")
+	}
+	// Separate metrics keep separate state.
+	if _, bad := d.Observe("other", 0, 1e9); bad {
+		t.Error("fresh metric flagged on first observation")
+	}
+}

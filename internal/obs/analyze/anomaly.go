@@ -1,0 +1,95 @@
+package analyze
+
+import (
+	"fmt"
+	"math"
+)
+
+// Anomaly is one flagged sample: the metric's value sat Z standard
+// deviations from its EWMA mean at the given iteration.
+type Anomaly struct {
+	Metric    string  `json:"metric"`
+	Iteration int     `json:"iteration"`
+	Value     float64 `json:"value"`
+	Mean      float64 `json:"mean"`
+	Z         float64 `json:"z"`
+}
+
+func (a Anomaly) String() string {
+	return fmt.Sprintf("iter %d %s = %.6g (mean %.6g, z %.1f)",
+		a.Iteration, a.Metric, a.Value, a.Mean, a.Z)
+}
+
+// ewma is one metric's running state: exponentially weighted mean and
+// variance (West's recurrence), plus the warmup count.
+type ewma struct {
+	n    int
+	mean float64
+	vari float64
+}
+
+// Detector flags streaming anomalies with an EWMA z-score per metric:
+// each observation is scored against the running mean/variance, then
+// folded in — so a sustained level shift (a straggler window opening, a
+// GC stall) flags at its onset and the detector re-adapts instead of
+// alarming forever. Deterministic: the same observation sequence
+// produces the same anomalies. Not safe for concurrent use.
+type Detector struct {
+	alpha  float64
+	zthr   float64
+	warmup int
+	series map[string]*ewma
+}
+
+// NewDetector creates a detector. alpha is the EWMA smoothing factor in
+// (0,1]; zthr the |z| threshold; warmup the per-metric observation
+// count before flagging starts. Non-positive arguments select the
+// defaults (0.25, 4, 8).
+func NewDetector(alpha, zthr float64, warmup int) *Detector {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.25
+	}
+	if zthr <= 0 {
+		zthr = 4
+	}
+	if warmup <= 0 {
+		warmup = 8
+	}
+	return &Detector{alpha: alpha, zthr: zthr, warmup: warmup, series: map[string]*ewma{}}
+}
+
+// Observe scores one sample of the named metric and updates the running
+// state. It reports the anomaly (and true) when the series is past
+// warmup and |z| crosses the threshold. NaN/Inf samples are ignored.
+func (d *Detector) Observe(metric string, iteration int, v float64) (Anomaly, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return Anomaly{}, false
+	}
+	s := d.series[metric]
+	if s == nil {
+		s = &ewma{}
+		d.series[metric] = s
+	}
+	var a Anomaly
+	bad := false
+	if s.n == 0 {
+		s.mean = v
+	} else if s.n >= d.warmup {
+		// Floor the deviation so a constant series doesn't turn float
+		// jitter into infinite z-scores.
+		sd := math.Sqrt(s.vari)
+		if floor := 1e-9 + 1e-6*math.Abs(s.mean); sd < floor {
+			sd = floor
+		}
+		z := (v - s.mean) / sd
+		if math.Abs(z) >= d.zthr {
+			a = Anomaly{Metric: metric, Iteration: iteration, Value: v, Mean: s.mean, Z: z}
+			bad = true
+		}
+	}
+	delta := v - s.mean
+	s.mean += d.alpha * delta
+	s.vari = (1 - d.alpha) * (s.vari + d.alpha*delta*delta)
+	s.n++
+	return a, bad
+}

@@ -1,0 +1,75 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// chromeEvent mirrors the subset of the Chrome trace-event schema the
+// obs tracer writes: complete ("X"), metadata ("M") and counter ("C")
+// events with microsecond timestamps.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+// LoadChromeTrace parses a Chrome trace-event JSON document — either
+// the {"traceEvents": [...]} object form obs.WriteChromeTrace emits or
+// a bare event array — back into an analyzable Trace. Counter and
+// metadata events inform the process/lane names; only complete ("X")
+// events become spans.
+func LoadChromeTrace(r io.Reader) (*Trace, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil || doc.TraceEvents == nil {
+		var arr []chromeEvent
+		if aerr := json.Unmarshal(blob, &arr); aerr != nil {
+			if err == nil {
+				err = aerr
+			}
+			return nil, fmt.Errorf("not a Chrome trace-event document: %w", err)
+		}
+		doc.TraceEvents = arr
+	}
+	tr := &Trace{LaneNames: map[int]string{}}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			name, _ := ev.Args["name"].(string)
+			switch ev.Name {
+			case "process_name":
+				tr.Process = name
+			case "thread_name":
+				tr.LaneNames[ev.Tid] = name
+			}
+		case "X":
+			iter := -1
+			if it, ok := ev.Args["iteration"]; ok {
+				if f, ok := it.(float64); ok {
+					iter = int(f)
+				}
+			}
+			tr.Spans = append(tr.Spans, Span{
+				Lane: ev.Tid, Name: ev.Name, Iter: iter,
+				Start: int64(math.Round(ev.Ts * 1e3)),
+				Dur:   int64(math.Round(ev.Dur * 1e3)),
+			})
+		}
+	}
+	if len(tr.Spans) == 0 {
+		return nil, fmt.Errorf("trace contains no complete (ph=X) span events")
+	}
+	return tr, nil
+}

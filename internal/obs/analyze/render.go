@@ -1,0 +1,110 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// fmtDur renders nanoseconds at a stable, scale-appropriate precision.
+// Pure integer-to-string math, so identical inputs render identically.
+func fmtDur(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// Fprint renders the report as the fixed-layout text the CLIs print.
+// The output is a pure function of the report, byte-stable across
+// replays of the same trace.
+func (r *Report) Fprint(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("trace analytics — %s: %d ranks, %d iterations\n", r.Process, r.Ranks, r.Iterations)
+
+	if len(r.Phases) > 0 {
+		p("\nphases:\n")
+		tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+		coarse := true
+		for _, ph := range r.Phases {
+			if ph.Count > 0 {
+				coarse = false
+				break
+			}
+		}
+		if coarse {
+			fmt.Fprintf(tw, "  phase\ttotal\tshare\n")
+			for _, ph := range r.Phases {
+				fmt.Fprintf(tw, "  %s\t%s\t%.1f%%\n", ph.Name, fmtDur(ph.TotalNS), 100*ph.Share)
+			}
+		} else {
+			fmt.Fprintf(tw, "  phase\tcount\ttotal\tp50\tp99\tshare\n")
+			for _, ph := range r.Phases {
+				fmt.Fprintf(tw, "  %s\t%d\t%s\t%s\t%s\t%.1f%%\n",
+					ph.Name, ph.Count, fmtDur(ph.TotalNS), fmtDur(ph.P50NS), fmtDur(ph.P99NS), 100*ph.Share)
+			}
+		}
+		if err == nil {
+			err = tw.Flush()
+		}
+	}
+
+	if len(r.RankStats) > 0 {
+		p("\ncritical path (gating rank = max work per iteration):\n")
+		tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+		fmt.Fprintf(tw, "  rank\titers\tgated\twork\tcoll. wait\tattributed wait\n")
+		for _, s := range r.RankStats {
+			fmt.Fprintf(tw, "  %d\t%d\t%d\t%s\t%s\t%s\n",
+				s.Rank, s.Iterations, s.Gated, fmtDur(s.WorkNS), fmtDur(s.WaitNS), fmtDur(s.AttributedNS))
+		}
+		if err == nil {
+			err = tw.Flush()
+		}
+	}
+
+	if len(r.Slowest) > 0 {
+		p("\nslowest iterations:\n")
+		tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+		fmt.Fprintf(tw, "  iter\tgating rank\twork\tattributed wait\n")
+		for _, s := range r.Slowest {
+			fmt.Fprintf(tw, "  %d\t%d\t%s\t%s\n", s.Iteration, s.Rank, fmtDur(s.WorkNS), fmtDur(s.WaitNS))
+		}
+		if err == nil {
+			err = tw.Flush()
+		}
+	}
+
+	if len(r.Stragglers) > 0 {
+		p("\nstragglers:\n")
+		for _, f := range r.Stragglers {
+			p("  rank %d: %.1fx median work over iterations [%d,%d) — %d flagged, %d gated\n",
+				f.Rank, f.MeanRatio, f.From, f.Until, f.Flagged, f.Gated)
+		}
+	}
+
+	if len(r.Anomalies) > 0 {
+		p("\nanomalies:\n")
+		for _, a := range r.Anomalies {
+			p("  %s\n", a.String())
+		}
+	}
+
+	if len(r.Verdicts) > 0 {
+		p("\nverdicts:\n")
+		for _, v := range r.Verdicts {
+			p("  - %s\n", v)
+		}
+	}
+	return err
+}

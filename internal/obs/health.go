@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// healthSamples are the runtime/metrics series the sampler polls. The
+// two histogram-valued series are reduced to their p99 at each poll.
+var healthSamples = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// HealthSampler polls the Go runtime's own metrics — live heap,
+// goroutine count, GC cycles, GC pause p99, scheduler latency p99 —
+// into an obs Registry (exported at /metrics) and, when a tracer is
+// attached, into the trace as counter events, so a GC stall or
+// goroutine leak shows up in the same timeline as the training phases.
+// Either destination may be nil.
+type HealthSampler struct {
+	tracer  *Tracer
+	samples []metrics.Sample
+
+	heap       *Gauge
+	goroutines *Gauge
+	gcCycles   *Gauge
+	gcPauseP99 *FloatGauge
+	schedP99   *FloatGauge
+
+	mu   sync.Mutex // serializes Sample; guards samples
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHealthSampler registers the runtime health gauges on reg (when
+// non-nil) and returns a sampler feeding them and tracer (when
+// non-nil). Call Sample for one poll or Start for periodic polling.
+func NewHealthSampler(reg *Registry, tracer *Tracer) *HealthSampler {
+	h := &HealthSampler{
+		tracer:  tracer,
+		samples: make([]metrics.Sample, len(healthSamples)),
+	}
+	for i, name := range healthSamples {
+		h.samples[i].Name = name
+	}
+	if reg != nil {
+		h.heap = reg.Gauge("deft_runtime_heap_bytes",
+			"Bytes of live heap objects (runtime /memory/classes/heap/objects).")
+		h.goroutines = reg.Gauge("deft_runtime_goroutines",
+			"Count of live goroutines.")
+		h.gcCycles = reg.Gauge("deft_runtime_gc_cycles",
+			"Completed GC cycles since process start.")
+		h.gcPauseP99 = reg.FloatGauge("deft_runtime_gc_pause_p99_seconds",
+			"p99 of stop-the-world GC pauses since process start (NaN before the first pause).")
+		h.schedP99 = reg.FloatGauge("deft_runtime_sched_latency_p99_seconds",
+			"p99 of goroutine scheduling latency since process start (NaN before the first sample).")
+	}
+	return h
+}
+
+// Sample performs one poll: reads the runtime metrics, updates the
+// registry gauges and appends trace counter samples. Safe for
+// concurrent use.
+func (h *HealthSampler) Sample() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	metrics.Read(h.samples)
+	var heap, goroutines, gcCycles uint64
+	gcPauseP99, schedP99 := math.NaN(), math.NaN()
+	for _, s := range h.samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			heap = s.Value.Uint64()
+		case "/sched/goroutines:goroutines":
+			goroutines = s.Value.Uint64()
+		case "/gc/cycles/total:gc-cycles":
+			gcCycles = s.Value.Uint64()
+		case "/gc/pauses:seconds":
+			gcPauseP99 = histQuantile(s.Value.Float64Histogram(), 0.99)
+		case "/sched/latencies:seconds":
+			schedP99 = histQuantile(s.Value.Float64Histogram(), 0.99)
+		}
+	}
+	if h.heap != nil {
+		h.heap.Set(int64(heap))
+		h.goroutines.Set(int64(goroutines))
+		h.gcCycles.Set(int64(gcCycles))
+		h.gcPauseP99.Set(gcPauseP99)
+		h.schedP99.Set(schedP99)
+	}
+	// RecordCounter drops non-finite values, so empty quantiles simply
+	// leave a gap in the trace track.
+	h.tracer.RecordCounter("heap_bytes", float64(heap))
+	h.tracer.RecordCounter("goroutines", float64(goroutines))
+	h.tracer.RecordCounter("gc_pause_p99_us", gcPauseP99*1e6)
+	h.tracer.RecordCounter("sched_latency_p99_us", schedP99*1e6)
+}
+
+// Start polls every interval until Stop. Starting an already started
+// sampler is a no-op.
+func (h *HealthSampler) Start(every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.stop != nil {
+		h.mu.Unlock()
+		return
+	}
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	stop, done := h.stop, h.done
+	h.mu.Unlock()
+
+	h.Sample() // one immediate poll so short-lived processes still report
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				h.Sample()
+			}
+		}
+	}()
+}
+
+// Stop halts periodic polling and takes one final sample (so the trace
+// ends with fresh counters). Safe to call without Start.
+func (h *HealthSampler) Stop() {
+	h.mu.Lock()
+	stop, done := h.stop, h.done
+	h.stop, h.done = nil, nil
+	h.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	h.Sample()
+}
+
+// histQuantile estimates the q-quantile of a runtime/metrics float64
+// histogram: Counts[i] weights the bucket [Buckets[i], Buckets[i+1]).
+// Returns NaN on an empty histogram; the returned value is the upper
+// edge of the bucket containing the q-th observation (clamped to the
+// last finite edge).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return math.NaN()
+	}
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, +1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(last, +1) {
+		return h.Buckets[len(h.Buckets)-2]
+	}
+	return last
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceCounterEvents decodes a Chrome trace and returns the ph:"C"
+// counter events by name.
+func traceCounterEvents(t *testing.T, tracer *Tracer) map[string][]float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	out := map[string][]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "C" {
+			continue
+		}
+		v, _ := ev.Args["value"].(float64)
+		out[ev.Name] = append(out[ev.Name], v)
+	}
+	return out
+}
+
+// TestHealthSamplerPopulatesRegistryAndTrace: one poll fills the
+// deft_runtime_* gauges with live values and lands counter events in the
+// trace timeline.
+func TestHealthSamplerPopulatesRegistryAndTrace(t *testing.T) {
+	reg := NewRegistry()
+	tracer := NewTracer("health-test")
+	h := NewHealthSampler(reg, tracer)
+	h.Sample()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE deft_runtime_heap_bytes gauge",
+		"deft_runtime_heap_bytes ",
+		"deft_runtime_goroutines ",
+		"deft_runtime_gc_cycles ",
+		"# TYPE deft_runtime_gc_pause_p99_seconds gauge",
+		"deft_runtime_gc_pause_p99_seconds ",
+		"deft_runtime_sched_latency_p99_seconds ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q\n%s", want, out)
+		}
+	}
+	if h.heap.Value() <= 0 {
+		t.Errorf("heap gauge = %d, want > 0 (a live process has a heap)", h.heap.Value())
+	}
+	if h.goroutines.Value() <= 0 {
+		t.Errorf("goroutines gauge = %d, want > 0", h.goroutines.Value())
+	}
+
+	counters := traceCounterEvents(t, tracer)
+	for _, name := range []string{"heap_bytes", "goroutines"} {
+		if len(counters[name]) == 0 {
+			t.Errorf("trace missing counter track %q (got %v)", name, counters)
+		} else if counters[name][0] <= 0 {
+			t.Errorf("counter %q = %v, want > 0", name, counters[name][0])
+		}
+	}
+}
+
+// TestHealthSamplerStartStop: Start polls immediately, Stop waits for the
+// goroutine and takes a final sample, double Start is a no-op and Stop
+// without Start is safe.
+func TestHealthSamplerStartStop(t *testing.T) {
+	tracer := NewTracer("health-test")
+	h := NewHealthSampler(nil, tracer)
+	h.Stop() // no-op before Start
+
+	h.Start(time.Hour) // interval never fires: immediate + final samples only
+	h.Start(time.Hour) // double Start must not spawn a second poller
+	h.Stop()
+	h.Stop() // idempotent
+
+	counters := traceCounterEvents(t, tracer)
+	if got := len(counters["heap_bytes"]); got != 2 {
+		t.Errorf("heap_bytes samples = %d, want 2 (immediate on Start + final on Stop)", got)
+	}
+}
+
+// TestHealthSamplerNilDestinations: a sampler with neither registry nor
+// tracer still polls without panicking (the deft-train path uses a nil
+// registry).
+func TestHealthSamplerNilDestinations(t *testing.T) {
+	h := NewHealthSampler(nil, nil)
+	h.Sample()
+	h = NewHealthSampler(nil, NewTracer("t"))
+	h.Sample()
+	h = NewHealthSampler(NewRegistry(), nil)
+	h.Sample()
+}
+
+// TestHistQuantile pins the bucket arithmetic on synthetic runtime
+// histograms: upper-edge estimates, +Inf clamping, NaN on empty.
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1, 2, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2 (upper edge of the bucket holding the median)", got)
+	}
+	// p99 lands in the +Inf bucket: clamp to the last finite edge.
+	if got := histQuantile(h, 0.99); got != 2 {
+		t.Errorf("p99 = %v, want 2 (clamped below +Inf)", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if got := histQuantile(empty, 0.99); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile = %v, want NaN", got)
+	}
+	if got := histQuantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("nil histogram quantile = %v, want NaN", got)
+	}
+	// All mass in the first bucket: its upper edge.
+	one := &metrics.Float64Histogram{Counts: []uint64{5, 0}, Buckets: []float64{0, 0.5, 1}}
+	if got := histQuantile(one, 0.99); got != 0.5 {
+		t.Errorf("single-bucket p99 = %v, want 0.5", got)
+	}
+}

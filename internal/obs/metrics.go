@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -41,6 +42,20 @@ func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
 // Value returns the current gauge value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is a gauge holding a float64 (stored atomically as its
+// bits). NaN and ±Inf are representable and render as the exposition
+// format's literal NaN/+Inf/-Inf — the runtime health sampler sets NaN
+// for quantiles with no observations yet.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // histBuckets is the number of internal log2 buckets: bucket i counts
 // observations with bits.Len64(ns) == i, i.e. durations in
@@ -152,6 +167,7 @@ type metricKind uint8
 const (
 	kindCounter metricKind = iota
 	kindGauge
+	kindFloatGauge
 	kindGaugeFunc
 	kindHistogram
 )
@@ -165,6 +181,7 @@ type metric struct {
 	help string
 	c    *Counter
 	g    *Gauge
+	fg   *FloatGauge
 	gf   func() int64
 	h    *Histogram
 }
@@ -213,6 +230,14 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.metrics[i].g
 }
 
+// FloatGauge registers (or fetches) a float-valued gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	i := r.register(metric{name: name, base: baseName(name), kind: kindFloatGauge, help: help, fg: &FloatGauge{}})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[i].fg
+}
+
 // GaugeFunc registers a gauge whose value is computed at scrape time —
 // for values the owner already tracks (queue depth, pool size). f must
 // be safe to call concurrently.
@@ -238,6 +263,74 @@ func baseName(name string) string {
 		}
 	}
 	return name
+}
+
+// Label renders `name{key="value"}` with the value escaped per the
+// Prometheus text exposition grammar: inside a label value, backslash,
+// double-quote and newline must be written \\, \" and \n. Use this to
+// build labeled metric names for registration.
+func Label(name, key, value string) string {
+	var b []byte
+	b = append(b, name...)
+	b = append(b, '{')
+	b = append(b, key...)
+	b = append(b, '=', '"')
+	for i := 0; i < len(value); i++ {
+		switch value[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, value[i])
+		}
+	}
+	b = append(b, '"', '}')
+	return string(b)
+}
+
+// escapeHelp escapes a HELP line's text: backslash and newline only
+// (double quotes are legal in help text).
+func escapeHelp(s string) string {
+	ok := true
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' || s[i] == '\n' {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return s
+	}
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return string(b)
+}
+
+// promFloat renders a float sample value: finite values in Go's
+// shortest-round-trip form, the specials as the grammar's literal
+// NaN/+Inf/-Inf tokens.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // WritePrometheus renders every registered metric in the Prometheus
@@ -269,13 +362,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			lastBase = m.base
 			typ := "counter"
 			switch m.kind {
-			case kindGauge, kindGaugeFunc:
+			case kindGauge, kindFloatGauge, kindGaugeFunc:
 				typ = "gauge"
 			case kindHistogram:
 				typ = "histogram"
 			}
 			if m.help != "" {
-				p("# HELP %s %s\n", m.base, m.help)
+				p("# HELP %s %s\n", m.base, escapeHelp(m.help))
 			}
 			p("# TYPE %s %s\n", m.base, typ)
 		}
@@ -284,6 +377,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			p("%s %d\n", m.name, m.c.Value())
 		case kindGauge:
 			p("%s %d\n", m.name, m.g.Value())
+		case kindFloatGauge:
+			p("%s %s\n", m.name, promFloat(m.fg.Value()))
 		case kindGaugeFunc:
 			p("%s %d\n", m.name, m.gf())
 		case kindHistogram:

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLabelEscaping pins the exposition-format escaping contract for
+// label values: backslash, double quote and newline must be escaped so
+// the sample stays one well-formed line.
+func TestLabelEscaping(t *testing.T) {
+	cases := []struct{ value, want string }{
+		{"queued", `deft_jobs{state="queued"}`},
+		{`back\slash`, `deft_jobs{state="back\\slash"}`},
+		{`quo"te`, `deft_jobs{state="quo\"te"}`},
+		{"new\nline", `deft_jobs{state="new\nline"}`},
+		{"all\\three\"\n", `deft_jobs{state="all\\three\"\n"}`},
+	}
+	for _, c := range cases {
+		if got := Label("deft_jobs", "state", c.value); got != c.want {
+			t.Errorf("Label(%q) = %s, want %s", c.value, got, c.want)
+		}
+	}
+
+	// A counter registered under an escaped label renders as exactly one
+	// line with the escapes intact.
+	r := NewRegistry()
+	r.Counter(Label("deft_jobs", "state", "tricky\\\"\nvalue"), "jobs by state").Add(7)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `deft_jobs{state="tricky\\\"\nvalue"} 7`
+	found := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("exposition missing the escaped sample line %q:\n%s", want, buf.String())
+	}
+}
+
+// TestHelpEscaping: HELP text escapes backslash and newline per the
+// format spec (quotes are legal in HELP and stay raw).
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("deft_weird", "first line\nsecond \\ line \"quoted\"").Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP deft_weird first line\nsecond \\ line "quoted"`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("HELP not escaped, want %q in:\n%s", want, buf.String())
+	}
+}
+
+// TestFloatGaugeSpecialValues: NaN and infinities render as the literal
+// tokens the exposition format defines, and plain values round-trip.
+func TestFloatGaugeSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.FloatGauge("deft_nan", "unset quantile").Set(math.NaN())
+	r.FloatGauge("deft_posinf", "overflow").Set(math.Inf(1))
+	r.FloatGauge("deft_neginf", "underflow").Set(math.Inf(-1))
+	r.FloatGauge("deft_plain", "ordinary").Set(0.001953125)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"deft_nan NaN",
+		"deft_posinf +Inf",
+		"deft_neginf -Inf",
+		"deft_plain 0.001953125",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	g := r.FloatGauge("deft_plain", "ordinary")
+	if g.Value() != 0.001953125 {
+		t.Errorf("FloatGauge round-trip = %v", g.Value())
+	}
+	g.Set(math.NaN())
+	if !math.IsNaN(g.Value()) {
+		t.Errorf("FloatGauge NaN round-trip = %v", g.Value())
+	}
+}
+
+// TestExpositionGrammar validates every line the full registry surface
+// renders against a mini-grammar of the text format: comment lines are
+// HELP/TYPE with a known type, sample lines are name{labels}? value, the
+// value parses as a Go float (which accepts NaN/+Inf/-Inf), and label
+// values contain no raw quote or newline.
+func TestExpositionGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("deft_total", "plain counter").Add(3)
+	r.Counter(Label("deft_by_state", "state", "run\"ning\n\\"), "labelled").Add(1)
+	r.Gauge("deft_depth", "gauge").Set(-4)
+	r.GaugeFunc("deft_func", "func gauge", func() int64 { return 11 })
+	r.FloatGauge("deft_float", "float gauge").Set(math.NaN())
+	r.Histogram("deft_lat_seconds", "latency").Observe(1500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^{}]*)\})? (\S+)$`)
+	labelRe := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="((?:[^"\\]|\\.)*)"$`)
+	types := map[string]bool{"counter": true, "gauge": true, "histogram": true}
+
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			f := strings.SplitN(line, " ", 4)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") || !nameRe.MatchString(f[2]) {
+				t.Errorf("bad comment line %q", line)
+			}
+			if f[1] == "TYPE" && !types[f[3]] {
+				t.Errorf("unknown TYPE %q in %q", f[3], line)
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("sample line does not match grammar: %q", line)
+			continue
+		}
+		samples++
+		if _, err := strconv.ParseFloat(m[4], 64); err != nil {
+			t.Errorf("unparseable sample value in %q: %v", line, err)
+		}
+		if m[3] == "" {
+			continue
+		}
+		// Split label pairs on commas outside escapes; the registry never
+		// emits more than a few, so a simple scan suffices.
+		for _, pair := range splitLabels(m[3]) {
+			if !labelRe.MatchString(pair) {
+				t.Errorf("bad label pair %q in %q", pair, line)
+			}
+		}
+	}
+	if samples < 8 {
+		t.Errorf("grammar walk saw %d samples, expected the full registry surface (>= 8)", samples)
+	}
+}
+
+// splitLabels splits a rendered label body on commas that sit outside
+// quoted values.
+func splitLabels(body string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, body[start:])
+}

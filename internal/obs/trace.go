@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -40,13 +41,18 @@ const (
 	PhaseRunning
 	PhaseAttempt
 	PhaseStream
+	// PhaseStall is simulated straggler time: the trainer inflates a
+	// faulted rank's accounted step time without burning wall clock, so
+	// the extra duration is materialized as an explicit span to keep the
+	// trace consistent with the metrics (and analyzable).
+	PhaseStall
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"iteration", "sample", "forward/backward", "select", "encode",
 	"decode", "collective", "apply", "queued", "running", "attempt",
-	"stream",
+	"stream", "stall",
 }
 
 // String returns the phase's trace-event name.
@@ -168,9 +174,19 @@ type Tracer struct {
 	process string
 	epoch   time.Time
 
-	mu    sync.Mutex
-	lanes map[int]*Lane
-	order []int // lane registration order, for deterministic export
+	mu       sync.Mutex
+	lanes    map[int]*Lane
+	order    []int // lane registration order, for deterministic export
+	counters []counterSample
+}
+
+// counterSample is one point on a named counter track, rendered as a
+// Chrome trace counter ("C") event — the runtime health sampler embeds
+// heap/goroutine/GC series into traces this way.
+type counterSample struct {
+	name string
+	ts   int64 // nanoseconds since epoch
+	v    float64
 }
 
 // NewTracer creates a tracer whose trace clock starts now. process names
@@ -227,6 +243,23 @@ func (t *Tracer) RecordSpan(laneID int, laneName, name string, arg int64, start,
 		phase: numPhases, iter: -1, name: name, arg: arg,
 		start: int64(s), dur: int64(d),
 	})
+}
+
+// RecordCounter appends one sample to the named counter track at the
+// current trace time. Non-finite values are dropped (they are not
+// representable in trace JSON). A nil tracer is a no-op. This is a
+// cold-path call (mutex + append) meant for periodic samplers, not the
+// per-iteration hot loop.
+func (t *Tracer) RecordCounter(name string, v float64) {
+	if t == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	t.mu.Lock()
+	t.counters = append(t.counters, counterSample{name: name, ts: t.now(), v: v})
+	t.mu.Unlock()
 }
 
 // traceEvent is one Chrome trace-event JSON object. Complete events
@@ -287,11 +320,57 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			events = append(events, ev)
 		}
 	}
+	for _, c := range t.counters {
+		events = append(events, traceEvent{
+			Name: c.name, Ph: "C", Pid: 1, Tid: 0,
+			Ts:   float64(c.ts) / 1e3,
+			Args: map[string]any{"value": c.v},
+		})
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{
 		"displayTimeUnit": "ms",
 		"traceEvents":     events,
 	})
+}
+
+// SpanRecord is one completed span in a tracer snapshot, the in-process
+// input to internal/obs/analyze. Times are nanoseconds since the tracer
+// epoch; Name is the phase name (or the custom name of a lifecycle
+// span); Iter is -1 on untagged spans.
+type SpanRecord struct {
+	Lane     int
+	LaneName string
+	Name     string
+	Iter     int
+	Start    int64
+	Dur      int64
+}
+
+// Snapshot returns the tracer's process name and every completed span,
+// lanes in registration order. Like WriteChromeTrace it must only run
+// once the lane-owning goroutines have quiesced (after the traced run).
+// A nil tracer returns ("", nil).
+func (t *Tracer) Snapshot() (process string, spans []SpanRecord) {
+	if t == nil {
+		return "", nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, id := range t.order {
+		l := t.lanes[id]
+		for _, s := range l.spans {
+			name := s.name
+			if name == "" {
+				name = s.phase.String()
+			}
+			spans = append(spans, SpanRecord{
+				Lane: l.id, LaneName: l.name, Name: name,
+				Iter: int(s.iter), Start: s.start, Dur: s.dur,
+			})
+		}
+	}
+	return t.process, spans
 }
 
 // SpanCount returns the number of completed spans across all lanes.

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs/analyze"
+	"repro/internal/train"
+)
+
+// observeProgress feeds one training event into the live anomaly
+// detector, returning whatever it flags. Only record events carry the
+// watched series; everything is deterministic given the run's stream.
+func observeProgress(det *analyze.Detector, p train.Progress) []analyze.Anomaly {
+	if p.Kind != "record" {
+		return nil
+	}
+	var out []analyze.Anomaly
+	score := func(metric string, v float64) {
+		if a, bad := det.Observe(metric, p.Iteration, v); bad {
+			out = append(out, a)
+		}
+	}
+	score("step_time_s", p.StepTime)
+	score("train_loss", p.TrainLoss)
+	score("error_norm", p.ErrorNorm)
+	score("encoded_bytes", p.EncodedBytes)
+	for r, v := range p.RankStep {
+		if v > 0 { // dropped ranks report 0
+			score(fmt.Sprintf("rank %d step", r), v)
+		}
+	}
+	return out
+}
+
+// trainReport folds a finished run's Result into an analyze.Report: the
+// aggregate phase totals, the per-rank step-time series a fault-injected
+// run records (collective wait modeled as the gap to the slowest rank),
+// and the anomalies the live detector flagged while it ran.
+func trainReport(res *train.Result, anomalies []analyze.Anomaly) *analyze.Report {
+	phases := []analyze.PhaseTotal{
+		{Name: "forward/backward", Seconds: res.ComputeTime},
+		{Name: "select", Seconds: res.SelectTime},
+		{Name: "partition", Seconds: res.PartitionTime},
+		{Name: "collective", Seconds: res.WireCommTime},
+	}
+	var steps []analyze.StepSeries
+	for rank, s := range res.RankStepTime {
+		if len(s.X) == 0 {
+			continue
+		}
+		ss := analyze.StepSeries{Rank: rank, Iters: make([]int, len(s.X)), Seconds: s.Y}
+		for i, x := range s.X {
+			ss.Iters[i] = int(x)
+		}
+		steps = append(steps, ss)
+	}
+	iterations := len(res.TrainLoss.X)
+	return analyze.FromSeries("deft-serve", iterations, phases, steps, anomalies, analyze.Options{})
+}
+
+// handleReport serves GET /v1/jobs/{id}/report: the trace-analytics
+// report of a completed training job — phase shares, per-rank critical
+// path and straggler attribution when the run recorded rank series, and
+// the anomalies flagged live on its stream.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var res *train.Result
+	var anomalies []analyze.Anomaly
+	var state JobState
+	if ok {
+		state = job.State
+		anomalies = job.anomalies
+		if job.outcome != nil {
+			res = job.outcome.TrainResult
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if res == nil {
+		writeError(w, http.StatusConflict,
+			"no report for job %s: state %s (reports need a completed training job)", id, state)
+		return
+	}
+	writeJSON(w, http.StatusOK, trainReport(res, anomalies))
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/analyze"
+	"repro/internal/train"
+)
+
+func getReport(t *testing.T, url, id string) (*analyze.Report, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatalf("GET report: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var rep analyze.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("decode report: %v\n%s", err, body)
+	}
+	return &rep, resp.StatusCode
+}
+
+// TestReportAttributesStraggler: a chaos training job's report endpoint
+// names the injected straggler rank and window, built from the run's
+// per-rank step-time series.
+func TestReportAttributesStraggler(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 2})
+	spec := `{"train":{"workload":"mlp","sparsifier":"topk","workers":4,"iterations":40,"lr":0.1,
+		"record_every":1,"faults":{"stragglers":[{"rank":1,"factor":8,"from":10,"until":30}]}}}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+
+	// A queued/running job has no report yet.
+	if _, code := getReport(t, ts.URL, v.ID); code != http.StatusConflict && code != http.StatusOK {
+		t.Fatalf("pre-completion report status = %d, want 409 (or 200 if already done)", code)
+	}
+	waitState(t, ts, v.ID, StateDone)
+
+	rep, code := getReport(t, ts.URL, v.ID)
+	if code != http.StatusOK {
+		t.Fatalf("report status = %d, want 200", code)
+	}
+	if rep.Process != "deft-serve" || rep.Ranks != 4 {
+		t.Errorf("report process=%q ranks=%d, want deft-serve, 4", rep.Process, rep.Ranks)
+	}
+	if len(rep.Stragglers) != 1 {
+		t.Fatalf("stragglers = %+v, want exactly one", rep.Stragglers)
+	}
+	f := rep.Stragglers[0]
+	if f.Rank != 1 || f.From < 10 || f.Until > 30 {
+		t.Errorf("finding = %+v, want rank 1 within [10,30)", f)
+	}
+	named := false
+	for _, verdict := range rep.Verdicts {
+		if strings.Contains(verdict, "straggler: rank 1") {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("no verdict naming rank 1: %q", rep.Verdicts)
+	}
+
+	// Unknown job: 404.
+	if _, code := getReport(t, ts.URL, "job-999999"); code != http.StatusNotFound {
+		t.Errorf("missing job report status = %d, want 404", code)
+	}
+}
+
+// TestAnomalyEventsAndReportReplay: a step-time spike on the live
+// progress stream becomes an "anomaly" NDJSON event, lands in the job
+// report, shows in /metrics, and replays identically on a cache hit.
+func TestAnomalyEventsAndReportReplay(t *testing.T) {
+	s, ts := newTestServer(t, Options{Pool: 1})
+	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
+		res := &train.Result{Workload: spec.Workload, Workers: spec.Workers}
+		for i := 0; i < 30; i++ {
+			st := 0.001
+			if i == 25 {
+				st = 0.05 // 50x spike: unambiguous past any warmup
+			}
+			progress(train.Progress{Kind: "record", Iteration: i, TrainLoss: 1, StepTime: st})
+			res.TrainLoss.Append(float64(i), 1)
+		}
+		return res, nil
+	}
+
+	spec := `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":30,"lr":0.1}}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	waitState(t, ts, v.ID, StateDone)
+
+	checkStream := func(id string) {
+		t.Helper()
+		anomalies := 0
+		for _, e := range streamLines(t, ts.URL, id) {
+			if e.Type != "anomaly" {
+				continue
+			}
+			anomalies++
+			if e.Anomaly == nil || e.Anomaly.Metric != "step_time_s" || e.Anomaly.Iteration != 25 {
+				t.Errorf("anomaly event = %+v, want step_time_s at iteration 25", e.Anomaly)
+			}
+		}
+		if anomalies != 1 {
+			t.Errorf("job %s streamed %d anomaly events, want 1", id, anomalies)
+		}
+	}
+	checkStream(v.ID)
+
+	rep, code := getReport(t, ts.URL, v.ID)
+	if code != http.StatusOK {
+		t.Fatalf("report status = %d, want 200", code)
+	}
+	if len(rep.Anomalies) != 1 || rep.Anomalies[0].Metric != "step_time_s" {
+		t.Fatalf("report anomalies = %+v, want the step-time spike", rep.Anomalies)
+	}
+
+	// The anomaly counter is on /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "deft_anomalies_total 1") {
+		t.Errorf("/metrics missing deft_anomalies_total 1")
+	}
+
+	// Cache hit: same spec resolves instantly, replays the anomaly line
+	// and serves the same report.
+	v2, code := postJob(t, ts, spec)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit status = %d, want 200 (cache hit)", code)
+	}
+	if !getJob(t, ts, v2.ID).CacheHit {
+		t.Fatal("resubmission was not a cache hit")
+	}
+	checkStream(v2.ID)
+	rep2, code := getReport(t, ts.URL, v2.ID)
+	if code != http.StatusOK {
+		t.Fatalf("cache-hit report status = %d", code)
+	}
+	if len(rep2.Anomalies) != 1 {
+		t.Fatalf("cache-hit report lost the anomaly: %+v", rep2.Anomalies)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/registry"
 	"repro/internal/train"
 )
@@ -93,9 +94,10 @@ type Job struct {
 	// run that never retried; 0 until it first runs).
 	Attempts int
 
-	flight  *flight // non-nil while queued/running
-	outcome *runOutcome
-	events  *eventLog
+	flight    *flight // non-nil while queued/running
+	outcome   *runOutcome
+	events    *eventLog
+	anomalies []analyze.Anomaly // live detector flags, settled with the run
 }
 
 // flight is one in-flight execution of a spec, shared by every job whose
@@ -108,11 +110,12 @@ type flight struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu      sync.Mutex
-	started bool
-	attempt int               // current execution attempt (1-based once running)
-	jobs    []*Job            // attached jobs (fan-out targets)
-	history []json.RawMessage // progress lines so far, replayed to late joiners
+	mu        sync.Mutex
+	started   bool
+	attempt   int               // current execution attempt (1-based once running)
+	jobs      []*Job            // attached jobs (fan-out targets)
+	history   []json.RawMessage // progress lines so far, replayed to late joiners
+	anomalies []analyze.Anomaly // live detector flags across attempts
 }
 
 // progress fans one training event out to every attached job's stream.
@@ -128,11 +131,33 @@ func (f *flight) progress(run string, p train.Progress) {
 	f.mu.Unlock()
 }
 
-// cacheEntry is a completed flight's outcome plus its progress history,
-// so cache-hit jobs replay the identical stream.
+// maxAnomalies bounds the anomalies a flight keeps and streams, so a
+// pathological series cannot grow job state without bound.
+const maxAnomalies = 256
+
+// anomaly records one live detector flag and fans it out to every
+// attached job's stream as an "anomaly" event. Runs on the training
+// path like progress; same cost profile.
+func (f *flight) anomaly(a analyze.Anomaly) {
+	f.mu.Lock()
+	if len(f.anomalies) < maxAnomalies {
+		f.anomalies = append(f.anomalies, a)
+		line := marshalEvent(event{Type: "anomaly", Anomaly: &a})
+		f.history = append(f.history, line)
+		for _, j := range f.jobs {
+			j.events.append(line)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// cacheEntry is a completed flight's outcome plus its progress history
+// and anomalies, so cache-hit jobs replay the identical stream and
+// report.
 type cacheEntry struct {
-	outcome *runOutcome
-	history []json.RawMessage
+	outcome   *runOutcome
+	history   []json.RawMessage
+	anomalies []analyze.Anomaly
 }
 
 // maxCachedResults bounds the in-memory result cache (FIFO eviction).
@@ -184,6 +209,7 @@ type Server struct {
 	mRuns      *obs.Counter   // flights actually executed
 	mRetries   *obs.Counter   // retry attempts started after a faulted run
 	mBudget    *obs.Counter   // jobs failed by wall-clock budget expiry
+	mAnomalies *obs.Counter   // live anomaly events emitted
 	mInFlight  *obs.Gauge     // flights executing right now
 	hQueueWait *obs.Histogram // job creation -> flight start
 	hRunDur    *obs.Histogram // flight start -> settle, per job
@@ -228,6 +254,7 @@ func New(opts Options) *Server {
 		mRuns:         reg.Counter("deft_runs_total", "flights actually executed"),
 		mRetries:      reg.Counter("deft_retries_total", "retry attempts started after a faulted run"),
 		mBudget:       reg.Counter("deft_budget_expired_total", "jobs failed by wall-clock budget expiry"),
+		mAnomalies:    reg.Counter("deft_anomalies_total", "anomaly events flagged on live job streams"),
 		mInFlight:     reg.Gauge("deft_flights_in_flight", "flights executing right now"),
 		hQueueWait:    reg.Histogram("deft_job_queue_wait_seconds", "job creation to flight start"),
 		hRunDur:       reg.Histogram("deft_job_run_seconds", "flight start to settlement, per attached job"),
@@ -242,7 +269,7 @@ func New(opts Options) *Server {
 	})
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		st := st
-		reg.GaugeFunc(fmt.Sprintf("deft_jobs{state=%q}", string(st)), "jobs by lifecycle state", func() int64 {
+		reg.GaugeFunc(obs.Label("deft_jobs", "state", string(st)), "jobs by lifecycle state", func() int64 {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			n := int64(0)
@@ -390,7 +417,16 @@ func (s *Server) runTrainFlight(fl *flight) (*runOutcome, error) {
 	for attempt := 1; ; attempt++ {
 		s.noteAttempt(fl, attempt, nil)
 		attemptStart := time.Now()
-		res, err := s.runTrain(runCtx, spec, attempt, func(p train.Progress) { fl.progress("", p) })
+		// Fresh detector per attempt: a retry's series starts over, so its
+		// warmup does too.
+		det := analyze.NewDetector(0, 0, 0)
+		res, err := s.runTrain(runCtx, spec, attempt, func(p train.Progress) {
+			fl.progress("", p)
+			for _, a := range observeProgress(det, p) {
+				s.mAnomalies.Inc()
+				fl.anomaly(a)
+			}
+		})
 		if s.tracer != nil {
 			s.tracer.RecordSpan(laneAttempts, "attempts", "attempt", int64(attempt), attemptStart, time.Now())
 		}
@@ -473,7 +509,7 @@ func (s *Server) settleFlight(fl *flight, outcome *runOutcome, err error) {
 				s.cacheOrder = s.cacheOrder[1:]
 			}
 		}
-		s.cache[fl.hash] = &cacheEntry{outcome: outcome, history: fl.history}
+		s.cache[fl.hash] = &cacheEntry{outcome: outcome, history: fl.history, anomalies: fl.anomalies}
 	}
 	now := time.Now()
 	for _, j := range fl.jobs {
@@ -489,6 +525,7 @@ func (s *Server) settleFlight(fl *flight, outcome *runOutcome, err error) {
 		case err == nil:
 			j.State = StateDone
 			j.outcome = outcome
+			j.anomalies = fl.anomalies
 			j.events.appendEvent(event{Type: "done", State: string(StateDone)})
 		case errors.Is(err, context.Canceled) || errors.Is(err, comm.ErrAborted):
 			j.State = StateCancelled
@@ -516,6 +553,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	return mux
 }
 
@@ -606,6 +644,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		job.Started = job.Created
 		job.Finished = job.Created
 		job.outcome = ce.outcome
+		job.anomalies = ce.anomalies
 		for _, line := range ce.history {
 			job.events.append(line)
 		}

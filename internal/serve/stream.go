@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sync"
 
+	"repro/internal/obs/analyze"
 	"repro/internal/train"
 )
 
@@ -11,9 +12,10 @@ import (
 // lifecycle transitions, "progress" carries a training sample (the same
 // values appended to the run's Result series), "retry" announces the next
 // execution attempt of a faulted run (Error holds what killed the previous
-// one), and "done" terminates the stream with the job's final state.
+// one), "anomaly" reports a live detector flag on the run's progress
+// series, and "done" terminates the stream with the job's final state.
 type event struct {
-	Type  string `json:"type"` // "state" | "progress" | "retry" | "done"
+	Type  string `json:"type"` // "state" | "progress" | "retry" | "anomaly" | "done"
 	State string `json:"state,omitempty"`
 	Error string `json:"error,omitempty"`
 	// Attempt is the 1-based execution attempt a retry event starts.
@@ -21,6 +23,8 @@ type event struct {
 	// Run tags progress events with the underlying run's cache key when an
 	// experiment job trains several configurations.
 	Run string `json:"run,omitempty"`
+	// Anomaly is the detector flag carried by anomaly events.
+	Anomaly *analyze.Anomaly `json:"anomaly,omitempty"`
 	*train.Progress
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/train"
 )
 
@@ -230,6 +231,79 @@ func TestTracedRunWritesValidChromeTrace(t *testing.T) {
 		if len(phases[want]) != cfg.Workers {
 			t.Errorf("phase %q seen on %d lanes, want %d", want, len(phases[want]), cfg.Workers)
 		}
+	}
+}
+
+// TestTracedStragglerRunIsAttributed closes the loop the tentpole is
+// about: a FaultPlan straggler run, traced, analyzed, yields a named
+// culprit with the configured window. The straggler's slowdown is
+// accounting-only (no wall clock burned), so this also locks in the
+// stall spans that make the trace consistent with the metrics.
+func TestTracedStragglerRunIsAttributed(t *testing.T) {
+	w := mlpWorkload()
+	tr := obs.NewTracer("chaos-test")
+	const from, until = 20, 50
+	cfg := train.Config{
+		Workers: 4, Density: 0.05, LR: 0.1,
+		Iterations: 60, RecordEvery: 1, Tracer: tr,
+		Faults: &comm.FaultPlan{Stragglers: []comm.Straggler{
+			{Rank: 1, Factor: 8, From: from, Until: until},
+		}},
+	}
+	var stepEvents int
+	cfg.Progress = func(p train.Progress) {
+		if p.Kind == "record" {
+			if p.StepTime <= 0 {
+				t.Errorf("record at %d missing step_time_s", p.Iteration)
+			}
+			if len(p.RankStep) != cfg.Workers {
+				t.Errorf("record at %d has %d rank steps, want %d", p.Iteration, len(p.RankStep), cfg.Workers)
+			}
+			stepEvents++
+		}
+	}
+	if _, err := train.RunContext(context.Background(), w, topkFactory(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if stepEvents != cfg.Iterations {
+		t.Fatalf("saw %d record events, want %d", stepEvents, cfg.Iterations)
+	}
+
+	// Stall spans appear exactly on the straggler's lane inside the
+	// fault window.
+	_, spans := tr.Snapshot()
+	stalls := 0
+	for _, s := range spans {
+		if s.Name != "stall" {
+			continue
+		}
+		stalls++
+		if s.Lane != 1 {
+			t.Errorf("stall span on lane %d, want 1", s.Lane)
+		}
+		if s.Iter < from || s.Iter >= until {
+			t.Errorf("stall span at iteration %d, outside [%d,%d)", s.Iter, from, until)
+		}
+		if s.Dur <= 0 {
+			t.Errorf("stall span at %d has non-positive duration %d", s.Iter, s.Dur)
+		}
+	}
+	if stalls != until-from {
+		t.Errorf("stall spans = %d, want %d", stalls, until-from)
+	}
+
+	rep := analyze.Analyze(analyze.FromTracer(tr), analyze.Options{})
+	if len(rep.Stragglers) != 1 {
+		t.Fatalf("stragglers = %+v, want exactly one", rep.Stragglers)
+	}
+	f := rep.Stragglers[0]
+	if f.Rank != 1 {
+		t.Errorf("culprit rank = %d, want 1", f.Rank)
+	}
+	// Timing noise may drop an edge iteration below the flagging ratio,
+	// but a x8 straggler can never be flagged outside its window.
+	if f.From < from || f.Until > until || f.Flagged < (until-from)*3/4 {
+		t.Errorf("window [%d,%d) with %d flagged, want within [%d,%d)", f.From, f.Until, f.Flagged, from, until)
 	}
 }
 

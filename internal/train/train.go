@@ -171,6 +171,14 @@ type Progress struct {
 	EncodedBytes  float64 `json:"encoded_bytes,omitempty"`
 	Metric        float64 `json:"metric,omitempty"`
 	Fault         string  `json:"fault,omitempty"`
+	// StepTime is the iteration's simulated compute time in seconds —
+	// the max over workers, straggler-inflated — on record events. It is
+	// the series live anomaly detection watches.
+	StepTime float64 `json:"step_time_s,omitempty"`
+	// RankStep is the per-rank step time in seconds under the ORIGINAL
+	// cluster numbering, on record events of fault-injected runs only
+	// (nil otherwise, like Result.RankStepTime). Dropped ranks report 0.
+	RankStep []float64 `json:"rank_step_s,omitempty"`
 	// Layers carries the per-layer telemetry snapshot on every
 	// ProgressEvery-th record event (nil otherwise; see
 	// Config.ProgressEvery).
@@ -592,7 +600,13 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 					// A straggler's slowdown is applied to the measured
 					// compute time — the same modelling stance as the α–β
 					// comm model: deterministic shape, simulated magnitude.
-					stepTime = time.Duration(float64(stepTime) * f)
+					inflated := time.Duration(float64(stepTime) * f)
+					// The extra time never burned wall clock, so the trace
+					// would not show it: record the difference as an explicit
+					// stall span so trace analytics sees the same step the
+					// accounting reports.
+					lane.RecordSpanAt(obs.PhaseStall, t, stepStart+int64(stepTime), int64(inflated-stepTime))
+					stepTime = inflated
 				}
 			}
 
@@ -892,6 +906,15 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 						}
 					}
 					if cfg.Progress != nil {
+						var rankStep []float64
+						if res.RankStepTime != nil {
+							// Same original-rank numbering as the series
+							// appended above; a dropped rank stays 0.
+							rankStep = make([]float64, cfg.Workers)
+							for i := range perWorker {
+								rankStep[seg.rankMap[i]] = perWorker[i].stepTime.Seconds()
+							}
+						}
 						cfg.Progress(Progress{
 							Kind:          "record",
 							Iteration:     t,
@@ -899,6 +922,8 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 							ActualDensity: float64(k) / float64(ng),
 							ErrorNorm:     errSum / float64(n),
 							EncodedBytes:  float64(iterBytes),
+							StepTime:      maxStep.Seconds(),
+							RankStep:      rankStep,
 							Layers:        layerStats,
 						})
 					}

@@ -21,8 +21,16 @@
 // profiling under load; -trace writes a Chrome trace of job lifecycle
 // spans (queued, running, attempt N, stream) on shutdown.
 //
-// SIGINT/SIGTERM shut down gracefully: running trainers abort
-// mid-iteration, queued jobs drain as cancelled, then the process exits.
+// -store DIR makes the server durable: completed artifacts live in a
+// crash-safe content-addressed store under DIR and a write-ahead job
+// journal replays every job across restarts — kill -9 the process,
+// start it again on the same DIR, and done jobs answer from the store
+// while interrupted ones re-run. -store-faults injects deterministic
+// storage chaos (torn:…, bitflip:…, enospc:…) for drills.
+//
+// Signals: SIGTERM drains gracefully — no new jobs, the backlog runs to
+// completion and is persisted, bounded by -drain. SIGINT aborts:
+// running trainers stop mid-iteration and come back on the next boot.
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/serve"
 )
 
@@ -51,13 +60,38 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of job lifecycle spans on shutdown")
 	healthEvery := flag.Duration("health-every", 5*time.Second,
 		"runtime health sampling interval — heap/GC/goroutine gauges on /metrics, counter events in the trace (0 = off)")
+	storeDir := flag.String("store", "", "durable artifact store + job journal directory (empty = memory-only)")
+	storeFaults := flag.String("store-faults", "",
+		"deterministic store chaos: <kind>[:<hash>|*][@<put>],... with kind torn|bitflip|enospc, or a store.FaultPlan JSON object")
 	flag.Parse()
+
+	faultPlan, err := registry.ParseStoreFaultPlan(*storeFaults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deft-serve: -store-faults: %v\n", err)
+		os.Exit(2)
+	}
+	if faultPlan != nil && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "deft-serve: -store-faults needs -store")
+		os.Exit(2)
+	}
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		tracer = obs.NewTracer("deft-serve")
 	}
-	srv := serve.New(serve.Options{Pool: *pool, Queue: *queueDepth, Tracer: tracer})
+	srv, err := serve.NewDurable(serve.Options{
+		Pool: *pool, Queue: *queueDepth, Tracer: tracer,
+		StoreDir: *storeDir, StoreFaults: faultPlan,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deft-serve: %v\n", err)
+		os.Exit(1)
+	}
+	if *storeDir != "" {
+		restored, requeued := srv.RecoveryStats()
+		log.Printf("deft-serve: durable store at %s (replay: %d jobs restored, %d re-enqueued)",
+			*storeDir, restored, requeued)
+	}
 	var health *obs.HealthSampler
 	if *healthEvery > 0 {
 		health = obs.NewHealthSampler(srv.Metrics(), tracer)
@@ -85,9 +119,12 @@ func main() {
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	graceful := false
 	select {
 	case sig := <-sigCh:
-		log.Printf("deft-serve: %v, draining (budget %v)", sig, *drain)
+		graceful = sig == syscall.SIGTERM
+		log.Printf("deft-serve: %v, %s (budget %v)",
+			sig, map[bool]string{true: "draining gracefully", false: "aborting"}[graceful], *drain)
 	case err := <-errCh:
 		fmt.Fprintf(os.Stderr, "deft-serve: %v\n", err)
 		os.Exit(1)
@@ -95,10 +132,14 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Settle the scheduler first — running trainers abort mid-iteration,
-	// jobs report cancelled, event streams terminate — so the HTTP drain
-	// below isn't stuck behind open /stream connections.
-	if err := srv.Shutdown(ctx); err != nil {
+	// Settle the scheduler first — SIGTERM runs the backlog to completion
+	// (persisting results), SIGINT aborts trainers mid-iteration — so the
+	// HTTP drain below isn't stuck behind open /stream connections.
+	settle := srv.Shutdown
+	if graceful {
+		settle = srv.Drain
+	}
+	if err := settle(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "deft-serve: scheduler drain: %v\n", err)
 		os.Exit(1)
 	}

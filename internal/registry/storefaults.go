@@ -1,0 +1,69 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// ParseStoreFaultPlan parses a storage chaos schedule from either a JSON
+// object (the store.FaultPlan wire format, recognised by a leading '{')
+// or the compact CLI shorthand: comma-separated clauses of
+//
+//	<kind>[:<hash>|*][@<put>]
+//
+// where kind is torn, bitflip or enospc, hash scopes the fault to one
+// content address ("*" or omitted matches any put), and put is the
+// 1-based ordinal of the matching put to hit (default 1). Examples:
+//
+//	torn                  tear the first put
+//	enospc:*@3            disk full on the third put overall
+//	bitflip:4a1de2b37c09a1f2   flip a bit in that entry's first put
+//
+// An empty string returns a nil plan (healthy store).
+func ParseStoreFaultPlan(s string) (*store.FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		p := &store.FaultPlan{}
+		dec := json.NewDecoder(strings.NewReader(s))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("store fault plan JSON: %w", err)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if p.Empty() {
+			return nil, nil
+		}
+		return p, nil
+	}
+	p := &store.FaultPlan{}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		head, putStr, hasPut := strings.Cut(clause, "@")
+		kindStr, hash, _ := strings.Cut(head, ":")
+		f := store.Fault{Kind: store.FaultKind(kindStr), Hash: hash}
+		if hasPut {
+			n, err := strconv.Atoi(putStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("store fault clause %q: put ordinal %q: want a positive integer", clause, putStr)
+			}
+			f.Put = n
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

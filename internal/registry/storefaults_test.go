@@ -1,0 +1,60 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestParseStoreFaultPlanShorthand(t *testing.T) {
+	p, err := ParseStoreFaultPlan("torn, enospc:*@3, bitflip:4a1de2b37c09a1f2")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := []store.Fault{
+		{Kind: store.FaultTorn},
+		{Kind: store.FaultENOSPC, Hash: "*", Put: 3},
+		{Kind: store.FaultBitFlip, Hash: "4a1de2b37c09a1f2"},
+	}
+	if len(p.Faults) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(p.Faults), len(want))
+	}
+	for i, f := range want {
+		if p.Faults[i] != f {
+			t.Errorf("fault %d = %+v, want %+v", i, p.Faults[i], f)
+		}
+	}
+}
+
+func TestParseStoreFaultPlanJSON(t *testing.T) {
+	p, err := ParseStoreFaultPlan(`{"faults":[{"kind":"torn","hash":"*","put":2}]}`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(p.Faults) != 1 || p.Faults[0].Kind != store.FaultTorn || p.Faults[0].Put != 2 {
+		t.Fatalf("parsed %+v", p.Faults)
+	}
+}
+
+func TestParseStoreFaultPlanRejects(t *testing.T) {
+	for _, bad := range []string{
+		"gamma-ray",                    // unknown kind
+		"torn:*@0",                     // non-positive ordinal
+		"torn@x",                       // non-numeric ordinal
+		`{"faults":[{"kind":"melt"}]}`, // unknown kind via JSON
+		`{"nope":1}`,                   // unknown field
+	} {
+		if _, err := ParseStoreFaultPlan(bad); err == nil {
+			t.Errorf("ParseStoreFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseStoreFaultPlanEmpty(t *testing.T) {
+	for _, s := range []string{"", "   ", `{"faults":[]}`} {
+		p, err := ParseStoreFaultPlan(s)
+		if err != nil || p != nil {
+			t.Errorf("ParseStoreFaultPlan(%q) = (%v, %v), want (nil, nil)", s, p, err)
+		}
+	}
+}

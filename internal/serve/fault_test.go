@@ -114,7 +114,7 @@ func TestRecoverAvoidsRetry(t *testing.T) {
 // burn retries on the way out.
 func TestBudgetFailsWithDistinctReason(t *testing.T) {
 	s, ts := newTestServer(t, Options{Pool: 1})
-	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
+	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
 		<-ctx.Done() // a chaos-stuck trainer: only the context frees it
 		return nil, ctx.Err()
 	}
@@ -142,12 +142,12 @@ func TestRetriesStayInsideOneFlight(t *testing.T) {
 	started := make(chan struct{})
 	var once sync.Once
 	orig := s.runTrain
-	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
+	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
 		calls.Add(1)
 		once.Do(func() { close(started) })
 		// Hold the first attempt open until the second submission joined.
 		time.Sleep(30 * time.Millisecond)
-		return orig(ctx, spec, attempt, progress)
+		return orig(ctx, spec, attempt, checkpoint, progress)
 	}
 	spec := `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":6,"lr":0.1,
 		"faults":{"drops":[{"rank":1,"iteration":2}]},"retries":3}}`

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// walRecord is one line of the write-ahead job journal: a submission
+// (op "submit", carrying the normalized spec so replay can re-enqueue
+// it) or a terminal transition. A job that appears with no terminal
+// record was queued or running when the process died — replay
+// re-enqueues it. Jobs cancelled by process shutdown are deliberately
+// NOT journalled as terminal: shutdown is the server's fault, not the
+// client's, so those jobs come back and re-run on the next boot.
+type walRecord struct {
+	Op          string   `json:"op"` // "submit" | "done" | "failed" | "cancelled"
+	ID          string   `json:"id"`
+	Hash        string   `json:"hash,omitempty"`
+	Spec        *JobSpec `json:"spec,omitempty"`
+	CreatedUnix int64    `json:"created_unix_ms,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// journal is the append-only WAL. Every append is fsynced before it
+// returns: a record the server acted on is on disk. One file lives in
+// the store root (jobs.wal); boot reads it back, then compacts it.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// walFile is the journal's name inside the store root.
+const walFile = "jobs.wal"
+
+// openJournal reads the existing WAL — tolerating a torn final line
+// from a crash mid-append — and opens it for appending.
+func openJournal(dir string) (*journal, []walRecord, error) {
+	path := filepath.Join(dir, walFile)
+	var recs []walRecord
+	if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var r walRecord
+			if err := json.Unmarshal(line, &r); err != nil {
+				// Torn tail: the crash interrupted the last append. Every
+				// complete record before it is valid; stop here.
+				break
+			}
+			recs = append(recs, r)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("serve: journal read: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: journal open: %w", err)
+	}
+	return &journal{f: f, path: path}, recs, nil
+}
+
+// append writes one record and fsyncs it.
+func (j *journal) append(r walRecord) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("serve: journal marshal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal sync: %w", err)
+	}
+	return nil
+}
+
+// rewrite replaces the WAL with recs (boot-time compaction): temp file,
+// fsync, atomic rename, reopen for append.
+func (j *journal) rewrite(recs []walRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp := j.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serve: journal rewrite: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("serve: journal rewrite: %w", err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: journal rewrite: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: journal rewrite: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: journal rewrite: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: journal rewrite: %w", err)
+	}
+	j.f.Close()
+	f, err = os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal reopen: %w", err)
+	}
+	j.f = f
+	return nil
+}
+
+// close flushes and closes the WAL file.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// nowUnixMilli is the WAL timestamp.
+func nowUnixMilli() int64 { return time.Now().UnixMilli() }

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// errQueueFull rejects a submission when the backlog is at capacity.
+var errQueueFull = errors.New("serve: queue full")
+
+// flightQueue is the worker pool's backlog: a bounded blocking priority
+// queue of flights ordered by (priority descending, arrival ascending)
+// — strict priority dequeue, FIFO within a priority. A flight's
+// priority may be bumped while it waits (a higher-priority job joining
+// the single-flight); bump re-sifts it in place.
+type flightQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   flightHeap
+	seq    int64
+	max    int
+	closed bool
+}
+
+func newFlightQueue(max int) *flightQueue {
+	q := &flightQueue{max: max}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a flight, stamping its arrival order. enforceCap is
+// false for boot-time journal replay: recovered jobs are re-admitted
+// even when they outnumber the live-submission bound.
+func (q *flightQueue) push(fl *flight, enforceCap bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("serve: queue closed")
+	}
+	if enforceCap && len(q.heap) >= q.max {
+		return errQueueFull
+	}
+	q.seq++
+	fl.seq = q.seq
+	heap.Push(&q.heap, fl)
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a flight is available and returns the
+// highest-priority one. After close it drains the remaining backlog,
+// then returns nil: the drain path hands queued flights to the workers
+// (their contexts decide whether they run or settle as cancelled).
+func (q *flightQueue) pop() *flight {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.heap).(*flight)
+}
+
+// bump raises fl's priority to pri (never lowers it) and re-sifts the
+// heap; a no-op once the flight has been popped — by then it is running
+// and order no longer matters.
+func (q *flightQueue) bump(fl *flight, pri int) {
+	q.mu.Lock()
+	if pri > fl.priority {
+		fl.priority = pri
+		if fl.queueIdx >= 0 {
+			heap.Fix(&q.heap, fl.queueIdx)
+		}
+	}
+	q.mu.Unlock()
+}
+
+// close stops admissions and wakes every blocked worker.
+func (q *flightQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *flightQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// flightHeap implements heap.Interface: max-priority first, FIFO (seq)
+// within a priority. Priority reads are guarded by the queue mutex —
+// bump mutates it under the same lock.
+type flightHeap []*flight
+
+func (h flightHeap) Len() int { return len(h) }
+func (h flightHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h flightHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].queueIdx = i
+	h[j].queueIdx = j
+}
+func (h *flightHeap) Push(x any) {
+	fl := x.(*flight)
+	fl.queueIdx = len(*h)
+	*h = append(*h, fl)
+}
+func (h *flightHeap) Pop() any {
+	old := *h
+	fl := old[len(old)-1]
+	old[len(old)-1] = nil
+	fl.queueIdx = -1
+	*h = old[:len(old)-1]
+	return fl
+}

@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/train"
+)
+
+// newDurableServer boots a durable server over dir and fronts it with
+// httptest. Shutdown is NOT registered as cleanup: recovery tests stop
+// and restart servers themselves.
+func newDurableServer(t *testing.T, dir string, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	opts.StoreDir = dir
+	s, err := NewDurable(opts)
+	if err != nil {
+		t.Fatalf("NewDurable: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	return s, ts
+}
+
+func stopServer(t *testing.T, s *Server, ts *httptest.Server) {
+	t.Helper()
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// detJSON renders a train result's deterministic record for byte-exact
+// comparison across process lifetimes.
+func detJSON(t *testing.T, r *train.Result) []byte {
+	t.Helper()
+	b, err := r.DeterministicJSON()
+	if err != nil {
+		t.Fatalf("DeterministicJSON: %v", err)
+	}
+	return b
+}
+
+const recoverySpec = `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":8,"lr":0.1,"record_every":2}}`
+
+// TestStoreHitAcrossRestart is the headline durability property: a job
+// completed in one process lifetime is served — byte-identical — from
+// the store in the next, without retraining.
+func TestStoreHitAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	sA, tsA := newDurableServer(t, dir, Options{Pool: 2})
+	v, code := postJob(t, tsA, recoverySpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	waitState(t, tsA, v.ID, StateDone)
+	sA.mu.Lock()
+	golden := detJSON(t, sA.jobs[v.ID].outcome.TrainResult)
+	sA.mu.Unlock()
+	stopServer(t, sA, tsA)
+
+	// Lifetime B over the same directory: replay restores the done job
+	// with its artifact, and the id survives.
+	sB, tsB := newDurableServer(t, dir, Options{Pool: 2})
+	defer stopServer(t, sB, tsB)
+	restored, requeued := sB.RecoveryStats()
+	if restored != 1 || requeued != 0 {
+		t.Fatalf("recovery = (%d restored, %d requeued), want (1, 0)", restored, requeued)
+	}
+	got := getJob(t, tsB, v.ID)
+	if got.State != StateDone {
+		t.Fatalf("replayed job state = %q, want done", got.State)
+	}
+	sB.mu.Lock()
+	replayed := detJSON(t, sB.jobs[v.ID].outcome.TrainResult)
+	runsBefore := sB.mRuns.Value()
+	sB.mu.Unlock()
+	if !bytes.Equal(golden, replayed) {
+		t.Fatal("replayed result differs from the original run")
+	}
+	if sB.mStoreHits.Value() < 1 {
+		t.Fatalf("deft_store_hits_total = %d, want >= 1", sB.mStoreHits.Value())
+	}
+
+	// Resubmitting the identical spec is a cache hit — no retraining.
+	v2, code := postJob(t, tsB, recoverySpec)
+	if code != http.StatusOK || !v2.CacheHit {
+		t.Fatalf("resubmit = (%d, cache_hit=%v), want (200, true)", code, v2.CacheHit)
+	}
+	if v2.Result == nil || !bytes.Equal(golden, detJSON(t, v2.Result.TrainResult)) {
+		t.Fatal("resubmitted result differs from the original run")
+	}
+	if sB.mRuns.Value() != runsBefore {
+		t.Fatalf("resubmission trained (%d runs, had %d)", sB.mRuns.Value(), runsBefore)
+	}
+}
+
+// TestCrashReplayRequeues: a job interrupted mid-run (Shutdown cancels
+// exactly like a crash as far as the journal is concerned — no terminal
+// record is written) is re-enqueued on the next boot and re-runs to the
+// golden result.
+func TestCrashReplayRequeues(t *testing.T) {
+	dir := t.TempDir()
+
+	sA, tsA := newDurableServer(t, dir, Options{Pool: 1})
+	running := make(chan struct{})
+	sA.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
+		close(running)
+		<-ctx.Done() // wedged trainer: the "crash" interrupts it mid-run
+		return nil, ctx.Err()
+	}
+	v, code := postJob(t, tsA, recoverySpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	<-running
+	stopServer(t, sA, tsA)
+
+	// Lifetime B re-enqueues the open job and trains it for real.
+	sB, tsB := newDurableServer(t, dir, Options{Pool: 1})
+	defer stopServer(t, sB, tsB)
+	restored, requeued := sB.RecoveryStats()
+	if restored != 0 || requeued != 1 {
+		t.Fatalf("recovery = (%d restored, %d requeued), want (0, 1)", restored, requeued)
+	}
+	waitState(t, tsB, v.ID, StateDone)
+
+	// Golden: the production trainer on the same normalized spec.
+	var spec JobSpec
+	if err := json.Unmarshal([]byte(recoverySpec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	goldenRes, err := runTrain(context.Background(), *spec.Train, 1, false, nil)
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	sB.mu.Lock()
+	recovered := detJSON(t, sB.jobs[v.ID].outcome.TrainResult)
+	sB.mu.Unlock()
+	if !bytes.Equal(detJSON(t, goldenRes), recovered) {
+		t.Fatal("recovered run differs from the golden result")
+	}
+}
+
+// TestCancelledJobStaysCancelledAcrossRestart: a client DELETE is a
+// journalled terminal — unlike a shutdown interruption, it must not
+// resurrect on reboot.
+func TestCancelledJobStaysCancelledAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	sA, tsA := newDurableServer(t, dir, Options{Pool: 1})
+	running := make(chan struct{})
+	var opened atomic.Bool
+	sA.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
+		if opened.CompareAndSwap(false, true) {
+			close(running)
+		}
+		<-ctx.Done() // wedged until shutdown interrupts it
+		return nil, ctx.Err()
+	}
+	blocker, _ := postJob(t, tsA, recoverySpec)
+	<-running
+	// A second, different spec queues behind the blocker; cancel it.
+	queued, _ := postJob(t, tsA, `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":10,"lr":0.1}}`)
+	req, _ := http.NewRequest(http.MethodDelete, tsA.URL+"/v1/jobs/"+queued.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatalf("DELETE: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	stopServer(t, sA, tsA)
+
+	sB, tsB := newDurableServer(t, dir, Options{Pool: 1})
+	defer stopServer(t, sB, tsB)
+	if got := getJob(t, tsB, queued.ID); got.State != StateCancelled {
+		t.Fatalf("cancelled job came back as %q", got.State)
+	}
+	// The blocker was interrupted by shutdown, so it DOES come back.
+	waitState(t, tsB, blocker.ID, StateDone)
+}
+
+// TestCorruptArtifactQuarantinedNotServed: a bit-flipped artifact must
+// never be served — boot-time replay quarantines it and re-trains the
+// job from scratch.
+func TestCorruptArtifactQuarantinedNotServed(t *testing.T) {
+	dir := t.TempDir()
+
+	sA, tsA := newDurableServer(t, dir, Options{Pool: 1})
+	v, code := postJob(t, tsA, recoverySpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	waitState(t, tsA, v.ID, StateDone)
+	sA.mu.Lock()
+	golden := detJSON(t, sA.jobs[v.ID].outcome.TrainResult)
+	sA.mu.Unlock()
+	stopServer(t, sA, tsA)
+
+	// Flip one byte in the committed result blob.
+	blob := filepath.Join(dir, "objects", v.Hash, "result.v1.json")
+	data, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatalf("read blob: %v", err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(blob, data, 0o644); err != nil {
+		t.Fatalf("corrupt blob: %v", err)
+	}
+
+	sB, tsB := newDurableServer(t, dir, Options{Pool: 1})
+	defer stopServer(t, sB, tsB)
+	restored, requeued := sB.RecoveryStats()
+	if restored != 0 || requeued != 1 {
+		t.Fatalf("recovery = (%d restored, %d requeued), want (0, 1): corrupt artifacts must re-train", restored, requeued)
+	}
+	if sB.mStoreCorrupt.Value() < 1 {
+		t.Fatalf("deft_store_corrupt_total = %d, want >= 1", sB.mStoreCorrupt.Value())
+	}
+	if sB.store.QuarantineLen() < 1 {
+		t.Fatal("corrupt artifact not quarantined")
+	}
+	final := waitState(t, tsB, v.ID, StateDone)
+	if final.Result == nil || !bytes.Equal(golden, detJSON(t, final.Result.TrainResult)) {
+		t.Fatal("re-trained result differs from the golden run")
+	}
+	if !sB.store.Has(v.Hash) {
+		t.Fatal("re-trained artifact not re-committed to the store")
+	}
+}
+
+// TestENOSPCDegradesToMemoryOnly: an injected disk-full on the artifact
+// commit must not fail the job — the server finishes it from memory,
+// latches degraded mode and counts the error.
+func TestENOSPCDegradesToMemoryOnly(t *testing.T) {
+	dir := t.TempDir()
+	sA, tsA := newDurableServer(t, dir, Options{
+		Pool:        1,
+		StoreFaults: &store.FaultPlan{Faults: []store.Fault{{Kind: store.FaultENOSPC, Hash: "*", Put: 1}}},
+	})
+	defer stopServer(t, sA, tsA)
+
+	v, code := postJob(t, tsA, recoverySpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	final := waitState(t, tsA, v.ID, StateDone)
+	if final.Result == nil || final.Result.TrainResult == nil {
+		t.Fatal("degraded job lost its result")
+	}
+	if !sA.Degraded() {
+		t.Fatal("server did not latch degraded mode after ENOSPC")
+	}
+	if sA.mStoreErrors.Value() < 1 {
+		t.Fatalf("deft_store_errors_total = %d, want >= 1", sA.mStoreErrors.Value())
+	}
+	if sA.store.Has(v.Hash) {
+		t.Fatal("ENOSPC put should not have committed an artifact")
+	}
+	// Degraded, the server still answers resubmissions from memory.
+	v2, code := postJob(t, tsA, recoverySpec)
+	if code != http.StatusOK || !v2.CacheHit {
+		t.Fatalf("degraded resubmit = (%d, cache_hit=%v), want (200, true)", code, v2.CacheHit)
+	}
+}
+
+// TestPriorityOrdersDequeue: with one worker wedged on a blocker, later
+// submissions drain strictly by priority, FIFO within a priority — and
+// priority stays off the content address.
+func TestPriorityOrdersDequeue(t *testing.T) {
+	s, ts := newTestServer(t, Options{Pool: 1})
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	var ranSeeds []uint64
+	var opened atomic.Bool
+	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
+		if opened.CompareAndSwap(false, true) {
+			close(running)
+			<-gate // hold the pool's only worker until all submissions queue
+		} else {
+			ranSeeds = append(ranSeeds, spec.Seed) // serialized: pool=1
+		}
+		return &train.Result{}, nil
+	}
+
+	post := func(seed uint64, pri int) jobView {
+		t.Helper()
+		spec := fmt.Sprintf(`{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":8,"lr":0.1,"seed":%d,"priority":%d}}`, seed, pri)
+		v, code := postJob(t, ts, spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit status = %d, want 202", code)
+		}
+		return v
+	}
+	_ = post(1, 0) // blocker: occupies the worker
+	<-running
+	jobs := []jobView{post(2, 0), post(3, 5), post(4, 9), post(5, 5)}
+	close(gate)
+	for _, v := range jobs {
+		waitState(t, ts, v.ID, StateDone)
+	}
+	s.mu.Lock()
+	got := append([]uint64(nil), ranSeeds...)
+	s.mu.Unlock()
+	want := []uint64{4, 3, 5, 2} // pri 9, then 5s FIFO, then 0
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i, seed := range want {
+		if got[i] != seed {
+			t.Fatalf("execution order %v, want %v (priority desc, FIFO within)", got, want)
+		}
+	}
+
+	// Priority is scheduling metadata: it must not split the hash.
+	a := JobSpec{Train: &TrainSpec{Workload: "mlp", Sparsifier: "topk", Workers: 2, Iterations: 8, LR: 0.1}}
+	b := JobSpec{Train: &TrainSpec{Workload: "mlp", Sparsifier: "topk", Workers: 2, Iterations: 8, LR: 0.1, Priority: 9}}
+	if err := a.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.hash() != b.hash() {
+		t.Fatal("priority changed the content address")
+	}
+}
+
+// TestSubmitWaitLongPolls: POST /v1/jobs?wait=1 blocks until the job is
+// terminal and answers 200 with the result attached.
+func TestSubmitWaitLongPolls(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 2})
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json", strings.NewReader(recoverySpec))
+	if err != nil {
+		t.Fatalf("POST ?wait=1: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait=1 status = %d, want 200\n%s", resp.StatusCode, body)
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if v.State != StateDone {
+		t.Fatalf("wait=1 returned state %q, want done", v.State)
+	}
+	if v.Result == nil || v.Result.TrainResult == nil {
+		t.Fatal("wait=1 response has no result")
+	}
+}

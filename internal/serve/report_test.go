@@ -83,7 +83,7 @@ func TestReportAttributesStraggler(t *testing.T) {
 // report, shows in /metrics, and replays identically on a cache hit.
 func TestAnomalyEventsAndReportReplay(t *testing.T) {
 	s, ts := newTestServer(t, Options{Pool: 1})
-	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
+	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
 		res := &train.Result{Workload: spec.Workload, Workers: spec.Workers}
 		for i := 0; i < 30; i++ {
 			st := 0.001

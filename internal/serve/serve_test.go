@@ -209,12 +209,12 @@ func TestSingleFlightDedup(t *testing.T) {
 	s, ts := newTestServer(t, Options{Pool: 4})
 	var runs atomic.Int64
 	orig := s.runTrain
-	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
+	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
 		runs.Add(1)
 		// Hold the flight open long enough that every concurrent submit
 		// joins it rather than hitting the result cache.
 		time.Sleep(50 * time.Millisecond)
-		return orig(ctx, spec, attempt, progress)
+		return orig(ctx, spec, attempt, checkpoint, progress)
 	}
 
 	const n = 8
@@ -282,12 +282,12 @@ func TestQuantizedSpecNotDeduped(t *testing.T) {
 	s, ts := newTestServer(t, Options{Pool: 2})
 	var runs atomic.Int64
 	orig := s.runTrain
-	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
+	s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
 		runs.Add(1)
 		// Hold both flights open so the second submission sees the first
 		// in flight rather than completed.
 		time.Sleep(50 * time.Millisecond)
-		return orig(ctx, spec, attempt, progress)
+		return orig(ctx, spec, attempt, checkpoint, progress)
 	}
 
 	specs := []string{

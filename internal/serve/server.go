@@ -26,6 +26,20 @@
 // backoff, so retries never double-train a deduplicated spec) and a
 // wall-clock budget ("budget_ms" — expiry fails the job with the distinct
 // ErrBudget reason rather than a cancellation).
+//
+// With Options.StoreDir set the server is durable: completed artifacts
+// (result JSON + checkpoint blob under a versioned, checksummed
+// manifest) live in a content-addressed internal/store, and every job
+// submission and terminal transition is fsynced to a write-ahead
+// journal before the server acts on it. A restarted server replays the
+// journal: done jobs are served from the store (their checksums
+// verified — corrupt artifacts are quarantined and re-trained, never
+// served), queued and running jobs are deterministically re-enqueued in
+// submission order, and the content address gives cache hits across
+// process lifetimes. Store I/O failures (disk full, torn journal) never
+// fail a job: the server degrades to memory-only mode with a warning
+// and deft_store_errors_total instead. Replayed streams carry the
+// terminal event only; per-iteration history is not persisted.
 package serve
 
 import (
@@ -33,9 +47,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
@@ -43,16 +59,18 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 	"repro/internal/registry"
+	"repro/internal/store"
 	"repro/internal/train"
 )
 
 // Trace lanes of the serve process: job lifecycle spans (queued,
-// running), per-attempt spans, and stream sessions each get their own
-// timeline in the exported trace.
+// running), per-attempt spans, stream sessions and durable-store
+// operations each get their own timeline in the exported trace.
 const (
 	laneJobs = iota
 	laneAttempts
 	laneStreams
+	laneStore
 )
 
 // JobState is a job's position in its lifecycle.
@@ -109,6 +127,14 @@ type flight struct {
 	spec   JobSpec
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// Scheduling fields, guarded by the flight queue's mutex: priority
+	// orders dequeue (bumped when a higher-priority job joins while
+	// queued), seq breaks ties FIFO, queueIdx is the heap position (-1
+	// once popped).
+	priority int
+	seq      int64
+	queueIdx int
 
 	mu        sync.Mutex
 	started   bool
@@ -173,8 +199,18 @@ type Options struct {
 	// submissions beyond it are rejected with 503.
 	Queue int
 	// Tracer, when non-nil, records job-lifecycle spans (queued, running,
-	// attempt N, stream) for Chrome-trace export. nil disables tracing.
+	// attempt N, stream, store ops) for Chrome-trace export. nil disables
+	// tracing.
 	Tracer *obs.Tracer
+	// StoreDir, when non-empty, makes the server durable: completed
+	// artifacts go to a content-addressed store rooted there, and a
+	// write-ahead job journal (jobs.wal) lets a restart recover every
+	// job. Use NewDurable, which surfaces open errors.
+	StoreDir string
+	// StoreFaults is an optional deterministic store-fault schedule
+	// (torn write, bit flip, ENOSPC) injected into the artifact store —
+	// the storage leg of the chaos layer.
+	StoreFaults *store.FaultPlan
 }
 
 // Server owns the job registry, the single-flight dedup layer, the result
@@ -193,10 +229,23 @@ type Server struct {
 	cache      map[string]*cacheEntry
 	cacheOrder []string // FIFO for eviction
 
-	queue      chan *flight
+	queue      *flightQueue
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+
+	// Durability layer (nil/zero without Options.StoreDir): the
+	// content-addressed artifact store, the write-ahead job journal, and
+	// the degraded latch — once a store or journal write fails, the
+	// server runs memory-only for the rest of its life rather than
+	// failing jobs on storage errors.
+	store     *store.Store
+	journal   *journal
+	degraded  atomic.Bool
+	closeOnce sync.Once
+	// Boot-replay outcome, for operator logging (RecoveryStats).
+	recoveredDone     int
+	recoveredRequeued int
 
 	// Metrics live in a per-server obs.Registry (a process may host
 	// several servers), exposed as Prometheus text by /metrics and as the
@@ -214,11 +263,21 @@ type Server struct {
 	hQueueWait *obs.Histogram // job creation -> flight start
 	hRunDur    *obs.Histogram // flight start -> settle, per job
 
+	// Durability metrics (registered always; move only with a store).
+	mStoreHits    *obs.Counter // jobs served from the durable store
+	mStorePuts    *obs.Counter // artifacts committed to the store
+	mStoreCorrupt *obs.Counter // corrupt artifacts quarantined
+	mStoreErrors  *obs.Counter // store/journal I/O failures
+	gDegraded     *obs.Gauge   // 1 after the server dropped to memory-only
+	mRecovered    *obs.Counter // jobs re-enqueued by WAL replay at boot
+
 	// Execution seams; tests substitute these to count and delay runs.
 	// attempt is the 1-based execution attempt: the production trainer
 	// prunes the spec's fault plan through ForAttempt, so attempts-scoped
-	// faults expire on retries.
-	runTrain      func(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error)
+	// faults expire on retries. checkpoint asks the trainer to record
+	// the final parameter state (set when a durable store will persist
+	// it).
+	runTrain      func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error)
 	runExperiment func(ctx context.Context, id string, o experiments.Options) (*experiments.Table, error)
 }
 
@@ -227,8 +286,22 @@ type Server struct {
 // with this sentinel in its error chain.
 var ErrBudget = errors.New("serve: wall-clock budget exhausted")
 
-// New creates a server and starts its worker pool.
+// New creates a memory-only server and starts its worker pool. It
+// panics if Options.StoreDir is set and unopenable — durable callers
+// should use NewDurable, which returns the error instead.
 func New(opts Options) *Server {
+	s, err := NewDurable(opts)
+	if err != nil {
+		panic("serve.New: " + err.Error())
+	}
+	return s
+}
+
+// NewDurable creates a server, opens the durable store and write-ahead
+// journal when Options.StoreDir is set, replays the journal (restoring
+// done jobs from the store and re-enqueueing interrupted ones), and
+// starts the worker pool.
+func NewDurable(opts Options) (*Server, error) {
 	if opts.Pool <= 0 {
 		opts.Pool = 2
 	}
@@ -243,7 +316,7 @@ func New(opts Options) *Server {
 		jobs:          map[string]*Job{},
 		flights:       map[string]*flight{},
 		cache:         map[string]*cacheEntry{},
-		queue:         make(chan *flight, opts.Queue),
+		queue:         newFlightQueue(opts.Queue),
 		baseCtx:       ctx,
 		baseCancel:    cancel,
 		reg:           reg,
@@ -258,11 +331,17 @@ func New(opts Options) *Server {
 		mInFlight:     reg.Gauge("deft_flights_in_flight", "flights executing right now"),
 		hQueueWait:    reg.Histogram("deft_job_queue_wait_seconds", "job creation to flight start"),
 		hRunDur:       reg.Histogram("deft_job_run_seconds", "flight start to settlement, per attached job"),
+		mStoreHits:    reg.Counter("deft_store_hits_total", "jobs served from the durable artifact store"),
+		mStorePuts:    reg.Counter("deft_store_puts_total", "artifacts committed to the durable store"),
+		mStoreCorrupt: reg.Counter("deft_store_corrupt_total", "corrupt store artifacts quarantined (never served)"),
+		mStoreErrors:  reg.Counter("deft_store_errors_total", "store/journal I/O failures (each may degrade the server to memory-only)"),
+		gDegraded:     reg.Gauge("deft_store_degraded", "1 once a storage failure dropped the server to memory-only mode"),
+		mRecovered:    reg.Counter("deft_jobs_recovered_total", "interrupted jobs re-enqueued by journal replay at boot"),
 		runTrain:      runTrain,
 		runExperiment: experiments.RunContext,
 	}
 	reg.GaugeFunc("deft_queue_depth", "flights waiting in the backlog", func() int64 {
-		return int64(len(s.queue))
+		return int64(s.queue.len())
 	})
 	reg.GaugeFunc("deft_pool_size", "concurrent-flight worker pool size", func() int64 {
 		return int64(s.opts.Pool)
@@ -281,15 +360,40 @@ func New(opts Options) *Server {
 			return n
 		})
 	}
+	if opts.StoreDir != "" {
+		st, rep, err := store.Open(opts.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		st.SetFaultPlan(opts.StoreFaults)
+		s.store = st
+		s.mStoreCorrupt.Add(int64(rep.Quarantined))
+		reg.GaugeFunc("deft_store_objects", "committed artifacts in the durable store", func() int64 {
+			return int64(st.Len())
+		})
+		reg.GaugeFunc("deft_store_quarantined", "artifacts in the store's quarantine directory", func() int64 {
+			return int64(st.QuarantineLen())
+		})
+		j, recs, err := openJournal(opts.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.replay(recs)
+		// Compact: the replayed state is the WAL's minimal equivalent.
+		if err := j.rewrite(s.compactedRecords()); err != nil {
+			s.degrade(err)
+		}
+	}
 	s.wg.Add(opts.Pool)
 	for i := 0; i < opts.Pool; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // runTrain is the production training runner behind the seam.
-func runTrain(ctx context.Context, spec TrainSpec, attempt int, progress func(train.Progress)) (*train.Result, error) {
+func runTrain(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
 	w, err := registry.NewWorkload(spec.Workload)
 	if err != nil {
 		return nil, err
@@ -312,16 +416,309 @@ func runTrain(ctx context.Context, spec TrainSpec, attempt int, progress func(tr
 		DisableSparse: dense,
 		Faults:        spec.Faults.ForAttempt(attempt),
 		Recover:       spec.Recover,
+		Checkpoint:    checkpoint,
 		CostModel:     comm.DefaultCostModel(),
 		Topology:      comm.DefaultTopology(),
 		Progress:      progress,
 	})
 }
 
-// Shutdown stops the server: no new jobs are accepted, every flight's
-// context is cancelled (running trainers abort mid-iteration, queued jobs
-// drain as cancelled), and it waits — bounded by ctx — for the pool to
-// finish.
+// ------------------------------------------------------ durability layer --
+
+// storeEnabled reports whether durable reads/writes are still on: a
+// store was configured and no I/O failure has degraded the server.
+func (s *Server) storeEnabled() bool {
+	return s.store != nil && !s.degraded.Load()
+}
+
+// degrade latches the server into memory-only mode after a storage
+// failure. Jobs keep succeeding from memory; the operator sees the
+// warning, deft_store_errors_total and the deft_store_degraded gauge.
+func (s *Server) degrade(err error) {
+	s.mStoreErrors.Inc()
+	if s.degraded.CompareAndSwap(false, true) {
+		s.gDegraded.Set(1)
+		log.Printf("serve: WARNING: storage failure, degrading to memory-only mode "+
+			"(completed work will not survive a restart): %v", err)
+	}
+}
+
+// journalAppend writes one WAL record, degrading on failure.
+func (s *Server) journalAppend(r walRecord) {
+	if s.journal == nil || s.degraded.Load() {
+		return
+	}
+	if err := s.journal.append(r); err != nil {
+		s.degrade(err)
+	}
+}
+
+// artifactName is the manifest's human-readable name for a spec.
+func artifactName(spec JobSpec) string {
+	if spec.Train != nil {
+		name := spec.Train.Workload + "-" + spec.Train.Sparsifier
+		if spec.Train.Quantize {
+			name += "-fp16"
+		}
+		return name
+	}
+	return "experiment-" + spec.Experiment
+}
+
+// persistOutcome commits a successful flight's artifact to the store:
+// the outcome JSON plus the trainer's final-parameter checkpoint blob.
+// Failures degrade instead of propagating — the job is already done.
+func (s *Server) persistOutcome(hash string, spec JobSpec, outcome *runOutcome) {
+	if !s.storeEnabled() {
+		return
+	}
+	data, err := json.Marshal(outcome)
+	if err != nil {
+		panic("serve: marshal outcome: " + err.Error()) // unreachable: plain fields
+	}
+	var ckpt []byte
+	if outcome.TrainResult != nil {
+		ckpt = outcome.TrainResult.Checkpoint
+	}
+	t0 := time.Now()
+	_, err = s.store.Put(hash, artifactName(spec), data, ckpt)
+	if s.tracer != nil {
+		s.tracer.RecordSpan(laneStore, "store", "put "+hash, int64(len(data)), t0, time.Now())
+	}
+	if err != nil {
+		s.degrade(err)
+		return
+	}
+	s.mStorePuts.Inc()
+}
+
+// storeLookup fetches and decodes hash's artifact from the durable
+// store. Corruption quarantines (inside store.Get) and counts; any
+// other I/O error degrades. A decode failure — valid checksum, stale
+// schema — is treated as a miss and superseded at the next settle.
+func (s *Server) storeLookup(hash string) (*cacheEntry, bool) {
+	if !s.storeEnabled() {
+		return nil, false
+	}
+	t0 := time.Now()
+	e, err := s.store.Get(hash)
+	if s.tracer != nil {
+		s.tracer.RecordSpan(laneStore, "store", "get "+hash, -1, t0, time.Now())
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+		case errors.Is(err, store.ErrCorrupt):
+			s.mStoreCorrupt.Inc()
+			log.Printf("serve: %v (quarantined; the spec will re-train)", err)
+		default:
+			s.degrade(err)
+		}
+		return nil, false
+	}
+	var outcome runOutcome
+	if err := json.Unmarshal(e.Result, &outcome); err != nil {
+		return nil, false
+	}
+	s.mStoreHits.Inc()
+	return &cacheEntry{outcome: &outcome}, true
+}
+
+// addCacheLocked installs a completed outcome in the in-memory result
+// cache under FIFO eviction. Callers hold s.mu.
+func (s *Server) addCacheLocked(hash string, ce *cacheEntry) {
+	if _, exists := s.cache[hash]; !exists {
+		s.cacheOrder = append(s.cacheOrder, hash)
+		// FIFO eviction keeps the result cache bounded; evicted specs
+		// fall back to the durable store, then to retraining.
+		for len(s.cacheOrder) > maxCachedResults {
+			delete(s.cache, s.cacheOrder[0])
+			s.cacheOrder = s.cacheOrder[1:]
+		}
+	}
+	s.cache[hash] = ce
+}
+
+// maxWALJobs caps how many terminal jobs boot replay keeps: beyond it,
+// the oldest terminal jobs are forgotten (their ids 404 after restart)
+// while their artifacts remain content-addressed in the store. Open
+// jobs are always kept.
+const maxWALJobs = 1024
+
+// replay rebuilds the job registry from WAL records, runs during
+// construction (no workers yet, no locks needed). Done jobs load — and
+// checksum-verify — their artifact from the store; a corrupt or missing
+// artifact re-enqueues the job exactly like one that was interrupted
+// mid-run. Open jobs re-enqueue in submission order, grouped per hash
+// into single flights.
+func (s *Server) replay(recs []walRecord) {
+	type replayed struct {
+		id       string
+		spec     JobSpec
+		created  time.Time
+		terminal string // "" while open
+		errMsg   string
+	}
+	byID := map[string]*replayed{}
+	var order []*replayed
+	for _, r := range recs {
+		switch r.Op {
+		case "submit":
+			if r.Spec == nil || byID[r.ID] != nil {
+				continue
+			}
+			// Track the id counter across every id ever issued, kept or
+			// not, so restarts never reuse one.
+			var n int
+			if _, err := fmt.Sscanf(r.ID, "job-%d", &n); err == nil && n > s.nextID {
+				s.nextID = n
+			}
+			rj := &replayed{id: r.ID, spec: *r.Spec, created: time.UnixMilli(r.CreatedUnix)}
+			byID[r.ID] = rj
+			order = append(order, rj)
+		case "done", "failed", "cancelled":
+			if rj := byID[r.ID]; rj != nil {
+				rj.terminal = r.Op
+				rj.errMsg = r.Error
+			}
+		}
+	}
+	// Trim: drop the oldest terminal jobs past the cap.
+	terminal := 0
+	for _, rj := range order {
+		if rj.terminal != "" {
+			terminal++
+		}
+	}
+	if terminal > maxWALJobs {
+		drop := terminal - maxWALJobs
+		kept := order[:0]
+		for _, rj := range order {
+			if rj.terminal != "" && drop > 0 {
+				drop--
+				continue
+			}
+			kept = append(kept, rj)
+		}
+		order = kept
+	}
+
+	flightsByHash := map[string]*flight{}
+	for _, rj := range order {
+		spec := rj.spec
+		if err := (&spec).normalize(); err != nil {
+			// Schema drift across versions: the recorded spec no longer
+			// validates. Nothing to run; forget the job.
+			continue
+		}
+		hash := spec.hash()
+		job := &Job{ID: rj.id, Spec: spec, Hash: hash, Created: rj.created, events: newEventLog()}
+		switch rj.terminal {
+		case "failed":
+			job.State = StateFailed
+			job.Err = rj.errMsg
+			job.Finished = rj.created
+			job.events.appendEvent(event{Type: "done", State: string(StateFailed), Error: job.Err})
+			job.events.close()
+		case "cancelled":
+			job.State = StateCancelled
+			job.Finished = rj.created
+			job.events.appendEvent(event{Type: "done", State: string(StateCancelled)})
+			job.events.close()
+		default: // "done" or open: the store decides
+			ce := s.cache[hash]
+			if ce == nil {
+				if got, ok := s.storeLookup(hash); ok {
+					ce = got
+					s.addCacheLocked(hash, ce)
+				}
+			}
+			if ce != nil {
+				job.State = StateDone
+				job.CacheHit = rj.terminal == "" // open job resolved by content address
+				job.Started = rj.created
+				job.Finished = rj.created
+				job.outcome = ce.outcome
+				job.events.appendEvent(event{Type: "done", State: string(StateDone)})
+				job.events.close()
+				s.recoveredDone++
+			} else {
+				// Interrupted (or its artifact was lost/quarantined):
+				// deterministically re-enqueue.
+				job.State = StateQueued
+				fl := flightsByHash[hash]
+				if fl == nil {
+					ctx, cancel := context.WithCancel(s.baseCtx)
+					fl = &flight{hash: hash, spec: spec, ctx: ctx, cancel: cancel, priority: spec.priority(), queueIdx: -1}
+					flightsByHash[hash] = fl
+					s.flights[hash] = fl
+					s.queue.push(fl, false) //nolint:errcheck // unbounded pre-worker push cannot fail
+				} else if p := spec.priority(); p > fl.priority {
+					fl.priority = p // pre-worker: queue order not yet observed
+				}
+				job.flight = fl
+				fl.jobs = append(fl.jobs, job)
+				job.events.appendEvent(event{Type: "state", State: string(StateQueued)})
+				s.recoveredRequeued++
+				s.mRecovered.Inc()
+			}
+		}
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+	}
+}
+
+// compactedRecords renders the replayed registry back into a minimal
+// WAL: one submit per job, plus its terminal record where settled.
+func (s *Server) compactedRecords() []walRecord {
+	var recs []walRecord
+	for _, id := range s.order {
+		j := s.jobs[id]
+		spec := j.Spec
+		recs = append(recs, walRecord{
+			Op: "submit", ID: j.ID, Hash: j.Hash, Spec: &spec, CreatedUnix: j.Created.UnixMilli(),
+		})
+		switch j.State {
+		case StateDone:
+			recs = append(recs, walRecord{Op: "done", ID: j.ID, Hash: j.Hash})
+		case StateFailed:
+			recs = append(recs, walRecord{Op: "failed", ID: j.ID, Hash: j.Hash, Error: j.Err})
+		case StateCancelled:
+			recs = append(recs, walRecord{Op: "cancelled", ID: j.ID, Hash: j.Hash})
+		}
+	}
+	return recs
+}
+
+// RecoveryStats reports what boot-time journal replay restored: jobs
+// served terminal from the store and journal, and interrupted jobs
+// re-enqueued to run again.
+func (s *Server) RecoveryStats() (restored, requeued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recoveredDone, s.recoveredRequeued
+}
+
+// Degraded reports whether a storage failure has dropped the server to
+// memory-only mode.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// closeDurable flushes and closes the journal exactly once.
+func (s *Server) closeDurable() {
+	s.closeOnce.Do(func() {
+		if s.journal != nil {
+			if err := s.journal.close(); err != nil {
+				s.mStoreErrors.Inc()
+			}
+		}
+	})
+}
+
+// Shutdown stops the server abortively: no new jobs are accepted, every
+// flight's context is cancelled (running trainers abort mid-iteration,
+// queued jobs drain as cancelled), and it waits — bounded by ctx — for
+// the pool to finish. Shutdown-cancelled jobs are deliberately left open
+// in the journal, so a durable server re-runs them on the next boot.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -329,10 +726,37 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	close(s.queue)
 	s.mu.Unlock()
+	s.queue.close()
 	s.baseCancel()
+	return s.awaitPool(ctx)
+}
 
+// Drain stops the server gracefully: no new jobs are accepted, but the
+// backlog and every running flight run to completion (and are persisted)
+// before Drain returns. If ctx expires first the remaining flights are
+// aborted as in Shutdown and ctx's error is returned; those jobs stay
+// open in the journal and re-run on the next boot.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.queue.close()
+
+	if err := s.awaitPool(ctx); err != nil {
+		s.baseCancel()
+		return err
+	}
+	return nil
+}
+
+// awaitPool waits for the worker pool to exit, bounded by ctx, then
+// closes the journal.
+func (s *Server) awaitPool(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -340,16 +764,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeDurable()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// worker drains the flight queue until Shutdown closes it.
+// worker drains the flight queue until Shutdown/Drain closes it and the
+// backlog empties.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for fl := range s.queue {
+	for {
+		fl := s.queue.pop()
+		if fl == nil {
+			return
+		}
 		s.runFlight(fl)
 	}
 }
@@ -420,7 +850,7 @@ func (s *Server) runTrainFlight(fl *flight) (*runOutcome, error) {
 		// Fresh detector per attempt: a retry's series starts over, so its
 		// warmup does too.
 		det := analyze.NewDetector(0, 0, 0)
-		res, err := s.runTrain(runCtx, spec, attempt, func(p train.Progress) {
+		res, err := s.runTrain(runCtx, spec, attempt, s.storeEnabled(), func(p train.Progress) {
 			fl.progress("", p)
 			for _, a := range observeProgress(det, p) {
 				s.mAnomalies.Inc()
@@ -485,31 +915,29 @@ func (s *Server) noteAttempt(fl *flight, attempt int, cause error) {
 	s.mu.Unlock()
 }
 
-// settleFlight records a flight's outcome: success populates the result
-// cache and completes attached jobs; failure or cancellation marks them
-// failed/cancelled. Detached (individually cancelled) jobs were settled
-// at DELETE time.
+// settleFlight records a flight's outcome: success persists the artifact
+// to the durable store, populates the result cache and completes attached
+// jobs; failure or cancellation marks them failed/cancelled. Detached
+// (individually cancelled) jobs were settled at DELETE time. Terminal WAL
+// records are written after the locks drop — a crash in that window just
+// re-runs the job, which the content address turns into a store hit.
 func (s *Server) settleFlight(fl *flight, outcome *runOutcome, err error) {
+	if err == nil {
+		// The store commit (several fsyncs) runs before any server lock.
+		s.persistOutcome(fl.hash, fl.spec, outcome)
+	}
+	var terminals []walRecord
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.flights[fl.hash] == fl {
 		delete(s.flights, fl.hash)
 	}
+	shuttingDown := s.closed
 	fl.cancel() // release the context regardless of outcome
 
 	fl.mu.Lock()
-	defer fl.mu.Unlock()
 	if err == nil {
-		if _, exists := s.cache[fl.hash]; !exists {
-			s.cacheOrder = append(s.cacheOrder, fl.hash)
-			// FIFO eviction keeps the result cache bounded; evicted specs
-			// simply train again on resubmission.
-			for len(s.cacheOrder) > maxCachedResults {
-				delete(s.cache, s.cacheOrder[0])
-				s.cacheOrder = s.cacheOrder[1:]
-			}
-		}
-		s.cache[fl.hash] = &cacheEntry{outcome: outcome, history: fl.history, anomalies: fl.anomalies}
+		s.addCacheLocked(fl.hash, &cacheEntry{outcome: outcome, history: fl.history, anomalies: fl.anomalies})
 	}
 	now := time.Now()
 	for _, j := range fl.jobs {
@@ -527,17 +955,30 @@ func (s *Server) settleFlight(fl *flight, outcome *runOutcome, err error) {
 			j.outcome = outcome
 			j.anomalies = fl.anomalies
 			j.events.appendEvent(event{Type: "done", State: string(StateDone)})
+			terminals = append(terminals, walRecord{Op: "done", ID: j.ID, Hash: j.Hash})
 		case errors.Is(err, context.Canceled) || errors.Is(err, comm.ErrAborted):
 			j.State = StateCancelled
 			j.events.appendEvent(event{Type: "done", State: string(StateCancelled)})
+			if !shuttingDown {
+				// Shutdown cancellations stay open in the journal on
+				// purpose: the job comes back and re-runs on the next boot.
+				terminals = append(terminals, walRecord{Op: "cancelled", ID: j.ID, Hash: j.Hash})
+			}
 		default:
 			j.State = StateFailed
 			j.Err = err.Error()
 			j.events.appendEvent(event{Type: "done", State: string(StateFailed), Error: j.Err})
+			terminals = append(terminals, walRecord{Op: "failed", ID: j.ID, Hash: j.Hash, Error: j.Err})
 		}
 		j.events.close()
 	}
 	fl.jobs = nil
+	fl.mu.Unlock()
+	s.mu.Unlock()
+
+	for _, r := range terminals {
+		s.journalAppend(r)
+	}
 }
 
 // ----------------------------------------------------------- HTTP layer --
@@ -605,6 +1046,9 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// handleSubmit accepts a job. With ?wait=1 the response long-polls: it
+// is written only once the job reaches a terminal state (or the client
+// disconnects), carrying the final view with the result attached.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
@@ -618,12 +1062,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := spec.hash()
+	waitQ := r.URL.Query().Get("wait")
+	wait := waitQ == "1" || waitQ == "true"
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
+	}
+	if s.cache[hash] == nil && s.flights[hash] == nil {
+		// Durable fallback: the hash may be in the store from a previous
+		// process lifetime (or evicted from the FIFO cache). One small
+		// checksummed read; a hit re-primes the memory cache.
+		if ce, ok := s.storeLookup(hash); ok {
+			s.addCacheLocked(hash, ce)
+		}
 	}
 	s.nextID++
 	job := &Job{
@@ -672,28 +1126,57 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		job.events.appendEvent(event{Type: "state", State: string(job.State)})
 		fl.jobs = append(fl.jobs, job)
 		fl.mu.Unlock()
+		// A higher-priority joiner pulls the whole flight forward in the
+		// backlog: the work is shared, so it runs at the highest priority
+		// any attached job asked for.
+		s.queue.bump(fl, spec.priority())
 		s.mDeduped.Inc()
 	default:
 		ctx, cancel := context.WithCancel(s.baseCtx)
-		fl := &flight{hash: hash, spec: spec, ctx: ctx, cancel: cancel, jobs: []*Job{job}}
+		fl := &flight{
+			hash: hash, spec: spec, ctx: ctx, cancel: cancel,
+			jobs: []*Job{job}, priority: spec.priority(), queueIdx: -1,
+		}
 		job.State = StateQueued
 		job.flight = fl
 		job.events.appendEvent(event{Type: "state", State: string(StateQueued)})
-		select {
-		case s.queue <- fl:
-			s.flights[hash] = fl
-		default:
+		if err := s.queue.push(fl, true); err != nil {
 			cancel()
 			s.mu.Unlock()
 			writeError(w, http.StatusServiceUnavailable, "queue full (%d flights waiting)", s.opts.Queue)
 			return
 		}
+		s.flights[hash] = fl
 	}
 	s.mSubmitted.Inc()
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	// Write-ahead: the submission is fsynced before the response commits
+	// to it. A cache-hit job settled above, so its terminal rides along.
+	specCopy := job.Spec
+	s.journalAppend(walRecord{
+		Op: "submit", ID: job.ID, Hash: hash, Spec: &specCopy, CreatedUnix: job.Created.UnixMilli(),
+	})
+	if job.State == StateDone {
+		s.journalAppend(walRecord{Op: "done", ID: job.ID, Hash: hash})
+	}
 	v := job.view(true)
+	events := job.events
 	s.mu.Unlock()
+
+	if wait && !v.State.Terminal() {
+		select {
+		case <-events.terminated():
+			s.mu.Lock()
+			v = job.view(true)
+			s.mu.Unlock()
+			if v.State == StateDone {
+				status = http.StatusOK
+			}
+		case <-r.Context().Done():
+			return // client gone; the job runs on regardless
+		}
+	}
 	writeJSON(w, status, v)
 }
 
@@ -734,6 +1217,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
+	cancelled := false
 	if fl := job.flight; fl != nil {
 		fl.mu.Lock()
 		for i, j := range fl.jobs {
@@ -749,12 +1233,20 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		job.Finished = time.Now()
 		job.events.appendEvent(event{Type: "done", State: string(StateCancelled)})
 		job.events.close()
+		cancelled = true
 		if orphaned {
 			fl.cancel()
 		}
 	}
 	v := job.view(false)
+	id, hash := job.ID, job.Hash
 	s.mu.Unlock()
+	if cancelled {
+		// A client cancellation — unlike a shutdown one — is journalled
+		// terminal: the client asked for this job to stop, so it must not
+		// resurrect on the next boot.
+		s.journalAppend(walRecord{Op: "cancelled", ID: id, Hash: hash})
+	}
 	writeJSON(w, http.StatusOK, v)
 }
 
@@ -838,22 +1330,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, j := range s.jobs {
 			byState[j.State]++
 		}
-		queueDepth := len(s.queue)
 		s.mu.Unlock()
 		states := map[string]int{}
 		for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 			states[string(st)] = byState[st]
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		out := map[string]any{
 			"jobs":               states,
 			"submitted":          s.mSubmitted.Value(),
 			"cache_hits":         s.mCacheHits.Value(),
 			"deduped":            s.mDeduped.Value(),
 			"runs":               s.mRuns.Value(),
 			"in_flight_trainers": s.mInFlight.Value(),
-			"queue_depth":        queueDepth,
+			"queue_depth":        s.queue.len(),
 			"pool_size":          s.opts.Pool,
-		})
+		}
+		if s.store != nil {
+			out["store"] = map[string]any{
+				"hits":        s.mStoreHits.Value(),
+				"puts":        s.mStorePuts.Value(),
+				"corrupt":     s.mStoreCorrupt.Value(),
+				"errors":      s.mStoreErrors.Value(),
+				"objects":     s.store.Len(),
+				"quarantined": s.store.QuarantineLen(),
+				"degraded":    s.degraded.Load(),
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	w.Header().Set("Content-Type", obs.PrometheusContentType)

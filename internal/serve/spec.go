@@ -69,6 +69,13 @@ type TrainSpec struct {
 	// expires the run aborts and the job fails with a distinct budget
 	// reason (ErrBudget). Zero means no budget.
 	BudgetMS int `json:"budget_ms,omitempty"`
+
+	// Priority orders dequeue in the worker pool: higher runs first, FIFO
+	// within a priority, range [0, 9] (default 0). Scheduling metadata,
+	// not work: it is on the canonical-hash exempt-list, so the same
+	// training run submitted at two priorities dedups into one flight —
+	// which then runs at the highest priority any attached job asked for.
+	Priority int `json:"priority,omitempty"`
 }
 
 // normalize validates the spec and fills defaults in place, so that every
@@ -178,7 +185,19 @@ func (s *JobSpec) normalize() error {
 	if t.BudgetMS < 0 {
 		return fmt.Errorf("budget_ms %d must be non-negative", t.BudgetMS)
 	}
+	if t.Priority < 0 || t.Priority > maxPriority {
+		return fmt.Errorf("priority %d out of [0, %d]", t.Priority, maxPriority)
+	}
 	return nil
+}
+
+// priority is the spec's scheduling priority (experiment jobs run at
+// the default).
+func (s JobSpec) priority() int {
+	if s.Train != nil {
+		return s.Train.Priority
+	}
+	return 0
 }
 
 // Spec limits: the largest cluster the paper scales to leaves headroom
@@ -199,12 +218,22 @@ const (
 	maxRetries        = 8
 	maxBackoffMS      = 5_000
 	defaultBackoffMS  = 10
+	maxPriority       = 9
 )
 
 // hash returns the content address of a normalized spec: the first 16 hex
 // digits of the SHA-256 of its canonical JSON (struct field order is
 // fixed, so encoding/json is canonical here).
+//
+// Exempt-list: fields that describe how a job is scheduled rather than
+// what it computes are cleared before hashing, so they never split the
+// content address. Currently exempt: Priority.
 func (s JobSpec) hash() string {
+	if s.Train != nil && s.Train.Priority != 0 {
+		t := *s.Train
+		t.Priority = 0
+		s.Train = &t
+	}
 	data, err := json.Marshal(s)
 	if err != nil {
 		panic("serve: spec hash: " + err.Error()) // unreachable: plain fields

@@ -48,10 +48,11 @@ type eventLog struct {
 	lines  []json.RawMessage
 	closed bool
 	ping   chan struct{} // closed and replaced on every append/close
+	done   chan struct{} // closed once, when the log terminates
 }
 
 func newEventLog() *eventLog {
-	return &eventLog{ping: make(chan struct{})}
+	return &eventLog{ping: make(chan struct{}), done: make(chan struct{})}
 }
 
 // append adds one line and wakes blocked readers. Appending to a closed
@@ -75,9 +76,14 @@ func (l *eventLog) close() {
 	if !l.closed {
 		l.closed = true
 		close(l.ping)
+		close(l.done)
 	}
 	l.mu.Unlock()
 }
+
+// terminated returns a channel closed when the log reaches its terminal
+// state — the long-poll (?wait=1) signal that the job settled.
+func (l *eventLog) terminated() <-chan struct{} { return l.done }
 
 // next returns the lines beyond cursor, whether the log is terminated,
 // and a channel that is closed on the next append/close (valid only when

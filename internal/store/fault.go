@@ -1,0 +1,79 @@
+package store
+
+import "fmt"
+
+// FaultKind names one injectable store failure mode.
+type FaultKind string
+
+// The three failure modes every durable store must survive: a write the
+// disk tore mid-blob, a bit the medium flipped under a valid manifest,
+// and a full disk rejecting the write outright.
+const (
+	FaultTorn    FaultKind = "torn"
+	FaultBitFlip FaultKind = "bitflip"
+	FaultENOSPC  FaultKind = "enospc"
+	faultNone    FaultKind = ""
+)
+
+// Fault schedules one injected failure. Like comm.FaultPlan, firing is
+// a pure function of the schedule and the operation sequence: the fault
+// hits the Put-th put of the matching scope (per-hash when Hash names
+// one, global when it is "*" or empty), so a replayed run corrupts the
+// same byte of the same artifact every time.
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// Hash scopes the fault to one entry; "*" (or empty) matches any put.
+	Hash string `json:"hash,omitempty"`
+	// Put is the 1-based ordinal of the matching put to hit (default 1).
+	Put int `json:"put,omitempty"`
+}
+
+// FaultPlan is a deterministic schedule of store faults, the storage
+// counterpart of comm.FaultPlan. A nil plan injects nothing.
+type FaultPlan struct {
+	Faults []Fault `json:"faults"`
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *FaultPlan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// Validate rejects unknown kinds and non-positive ordinals.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, f := range p.Faults {
+		switch f.Kind {
+		case FaultTorn, FaultBitFlip, FaultENOSPC:
+		default:
+			return fmt.Errorf("store: fault %d: unknown kind %q", i, f.Kind)
+		}
+		if f.Put < 0 {
+			return fmt.Errorf("store: fault %d: put ordinal %d must be positive", i, f.Put)
+		}
+	}
+	return nil
+}
+
+// match returns the fault kind firing for this put, given the per-hash
+// and global put ordinals (both 1-based, already incremented). At most
+// one fault fires per put: the first match in schedule order wins.
+func (p *FaultPlan) match(hash string, hashSeq, globalSeq int) FaultKind {
+	if p == nil {
+		return faultNone
+	}
+	for _, f := range p.Faults {
+		nth := f.Put
+		if nth == 0 {
+			nth = 1
+		}
+		if f.Hash == "" || f.Hash == "*" {
+			if globalSeq == nth {
+				return f.Kind
+			}
+		} else if f.Hash == hash && hashSeq == nth {
+			return f.Kind
+		}
+	}
+	return faultNone
+}

@@ -1,0 +1,497 @@
+// Package store is the crash-safe, content-addressed artifact store
+// behind deft-serve's durability: one entry per canonical spec hash,
+// holding the run's result JSON, an optional checkpoint blob (the
+// train.SaveParams parameter state), and a versioned manifest naming
+// both with sizes and SHA-256 checksums — the name/version/checksum
+// model of MLModelScope's declarative model manifests, in JSON.
+//
+// Layout under the root directory:
+//
+//	objects/<hash>/manifest.json     commit point; names the blob files
+//	objects/<hash>/result.v<N>.json  result JSON, checksummed
+//	objects/<hash>/checkpoint.v<N>.bin
+//	quarantine/<hash>.v<N>.<reason>/ corrupt entries, moved aside whole
+//	tmp/                             staging for atomic writes
+//
+// Every write goes temp file → fsync → rename, and the manifest is
+// renamed into place last, so a crash at any instant leaves either the
+// previous committed state or a stray staging file that Open sweeps.
+// Blob files are versioned (the manifest's version names them), so a
+// torn Put can never alias a committed blob. Every read re-hashes the
+// blobs against the manifest; a mismatch moves the whole entry to the
+// quarantine directory — a quarantined artifact is never served again,
+// and its hash simply re-trains.
+//
+// The store is safe for concurrent use by one process. Cross-process
+// sharing works for readers (entries are immutable once committed);
+// concurrent writers of the same hash race benignly — both write valid
+// artifacts, last rename wins.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Format identifies the on-disk manifest schema.
+const Format = "deft-artifact/1"
+
+// Sentinel errors. ErrCorrupt always arrives wrapped with the failing
+// blob and reason; the entry has already been quarantined when a Get
+// returns it.
+var (
+	ErrNotFound = errors.New("store: no such entry")
+	ErrCorrupt  = errors.New("store: entry corrupt")
+	// ErrNoSpace is the synthetic disk-full failure injected by a fault
+	// plan (kind "enospc"); real ENOSPC surfaces as the OS error.
+	ErrNoSpace = errors.New("store: no space left on device (injected)")
+)
+
+// BlobInfo names one stored blob with its integrity record.
+type BlobInfo struct {
+	File      string `json:"file"`
+	SizeBytes int64  `json:"size_bytes"`
+	SHA256    string `json:"sha256"`
+}
+
+// Manifest is the versioned, declarative description of one artifact:
+// what it is (name, spec hash), which blobs realise it, and how to
+// verify them. It is the entry's commit record — an entry exists iff
+// its manifest does.
+type Manifest struct {
+	Name        string    `json:"name"`
+	Version     int       `json:"version"`
+	Format      string    `json:"format"`
+	SpecHash    string    `json:"spec_hash"`
+	CreatedUnix int64     `json:"created_unix"`
+	Result      BlobInfo  `json:"result"`
+	Checkpoint  *BlobInfo `json:"checkpoint,omitempty"`
+}
+
+// Entry is a verified read: the manifest plus the blob bytes, each
+// re-hashed against its checksum.
+type Entry struct {
+	Manifest   Manifest
+	Result     []byte
+	Checkpoint []byte // nil when the artifact has no checkpoint blob
+}
+
+// OpenReport summarises what Open found and repaired.
+type OpenReport struct {
+	Objects     int // committed entries available
+	Quarantined int // entries moved to quarantine (unreadable manifest)
+	Swept       int // stray staging/blob files removed
+}
+
+// Store is a handle on one root directory. Create with Open.
+type Store struct {
+	root string
+
+	// fsMu orders this process's filesystem transactions: Put holds it
+	// exclusively across its read-version/write-blobs/commit sequence
+	// (two writers of one hash must not pick the same version), readers
+	// share it so a verified read never observes a supersede mid-GC.
+	fsMu sync.RWMutex
+
+	mu      sync.Mutex
+	plan    *FaultPlan
+	putSeq  map[string]int // per-hash put ordinal, for fault matching
+	putsAll int            // global put ordinal, for wildcard faults
+}
+
+// Open prepares the directory layout, sweeps staging leftovers from a
+// previous crash, and quarantines entries whose manifest is unreadable.
+// Blob corruption is detected lazily, on Get, where the checksum is
+// verified anyway.
+func Open(root string) (*Store, *OpenReport, error) {
+	s := &Store{root: root, putSeq: map[string]int{}}
+	for _, d := range []string{s.objectsDir(), s.quarantineDir(), s.tmpDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("store: open: %w", err)
+		}
+	}
+	rep := &OpenReport{}
+	// Staging files are never referenced by a committed manifest: anything
+	// left in tmp/ is a torn write from a crashed process.
+	if names, err := os.ReadDir(s.tmpDir()); err == nil {
+		for _, e := range names {
+			if os.RemoveAll(filepath.Join(s.tmpDir(), e.Name())) == nil {
+				rep.Swept++
+			}
+		}
+	}
+	ents, err := os.ReadDir(s.objectsDir())
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open: %w", err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		hash := e.Name()
+		m, err := s.readManifest(hash)
+		if err != nil {
+			// No committed manifest: the entry never existed (crash before
+			// the first commit) or its commit record is damaged. Either way
+			// nothing here is servable — quarantine the remains.
+			s.quarantine(hash, 0, "manifest")
+			rep.Quarantined++
+			continue
+		}
+		rep.Objects++
+		// Sweep blob files the manifest doesn't reference: stale versions
+		// or a torn half-written successor put.
+		keep := map[string]bool{manifestFile: true, m.Result.File: true}
+		if m.Checkpoint != nil {
+			keep[m.Checkpoint.File] = true
+		}
+		if files, err := os.ReadDir(s.objectDir(hash)); err == nil {
+			for _, f := range files {
+				if !keep[f.Name()] {
+					if os.Remove(filepath.Join(s.objectDir(hash), f.Name())) == nil {
+						rep.Swept++
+					}
+				}
+			}
+		}
+	}
+	return s, rep, nil
+}
+
+// SetFaultPlan attaches a deterministic store-fault schedule (nil
+// clears it). Faults fire as a pure function of the put sequence, so a
+// replayed run hits them identically.
+func (s *Store) SetFaultPlan(p *FaultPlan) {
+	s.mu.Lock()
+	s.plan = p
+	s.mu.Unlock()
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+const manifestFile = "manifest.json"
+
+func (s *Store) objectsDir() string        { return filepath.Join(s.root, "objects") }
+func (s *Store) objectDir(h string) string { return filepath.Join(s.objectsDir(), h) }
+func (s *Store) quarantineDir() string     { return filepath.Join(s.root, "quarantine") }
+func (s *Store) tmpDir() string            { return filepath.Join(s.root, "tmp") }
+
+func (s *Store) readManifest(hash string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(s.objectDir(hash), manifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	if m.Format != Format {
+		return nil, fmt.Errorf("store: manifest format %q, want %q", m.Format, Format)
+	}
+	return &m, nil
+}
+
+// Has reports whether a committed entry exists for hash (manifest
+// presence only; blob integrity is checked by Get).
+func (s *Store) Has(hash string) bool {
+	_, err := s.readManifest(hash)
+	return err == nil
+}
+
+// Len counts committed entries.
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.objectsDir())
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if e.IsDir() && s.Has(e.Name()) {
+			n++
+		}
+	}
+	return n
+}
+
+// QuarantineLen counts quarantined entries.
+func (s *Store) QuarantineLen() int {
+	ents, err := os.ReadDir(s.quarantineDir())
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// List returns every committed manifest, sorted by spec hash.
+func (s *Store) List() []Manifest {
+	ents, err := os.ReadDir(s.objectsDir())
+	if err != nil {
+		return nil
+	}
+	var out []Manifest
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if m, err := s.readManifest(e.Name()); err == nil {
+			out = append(out, *m)
+		}
+	}
+	slices.SortFunc(out, func(a, b Manifest) int { return strings.Compare(a.SpecHash, b.SpecHash) })
+	return out
+}
+
+// hashBytes returns the hex SHA-256 of b.
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Put commits an artifact for hash: result JSON plus an optional
+// checkpoint blob, under a manifest whose version is one past any
+// committed or quarantined predecessor. The write is crash-safe: blobs
+// land under version-unique names via temp+fsync+rename, the manifest
+// rename is the commit point, and the directory is fsynced after it.
+// On success the previous version's blobs are garbage-collected.
+func (s *Store) Put(hash, name string, result, checkpoint []byte) (*Manifest, error) {
+	if hash == "" || strings.ContainsAny(hash, "/\\.") {
+		return nil, fmt.Errorf("store: invalid hash %q", hash)
+	}
+	s.mu.Lock()
+	s.putSeq[hash]++
+	s.putsAll++
+	fault := s.plan.match(hash, s.putSeq[hash], s.putsAll)
+	s.mu.Unlock()
+	if fault == FaultENOSPC {
+		return nil, fmt.Errorf("store: put %s: %w", hash, ErrNoSpace)
+	}
+
+	s.fsMu.Lock()
+	defer s.fsMu.Unlock()
+	version := 1
+	var oldResult, oldCkpt string
+	if m, err := s.readManifest(hash); err == nil {
+		version = m.Version + 1
+		oldResult = m.Result.File
+		if m.Checkpoint != nil {
+			oldCkpt = m.Checkpoint.File
+		}
+	}
+	// A re-trained artifact supersedes its quarantined predecessors:
+	// version past the highest quarantined version too, so the lineage
+	// stays totally ordered across corruption events.
+	if qv := s.maxQuarantinedVersion(hash); qv >= version {
+		version = qv + 1
+	}
+
+	m := &Manifest{
+		Name:        name,
+		Version:     version,
+		Format:      Format,
+		SpecHash:    hash,
+		CreatedUnix: time.Now().Unix(),
+		Result: BlobInfo{
+			File:      fmt.Sprintf("result.v%d.json", version),
+			SizeBytes: int64(len(result)),
+			SHA256:    hashBytes(result),
+		},
+	}
+	if checkpoint != nil {
+		m.Checkpoint = &BlobInfo{
+			File:      fmt.Sprintf("checkpoint.v%d.bin", version),
+			SizeBytes: int64(len(checkpoint)),
+			SHA256:    hashBytes(checkpoint),
+		}
+	}
+
+	dir := s.objectDir(hash)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: put %s: %w", hash, err)
+	}
+	// Injected corruption models hardware that lies underneath a correct
+	// manifest: the blob lands torn or bit-flipped while the manifest
+	// records the intended bytes — exactly what the read-side checksum
+	// exists to catch.
+	blob := result
+	switch fault {
+	case FaultTorn:
+		blob = result[:len(result)/2]
+	case FaultBitFlip:
+		blob = slices.Clone(result)
+		blob[len(blob)/2] ^= 0x01
+	}
+	if err := s.writeBlob(dir, m.Result.File, blob); err != nil {
+		return nil, fmt.Errorf("store: put %s: %w", hash, err)
+	}
+	if checkpoint != nil {
+		if err := s.writeBlob(dir, m.Checkpoint.File, checkpoint); err != nil {
+			return nil, fmt.Errorf("store: put %s: %w", hash, err)
+		}
+	}
+	manifestJSON, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: put %s: %w", hash, err)
+	}
+	if err := s.writeBlob(dir, manifestFile, append(manifestJSON, '\n')); err != nil {
+		return nil, fmt.Errorf("store: put %s: %w", hash, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, fmt.Errorf("store: put %s: %w", hash, err)
+	}
+	// Superseded blobs are unreferenced now that the new manifest is the
+	// committed one; removal is best-effort (Open sweeps stragglers).
+	if oldResult != "" && oldResult != m.Result.File {
+		os.Remove(filepath.Join(dir, oldResult))
+	}
+	if oldCkpt != "" && (m.Checkpoint == nil || oldCkpt != m.Checkpoint.File) {
+		os.Remove(filepath.Join(dir, oldCkpt))
+	}
+	return m, nil
+}
+
+// writeBlob lands data at dir/name atomically: staging file in tmp/ on
+// the same filesystem, fsync, rename into place.
+func (s *Store) writeBlob(dir, name string, data []byte) error {
+	f, err := os.CreateTemp(s.tmpDir(), name+".*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so the renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Get reads and verifies the entry for hash. A blob whose size or
+// SHA-256 disagrees with the manifest quarantines the whole entry and
+// returns an error wrapping ErrCorrupt; a missing entry returns
+// ErrNotFound.
+func (s *Store) Get(hash string) (*Entry, error) {
+	s.fsMu.RLock()
+	defer s.fsMu.RUnlock()
+	m, err := s.readManifest(hash)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: get %s: %w", hash, ErrNotFound)
+		}
+		// Manifest present but unreadable: damaged commit record.
+		s.quarantine(hash, 0, "manifest")
+		return nil, fmt.Errorf("store: get %s: manifest unreadable (%v): %w", hash, err, ErrCorrupt)
+	}
+	result, err := s.verifiedBlob(hash, m.Result)
+	if err != nil {
+		s.quarantine(hash, m.Version, "result")
+		return nil, fmt.Errorf("store: get %s result: %w", hash, err)
+	}
+	var ckpt []byte
+	if m.Checkpoint != nil {
+		ckpt, err = s.verifiedBlob(hash, *m.Checkpoint)
+		if err != nil {
+			s.quarantine(hash, m.Version, "checkpoint")
+			return nil, fmt.Errorf("store: get %s checkpoint: %w", hash, err)
+		}
+	}
+	return &Entry{Manifest: *m, Result: result, Checkpoint: ckpt}, nil
+}
+
+// verifiedBlob reads one blob and checks it against its integrity
+// record. Failures wrap ErrCorrupt.
+func (s *Store) verifiedBlob(hash string, info BlobInfo) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.objectDir(hash), info.File))
+	if err != nil {
+		return nil, fmt.Errorf("%s missing (%v): %w", info.File, err, ErrCorrupt)
+	}
+	if int64(len(data)) != info.SizeBytes {
+		return nil, fmt.Errorf("%s is %d bytes, manifest says %d (torn write): %w",
+			info.File, len(data), info.SizeBytes, ErrCorrupt)
+	}
+	if got := hashBytes(data); got != info.SHA256 {
+		return nil, fmt.Errorf("%s checksum %s, manifest says %s: %w",
+			info.File, got[:12], info.SHA256[:12], ErrCorrupt)
+	}
+	return data, nil
+}
+
+// quarantine moves an entry's directory aside as
+// quarantine/<hash>.v<version>.<reason>, never to be served again.
+func (s *Store) quarantine(hash string, version int, reason string) {
+	base := fmt.Sprintf("%s.v%d.%s", hash, version, reason)
+	dst := filepath.Join(s.quarantineDir(), base)
+	for i := 2; ; i++ {
+		if err := os.Rename(s.objectDir(hash), dst); err == nil || os.IsNotExist(err) {
+			return
+		}
+		if i > 10 {
+			// Rename persistently failing (e.g. read-only fs): remove so a
+			// corrupt entry can at least never be served.
+			os.RemoveAll(s.objectDir(hash))
+			return
+		}
+		dst = filepath.Join(s.quarantineDir(), fmt.Sprintf("%s.%d", base, i))
+	}
+}
+
+// maxQuarantinedVersion scans the quarantine for hash's newest version.
+func (s *Store) maxQuarantinedVersion(hash string) int {
+	ents, err := os.ReadDir(s.quarantineDir())
+	if err != nil {
+		return 0
+	}
+	maxV := 0
+	prefix := hash + ".v"
+	for _, e := range ents {
+		rest, ok := strings.CutPrefix(e.Name(), prefix)
+		if !ok {
+			continue
+		}
+		if dot := strings.IndexByte(rest, '.'); dot > 0 {
+			if v, err := strconv.Atoi(rest[:dot]); err == nil && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	return maxV
+}

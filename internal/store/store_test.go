@@ -1,0 +1,293 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, root string) (*Store, *OpenReport) {
+	t.Helper()
+	s, rep, err := Open(root)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", root, err)
+	}
+	return s, rep
+}
+
+// TestPutGetRoundTrip: blobs come back byte-identical under a manifest
+// that names and checksums them.
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	result := []byte(`{"workload":"mlp","train_loss":{"x":[1],"y":[0.5]}}`)
+	ckpt := bytes.Repeat([]byte{0xDE, 0xF7}, 512)
+
+	m, err := s.Put("abcd1234", "mlp-deft", result, ckpt)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if m.Version != 1 || m.Format != Format || m.SpecHash != "abcd1234" || m.Name != "mlp-deft" {
+		t.Fatalf("manifest %+v", m)
+	}
+	if m.Checkpoint == nil || m.Checkpoint.SizeBytes != int64(len(ckpt)) {
+		t.Fatalf("checkpoint info %+v", m.Checkpoint)
+	}
+
+	e, err := s.Get("abcd1234")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(e.Result, result) || !bytes.Equal(e.Checkpoint, ckpt) {
+		t.Fatal("round trip lost bytes")
+	}
+	if !s.Has("abcd1234") || s.Len() != 1 {
+		t.Fatalf("Has/Len wrong: %v %d", s.Has("abcd1234"), s.Len())
+	}
+	if _, err := s.Get("ffff0000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing entry: %v", err)
+	}
+	if ms := s.List(); len(ms) != 1 || ms[0].SpecHash != "abcd1234" {
+		t.Fatalf("List: %+v", ms)
+	}
+}
+
+// TestPutVersionsSupersede: a second Put bumps the version, serves the
+// new bytes, and garbage-collects the old blob files.
+func TestPutVersionsSupersede(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	if _, err := s.Put("h1", "n", []byte("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Put("h1", "n", []byte("v2-longer"), []byte("ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != 2 {
+		t.Fatalf("version %d, want 2", m2.Version)
+	}
+	e, err := s.Get("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e.Result) != "v2-longer" || string(e.Checkpoint) != "ck" {
+		t.Fatalf("got %q/%q", e.Result, e.Checkpoint)
+	}
+	if _, err := os.Stat(filepath.Join(s.objectDir("h1"), "result.v1.json")); !os.IsNotExist(err) {
+		t.Error("superseded v1 blob not collected")
+	}
+}
+
+// TestCorruptBlobQuarantined: flip one bit on disk — the read detects
+// the checksum mismatch, quarantines the entry whole, and the hash
+// reads as not-found afterwards (it will re-train).
+func TestCorruptBlobQuarantined(t *testing.T) {
+	root := t.TempDir()
+	s, _ := openT(t, root)
+	if _, err := s.Put("h1", "n", []byte(`{"ok":true}`), []byte("ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.objectDir("h1"), "result.v1.json")
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := s.Get("h1")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt read: %v", err)
+	}
+	if s.Has("h1") || s.Len() != 0 {
+		t.Error("corrupt entry still present")
+	}
+	if s.QuarantineLen() != 1 {
+		t.Fatalf("quarantined %d entries, want 1", s.QuarantineLen())
+	}
+	if _, err := s.Get("h1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after quarantine: %v", err)
+	}
+	// The quarantined dir keeps the evidence: manifest plus the bad blob.
+	ents, _ := os.ReadDir(s.quarantineDir())
+	if len(ents) != 1 || !strings.HasPrefix(ents[0].Name(), "h1.v1.result") {
+		t.Fatalf("quarantine contents: %v", ents)
+	}
+
+	// Re-training the hash commits version 2: the lineage stays ordered
+	// past the quarantined version.
+	m, err := s.Put("h1", "n", []byte("retrained"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 2 {
+		t.Fatalf("post-quarantine version %d, want 2", m.Version)
+	}
+	if e, err := s.Get("h1"); err != nil || string(e.Result) != "retrained" {
+		t.Fatalf("retrained read: %v %q", err, e.Result)
+	}
+}
+
+// TestTruncatedBlobQuarantined: a torn write (size mismatch) is
+// detected before hashing and quarantined the same way.
+func TestTruncatedBlobQuarantined(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	if _, err := s.Put("h2", "n", []byte("0123456789"), nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.objectDir("h2"), "result.v1.json")
+	if err := os.WriteFile(path, []byte("0123"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("h2"); !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn read: %v", err)
+	}
+	if s.QuarantineLen() != 1 {
+		t.Error("torn entry not quarantined")
+	}
+}
+
+// TestFaultInjection: the three scheduled faults fire deterministically
+// on their put ordinal and produce exactly the failure they model.
+func TestFaultInjection(t *testing.T) {
+	t.Run("enospc", func(t *testing.T) {
+		s, _ := openT(t, t.TempDir())
+		s.SetFaultPlan(&FaultPlan{Faults: []Fault{{Kind: FaultENOSPC, Hash: "h1"}}})
+		if _, err := s.Put("h1", "n", []byte("x"), nil); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("want injected ENOSPC, got %v", err)
+		}
+		if s.Has("h1") {
+			t.Error("failed put left an entry")
+		}
+		// Only the first put of h1 is scheduled: the retry lands.
+		if _, err := s.Put("h1", "n", []byte("x"), nil); err != nil {
+			t.Fatalf("second put: %v", err)
+		}
+	})
+	t.Run("torn", func(t *testing.T) {
+		s, _ := openT(t, t.TempDir())
+		s.SetFaultPlan(&FaultPlan{Faults: []Fault{{Kind: FaultTorn, Hash: "*", Put: 1}}})
+		if _, err := s.Put("h1", "n", []byte("0123456789"), nil); err != nil {
+			t.Fatalf("torn put should commit (the tear is silent): %v", err)
+		}
+		if _, err := s.Get("h1"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("torn blob served: %v", err)
+		}
+		if s.QuarantineLen() != 1 {
+			t.Error("torn blob not quarantined")
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		s, _ := openT(t, t.TempDir())
+		s.SetFaultPlan(&FaultPlan{Faults: []Fault{{Kind: FaultBitFlip, Hash: "h9", Put: 2}}})
+		if _, err := s.Put("h9", "n", []byte("0123456789"), nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get("h9"); err != nil {
+			t.Fatalf("put 1 is unscheduled, read should verify: %v", err)
+		}
+		if _, err := s.Put("h9", "n", []byte("0123456789"), nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get("h9"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit-flipped blob served: %v", err)
+		}
+	})
+}
+
+// TestFaultPlanValidate covers the rejection paths.
+func TestFaultPlanValidate(t *testing.T) {
+	if err := (&FaultPlan{Faults: []Fault{{Kind: "melt"}}}).Validate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := (&FaultPlan{Faults: []Fault{{Kind: FaultTorn, Put: -1}}}).Validate(); err == nil {
+		t.Error("negative ordinal accepted")
+	}
+	if err := (&FaultPlan{Faults: []Fault{{Kind: FaultENOSPC, Hash: "*"}}}).Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	var nilPlan *FaultPlan
+	if err := nilPlan.Validate(); err != nil || !nilPlan.Empty() {
+		t.Error("nil plan should validate and be empty")
+	}
+}
+
+// TestOpenSweepsAndQuarantines: a reopened store removes staging
+// leftovers and unreferenced blob versions, and quarantines entries
+// whose manifest is damaged — the crash-recovery scan.
+func TestOpenSweepsAndQuarantines(t *testing.T) {
+	root := t.TempDir()
+	s, _ := openT(t, root)
+	if _, err := s.Put("good", "n", []byte("ok"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-put: staging file in tmp/, a stray
+	// half-written next-version blob, and an entry with a mangled
+	// manifest.
+	if err := os.WriteFile(filepath.Join(root, "tmp", "result.v2.json.123"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.objectDir("good"), "result.v2.json"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(s.objectDir("bad"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.objectDir("bad"), manifestFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := openT(t, root)
+	if rep.Objects != 1 || rep.Quarantined != 1 || rep.Swept != 2 {
+		t.Fatalf("report %+v, want 1 object, 1 quarantined, 2 swept", rep)
+	}
+	if e, err := s2.Get("good"); err != nil || string(e.Result) != "ok" {
+		t.Fatalf("surviving entry: %v", err)
+	}
+	if s2.Has("bad") {
+		t.Error("damaged entry still present")
+	}
+	if s2.QuarantineLen() != 1 {
+		t.Error("damaged entry not quarantined")
+	}
+}
+
+// TestConcurrentPutGet is the race-coverage test: many goroutines
+// hammer distinct and shared hashes; every successful Get must verify.
+func TestConcurrentPutGet(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				hash := fmt.Sprintf("h%d", i%4) // 4 shared hashes
+				payload := []byte(fmt.Sprintf(`{"g":%d,"i":%d}`, g, i))
+				if _, err := s.Put(hash, "n", payload, nil); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				e, err := s.Get(hash)
+				if err != nil {
+					// A concurrent writer may be mid-supersede; corruption
+					// would quarantine, which concurrent valid puts must not.
+					if errors.Is(err, ErrCorrupt) {
+						t.Errorf("valid concurrent puts produced corruption: %v", err)
+					}
+					continue
+				}
+				if len(e.Result) == 0 {
+					t.Error("empty verified read")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.QuarantineLen() != 0 {
+		t.Errorf("%d entries quarantined by healthy concurrency", s.QuarantineLen())
+	}
+}

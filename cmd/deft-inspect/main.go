@@ -396,7 +396,7 @@ func commTable(workload string, workers int, density float64, iters int) *experi
 		ID: "inspect-comm",
 		Title: fmt.Sprintf("Modeled vs measured comm — workload %s, workers=%d, d=%g, %d iterations",
 			workload, workers, density, iters),
-		Columns: []string{"scheme", "modeled comm (s)", "measured wall (s)", "collectives", "error"},
+		Columns: []string{"scheme", "modeled comm (s)", "measured wall (s)", "collectives", "socket tx/rx", "error"},
 	}
 	for _, name := range registry.Sparsifiers() {
 		w, err := registry.NewWorkload(workload)
@@ -422,14 +422,21 @@ func commTable(workload string, workers int, density float64, iters int) *experi
 		if res.WireCommTime > 0 {
 			errPct = fmt.Sprintf("%+.1f%%", 100*(measured-res.WireCommTime)/res.WireCommTime)
 		}
+		// Socket bytes only appear when a run crossed real TCP transports
+		// (multi-node serve clusters); the in-process runs here show "—".
+		socket := "—"
+		if res.SocketTxBytes > 0 || res.SocketRxBytes > 0 {
+			socket = fmt.Sprintf("%d/%d", res.SocketTxBytes, res.SocketRxBytes)
+		}
 		t.Rows = append(t.Rows, []string{
 			name, fmt.Sprintf("%.4f", res.WireCommTime), fmt.Sprintf("%.4f", measured),
-			fmt.Sprintf("%d", collectives), errPct,
+			fmt.Sprintf("%d", collectives), socket, errPct,
 		})
 	}
 	t.Notes = append(t.Notes,
 		"modeled = WireCommTime: encoded bytes through the α–β topology cost model",
-		"measured = wall-clock of the in-process collectives' combine steps (Result.comm_wall); the error column is (measured−modeled)/modeled")
+		"measured = wall-clock of the in-process collectives' combine steps (Result.comm_wall); the error column is (measured−modeled)/modeled",
+		"socket tx/rx = real bytes through TCP cluster transports (framing included); — for in-process runs")
 	return t
 }
 

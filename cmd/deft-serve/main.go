@@ -31,6 +31,12 @@
 // Signals: SIGTERM drains gracefully — no new jobs, the backlog runs to
 // completion and is persisted, bounded by -drain. SIGINT aborts:
 // running trainers stop mid-iteration and come back on the next boot.
+//
+// -cluster-listen HOST:PORT accepts follower nodes started with
+// -join HOST:PORT (pure workers: no HTTP, no store). Training specs
+// with "distribute": true partition their ranks across the leader and
+// every joined node over real TCP; a node dying mid-job surfaces as a
+// recoverable drop of its rank range.
 package main
 
 import (
@@ -63,7 +69,26 @@ func main() {
 	storeDir := flag.String("store", "", "durable artifact store + job journal directory (empty = memory-only)")
 	storeFaults := flag.String("store-faults", "",
 		"deterministic store chaos: <kind>[:<hash>|*][@<put>],... with kind torn|bitflip|enospc, or a store.FaultPlan JSON object")
+	clusterListen := flag.String("cluster-listen", "",
+		"accept follower nodes (deft-serve -join) on this host:port; jobs with \"distribute\": true span the cluster")
+	joinAddr := flag.String("join", "",
+		"run as a pure worker node: join the cluster leader at host:port instead of serving HTTP")
+	nodeName := flag.String("node-name", "", "advisory node label shown in the leader's logs (with -join)")
 	flag.Parse()
+
+	if *joinAddr != "" {
+		if *clusterListen != "" {
+			fmt.Fprintln(os.Stderr, "deft-serve: -join and -cluster-listen are mutually exclusive")
+			os.Exit(2)
+		}
+		addr, err := registry.ParseClusterAddr(*joinAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-serve: -join: %v\n", err)
+			os.Exit(2)
+		}
+		runWorker(addr, *nodeName)
+		return
+	}
 
 	faultPlan, err := registry.ParseStoreFaultPlan(*storeFaults)
 	if err != nil {
@@ -75,6 +100,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	var cluster *serve.ClusterLeader
+	if *clusterListen != "" {
+		addr, err := registry.ParseClusterAddr(*clusterListen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-serve: -cluster-listen: %v\n", err)
+			os.Exit(2)
+		}
+		cluster, err = serve.NewClusterLeader(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deft-serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		log.Printf("deft-serve: accepting cluster nodes on %s", cluster.Addr())
+	}
+
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		tracer = obs.NewTracer("deft-serve")
@@ -82,6 +123,7 @@ func main() {
 	srv, err := serve.NewDurable(serve.Options{
 		Pool: *pool, Queue: *queueDepth, Tracer: tracer,
 		StoreDir: *storeDir, StoreFaults: faultPlan,
+		Cluster: cluster,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deft-serve: %v\n", err)
@@ -161,4 +203,22 @@ func main() {
 		}
 	}
 	log.Printf("deft-serve: drained cleanly")
+}
+
+// runWorker is -join mode: no HTTP, no store — the process joins the
+// cluster leader, hosts its share of distributed training ranks, and
+// rejoins with backoff whenever the connection drops, until SIGINT or
+// SIGTERM.
+func runWorker(addr, name string) {
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("deft-serve: worker mode, joining cluster at %s", addr)
+	if err := serve.JoinCluster(ctx, addr, name); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "deft-serve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("deft-serve: worker stopped")
 }

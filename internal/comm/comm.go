@@ -1,17 +1,24 @@
 // Package comm simulates the multi-worker communication substrate the paper
 // runs on MPI + NCCL: ranks, barriers, broadcast, all-gather and all-reduce.
 //
-// Workers run as goroutines inside one process. Collectives are implemented
-// over a generation-counted rendezvous: every rank deposits its
+// By default workers run as goroutines inside one process. Collectives are
+// implemented over a generation-counted rendezvous: every rank deposits its
 // contribution, the last arrival computes the combined result, and all ranks
 // pick it up. This gives real synchronisation semantics (a rank cannot race
 // ahead of a collective), so phenomena like gradient build-up are measured
 // from genuinely independent per-rank data rather than assumed.
 //
+// The rendezvous engine is a Transport (see transport.go). Besides the
+// in-process engine, transport_tcp.go provides a hub-and-spoke TCP pair —
+// NewLeaderCluster hosts the rendezvous and NewFollowerCluster ships its
+// local ranks' deposits over length-prefixed frames — so several processes
+// can form one cluster. The collective API, traffic accounting and
+// abort/fault machinery are identical over both.
+//
 // The rendezvous is typed: each element type has its own mailbox (a generic
 // slot array plus combined result), so no collective boxes its payload into
 // an interface. Combine results are computed into buffers owned by the
-// cluster and reused across generations, and every collective has an Into
+// transport and reused across generations, and every collective has an Into
 // variant that copies the shared result into a caller-owned buffer — the
 // steady-state hot path of a training iteration allocates nothing here.
 //
@@ -26,112 +33,87 @@ import (
 	"fmt"
 	"slices"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"repro/internal/wire"
 )
 
-// mailbox is the typed slot array of the rendezvous: one deposit slot per
-// rank plus the combined result of the current generation. One mailbox per
-// payload type removes the any-boxing of the previous design; since the
-// collectives are SPMD (every rank calls the same operation in the same
-// order), only one mailbox is active per generation and they can all share
-// the cluster's single arrival counter.
-type mailbox[T any] struct {
-	slots  []T
-	result T
-}
-
-// Cluster owns the shared rendezvous state for n ranks.
+// Cluster is the rank-facing façade over a Transport: it owns the cluster
+// size, the attached fault plan and the run lifecycle, and delegates the
+// rendezvous itself to the transport.
 type Cluster struct {
-	n    int
-	mu   sync.Mutex
-	cond *sync.Cond
-
-	arrived    int
-	generation uint64
-
-	ints   mailbox[[]int]
-	floats mailbox[[]float64]
-
-	// Reusable combine buffers (guarded by mu; written only by the last
-	// arrival of a generation, read by all ranks before the next combine of
-	// the same type can start).
-	intBuf   []int
-	floatBuf []float64
-	heads    []int // k-way merge cursors for AllGatherUniqueInts
-
-	// Abort state: once set, every rank entering (or parked inside) a
-	// collective unwinds with an abortPanic instead of blocking, so a
-	// cancelled run cannot deadlock on the rendezvous. aborted mirrors
-	// abortErr != nil for lock-free polling between collectives. The first
-	// Abort wins deterministically (the lock serialises callers); later
-	// distinct errors are kept as suppressed causes so a drop+timeout race
-	// reports both.
-	abortErr   error
-	suppressed []error
-	aborted    atomic.Bool
+	n  int
+	tr Transport
 
 	// faults is the attached chaos schedule (nil when healthy); see
 	// SetFaultPlan. Written before the ranks start, read-only after.
 	faults *FaultPlan
 
-	traffic TrafficCounter
+	// baseIter is the training iteration the current segment starts at
+	// (SetStartIteration); Comm iteration tags begin here.
+	baseIter int
 
-	// Measured combine wall clock per collective kind (guarded by mu:
-	// combines run under the lock in the last-arrival branch). Two clock
-	// reads per collective, no allocation — cheap enough to stay on.
-	wallNS    [numCollectiveKinds]int64
-	wallCount [numCollectiveKinds]int64
+	// killAt is the HardKill trigger iteration, -1 when disarmed. Written
+	// before the ranks start, read-only after.
+	killAt int
 }
 
 // ErrAborted is the abort reason when Abort is called with a nil error.
 var ErrAborted = errors.New("comm: cluster aborted")
 
+// ErrHardKilled is the local abort reason of a HardKill: the simulated
+// process died, severing its connections without any abort handshake.
+var ErrHardKilled = errors.New("comm: hard-killed (simulated process death)")
+
+// errHardKilled is the internal alias transports raise.
+var errHardKilled = ErrHardKilled
+
 // abortPanic unwinds rank goroutines out of a collective when the cluster
 // is aborted. RunContext recovers it; any other panic propagates untouched.
 type abortPanic struct{ err error }
 
-// NewCluster creates a cluster of n ranks. It panics if n <= 0.
+// NewCluster creates an in-process cluster of n ranks. It panics if n <= 0.
 func NewCluster(n int) *Cluster {
 	if n <= 0 {
-		panic(fmt.Sprintf("comm: cluster size %d must be positive", n))
+		panicf("comm: cluster size %d must be positive", n)
 	}
-	c := &Cluster{
-		n:     n,
-		heads: make([]int, n),
-	}
-	c.ints.slots = make([][]int, n)
-	c.floats.slots = make([][]float64, n)
-	c.cond = sync.NewCond(&c.mu)
-	return c
+	return &Cluster{n: n, tr: newInproc(n), killAt: -1}
 }
 
 // Size returns the number of ranks.
 func (c *Cluster) Size() int { return c.n }
 
-// Traffic returns a snapshot of the accumulated traffic counters.
-func (c *Cluster) Traffic() TrafficCounter {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.traffic
+// LocalRanks returns the half-open rank range [lo, hi) hosted by this
+// process: [0, Size) in-process and on the TCP leader's hub, the joined
+// slice on a TCP follower. Run and RunContext spawn fn only for these.
+func (c *Cluster) LocalRanks() (lo, hi int) { return c.tr.localRanks() }
+
+// Distributed reports whether this cluster spans processes (TCP transport).
+func (c *Cluster) Distributed() bool {
+	_, ok := c.tr.(*inprocTransport)
+	return !ok
 }
 
+// Traffic returns a snapshot of the accumulated modeled traffic counters.
+func (c *Cluster) Traffic() TrafficCounter { return c.tr.traffic() }
+
 // ResetTraffic zeroes the traffic counters.
-func (c *Cluster) ResetTraffic() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.traffic = TrafficCounter{}
-}
+func (c *Cluster) ResetTraffic() { c.tr.resetTraffic() }
+
+// SocketBytes returns the real bytes this process moved over transport
+// sockets (frame headers included): zero in-process, actual TX/RX volumes
+// over TCP. Unlike Traffic — which models the payload bytes an MPI/NCCL
+// deployment would move and is identical across transports — these measure
+// this hub-and-spoke implementation itself.
+func (c *Cluster) SocketBytes() (tx, rx int64) { return c.tr.socketBytes() }
 
 // Abort poisons the cluster: every rank currently parked in a collective
 // wakes and unwinds, and every later collective call unwinds on entry (the
 // unwind is recovered by Run/RunContext, where it terminates the rank's
 // function). A nil err records ErrAborted. An aborted cluster stays
-// aborted; Abort is idempotent and safe from any goroutine.
+// aborted; Abort is idempotent and safe from any goroutine. On a TCP
+// cluster the abort propagates to every connected process.
 //
-// The first call wins deterministically — the cluster lock serialises
+// The first call wins deterministically — the transport lock serialises
 // callers, so whoever aborts first is the reason every later check sees.
 // A later call with a distinct error does not overwrite the winner; it is
 // recorded as a suppressed cause, and Err reports the winner together with
@@ -141,16 +123,7 @@ func (c *Cluster) Abort(err error) {
 	if err == nil {
 		err = ErrAborted
 	}
-	c.mu.Lock()
-	switch {
-	case c.abortErr == nil:
-		c.abortErr = err
-		c.aborted.Store(true)
-		c.cond.Broadcast()
-	case err != c.abortErr && !slices.Contains(c.suppressed, err) && len(c.suppressed) < maxSuppressedAborts:
-		c.suppressed = append(c.suppressed, err)
-	}
-	c.mu.Unlock()
+	c.tr.abort(err)
 }
 
 // maxSuppressedAborts bounds the suppressed-cause list: every rank of a
@@ -162,14 +135,33 @@ const maxSuppressedAborts = 8
 // several distinct aborts raced, the returned error's message and
 // errors.Is/As behaviour cover the deterministic winner first and every
 // suppressed cause after it.
-func (c *Cluster) Err() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.abortErr == nil || len(c.suppressed) == 0 {
-		return c.abortErr
-	}
-	return &abortCauses{winner: c.abortErr, suppressed: slices.Clone(c.suppressed)}
+func (c *Cluster) Err() error { return c.tr.err() }
+
+// SetStartIteration tells the transport which training iteration the next
+// Run starts at, seeding disconnect attribution: a peer lost before any
+// collective completes is attributed to iteration t. Call before Run.
+func (c *Cluster) SetStartIteration(t int) {
+	c.baseIter = t
+	c.tr.setBaseIteration(t)
 }
+
+// HardKill arms a test hook simulating abrupt process death: the first
+// local rank to enter StartIteration(t) with t >= iteration severs the
+// transport's connections with no abort handshake — exactly what kill -9
+// does to a node — and every local rank unwinds with ErrHardKilled. Peers
+// observe a closed connection, not a fault frame, which is the scenario
+// drop-recovery must handle over real sockets. Call before Run.
+func (c *Cluster) HardKill(iteration int) {
+	if iteration < 0 {
+		panicf("comm: HardKill iteration %d must be >= 0", iteration)
+	}
+	c.killAt = iteration
+}
+
+// Close releases transport resources (connections). In-process clusters
+// need no cleanup; TCP clusters close their links, which peers past the
+// finish handshake treat as normal teardown.
+func (c *Cluster) Close() error { return c.tr.close() }
 
 // abortCauses is the multi-error form of an aborted cluster: the
 // deterministic winner plus the suppressed later aborts. Unwrap follows
@@ -194,15 +186,33 @@ func (e *abortCauses) Unwrap() []error {
 	return append([]error{e.winner}, e.suppressed...)
 }
 
-// Run starts fn on every rank concurrently and waits for all to finish.
-// Each invocation receives a rank-bound Comm handle.
+// abortCause folds a winner and its suppressed causes into one error.
+func abortCause(winner error, suppressed []error) error {
+	if winner == nil || len(suppressed) == 0 {
+		return winner
+	}
+	return &abortCauses{winner: winner, suppressed: slices.Clone(suppressed)}
+}
+
+// containsErr reports whether errs contains err by identity.
+func containsErr(errs []error, err error) bool {
+	for _, e := range errs {
+		if e == err {
+			return true
+		}
+	}
+	return false
+}
+
+// Run starts fn on every local rank concurrently and waits for all to
+// finish. Each invocation receives a rank-bound Comm handle.
 func (c *Cluster) Run(fn func(comm *Comm)) {
 	c.RunContext(context.Background(), fn)
 }
 
-// RunContext starts fn on every rank concurrently and waits for all to
-// finish. When ctx is cancelled the cluster is aborted: ranks parked in a
-// collective wake immediately, ranks busy between collectives stop at
+// RunContext starts fn on every local rank concurrently and waits for all
+// to finish. When ctx is cancelled the cluster is aborted: ranks parked in
+// a collective wake immediately, ranks busy between collectives stop at
 // their next collective (or CheckAbort call), and every rank's fn is
 // unwound. It returns nil on a clean run, or the abort reason (the ctx
 // error for a cancellation).
@@ -210,6 +220,8 @@ func (c *Cluster) RunContext(ctx context.Context, fn func(comm *Comm)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	lo, hi := c.tr.localRanks()
+	c.tr.start()
 	stop := make(chan struct{})
 	var watcher sync.WaitGroup
 	if ctx.Done() != nil {
@@ -224,8 +236,8 @@ func (c *Cluster) RunContext(ctx context.Context, fn func(comm *Comm)) error {
 		}()
 	}
 	var wg sync.WaitGroup
-	wg.Add(c.n)
-	for rank := 0; rank < c.n; rank++ {
+	wg.Add(hi - lo)
+	for rank := lo; rank < hi; rank++ {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
@@ -237,12 +249,13 @@ func (c *Cluster) RunContext(ctx context.Context, fn func(comm *Comm)) error {
 					}
 				}
 			}()
-			fn(&Comm{rank: rank, cluster: c})
+			fn(&Comm{rank: rank, cluster: c, iter: c.baseIter})
 		}(rank)
 	}
 	wg.Wait()
 	close(stop)
 	watcher.Wait()
+	c.tr.finish()
 	return c.Err()
 }
 
@@ -250,6 +263,11 @@ func (c *Cluster) RunContext(ctx context.Context, fn func(comm *Comm)) error {
 type Comm struct {
 	rank    int
 	cluster *Cluster
+
+	// iter is the training iteration this rank is in (StartIteration); it
+	// tags every exchange so a TCP transport can attribute a peer loss to
+	// the iteration recovery must resume at.
+	iter int
 
 	// Reusable rank-owned buffers for the flattened nested broadcast: the
 	// root's flattening scratch plus this rank's decoded bins. A rank's
@@ -267,7 +285,7 @@ func (c *Comm) Rank() int { return c.rank }
 // collectives so a cancelled run stops mid-iteration instead of at its
 // next rendezvous; the un-aborted fast path is one atomic load.
 func (c *Comm) CheckAbort() {
-	if c.cluster.aborted.Load() {
+	if c.cluster.tr.hasAborted() {
 		panic(abortPanic{c.cluster.Err()})
 	}
 }
@@ -287,56 +305,9 @@ const (
 	numCollectiveKinds
 )
 
-// exchange is the rendezvous core, generic over the payload type. Every
-// rank deposits contrib into the mailbox; the last arrival runs combine
-// over the deposited slots (indexed by rank) and the shared result is
-// returned to every rank. combine runs exactly once per generation, under
-// the cluster lock; its wall-clock time — the in-process analogue of the
-// network actually moving and merging bytes — is accumulated per
-// collective kind for the modeled-vs-measured comparison (CommWall).
-//
-// The result may alias cluster-owned buffers: a rank must copy what it
-// needs before entering its next collective. That ordering is safe without
-// extra synchronisation because the next combine of any type cannot run
-// until all n ranks have deposited again, which each rank only does after
-// it is done reading.
-func exchange[T any](c *Comm, kind collectiveKind, mb *mailbox[T], contrib T, combine func(slots []T) T) T {
-	cl := c.cluster
-	cl.mu.Lock()
-	if err := cl.abortErr; err != nil {
-		cl.mu.Unlock()
-		panic(abortPanic{err})
-	}
-	gen := cl.generation
-	mb.slots[c.rank] = contrib
-	cl.arrived++
-	if cl.arrived == cl.n {
-		start := time.Now()
-		mb.result = combine(mb.slots)
-		cl.wallNS[kind] += int64(time.Since(start))
-		cl.wallCount[kind]++
-		cl.arrived = 0
-		cl.generation++
-		cl.cond.Broadcast()
-	} else {
-		for gen == cl.generation {
-			cl.cond.Wait()
-			// An abort broadcast wakes parked ranks without advancing the
-			// generation; unwind instead of re-parking forever.
-			if err := cl.abortErr; err != nil {
-				cl.mu.Unlock()
-				panic(abortPanic{err})
-			}
-		}
-	}
-	res := mb.result
-	cl.mu.Unlock()
-	return res
-}
-
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
-	exchange(c, kindBarrier, &c.cluster.ints, nil, func([][]int) []int { return nil })
+	c.cluster.tr.exchangeInts(c.rank, OpBarrier, 0, c.iter, nil)
 }
 
 // BroadcastInts distributes root's slice to every rank. Every rank receives
@@ -349,11 +320,7 @@ func (c *Comm) BroadcastInts(root int, data []int) []int {
 // is copied into dst (grown only when capacity is insufficient).
 func (c *Comm) BroadcastIntsInto(root int, data []int, dst []int) []int {
 	c.checkRoot(root)
-	src := exchange(c, kindBroadcast, &c.cluster.ints, data, func(slots [][]int) []int {
-		s := slots[root]
-		c.cluster.traffic.BroadcastBytes += intPayloadBytes(s)
-		return s
-	})
+	src := c.cluster.tr.exchangeInts(c.rank, OpBroadcastInts, root, c.iter, data)
 	return append(dst[:0], src...)
 }
 
@@ -365,11 +332,7 @@ func (c *Comm) BroadcastFloats(root int, data []float64) []float64 {
 // BroadcastFloatsInto is the scratch-buffer form of BroadcastFloats.
 func (c *Comm) BroadcastFloatsInto(root int, data []float64, dst []float64) []float64 {
 	c.checkRoot(root)
-	src := exchange(c, kindBroadcast, &c.cluster.floats, data, func(slots [][]float64) []float64 {
-		s := slots[root]
-		c.cluster.traffic.BroadcastBytes += 4 * int64(len(s)) // fp32 on the wire
-		return s
-	})
+	src := c.cluster.tr.exchangeFloats(c.rank, OpBroadcastFloats, root, c.iter, data)
 	return append(dst[:0], src...)
 }
 
@@ -395,22 +358,7 @@ func (c *Comm) BroadcastIntsNested(root int, data [][]int) [][]int {
 		c.nestedFlat = flat
 		contrib = flat
 	}
-	src := exchange(c, kindBroadcast, &c.cluster.ints, contrib, func(slots [][]int) []int {
-		cl := c.cluster
-		s := slots[root]
-		// The flattened header+data ships as uint32s: lengths and fragment
-		// ids are all small.
-		cl.traffic.BroadcastBytes += 4 * int64(len(s))
-		// Copy into the cluster-owned buffer: the root flattens into its
-		// rank-owned scratch BEFORE depositing, so lagging ranks must not
-		// read that scratch after the rendezvous — the root may already be
-		// flattening its next payload into it. The cluster buffer is safe:
-		// no combine of any type can run again until every rank has
-		// finished reading and deposited anew.
-		out := growInts(&cl.intBuf, len(s))
-		copy(out, s)
-		return out
-	})
+	src := c.cluster.tr.exchangeInts(c.rank, OpBroadcastNested, root, c.iter, contrib)
 	nBins := src[0]
 	lens := src[1 : 1+nBins]
 	c.nestedData = append(c.nestedData[:0], src[1+nBins:]...)
@@ -434,22 +382,7 @@ func (c *Comm) AllGatherInts(data []int) []int {
 
 // AllGatherIntsInto is the scratch-buffer form of AllGatherInts.
 func (c *Comm) AllGatherIntsInto(data []int, dst []int) []int {
-	shared := exchange(c, kindAllGather, &c.cluster.ints, data, func(slots [][]int) []int {
-		cl := c.cluster
-		total := 0
-		for _, s := range slots {
-			total += len(s)
-		}
-		out := growInts(&cl.intBuf, total)[:0]
-		for _, s := range slots {
-			out = append(out, s...)
-		}
-		cl.intBuf = out
-		for _, s := range slots {
-			cl.traffic.AllGatherBytes += intPayloadBytes(s)
-		}
-		return out
-	})
+	shared := c.cluster.tr.exchangeInts(c.rank, OpAllGatherInts, 0, c.iter, data)
 	return append(dst[:0], shared...)
 }
 
@@ -469,46 +402,21 @@ func (c *Comm) AllGatherUniqueInts(data []int) []int {
 
 // AllGatherUniqueIntsInto is the scratch-buffer form of AllGatherUniqueInts.
 func (c *Comm) AllGatherUniqueIntsInto(data []int, dst []int) []int {
-	shared := exchange(c, kindAllGather, &c.cluster.ints, data, func(slots [][]int) []int {
-		cl := c.cluster
-		total := 0
-		for _, s := range slots {
-			if !slices.IsSorted(s) {
-				slices.Sort(s)
-			}
-			total += len(s)
-		}
-		// Traffic: every rank ships its own sorted index list, which goes on
-		// the wire as the COO varint delta block.
-		for _, s := range slots {
-			cl.traffic.AllGatherBytes += intPayloadBytes(s)
-		}
-		// n-way merge with dedup. heads[r] is rank r's cursor.
-		heads := cl.heads
-		for r := range heads {
-			heads[r] = 0
-		}
-		out := growInts(&cl.intBuf, total)[:0]
-		for {
-			best, bv := -1, 0
-			for r, s := range slots {
-				if h := heads[r]; h < len(s) {
-					if v := s[h]; best < 0 || v < bv {
-						best, bv = r, v
-					}
-				}
-			}
-			if best < 0 {
-				break
-			}
-			if len(out) == 0 || out[len(out)-1] != bv {
-				out = append(out, bv)
-			}
-			heads[best]++
-		}
-		cl.intBuf = out
-		return out
-	})
+	shared := c.cluster.tr.exchangeInts(c.rank, OpAllGatherUnique, 0, c.iter, data)
+	return append(dst[:0], shared...)
+}
+
+// AllGatherFloats concatenates every rank's float contribution in rank
+// order. It is the trainer's control-plane stats gather — per-rank
+// telemetry that shared memory used to carry — so it charges no traffic
+// counter (see OpAllGatherFloats).
+func (c *Comm) AllGatherFloats(data []float64) []float64 {
+	return c.AllGatherFloatsInto(data, nil)
+}
+
+// AllGatherFloatsInto is the scratch-buffer form of AllGatherFloats.
+func (c *Comm) AllGatherFloatsInto(data []float64, dst []float64) []float64 {
+	shared := c.cluster.tr.exchangeFloats(c.rank, OpAllGatherFloats, 0, c.iter, data)
 	return append(dst[:0], shared...)
 }
 
@@ -520,22 +428,7 @@ func (c *Comm) AllReduceSum(data []float64) []float64 {
 
 // AllReduceSumInto is the scratch-buffer form of AllReduceSum.
 func (c *Comm) AllReduceSumInto(data []float64, dst []float64) []float64 {
-	shared := exchange(c, kindAllReduce, &c.cluster.floats, data, func(slots [][]float64) []float64 {
-		cl := c.cluster
-		sum := growFloats(&cl.floatBuf, len(slots[0]))
-		copy(sum, slots[0])
-		for r, s := range slots[1:] {
-			if len(s) != len(sum) {
-				panic(fmt.Sprintf("comm: AllReduceSum length mismatch: rank %d has %d, rank 0 has %d",
-					r+1, len(s), len(sum)))
-			}
-			for i, x := range s {
-				sum[i] += x
-			}
-		}
-		cl.traffic.AllReduceBytes += 4 * int64(len(sum)) * int64(cl.n)
-		return sum
-	})
+	shared := c.cluster.tr.exchangeFloats(c.rank, OpAllReduceSum, 0, c.iter, data)
 	return append(dst[:0], shared...)
 }
 
@@ -546,49 +439,26 @@ func (c *Comm) AllReduceMax(data []float64) []float64 {
 
 // AllReduceMaxInto is the scratch-buffer form of AllReduceMax.
 func (c *Comm) AllReduceMaxInto(data []float64, dst []float64) []float64 {
-	shared := exchange(c, kindAllReduce, &c.cluster.floats, data, func(slots [][]float64) []float64 {
-		cl := c.cluster
-		m := growFloats(&cl.floatBuf, len(slots[0]))
-		copy(m, slots[0])
-		for _, s := range slots[1:] {
-			if len(s) != len(m) {
-				panic("comm: AllReduceMax length mismatch")
-			}
-			for i, x := range s {
-				if x > m[i] {
-					m[i] = x
-				}
-			}
-		}
-		cl.traffic.AllReduceBytes += 4 * int64(len(m)) * int64(cl.n)
-		return m
-	})
+	shared := c.cluster.tr.exchangeFloats(c.rank, OpAllReduceMax, 0, c.iter, data)
 	return append(dst[:0], shared...)
 }
 
 func (c *Comm) checkRoot(root int) {
 	if root < 0 || root >= c.cluster.n {
-		panic(fmt.Sprintf("comm: root %d out of range [0,%d)", root, c.cluster.n))
+		panicf("comm: root %d out of range [0,%d)", root, c.cluster.n)
 	}
 }
 
-// growInts resizes *buf to length n, reallocating only on capacity growth.
-func growInts(buf *[]int, n int) []int {
-	if cap(*buf) < n {
-		*buf = make([]int, n)
-	}
-	*buf = (*buf)[:n]
-	return *buf
+// panicf panics with a formatted message.
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
 }
 
-// growFloats resizes *buf to length n, reallocating only on capacity growth.
-func growFloats(buf *[]float64, n int) []float64 {
-	if cap(*buf) < n {
-		*buf = make([]float64, n)
-	}
-	*buf = (*buf)[:n]
-	return *buf
-}
+// intsSorted reports whether s is sorted ascending.
+func intsSorted(s []int) bool { return slices.IsSorted(s) }
+
+// sortInts sorts s ascending in place.
+func sortInts(s []int) { slices.Sort(s) }
 
 // TrafficCounter accumulates the encoded wire bytes moved by collectives —
 // not element counts. Sorted index lists are charged at their COO varint
@@ -598,6 +468,10 @@ func growFloats(buf *[]float64, n int) []float64 {
 // rank's encoded contribution, all-reduces charge the fp32 vector times the
 // rank count, and broadcasts charge the root's payload once — the topology
 // cost models, not the counters, decide how many links a payload crosses.
+//
+// The counters model a deployment, so they are byte-identical across
+// transports; Cluster.SocketBytes reports what this implementation itself
+// moved over real sockets.
 type TrafficCounter struct {
 	AllGatherBytes int64 `json:"allgather_bytes"`
 	AllReduceBytes int64 `json:"allreduce_bytes"`
@@ -631,9 +505,12 @@ func (w *CollectiveWall) add(o CollectiveWall) {
 }
 
 // CommWall is the measured counterpart of the modeled WireCommTime: the
-// wall clock actually spent combining payloads per collective family.
-// In this in-process substrate the combine (merge, sum, copy under the
-// cluster lock) is the data movement; comparing it against the α–β and
+// wall clock actually spent moving and combining payloads per collective
+// family. In-process the combine (merge, sum, copy under the transport
+// lock) is the data movement; over TCP the window additionally covers real
+// network time — the leader's hub opens it at a generation's first deposit
+// (so waiting for remote deposits counts), and a follower measures the
+// full deposit→result round-trip. Comparing it against the α–β and
 // topology models is what turns those models from predictions into
 // testable claims.
 type CommWall struct {
@@ -657,28 +534,11 @@ func (w *CommWall) Add(o CommWall) {
 	w.AllReduce.add(o.AllReduce)
 }
 
-// CommWall returns a snapshot of the measured combine wall clock.
-func (c *Cluster) CommWall() CommWall {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	at := func(k collectiveKind) CollectiveWall {
-		return CollectiveWall{Count: c.wallCount[k], Seconds: float64(c.wallNS[k]) / 1e9}
-	}
-	return CommWall{
-		Barrier:   at(kindBarrier),
-		Broadcast: at(kindBroadcast),
-		AllGather: at(kindAllGather),
-		AllReduce: at(kindAllReduce),
-	}
-}
+// CommWall returns a snapshot of the measured collective wall clock.
+func (c *Cluster) CommWall() CommWall { return c.tr.commWall() }
 
 // ResetCommWall zeroes the measured wall accumulators.
-func (c *Cluster) ResetCommWall() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.wallNS = [numCollectiveKinds]int64{}
-	c.wallCount = [numCollectiveKinds]int64{}
-}
+func (c *Cluster) ResetCommWall() { c.tr.resetCommWall() }
 
 // intPayloadBytes returns the wire footprint of an int payload: the COO
 // varint delta block for a strictly increasing index list (the common case

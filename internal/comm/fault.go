@@ -220,13 +220,29 @@ const (
 // numbering of the cluster the fault fired on (the trainer maps it back to
 // the original rank across recoveries); Iteration is where it fired — the
 // iteration whose update was NOT applied, i.e. where a recovery resumes.
+//
+// A peer process lost over TCP takes all of its ranks with it at once:
+// Ranks then lists the whole dead range (and Rank is its first element).
+// Injected faults leave Ranks nil.
 type FaultError struct {
 	Kind      string `json:"kind"` // FaultDrop | FaultTransient
 	Rank      int    `json:"rank"`
+	Ranks     []int  `json:"ranks,omitempty"`
 	Iteration int    `json:"iteration"`
 }
 
+// AllRanks returns every rank the fault took: Ranks when set, else [Rank].
+func (e *FaultError) AllRanks() []int {
+	if len(e.Ranks) > 0 {
+		return e.Ranks
+	}
+	return []int{e.Rank}
+}
+
 func (e *FaultError) Error() string {
+	if len(e.Ranks) > 1 {
+		return fmt.Sprintf("comm: %s fault: ranks %v at iteration %d", e.Kind, e.Ranks, e.Iteration)
+	}
 	return fmt.Sprintf("comm: injected %s fault: rank %d at iteration %d", e.Kind, e.Rank, e.Iteration)
 }
 
@@ -253,8 +269,16 @@ func (c *Cluster) FaultPlan() *FaultPlan { return c.faults }
 // compute, exactly like a worker dying between steps — and the abort
 // broadcast unwinds every other rank out of whatever collective it is
 // parked in mid-rendezvous. The healthy path costs one nil check plus one
-// atomic load.
+// atomic load. It also advances the rank's iteration tag (disconnect
+// attribution) and fires an armed HardKill.
 func (c *Comm) StartIteration(t int) {
+	c.iter = t
+	if k := c.cluster.killAt; k >= 0 && t >= k {
+		// Simulated process death: sever connections with no handshake and
+		// unwind. All local ranks reach this; hardKill is idempotent.
+		c.cluster.tr.hardKill()
+		panic(abortPanic{errHardKilled})
+	}
 	if p := c.cluster.faults; p != nil {
 		for _, d := range p.Drops {
 			if d.Rank == c.rank && t >= d.Iteration {

@@ -1,0 +1,367 @@
+// Length-prefixed framing and the collective payload codecs of the TCP
+// transport.
+//
+// Every message on a cluster connection is one frame:
+//
+//	[4-byte little-endian length] [1-byte type] [payload]
+//
+// where length counts the type byte plus the payload. Frame types below
+// FrameUserBase belong to this package's collective protocol; higher
+// layers multiplexing control traffic over the same connection (the serve
+// cluster handshake) use types at FrameUserBase and above.
+//
+// Collective payloads reuse the internal/wire codecs: a sorted index list
+// — the dominant int payload, a sparsifier's selection — ships as the same
+// COO varint delta block the modeled TrafficCounter charges for, so the
+// bytes on this socket are the bytes the model predicts (plus framing).
+// Floats ship as raw little-endian float64 bits: the simulator's numerics
+// must be byte-identical across transports, so no fp32 rounding happens on
+// the real wire even though the traffic model charges fp32.
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Frame types of the collective protocol.
+const (
+	// frameDeposit carries one rank's contribution to a collective:
+	// [1B op][4B rank][4B root][4B iteration][payload].
+	frameDeposit byte = 0x01
+	// frameResult returns a collective's combined result: [1B op][payload].
+	frameResult byte = 0x02
+	// frameAbort propagates an abort: JSON {fault|error}.
+	frameAbort byte = 0x03
+	// frameFinish announces that every local rank returned cleanly.
+	frameFinish byte = 0x04
+
+	// FrameUserBase is the first frame type available to layers
+	// multiplexing their own control traffic over a cluster connection.
+	FrameUserBase byte = 0x10
+)
+
+// IsCommFrame reports whether a frame type belongs to the collective
+// protocol (as opposed to a higher layer's control traffic).
+func IsCommFrame(typ byte) bool { return typ < FrameUserBase }
+
+// maxFramePayload bounds what Recv will buffer for one frame. Frames are
+// untrusted input: a corrupt or hostile length prefix must not force a
+// multi-gigabyte allocation. 256 MiB is far beyond any collective here.
+const maxFramePayload = 1 << 28
+
+// Link is a reliable, ordered frame pipe between two cluster processes.
+// Send is safe for concurrent use; Recv is single-consumer. The payload
+// returned by Recv is only valid until the next Recv call (implementations
+// reuse the buffer); consumers that retain it must copy.
+type Link interface {
+	Send(typ byte, payload []byte) error
+	Recv() (typ byte, payload []byte, err error)
+	Close() error
+}
+
+// FrameConn implements Link over any stream connection (net.Conn,
+// net.Pipe) using the framing above.
+type FrameConn struct {
+	sendMu sync.Mutex
+	w      *bufio.Writer
+	rw     io.ReadWriteCloser
+
+	r       *bufio.Reader
+	readBuf []byte
+	head    [5]byte
+}
+
+// NewFrameConn wraps a stream connection in the frame protocol.
+func NewFrameConn(rw io.ReadWriteCloser) *FrameConn {
+	return &FrameConn{
+		rw: rw,
+		w:  bufio.NewWriter(rw),
+		r:  bufio.NewReader(rw),
+	}
+}
+
+// Send writes one frame and flushes it.
+func (c *FrameConn) Send(typ byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("comm: frame payload %d exceeds %d bytes", len(payload), maxFramePayload)
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	var head [5]byte
+	binary.LittleEndian.PutUint32(head[:4], uint32(1+len(payload)))
+	head[4] = typ
+	if _, err := c.w.Write(head[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one frame. The returned payload aliases an internal buffer
+// reused by the next Recv.
+func (c *FrameConn) Recv() (byte, []byte, error) {
+	if _, err := io.ReadFull(c.r, c.head[:]); err != nil {
+		return 0, nil, err
+	}
+	total := binary.LittleEndian.Uint32(c.head[:4])
+	if total < 1 || total > maxFramePayload+1 {
+		return 0, nil, fmt.Errorf("comm: bad frame length %d", total)
+	}
+	typ := c.head[4]
+	n := int(total) - 1
+	if cap(c.readBuf) < n {
+		c.readBuf = make([]byte, n)
+	}
+	buf := c.readBuf[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return 0, nil, err
+	}
+	return typ, buf, nil
+}
+
+// Close closes the underlying connection. In-flight Recv calls fail.
+func (c *FrameConn) Close() error { return c.rw.Close() }
+
+// Int payload modes: the 1-byte discriminator ahead of an int body.
+const (
+	intModeNil     byte = 0 // nil slice (barrier, non-root broadcast arm)
+	intModeSorted  byte = 1 // strictly increasing non-negative: COO delta block
+	intModeGeneric byte = 2 // anything else: zigzag varints
+)
+
+// appendIntBody appends the int payload encoding to dst: sorted index
+// lists (the hot case — selections) ship as the wire COO delta block, so
+// socket bytes track the modeled traffic; anything else falls back to
+// zigzag varints.
+func appendIntBody(dst []byte, data []int) []byte {
+	if data == nil {
+		return append(dst, intModeNil)
+	}
+	base := len(dst)
+	dst = append(dst, intModeSorted)
+	dst = binary.AppendUvarint(dst, uint64(len(data)))
+	if out, err := wire.AppendIndexBlock(dst, data); err == nil {
+		return out
+	}
+	dst = append(dst[:base], intModeGeneric)
+	dst = binary.AppendUvarint(dst, uint64(len(data)))
+	for _, v := range data {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+// decodeIntBody decodes an int payload into dst (reusing capacity). The
+// input is untrusted: counts are bounded by what the buffer can hold
+// before any allocation, and every varint is checked.
+func decodeIntBody(buf []byte, dst []int) ([]int, error) {
+	if len(buf) < 1 {
+		return nil, errors.New("comm: empty int payload")
+	}
+	mode, rest := buf[0], buf[1:]
+	switch mode {
+	case intModeNil:
+		if len(rest) != 0 {
+			return nil, errors.New("comm: nil int payload has a body")
+		}
+		return nil, nil
+	case intModeSorted:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 || count > uint64(len(rest)) {
+			return nil, errors.New("comm: bad int payload count")
+		}
+		rest = rest[n:]
+		out, used, err := wire.DecodeIndexBlock(rest, int(count), dst)
+		if err != nil {
+			return nil, err
+		}
+		if used != len(rest) {
+			return nil, errors.New("comm: trailing bytes after index block")
+		}
+		return out, nil
+	case intModeGeneric:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 || count > uint64(len(rest)) {
+			return nil, errors.New("comm: bad int payload count")
+		}
+		rest = rest[n:]
+		out := dst[:0]
+		if cap(out) < int(count) {
+			out = make([]int, 0, count)
+		}
+		for i := uint64(0); i < count; i++ {
+			v, n := binary.Varint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("comm: int payload truncated at entry %d", i)
+			}
+			rest = rest[n:]
+			out = append(out, int(v))
+		}
+		if len(rest) != 0 {
+			return nil, errors.New("comm: trailing bytes after int payload")
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("comm: unknown int payload mode %d", mode)
+}
+
+// appendFloatBody appends the float payload: uvarint count then raw
+// little-endian float64 bits per element (bit-exact across processes).
+func appendFloatBody(dst []byte, data []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(data)))
+	for _, v := range data {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// decodeFloatBody decodes a float payload into dst (reusing capacity).
+func decodeFloatBody(buf []byte, dst []float64) ([]float64, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 || count > uint64(len(buf))/8 {
+		return nil, errors.New("comm: bad float payload count")
+	}
+	rest := buf[n:]
+	if uint64(len(rest)) != 8*count {
+		return nil, fmt.Errorf("comm: float payload is %d bytes, want %d", len(rest), 8*count)
+	}
+	out := dst[:0]
+	if cap(out) < int(count) {
+		out = make([]float64, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:])))
+	}
+	return out, nil
+}
+
+// depositHeaderLen is the fixed prefix of a deposit payload.
+const depositHeaderLen = 1 + 4 + 4 + 4
+
+// appendDeposit encodes a deposit frame payload.
+func appendDeposit(dst []byte, rank int, op Op, root, iter int, ints []int, floats []float64) []byte {
+	dst = append(dst, byte(op))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(rank))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(root))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(iter))
+	if op.isFloat() {
+		return appendFloatBody(dst, floats)
+	}
+	return appendIntBody(dst, ints)
+}
+
+// deposit is one decoded deposit frame.
+type deposit struct {
+	op         Op
+	rank, root int
+	iter       int
+	ints       []int
+	floats     []float64
+}
+
+// decodeDeposit decodes an untrusted deposit payload into fresh slices.
+func decodeDeposit(buf []byte) (deposit, error) {
+	var d deposit
+	if len(buf) < depositHeaderLen {
+		return d, errors.New("comm: short deposit frame")
+	}
+	d.op = Op(buf[0])
+	if d.op >= numOps {
+		return d, fmt.Errorf("comm: unknown op %d", buf[0])
+	}
+	d.rank = int(binary.LittleEndian.Uint32(buf[1:]))
+	d.root = int(binary.LittleEndian.Uint32(buf[5:]))
+	d.iter = int(int32(binary.LittleEndian.Uint32(buf[9:])))
+	body := buf[depositHeaderLen:]
+	var err error
+	if d.op.isFloat() {
+		d.floats, err = decodeFloatBody(body, nil)
+	} else {
+		d.ints, err = decodeIntBody(body, nil)
+	}
+	return d, err
+}
+
+// appendResult encodes a result frame payload.
+func appendResult(dst []byte, op Op, ints []int, floats []float64) []byte {
+	dst = append(dst, byte(op))
+	if op.isFloat() {
+		return appendFloatBody(dst, floats)
+	}
+	return appendIntBody(dst, ints)
+}
+
+// decodeResult decodes an untrusted result payload, reusing the given
+// buffers.
+func decodeResult(buf []byte, ints []int, floats []float64) (Op, []int, []float64, error) {
+	if len(buf) < 1 {
+		return 0, ints, floats, errors.New("comm: empty result frame")
+	}
+	op := Op(buf[0])
+	if op >= numOps {
+		return 0, ints, floats, fmt.Errorf("comm: unknown op %d", buf[0])
+	}
+	var err error
+	if op.isFloat() {
+		floats, err = decodeFloatBody(buf[1:], floats)
+	} else {
+		ints, err = decodeIntBody(buf[1:], ints)
+	}
+	return op, ints, floats, err
+}
+
+// abortWire is the JSON body of an abort frame: a structured fault when
+// the abort is one (so drop-recovery machinery fires on the far side),
+// else the plain message.
+type abortWire struct {
+	Fault *FaultError `json:"fault,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// RemoteAbortError wraps a peer's non-fault abort reason.
+type RemoteAbortError struct{ Msg string }
+
+func (e *RemoteAbortError) Error() string { return "comm: remote abort: " + e.Msg }
+
+// encodeAbort renders an abort reason for the wire.
+func encodeAbort(err error) []byte {
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		b, _ := json.Marshal(abortWire{Fault: fe})
+		return b
+	}
+	b, _ := json.Marshal(abortWire{Error: err.Error()})
+	return b
+}
+
+// AbortLink writes a collective-protocol abort frame carrying err over a
+// raw link, waking a peer transport parked in a collective. Higher layers
+// multiplexing control traffic over a cluster connection use it to unwind
+// the far side when a segment is abandoned outside the transport's own
+// machinery (e.g. the serve leader tearing down a half-started job).
+func AbortLink(l Link, err error) error {
+	return l.Send(frameAbort, encodeAbort(err))
+}
+
+// decodeAbort parses a peer's abort reason.
+func decodeAbort(buf []byte) error {
+	var aw abortWire
+	if err := json.Unmarshal(buf, &aw); err != nil {
+		return &RemoteAbortError{Msg: "unparseable abort frame"}
+	}
+	if aw.Fault != nil {
+		return aw.Fault
+	}
+	return &RemoteAbortError{Msg: aw.Error}
+}

@@ -1,0 +1,543 @@
+// The Transport interface and the in-process rendezvous implementation.
+//
+// A Cluster is a façade over a Transport: the rendezvous engine that moves
+// one collective's payloads between ranks. Two implementations exist — the
+// in-process generation-counted mailbox this package has always been (every
+// rank is a goroutine in this process; the combine runs under one lock),
+// and the TCP transports of transport_tcp.go, where a leader process hosts
+// the rendezvous for all ranks and follower processes ship their deposits
+// over length-prefixed frames (see frame.go). The Comm collective API is
+// identical over both; the in-process hot path is unchanged (one interface
+// dispatch per collective, no new allocations).
+package comm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op identifies one collective operation on the wire and in the combine
+// dispatch. Int and float collectives never mix payloads: each Op is
+// either an int op or a float op (see isFloat).
+type Op uint8
+
+const (
+	// OpBarrier is the empty rendezvous: no payload, nil result.
+	OpBarrier Op = iota
+	// OpBroadcastInts distributes the root's int slice.
+	OpBroadcastInts
+	// OpBroadcastNested distributes the root's flattened nested int slice
+	// (BroadcastIntsNested's [count, len_0…len_{k−1}, data…] form).
+	OpBroadcastNested
+	// OpAllGatherInts concatenates every rank's ints in rank order.
+	OpAllGatherInts
+	// OpAllGatherUnique merges every rank's sorted index list into the
+	// deduplicated sorted union.
+	OpAllGatherUnique
+	// OpBroadcastFloats distributes the root's float slice.
+	OpBroadcastFloats
+	// OpAllGatherFloats concatenates every rank's floats in rank order.
+	// It carries control-plane telemetry (the distributed trainer's
+	// per-rank stats), so it is charged to no traffic counter.
+	OpAllGatherFloats
+	// OpAllReduceSum element-wise sums equal-length float vectors.
+	OpAllReduceSum
+	// OpAllReduceMax element-wise maximizes equal-length float vectors.
+	OpAllReduceMax
+	numOps
+)
+
+// isFloat reports whether the op's payload is a float64 slice.
+func (op Op) isFloat() bool {
+	switch op {
+	case OpBroadcastFloats, OpAllGatherFloats, OpAllReduceSum, OpAllReduceMax:
+		return true
+	}
+	return false
+}
+
+// kind maps the op to its measured-wall accumulator family.
+func (op Op) kind() collectiveKind {
+	switch op {
+	case OpBarrier:
+		return kindBarrier
+	case OpBroadcastInts, OpBroadcastNested, OpBroadcastFloats:
+		return kindBroadcast
+	case OpAllGatherInts, OpAllGatherUnique, OpAllGatherFloats:
+		return kindAllGather
+	default:
+		return kindAllReduce
+	}
+}
+
+// Transport is the rendezvous engine behind a Cluster: it moves one
+// collective's deposits between the n ranks and hands every rank the
+// combined result. Implementations live in this package only (the methods
+// are unexported); external callers always go through Cluster and Comm.
+//
+// The returned slices may alias transport-owned buffers: a rank must copy
+// what it needs before entering its next collective (Comm's Into variants
+// do). iter is the calling rank's current training iteration, used to
+// attribute a mid-run peer loss to the iteration a recovery must resume at.
+type Transport interface {
+	// localRanks returns the half-open rank range [lo, hi) hosted by this
+	// process. The in-process transport hosts all of [0, n).
+	localRanks() (lo, hi int)
+	// exchangeInts runs one int-payload collective for local rank rank.
+	exchangeInts(rank int, op Op, root, iter int, data []int) []int
+	// exchangeFloats runs one float-payload collective for local rank rank.
+	exchangeFloats(rank int, op Op, root, iter int, data []float64) []float64
+	// abort poisons the rendezvous; parked ranks wake and unwind.
+	abort(err error)
+	// err returns the abort reason (with suppressed causes), nil if healthy.
+	err() error
+	// hasAborted is the lock-free abort poll behind Comm.CheckAbort.
+	hasAborted() bool
+
+	traffic() TrafficCounter
+	resetTraffic()
+	commWall() CommWall
+	resetCommWall()
+	// socketBytes returns real bytes moved over sockets (0, 0 in-process).
+	socketBytes() (tx, rx int64)
+
+	// setBaseIteration seeds the resume-point tracker for a segment that
+	// starts at iteration t (a peer lost before any collective completes
+	// resumes at t).
+	setBaseIteration(t int)
+	// start is called by RunContext before rank goroutines spawn (the TCP
+	// transports start their frame pumps here).
+	start()
+	// finish is called after every local rank returned (the follower
+	// transport announces completion to the leader here).
+	finish()
+	// hardKill simulates abrupt process death for tests: connections close
+	// with no abort handshake, and local ranks unwind.
+	hardKill()
+	// close releases transport resources (connections). Idempotent.
+	close() error
+}
+
+// mailbox is the typed slot array of the in-process rendezvous: one deposit
+// slot per rank plus the combined result of the current generation. One
+// mailbox per payload type removes any-boxing; since the collectives are
+// SPMD (every rank calls the same operation in the same order), only one
+// mailbox is active per generation and they share one arrival counter.
+type mailbox[T any] struct {
+	slots  []T
+	result T
+}
+
+// inprocTransport is the in-process rendezvous: every rank deposits its
+// contribution, the last arrival computes the combined result under the
+// lock, and all ranks pick it up. This is the original Cluster engine,
+// unchanged; it also serves as the hub of the leader-side TCP transport,
+// where remote ranks are driven by proxy goroutines fed from frames.
+type inprocTransport struct {
+	n    int
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	arrived    int
+	generation uint64
+
+	ints   mailbox[[]int]
+	floats mailbox[[]float64]
+
+	// Reusable combine buffers (guarded by mu; written only by the last
+	// arrival of a generation, read by all ranks before the next combine of
+	// the same type can start).
+	intBuf   []int
+	floatBuf []float64
+	heads    []int // k-way merge cursors for OpAllGatherUnique
+
+	// Abort state: once set, every rank entering (or parked inside) a
+	// collective unwinds with an abortPanic instead of blocking. aborted
+	// mirrors abortErr != nil for lock-free polling; down is closed on the
+	// first abort so non-rendezvous waiters (the TCP pumps) unblock too.
+	abortErr   error
+	suppressed []error
+	aborted    atomic.Bool
+	down       chan struct{}
+
+	tc TrafficCounter
+
+	// Measured wall clock per collective kind (guarded by mu). By default
+	// only the combine is timed — in-process, the combine IS the data
+	// movement. The leader TCP transport sets measureRendezvous: the
+	// window then opens at the generation's first deposit, so waiting for
+	// remote deposits (real network time) is included.
+	measureRendezvous bool
+	genStart          time.Time
+	wallNS            [numCollectiveKinds]int64
+	wallCount         [numCollectiveKinds]int64
+
+	// lastIter is the iteration tag of the most recently completed
+	// combine; a peer lost at an iteration boundary resumes at lastIter+1.
+	lastIter int
+}
+
+func newInproc(n int) *inprocTransport {
+	p := &inprocTransport{
+		n:        n,
+		heads:    make([]int, n),
+		down:     make(chan struct{}),
+		lastIter: -1,
+	}
+	p.ints.slots = make([][]int, n)
+	p.floats.slots = make([][]float64, n)
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *inprocTransport) localRanks() (int, int) { return 0, p.n }
+
+// exchangeInts is the int-payload rendezvous. Every rank deposits data
+// into the mailbox; the last arrival runs the op's combine over the
+// deposited slots (indexed by rank) and the shared result is returned to
+// every rank. The combine runs exactly once per generation, under the
+// lock; its wall-clock time is accumulated per collective kind (CommWall).
+func (p *inprocTransport) exchangeInts(rank int, op Op, root, iter int, data []int) []int {
+	p.mu.Lock()
+	if err := p.abortErr; err != nil {
+		p.mu.Unlock()
+		panic(abortPanic{err})
+	}
+	gen := p.generation
+	p.ints.slots[rank] = data
+	if p.deposit(iter) {
+		start := time.Now()
+		p.ints.result = p.combineInts(op, root)
+		p.noteWall(op, start)
+		p.cond.Broadcast()
+	} else {
+		p.waitGeneration(gen)
+	}
+	res := p.ints.result
+	p.mu.Unlock()
+	return res
+}
+
+// exchangeFloats is the float-payload rendezvous; see exchangeInts.
+func (p *inprocTransport) exchangeFloats(rank int, op Op, root, iter int, data []float64) []float64 {
+	p.mu.Lock()
+	if err := p.abortErr; err != nil {
+		p.mu.Unlock()
+		panic(abortPanic{err})
+	}
+	gen := p.generation
+	p.floats.slots[rank] = data
+	if p.deposit(iter) {
+		start := time.Now()
+		p.floats.result = p.combineFloats(op, root)
+		p.noteWall(op, start)
+		p.cond.Broadcast()
+	} else {
+		p.waitGeneration(gen)
+	}
+	res := p.floats.result
+	p.mu.Unlock()
+	return res
+}
+
+// deposit counts one arrival and reports whether this rank is the last of
+// the generation (the one that runs the combine). Callers hold mu.
+func (p *inprocTransport) deposit(iter int) bool {
+	if p.arrived == 0 && p.measureRendezvous {
+		p.genStart = time.Now()
+	}
+	p.arrived++
+	if p.arrived < p.n {
+		return false
+	}
+	p.arrived = 0
+	p.generation++
+	p.lastIter = iter
+	return true
+}
+
+// noteWall accumulates the completed collective's measured wall. Callers
+// hold mu; start is when the combine began.
+func (p *inprocTransport) noteWall(op Op, start time.Time) {
+	k := op.kind()
+	if p.measureRendezvous {
+		start = p.genStart
+	}
+	p.wallNS[k] += int64(time.Since(start))
+	p.wallCount[k]++
+}
+
+// waitGeneration parks the rank until the generation advances past gen,
+// unwinding if an abort broadcast wakes it instead. Callers hold mu; the
+// lock is released while parked and re-held on return (or dropped on the
+// abort unwind).
+func (p *inprocTransport) waitGeneration(gen uint64) {
+	for gen == p.generation {
+		p.cond.Wait()
+		if err := p.abortErr; err != nil {
+			p.mu.Unlock()
+			panic(abortPanic{err})
+		}
+	}
+}
+
+// combineInts runs the int op's combine over the deposited slots. Callers
+// hold mu. Traffic accounting happens here, exactly where the payloads
+// merge, so the modeled byte counters are identical no matter which
+// transport fed the slots.
+func (p *inprocTransport) combineInts(op Op, root int) []int {
+	slots := p.ints.slots
+	switch op {
+	case OpBarrier:
+		return nil
+	case OpBroadcastInts:
+		s := slots[root]
+		p.tc.BroadcastBytes += intPayloadBytes(s)
+		return s
+	case OpBroadcastNested:
+		s := slots[root]
+		// The flattened header+data ships as uint32s: lengths and fragment
+		// ids are all small.
+		p.tc.BroadcastBytes += 4 * int64(len(s))
+		// Copy into the transport-owned buffer: the root flattens into its
+		// rank-owned scratch BEFORE depositing, so lagging ranks must not
+		// read that scratch after the rendezvous — the root may already be
+		// flattening its next payload into it. The shared buffer is safe:
+		// no combine of any type can run again until every rank has
+		// finished reading and deposited anew.
+		out := growInts(&p.intBuf, len(s))
+		copy(out, s)
+		return out
+	case OpAllGatherInts:
+		total := 0
+		for _, s := range slots {
+			total += len(s)
+		}
+		out := growInts(&p.intBuf, total)[:0]
+		for _, s := range slots {
+			out = append(out, s...)
+		}
+		p.intBuf = out
+		for _, s := range slots {
+			p.tc.AllGatherBytes += intPayloadBytes(s)
+		}
+		return out
+	case OpAllGatherUnique:
+		return p.combineUnique()
+	}
+	panic("comm: unknown int op")
+}
+
+// combineUnique merges every rank's sorted index list into the sorted
+// union without duplicates — the collective on line 7 of Algorithm 1; the
+// resulting length, relative to the per-rank k, is exactly the gradient
+// build-up the paper measures. Contributions should be sorted ascending;
+// an unsorted contribution is sorted in place (the deposit slices are
+// mutated). The union is an n-way merge over the sorted per-rank lists —
+// O(total·n) with no hashing and no allocation in steady state.
+func (p *inprocTransport) combineUnique() []int {
+	slots := p.ints.slots
+	total := 0
+	for _, s := range slots {
+		if !intsSorted(s) {
+			sortInts(s)
+		}
+		total += len(s)
+	}
+	// Traffic: every rank ships its own sorted index list, which goes on
+	// the wire as the COO varint delta block.
+	for _, s := range slots {
+		p.tc.AllGatherBytes += intPayloadBytes(s)
+	}
+	// n-way merge with dedup. heads[r] is rank r's cursor.
+	heads := p.heads
+	for r := range heads {
+		heads[r] = 0
+	}
+	out := growInts(&p.intBuf, total)[:0]
+	for {
+		best, bv := -1, 0
+		for r, s := range slots {
+			if h := heads[r]; h < len(s) {
+				if v := s[h]; best < 0 || v < bv {
+					best, bv = r, v
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if len(out) == 0 || out[len(out)-1] != bv {
+			out = append(out, bv)
+		}
+		heads[best]++
+	}
+	p.intBuf = out
+	return out
+}
+
+// combineFloats runs the float op's combine over the deposited slots.
+// Callers hold mu.
+func (p *inprocTransport) combineFloats(op Op, root int) []float64 {
+	slots := p.floats.slots
+	switch op {
+	case OpBroadcastFloats:
+		s := slots[root]
+		p.tc.BroadcastBytes += 4 * int64(len(s)) // fp32 on the wire
+		return s
+	case OpAllGatherFloats:
+		// Control-plane stats gather (distributed trainer bookkeeping):
+		// deliberately charged to no traffic counter, so a TCP run's
+		// modeled Traffic matches the in-process run it must reproduce.
+		total := 0
+		for _, s := range slots {
+			total += len(s)
+		}
+		out := growFloats(&p.floatBuf, total)[:0]
+		for _, s := range slots {
+			out = append(out, s...)
+		}
+		p.floatBuf = out
+		return out
+	case OpAllReduceSum:
+		sum := growFloats(&p.floatBuf, len(slots[0]))
+		copy(sum, slots[0])
+		for r, s := range slots[1:] {
+			if len(s) != len(sum) {
+				panicf("comm: AllReduceSum length mismatch: rank %d has %d, rank 0 has %d",
+					r+1, len(s), len(sum))
+			}
+			for i, x := range s {
+				sum[i] += x
+			}
+		}
+		p.tc.AllReduceBytes += 4 * int64(len(sum)) * int64(p.n)
+		return sum
+	case OpAllReduceMax:
+		m := growFloats(&p.floatBuf, len(slots[0]))
+		copy(m, slots[0])
+		for _, s := range slots[1:] {
+			if len(s) != len(m) {
+				panic("comm: AllReduceMax length mismatch")
+			}
+			for i, x := range s {
+				if x > m[i] {
+					m[i] = x
+				}
+			}
+		}
+		p.tc.AllReduceBytes += 4 * int64(len(m)) * int64(p.n)
+		return m
+	}
+	panic("comm: unknown float op")
+}
+
+// abort poisons the rendezvous. The first call wins deterministically (the
+// lock serialises callers); later distinct errors are kept as suppressed
+// causes so a drop+timeout race reports both.
+func (p *inprocTransport) abort(err error) { p.abortFirst(err) }
+
+// abortFirst is abort reporting whether this call installed the winner
+// (the TCP transports fan the winning abort out to their peers).
+func (p *inprocTransport) abortFirst(err error) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case p.abortErr == nil:
+		p.abortErr = err
+		p.aborted.Store(true)
+		close(p.down)
+		p.cond.Broadcast()
+		return true
+	case err != p.abortErr && !containsErr(p.suppressed, err) && len(p.suppressed) < maxSuppressedAborts:
+		p.suppressed = append(p.suppressed, err)
+	}
+	return false
+}
+
+func (p *inprocTransport) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return abortCause(p.abortErr, p.suppressed)
+}
+
+func (p *inprocTransport) hasAborted() bool { return p.aborted.Load() }
+
+func (p *inprocTransport) traffic() TrafficCounter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tc
+}
+
+func (p *inprocTransport) resetTraffic() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tc = TrafficCounter{}
+}
+
+func (p *inprocTransport) commWall() CommWall {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	at := func(k collectiveKind) CollectiveWall {
+		return CollectiveWall{Count: p.wallCount[k], Seconds: float64(p.wallNS[k]) / 1e9}
+	}
+	return CommWall{
+		Barrier:   at(kindBarrier),
+		Broadcast: at(kindBroadcast),
+		AllGather: at(kindAllGather),
+		AllReduce: at(kindAllReduce),
+	}
+}
+
+func (p *inprocTransport) resetCommWall() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wallNS = [numCollectiveKinds]int64{}
+	p.wallCount = [numCollectiveKinds]int64{}
+}
+
+func (p *inprocTransport) socketBytes() (int64, int64) { return 0, 0 }
+
+func (p *inprocTransport) setBaseIteration(t int) {
+	p.mu.Lock()
+	p.lastIter = t - 1
+	p.mu.Unlock()
+}
+
+// resumeIteration is the iteration a recovery resumes at if a peer is lost
+// now: one past the last completed collective's tag. Exact when the loss
+// lands at an iteration boundary (an injected drop and a process kill at
+// StartIteration both do); a loss mid-iteration may attribute one early.
+func (p *inprocTransport) resumeIteration() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastIter + 1
+}
+
+func (p *inprocTransport) start()  {}
+func (p *inprocTransport) finish() {}
+
+// hardKill on the in-process transport is a plain abort: there is no
+// connection to sever, so the unwind is the whole simulation of death.
+func (p *inprocTransport) hardKill() { p.abort(errHardKilled) }
+
+func (p *inprocTransport) close() error { return nil }
+
+// growInts resizes *buf to length n, reallocating only on capacity growth.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growFloats resizes *buf to length n, reallocating only on capacity growth.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

@@ -1,0 +1,553 @@
+// Hub-and-spoke TCP transports: a leader process hosts the rendezvous for
+// the whole cluster, follower processes ship their local ranks' deposits
+// over frames (frame.go) and receive each collective's combined result.
+//
+// The leader wraps the in-process rendezvous: every remote rank is driven
+// by a proxy goroutine that replays decoded deposits into the hub exactly
+// as a local rank goroutine would. Combines therefore run once, in rank
+// order, on the leader — which is what makes a distributed run's numerics
+// byte-identical to the in-process run the golden fixtures record.
+//
+// A follower's deposit is one frame per local rank; the result comes back
+// once per peer (its lowest rank's proxy sends it) and wakes all local
+// ranks through a generation counter, mirroring the in-process rendezvous
+// one level up.
+//
+// Failure routing: a peer connection dying while the cluster is healthy is
+// a drop — the leader aborts with a *FaultError covering the peer's whole
+// rank range, attributed to one past the last completed collective's
+// iteration tag, so the trainer's checkpoint → rebuild → resume recovery
+// handles a killed process exactly like an injected fault. The leader
+// itself is the single point of failure by design (it hosts the
+// rendezvous): followers that lose it abort with a plain error.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RemotePeer declares one follower process joining a leader cluster: the
+// frame link to it and the contiguous rank range [Lo, Hi) it hosts.
+type RemotePeer struct {
+	Link   Link
+	Lo, Hi int
+}
+
+// NewLeaderCluster creates the hub of a multi-process cluster of n total
+// ranks: this process hosts ranks [0, local) — rank 0, which owns
+// evaluation and checkpointing, is always local — and each peer hosts its
+// declared contiguous range. Peer ranges must tile [local, n) in order.
+func NewLeaderCluster(n, local int, peers []RemotePeer) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("comm: cluster size %d must be positive", n)
+	}
+	if local < 1 || local > n {
+		return nil, fmt.Errorf("comm: leader rank count %d out of [1,%d]", local, n)
+	}
+	next := local
+	for i, p := range peers {
+		if p.Link == nil {
+			return nil, fmt.Errorf("comm: peer %d has no link", i)
+		}
+		if p.Lo != next || p.Hi <= p.Lo {
+			return nil, fmt.Errorf("comm: peer %d rank range [%d,%d) does not tile at %d", i, p.Lo, p.Hi, next)
+		}
+		next = p.Hi
+	}
+	if next != n {
+		return nil, fmt.Errorf("comm: peer ranges end at %d, want %d", next, n)
+	}
+	hub := newInproc(n)
+	// Open the per-collective wall window at the first deposit, so waiting
+	// for remote deposits — real network time — is measured.
+	hub.measureRendezvous = true
+	lt := &leaderTransport{inprocTransport: hub, nLocal: local}
+	for _, p := range peers {
+		lt.peers = append(lt.peers, &peerState{link: p.Link, lo: p.Lo, hi: p.Hi})
+	}
+	return &Cluster{n: n, tr: lt, killAt: -1}, nil
+}
+
+// NewFollowerCluster joins a multi-process cluster of n total ranks as the
+// process hosting ranks [lo, hi), over the given link to the leader. Rank
+// 0 lives on the leader, so lo must be at least 1.
+func NewFollowerCluster(n, lo, hi int, link Link) (*Cluster, error) {
+	if n <= 0 || lo < 1 || hi <= lo || hi > n {
+		return nil, fmt.Errorf("comm: follower rank range [%d,%d) invalid for cluster size %d", lo, hi, n)
+	}
+	if link == nil {
+		return nil, fmt.Errorf("comm: follower has no link")
+	}
+	t := &followerTransport{
+		n: n, lo: lo, hi: hi, link: link,
+		down:       make(chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	return &Cluster{n: n, tr: t, killAt: -1}, nil
+}
+
+// peerState is the leader's bookkeeping for one follower connection.
+type peerState struct {
+	link   Link
+	lo, hi int
+	tx, rx atomic.Int64
+}
+
+// send frames a message to the peer, counting socket bytes on success.
+func (p *peerState) send(typ byte, payload []byte) error {
+	err := p.link.Send(typ, payload)
+	if err == nil {
+		p.tx.Add(int64(len(payload)) + frameOverhead)
+	}
+	return err
+}
+
+// frameOverhead is the per-frame header cost (length prefix + type byte).
+const frameOverhead = 5
+
+// leaderTransport is the hub: the in-process rendezvous over all n ranks,
+// with remote ranks driven by proxy goroutines fed from per-peer frame
+// pumps.
+type leaderTransport struct {
+	*inprocTransport
+	nLocal int
+	peers  []*peerState
+
+	startOnce sync.Once
+	killOnce  sync.Once
+	pumps     sync.WaitGroup
+}
+
+func (l *leaderTransport) localRanks() (int, int) { return 0, l.nLocal }
+
+// start spawns one frame pump per peer plus one proxy per remote rank.
+// finish blocks until every pump drained (its peer sent FINISH or died),
+// so after RunContext returns no collective frames are in flight and a
+// higher layer can reuse the connections.
+func (l *leaderTransport) start() {
+	l.startOnce.Do(func() {
+		for _, p := range l.peers {
+			chans := make([]chan deposit, p.hi-p.lo)
+			for i := range chans {
+				chans[i] = make(chan deposit, 4)
+			}
+			l.pumps.Add(1 + len(chans))
+			for i, ch := range chans {
+				go l.proxyLoop(p, p.lo+i, ch)
+			}
+			go l.pumpLoop(p, chans)
+		}
+	})
+}
+
+func (l *leaderTransport) finish() { l.pumps.Wait() }
+
+// pumpLoop reads a peer's frames for the cluster's lifetime, routing each
+// decoded deposit to its rank's proxy. It exits on the peer's FINISH (the
+// clean path) or on a link error — which, while the cluster is healthy, is
+// a real drop: the peer process died or the network went away.
+func (l *leaderTransport) pumpLoop(p *peerState, chans []chan deposit) {
+	defer l.pumps.Done()
+	defer func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+	for {
+		typ, payload, err := p.link.Recv()
+		if err != nil {
+			l.peerLost(p, err)
+			return
+		}
+		p.rx.Add(int64(len(payload)) + frameOverhead)
+		switch typ {
+		case frameFinish:
+			return
+		case frameAbort:
+			// The peer's abort becomes the cluster's (or a suppressed
+			// cause); keep pumping so the peer's in-flight frames drain
+			// until its FINISH or close.
+			l.abort(decodeAbort(payload))
+		case frameDeposit:
+			d, derr := decodeDeposit(payload)
+			if derr != nil {
+				l.abort(fmt.Errorf("comm: peer ranks [%d,%d): %w", p.lo, p.hi, derr))
+				return
+			}
+			if d.rank < p.lo || d.rank >= p.hi {
+				l.abort(fmt.Errorf("comm: peer deposited for rank %d outside [%d,%d)", d.rank, p.lo, p.hi))
+				return
+			}
+			select {
+			case chans[d.rank-p.lo] <- d:
+			case <-l.down:
+				// Aborted: proxies are unwinding, discard the deposit.
+			}
+		default:
+			l.abort(fmt.Errorf("comm: unexpected frame type %d from peer", typ))
+			return
+		}
+	}
+}
+
+// proxyLoop replays one remote rank's deposits into the hub rendezvous,
+// exactly as a local rank goroutine would. The peer's lowest-rank proxy
+// additionally returns each combined result — one result frame per peer
+// per collective, fanned out to the peer's ranks on its side.
+func (l *leaderTransport) proxyLoop(p *peerState, rank int, ch chan deposit) {
+	defer l.pumps.Done()
+	var buf []byte
+	for d := range ch {
+		resInts, resFloats, ok := l.runCollective(rank, d)
+		if !ok {
+			return // aborted; the pump discards further deposits
+		}
+		if rank == p.lo {
+			// Encode before touching the next deposit: the result aliases
+			// hub buffers that stay valid until this rank deposits again.
+			buf = appendResult(buf[:0], d.op, resInts, resFloats)
+			if err := p.send(frameResult, buf); err != nil {
+				l.peerLost(p, err)
+				return
+			}
+		}
+	}
+}
+
+// runCollective enters the hub rendezvous on behalf of a remote rank,
+// converting an abort unwind into ok=false (a proxy goroutine has no
+// RunContext to recover it).
+func (l *leaderTransport) runCollective(rank int, d deposit) (ints []int, floats []float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortPanic); !isAbort {
+				panic(r)
+			}
+			ok = false
+		}
+	}()
+	if d.op.isFloat() {
+		floats = l.exchangeFloats(rank, d.op, d.root, d.iter, d.floats)
+	} else {
+		ints = l.exchangeInts(rank, d.op, d.root, d.iter, d.ints)
+	}
+	return ints, floats, true
+}
+
+// peerLost routes a dead connection into the fault machinery: while the
+// cluster is healthy it is a drop of the peer's entire rank range,
+// resuming at one past the last completed collective's iteration. After an
+// abort it is just teardown noise.
+func (l *leaderTransport) peerLost(p *peerState, cause error) {
+	if l.hasAborted() {
+		return
+	}
+	ranks := make([]int, 0, p.hi-p.lo)
+	for r := p.lo; r < p.hi; r++ {
+		ranks = append(ranks, r)
+	}
+	_ = cause // the FaultError is the actionable form; the cause is conn noise
+	l.abort(&FaultError{Kind: FaultDrop, Rank: p.lo, Ranks: ranks, Iteration: l.resumeIteration()})
+}
+
+// abort installs the reason in the hub and fans the winning abort out to
+// every peer, waking their parked ranks.
+func (l *leaderTransport) abort(err error) {
+	if l.abortFirst(err) {
+		payload := encodeAbort(err)
+		for _, p := range l.peers {
+			_ = p.send(frameAbort, payload)
+		}
+	}
+}
+
+// hardKill severs every peer link with no abort handshake — peers see a
+// closed connection, exactly like a kill -9 of this process — and unwinds
+// local ranks.
+func (l *leaderTransport) hardKill() {
+	l.killOnce.Do(func() {
+		for _, p := range l.peers {
+			_ = p.link.Close()
+		}
+		l.abortFirst(errHardKilled)
+	})
+}
+
+func (l *leaderTransport) socketBytes() (tx, rx int64) {
+	for _, p := range l.peers {
+		tx += p.tx.Load()
+		rx += p.rx.Load()
+	}
+	return tx, rx
+}
+
+func (l *leaderTransport) close() error {
+	for _, p := range l.peers {
+		_ = p.link.Close()
+	}
+	return nil
+}
+
+// followerTransport ships local ranks' deposits to the leader's hub and
+// distributes each returned result to them via a generation counter.
+type followerTransport struct {
+	n, lo, hi int
+	link      Link
+
+	sendMu  sync.Mutex
+	sendBuf []byte
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	generation uint64
+	resInts    []int
+	resFloats  []float64
+	abortErr   error
+	suppressed []error
+	abortedF   atomic.Bool
+	down       chan struct{}
+
+	// Wall clock measured by the lowest local rank: the full
+	// deposit→result round-trip, i.e. real network plus hub rendezvous.
+	wallNS    [numCollectiveKinds]int64
+	wallCount [numCollectiveKinds]int64
+
+	startOnce  sync.Once
+	startedF   atomic.Bool
+	finished   atomic.Bool
+	killed     atomic.Bool
+	readerDone chan struct{}
+	tx, rx     atomic.Int64
+}
+
+func (t *followerTransport) localRanks() (int, int) { return t.lo, t.hi }
+
+func (t *followerTransport) exchangeInts(rank int, op Op, root, iter int, data []int) []int {
+	gen := t.preSend()
+	var begin time.Time
+	if rank == t.lo {
+		begin = time.Now()
+	}
+	t.sendDeposit(rank, op, root, iter, data, nil)
+	t.await(gen) // returns holding mu
+	if rank == t.lo {
+		k := op.kind()
+		t.wallNS[k] += int64(time.Since(begin))
+		t.wallCount[k]++
+	}
+	res := t.resInts
+	t.mu.Unlock()
+	return res
+}
+
+func (t *followerTransport) exchangeFloats(rank int, op Op, root, iter int, data []float64) []float64 {
+	gen := t.preSend()
+	var begin time.Time
+	if rank == t.lo {
+		begin = time.Now()
+	}
+	t.sendDeposit(rank, op, root, iter, nil, data)
+	t.await(gen) // returns holding mu
+	if rank == t.lo {
+		k := op.kind()
+		t.wallNS[k] += int64(time.Since(begin))
+		t.wallCount[k]++
+	}
+	res := t.resFloats
+	t.mu.Unlock()
+	return res
+}
+
+// preSend snapshots the generation before this rank's deposit goes out.
+// The result for generation g cannot arrive until every local rank has
+// deposited g, so the snapshot cannot miss its own wake-up.
+func (t *followerTransport) preSend() uint64 {
+	t.mu.Lock()
+	if err := t.abortErr; err != nil {
+		t.mu.Unlock()
+		panic(abortPanic{err})
+	}
+	gen := t.generation
+	t.mu.Unlock()
+	return gen
+}
+
+// sendDeposit frames one rank's contribution. A send failure means the
+// leader is gone: abort locally and unwind.
+func (t *followerTransport) sendDeposit(rank int, op Op, root, iter int, ints []int, floats []float64) {
+	t.sendMu.Lock()
+	t.sendBuf = appendDeposit(t.sendBuf[:0], rank, op, root, iter, ints, floats)
+	err := t.link.Send(frameDeposit, t.sendBuf)
+	if err == nil {
+		t.tx.Add(int64(len(t.sendBuf)) + frameOverhead)
+	}
+	t.sendMu.Unlock()
+	if err != nil {
+		t.abortLocal(fmt.Errorf("comm: leader connection lost: %w", err))
+		panic(abortPanic{t.err()})
+	}
+}
+
+// await parks until the generation advances past gen (the reader installed
+// this collective's result) and returns holding mu.
+func (t *followerTransport) await(gen uint64) {
+	t.mu.Lock()
+	for gen == t.generation {
+		t.cond.Wait()
+		if err := t.abortErr; err != nil {
+			t.mu.Unlock()
+			panic(abortPanic{err})
+		}
+	}
+}
+
+// start spawns the result reader.
+func (t *followerTransport) start() {
+	t.startOnce.Do(func() {
+		t.startedF.Store(true)
+		go t.readerLoop()
+	})
+}
+
+// readerLoop receives result and abort frames for the cluster's lifetime.
+// A link error while the cluster is healthy means the leader died: the
+// hub is gone, so the run can only abort (the leader is the transport's
+// single point of failure by design).
+func (t *followerTransport) readerLoop() {
+	defer close(t.readerDone)
+	for {
+		typ, payload, err := t.link.Recv()
+		if err != nil {
+			if t.finished.Load() || t.killed.Load() || t.hasAborted() {
+				return
+			}
+			t.abortLocal(fmt.Errorf("comm: leader connection lost: %w", err))
+			return
+		}
+		t.rx.Add(int64(len(payload)) + frameOverhead)
+		switch typ {
+		case frameResult:
+			t.mu.Lock()
+			var derr error
+			_, t.resInts, t.resFloats, derr = decodeResult(payload, t.resInts, t.resFloats)
+			if derr != nil {
+				t.mu.Unlock()
+				t.abortLocal(fmt.Errorf("comm: leader sent malformed result: %w", derr))
+				return
+			}
+			t.generation++
+			t.cond.Broadcast()
+			t.mu.Unlock()
+		case frameAbort:
+			t.abortLocal(decodeAbort(payload))
+			return
+		default:
+			t.abortLocal(fmt.Errorf("comm: unexpected frame type %d from leader", typ))
+			return
+		}
+	}
+}
+
+// abortFirstLocal installs the abort reason locally, waking parked ranks;
+// reports whether this call won.
+func (t *followerTransport) abortFirstLocal(err error) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case t.abortErr == nil:
+		t.abortErr = err
+		t.abortedF.Store(true)
+		close(t.down)
+		t.cond.Broadcast()
+		return true
+	case err != t.abortErr && !containsErr(t.suppressed, err) && len(t.suppressed) < maxSuppressedAborts:
+		t.suppressed = append(t.suppressed, err)
+	}
+	return false
+}
+
+// abortLocal records an abort without echoing it to the leader (used for
+// aborts the leader originated or connection failures).
+func (t *followerTransport) abortLocal(err error) { t.abortFirstLocal(err) }
+
+// abort records an abort and forwards the winning reason to the leader,
+// which fans it out to the rest of the cluster.
+func (t *followerTransport) abort(err error) {
+	if t.abortFirstLocal(err) && !t.killed.Load() {
+		payload := encodeAbort(err)
+		if t.link.Send(frameAbort, payload) == nil {
+			t.tx.Add(int64(len(payload)) + frameOverhead)
+		}
+	}
+}
+
+func (t *followerTransport) err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return abortCause(t.abortErr, t.suppressed)
+}
+
+func (t *followerTransport) hasAborted() bool { return t.abortedF.Load() }
+
+// traffic is zero on a follower: the modeled counters accumulate where the
+// combines run — the leader's hub — so the leader's Result carries the
+// cluster-wide model, identical to an in-process run.
+func (t *followerTransport) traffic() TrafficCounter { return TrafficCounter{} }
+func (t *followerTransport) resetTraffic()           {}
+
+func (t *followerTransport) commWall() CommWall {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at := func(k collectiveKind) CollectiveWall {
+		return CollectiveWall{Count: t.wallCount[k], Seconds: float64(t.wallNS[k]) / 1e9}
+	}
+	return CommWall{
+		Barrier:   at(kindBarrier),
+		Broadcast: at(kindBroadcast),
+		AllGather: at(kindAllGather),
+		AllReduce: at(kindAllReduce),
+	}
+}
+
+func (t *followerTransport) resetCommWall() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wallNS = [numCollectiveKinds]int64{}
+	t.wallCount = [numCollectiveKinds]int64{}
+}
+
+func (t *followerTransport) socketBytes() (tx, rx int64) { return t.tx.Load(), t.rx.Load() }
+
+// setBaseIteration is leader-side bookkeeping; a follower attributes
+// nothing (the leader owns disconnect attribution).
+func (t *followerTransport) setBaseIteration(int) {}
+
+// finish announces clean completion of every local rank; the leader's
+// pump for this peer drains and exits on it.
+func (t *followerTransport) finish() {
+	if t.finished.CompareAndSwap(false, true) && !t.killed.Load() {
+		_ = t.link.Send(frameFinish, nil)
+	}
+}
+
+// hardKill severs the leader link with no handshake — the leader sees a
+// closed connection, exactly like a kill -9 of this process — and unwinds
+// local ranks.
+func (t *followerTransport) hardKill() {
+	if t.killed.CompareAndSwap(false, true) {
+		_ = t.link.Close()
+		t.abortLocal(errHardKilled)
+	}
+}
+
+func (t *followerTransport) close() error {
+	err := t.link.Close()
+	if t.startedF.Load() {
+		<-t.readerDone
+	}
+	return err
+}

@@ -1,0 +1,297 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpPair builds a leader cluster hosting ranks [0,split) and a follower
+// hosting [split,n) over a real localhost TCP connection.
+func tcpPair(t *testing.T, n, split int) (*Cluster, *Cluster) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			connCh <- c
+		}
+	}()
+	fc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := <-connCh
+
+	leader, err := NewLeaderCluster(n, split, []RemotePeer{{Link: NewFrameConn(lc), Lo: split, Hi: n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := NewFollowerCluster(n, split, n, NewFrameConn(fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close(); follower.Close() })
+	return leader, follower
+}
+
+// collectiveScript runs every collective family with rank-dependent data
+// and records what each rank observed, so one script can be replayed over
+// any transport and compared.
+func collectiveScript(results [][]string, mu *sync.Mutex) func(c *Comm) {
+	return func(c *Comm) {
+		r := c.Rank()
+		var got []string
+		note := func(name string, v any) { got = append(got, fmt.Sprintf("%s=%v", name, v)) }
+
+		c.Barrier()
+		note("bcastI", c.BroadcastInts(1, ints(r, 3, 7)))
+		note("bcastF", c.BroadcastFloats(0, floats(r, 2, 0.5)))
+		bins := c.BroadcastIntsNested(1, [][]int{{10 + r}, {20 + r, 21 + r}, {}})
+		note("nested", fmt.Sprintf("%v", bins))
+		note("gather", c.AllGatherInts(ints(r, 2, 100)))
+		note("unique", c.AllGatherUniqueInts([]int{r, r + 1, 64}))
+		note("gatherF", c.AllGatherFloats(floats(r, 2, 1.25)))
+		note("sum", c.AllReduceSum(floats(r, 4, 1)))
+		note("max", c.AllReduceMax(floats(r, 4, -1)))
+		c.Barrier()
+
+		mu.Lock()
+		results[r] = got
+		mu.Unlock()
+	}
+}
+
+func ints(rank, n, base int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = base*rank + i
+	}
+	return out
+}
+
+func floats(rank, n int, scale float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = scale * float64(rank*n+i+1)
+	}
+	return out
+}
+
+// TestTCPCollectivesMatchInProcess replays the same collective script over
+// the in-process transport and over a leader/follower TCP pair: every rank
+// must observe identical results, and the leader's modeled traffic must be
+// byte-identical to the in-process counters.
+func TestTCPCollectivesMatchInProcess(t *testing.T) {
+	const n, split = 4, 2
+	var mu sync.Mutex
+
+	want := make([][]string, n)
+	ref := NewCluster(n)
+	ref.Run(collectiveScript(want, &mu))
+	if err := ref.Err(); err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+
+	got := make([][]string, n)
+	leader, follower := tcpPair(t, n, split)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make([]error, 2)
+	go func() { defer wg.Done(); errs[0] = leader.RunContext(t.Context(), collectiveScript(got, &mu)) }()
+	go func() { defer wg.Done(); errs[1] = follower.RunContext(t.Context(), collectiveScript(got, &mu)) }()
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("tcp run: leader %v, follower %v", errs[0], errs[1])
+	}
+
+	for r := range want {
+		if !reflect.DeepEqual(want[r], got[r]) {
+			t.Errorf("rank %d diverged:\n in-process: %v\n tcp:        %v", r, want[r], got[r])
+		}
+	}
+	if lt, it := leader.Traffic(), ref.Traffic(); lt != it {
+		t.Errorf("modeled traffic diverged: tcp %+v vs in-process %+v", lt, it)
+	}
+	tx, rx := leader.SocketBytes()
+	if tx == 0 || rx == 0 {
+		t.Errorf("leader socket bytes tx=%d rx=%d, want both positive", tx, rx)
+	}
+	if w := follower.CommWall(); w.TotalSeconds() <= 0 || w.AllReduce.Count != 2 {
+		t.Errorf("follower CommWall = %+v, want positive wall and 2 allreduces", w)
+	}
+}
+
+// TestTCPLocalRanks verifies the rank partition both sides spawn.
+func TestTCPLocalRanks(t *testing.T) {
+	leader, follower := tcpPair(t, 5, 2)
+	if lo, hi := leader.LocalRanks(); lo != 0 || hi != 2 {
+		t.Fatalf("leader ranks [%d,%d), want [0,2)", lo, hi)
+	}
+	if lo, hi := follower.LocalRanks(); lo != 2 || hi != 5 {
+		t.Fatalf("follower ranks [%d,%d), want [2,5)", lo, hi)
+	}
+	if !leader.Distributed() || !follower.Distributed() || NewCluster(2).Distributed() {
+		t.Fatal("Distributed() misreports transports")
+	}
+}
+
+// TestTCPAbortPropagates aborts on the follower mid-collective; both sides
+// must unwind with the same reason, including ranks parked in a rendezvous
+// on the other process.
+func TestTCPAbortPropagates(t *testing.T) {
+	leader, follower := tcpPair(t, 4, 2)
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make([]error, 2)
+	go func() {
+		defer wg.Done()
+		errs[0] = leader.RunContext(t.Context(), func(c *Comm) {
+			c.Barrier()
+			c.AllReduceSum([]float64{1}) // never completes: follower aborts
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		errs[1] = follower.RunContext(t.Context(), func(c *Comm) {
+			c.Barrier()
+			if c.Rank() == 3 {
+				c.cluster.Abort(boom)
+				return
+			}
+			c.AllReduceSum([]float64{1})
+		})
+	}()
+	wg.Wait()
+	if !errors.Is(errs[1], boom) {
+		t.Fatalf("follower error = %v, want boom", errs[1])
+	}
+	var ra *RemoteAbortError
+	if !errors.As(errs[0], &ra) || ra.Msg != "boom" {
+		t.Fatalf("leader error = %v, want remote abort carrying boom", errs[0])
+	}
+}
+
+// TestTCPInjectedFaultOnFollowerReachesLeader attaches a drop plan to the
+// follower's ranks: the structured FaultError must cross the wire so the
+// leader's recovery machinery sees the same fault an in-process run would.
+func TestTCPInjectedFaultOnFollowerReachesLeader(t *testing.T) {
+	leader, follower := tcpPair(t, 4, 2)
+	follower.SetFaultPlan(&FaultPlan{Drops: []Drop{{Rank: 3, Iteration: 2}}})
+
+	script := func(c *Comm) {
+		for it := 0; it < 5; it++ {
+			c.StartIteration(it)
+			c.AllReduceSum([]float64{float64(c.Rank())})
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make([]error, 2)
+	go func() { defer wg.Done(); errs[0] = leader.RunContext(t.Context(), script) }()
+	go func() { defer wg.Done(); errs[1] = follower.RunContext(t.Context(), script) }()
+	wg.Wait()
+
+	for side, err := range errs {
+		var fe *FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("side %d error = %v, want FaultError", side, err)
+		}
+		if fe.Kind != FaultDrop || fe.Rank != 3 || fe.Iteration != 2 {
+			t.Fatalf("side %d fault = %+v, want drop of rank 3 at iteration 2", side, fe)
+		}
+	}
+}
+
+// TestTCPHardKillIsBoundaryDrop kills the follower process (simulated: its
+// links close with no handshake) at an iteration boundary. The leader must
+// observe a drop of the follower's whole rank range attributed to exactly
+// the kill iteration — the property that makes kill-recovery reproduce
+// injected-drop recovery.
+func TestTCPHardKillIsBoundaryDrop(t *testing.T) {
+	const killAt = 3
+	leader, follower := tcpPair(t, 4, 2)
+	follower.HardKill(killAt)
+	leader.SetStartIteration(0)
+	follower.SetStartIteration(0)
+
+	script := func(c *Comm) {
+		for it := 0; it < 6; it++ {
+			c.StartIteration(it)
+			c.AllReduceSum([]float64{1})
+			c.Barrier()
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make([]error, 2)
+	go func() { defer wg.Done(); errs[0] = leader.RunContext(t.Context(), script) }()
+	go func() { defer wg.Done(); errs[1] = follower.RunContext(t.Context(), script) }()
+	wg.Wait()
+
+	if !errors.Is(errs[1], ErrHardKilled) {
+		t.Fatalf("follower error = %v, want ErrHardKilled", errs[1])
+	}
+	var fe *FaultError
+	if !errors.As(errs[0], &fe) {
+		t.Fatalf("leader error = %v, want FaultError", errs[0])
+	}
+	if fe.Kind != FaultDrop || fe.Iteration != killAt {
+		t.Fatalf("leader fault = %+v, want drop at iteration %d", fe, killAt)
+	}
+	if !reflect.DeepEqual(fe.AllRanks(), []int{2, 3}) {
+		t.Fatalf("leader fault ranks = %v, want [2 3]", fe.AllRanks())
+	}
+}
+
+// TestTCPFollowerSurvivesLeaderDeathWithError: a follower losing the hub
+// cannot continue (the leader is the single point of failure); it must
+// abort promptly with a connection error, not hang in a collective.
+func TestTCPFollowerAbortsOnLeaderDeath(t *testing.T) {
+	leader, follower := tcpPair(t, 4, 2)
+	leader.HardKill(2)
+
+	script := func(c *Comm) {
+		for it := 0; it < 6; it++ {
+			c.StartIteration(it)
+			c.AllReduceSum([]float64{1})
+		}
+	}
+	done := make(chan error, 1)
+	go func() { leader.RunContext(t.Context(), script); done <- nil }()
+	var err error
+	followDone := make(chan struct{})
+	go func() { err = follower.RunContext(t.Context(), script); close(followDone) }()
+	select {
+	case <-followDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower hung after leader death")
+	}
+	<-done
+	if err == nil {
+		t.Fatal("follower ran clean after leader death")
+	}
+}
+
+// TestFrameConnRejectsHostileLength: a corrupt length prefix must error
+// out instead of forcing a giant allocation.
+func TestFrameConnRejectsHostileLength(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go client.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x01})
+	fc := NewFrameConn(server)
+	if _, _, err := fc.Recv(); err == nil {
+		t.Fatal("Recv accepted a 4 GiB frame length")
+	}
+}

@@ -7,6 +7,7 @@ package registry
 
 import (
 	"fmt"
+	"net"
 	"strings"
 
 	"repro/internal/core"
@@ -46,6 +47,20 @@ func ParsePrecision(name string) (quantize bool, err error) {
 		return true, nil
 	}
 	return false, fmt.Errorf("unknown precision %q (known: %s)", name, strings.Join(Precisions(), ", "))
+}
+
+// ParseClusterAddr validates a cluster address flag (-cluster-listen,
+// -join): it must be host:port, where an empty host means all interfaces
+// for listening. Returns the address unchanged on success.
+func ParseClusterAddr(s string) (string, error) {
+	_, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return "", fmt.Errorf("cluster address %q: want host:port: %v", s, err)
+	}
+	if port == "" {
+		return "", fmt.Errorf("cluster address %q: missing port", s)
+	}
+	return s, nil
 }
 
 // NewWorkload builds the named workload with its default configuration.

@@ -1,0 +1,691 @@
+// Multi-node serving: a leader deft-serve process listens for follower
+// nodes (deft-serve -join) and partitions distributed training jobs
+// across every joined node over real TCP.
+//
+// One long-lived framed connection per follower carries two kinds of
+// traffic, split by frame type: the comm collective protocol (types below
+// comm.FrameUserBase, owned by the per-segment TCP transports) and this
+// file's control protocol (HELLO/WELCOME at join, JOB/SESSION/ACK/DONE
+// per job). A single reader goroutine per connection demultiplexes them —
+// comm frames feed the live session, control frames feed a channel the
+// job driver consumes.
+//
+// Per training segment (train recovery re-clusters between segments) the
+// leader re-partitions the surviving worker count contiguously over the
+// nodes still connected, installs one session per peer, announces the
+// assignment with SESSION and waits for each ACK before building the
+// comm.NewLeaderCluster. Followers never compute partitions: they learn
+// their rank range from SESSION, so node membership can change between
+// segments without any cross-node agreement protocol — the only lockstep
+// state is the worker count, which both sides derive from the same
+// FaultError the comm layer delivered to each process.
+//
+// Node failure needs no special case: a dead connection surfaces inside
+// the comm transport as a drop of the node's whole rank range, and the
+// ordinary checkpoint → rebuild → resume recovery runs on every surviving
+// node. A node that dies between segments simply stops being assigned
+// ranks; the worker count is unchanged and the survivors absorb its share.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/train"
+)
+
+// Control frame types of the serve cluster protocol, multiplexed over the
+// same framed connection the comm collectives ride.
+const (
+	frameHello      byte = comm.FrameUserBase + iota // follower → leader: join request
+	frameWelcome                                     // leader → follower: assigned node id
+	frameJob                                         // leader → follower: run this training spec
+	frameSession                                     // leader → follower: one segment's rank assignment
+	frameSessionAck                                  // follower → leader: segment transport installed
+	frameJobDone                                     // follower → leader: job finished locally
+)
+
+// Wire messages: the JSON payloads of the control frames.
+type helloMsg struct {
+	Name string `json:"name,omitempty"`
+}
+
+type welcomeMsg struct {
+	NodeID int `json:"node_id"`
+}
+
+type jobMsg struct {
+	JobID   int64     `json:"job_id"`
+	Spec    TrainSpec `json:"spec"`
+	Attempt int       `json:"attempt"`
+}
+
+// sessionMsg announces one segment's rank assignment (leader → follower)
+// and acknowledges it (follower → leader, echoing JobID and Seq). Lo == Hi
+// tells a node the cluster shrank past it: it acknowledges and sits the
+// rest of the job out.
+type sessionMsg struct {
+	JobID int64 `json:"job_id"`
+	Seq   int   `json:"seq"`            // segment counter within the job
+	Size  int   `json:"size,omitempty"` // cluster-wide worker count this segment
+	Lo    int   `json:"lo,omitempty"`   // this node's rank range [Lo, Hi)
+	Hi    int   `json:"hi,omitempty"`
+}
+
+type jobDoneMsg struct {
+	JobID    int64  `json:"job_id"`
+	Excluded bool   `json:"excluded,omitempty"` // the job shrank past this node
+	Err      string `json:"error,omitempty"`
+}
+
+// Handshake and collection deadlines. Session acks ride an otherwise idle
+// control path, so a slow ack means a wedged or dead node — the leader
+// severs it and lets the comm layer turn that into an ordinary rank drop.
+const (
+	ackTimeout  = 30 * time.Second
+	doneTimeout = 30 * time.Second
+)
+
+// errSessionClosed ends a transport Recv when its training segment is
+// over; the underlying node connection stays open for the next one.
+var errSessionClosed = errors.New("serve: cluster session closed")
+
+// errExcluded is a follower segment factory's report that the shrinking
+// cluster no longer assigns this node any ranks: the node's part of the
+// job is over, cleanly.
+var errExcluded = errors.New("serve: cluster shrank past this node's ranks")
+
+// commFrame is one frame routed off a node connection's reader.
+type commFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// nodeConn is one long-lived cluster connection: the framed conn, a
+// single reader goroutine demultiplexing comm frames (to the live
+// session) from control frames (to ctrl), and a death latch.
+type nodeConn struct {
+	fc   *comm.FrameConn
+	ctrl chan commFrame
+	sess atomic.Pointer[session]
+
+	dead     chan struct{}
+	deadErr  error // written once, before dead closes
+	deadOnce sync.Once
+}
+
+func newNodeConn(c net.Conn) *nodeConn {
+	return &nodeConn{
+		fc:   comm.NewFrameConn(c),
+		ctrl: make(chan commFrame, 16),
+		dead: make(chan struct{}),
+	}
+}
+
+// die latches the connection dead and closes it; safe from any goroutine.
+func (nc *nodeConn) die(err error) {
+	nc.deadOnce.Do(func() {
+		nc.deadErr = err
+		nc.fc.Close()
+		close(nc.dead)
+	})
+}
+
+// readLoop runs for the connection's lifetime. Comm frames go to the live
+// session; a frame with no live session is a straggler from a torn-down
+// segment and is dropped (sessions are closed before their successor is
+// installed, so a routed frame can never belong to the wrong segment).
+func (nc *nodeConn) readLoop() {
+	for {
+		typ, payload, err := nc.fc.Recv()
+		if err != nil {
+			nc.die(err)
+			return
+		}
+		buf := append([]byte(nil), payload...) // Recv reuses its buffer
+		if comm.IsCommFrame(typ) {
+			s := nc.sess.Load()
+			if s == nil {
+				continue
+			}
+			select {
+			case s.ch <- commFrame{typ, buf}:
+			case <-s.done:
+				// Segment over: drop the straggler.
+			case <-nc.dead:
+				return
+			}
+			continue
+		}
+		select {
+		case nc.ctrl <- commFrame{typ, buf}:
+		case <-nc.dead:
+			return
+		}
+	}
+}
+
+// newSession installs a fresh session as the connection's comm routing
+// target. The caller must have closed the previous session first.
+func (nc *nodeConn) newSession() *session {
+	s := &session{nc: nc, ch: make(chan commFrame, 64), done: make(chan struct{})}
+	nc.sess.Store(s)
+	return s
+}
+
+// session adapts one training segment's slice of a node connection to
+// comm.Link: Send writes straight to the shared framed conn, Recv is fed
+// by the connection's reader, and Close ends the session while leaving
+// the connection open for the next segment.
+type session struct {
+	nc   *nodeConn
+	ch   chan commFrame
+	done chan struct{}
+	once sync.Once
+}
+
+func (s *session) Send(typ byte, payload []byte) error {
+	select {
+	case <-s.done:
+		return errSessionClosed
+	default:
+	}
+	return s.nc.fc.Send(typ, payload)
+}
+
+// Recv drains routed frames first so results queued before Close are
+// still delivered, then parks until a frame, session close, or the
+// connection dying.
+func (s *session) Recv() (byte, []byte, error) {
+	select {
+	case f := <-s.ch:
+		return f.typ, f.payload, nil
+	default:
+	}
+	select {
+	case f := <-s.ch:
+		return f.typ, f.payload, nil
+	case <-s.done:
+		return 0, nil, errSessionClosed
+	case <-s.nc.dead:
+		return 0, nil, fmt.Errorf("serve: cluster connection lost: %w", s.nc.deadErr)
+	}
+}
+
+func (s *session) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return nil
+}
+
+// ----------------------------------------------------------------- leader --
+
+// ClusterLeader accepts follower deft-serve nodes and runs distributed
+// training jobs across them. Create with NewClusterLeader, hand to
+// Options.Cluster, close with Close.
+type ClusterLeader struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	nodes   []*clusterNode
+	nextID  int
+	nextJob int64
+	closed  bool
+
+	// jobMu serializes distributed jobs: sessions multiplex over the node
+	// connections, so exactly one job drives them at a time (a second
+	// distributed flight queues here until the first finishes).
+	jobMu sync.Mutex
+	wg    sync.WaitGroup
+}
+
+// clusterNode is the leader's view of one joined node. pendingDone parks
+// a JOBDONE that arrived while the driver was awaiting a session ack; the
+// job driver is the only control-frame consumer, so it is unsynchronised.
+type clusterNode struct {
+	id          int
+	nc          *nodeConn
+	pendingDone *jobDoneMsg
+}
+
+// NewClusterLeader listens for follower nodes on addr (host:port).
+func NewClusterLeader(addr string) (*ClusterLeader, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: cluster listen: %w", err)
+	}
+	cl := &ClusterLeader{ln: ln}
+	cl.wg.Add(1)
+	go cl.acceptLoop()
+	return cl, nil
+}
+
+// Addr is the listener's bound address (useful with port 0).
+func (cl *ClusterLeader) Addr() string { return cl.ln.Addr().String() }
+
+func (cl *ClusterLeader) acceptLoop() {
+	defer cl.wg.Done()
+	for {
+		c, err := cl.ln.Accept()
+		if err != nil {
+			return
+		}
+		go cl.admit(c)
+	}
+}
+
+// admit runs the join handshake on a fresh connection, registers the
+// node, and starts its reader.
+func (cl *ClusterLeader) admit(c net.Conn) {
+	nc := newNodeConn(c)
+	typ, payload, err := nc.fc.Recv()
+	if err != nil || typ != frameHello {
+		c.Close()
+		return
+	}
+	var h helloMsg
+	_ = json.Unmarshal(payload, &h) // the name is advisory
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		c.Close()
+		return
+	}
+	cl.nextID++
+	node := &clusterNode{id: cl.nextID, nc: nc}
+	cl.nodes = append(cl.nodes, node)
+	cl.mu.Unlock()
+	wm, _ := json.Marshal(welcomeMsg{NodeID: node.id})
+	if err := nc.fc.Send(frameWelcome, wm); err != nil {
+		nc.die(err)
+		return
+	}
+	go nc.readLoop()
+	log.Printf("serve: cluster node %d joined from %s", node.id, c.RemoteAddr())
+}
+
+// alive prunes dead nodes and returns the connected ones, in join order.
+func (cl *ClusterLeader) alive() []*clusterNode {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	kept := cl.nodes[:0]
+	var out []*clusterNode
+	for _, n := range cl.nodes {
+		select {
+		case <-n.nc.dead:
+			log.Printf("serve: cluster node %d left (%v)", n.id, n.nc.deadErr)
+			continue
+		default:
+		}
+		kept = append(kept, n)
+		out = append(out, n)
+	}
+	cl.nodes = kept
+	return out
+}
+
+// Nodes reports how many follower nodes are currently connected.
+func (cl *ClusterLeader) Nodes() int { return len(cl.alive()) }
+
+// Close stops accepting, severs every node connection, and waits for the
+// accept loop.
+func (cl *ClusterLeader) Close() error {
+	cl.mu.Lock()
+	cl.closed = true
+	nodes := append([]*clusterNode(nil), cl.nodes...)
+	cl.mu.Unlock()
+	err := cl.ln.Close()
+	cause := errors.New("serve: cluster leader shutting down")
+	for _, n := range nodes {
+		n.nc.die(cause)
+	}
+	cl.wg.Wait()
+	return err
+}
+
+// RunJob executes one training spec across the cluster: the leader hosts
+// rank 0 (and its contiguous share), every joined node hosts a share, and
+// the spec's recovery/retry semantics apply cluster-wide. With no nodes
+// joined it degrades to the plain local runner. The returned Result is
+// the leader's — the canonical one, recorded by rank 0.
+func (cl *ClusterLeader) RunJob(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
+	cl.jobMu.Lock()
+	defer cl.jobMu.Unlock()
+
+	cl.mu.Lock()
+	cl.nextJob++
+	jobID := cl.nextJob
+	cl.mu.Unlock()
+
+	// Broadcast the job to every node connected right now; the set is
+	// fixed for the job's lifetime (later joiners wait for the next job).
+	var live []*clusterNode
+	jm, _ := json.Marshal(jobMsg{JobID: jobID, Spec: spec, Attempt: attempt})
+	for _, n := range cl.alive() {
+		n.pendingDone = nil
+		if err := n.nc.fc.Send(frameJob, jm); err != nil {
+			n.nc.die(err)
+			continue
+		}
+		live = append(live, n)
+	}
+	if len(live) == 0 {
+		return runTrain(ctx, spec, attempt, checkpoint, progress)
+	}
+
+	w, factory, cfg, err := buildTrainConfig(spec, attempt, checkpoint, progress)
+	if err != nil {
+		// The followers run the identical build and fail identically; no
+		// session ever starts.
+		cl.collectDones(live, jobID)
+		return nil, err
+	}
+	seq := 0
+	excluded := map[int]bool{}
+	cfg.NewCluster = func(size int) (*comm.Cluster, error) {
+		return cl.newSegment(ctx, jobID, &seq, size, live, excluded)
+	}
+	res, err := train.RunContext(ctx, w, factory, cfg)
+	if err != nil {
+		// Followers mid-segment (or parked awaiting a SESSION the leader
+		// will never send) must unwind: close the leader-side sessions so
+		// straggler frames drop instead of wedging the readers, then send
+		// an abort that the follower transports surface as the job error.
+		cause := fmt.Errorf("serve: leader abandoned job: %w", err)
+		for _, n := range live {
+			if s := n.nc.sess.Load(); s != nil {
+				s.Close()
+			}
+			_ = comm.AbortLink(n.nc.fc, cause)
+		}
+	}
+	cl.collectDones(live, jobID)
+	return res, err
+}
+
+// newSegment is the leader's train.Config.NewCluster hook: partition size
+// ranks contiguously over the leader plus every node still connected and
+// not yet excluded, install one session per participating node, announce
+// the assignment, await the acks, and build the hub cluster.
+//
+// A node that fails during this handshake is deliberately still included
+// as a peer: its dead link surfaces in the transport as a drop of its
+// rank range, and the ordinary recovery shrinks the cluster in lockstep
+// on every node — one failure path instead of two.
+func (cl *ClusterLeader) newSegment(ctx context.Context, jobID int64, seq *int, size int, nodes []*clusterNode, excluded map[int]bool) (*comm.Cluster, error) {
+	*seq++
+	s := *seq
+	var alive []*clusterNode
+	for _, n := range nodes {
+		if excluded[n.id] {
+			continue
+		}
+		select {
+		case <-n.nc.dead:
+		default:
+			alive = append(alive, n)
+		}
+	}
+	// Contiguous split: node i of k gets size/k ranks plus one of the
+	// remainder, the leader (node 0) first — so rank 0 is always local.
+	k := len(alive) + 1
+	share := func(i int) int {
+		n := size / k
+		if i < size%k {
+			n++
+		}
+		return n
+	}
+	local := share(0)
+	type assign struct {
+		n      *clusterNode
+		lo, hi int
+	}
+	var assigns []assign
+	var peers []comm.RemotePeer
+	lo := local
+	for i, n := range alive {
+		hi := lo + share(i+1)
+		assigns = append(assigns, assign{n, lo, hi})
+		if hi == lo {
+			// More nodes than workers: this node sits the job out from
+			// here on (SESSION with an empty range tells it so).
+			excluded[n.id] = true
+		} else {
+			sess := n.nc.newSession()
+			peers = append(peers, comm.RemotePeer{Link: sess, Lo: lo, Hi: hi})
+		}
+		lo = hi
+	}
+	for _, a := range assigns {
+		msg, _ := json.Marshal(sessionMsg{JobID: jobID, Seq: s, Size: size, Lo: a.lo, Hi: a.hi})
+		if err := a.n.nc.fc.Send(frameSession, msg); err != nil {
+			a.n.nc.die(err) // the transport will report the rank drop
+		}
+	}
+	for _, a := range assigns {
+		if a.hi == a.lo {
+			continue // excluded nodes ack too, but nothing waits on it
+		}
+		if err := cl.awaitAck(ctx, a.n, jobID, s); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			a.n.nc.die(fmt.Errorf("serve: node %d session ack: %w", a.n.id, err))
+		}
+	}
+	return comm.NewLeaderCluster(size, local, peers)
+}
+
+// awaitAck consumes a node's control frames until the matching session
+// ack (bounded by ackTimeout/ctx). A JOBDONE arriving early — the node
+// failed or bowed out before acking — is parked for collectDones.
+func (cl *ClusterLeader) awaitAck(ctx context.Context, n *clusterNode, jobID int64, seq int) error {
+	timer := time.NewTimer(ackTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case f := <-n.nc.ctrl:
+			switch f.typ {
+			case frameSessionAck:
+				var sm sessionMsg
+				if json.Unmarshal(f.payload, &sm) == nil && sm.JobID == jobID && sm.Seq == seq {
+					return nil
+				}
+			case frameJobDone:
+				var dm jobDoneMsg
+				if json.Unmarshal(f.payload, &dm) == nil && dm.JobID == jobID {
+					dm := dm
+					n.pendingDone = &dm
+				}
+			}
+		case <-n.nc.dead:
+			return fmt.Errorf("connection lost: %w", n.nc.deadErr)
+		case <-timer.C:
+			return errors.New("timed out")
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// collectDones waits (bounded) for each node's JOBDONE so the connections
+// are quiescent before the next job reuses them, logging follower-side
+// failures — the leader's own result is the canonical one.
+func (cl *ClusterLeader) collectDones(nodes []*clusterNode, jobID int64) {
+	deadline := time.NewTimer(doneTimeout)
+	defer deadline.Stop()
+	for _, n := range nodes {
+		var dm *jobDoneMsg
+		if n.pendingDone != nil && n.pendingDone.JobID == jobID {
+			dm = n.pendingDone
+			n.pendingDone = nil
+		}
+	wait:
+		for dm == nil {
+			select {
+			case f := <-n.nc.ctrl:
+				if f.typ != frameJobDone {
+					continue
+				}
+				var m jobDoneMsg
+				if json.Unmarshal(f.payload, &m) == nil && m.JobID == jobID {
+					dm = &m
+				}
+			case <-n.nc.dead:
+				break wait
+			case <-deadline.C:
+				return
+			}
+		}
+		if dm != nil && dm.Err != "" {
+			log.Printf("serve: cluster node %d finished job with error: %s", n.id, dm.Err)
+		}
+	}
+}
+
+// --------------------------------------------------------------- follower --
+
+// JoinCluster connects to a leader deft-serve node at addr and serves
+// distributed training work until ctx is cancelled, rejoining with capped
+// backoff whenever the connection is lost. name is an advisory label for
+// the leader's logs.
+func JoinCluster(ctx context.Context, addr, name string) error {
+	backoff := time.Second
+	for {
+		err := joinOnce(ctx, addr, name)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		log.Printf("serve: cluster connection to %s lost (%v); rejoining in %s", addr, err, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		backoff = min(backoff*2, 15*time.Second)
+	}
+}
+
+// joinOnce dials, handshakes, and serves jobs until the connection dies.
+func joinOnce(ctx context.Context, addr, name string) error {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	nc := newNodeConn(c)
+	hm, _ := json.Marshal(helloMsg{Name: name})
+	if err := nc.fc.Send(frameHello, hm); err != nil {
+		nc.die(err)
+		return err
+	}
+	typ, payload, err := nc.fc.Recv()
+	if err != nil {
+		nc.die(err)
+		return err
+	}
+	if typ != frameWelcome {
+		err := fmt.Errorf("serve: unexpected handshake frame %d", typ)
+		nc.die(err)
+		return err
+	}
+	var wm welcomeMsg
+	_ = json.Unmarshal(payload, &wm)
+	log.Printf("serve: joined cluster at %s as node %d", addr, wm.NodeID)
+	stop := context.AfterFunc(ctx, func() { nc.die(ctx.Err()) })
+	defer stop()
+	go nc.readLoop()
+	for {
+		select {
+		case f := <-nc.ctrl:
+			if f.typ != frameJob {
+				continue
+			}
+			var jm jobMsg
+			if err := json.Unmarshal(f.payload, &jm); err != nil {
+				continue
+			}
+			runFollowerJob(nc, jm)
+		case <-nc.dead:
+			return nc.deadErr
+		}
+	}
+}
+
+// runFollowerJob trains this node's share of one job and reports the
+// local outcome. The follower records no result — rank 0 lives on the
+// leader — and takes no checkpoint; it exists to host ranks.
+//
+// The train run deliberately does NOT watch the join context: a worker
+// being shut down must look like a dead connection (a recoverable rank
+// drop at the leader), and ctx cancellation already severs the
+// connection. Aborting the run on ctx directly would race that close and
+// sometimes push a graceful abort through the still-open socket, failing
+// the whole cluster job that severing alone would have let recover.
+func runFollowerJob(nc *nodeConn, jm jobMsg) {
+	done := jobDoneMsg{JobID: jm.JobID}
+	err := func() error {
+		w, factory, cfg, err := buildTrainConfig(jm.Spec, jm.Attempt, false, nil)
+		if err != nil {
+			return err
+		}
+		cfg.NewCluster = func(size int) (*comm.Cluster, error) {
+			return followerSegment(nc, jm.JobID, size)
+		}
+		_, err = train.RunContext(context.Background(), w, factory, cfg)
+		return err
+	}()
+	if errors.Is(err, errExcluded) {
+		done.Excluded = true
+		err = nil
+	}
+	if err != nil {
+		done.Err = err.Error()
+		log.Printf("serve: cluster job failed locally: %v", err)
+	}
+	b, _ := json.Marshal(done)
+	_ = nc.fc.Send(frameJobDone, b)
+}
+
+// followerSegment is a follower's train.Config.NewCluster hook: await the
+// leader's SESSION for the next segment, install the session before
+// acking (the ack licenses the leader to start sending results), and
+// build the follower transport on it.
+func followerSegment(nc *nodeConn, jobID int64, size int) (*comm.Cluster, error) {
+	for {
+		select {
+		case f := <-nc.ctrl:
+			if f.typ != frameSession {
+				continue
+			}
+			var sm sessionMsg
+			if err := json.Unmarshal(f.payload, &sm); err != nil || sm.JobID != jobID {
+				continue // straggler from an earlier job
+			}
+			if sm.Size != size {
+				return nil, fmt.Errorf("serve: leader partitioned %d workers, this node computed %d", sm.Size, size)
+			}
+			ack, _ := json.Marshal(sessionMsg{JobID: jobID, Seq: sm.Seq})
+			if sm.Lo >= sm.Hi {
+				_ = nc.fc.Send(frameSessionAck, ack)
+				return nil, errExcluded
+			}
+			sess := nc.newSession()
+			if err := nc.fc.Send(frameSessionAck, ack); err != nil {
+				sess.Close()
+				return nil, fmt.Errorf("serve: session ack: %w", err)
+			}
+			return comm.NewFollowerCluster(sm.Size, sm.Lo, sm.Hi, sess)
+		case <-nc.dead:
+			return nil, fmt.Errorf("serve: cluster connection lost: %w", nc.deadErr)
+		}
+	}
+}

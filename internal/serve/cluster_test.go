@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/train"
+)
+
+// startFollowers joins n follower nodes to the leader and returns their
+// cancel funcs (kill one to simulate node death). It blocks until the
+// leader sees all n.
+func startFollowers(t *testing.T, cl *ClusterLeader, n int) []context.CancelFunc {
+	t.Helper()
+	var cancels []context.CancelFunc
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = JoinCluster(ctx, cl.Addr(), "test-node")
+		}()
+	}
+	t.Cleanup(func() {
+		for _, c := range cancels {
+			c()
+		}
+		wg.Wait()
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.Nodes() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d nodes joined", cl.Nodes(), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cancels
+}
+
+func newTestCluster(t *testing.T, followers int) (*ClusterLeader, []context.CancelFunc) {
+	t.Helper()
+	cl, err := NewClusterLeader("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewClusterLeader: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	cancels := startFollowers(t, cl, followers)
+	return cl, cancels
+}
+
+// TestClusterJobMatchesLocal is the serve-level equivalence check: the
+// same spec run across two real TCP follower nodes produces a Result
+// whose deterministic fields are byte-identical to the in-process run.
+func TestClusterJobMatchesLocal(t *testing.T) {
+	cl, _ := newTestCluster(t, 2)
+	spec := TrainSpec{
+		Workload: "mlp", Sparsifier: "deft", Workers: 4, Density: 0.05,
+		LR: 0.1, Iterations: 10, EvalEvery: 5, RecordEvery: 2, Seed: 42,
+	}
+	ctx := context.Background()
+	distRes, err := cl.RunJob(ctx, spec, 1, false, nil)
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	localRes, err := runTrain(ctx, spec, 1, false, nil)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	dj, err := distRes.DeterministicJSON()
+	if err != nil {
+		t.Fatalf("distributed DeterministicJSON: %v", err)
+	}
+	lj, err := localRes.DeterministicJSON()
+	if err != nil {
+		t.Fatalf("local DeterministicJSON: %v", err)
+	}
+	if !bytes.Equal(dj, lj) {
+		t.Errorf("distributed result diverges from local:\ndistributed: %s\nlocal:       %s", dj, lj)
+	}
+	if distRes.SocketTxBytes == 0 || distRes.SocketRxBytes == 0 {
+		t.Errorf("distributed run reports no socket traffic (tx=%d rx=%d)",
+			distRes.SocketTxBytes, distRes.SocketRxBytes)
+	}
+	if localRes.SocketTxBytes != 0 || localRes.SocketRxBytes != 0 {
+		t.Errorf("local run reports socket traffic (tx=%d rx=%d)",
+			localRes.SocketTxBytes, localRes.SocketRxBytes)
+	}
+}
+
+// TestClusterMoreNodesThanWorkers exercises the exclusion protocol: with
+// more nodes than ranks the surplus nodes are told to sit the job out
+// (SESSION with an empty range → errExcluded → JOBDONE{excluded}), and
+// the job still matches the local run.
+func TestClusterMoreNodesThanWorkers(t *testing.T) {
+	cl, _ := newTestCluster(t, 3)
+	spec := TrainSpec{
+		Workload: "mlp", Sparsifier: "topk", Workers: 2, Density: 0.05,
+		LR: 0.1, Iterations: 6, Seed: 7,
+	}
+	ctx := context.Background()
+	distRes, err := cl.RunJob(ctx, spec, 1, false, nil)
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	localRes, err := runTrain(ctx, spec, 1, false, nil)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	dj, _ := distRes.DeterministicJSON()
+	lj, _ := localRes.DeterministicJSON()
+	if !bytes.Equal(dj, lj) {
+		t.Errorf("result diverges with excluded nodes:\ndistributed: %s\nlocal:       %s", dj, lj)
+	}
+}
+
+// TestClusterSequentialJobs reuses the same node connections for a second
+// job, proving the per-segment sessions tear down cleanly in between.
+func TestClusterSequentialJobs(t *testing.T) {
+	cl, _ := newTestCluster(t, 1)
+	ctx := context.Background()
+	for i, seed := range []uint64{3, 4} {
+		spec := TrainSpec{
+			Workload: "mlp", Sparsifier: "deft", Workers: 3, Density: 0.05,
+			LR: 0.1, Iterations: 5, Seed: seed,
+		}
+		distRes, err := cl.RunJob(ctx, spec, 1, false, nil)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		localRes, err := runTrain(ctx, spec, 1, false, nil)
+		if err != nil {
+			t.Fatalf("job %d local: %v", i, err)
+		}
+		dj, _ := distRes.DeterministicJSON()
+		lj, _ := localRes.DeterministicJSON()
+		if !bytes.Equal(dj, lj) {
+			t.Errorf("job %d diverges from local", i)
+		}
+	}
+	if n := cl.Nodes(); n != 1 {
+		t.Errorf("node count after two jobs = %d, want 1", n)
+	}
+}
+
+// TestClusterNodeDeathRecovers kills a follower mid-job: its rank range
+// must surface as a drop fault and the leader — plus the surviving node —
+// must recover and converge.
+func TestClusterNodeDeathRecovers(t *testing.T) {
+	cl, cancels := newTestCluster(t, 2)
+	spec := TrainSpec{
+		Workload: "mlp", Sparsifier: "deft", Workers: 6, Density: 0.05,
+		LR: 0.1, Iterations: 40, EvalEvery: 20, Seed: 11, Recover: true,
+	}
+	var once sync.Once
+	progress := func(p train.Progress) {
+		if p.Iteration >= 5 {
+			once.Do(cancels[0]) // hard-kill the first follower mid-run
+		}
+	}
+	res, err := cl.RunJob(context.Background(), spec, 1, false, progress)
+	if err != nil {
+		t.Fatalf("RunJob with node death: %v", err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatalf("node death recorded no faults")
+	}
+	if res.Recoveries == 0 {
+		t.Fatalf("node death recorded no recoveries")
+	}
+	if last := res.TrainLoss.LastY(); last <= 0 {
+		t.Errorf("suspicious final loss %g", last)
+	}
+	// The survivors keep serving: a follow-up job must still work.
+	spec2 := TrainSpec{
+		Workload: "mlp", Sparsifier: "deft", Workers: 2, Density: 0.05,
+		LR: 0.1, Iterations: 4, Seed: 12,
+	}
+	if _, err := cl.RunJob(context.Background(), spec2, 1, false, nil); err != nil {
+		t.Fatalf("job after node death: %v", err)
+	}
+	if n := cl.Nodes(); n != 1 {
+		t.Errorf("node count after death = %d, want 1", n)
+	}
+}
+
+// TestClusterNoNodesRunsLocal: a leader with no joined nodes degrades to
+// the plain in-process runner.
+func TestClusterNoNodesRunsLocal(t *testing.T) {
+	cl, err := NewClusterLeader("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewClusterLeader: %v", err)
+	}
+	defer cl.Close()
+	spec := TrainSpec{
+		Workload: "mlp", Sparsifier: "deft", Workers: 2, Density: 0.05,
+		LR: 0.1, Iterations: 4, Seed: 9,
+	}
+	res, err := cl.RunJob(context.Background(), spec, 1, false, nil)
+	if err != nil {
+		t.Fatalf("RunJob with empty cluster: %v", err)
+	}
+	if res.SocketTxBytes != 0 {
+		t.Errorf("empty-cluster run used sockets (tx=%d)", res.SocketTxBytes)
+	}
+}
+
+// TestDistributeOverHTTP drives a distribute job through the full HTTP
+// path: submit, wait, and check the result carries socket traffic.
+func TestDistributeOverHTTP(t *testing.T) {
+	cl, _ := newTestCluster(t, 1)
+	_, ts := newTestServer(t, Options{Pool: 1, Cluster: cl})
+	v, code := postJob(t, ts,
+		`{"train":{"workload":"mlp","sparsifier":"deft","workers":2,"iterations":6,"seed":5,"distribute":true}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	done := waitState(t, ts, v.ID, StateDone)
+	if done.Result == nil || done.Result.TrainResult == nil {
+		t.Fatalf("done job has no training result")
+	}
+	res := done.Result.TrainResult
+	if res.SocketTxBytes == 0 || res.SocketRxBytes == 0 {
+		t.Errorf("distributed job reports no socket traffic (tx=%d rx=%d)",
+			res.SocketTxBytes, res.SocketRxBytes)
+	}
+}
+
+// TestDistributeWithoutClusterRejected: "distribute": true on a server
+// with no cluster is a client error, not a silent local run.
+func TestDistributeWithoutClusterRejected(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 1})
+	_, code := postJob(t, ts,
+		`{"train":{"workload":"mlp","sparsifier":"deft","workers":2,"iterations":4,"distribute":true}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("submit status = %d, want 400", code)
+	}
+}
+
+// TestParseDistributeSpecHash: distribute is part of the canonical spec,
+// so a distributed run never answers from its in-process twin's cache.
+func TestDistributeSplitsHash(t *testing.T) {
+	base := JobSpec{Train: &TrainSpec{Workload: "mlp", Sparsifier: "deft"}}
+	if err := base.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	dist := base
+	tcopy := *base.Train
+	tcopy.Distribute = true
+	dist.Train = &tcopy
+	if base.hash() == dist.hash() {
+		t.Errorf("distribute does not split the content address")
+	}
+}

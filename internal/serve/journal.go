@@ -45,17 +45,27 @@ func openJournal(dir string) (*journal, []walRecord, error) {
 	path := filepath.Join(dir, walFile)
 	var recs []walRecord
 	if data, err := os.ReadFile(path); err == nil {
-		sc := bufio.NewScanner(bytes.NewReader(data))
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-		for sc.Scan() {
-			line := sc.Bytes()
+		// Only newline-terminated lines are complete records: append writes
+		// line+'\n' in one call and fsyncs before acking, so a tail missing
+		// its terminator is a torn append the server never acted on — it
+		// must be dropped even when the partial bytes happen to parse as
+		// valid JSON (a record cut exactly at its closing brace).
+		// bufio.Scanner would hand back such a tail as a line; split
+		// manually instead.
+		for len(data) > 0 {
+			nl := bytes.IndexByte(data, '\n')
+			if nl < 0 {
+				break // torn tail from a crash mid-append
+			}
+			line := data[:nl]
+			data = data[nl+1:]
 			if len(line) == 0 {
 				continue
 			}
 			var r walRecord
 			if err := json.Unmarshal(line, &r); err != nil {
-				// Torn tail: the crash interrupted the last append. Every
-				// complete record before it is valid; stop here.
+				// Corrupt interior record: every complete record before it
+				// is valid; stop here.
 				break
 			}
 			recs = append(recs, r)

@@ -59,6 +59,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 	"repro/internal/registry"
+	"repro/internal/sparsifier"
 	"repro/internal/store"
 	"repro/internal/train"
 )
@@ -211,6 +212,10 @@ type Options struct {
 	// (torn write, bit flip, ENOSPC) injected into the artifact store —
 	// the storage leg of the chaos layer.
 	StoreFaults *store.FaultPlan
+	// Cluster, when non-nil, runs training specs with "distribute": true
+	// across the joined follower nodes (deft-serve -join) instead of
+	// in-process. The server does not own it: close it separately.
+	Cluster *ClusterLeader
 }
 
 // Server owns the job registry, the single-flight dedup layer, the result
@@ -340,6 +345,14 @@ func NewDurable(opts Options) (*Server, error) {
 		runTrain:      runTrain,
 		runExperiment: experiments.RunContext,
 	}
+	if cl := opts.Cluster; cl != nil {
+		s.runTrain = func(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
+			if spec.Distribute {
+				return cl.RunJob(ctx, spec, attempt, checkpoint, progress)
+			}
+			return runTrain(ctx, spec, attempt, checkpoint, progress)
+		}
+	}
 	reg.GaugeFunc("deft_queue_depth", "flights waiting in the backlog", func() int64 {
 		return int64(s.queue.len())
 	})
@@ -394,15 +407,26 @@ func NewDurable(opts Options) (*Server, error) {
 
 // runTrain is the production training runner behind the seam.
 func runTrain(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (*train.Result, error) {
-	w, err := registry.NewWorkload(spec.Workload)
+	w, factory, cfg, err := buildTrainConfig(spec, attempt, checkpoint, progress)
 	if err != nil {
 		return nil, err
+	}
+	return train.RunContext(ctx, w, factory, cfg)
+}
+
+// buildTrainConfig resolves a spec into the workload, sparsifier factory
+// and train.Config that runTrain (and, under a cluster, every follower
+// node — identically, so both sides agree on the run) executes.
+func buildTrainConfig(spec TrainSpec, attempt int, checkpoint bool, progress func(train.Progress)) (train.Workload, sparsifier.Factory, train.Config, error) {
+	w, err := registry.NewWorkload(spec.Workload)
+	if err != nil {
+		return nil, nil, train.Config{}, err
 	}
 	factory, dense, err := registry.NewFactory(spec.Sparsifier, w, spec.Density)
 	if err != nil {
-		return nil, err
+		return nil, nil, train.Config{}, err
 	}
-	return train.RunContext(ctx, w, factory, train.Config{
+	return w, factory, train.Config{
 		Workers:       spec.Workers,
 		Density:       spec.Density,
 		LR:            spec.LR,
@@ -420,7 +444,7 @@ func runTrain(ctx context.Context, spec TrainSpec, attempt int, checkpoint bool,
 		CostModel:     comm.DefaultCostModel(),
 		Topology:      comm.DefaultTopology(),
 		Progress:      progress,
-	})
+	}, nil
 }
 
 // ------------------------------------------------------ durability layer --
@@ -1061,6 +1085,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
 		return
 	}
+	if spec.Train != nil && spec.Train.Distribute && s.opts.Cluster == nil {
+		writeError(w, http.StatusBadRequest, "spec requests distribute but this server has no cluster (start with -cluster-listen)")
+		return
+	}
 	hash := spec.hash()
 	waitQ := r.URL.Query().Get("wait")
 	wait := waitQ == "1" || waitQ == "true"
@@ -1271,18 +1299,33 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
 	cursor := 0
 	for {
 		lines, closed, ping := job.events.next(cursor)
 		for _, line := range lines {
-			w.Write(line)         //nolint:errcheck // disconnect caught below
-			w.Write([]byte{'\n'}) //nolint:errcheck
-			cursor++              // one line consumed
+			// A write error means the client is gone: stop immediately
+			// instead of pumping the rest of the log into a dead socket.
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+			cursor++ // one line consumed
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 		if len(lines) > 0 {
+			// A busy job can keep lines flowing on every pass, so the select
+			// below — the only other disconnect check — may never run; a
+			// handler looping here after its client left would be a
+			// goroutine leak for as long as the job runs. Check the request
+			// context each pass.
+			if ctx.Err() != nil {
+				return
+			}
 			continue
 		}
 		if closed {
@@ -1290,7 +1333,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-ping:
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			return
 		}
 	}

@@ -76,6 +76,13 @@ type TrainSpec struct {
 	// training run submitted at two priorities dedups into one flight —
 	// which then runs at the highest priority any attached job asked for.
 	Priority int `json:"priority,omitempty"`
+
+	// Distribute runs the job across the serve cluster's joined nodes
+	// (requires the server to be started with -cluster-listen; rejected
+	// with 400 otherwise). Part of the canonical spec: the collective
+	// results are byte-identical to the in-process run, but the execution
+	// placement differs, so a distributed run hashes separately.
+	Distribute bool `json:"distribute,omitempty"`
 }
 
 // normalize validates the spec and fills defaults in place, so that every

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"bufio"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestStreamDisconnectFreesHandler pins the stream-handler leak: a busy
+// job emits lines on every pass, so the handler's live-tail select — its
+// only blocking disconnect check — may never run. A client that hangs up
+// mid-stream must still free the handler goroutine promptly, not hold it
+// for as long as the job keeps producing events.
+func TestStreamDisconnectFreesHandler(t *testing.T) {
+	_, ts := newTestServer(t, Options{Pool: 1})
+
+	// Effectively endless and chatty: every iteration appends a record,
+	// keeping the handler's fast path (lines flowing, no select) hot.
+	v, code := postJob(t, ts, `{"train":{"workload":"mlp","sparsifier":"topk","workers":2,"iterations":100000,"lr":0.05,"record_every":1}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitState(t, ts, v.ID, StateRunning)
+	before := runtime.NumGoroutine()
+
+	// Open several streams, prove each is live, then hang up mid-flow.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/stream")
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		if !sc.Scan() {
+			t.Fatalf("stream %d: no first line: %v", i, sc.Err())
+		}
+		resp.Body.Close()
+	}
+
+	// The job is still running — only the disconnects can release the
+	// handlers. Allow slack for httptest conn goroutines winding down.
+	ok := false
+	for i := 0; i < 200 && !ok; i++ {
+		time.Sleep(10 * time.Millisecond)
+		ok = runtime.NumGoroutine() <= before+3
+	}
+	after := runtime.NumGoroutine()
+
+	// Unwind the deliberately endless job before asserting.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	if !ok {
+		t.Errorf("stream handlers leaked: %d goroutines before streams, %d after disconnects", before, after)
+	}
+}

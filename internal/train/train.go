@@ -145,6 +145,18 @@ type Config struct {
 	// contract the hot loop is benchmarked under: one nil check per phase
 	// boundary and zero allocations.
 	Tracer *obs.Tracer
+
+	// NewCluster, when non-nil, builds the cluster each segment runs on —
+	// the hook multi-node serving uses to substitute a TCP leader/follower
+	// transport for the default in-process one. It is called once per
+	// segment with the segment's surviving worker count; the trainer closes
+	// the returned cluster when the segment ends. On a distributed cluster
+	// only the locally hosted ranks run in this process: result series are
+	// recorded by rank 0's process, every process returns its lowest local
+	// rank's replica (replicas are bit-identical), and the per-iteration
+	// worker stats ride an extra AllGatherFloats instead of shared memory.
+	// nil runs every rank in-process, byte-for-byte as before.
+	NewCluster func(size int) (*comm.Cluster, error)
 }
 
 // LayerStat is one layer's slice of a per-layer telemetry snapshot:
@@ -279,6 +291,13 @@ type Result struct {
 	// DeterministicJSON.
 	CommWall comm.CommWall `json:"comm_wall"`
 
+	// SocketTxBytes/SocketRxBytes count the bytes this process actually
+	// moved over cluster sockets (framing included), summed over segments.
+	// Zero for in-process runs; environment-dependent, so excluded from
+	// DeterministicJSON like the wall-clock fields.
+	SocketTxBytes int64 `json:"socket_tx_bytes,omitempty"`
+	SocketRxBytes int64 `json:"socket_rx_bytes,omitempty"`
+
 	// Checkpoint is the final parameter state as a SaveParams blob,
 	// populated when Config.Checkpoint is set. Excluded from the JSON
 	// artefact (it is a binary blob, not a metric).
@@ -357,16 +376,20 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 	}
 
 	for {
-		rank0, segErr := runSegment(ctx, w, factory, cfg, res, seg)
+		repr, leader, segErr := runSegment(ctx, w, factory, cfg, res, seg)
 		if segErr == nil {
-			// Final evaluation.
-			m := w.Evaluate(rank0)
-			res.Metric.Append(float64(cfg.Iterations), m)
-			if cfg.Progress != nil {
-				cfg.Progress(Progress{Kind: "eval", Iteration: cfg.Iterations, Metric: m})
+			// Final evaluation and checkpoint happen where rank 0 lives; a
+			// follower process hands back its (identical) replica without
+			// recording anything — the leader's Result is the canonical one.
+			if leader {
+				m := w.Evaluate(repr)
+				res.Metric.Append(float64(cfg.Iterations), m)
+				if cfg.Progress != nil {
+					cfg.Progress(Progress{Kind: "eval", Iteration: cfg.Iterations, Metric: m})
+				}
 			}
 			if cfg.Checkpoint {
-				blob, err := snapshotParams(rank0)
+				blob, err := snapshotParams(repr)
 				if err != nil {
 					return res, fmt.Errorf("train: final checkpoint: %w", err)
 				}
@@ -376,7 +399,12 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 		}
 		var fe *comm.FaultError
 		if errors.As(segErr, &fe) {
-			res.Faults = append(res.Faults, FaultEvent{Kind: fe.Kind, Rank: seg.rankMap[fe.Rank], Iteration: fe.Iteration})
+			// A multi-rank fault (a remote node dying takes every rank it
+			// hosted) records one event per lost rank, all at the same
+			// iteration, in the original numbering.
+			for _, r := range fe.AllRanks() {
+				res.Faults = append(res.Faults, FaultEvent{Kind: fe.Kind, Rank: seg.rankMap[r], Iteration: fe.Iteration})
+			}
 		}
 		if fe == nil || !cfg.Recover || ctx.Err() != nil {
 			// Not an injected fault (cancellation, real failure), recovery
@@ -385,36 +413,50 @@ func RunContext(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 			return res, segErr
 		}
 
-		// Recovery: checkpoint the replica state (rank 0's replica is at
-		// the last completed iteration — no rank can apply an update whose
+		// Recovery: checkpoint the replica state (the replica is at the
+		// last completed iteration — no rank can apply an update whose
 		// collectives did not finish, so the abort left every replica
 		// identical), rebuild at the surviving size, restore, and resume
 		// at the faulted iteration. Worker-local error-feedback residuals
 		// and momentum velocity restart at zero, as a real failure loses
 		// them too.
 		t0 := time.Now()
-		blob, err := snapshotParams(rank0)
+		blob, err := snapshotParams(repr)
 		if err != nil {
 			return res, fmt.Errorf("train: recovery checkpoint: %w", err)
 		}
+		lost := slices.Clone(fe.AllRanks())
+		slices.Sort(lost)
 		if fe.Kind == comm.FaultDrop {
-			if seg.workers == 1 {
+			if seg.workers-len(lost) < 1 {
 				return res, fmt.Errorf("train: last worker dropped, nothing to recover: %w", segErr)
 			}
-			seg.workers--
-			seg.rankMap = slices.Delete(slices.Clone(seg.rankMap), fe.Rank, fe.Rank+1)
+			seg.workers -= len(lost)
+			newMap := slices.Clone(seg.rankMap)
+			for i := len(lost) - 1; i >= 0; i-- {
+				newMap = slices.Delete(newMap, lost[i], lost[i]+1)
+			}
+			seg.rankMap = newMap
 		}
-		seg.plan = seg.plan.Survive(fe)
+		// Renumber the pending chaos schedule one lost rank at a time, from
+		// the highest so the lower ranks' numbering is still valid for the
+		// next deletion.
+		for i := len(lost) - 1; i >= 0; i-- {
+			seg.plan = seg.plan.Survive(&comm.FaultError{Kind: fe.Kind, Rank: lost[i], Iteration: fe.Iteration})
+		}
 		seg.init = blob
 		seg.start = fe.Iteration
 		res.Recoveries++
 		res.Survivors = seg.workers
 		res.RecoveryTime += time.Since(t0).Seconds()
 		if cfg.Progress != nil {
-			ev := res.Faults[len(res.Faults)-1]
+			orig := make([]int, len(lost))
+			for i := range lost {
+				orig[i] = res.Faults[len(res.Faults)-len(lost)+i].Rank
+			}
 			cfg.Progress(Progress{Kind: "fault", Iteration: fe.Iteration,
-				Fault: fmt.Sprintf("%s of rank %d: recovered, resuming at iteration %d with %d workers",
-					ev.Kind, ev.Rank, seg.start, seg.workers)})
+				Fault: fmt.Sprintf("%s of ranks %v: recovered, resuming at iteration %d with %d workers",
+					fe.Kind, orig, seg.start, seg.workers)})
 		}
 	}
 }
@@ -440,11 +482,12 @@ func snapshotParams(m Model) ([]byte, error) {
 }
 
 // runSegment executes iterations [seg.start, cfg.Iterations) on a fresh
-// cluster of seg.workers ranks, accumulating into res. It returns rank 0's
-// replica — valid even for an aborted segment, since every rank goroutine
-// has finished by then — and the abort reason (nil when the segment ran to
-// completion).
-func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg Config, res *Result, seg segment) (Model, error) {
+// cluster of seg.workers ranks, accumulating into res. It returns the
+// lowest local rank's replica — valid even for an aborted segment, since
+// every local rank goroutine has finished by then — whether rank 0 ran in
+// this process (the leader records the result), and the abort reason (nil
+// when the segment ran to completion).
+func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg Config, res *Result, seg segment) (Model, bool, error) {
 	// Wire precision of the value payloads: the upload is whatever the
 	// codec emits, but the union values returning from the all-reduce ride
 	// at the same precision as the upload — fp16 halves that leg too.
@@ -456,23 +499,40 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 	}
 
 	n := seg.workers
-	cluster := comm.NewCluster(n)
+	newCluster := cfg.NewCluster
+	if newCluster == nil {
+		newCluster = func(size int) (*comm.Cluster, error) { return comm.NewCluster(size), nil }
+	}
+	cluster, err := newCluster(n)
+	if err != nil {
+		return nil, false, fmt.Errorf("train: building cluster of %d: %w", n, err)
+	}
+	defer cluster.Close()
 	cluster.SetFaultPlan(seg.plan)
+	// Tag the transport with the resume point so a peer dying before its
+	// first StartIteration is attributed to seg.start, not iteration 0.
+	cluster.SetStartIteration(seg.start)
+	lo, _ := cluster.LocalRanks()
+	leader := lo == 0
+	distributed := cluster.Distributed()
 	root := rng.New(cfg.Seed)
 
 	// Per-iteration reduction buffers filled by workers, combined by rank
 	// 0. Each entry is padded to its own cache-line pair so neighbouring
-	// workers' writes never false-share (see paddedIterStats).
+	// workers' writes never false-share (see paddedIterStats). On a
+	// distributed cluster the remote entries are filled from the stats
+	// all-gather instead of shared memory.
 	perWorker := make([]paddedIterStats, n)
 
-	// Evaluation runs on rank 0's replica only (replicas stay identical).
-	var rank0 Model
+	// Evaluation runs on one replica only (replicas stay identical); each
+	// process keeps its lowest local rank's.
+	var repr Model
 
 	runErr := cluster.RunContext(ctx, func(cm *comm.Comm) {
 		rank := cm.Rank()
 		model := w.NewModel()
-		if rank == 0 {
-			rank0 = model
+		if rank == lo {
+			repr = model
 		}
 		params := model.Params()
 		if seg.init != nil {
@@ -525,6 +585,15 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 		var decVals []float64
 		if cfg.Momentum > 0 || cfg.DisableSparse {
 			update = make([]float64, ng)
+		}
+		// Distributed runs exchange the per-iteration worker stats over an
+		// all-gather (see below); scratch for this rank's contribution and
+		// the gathered table. nil on the in-process path, which keeps its
+		// shared-memory barrier and allocation profile.
+		var statsVec, statsAll []float64
+		if distributed {
+			statsVec = make([]float64, statsFields)
+			statsAll = make([]float64, 0, statsFields*n)
 		}
 
 		// The sparsifier context and the gated closures are hoisted out of
@@ -799,7 +868,7 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 			}
 
 			// Metrics.
-			perWorker[rank].iterStats = iterStats{
+			st := iterStats{
 				loss:      loss,
 				errNorm:   tensor.L2Norm(acc),
 				selTime:   selTime,
@@ -809,8 +878,45 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 				upBytes:   upBytes,
 				hasNaN:    hasNaN,
 			}
+			perWorker[rank].iterStats = st
 			lane.Start(obs.PhaseCollective, t)
-			cm.Barrier() // all perWorker entries written
+			if distributed {
+				// Remote ranks cannot reach this process's perWorker: every
+				// rank contributes its stats to an all-gather instead, and
+				// rank 0 refills the table from the result. The collective
+				// doubles as the "all entries written" barrier; it moves
+				// control-plane floats only and charges no modeled traffic,
+				// keeping Traffic identical to an in-process run.
+				statsVec[0] = st.loss
+				statsVec[1] = st.errNorm
+				statsVec[2] = float64(st.selTime)
+				statsVec[3] = float64(st.partTime)
+				statsVec[4] = float64(st.stepTime)
+				statsVec[5] = float64(st.selectedK)
+				statsVec[6] = float64(st.upBytes)
+				statsVec[7] = 0
+				if st.hasNaN {
+					statsVec[7] = 1
+				}
+				statsAll = cm.AllGatherFloatsInto(statsVec, statsAll)
+				if rank == 0 {
+					for i := 0; i < n; i++ {
+						v := statsAll[i*statsFields : (i+1)*statsFields]
+						perWorker[i].iterStats = iterStats{
+							loss:      v[0],
+							errNorm:   v[1],
+							selTime:   time.Duration(v[2]),
+							partTime:  time.Duration(v[3]),
+							stepTime:  time.Duration(v[4]),
+							selectedK: int(v[5]),
+							upBytes:   int64(v[6]),
+							hasNaN:    v[7] != 0,
+						}
+					}
+				}
+			} else {
+				cm.Barrier() // all perWorker entries written
+			}
 			lane.Stop()
 
 			if rank == 0 {
@@ -929,7 +1035,7 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 					}
 				}
 				if cfg.EvalEvery > 0 && t > 0 && t%cfg.EvalEvery == 0 {
-					m := w.Evaluate(rank0)
+					m := w.Evaluate(repr)
 					res.Metric.Append(float64(t), m)
 					if cfg.Progress != nil {
 						cfg.Progress(Progress{Kind: "eval", Iteration: t, Metric: m})
@@ -948,7 +1054,10 @@ func runSegment(ctx context.Context, w Workload, factory sparsifier.Factory, cfg
 	// consistent — rank 0 only appends between the two lockstep barriers.
 	res.Traffic.Add(cluster.Traffic())
 	res.CommWall.Add(cluster.CommWall())
-	return rank0, runErr
+	tx, rx := cluster.SocketBytes()
+	res.SocketTxBytes += tx
+	res.SocketRxBytes += rx
+	return repr, leader, runErr
 }
 
 // layerSnapshot builds the per-layer telemetry of one recorded iteration:
@@ -1006,6 +1115,10 @@ func isolate(fn func()) time.Duration {
 	fn()
 	return time.Since(t0)
 }
+
+// statsFields is the width of one rank's contribution to the distributed
+// per-iteration stats all-gather: every iterStats field as a float64.
+const statsFields = 8
 
 // iterStats is one worker's per-iteration metric contribution.
 type iterStats struct {

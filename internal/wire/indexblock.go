@@ -1,0 +1,68 @@
+// Standalone COO index-block codec: the varint delta encoding of a sorted
+// index list, without the format/ng/nnz header of the full payloads. The
+// comm transport frames int collectives with it, so — unlike the encoder
+// round-trips the original fuzzers exercised — its decoder must survive
+// bytes this process never produced: truncated buffers, varint overflow,
+// counts exceeding what the buffer can hold. Every failure is an error,
+// never a panic or an unbounded allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendIndexBlock appends the COO varint delta index block of idx to dst
+// and returns the extended buffer: uvarint(idx[0]), then
+// uvarint(idx[i]−idx[i−1]−1) for each subsequent index — the same block
+// the full payload layout embeds. idx must be strictly increasing,
+// non-negative and bounded by MaxInt32; violations return an error with
+// dst unmodified past its original length.
+func AppendIndexBlock(dst []byte, idx []int) ([]byte, error) {
+	var varint [binary.MaxVarintLen64]byte
+	prev := -1
+	base := len(dst)
+	for _, ix := range idx {
+		if ix <= prev || ix > math.MaxInt32 {
+			return dst[:base], fmt.Errorf("wire: index %d not strictly increasing within [0,%d]", ix, math.MaxInt32)
+		}
+		dst = append(dst, varint[:binary.PutUvarint(varint[:], uint64(ix-prev-1))]...)
+		prev = ix
+	}
+	return dst, nil
+}
+
+// DecodeIndexBlock decodes count indices from the front of buf into idx
+// (reusing its capacity, growing only when insufficient) and returns the
+// filled slice plus the number of bytes consumed. buf is untrusted: a
+// negative or impossible count (every index needs at least one byte), a
+// truncated or malformed varint, or a delta pushing an index past MaxInt32
+// all return an error before any proportional allocation happens.
+func DecodeIndexBlock(buf []byte, count int, idx []int) ([]int, int, error) {
+	out := idx[:0]
+	if count < 0 {
+		return out, 0, fmt.Errorf("wire: negative index count %d", count)
+	}
+	if count > len(buf) {
+		return out, 0, fmt.Errorf("wire: buffer of %d bytes cannot hold %d indices", len(buf), count)
+	}
+	if cap(out) < count {
+		out = make([]int, 0, count)
+	}
+	rest := buf
+	prev := -1
+	for i := 0; i < count; i++ {
+		d, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return out, 0, fmt.Errorf("wire: index block truncated at entry %d", i)
+		}
+		rest = rest[n:]
+		if d > math.MaxInt32 || prev+1+int(d) > math.MaxInt32 {
+			return out, 0, fmt.Errorf("wire: index overflow at entry %d", i)
+		}
+		prev = prev + 1 + int(d)
+		out = append(out, prev)
+	}
+	return out, len(buf) - len(rest), nil
+}

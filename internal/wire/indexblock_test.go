@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"slices"
+	"testing"
+)
+
+func TestIndexBlockRoundTrip(t *testing.T) {
+	cases := [][]int{
+		nil,
+		{0},
+		{5},
+		{0, 1, 2, 3},
+		{0, 127, 128, 1 << 20, math.MaxInt32},
+		{3, 1000, 1001, 2000000},
+	}
+	for _, idx := range cases {
+		buf, err := AppendIndexBlock(nil, idx)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", idx, err)
+		}
+		if n, ok := IndexBytes(idx); !ok || n != len(buf) {
+			t.Fatalf("%v: IndexBytes says %d (ok=%v), encoder wrote %d", idx, n, ok, len(buf))
+		}
+		// Trailing bytes past the block must be left unconsumed.
+		got, used, err := DecodeIndexBlock(append(buf, 0xAA, 0xBB), len(idx), nil)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", idx, err)
+		}
+		if used != len(buf) {
+			t.Fatalf("%v: consumed %d bytes, want %d", idx, used, len(buf))
+		}
+		if !slices.Equal(got, slices.Clone(idx)) && len(idx) > 0 {
+			t.Fatalf("%v: round trip got %v", idx, got)
+		}
+	}
+}
+
+func TestAppendIndexBlockRejectsInvalid(t *testing.T) {
+	for _, idx := range [][]int{
+		{-1},
+		{1, 1},
+		{2, 1},
+		{0, math.MaxInt32 + 1},
+	} {
+		prefix := []byte{0x7F}
+		out, err := AppendIndexBlock(prefix, idx)
+		if err == nil {
+			t.Fatalf("%v: encoder accepted an invalid index list", idx)
+		}
+		if !bytes.Equal(out, prefix) {
+			t.Fatalf("%v: dst modified past its original length on error", idx)
+		}
+	}
+}
+
+// TestDecodeIndexBlockUntrusted drives the decoder with bytes no encoder
+// produced: truncation, varint overflow, counts the buffer cannot hold,
+// and deltas that push an index past the representable range must all be
+// errors — never panics, never huge speculative allocations.
+func TestDecodeIndexBlockUntrusted(t *testing.T) {
+	overflowVarint := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01} // 2^63
+	bigDelta := binary.AppendUvarint(nil, uint64(math.MaxInt32))                         // index MaxInt32: fine once...
+	twoBig := append(slices.Clone(bigDelta), bigDelta...)                                // ...but not twice (overflow)
+
+	cases := []struct {
+		name  string
+		buf   []byte
+		count int
+	}{
+		{"negative count", []byte{0x00}, -1},
+		{"count exceeds buffer", []byte{0x00, 0x00}, 3},
+		{"huge count empty buffer", nil, math.MaxInt32},
+		{"truncated varint", []byte{0x80}, 1},
+		{"truncated second entry", []byte{0x05, 0x80}, 2},
+		{"varint overflow", overflowVarint, 1},
+		{"delta overflows index", twoBig, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := DecodeIndexBlock(c.buf, c.count, nil); err == nil {
+				t.Fatalf("decoder accepted malformed input")
+			}
+		})
+	}
+}
+
+// FuzzDecodeIndexBlock feeds raw bytes and arbitrary counts to the
+// standalone index-block decoder: it must never panic, and anything it
+// accepts must be a strictly increasing list whose canonical re-encoding
+// decodes back identically (byte equality with the input is not required:
+// like binary.Uvarint, the decoder tolerates non-minimal varints).
+func FuzzDecodeIndexBlock(f *testing.F) {
+	for _, idx := range [][]int{{0, 1, 2}, {5, 1000}, {math.MaxInt32}} {
+		buf, err := AppendIndexBlock(nil, idx)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf, uint16(len(idx)))
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, uint16(1))
+	f.Fuzz(func(t *testing.T, buf []byte, count16 uint16) {
+		count := int(count16)
+		idx, used, err := DecodeIndexBlock(buf, count, nil)
+		if err != nil {
+			return
+		}
+		if len(idx) != count || used > len(buf) {
+			t.Fatalf("accepted decode has %d indices (want %d), consumed %d of %d",
+				len(idx), count, used, len(buf))
+		}
+		re, err := AppendIndexBlock(nil, idx)
+		if err != nil {
+			t.Fatalf("accepted decode does not re-encode: %v", err)
+		}
+		back, used2, err := DecodeIndexBlock(re, count, nil)
+		if err != nil || used2 != len(re) || !slices.Equal(back, idx) {
+			t.Fatalf("canonical re-encoding does not round-trip: %v, %v vs %v", err, back, idx)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Cross-process equivalence of the TCP cluster transport, pinned at the
+// highest level the repo has: the recorded golden trajectories. A run
+// whose ranks are split across two nodes talking over a real localhost
+// socket must reproduce the in-process fixture byte-for-byte — same
+// series, same byte accounting, same derived compression — and a node
+// hard-killed mid-run must be numerically indistinguishable from the
+// equivalent injected drop fault.
+//
+// The "nodes" here are goroutine groups inside one test process, but
+// nothing they exchange stays in process: every collective crosses a
+// length-prefixed TCP stream, exactly as under deft-serve -join.
+package deft
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/registry"
+	"repro/internal/sparsifier"
+	"repro/internal/train"
+)
+
+// nodeWorkload resolves the registry pair for a workload/sparsifier name;
+// each virtual node calls it independently, exactly as two deft-serve
+// processes build their own identical configs from the same spec.
+func nodeWorkload(t *testing.T, workload, scheme string, density float64) (train.Workload, sparsifier.Factory, bool) {
+	t.Helper()
+	w, err := registry.NewWorkload(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, dense, err := registry.NewFactory(scheme, w, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, factory, dense
+}
+
+// twoNodeRun executes the run with its ranks split between a leader node
+// hosting [0, split) and a follower node hosting [split, workers), over
+// real TCP. Segments where the cluster has shrunk to the leader's share
+// or below (after the follower's ranks dropped) run leader-local.
+// followerConn, when non-nil, receives the follower's live socket so the
+// test can hard-kill the node. Returns the leader's result.
+func twoNodeRun(t *testing.T, workload, scheme string, cfg train.Config, split int, followerConn *atomic.Pointer[net.Conn]) (*train.Result, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	leaderCfg := cfg
+	leaderCfg.NewCluster = func(size int) (*comm.Cluster, error) {
+		if size <= split {
+			return comm.NewLeaderCluster(size, size, nil)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		return comm.NewLeaderCluster(size, split, []comm.RemotePeer{
+			{Link: comm.NewFrameConn(conn), Lo: split, Hi: size},
+		})
+	}
+
+	followerCfg := cfg
+	followerCfg.Progress = nil  // progress and records are the leader's
+	followerCfg.Recover = false // the dead node does not rejoin
+	followerCfg.NewCluster = func(size int) (*comm.Cluster, error) {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		if followerConn != nil {
+			c := conn
+			followerConn.Store(&c)
+		}
+		return comm.NewFollowerCluster(size, split, size, comm.NewFrameConn(conn))
+	}
+
+	// Each node builds its own workload and factory from the shared names,
+	// exactly as two deft-serve processes build identical configs from the
+	// same spec. Both are resolved here, on the test goroutine.
+	fw, ffactory, _ := nodeWorkload(t, workload, scheme, cfg.Density)
+	lw, lfactory, _ := nodeWorkload(t, workload, scheme, cfg.Density)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The follower's own error is not the test's: a hard-killed
+		// follower fails with "leader connection lost" by design, and in
+		// the healthy case its result is the leader's twin, unrecorded.
+		_, _ = train.RunContext(context.Background(), fw, ffactory, followerCfg)
+	}()
+	res, err := train.RunContext(context.Background(), lw, lfactory, leaderCfg)
+	wg.Wait()
+	return res, err
+}
+
+// TestTCPGoldenConvergence re-runs the dense fp32 mlp golden case with
+// its four ranks split 2+2 across two TCP nodes and compares the full
+// fixture rendering — every series, every byte count — byte-for-byte
+// against the same testdata/convergence file the in-process run is
+// pinned to. This is the cross-process determinism contract: moving
+// ranks onto sockets changes nothing about the numbers.
+func TestTCPGoldenConvergence(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("fixtures recorded on amd64; exact compare is not defined on %s", runtime.GOARCH)
+	}
+	c := goldenCase{
+		Workload: "mlp", Sparsifier: "dense", Precision: "fp32",
+		Workers: 4, LR: 0.3, Iterations: 8, Seed: 77,
+	}
+	res, err := twoNodeRun(t, c.Workload, c.Sparsifier, train.Config{
+		Workers: c.Workers, Density: c.Density, LR: c.LR,
+		Iterations: c.Iterations, EvalEvery: 4, RecordEvery: 2, Seed: c.Seed,
+		DisableSparse: true, CheckSync: true,
+	}, 2, nil)
+	if err != nil {
+		t.Fatalf("two-node run: %v", err)
+	}
+	if res.SocketTxBytes == 0 || res.SocketRxBytes == 0 {
+		t.Fatalf("two-node run reports no socket traffic (tx=%d rx=%d) — did it actually cross TCP?",
+			res.SocketTxBytes, res.SocketRxBytes)
+	}
+	got := (&goldenFixture{
+		goldenCase:       c,
+		TrainLoss:        res.TrainLoss,
+		Metric:           res.Metric,
+		ErrorNorm:        res.ErrorNorm,
+		ActualDensity:    res.ActualDensity,
+		EncodedBytes:     res.EncodedBytes,
+		WireBytes:        res.WireBytes,
+		DenseBytes:       res.DenseBytes,
+		CompressionRatio: res.CompressionRatio(),
+		NaNIterations:    res.NaNIterations,
+	}).marshal(t)
+	want, err := os.ReadFile(c.path())
+	if err != nil {
+		t.Fatalf("missing fixture %s: %v", c.path(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("TCP trajectory drifted from the in-process fixture %s:\n%s", c.path(), firstDiff(want, got))
+	}
+}
+
+// TestTCPKillEqualsInjectedDrop: hard-killing the follower node mid-run
+// (its socket torn, no farewell frames) must leave the same numeric
+// trajectory as injecting drop faults for the same ranks at the same
+// iteration into a plain in-process run. The comparison covers every
+// deterministic numeric field; fault/recovery counters are excluded —
+// the kill surfaces as one multi-rank fault where the injected plan
+// fires rank-by-rank, which is exactly the bookkeeping difference the
+// equivalence claim is about.
+func TestTCPKillEqualsInjectedDrop(t *testing.T) {
+	const (
+		workers = 4
+		split   = 2
+		iters   = 24
+	)
+	var conn atomic.Pointer[net.Conn]
+	var kill sync.Once
+	cfg := train.Config{
+		Workers: workers, Density: 0.05, LR: 0.3,
+		Iterations: iters, EvalEvery: 12, RecordEvery: 1, Seed: 77,
+		Recover: true,
+		Progress: func(p train.Progress) {
+			if p.Kind == "record" && p.Iteration >= 6 {
+				kill.Do(func() {
+					if c := conn.Load(); c != nil {
+						(*c).Close() // hard kill: no abort, no finish, just gone
+					}
+				})
+			}
+		},
+	}
+	killed, err := twoNodeRun(t, "mlp", "deft", cfg, split, &conn)
+	if err != nil {
+		t.Fatalf("killed run: %v", err)
+	}
+	if len(killed.Faults) == 0 {
+		t.Fatalf("killing the follower recorded no faults")
+	}
+	dropIter := killed.Faults[0].Iteration
+	var lostRanks []int
+	for _, f := range killed.Faults {
+		if f.Kind != comm.FaultDrop {
+			t.Fatalf("kill surfaced as %v, want drop", f.Kind)
+		}
+		if f.Iteration != dropIter {
+			t.Fatalf("kill split across iterations %d and %d", dropIter, f.Iteration)
+		}
+		lostRanks = append(lostRanks, f.Rank)
+	}
+	t.Logf("follower kill landed as drop of ranks %v at iteration %d", lostRanks, dropIter)
+
+	// The equivalent honest chaos schedule: the same ranks drop at the
+	// same iteration, in a plain in-process run.
+	plan := &comm.FaultPlan{}
+	for _, r := range lostRanks {
+		plan.Drops = append(plan.Drops, comm.Drop{Rank: r, Iteration: dropIter})
+	}
+	refCfg := cfg
+	refCfg.Progress = nil
+	refCfg.Faults = plan
+	refCfg.NewCluster = nil
+	w, factory, _ := nodeWorkload(t, "mlp", "deft", refCfg.Density)
+	ref, err := train.RunContext(context.Background(), w, factory, refCfg)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	killedJSON, err := killed.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(killedJSON, refJSON) {
+		t.Fatalf("killed-node trajectory diverges from the injected-drop reference:\n%s",
+			firstDiff(refJSON, killedJSON))
+	}
+	if killed.Survivors != workers-len(lostRanks) {
+		t.Errorf("survivors = %d, want %d", killed.Survivors, workers-len(lostRanks))
+	}
+}
